@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 6 (see consim_bench::figures).
+
+use consim_bench::{figures, FigureContext};
+
+fn main() {
+    let ctx = FigureContext::for_figures();
+    let table = figures::fig06_homogeneous_misslatency(&ctx).expect("figure regeneration failed");
+    println!("{table}");
+}

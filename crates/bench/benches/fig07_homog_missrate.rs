@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 7 (see consim_bench::figures).
+
+use consim_bench::{figures, FigureContext};
+
+fn main() {
+    let ctx = FigureContext::for_figures();
+    let table = figures::fig07_homogeneous_missrate(&ctx).expect("figure regeneration failed");
+    println!("{table}");
+}

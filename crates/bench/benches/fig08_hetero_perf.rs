@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 8 (see consim_bench::figures).
+
+use consim_bench::{figures, FigureContext};
+
+fn main() {
+    let ctx = FigureContext::for_figures();
+    let table = figures::fig08_heterogeneous_performance(&ctx).expect("figure regeneration failed");
+    println!("{table}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 11 (see consim_bench::figures).
+
+use consim_bench::{figures, FigureContext};
+
+fn main() {
+    let ctx = FigureContext::for_figures();
+    let table = figures::fig11_sharing_degree(&ctx).expect("figure regeneration failed");
+    println!("{table}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 12 (see consim_bench::figures).
+
+use consim_bench::{figures, FigureContext};
+
+fn main() {
+    let ctx = FigureContext::for_figures();
+    let table = figures::fig12_replication(&ctx).expect("figure regeneration failed");
+    println!("{table}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table II (see consim_bench::figures).
+
+use consim_bench::{figures, FigureContext};
+
+fn main() {
+    let ctx = FigureContext::for_figures();
+    let table = figures::table2(&ctx).expect("figure regeneration failed");
+    println!("{table}");
+}

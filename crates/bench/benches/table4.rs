@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table IV (the experimental mix definitions).
+
+use consim_bench::figures;
+
+fn main() {
+    println!("{}", figures::table4());
+}

@@ -1,0 +1,42 @@
+//! Calibration scratch harness: Table II statistics per workload in the
+//! paper's private-cache configuration, plus run-speed measurement.
+
+use consim::runner::{ExperimentRunner, RunOptions};
+use consim_sched::SchedulingPolicy;
+use consim_types::config::SharingDegree;
+use consim_workload::WorkloadKind;
+use std::time::Instant;
+
+fn main() {
+    let options = RunOptions {
+        refs_per_vm: 60_000,
+        warmup_refs_per_vm: 30_000,
+        seeds: vec![1],
+        track_footprint: true,
+        prewarm_llc: false,
+    }
+    .from_env();
+    let runner = ExperimentRunner::new(options);
+
+    println!("workload   c2c%   target  dirty%  target  missrate  misslat  runtime");
+    for kind in WorkloadKind::PAPER_SET {
+        let start = Instant::now();
+        let run = runner
+            .isolated(kind, SchedulingPolicy::RoundRobin, SharingDegree::Private)
+            .expect("run");
+        let v = &run.vms[0];
+        let t = kind.profile().paper_targets.unwrap();
+        println!(
+            "{:10} {:5.1}% {:6.1}% {:6.1}% {:6.1}%  {:7.1}%  {:7.1}  {:9.0}  ({:.1}s)",
+            kind.name(),
+            v.c2c_of_hierarchy_misses.mean * 100.0,
+            t.c2c_fraction * 100.0,
+            v.c2c_dirty_fraction.mean * 100.0,
+            t.dirty_fraction * 100.0,
+            v.llc_miss_rate.mean * 100.0,
+            v.miss_latency.mean,
+            v.runtime_cycles.mean,
+            start.elapsed().as_secs_f64(),
+        );
+    }
+}

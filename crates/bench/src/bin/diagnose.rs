@@ -1,0 +1,59 @@
+//! Latency-composition diagnostic: isolated vs consolidated runs.
+
+use consim::engine::SimulationConfig;
+use consim::Simulation;
+use consim_sched::SchedulingPolicy;
+use consim_types::config::{MachineConfig, SharingDegree};
+use consim_workload::WorkloadKind;
+
+fn run(label: &str, kinds: &[WorkloadKind]) {
+    let mut b = SimulationConfig::builder();
+    b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
+        .policy(SchedulingPolicy::Affinity)
+        .refs_per_vm(60_000)
+        .warmup_refs_per_vm(250_000)
+        .seed(1);
+    for k in kinds {
+        b.workload(k.profile());
+    }
+    let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+    println!("--- {label} ---");
+    println!(
+        "dircache hit rate: {:.1}%  noc mean latency: {:.1}cy  noc packets: {}",
+        out.dircache_hit_rate * 100.0,
+        out.noc.mean_latency(),
+        out.noc.packets
+    );
+    println!(
+        "noc utilization: mean {:.2}% peak {:.2}%  pkt latency min {} max {}",
+        out.noc_mean_utilization * 100.0,
+        out.noc_peak_utilization * 100.0,
+        out.noc.latency.min(),
+        out.noc.latency.max()
+    );
+    for (i, m) in out.vm_metrics.iter().enumerate() {
+        println!(
+            "  vm{i}: {m}  upgrades={} inv_recv={} mem={} runtime={}",
+            m.upgrades, m.invalidations_received, m.memory_fetches,
+            m.runtime_cycles()
+        );
+    }
+}
+
+fn main() {
+    run("TPC-H isolated", &[WorkloadKind::TpcH]);
+    run("TPC-W isolated", &[WorkloadKind::TpcW]);
+    run(
+        "Mix 1 (3x TPC-W + TPC-H)",
+        &[
+            WorkloadKind::TpcW,
+            WorkloadKind::TpcW,
+            WorkloadKind::TpcW,
+            WorkloadKind::TpcH,
+        ],
+    );
+    run(
+        "Mix B (4x TPC-H)",
+        &[WorkloadKind::TpcH; 4],
+    );
+}

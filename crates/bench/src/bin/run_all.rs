@@ -1,0 +1,10 @@
+//! Regenerates every paper exhibit in one invocation.
+//!
+//! Run-length knobs: `CONSIM_REFS`, `CONSIM_WARMUP`, `CONSIM_SEEDS`.
+
+use consim_bench::{figures, FigureContext};
+
+fn main() {
+    let ctx = FigureContext::for_figures();
+    figures::run_all(&ctx).expect("figure regeneration failed");
+}

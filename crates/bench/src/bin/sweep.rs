@@ -1,0 +1,84 @@
+//! Calibration sweep: searches workload-profile knobs so the engine's
+//! Table II statistics approach the paper's targets.
+
+use consim::runner::{ExperimentRunner, RunOptions};
+use consim_sched::SchedulingPolicy;
+use consim_types::config::SharingDegree;
+use consim_workload::{WorkloadKind, WorkloadProfile};
+
+fn measure(runner: &ExperimentRunner, profile: &WorkloadProfile) -> (f64, f64, f64) {
+    let run = runner
+        .run_profiles(
+            std::slice::from_ref(profile),
+            SchedulingPolicy::RoundRobin,
+            SharingDegree::Private,
+        )
+        .expect("run");
+    let v = &run.vms[0];
+    (
+        v.c2c_of_hierarchy_misses.mean,
+        v.c2c_dirty_fraction.mean,
+        v.llc_miss_rate.mean,
+    )
+}
+
+fn main() {
+    let runner = ExperimentRunner::new(
+        RunOptions {
+            refs_per_vm: 50_000,
+            warmup_refs_per_vm: 30_000,
+            seeds: vec![1],
+            track_footprint: false,
+            prewarm_llc: false,
+        }
+        .from_env(),
+    );
+    let which: Vec<WorkloadKind> = match std::env::args().nth(1).as_deref() {
+        Some("tpcw") => vec![WorkloadKind::TpcW],
+        Some("jbb") => vec![WorkloadKind::SpecJbb],
+        Some("tpch") => vec![WorkloadKind::TpcH],
+        Some("web") => vec![WorkloadKind::SpecWeb],
+        _ => WorkloadKind::PAPER_SET.to_vec(),
+    };
+    for kind in which {
+        let base = kind.profile();
+        let t = base.paper_targets.unwrap();
+        println!(
+            "== {} target c2c={:.0}% dirty={:.0}% ==",
+            kind,
+            t.c2c_fraction * 100.0,
+            t.dirty_fraction * 100.0
+        );
+        let mut best: Option<(f64, String)> = None;
+        for sz in [0.80f64, 0.88, 0.93] {
+            for pz in [0.70f64, 0.85, 0.93] {
+                for sa in [-0.1, 0.0, 0.12] {
+                    for sw in [0.6, 1.0, 1.6] {
+                        let mut p = base.clone();
+                        p.shared_zipf = sz.min(0.98);
+                        p.private_zipf = pz.min(0.98);
+                        p.shared_access_prob = (p.shared_access_prob + sa).clamp(0.05, 0.95);
+                        p.shared_write_prob = (p.shared_write_prob * sw).clamp(0.0, 0.9);
+                        let (c2c, dirty, miss) = measure(&runner, &p);
+                        let score = (c2c - t.c2c_fraction).abs() * 2.0
+                            + (dirty - t.dirty_fraction).abs();
+                        let line = format!(
+                            "sz={:.2} pz={:.2} sa={:.2} sw={:.3} -> c2c={:5.1}% dirty={:5.1}% miss={:5.1}%",
+                            p.shared_zipf,
+                            p.private_zipf,
+                            p.shared_access_prob,
+                            p.shared_write_prob,
+                            c2c * 100.0,
+                            dirty * 100.0,
+                            miss * 100.0
+                        );
+                        if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
+                            println!("  BEST {score:.3} {line}");
+                            best = Some((score, line));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

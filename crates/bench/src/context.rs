@@ -1,0 +1,149 @@
+//! Shared, memoizing experiment context for figure regeneration.
+
+use consim::runner::{ExperimentRunner, MixRun, RunOptions};
+use consim_sched::SchedulingPolicy;
+use consim_types::config::SharingDegree;
+use consim_types::SimError;
+use consim_workload::WorkloadKind;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A cache key for one experiment cell.
+type Key = (Vec<WorkloadKind>, SchedulingPolicy, String);
+
+/// An [`ExperimentRunner`] plus a memo table, so figures that share cells
+/// (e.g. every figure needs the isolation baselines) don't re-simulate
+/// them.
+///
+/// # Examples
+///
+/// ```
+/// use consim_bench::FigureContext;
+/// use consim::runner::RunOptions;
+/// use consim_sched::SchedulingPolicy;
+/// use consim_types::config::SharingDegree;
+/// use consim_workload::WorkloadKind;
+///
+/// let ctx = FigureContext::new(RunOptions::quick());
+/// let a = ctx.run(&[WorkloadKind::TpcH], SchedulingPolicy::Affinity,
+///                 SharingDegree::SharedBy(4)).unwrap();
+/// let b = ctx.run(&[WorkloadKind::TpcH], SchedulingPolicy::Affinity,
+///                 SharingDegree::SharedBy(4)).unwrap();
+/// assert!(std::rc::Rc::ptr_eq(&a, &b)); // memoized
+/// ```
+#[derive(Debug)]
+pub struct FigureContext {
+    runner: ExperimentRunner,
+    memo: RefCell<HashMap<Key, Rc<MixRun>>>,
+}
+
+impl FigureContext {
+    /// Creates a context with explicit options.
+    pub fn new(options: RunOptions) -> Self {
+        Self {
+            runner: ExperimentRunner::new(options),
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The options used for figure regeneration: paper-scale runs with warm
+    /// caches, overridable via `CONSIM_REFS` / `CONSIM_WARMUP` /
+    /// `CONSIM_SEEDS`.
+    pub fn figure_options() -> RunOptions {
+        RunOptions {
+            refs_per_vm: 60_000,
+            warmup_refs_per_vm: 150_000,
+            seeds: vec![1],
+            track_footprint: false,
+            prewarm_llc: true,
+        }
+        .from_env()
+    }
+
+    /// A context with [`FigureContext::figure_options`].
+    pub fn for_figures() -> Self {
+        Self::new(Self::figure_options())
+    }
+
+    /// The underlying runner.
+    pub fn runner(&self) -> &ExperimentRunner {
+        &self.runner
+    }
+
+    /// Runs (or recalls) one experiment cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine configuration/placement errors.
+    pub fn run(
+        &self,
+        instances: &[WorkloadKind],
+        policy: SchedulingPolicy,
+        sharing: SharingDegree,
+    ) -> Result<Rc<MixRun>, SimError> {
+        let key = (instances.to_vec(), policy, sharing.label());
+        if let Some(hit) = self.memo.borrow().get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        let run = Rc::new(self.runner.run(instances, policy, sharing)?);
+        self.memo.borrow_mut().insert(key, Rc::clone(&run));
+        Ok(run)
+    }
+
+    /// The paper's normalization baseline: the workload alone on the fully
+    /// shared 16 MB LLC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine configuration/placement errors.
+    pub fn baseline(&self, kind: WorkloadKind) -> Result<Rc<MixRun>, SimError> {
+        self.run(&[kind], SchedulingPolicy::Affinity, SharingDegree::FullyShared)
+    }
+
+    /// Number of memoized cells (for tests).
+    pub fn cached_cells(&self) -> usize {
+        self.memo.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_identical_cells() {
+        let ctx = FigureContext::new(RunOptions {
+            refs_per_vm: 500,
+            warmup_refs_per_vm: 100,
+            seeds: vec![1],
+            track_footprint: false,
+            prewarm_llc: false,
+        });
+        let a = ctx
+            .run(
+                &[WorkloadKind::TpcH],
+                SchedulingPolicy::Affinity,
+                SharingDegree::SharedBy(4),
+            )
+            .unwrap();
+        assert_eq!(ctx.cached_cells(), 1);
+        let b = ctx
+            .run(
+                &[WorkloadKind::TpcH],
+                SchedulingPolicy::Affinity,
+                SharingDegree::SharedBy(4),
+            )
+            .unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(ctx.cached_cells(), 1);
+        // A different cell is a different run.
+        ctx.run(
+            &[WorkloadKind::TpcH],
+            SchedulingPolicy::RoundRobin,
+            SharingDegree::SharedBy(4),
+        )
+        .unwrap();
+        assert_eq!(ctx.cached_cells(), 2);
+    }
+}

@@ -1,0 +1,456 @@
+//! Regenerators for every table and figure in the paper's evaluation.
+//!
+//! Each function produces a [`TextTable`] whose rows/series correspond to
+//! the paper's exhibit. Normalization baselines follow the paper's §V:
+//!
+//! * runtimes are normalized to the workload run *in isolation with four
+//!   cores and a fully shared 16 MB LLC*;
+//! * miss latencies are normalized to the workload in isolation with
+//!   affinity scheduling on shared-4-way caches (the paper's Figs. 6/10/11
+//!   baseline);
+//! * miss rates for the relative figures use the same shared-4-way affinity
+//!   isolation baseline (the paper's text says "relative to workloads run in
+//!   isolation" without pinning the cache configuration; the fully-shared
+//!   baseline's near-zero miss rates would make ratios unstable, so the
+//!   shared-4-way baseline is the interpretable choice — recorded in
+//!   EXPERIMENTS.md).
+
+use crate::context::FigureContext;
+use consim::mix::Mix;
+use consim::report::TextTable;
+use consim::runner::{ExperimentRunner, RunOptions, VmAggregate};
+use consim_sched::SchedulingPolicy;
+use consim_types::config::SharingDegree;
+use consim_types::SimError;
+use consim_workload::WorkloadKind;
+
+use SchedulingPolicy::{Affinity, Random, RoundRobin, RrAffinity};
+use SharingDegree::{FullyShared, Private, SharedBy};
+
+/// The isolated-workload configuration sweep of Figs. 2 and 3: LLC
+/// arrangement (columns match the paper's "shared / 2-LL$ / 4-LL$ /
+/// private") crossed with scheduling.
+const ISOLATED_SWEEP: [(&str, SharingDegree, SchedulingPolicy); 7] = [
+    ("shared", FullyShared, Affinity),
+    ("2LL$ rr", SharedBy(8), RoundRobin),
+    ("2LL$ aff", SharedBy(8), Affinity),
+    ("4LL$ rr", SharedBy(4), RoundRobin),
+    ("4LL$ aff", SharedBy(4), Affinity),
+    ("priv rr", Private, RoundRobin),
+    ("priv aff", Private, Affinity),
+];
+
+/// All four scheduling policies, in the paper's figure order.
+const POLICIES: [SchedulingPolicy; 4] = [RoundRobin, Affinity, RrAffinity, Random];
+
+fn homogeneous_instances(kind: WorkloadKind) -> [WorkloadKind; 4] {
+    [kind; 4]
+}
+
+/// Mean runtime of `kind` instances in a run.
+fn runtime_of(run: &consim::runner::MixRun, kind: WorkloadKind) -> f64 {
+    run.mean_over_kind(kind, |v: &VmAggregate| v.runtime_cycles.mean)
+}
+
+fn missrate_of(run: &consim::runner::MixRun, kind: WorkloadKind) -> f64 {
+    run.mean_over_kind(kind, |v| v.llc_miss_rate.mean)
+}
+
+fn misslat_of(run: &consim::runner::MixRun, kind: WorkloadKind) -> f64 {
+    run.mean_over_kind(kind, |v| v.miss_latency.mean)
+}
+
+/// Table II: per-workload sharing statistics in the paper's private-cache
+/// configuration — % of private-hierarchy misses served cache-to-cache
+/// (all / clean / dirty split) and blocks touched (thousands).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn table2(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    // Footprint tracking costs memory, so Table II uses its own runner.
+    let mut options = ctx.runner().options().clone();
+    options.track_footprint = true;
+    let runner = ExperimentRunner::new(options);
+    let mut t = TextTable::new(
+        "Table II: workload statistics (private LLC, isolated)",
+        &["c2c %", "clean %", "dirty %", "blocks (K)"],
+    );
+    for kind in WorkloadKind::PAPER_SET {
+        let run = runner.isolated(kind, RoundRobin, Private)?;
+        let v = &run.vms[0];
+        let dirty = v.c2c_dirty_fraction.mean;
+        t.row(
+            kind.name(),
+            &[
+                v.c2c_of_hierarchy_misses.mean * 100.0,
+                (1.0 - dirty) * 100.0,
+                dirty * 100.0,
+                v.footprint_blocks.mean / 1000.0,
+            ],
+        );
+    }
+    Ok(t)
+}
+
+/// Table IV: the experimental mixes (static enumeration, verified
+/// programmatically by the mix module's tests).
+pub fn table4() -> String {
+    let mut out = String::from("=== Table IV: experimental runs ===\n");
+    out.push_str("Heterogeneous mixes:\n");
+    for mix in Mix::all_heterogeneous() {
+        out.push_str(&format!("  {mix}\n"));
+    }
+    out.push_str("Homogeneous mixes:\n");
+    for mix in Mix::all_homogeneous() {
+        out.push_str(&format!("  {mix}\n"));
+    }
+    out
+}
+
+/// Fig. 2: isolated workload runtime across LLC arrangements and policies,
+/// normalized to the fully shared baseline.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig02_isolated_performance(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let cols: Vec<&str> = ISOLATED_SWEEP.iter().map(|(l, _, _)| *l).collect();
+    let mut t = TextTable::new(
+        "Fig 2: isolated performance (runtime / fully-shared baseline)",
+        &cols,
+    );
+    for kind in WorkloadKind::PAPER_SET {
+        let base = runtime_of(ctx.baseline(kind)?.as_ref(), kind);
+        let mut row = Vec::new();
+        for (_, sharing, policy) in ISOLATED_SWEEP {
+            let run = ctx.run(&[kind], policy, sharing)?;
+            row.push(runtime_of(&run, kind) / base);
+        }
+        t.row(kind.name(), &row);
+    }
+    Ok(t)
+}
+
+/// Fig. 3: isolated LLC miss rates (percent) across the same sweep.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig03_isolated_missrate(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let cols: Vec<&str> = ISOLATED_SWEEP.iter().map(|(l, _, _)| *l).collect();
+    let mut t = TextTable::new("Fig 3: isolated miss rates (%)", &cols);
+    for kind in WorkloadKind::PAPER_SET {
+        let mut row = Vec::new();
+        for (_, sharing, policy) in ISOLATED_SWEEP {
+            let run = ctx.run(&[kind], policy, sharing)?;
+            row.push(missrate_of(&run, kind) * 100.0);
+        }
+        t.row(kind.name(), &row);
+    }
+    Ok(t)
+}
+
+/// Fig. 4: isolated average miss latency (cycles) for shared, shared-4-way,
+/// and private arrangements under both schedulers.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig04_isolated_misslatency(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let sweep: [(&str, SharingDegree, SchedulingPolicy); 5] = [
+        ("shared", FullyShared, Affinity),
+        ("4LL$ rr", SharedBy(4), RoundRobin),
+        ("4LL$ aff", SharedBy(4), Affinity),
+        ("priv rr", Private, RoundRobin),
+        ("priv aff", Private, Affinity),
+    ];
+    let cols: Vec<&str> = sweep.iter().map(|(l, _, _)| *l).collect();
+    let mut t = TextTable::new("Fig 4: isolated miss latencies (cycles)", &cols);
+    for kind in WorkloadKind::PAPER_SET {
+        let mut row = Vec::new();
+        for (_, sharing, policy) in sweep {
+            let run = ctx.run(&[kind], policy, sharing)?;
+            row.push(misslat_of(&run, kind));
+        }
+        t.row(kind.name(), &row);
+    }
+    Ok(t)
+}
+
+/// Fig. 5: homogeneous-mix per-workload runtime under each policy
+/// (shared-4-way), relative to the fully-shared isolation baseline.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig05_homogeneous_performance(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let cols: Vec<&str> = POLICIES.iter().map(|p| p.label()).collect();
+    let mut t = TextTable::new(
+        "Fig 5: homogeneous-mix performance (runtime / isolation)",
+        &cols,
+    );
+    for kind in WorkloadKind::PAPER_SET {
+        let base = runtime_of(ctx.baseline(kind)?.as_ref(), kind);
+        let mut row = Vec::new();
+        for policy in POLICIES {
+            let run = ctx.run(&homogeneous_instances(kind), policy, SharedBy(4))?;
+            row.push(runtime_of(&run, kind) / base);
+        }
+        t.row(kind.name(), &row);
+    }
+    Ok(t)
+}
+
+/// Fig. 6: homogeneous-mix miss latency under each policy, normalized to
+/// the workload in isolation with affinity scheduling (shared-4-way).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig06_homogeneous_misslatency(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let cols: Vec<&str> = POLICIES.iter().map(|p| p.label()).collect();
+    let mut t = TextTable::new(
+        "Fig 6: homogeneous-mix miss latency (relative to isolation/affinity)",
+        &cols,
+    );
+    for kind in WorkloadKind::PAPER_SET {
+        let base = misslat_of(ctx.run(&[kind], Affinity, SharedBy(4))?.as_ref(), kind);
+        let mut row = Vec::new();
+        for policy in POLICIES {
+            let run = ctx.run(&homogeneous_instances(kind), policy, SharedBy(4))?;
+            row.push(misslat_of(&run, kind) / base);
+        }
+        t.row(kind.name(), &row);
+    }
+    Ok(t)
+}
+
+/// Fig. 7: homogeneous-mix miss rates relative to isolation
+/// (shared-4-way affinity baseline).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig07_homogeneous_missrate(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let cols: Vec<&str> = POLICIES.iter().map(|p| p.label()).collect();
+    let mut t = TextTable::new(
+        "Fig 7: homogeneous-mix miss rates (relative to isolation)",
+        &cols,
+    );
+    for kind in WorkloadKind::PAPER_SET {
+        let base = missrate_of(ctx.run(&[kind], Affinity, SharedBy(4))?.as_ref(), kind);
+        let mut row = Vec::new();
+        for policy in POLICIES {
+            let run = ctx.run(&homogeneous_instances(kind), policy, SharedBy(4))?;
+            row.push(missrate_of(&run, kind) / base.max(1e-9));
+        }
+        t.row(kind.name(), &row);
+    }
+    Ok(t)
+}
+
+/// Rows of the heterogeneous figures: every (mix, distinct workload) pair.
+fn heterogeneous_rows() -> Vec<(Mix, WorkloadKind)> {
+    Mix::all_heterogeneous()
+        .into_iter()
+        .flat_map(|mix| {
+            mix.distinct_workloads()
+                .into_iter()
+                .map(move |kind| (mix.clone(), kind))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Fig. 8: heterogeneous-mix per-workload runtime (affinity and round robin
+/// on shared-4-way), normalized to the fully-shared isolation baseline. The
+/// paper also plots the shared-4-way isolation points as references; they
+/// appear as `iso <workload>` rows.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig08_heterogeneous_performance(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let mut t = TextTable::new(
+        "Fig 8: heterogeneous-mix performance (runtime / isolation)",
+        &["affinity", "rr"],
+    );
+    for kind in WorkloadKind::PAPER_SET
+        .into_iter()
+        .filter(|k| *k != WorkloadKind::SpecWeb)
+    {
+        let base = runtime_of(ctx.baseline(kind)?.as_ref(), kind);
+        let aff = runtime_of(ctx.run(&[kind], Affinity, SharedBy(4))?.as_ref(), kind) / base;
+        let rr = runtime_of(ctx.run(&[kind], RoundRobin, SharedBy(4))?.as_ref(), kind) / base;
+        t.row(format!("iso {}", kind.name()), &[aff, rr]);
+    }
+    for (mix, kind) in heterogeneous_rows() {
+        let base = runtime_of(ctx.baseline(kind)?.as_ref(), kind);
+        let mut row = Vec::new();
+        for policy in [Affinity, RoundRobin] {
+            let run = ctx.run(mix.instances(), policy, SharedBy(4))?;
+            row.push(runtime_of(&run, kind) / base);
+        }
+        t.row(format!("{} {}", mix.id(), kind.name()), &row);
+    }
+    Ok(t)
+}
+
+/// Fig. 9: heterogeneous-mix miss rates relative to isolation
+/// (shared-4-way affinity baseline).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig09_heterogeneous_missrate(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let mut t = TextTable::new(
+        "Fig 9: heterogeneous-mix miss rates (relative to isolation)",
+        &["affinity", "rr"],
+    );
+    for (mix, kind) in heterogeneous_rows() {
+        let base = missrate_of(ctx.run(&[kind], Affinity, SharedBy(4))?.as_ref(), kind);
+        let mut row = Vec::new();
+        for policy in [Affinity, RoundRobin] {
+            let run = ctx.run(mix.instances(), policy, SharedBy(4))?;
+            row.push(missrate_of(&run, kind) / base.max(1e-9));
+        }
+        t.row(format!("{} {}", mix.id(), kind.name()), &row);
+    }
+    Ok(t)
+}
+
+/// Fig. 10: heterogeneous-mix miss latencies, normalized to the workload in
+/// isolation with affinity scheduling on shared-4-way caches.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig10_heterogeneous_misslatency(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let mut t = TextTable::new(
+        "Fig 10: heterogeneous-mix miss latency (relative to isolation/affinity)",
+        &["affinity", "rr"],
+    );
+    for (mix, kind) in heterogeneous_rows() {
+        let base = misslat_of(ctx.run(&[kind], Affinity, SharedBy(4))?.as_ref(), kind);
+        let mut row = Vec::new();
+        for policy in [Affinity, RoundRobin] {
+            let run = ctx.run(mix.instances(), policy, SharedBy(4))?;
+            row.push(misslat_of(&run, kind) / base);
+        }
+        t.row(format!("{} {}", mix.id(), kind.name()), &row);
+    }
+    Ok(t)
+}
+
+/// Fig. 11: miss latency of the heterogeneous mixes as the LLC sharing
+/// degree varies (affinity scheduling, normalized to the shared-4-way
+/// isolation latencies).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig11_sharing_degree(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let degrees: [(&str, SharingDegree); 4] = [
+        ("8x2MB", SharedBy(2)),
+        ("4x4MB", SharedBy(4)),
+        ("2x8MB", SharedBy(8)),
+        ("1x16MB", FullyShared),
+    ];
+    let cols: Vec<&str> = degrees.iter().map(|(l, _)| *l).collect();
+    let mut t = TextTable::new(
+        "Fig 11: miss latency vs sharing degree (affinity, relative to shared-4 isolation)",
+        &cols,
+    );
+    for (mix, kind) in heterogeneous_rows() {
+        let base = misslat_of(ctx.run(&[kind], Affinity, SharedBy(4))?.as_ref(), kind);
+        let mut row = Vec::new();
+        for (_, sharing) in degrees {
+            let run = ctx.run(mix.instances(), Affinity, sharing)?;
+            row.push(misslat_of(&run, kind) / base);
+        }
+        t.row(format!("{} {}", mix.id(), kind.name()), &row);
+    }
+    Ok(t)
+}
+
+/// Fig. 12: percentage of LLC lines replicated across banks for the
+/// homogeneous mixes — the three spreading policies on shared-4-way caches
+/// plus the private arrangement's maximum. (Affinity is omitted, as in the
+/// paper: one bank per workload means nothing replicates.)
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig12_replication(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let mut t = TextTable::new(
+        "Fig 12: replicated LLC lines (%), homogeneous mixes",
+        &["rr", "aff-rr", "random", "private (max)"],
+    );
+    for kind in WorkloadKind::PAPER_SET {
+        let instances = homogeneous_instances(kind);
+        let mut row = Vec::new();
+        for policy in [RoundRobin, RrAffinity, Random] {
+            let run = ctx.run(&instances, policy, SharedBy(4))?;
+            row.push(run.replication.mean * 100.0);
+        }
+        let private = ctx.run(&instances, RoundRobin, Private)?;
+        row.push(private.replication.mean * 100.0);
+        t.row(kind.name(), &row);
+    }
+    Ok(t)
+}
+
+/// Fig. 13: per-workload share of each LLC bank's capacity for the
+/// heterogeneous mixes (round robin, shared-4-way snapshot).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig13_occupancy(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let mut t = TextTable::new(
+        "Fig 13: LLC capacity share per VM (%, rr, shared-4-way)",
+        &["bank0", "bank1", "bank2", "bank3", "mean"],
+    );
+    for mix in Mix::all_heterogeneous() {
+        let run = ctx.run(mix.instances(), RoundRobin, SharedBy(4))?;
+        for (vm, kind) in mix.instances().iter().enumerate() {
+            let shares: Vec<f64> = run.occupancy.iter().map(|bank| bank[vm] * 100.0).collect();
+            let mean = shares.iter().sum::<f64>() / shares.len().max(1) as f64;
+            let mut row = shares;
+            row.resize(4, 0.0);
+            row.push(mean);
+            t.row(format!("{} vm{vm} {}", mix.id(), kind.name()), &row);
+        }
+    }
+    Ok(t)
+}
+
+/// Regenerates every exhibit, printing each table (used by the `run_all`
+/// binary).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run_all(ctx: &FigureContext) -> Result<(), SimError> {
+    println!("{}", table4());
+    println!("{}", table2(ctx)?);
+    println!("{}", fig02_isolated_performance(ctx)?);
+    println!("{}", fig03_isolated_missrate(ctx)?);
+    println!("{}", fig04_isolated_misslatency(ctx)?);
+    println!("{}", fig05_homogeneous_performance(ctx)?);
+    println!("{}", fig06_homogeneous_misslatency(ctx)?);
+    println!("{}", fig07_homogeneous_missrate(ctx)?);
+    println!("{}", fig08_heterogeneous_performance(ctx)?);
+    println!("{}", fig09_heterogeneous_missrate(ctx)?);
+    println!("{}", fig10_heterogeneous_misslatency(ctx)?);
+    println!("{}", fig11_sharing_degree(ctx)?);
+    println!("{}", fig12_replication(ctx)?);
+    println!("{}", fig13_occupancy(ctx)?);
+    Ok(())
+}
+
+/// Convenience used by tests and benches: quick context with short runs.
+pub fn quick_context() -> FigureContext {
+    FigureContext::new(RunOptions::quick())
+}

@@ -1,0 +1,46 @@
+//! Benchmark and figure-regeneration harness for the `consim` workspace.
+//!
+//! Every table and figure in the paper's evaluation section has a
+//! regenerator here:
+//!
+//! | Exhibit | Function | Bench target |
+//! |---|---|---|
+//! | Table II | [`figures::table2`] | `table2` |
+//! | Table IV | [`figures::table4`] | `table4` |
+//! | Fig. 2 | [`figures::fig02_isolated_performance`] | `fig02_isolated_perf` |
+//! | Fig. 3 | [`figures::fig03_isolated_missrate`] | `fig03_isolated_missrate` |
+//! | Fig. 4 | [`figures::fig04_isolated_misslatency`] | `fig04_isolated_misslat` |
+//! | Fig. 5 | [`figures::fig05_homogeneous_performance`] | `fig05_homog_perf` |
+//! | Fig. 6 | [`figures::fig06_homogeneous_misslatency`] | `fig06_homog_misslat` |
+//! | Fig. 7 | [`figures::fig07_homogeneous_missrate`] | `fig07_homog_missrate` |
+//! | Fig. 8 | [`figures::fig08_heterogeneous_performance`] | `fig08_hetero_perf` |
+//! | Fig. 9 | [`figures::fig09_heterogeneous_missrate`] | `fig09_hetero_missrate` |
+//! | Fig. 10 | [`figures::fig10_heterogeneous_misslatency`] | `fig10_hetero_misslat` |
+//! | Fig. 11 | [`figures::fig11_sharing_degree`] | `fig11_sharing_degree` |
+//! | Fig. 12 | [`figures::fig12_replication`] | `fig12_replication` |
+//! | Fig. 13 | [`figures::fig13_occupancy`] | `fig13_occupancy` |
+//!
+//! Extensions and ablations (paper §VII future work and DESIGN.md
+//! design-choice callouts):
+//!
+//! | Experiment | Bench target |
+//! |---|---|
+//! | 32-core consolidation | `ext_scaling` |
+//! | Asymmetric thread counts | `ext_thread_counts` |
+//! | Dynamic rescheduling | `ext_dynamic_sched` |
+//! | LLC replacement ablation | `ablation_replacement` |
+//! | Memory-bandwidth ablation | `ablation_memory` |
+//!
+//! Each bench target prints the figure's rows/series as a plain-text table;
+//! run-length and seed count are tunable with `CONSIM_REFS`,
+//! `CONSIM_WARMUP`, and `CONSIM_SEEDS`. `cargo bench -p consim-bench` runs
+//! everything; criterion micro-benchmarks of the substrates live in the
+//! `micro` target. Helper binaries: `run_all` (every exhibit in one
+//! process, with cross-figure memoization), `calibrate` (Table II
+//! calibration check), `sweep` (profile-knob search), `diagnose`
+//! (latency-composition debugging).
+
+pub mod context;
+pub mod figures;
+
+pub use context::FigureContext;

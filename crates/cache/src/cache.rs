@@ -1,0 +1,248 @@
+//! A whole set-associative cache.
+
+use crate::line::{CacheLine, LineState};
+use crate::replacement::ReplacementPolicy;
+use crate::set::CacheSet;
+use crate::stats::CacheStats;
+use consim_types::{BlockAddr, CacheGeometry};
+
+/// A set-associative cache keyed by [`BlockAddr`].
+///
+/// Models every level of the paper's hierarchy: private L0s/L1s and LLC
+/// banks of any sharing degree. Indexing uses the low bits of the block
+/// address; tags are full block addresses (so lines of different VMs never
+/// alias, matching the machine's physical tagging).
+///
+/// # Examples
+///
+/// ```
+/// use consim_cache::{LineState, ReplacementPolicy, SetAssocCache};
+/// use consim_types::{BlockAddr, CacheGeometry};
+///
+/// // The paper's 1 MB private LLC partition: 16-way, 6-cycle.
+/// let geom = CacheGeometry::new(1 << 20, 16, 6)?;
+/// let mut llc = SetAssocCache::new(geom, ReplacementPolicy::Lru);
+/// llc.insert(BlockAddr::new(3), LineState::Exclusive);
+/// assert!(llc.contains(BlockAddr::new(3)));
+/// assert_eq!(llc.stats().insertions, 1);
+/// # Ok::<(), consim_types::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry and policy.
+    ///
+    /// Random replacement draws from a stream seeded by the set index, so
+    /// two identically-configured caches behave identically.
+    pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        let num_sets = geometry.num_sets();
+        let sets = (0..num_sets)
+            .map(|i| CacheSet::new(policy, geometry.associativity, i as u64))
+            .collect();
+        Self {
+            geometry,
+            sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Access latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.geometry.latency
+    }
+
+    /// The set index for a block.
+    #[inline]
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.raw() % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up a block without modifying recency or statistics.
+    pub fn probe(&self, block: BlockAddr) -> Option<LineState> {
+        self.sets[self.set_index(block)].probe(block)
+    }
+
+    /// Whether the block is present.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.probe(block).is_some()
+    }
+
+    /// Performs a demand access: updates recency and hit/miss statistics.
+    pub fn access(&mut self, block: BlockAddr) -> Option<LineState> {
+        let idx = self.set_index(block);
+        let result = self.sets[idx].access(block);
+        if result.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        result
+    }
+
+    /// Changes the state of a present block; returns `false` if absent.
+    pub fn set_state(&mut self, block: BlockAddr, state: LineState) -> bool {
+        let idx = self.set_index(block);
+        self.sets[idx].set_state(block, state)
+    }
+
+    /// Fills a block, evicting a victim if the set is full.
+    ///
+    /// Returns the evicted line, if any (dirty victims need a writeback —
+    /// the caller decides where it goes). Dirty evictions are also counted
+    /// in [`CacheStats::dirty_evictions`].
+    pub fn insert(&mut self, block: BlockAddr, state: LineState) -> Option<CacheLine> {
+        let idx = self.set_index(block);
+        let victim = self.sets[idx].insert(block, state);
+        self.stats.insertions += 1;
+        if let Some(v) = victim {
+            self.stats.evictions += 1;
+            if v.state.is_dirty() {
+                self.stats.dirty_evictions += 1;
+            }
+        }
+        victim
+    }
+
+    /// Removes a block (coherence invalidation); returns the removed line.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<CacheLine> {
+        let idx = self.set_index(block);
+        let removed = self.sets[idx].invalidate(block);
+        if removed.is_some() {
+            self.stats.invalidations += 1;
+        }
+        removed
+    }
+
+    /// Iterates over every valid line (for snapshot metrics).
+    pub fn lines(&self) -> impl Iterator<Item = &CacheLine> {
+        self.sets.iter().flat_map(CacheSet::lines)
+    }
+
+    /// Number of valid lines currently stored.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(CacheSet::occupancy).sum()
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.geometry.num_lines()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (not contents) — used for post-warmup measurement.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(ways: usize, sets: usize) -> SetAssocCache {
+        let geom = CacheGeometry::new(ways * sets * 64, ways, 1).unwrap();
+        SetAssocCache::new(geom, ReplacementPolicy::Lru)
+    }
+
+    #[test]
+    fn geometry_derives_set_count() {
+        let c = small_cache(4, 16);
+        assert_eq!(c.capacity(), 64);
+        assert_eq!(c.geometry().num_sets(), 16);
+    }
+
+    #[test]
+    fn blocks_map_to_distinct_sets_by_low_bits() {
+        let mut c = small_cache(1, 4); // direct-mapped, 4 sets
+        for n in 0..4 {
+            c.insert(BlockAddr::new(n), LineState::Shared);
+        }
+        assert_eq!(c.occupancy(), 4);
+        // Block 4 conflicts with block 0.
+        let victim = c.insert(BlockAddr::new(4), LineState::Shared).unwrap();
+        assert_eq!(victim.block, BlockAddr::new(0));
+    }
+
+    #[test]
+    fn access_counts_hits_and_misses() {
+        let mut c = small_cache(2, 2);
+        assert!(c.access(BlockAddr::new(5)).is_none());
+        c.insert(BlockAddr::new(5), LineState::Exclusive);
+        assert!(c.access(BlockAddr::new(5)).is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirty_eviction_counted() {
+        let mut c = small_cache(1, 1);
+        c.insert(BlockAddr::new(1), LineState::Modified);
+        let victim = c.insert(BlockAddr::new(2), LineState::Shared).unwrap();
+        assert!(victim.state.is_dirty());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_counts_only_hits() {
+        let mut c = small_cache(2, 2);
+        c.insert(BlockAddr::new(1), LineState::Shared);
+        assert!(c.invalidate(BlockAddr::new(1)).is_some());
+        assert!(c.invalidate(BlockAddr::new(1)).is_none());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = small_cache(2, 4);
+        for n in 0..100 {
+            c.insert(BlockAddr::new(n), LineState::Shared);
+            assert!(c.occupancy() <= c.capacity());
+        }
+        assert_eq!(c.occupancy(), c.capacity());
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut c = small_cache(2, 2);
+        c.insert(BlockAddr::new(1), LineState::Shared);
+        c.access(BlockAddr::new(1));
+        c.reset_stats();
+        assert_eq!(c.stats().hits, 0);
+        assert!(c.contains(BlockAddr::new(1)));
+    }
+
+    #[test]
+    fn lines_reports_all_valid_lines() {
+        let mut c = small_cache(2, 2);
+        c.insert(BlockAddr::new(1), LineState::Shared);
+        c.insert(BlockAddr::new(2), LineState::Modified);
+        assert_eq!(c.lines().count(), 2);
+    }
+
+    #[test]
+    fn probe_does_not_perturb_lru() {
+        let mut c = small_cache(2, 1);
+        c.insert(BlockAddr::new(1), LineState::Shared);
+        c.insert(BlockAddr::new(2), LineState::Shared);
+        // Probing 1 must NOT protect it.
+        assert!(c.probe(BlockAddr::new(1)).is_some());
+        let victim = c.insert(BlockAddr::new(3), LineState::Shared).unwrap();
+        assert_eq!(victim.block, BlockAddr::new(1));
+    }
+}

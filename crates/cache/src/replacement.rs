@@ -1,0 +1,208 @@
+//! Replacement policies.
+//!
+//! Each associative set carries a [`ReplacementState`] matching the cache's
+//! [`ReplacementPolicy`]. The paper's machine uses "vanilla LRU"; tree-PLRU
+//! and random are provided for the ablation benches (design-choice studies in
+//! DESIGN.md) and to validate that the characterization trends are not an
+//! artifact of true-LRU bookkeeping.
+
+use consim_types::SimRng;
+
+/// Which replacement policy a cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// True least-recently-used (the paper's "vanilla-LRU").
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU (binary decision tree per set).
+    TreePlru,
+    /// Uniform random victim selection (seeded, deterministic).
+    Random,
+}
+
+/// Per-set replacement bookkeeping.
+#[derive(Debug, Clone)]
+pub enum ReplacementState {
+    /// Way indices ordered most- to least-recently used.
+    Lru(Vec<u16>),
+    /// PLRU tree bits; the way count must be a power of two.
+    TreePlru(Vec<bool>),
+    /// Seeded RNG for victim picks.
+    Random(SimRng),
+}
+
+impl ReplacementState {
+    /// Creates fresh state for a set of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero, or if the policy is
+    /// [`ReplacementPolicy::TreePlru`] and `ways` is not a power of two.
+    pub fn new(policy: ReplacementPolicy, ways: usize, rng_seed: u64) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        match policy {
+            ReplacementPolicy::Lru => {
+                // Initial order: way 0 is the first victim.
+                ReplacementState::Lru((0..ways as u16).rev().collect())
+            }
+            ReplacementPolicy::TreePlru => {
+                assert!(
+                    ways.is_power_of_two(),
+                    "tree-PLRU requires power-of-two associativity, got {ways}"
+                );
+                ReplacementState::TreePlru(vec![false; ways - 1])
+            }
+            ReplacementPolicy::Random => ReplacementState::Random(SimRng::from_seed(rng_seed)),
+        }
+    }
+
+    /// Records a use of `way` (hit or fill) in a set of `ways` ways.
+    pub fn touch(&mut self, way: usize, ways: usize) {
+        match self {
+            ReplacementState::Lru(order) => {
+                let pos = order
+                    .iter()
+                    .position(|&w| w as usize == way)
+                    .expect("way is tracked");
+                let w = order.remove(pos);
+                order.insert(0, w);
+            }
+            ReplacementState::TreePlru(bits) => {
+                // Walk from root to the leaf `way`, pointing each node *away*
+                // from the path taken.
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if way < mid {
+                        bits[node] = true; // protect left, point right
+                        node = 2 * node + 1;
+                        hi = mid;
+                    } else {
+                        bits[node] = false; // protect right, point left
+                        node = 2 * node + 2;
+                        lo = mid;
+                    }
+                }
+            }
+            ReplacementState::Random(_) => {}
+        }
+    }
+
+    /// Picks the victim way for the next eviction in a set of `ways` ways.
+    ///
+    /// Recency state is not modified; the subsequent fill's
+    /// [`ReplacementState::touch`] is what promotes the new line.
+    pub fn victim(&mut self, ways: usize) -> usize {
+        match self {
+            ReplacementState::Lru(order) => *order.last().expect("nonempty") as usize,
+            ReplacementState::TreePlru(bits) => {
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if bits[node] {
+                        node = 2 * node + 2; // points right
+                        lo = mid;
+                    } else {
+                        node = 2 * node + 1; // points left
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+            ReplacementState::Random(rng) => rng.index(ways),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_initial_victim_is_way_zero() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4, 0);
+        assert_eq!(st.victim(4), 0);
+    }
+
+    #[test]
+    fn lru_touch_moves_to_front() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4, 0);
+        st.touch(0, 4);
+        assert_eq!(st.victim(4), 1);
+        st.touch(1, 4);
+        assert_eq!(st.victim(4), 2);
+        st.touch(2, 4);
+        assert_eq!(st.victim(4), 3);
+        st.touch(3, 4);
+        assert_eq!(st.victim(4), 0);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recent_under_mixed_pattern() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4, 0);
+        for w in [0, 1, 2, 3, 1, 0, 3] {
+            st.touch(w, 4);
+        }
+        // Recency (most..least): 3,0,1,2 -> victim 2.
+        assert_eq!(st.victim(4), 2);
+    }
+
+    #[test]
+    fn plru_victim_avoids_recently_touched() {
+        let mut st = ReplacementState::new(ReplacementPolicy::TreePlru, 4, 0);
+        st.touch(0, 4);
+        let v = st.victim(4);
+        assert_ne!(v, 0);
+        st.touch(v, 4);
+        let v2 = st.victim(4);
+        assert_ne!(v2, v);
+    }
+
+    #[test]
+    fn plru_cycles_through_all_ways() {
+        let mut st = ReplacementState::new(ReplacementPolicy::TreePlru, 8, 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let v = st.victim(8);
+            seen.insert(v);
+            st.touch(v, 8);
+        }
+        assert_eq!(seen.len(), 8, "PLRU should visit every way: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plru_rejects_non_power_of_two() {
+        let _ = ReplacementState::new(ReplacementPolicy::TreePlru, 6, 0);
+    }
+
+    #[test]
+    fn random_victims_are_in_range_and_deterministic() {
+        let mut a = ReplacementState::new(ReplacementPolicy::Random, 4, 9);
+        let mut b = ReplacementState::new(ReplacementPolicy::Random, 4, 9);
+        for _ in 0..100 {
+            let va = a.victim(4);
+            let vb = b.victim(4);
+            assert!(va < 4);
+            assert_eq!(va, vb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_rejected() {
+        let _ = ReplacementState::new(ReplacementPolicy::Lru, 0, 0);
+    }
+
+    #[test]
+    fn plru_single_way_set() {
+        // 1-way (direct mapped) degenerates gracefully: no tree bits.
+        let mut st = ReplacementState::new(ReplacementPolicy::TreePlru, 1, 0);
+        st.touch(0, 1);
+        assert_eq!(st.victim(1), 0);
+    }
+}

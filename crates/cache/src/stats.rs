@@ -1,0 +1,116 @@
+//! Per-cache statistics.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated by a [`crate::SetAssocCache`].
+///
+/// # Examples
+///
+/// ```
+/// use consim_cache::CacheStats;
+///
+/// let mut s = CacheStats { hits: 3, misses: 1, ..CacheStats::default() };
+/// assert_eq!(s.accesses(), 4);
+/// assert_eq!(s.miss_rate(), 0.25);
+/// s += CacheStats { hits: 1, ..CacheStats::default() };
+/// assert_eq!(s.hits, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Demand accesses that found the block.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Lines filled.
+    pub insertions: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Evictions of modified lines (require writeback).
+    pub dirty_evictions: u64,
+    /// Lines removed by coherence invalidations.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        let accesses = self.accesses();
+        if accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / accesses as f64
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.insertions += rhs.insertions;
+        self.evictions += rhs.evictions;
+        self.dirty_evictions += rhs.dirty_evictions;
+        self.invalidations += rhs.invalidations;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses={} hits={} misses={} (miss rate {:.2}%) evictions={} (dirty {}) invalidations={}",
+            self.accesses(),
+            self.hits,
+            self.misses,
+            self.miss_rate() * 100.0,
+            self.evictions,
+            self.dirty_evictions,
+            self.invalidations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_of_empty_stats_is_zero() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates_all_fields() {
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            insertions: 3,
+            evictions: 4,
+            dirty_evictions: 5,
+            invalidations: 6,
+        };
+        a += a;
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.misses, 4);
+        assert_eq!(a.insertions, 6);
+        assert_eq!(a.evictions, 8);
+        assert_eq!(a.dirty_evictions, 10);
+        assert_eq!(a.invalidations, 12);
+    }
+
+    #[test]
+    fn display_mentions_rate() {
+        let s = CacheStats {
+            hits: 1,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!(s.to_string().contains("50.00%"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Differential testing: `SetAssocCache` against a naive shadow model.
+//!
+//! The shadow keeps, per set, a plain `Vec` of (block, state) in
+//! most-recently-used order — the textbook definition of an LRU
+//! set-associative cache. Every operation must produce identical hit/miss
+//! results, identical victims, and identical final contents.
+
+use consim_cache::{CacheLine, LineState, ReplacementPolicy, SetAssocCache};
+use consim_types::{BlockAddr, CacheGeometry};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Textbook LRU cache: per-set MRU-ordered vectors.
+struct ShadowCache {
+    sets: Vec<Vec<(u64, LineState)>>,
+    ways: usize,
+}
+
+impl ShadowCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            sets: vec![Vec::new(); sets],
+            ways,
+        }
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.sets.len() as u64) as usize
+    }
+
+    fn access(&mut self, block: u64) -> Option<LineState> {
+        let s = self.set_of(block);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&(b, _)| b == block) {
+            let entry = set.remove(pos);
+            set.insert(0, entry);
+            Some(entry.1)
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, block: u64, state: LineState) -> Option<(u64, LineState)> {
+        let s = self.set_of(block);
+        let ways = self.ways;
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&(b, _)| b == block) {
+            set.remove(pos);
+            set.insert(0, (block, state));
+            return None;
+        }
+        let victim = if set.len() == ways { set.pop() } else { None };
+        set.insert(0, (block, state));
+        victim
+    }
+
+    fn invalidate(&mut self, block: u64) -> Option<(u64, LineState)> {
+        let s = self.set_of(block);
+        let set = &mut self.sets[s];
+        set.iter()
+            .position(|&(b, _)| b == block)
+            .map(|pos| set.remove(pos))
+    }
+
+    fn contents(&self) -> BTreeSet<(u64, LineState)> {
+        self.sets.iter().flatten().copied().collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64),
+    Insert(u64, bool),
+    Invalidate(u64),
+}
+
+fn any_op(max_block: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..max_block).prop_map(Op::Access),
+        (0..max_block, any::<bool>()).prop_map(|(b, d)| Op::Insert(b, d)),
+        (0..max_block).prop_map(Op::Invalidate),
+    ]
+}
+
+fn state_of(dirty: bool) -> LineState {
+    if dirty {
+        LineState::Modified
+    } else {
+        LineState::Shared
+    }
+}
+
+fn line_key(line: &CacheLine) -> (u64, LineState) {
+    (line.block.raw(), line.state)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The real cache and the shadow model agree on every operation's
+    /// result and on the final contents.
+    #[test]
+    fn lru_cache_matches_shadow_model(
+        ops in prop::collection::vec(any_op(128), 1..500),
+        ways in 1usize..8,
+        sets_pow in 0u32..4,
+    ) {
+        let sets = 1usize << sets_pow;
+        let geom = CacheGeometry::new(sets * ways * 64, ways, 1).unwrap();
+        let mut real = SetAssocCache::new(geom, ReplacementPolicy::Lru);
+        let mut shadow = ShadowCache::new(sets, ways);
+
+        for op in ops {
+            match op {
+                Op::Access(b) => {
+                    let r = real.access(BlockAddr::new(b));
+                    let s = shadow.access(b);
+                    prop_assert_eq!(r, s, "access diverged at block {}", b);
+                }
+                Op::Insert(b, dirty) => {
+                    let r = real.insert(BlockAddr::new(b), state_of(dirty));
+                    let s = shadow.insert(b, state_of(dirty));
+                    prop_assert_eq!(
+                        r.as_ref().map(line_key),
+                        s,
+                        "insert victim diverged at block {}", b
+                    );
+                }
+                Op::Invalidate(b) => {
+                    let r = real.invalidate(BlockAddr::new(b));
+                    let s = shadow.invalidate(b);
+                    prop_assert_eq!(
+                        r.as_ref().map(line_key),
+                        s,
+                        "invalidate diverged at block {}", b
+                    );
+                }
+            }
+        }
+        let real_contents: BTreeSet<_> = real.lines().map(line_key).collect();
+        prop_assert_eq!(real_contents, shadow.contents(), "final contents diverged");
+    }
+}

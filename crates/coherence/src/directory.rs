@@ -1,0 +1,509 @@
+//! The full-map MESI directory.
+//!
+//! One logical directory tracks, for every block with on-chip copies in a
+//! private (L1) cache, either a single *owner* holding the block Modified or
+//! a set of *sharers* holding it clean. Directory entries are striped across
+//! the cores by block address (`home_of`), exactly as in the paper's SGI
+//! Origin-style protocol; the simulation engine charges the NoC trip to the
+//! home node for every request.
+//!
+//! [`Directory::handle`] is the protocol transition function: it updates the
+//! entry and reports where the data comes from (a dirty owner, a clean
+//! sharer, or below — the LLC / memory) plus which caches must be
+//! invalidated. That classification is precisely what the paper's Table II
+//! ("percent of accesses resulting in a cache-to-cache transfer, clean vs
+//! dirty") measures.
+
+use crate::coreset::CoreSet;
+use crate::stats::ProtocolStats;
+use consim_types::{BlockAddr, CoreId, NodeId, SimError};
+use std::collections::HashMap;
+
+/// The kind of private-cache miss being resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load miss: the requester wants a readable copy.
+    Read,
+    /// A store miss: the requester wants an exclusive, writable copy.
+    Write,
+    /// A store hit on a Shared line: the requester already has the data and
+    /// only needs exclusivity (invalidation of other sharers).
+    Upgrade,
+}
+
+/// Where the data for a request comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataSource {
+    /// Forwarded from the owning cache, which held the line Modified.
+    DirtyCache(CoreId),
+    /// Forwarded from a cache holding the line clean (Shared/Exclusive).
+    CleanCache(CoreId),
+    /// No private cache can supply it — satisfied by the LLC or memory.
+    Below,
+    /// No data movement needed (upgrade: requester already holds the line).
+    None,
+}
+
+impl DataSource {
+    /// Whether this request was satisfied by a cache-to-cache transfer.
+    pub fn is_cache_to_cache(self) -> bool {
+        matches!(self, DataSource::DirtyCache(_) | DataSource::CleanCache(_))
+    }
+
+    /// Whether the request must be satisfied by the LLC or memory.
+    pub fn is_below(self) -> bool {
+        matches!(self, DataSource::Below)
+    }
+}
+
+/// The directory's answer to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Where the data comes from.
+    pub source: DataSource,
+    /// Caches that must invalidate their copies (excludes the requester).
+    pub invalidate: Vec<CoreId>,
+    /// Whether a dirty copy was written back toward the home (read of a
+    /// Modified line downgrades the owner and pushes data down).
+    pub writeback: bool,
+    /// Whether the requester ends up with write permission.
+    pub exclusive: bool,
+}
+
+/// A directory entry: either one owner (Modified) or a sharer set (clean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct DirEntry {
+    owner: Option<CoreId>,
+    sharers: CoreSet,
+}
+
+impl DirEntry {
+    fn is_empty(&self) -> bool {
+        self.owner.is_none() && self.sharers.is_empty()
+    }
+}
+
+/// The full-map directory for one machine.
+///
+/// # Examples
+///
+/// ```
+/// use consim_coherence::{AccessKind, DataSource, Directory};
+/// use consim_types::{BlockAddr, CoreId};
+///
+/// let mut dir = Directory::new(16);
+/// let blk = BlockAddr::new(7);
+/// dir.handle(CoreId::new(0), blk, AccessKind::Write);
+/// // A read by another core is served dirty from core 0's cache.
+/// let out = dir.handle(CoreId::new(1), blk, AccessKind::Read);
+/// assert_eq!(out.source, DataSource::DirtyCache(CoreId::new(0)));
+/// assert!(out.writeback);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    num_cores: usize,
+    entries: HashMap<BlockAddr, DirEntry>,
+    stats: ProtocolStats,
+}
+
+impl Directory {
+    /// Creates an empty directory for a machine of `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is 0 or exceeds [`CoreSet::MAX_CORES`].
+    pub fn new(num_cores: usize) -> Self {
+        assert!(
+            (1..=CoreSet::MAX_CORES).contains(&num_cores),
+            "core count out of range"
+        );
+        Self {
+            num_cores,
+            entries: HashMap::new(),
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    /// The home node whose directory slice owns `block` (striped by block
+    /// address, as in the paper).
+    pub fn home_of(&self, block: BlockAddr) -> NodeId {
+        NodeId::new((block.raw() % self.num_cores as u64) as usize)
+    }
+
+    /// Resolves one private-cache miss (or upgrade), updating the sharer
+    /// state and returning what must happen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requester` is outside the machine.
+    pub fn handle(&mut self, requester: CoreId, block: BlockAddr, kind: AccessKind) -> Outcome {
+        assert!(requester.index() < self.num_cores, "requester outside machine");
+        self.stats.requests += 1;
+        let entry = self.entries.entry(block).or_default();
+        let outcome = match kind {
+            AccessKind::Read => {
+                if let Some(owner) = entry.owner {
+                    debug_assert_ne!(owner, requester, "owner re-requesting read");
+                    // Dirty c2c: owner forwards, both end up sharers; the
+                    // dirty data is also written back toward the home.
+                    entry.owner = None;
+                    entry.sharers.insert(owner);
+                    entry.sharers.insert(requester);
+                    Outcome {
+                        source: DataSource::DirtyCache(owner),
+                        invalidate: Vec::new(),
+                        writeback: true,
+                        exclusive: false,
+                    }
+                } else if !entry.sharers.is_empty() {
+                    // Clean c2c from an existing sharer (the engine picks
+                    // the nearest; we report the full candidate set via
+                    // `sharers_of`). Representative: lowest-index sharer.
+                    let supplier = entry
+                        .sharers
+                        .iter()
+                        .find(|&c| c != requester)
+                        .expect("non-requester sharer exists");
+                    entry.sharers.insert(requester);
+                    Outcome {
+                        source: DataSource::CleanCache(supplier),
+                        invalidate: Vec::new(),
+                        writeback: false,
+                        exclusive: false,
+                    }
+                } else {
+                    // First on-chip private copy: Exclusive.
+                    entry.sharers.insert(requester);
+                    Outcome {
+                        source: DataSource::Below,
+                        invalidate: Vec::new(),
+                        writeback: false,
+                        exclusive: true,
+                    }
+                }
+            }
+            AccessKind::Write => {
+                if let Some(owner) = entry.owner {
+                    debug_assert_ne!(owner, requester, "owner re-requesting write");
+                    entry.owner = Some(requester);
+                    entry.sharers = CoreSet::EMPTY;
+                    Outcome {
+                        source: DataSource::DirtyCache(owner),
+                        invalidate: vec![owner],
+                        writeback: false,
+                        exclusive: true,
+                    }
+                } else if !entry.sharers.is_empty() {
+                    let supplier = entry.sharers.iter().find(|&c| c != requester);
+                    let invalidate: Vec<CoreId> =
+                        entry.sharers.iter().filter(|&c| c != requester).collect();
+                    entry.sharers = CoreSet::EMPTY;
+                    entry.owner = Some(requester);
+                    match supplier {
+                        Some(s) => Outcome {
+                            source: DataSource::CleanCache(s),
+                            invalidate,
+                            writeback: false,
+                            exclusive: true,
+                        },
+                        // Requester was the only sharer: silent upgrade.
+                        None => Outcome {
+                            source: DataSource::None,
+                            invalidate,
+                            writeback: false,
+                            exclusive: true,
+                        },
+                    }
+                } else {
+                    entry.owner = Some(requester);
+                    Outcome {
+                        source: DataSource::Below,
+                        invalidate: Vec::new(),
+                        writeback: false,
+                        exclusive: true,
+                    }
+                }
+            }
+            AccessKind::Upgrade => {
+                debug_assert!(
+                    entry.sharers.contains(requester),
+                    "upgrade from a non-sharer"
+                );
+                let invalidate: Vec<CoreId> =
+                    entry.sharers.iter().filter(|&c| c != requester).collect();
+                entry.owner = Some(requester);
+                entry.sharers = CoreSet::EMPTY;
+                self.stats.upgrades += 1;
+                Outcome {
+                    source: DataSource::None,
+                    invalidate,
+                    writeback: false,
+                    exclusive: true,
+                }
+            }
+        };
+        self.stats.record_outcome(&outcome);
+        outcome
+    }
+
+    /// Notifies the directory that `core` evicted its copy of `block`
+    /// (replacement hint, keeps the full map exact).
+    ///
+    /// Returns `true` if the eviction removed a Modified copy (the caller
+    /// must write the data back toward memory).
+    pub fn evict(&mut self, core: CoreId, block: BlockAddr) -> bool {
+        let Some(entry) = self.entries.get_mut(&block) else {
+            return false;
+        };
+        let was_owner = entry.owner == Some(core);
+        if was_owner {
+            entry.owner = None;
+        } else {
+            entry.sharers.remove(core);
+        }
+        if entry.is_empty() {
+            self.entries.remove(&block);
+        }
+        was_owner
+    }
+
+    /// Current sharer set for a block (owner included), for nearest-supplier
+    /// selection and invariant checks.
+    pub fn sharers_of(&self, block: BlockAddr) -> CoreSet {
+        match self.entries.get(&block) {
+            Some(e) => {
+                let mut set = e.sharers;
+                if let Some(o) = e.owner {
+                    set.insert(o);
+                }
+                set
+            }
+            None => CoreSet::EMPTY,
+        }
+    }
+
+    /// Current Modified owner of a block, if any.
+    pub fn owner_of(&self, block: BlockAddr) -> Option<CoreId> {
+        self.entries.get(&block).and_then(|e| e.owner)
+    }
+
+    /// Number of blocks with tracked on-chip copies.
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Accumulated protocol statistics.
+    pub fn stats(&self) -> &ProtocolStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (not the sharer state).
+    pub fn reset_stats(&mut self) {
+        self.stats = ProtocolStats::default();
+    }
+
+    /// Checks the directory's structural invariants; used by tests and
+    /// debug assertions in the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invariant`] if an entry has both an owner and
+    /// sharers, or references a core outside the machine.
+    pub fn check_invariants(&self) -> Result<(), SimError> {
+        for (block, entry) in &self.entries {
+            if entry.owner.is_some() && !entry.sharers.is_empty() {
+                return Err(SimError::invariant(format!(
+                    "{block} has both an owner and sharers"
+                )));
+            }
+            if entry.is_empty() {
+                return Err(SimError::invariant(format!("{block} has an empty entry")));
+            }
+            let mut members = entry.sharers;
+            if let Some(o) = entry.owner {
+                members.insert(o);
+            }
+            for core in members.iter() {
+                if core.index() >= self.num_cores {
+                    return Err(SimError::invariant(format!(
+                        "{block} tracks out-of-range {core}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> Directory {
+        Directory::new(16)
+    }
+
+    fn blk(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    fn core(n: usize) -> CoreId {
+        CoreId::new(n)
+    }
+
+    #[test]
+    fn first_read_comes_from_below_exclusive() {
+        let mut d = dir();
+        let out = d.handle(core(0), blk(1), AccessKind::Read);
+        assert_eq!(out.source, DataSource::Below);
+        assert!(out.exclusive);
+        assert!(out.invalidate.is_empty());
+        assert_eq!(d.sharers_of(blk(1)).len(), 1);
+    }
+
+    #[test]
+    fn second_read_is_clean_c2c() {
+        let mut d = dir();
+        d.handle(core(0), blk(1), AccessKind::Read);
+        let out = d.handle(core(1), blk(1), AccessKind::Read);
+        assert_eq!(out.source, DataSource::CleanCache(core(0)));
+        assert!(!out.writeback);
+        assert_eq!(d.sharers_of(blk(1)).len(), 2);
+    }
+
+    #[test]
+    fn read_of_modified_line_is_dirty_c2c_with_writeback() {
+        let mut d = dir();
+        d.handle(core(0), blk(1), AccessKind::Write);
+        let out = d.handle(core(1), blk(1), AccessKind::Read);
+        assert_eq!(out.source, DataSource::DirtyCache(core(0)));
+        assert!(out.writeback);
+        assert!(!out.exclusive);
+        assert_eq!(d.owner_of(blk(1)), None);
+        assert_eq!(d.sharers_of(blk(1)).len(), 2);
+    }
+
+    #[test]
+    fn write_invalidate_all_sharers() {
+        let mut d = dir();
+        for c in 0..4 {
+            d.handle(core(c), blk(1), AccessKind::Read);
+        }
+        let out = d.handle(core(9), blk(1), AccessKind::Write);
+        assert_eq!(out.invalidate.len(), 4);
+        assert!(out.exclusive);
+        assert_eq!(d.owner_of(blk(1)), Some(core(9)));
+        assert_eq!(d.sharers_of(blk(1)).len(), 1);
+    }
+
+    #[test]
+    fn write_steals_dirty_line_from_owner() {
+        let mut d = dir();
+        d.handle(core(0), blk(1), AccessKind::Write);
+        let out = d.handle(core(5), blk(1), AccessKind::Write);
+        assert_eq!(out.source, DataSource::DirtyCache(core(0)));
+        assert_eq!(out.invalidate, vec![core(0)]);
+        assert_eq!(d.owner_of(blk(1)), Some(core(5)));
+    }
+
+    #[test]
+    fn upgrade_invalidates_other_sharers_without_data() {
+        let mut d = dir();
+        d.handle(core(0), blk(1), AccessKind::Read);
+        d.handle(core(1), blk(1), AccessKind::Read);
+        let out = d.handle(core(0), blk(1), AccessKind::Upgrade);
+        assert_eq!(out.source, DataSource::None);
+        assert_eq!(out.invalidate, vec![core(1)]);
+        assert_eq!(d.owner_of(blk(1)), Some(core(0)));
+    }
+
+    #[test]
+    fn sole_sharer_write_is_silent_upgrade() {
+        let mut d = dir();
+        d.handle(core(3), blk(1), AccessKind::Read);
+        let out = d.handle(core(3), blk(1), AccessKind::Write);
+        assert_eq!(out.source, DataSource::None);
+        assert!(out.invalidate.is_empty());
+        assert_eq!(d.owner_of(blk(1)), Some(core(3)));
+    }
+
+    #[test]
+    fn eviction_of_owner_reports_writeback() {
+        let mut d = dir();
+        d.handle(core(0), blk(1), AccessKind::Write);
+        assert!(d.evict(core(0), blk(1)));
+        assert_eq!(d.tracked_blocks(), 0);
+    }
+
+    #[test]
+    fn eviction_of_sharer_is_clean() {
+        let mut d = dir();
+        d.handle(core(0), blk(1), AccessKind::Read);
+        d.handle(core(1), blk(1), AccessKind::Read);
+        assert!(!d.evict(core(0), blk(1)));
+        assert_eq!(d.sharers_of(blk(1)).len(), 1);
+    }
+
+    #[test]
+    fn eviction_of_untracked_block_is_noop() {
+        let mut d = dir();
+        assert!(!d.evict(core(0), blk(42)));
+    }
+
+    #[test]
+    fn homes_are_striped_across_all_cores() {
+        let d = dir();
+        let homes: std::collections::HashSet<_> =
+            (0..64).map(|n| d.home_of(blk(n))).collect();
+        assert_eq!(homes.len(), 16);
+        assert_eq!(d.home_of(blk(17)), NodeId::new(1));
+    }
+
+    #[test]
+    fn invariants_hold_under_mixed_traffic() {
+        let mut d = dir();
+        for i in 0..200u64 {
+            let c = core((i % 16) as usize);
+            let b = blk(i % 7);
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            // Writers that already share must upgrade instead; emulate the
+            // engine's behavior.
+            if kind == AccessKind::Write && d.sharers_of(b).contains(c) && d.owner_of(b) != Some(c)
+            {
+                d.handle(c, b, AccessKind::Upgrade);
+            } else if d.owner_of(b) == Some(c) {
+                // Hit in own cache; nothing to ask the directory.
+            } else if kind == AccessKind::Read && d.sharers_of(b).contains(c) {
+                // Read hit.
+            } else {
+                d.handle(c, b, kind);
+            }
+            d.check_invariants().unwrap();
+        }
+        assert!(d.stats().requests > 0);
+    }
+
+    #[test]
+    fn stats_classify_c2c() {
+        let mut d = dir();
+        d.handle(core(0), blk(1), AccessKind::Write);
+        d.handle(core(1), blk(1), AccessKind::Read); // dirty c2c
+        d.handle(core(2), blk(1), AccessKind::Read); // clean c2c
+        d.handle(core(3), blk(2), AccessKind::Read); // below
+        let s = d.stats();
+        assert_eq!(s.dirty_transfers, 1);
+        assert_eq!(s.clean_transfers, 1);
+        assert_eq!(s.from_below, 2);
+        assert_eq!(s.cache_to_cache(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside machine")]
+    fn out_of_range_requester_panics() {
+        dir().handle(core(16), blk(0), AccessKind::Read);
+    }
+}

@@ -1,0 +1,165 @@
+//! Protocol event counters.
+
+use crate::directory::{DataSource, Outcome};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated by a [`crate::Directory`].
+///
+/// The clean/dirty cache-to-cache split is the statistic the paper reports
+/// in Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtocolStats {
+    /// Requests resolved by the directory.
+    pub requests: u64,
+    /// Requests served by a clean cache-to-cache transfer.
+    pub clean_transfers: u64,
+    /// Requests served by a dirty cache-to-cache transfer.
+    pub dirty_transfers: u64,
+    /// Requests satisfied below the private caches (LLC or memory).
+    pub from_below: u64,
+    /// Upgrades (exclusivity without data movement).
+    pub upgrades: u64,
+    /// Invalidation messages sent.
+    pub invalidations: u64,
+    /// Dirty writebacks triggered by reads of Modified lines.
+    pub writebacks: u64,
+}
+
+impl ProtocolStats {
+    /// Records the classification of one request outcome.
+    pub fn record_outcome(&mut self, outcome: &Outcome) {
+        match outcome.source {
+            DataSource::CleanCache(_) => self.clean_transfers += 1,
+            DataSource::DirtyCache(_) => self.dirty_transfers += 1,
+            DataSource::Below => self.from_below += 1,
+            DataSource::None => {}
+        }
+        self.invalidations += outcome.invalidate.len() as u64;
+        if outcome.writeback {
+            self.writebacks += 1;
+        }
+    }
+
+    /// Total cache-to-cache transfers.
+    pub fn cache_to_cache(&self) -> u64 {
+        self.clean_transfers + self.dirty_transfers
+    }
+
+    /// Fraction of requests served cache-to-cache, in `[0, 1]`.
+    pub fn cache_to_cache_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_to_cache() as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of cache-to-cache transfers that were dirty, in `[0, 1]`.
+    pub fn dirty_fraction(&self) -> f64 {
+        let c2c = self.cache_to_cache();
+        if c2c == 0 {
+            0.0
+        } else {
+            self.dirty_transfers as f64 / c2c as f64
+        }
+    }
+}
+
+impl AddAssign for ProtocolStats {
+    fn add_assign(&mut self, rhs: ProtocolStats) {
+        self.requests += rhs.requests;
+        self.clean_transfers += rhs.clean_transfers;
+        self.dirty_transfers += rhs.dirty_transfers;
+        self.from_below += rhs.from_below;
+        self.upgrades += rhs.upgrades;
+        self.invalidations += rhs.invalidations;
+        self.writebacks += rhs.writebacks;
+    }
+}
+
+impl fmt::Display for ProtocolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requests={} c2c={} ({:.1}% of requests, {:.1}% dirty) below={} upgrades={} invals={} writebacks={}",
+            self.requests,
+            self.cache_to_cache(),
+            self.cache_to_cache_fraction() * 100.0,
+            self.dirty_fraction() * 100.0,
+            self.from_below,
+            self.upgrades,
+            self.invalidations,
+            self.writebacks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consim_types::CoreId;
+
+    #[test]
+    fn fractions_on_empty_stats() {
+        let s = ProtocolStats::default();
+        assert_eq!(s.cache_to_cache_fraction(), 0.0);
+        assert_eq!(s.dirty_fraction(), 0.0);
+    }
+
+    #[test]
+    fn record_outcome_classifies() {
+        let mut s = ProtocolStats::default();
+        s.record_outcome(&Outcome {
+            source: DataSource::DirtyCache(CoreId::new(1)),
+            invalidate: vec![CoreId::new(1)],
+            writeback: false,
+            exclusive: true,
+        });
+        s.record_outcome(&Outcome {
+            source: DataSource::CleanCache(CoreId::new(2)),
+            invalidate: Vec::new(),
+            writeback: false,
+            exclusive: false,
+        });
+        s.record_outcome(&Outcome {
+            source: DataSource::Below,
+            invalidate: Vec::new(),
+            writeback: false,
+            exclusive: true,
+        });
+        assert_eq!(s.cache_to_cache(), 2);
+        assert_eq!(s.dirty_fraction(), 0.5);
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.from_below, 1);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = ProtocolStats {
+            requests: 1,
+            clean_transfers: 2,
+            dirty_transfers: 3,
+            from_below: 4,
+            upgrades: 5,
+            invalidations: 6,
+            writebacks: 7,
+        };
+        a += a;
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.writebacks, 14);
+    }
+
+    #[test]
+    fn display_mentions_c2c() {
+        let s = ProtocolStats {
+            requests: 10,
+            clean_transfers: 3,
+            dirty_transfers: 2,
+            ..ProtocolStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("c2c=5"));
+        assert!(text.contains("40.0% dirty"));
+    }
+}

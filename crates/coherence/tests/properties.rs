@@ -1,0 +1,160 @@
+//! Property-based tests for the directory protocol.
+
+use consim_coherence::{AccessKind, DataSource, Directory};
+use consim_types::{BlockAddr, CoreId};
+use proptest::prelude::*;
+
+/// A requester action proptest can drive against the directory, mirroring
+/// how the engine uses it (writers that already share a line upgrade; cores
+/// that already hold sufficient permission don't re-request).
+#[derive(Debug, Clone, Copy)]
+struct Action {
+    core: usize,
+    block: u64,
+    write: bool,
+    evict: bool,
+}
+
+fn any_action() -> impl Strategy<Value = Action> {
+    (0usize..16, 0u64..12, any::<bool>(), prop::bool::weighted(0.2)).prop_map(
+        |(core, block, write, evict)| Action {
+            core,
+            block,
+            write,
+            evict,
+        },
+    )
+}
+
+fn drive(dir: &mut Directory, a: Action) {
+    let core = CoreId::new(a.core);
+    let block = BlockAddr::new(a.block);
+    if a.evict {
+        dir.evict(core, block);
+        return;
+    }
+    let holds = dir.sharers_of(block).contains(core);
+    let owns = dir.owner_of(block) == Some(core);
+    if a.write {
+        if owns {
+            // Write hit on Modified: nothing to do.
+        } else if holds {
+            dir.handle(core, block, AccessKind::Upgrade);
+        } else {
+            dir.handle(core, block, AccessKind::Write);
+        }
+    } else if !holds && !owns {
+        dir.handle(core, block, AccessKind::Read);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Structural invariants hold under arbitrary request/evict interleaving:
+    /// never both an owner and sharers; no empty or out-of-range entries.
+    #[test]
+    fn invariants_under_arbitrary_traffic(actions in prop::collection::vec(any_action(), 1..300)) {
+        let mut dir = Directory::new(16);
+        for a in actions {
+            drive(&mut dir, a);
+            dir.check_invariants().unwrap();
+        }
+    }
+
+    /// After a write, the writer is the sole tracked holder.
+    #[test]
+    fn writes_serialize_ownership(
+        setup in prop::collection::vec(any_action(), 0..100),
+        writer in 0usize..16,
+        block in 0u64..12,
+    ) {
+        let mut dir = Directory::new(16);
+        for a in setup {
+            drive(&mut dir, a);
+        }
+        let core = CoreId::new(writer);
+        let blk = BlockAddr::new(block);
+        drive(&mut dir, Action { core: writer, block, write: true, evict: false });
+        prop_assert_eq!(dir.owner_of(blk), Some(core));
+        let sharers = dir.sharers_of(blk);
+        prop_assert_eq!(sharers.len(), 1);
+        prop_assert!(sharers.contains(core));
+    }
+
+    /// A dirty transfer is only ever sourced from the previous owner, and a
+    /// clean transfer only from a previous sharer.
+    #[test]
+    fn transfer_sources_are_real_holders(actions in prop::collection::vec(any_action(), 1..200)) {
+        let mut dir = Directory::new(16);
+        for a in actions {
+            if a.evict {
+                dir.evict(CoreId::new(a.core), BlockAddr::new(a.block));
+                continue;
+            }
+            let core = CoreId::new(a.core);
+            let block = BlockAddr::new(a.block);
+            let holders_before = dir.sharers_of(block);
+            let owner_before = dir.owner_of(block);
+            let holds = holders_before.contains(core);
+            let owns = owner_before == Some(core);
+            if a.write && owns { continue; }
+            let outcome = if a.write {
+                if holds {
+                    dir.handle(core, block, AccessKind::Upgrade)
+                } else {
+                    dir.handle(core, block, AccessKind::Write)
+                }
+            } else {
+                if holds || owns { continue; }
+                dir.handle(core, block, AccessKind::Read)
+            };
+            match outcome.source {
+                DataSource::DirtyCache(src) => prop_assert_eq!(Some(src), owner_before),
+                DataSource::CleanCache(src) => {
+                    prop_assert!(holders_before.contains(src));
+                    prop_assert_ne!(src, core);
+                }
+                DataSource::Below => prop_assert!(holders_before.is_empty()),
+                DataSource::None => {}
+            }
+        }
+    }
+
+    /// Request accounting balances: every request lands in exactly one of
+    /// clean/dirty/below/none buckets.
+    #[test]
+    fn stats_partition_requests(actions in prop::collection::vec(any_action(), 1..200)) {
+        let mut dir = Directory::new(16);
+        let mut handled = 0u64;
+        let mut none_sourced = 0u64;
+        for a in actions {
+            if a.evict {
+                dir.evict(CoreId::new(a.core), BlockAddr::new(a.block));
+                continue;
+            }
+            let core = CoreId::new(a.core);
+            let block = BlockAddr::new(a.block);
+            let holds = dir.sharers_of(block).contains(core);
+            let owns = dir.owner_of(block) == Some(core);
+            let outcome = if a.write {
+                if owns { continue; }
+                if holds {
+                    dir.handle(core, block, AccessKind::Upgrade)
+                } else {
+                    dir.handle(core, block, AccessKind::Write)
+                }
+            } else {
+                if holds || owns { continue; }
+                dir.handle(core, block, AccessKind::Read)
+            };
+            handled += 1;
+            if outcome.source == DataSource::None {
+                none_sourced += 1;
+            }
+        }
+        let s = dir.stats();
+        prop_assert_eq!(s.requests, handled);
+        prop_assert_eq!(s.clean_transfers + s.dirty_transfers + s.from_below + none_sourced, handled);
+    }
+}

@@ -1,0 +1,1296 @@
+//! The discrete-event consolidation simulator.
+//!
+//! One [`Simulation`] models one experimental run: a machine configuration,
+//! a scheduling policy, and a list of workload instances (VMs). In-order
+//! cores alternate compute gaps and memory references; every reference
+//! walks the hierarchy L0 → L1 → directory → {remote L1 (cache-to-cache),
+//! LLC bank, remote LLC bank, memory}, with each protocol message routed —
+//! and contended — on the mesh.
+//!
+//! ## Timing model
+//!
+//! Events are (ready-cycle, core) pairs in a binary heap; cores have one
+//! outstanding miss each (matching the paper's in-order Niagara-like cores),
+//! so a core's next event is scheduled at its previous access's completion.
+//! Protocol state (caches, directory) is updated when the transaction is
+//! processed; concurrent transactions to the same block are serialized in
+//! event order. This transaction-level approximation preserves the paper's
+//! measured quantities (miss classification, latency composition,
+//! contention) without flit-level cost — see DESIGN.md §1.
+//!
+//! ## Protocol walk of one L1 miss
+//!
+//! 1. Control packet to the block's home directory node (striped by block
+//!    address); directory-cache miss adds one off-chip latency.
+//! 2. Directory classifies the request ([`consim_coherence::Directory`]):
+//!    * dirty in a remote L1 → 3-hop forward, dirty cache-to-cache transfer
+//!      (plus a sharing writeback to the memory controller, off the
+//!      critical path);
+//!    * clean in remote L1s → clean transfer from the *nearest* sharer;
+//!    * otherwise → the requester's own LLC bank; on a bank miss, the
+//!      nearest *other* bank holding the block serves it (and the local
+//!      bank is filled — replication); on a global LLC miss, memory.
+//! 3. Writes additionally invalidate every other sharer and wait for the
+//!    slowest acknowledgement.
+//! 4. Fills may evict: dirty L1 victims write back into the local LLC bank;
+//!    dirty LLC victims write back to memory.
+
+use crate::machine::Layout;
+use crate::metrics::{MissSource, OccupancySnapshot, ReplicationSnapshot, VmMetrics};
+use consim_cache::{LineState, ReplacementPolicy, SetAssocCache};
+use consim_coherence::{AccessKind, DataSource, Directory, DirectoryCache, ProtocolStats};
+use consim_noc::{ContentionModel, NocStats, Packet, ReservationCalendar};
+use consim_sched::{place, Placement, SchedulingPolicy};
+use consim_types::config::MachineConfig;
+use consim_types::{
+    BankId, BlockAddr, CoreId, Cycle, GlobalThreadId, SimError, SimRng, VmId,
+};
+use consim_workload::{MemRef, WorkloadGenerator, WorkloadProfile};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Everything needed to run one simulation.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// The hardware.
+    pub machine: MachineConfig,
+    /// Thread-to-core policy.
+    pub policy: SchedulingPolicy,
+    /// One profile per VM, in VM order.
+    pub workloads: Vec<WorkloadProfile>,
+    /// Root seed; all randomness derives from it.
+    pub seed: u64,
+    /// Measured references per VM (the transaction quota).
+    pub refs_per_vm: u64,
+    /// Warmup references per VM before measurement starts.
+    pub warmup_refs_per_vm: u64,
+    /// Whether to track unique blocks per VM (Table II footprints).
+    pub track_footprint: bool,
+    /// Replacement policy of the LLC banks (the paper's machine uses
+    /// vanilla LRU; the others support the DESIGN.md ablation study).
+    pub llc_replacement: ReplacementPolicy,
+    /// Pre-fill the LLC banks with each workload's hottest blocks before
+    /// warmup, mimicking the paper's warmed checkpoints. Shortens the
+    /// warmup needed to reach steady state.
+    pub prewarm_llc: bool,
+    /// Re-place threads onto cores every this many cycles (the paper's
+    /// future-work "dynamically adjusting assignments in response to
+    /// context switches"). `None` (the default) matches the paper's static
+    /// binding. Each epoch re-runs the scheduling policy with a fresh
+    /// random stream, so migrating threads abandon their warm caches.
+    pub reschedule_every: Option<u64>,
+}
+
+impl SimulationConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> SimulationConfigBuilder {
+        SimulationConfigBuilder::new()
+    }
+}
+
+/// Builder for [`SimulationConfig`] ([C-BUILDER]).
+#[derive(Debug, Clone)]
+pub struct SimulationConfigBuilder {
+    machine: MachineConfig,
+    policy: SchedulingPolicy,
+    workloads: Vec<WorkloadProfile>,
+    seed: u64,
+    refs_per_vm: u64,
+    warmup_refs_per_vm: u64,
+    track_footprint: bool,
+    llc_replacement: ReplacementPolicy,
+    prewarm_llc: bool,
+    reschedule_every: Option<u64>,
+}
+
+impl SimulationConfigBuilder {
+    /// Starts from the paper's machine, affinity policy, no workloads.
+    pub fn new() -> Self {
+        Self {
+            machine: MachineConfig::paper_default(),
+            policy: SchedulingPolicy::Affinity,
+            workloads: Vec::new(),
+            seed: 0,
+            refs_per_vm: 100_000,
+            warmup_refs_per_vm: 50_000,
+            track_footprint: false,
+            llc_replacement: ReplacementPolicy::Lru,
+            prewarm_llc: false,
+            reschedule_every: None,
+        }
+    }
+
+    /// Sets the machine.
+    pub fn machine(&mut self, machine: MachineConfig) -> &mut Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn policy(&mut self, policy: SchedulingPolicy) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Adds one workload instance (VM).
+    pub fn workload(&mut self, profile: WorkloadProfile) -> &mut Self {
+        self.workloads.push(profile);
+        self
+    }
+
+    /// Adds `count` instances of the same profile.
+    pub fn workload_instances(&mut self, profile: &WorkloadProfile, count: usize) -> &mut Self {
+        for _ in 0..count {
+            self.workloads.push(profile.clone());
+        }
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the measured reference quota per VM.
+    pub fn refs_per_vm(&mut self, refs: u64) -> &mut Self {
+        self.refs_per_vm = refs;
+        self
+    }
+
+    /// Sets the warmup reference quota per VM.
+    pub fn warmup_refs_per_vm(&mut self, refs: u64) -> &mut Self {
+        self.warmup_refs_per_vm = refs;
+        self
+    }
+
+    /// Enables or disables footprint tracking.
+    pub fn track_footprint(&mut self, on: bool) -> &mut Self {
+        self.track_footprint = on;
+        self
+    }
+
+    /// Sets the LLC banks' replacement policy (ablation knob; the paper's
+    /// machine uses LRU).
+    pub fn llc_replacement(&mut self, policy: ReplacementPolicy) -> &mut Self {
+        self.llc_replacement = policy;
+        self
+    }
+
+    /// Enables checkpoint-style LLC prewarming (see
+    /// [`SimulationConfig::prewarm_llc`]).
+    pub fn prewarm_llc(&mut self, on: bool) -> &mut Self {
+        self.prewarm_llc = on;
+        self
+    }
+
+    /// Enables periodic dynamic rescheduling (see
+    /// [`SimulationConfig::reschedule_every`]).
+    pub fn reschedule_every(&mut self, cycles: u64) -> &mut Self {
+        self.reschedule_every = Some(cycles);
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if no workloads were added, a
+    /// profile is invalid, the quota is zero, or the mix oversubscribes the
+    /// machine.
+    pub fn build(&self) -> Result<SimulationConfig, SimError> {
+        if self.workloads.is_empty() {
+            return Err(SimError::invalid_config("at least one workload is required"));
+        }
+        if self.refs_per_vm == 0 {
+            return Err(SimError::invalid_config("refs_per_vm must be nonzero"));
+        }
+        for w in &self.workloads {
+            w.validate()?;
+        }
+        if self.reschedule_every == Some(0) {
+            return Err(SimError::invalid_config(
+                "reschedule interval must be nonzero",
+            ));
+        }
+        let threads: usize = self.workloads.iter().map(|w| w.threads).sum();
+        if threads > self.machine.num_cores {
+            return Err(SimError::invalid_config(format!(
+                "{threads} threads oversubscribe {} cores",
+                self.machine.num_cores
+            )));
+        }
+        Ok(SimulationConfig {
+            machine: self.machine.clone(),
+            policy: self.policy,
+            workloads: self.workloads.clone(),
+            seed: self.seed,
+            refs_per_vm: self.refs_per_vm,
+            warmup_refs_per_vm: self.warmup_refs_per_vm,
+            track_footprint: self.track_footprint,
+            llc_replacement: self.llc_replacement,
+            prewarm_llc: self.prewarm_llc,
+            reschedule_every: self.reschedule_every,
+        })
+    }
+}
+
+impl Default for SimulationConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// Per-VM metrics over the measurement interval.
+    pub vm_metrics: Vec<VmMetrics>,
+    /// LLC replication snapshot at measurement end (Fig. 12).
+    pub replication: ReplicationSnapshot,
+    /// LLC occupancy snapshot at measurement end (Fig. 13).
+    pub occupancy: OccupancySnapshot,
+    /// Interconnect statistics over the measurement interval.
+    pub noc: NocStats,
+    /// Directory protocol statistics over the measurement interval.
+    pub protocol: ProtocolStats,
+    /// The placement used.
+    pub placement: Placement,
+    /// Cycles from measurement start until the last VM completed.
+    pub measured_cycles: u64,
+    /// Mean directory-cache hit rate across home nodes.
+    pub dircache_hit_rate: f64,
+    /// Mean utilization across mesh links over the measurement interval.
+    pub noc_mean_utilization: f64,
+    /// Utilization of the busiest mesh link.
+    pub noc_peak_utilization: f64,
+}
+
+/// One experimental run of the consolidation machine.
+///
+/// See the [module docs](self) for the timing model; see
+/// [`SimulationConfig`] for the knobs.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimulationConfig,
+    layout: Layout,
+    placement: Placement,
+    /// `core_thread[core]` = the thread bound there, if any.
+    core_thread: Vec<Option<GlobalThreadId>>,
+    l0: Vec<SetAssocCache>,
+    l1: Vec<SetAssocCache>,
+    llc: Vec<SetAssocCache>,
+    directory: Directory,
+    dircaches: Vec<DirectoryCache>,
+    noc: ContentionModel,
+    /// One service calendar per memory controller (bandwidth model).
+    memory_controllers: Vec<ReservationCalendar>,
+    generators: Vec<WorkloadGenerator>,
+    gap_rngs: Vec<SimRng>,
+    metrics: Vec<VmMetrics>,
+    /// Epoch counter for dynamic rescheduling.
+    resched_epoch: u64,
+}
+
+impl Simulation {
+    /// Builds the machine and places the mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the layout or placement fails.
+    pub fn new(config: SimulationConfig) -> Result<Self, SimError> {
+        let machine = &config.machine;
+        let layout = Layout::new(machine)?;
+        let root = SimRng::from_seed(config.seed);
+        let vm_threads: Vec<usize> = config.workloads.iter().map(|w| w.threads).collect();
+        let placement = place(config.policy, machine, &vm_threads, &root)?;
+
+        let mut core_thread = vec![None; machine.num_cores];
+        for (thread, core) in placement.iter() {
+            core_thread[core.index()] = Some(thread);
+        }
+
+        let l0 = (0..machine.num_cores)
+            .map(|_| SetAssocCache::new(machine.l0, ReplacementPolicy::Lru))
+            .collect();
+        let l1 = (0..machine.num_cores)
+            .map(|_| SetAssocCache::new(machine.l1, ReplacementPolicy::Lru))
+            .collect();
+        let bank_geom = machine.llc_bank_geometry();
+        let llc = (0..machine.llc_banks())
+            .map(|_| SetAssocCache::new(bank_geom, config.llc_replacement))
+            .collect();
+        let directory = Directory::new(machine.num_cores);
+        let dircaches = (0..machine.num_cores)
+            .map(|_| DirectoryCache::new(machine.directory_cache_entries))
+            .collect::<Result<Vec<_>, _>>()?;
+        let noc = ContentionModel::new(
+            *layout.mesh(),
+            machine.link_latency,
+            machine.router_pipeline,
+        );
+        let memory_controllers =
+            vec![ReservationCalendar::default(); machine.num_memory_controllers];
+        let generators = config
+            .workloads
+            .iter()
+            .enumerate()
+            .map(|(vm, profile)| WorkloadGenerator::new(VmId::new(vm), profile, &root))
+            .collect();
+        let gap_rngs = (0..machine.num_cores)
+            .map(|c| root.derive(&format!("core/{c}/gaps")))
+            .collect();
+        let metrics = config.workloads.iter().map(|_| VmMetrics::default()).collect();
+
+        Ok(Self {
+            config,
+            layout,
+            placement,
+            core_thread,
+            l0,
+            l1,
+            llc,
+            directory,
+            dircaches,
+            noc,
+            memory_controllers,
+            generators,
+            gap_rngs,
+            metrics,
+            resched_epoch: 0,
+        })
+    }
+
+    /// The placement in use.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Runs warmup then measurement; consumes the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invariant`] if internal protocol invariants break
+    /// (a simulator bug).
+    pub fn run(mut self) -> Result<SimulationOutcome, SimError> {
+        if self.config.prewarm_llc {
+            self.prewarm_llc_banks();
+        }
+        let mut clock = Cycle::ZERO;
+        if self.config.warmup_refs_per_vm > 0 {
+            clock = self.phase(clock, self.config.warmup_refs_per_vm, false)?;
+            self.reset_measurement_state();
+        }
+        let num_vms = self.config.workloads.len();
+        let measure_start = clock;
+        let end = self.phase(clock, self.config.refs_per_vm, true)?;
+
+        debug_assert!(self.directory.check_invariants().is_ok());
+
+        let replication = ReplicationSnapshot::capture(&self.llc);
+        let occupancy = OccupancySnapshot::capture(&self.llc, num_vms);
+        let dircache_hit_rate = self
+            .dircaches
+            .iter()
+            .map(DirectoryCache::hit_rate)
+            .sum::<f64>()
+            / self.dircaches.len() as f64;
+        // Completion cycles were recorded as absolute times; rebase onto the
+        // measurement interval.
+        for m in &mut self.metrics {
+            if let Some(c) = m.completion {
+                m.completion = Some(Cycle::new(c.saturating_since(measure_start)));
+            }
+        }
+        let elapsed = end.raw().max(1);
+        Ok(SimulationOutcome {
+            noc_mean_utilization: self.noc.mean_link_utilization(elapsed),
+            noc_peak_utilization: self.noc.peak_link_utilization(elapsed),
+            vm_metrics: self.metrics,
+            replication,
+            occupancy,
+            noc: self.noc.stats().clone(),
+            protocol: *self.directory.stats(),
+            placement: self.placement,
+            measured_cycles: end.saturating_since(measure_start),
+            dircache_hit_rate,
+        })
+    }
+
+    /// Runs one phase (warmup or measurement) starting at `start`: every VM
+    /// issues `quota` references; cores of finished VMs keep running so the
+    /// machine stays at capacity (the paper restarts finished workloads).
+    /// Returns the cycle at which the last VM finished its quota.
+    fn phase(&mut self, start: Cycle, quota: u64, measuring: bool) -> Result<Cycle, SimError> {
+        let num_vms = self.config.workloads.len();
+        let mut vm_refs = vec![0u64; num_vms];
+        let mut vm_done = vec![false; num_vms];
+        let mut remaining = num_vms;
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for core in 0..self.config.machine.num_cores {
+            if self.core_thread[core].is_some() {
+                heap.push(Reverse((start.raw(), core)));
+            }
+        }
+        let mut last_completion = start;
+        let mut next_resched = self
+            .config
+            .reschedule_every
+            .map(|interval| start.raw() + interval);
+        while let Some(Reverse((now, core))) = heap.pop() {
+            if let (Some(at), Some(interval)) = (next_resched, self.config.reschedule_every) {
+                if now >= at {
+                    self.reschedule();
+                    next_resched = Some(at + interval);
+                }
+            }
+            let thread = self.core_thread[core].expect("scheduled cores have threads");
+            let vm = thread.vm;
+            let gap = self.gap_rngs[core]
+                .positive_with_mean(self.config.machine.instructions_per_memory_op);
+            let issue = Cycle::new(now) + gap;
+            let mem_ref = self.generators[vm.index()].next_ref(thread.thread);
+            if measuring {
+                let m = &mut self.metrics[vm.index()];
+                m.instructions += gap + 1;
+                m.refs += 1;
+                if mem_ref.is_write {
+                    m.writes += 1;
+                }
+                if self.config.track_footprint {
+                    m.footprint.insert(mem_ref.address.block().raw());
+                }
+            }
+            let done = self.access(CoreId::new(core), vm, &mem_ref, issue, measuring);
+
+            if !vm_done[vm.index()] {
+                vm_refs[vm.index()] += 1;
+                if vm_refs[vm.index()] >= quota {
+                    vm_done[vm.index()] = true;
+                    remaining -= 1;
+                    last_completion = last_completion.max(done);
+                    if measuring {
+                        self.metrics[vm.index()].completion = Some(done);
+                    }
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+            heap.push(Reverse((done.raw(), core)));
+        }
+        Ok(last_completion)
+    }
+
+    /// Clears statistics after warmup; cache/directory *contents* persist.
+    fn reset_measurement_state(&mut self) {
+        for c in self.l0.iter_mut().chain(self.l1.iter_mut()).chain(self.llc.iter_mut()) {
+            c.reset_stats();
+        }
+        self.directory.reset_stats();
+        self.noc.reset();
+        for mc in &mut self.memory_controllers {
+            *mc = ReservationCalendar::default();
+        }
+        for m in &mut self.metrics {
+            *m = VmMetrics::default();
+        }
+    }
+
+    /// Simulates one reference; returns its completion time.
+    fn access(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        mem_ref: &MemRef,
+        issue: Cycle,
+        measuring: bool,
+    ) -> Cycle {
+        let block = mem_ref.address.block();
+        let l0_latency = self.config.machine.l0.latency;
+        let l1_latency = self.config.machine.l1.latency;
+
+        // L0.
+        if let Some(state) = self.l0[core.index()].access(block) {
+            if !mem_ref.is_write || state.is_writable() {
+                if mem_ref.is_write {
+                    self.l0[core.index()].set_state(block, LineState::Modified);
+                    self.l1[core.index()].set_state(block, LineState::Modified);
+                }
+                if measuring {
+                    self.metrics[vm.index()].l0_hits += 1;
+                }
+                return issue + l0_latency;
+            }
+        }
+        // L1.
+        if let Some(state) = self.l1[core.index()].access(block) {
+            if !mem_ref.is_write || state.is_writable() {
+                let new_state = if mem_ref.is_write {
+                    LineState::Modified
+                } else {
+                    state
+                };
+                if mem_ref.is_write {
+                    self.l1[core.index()].set_state(block, LineState::Modified);
+                }
+                self.fill_l0(core, block, new_state);
+                if measuring {
+                    self.metrics[vm.index()].l1_hits += 1;
+                }
+                return issue + l0_latency + l1_latency;
+            }
+            // Write hit on a Shared line: upgrade.
+            return self.coherence_transaction(core, vm, block, AccessKind::Upgrade, issue, measuring);
+        }
+        let kind = if mem_ref.is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        self.coherence_transaction(core, vm, block, kind, issue, measuring)
+    }
+
+    /// Resolves an L1 miss (or upgrade) through the directory; returns the
+    /// completion time.
+    fn coherence_transaction(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        block: BlockAddr,
+        kind: AccessKind,
+        issue: Cycle,
+        measuring: bool,
+    ) -> Cycle {
+        let machine = self.config.machine.clone();
+        let cnode = self.layout.core_node(core);
+        let home = self.directory.home_of(block);
+        // Miss detected after the private lookups.
+        let t0 = issue + machine.l0.latency + machine.l1.latency;
+        // Request to the home directory.
+        let mut t = self.noc.send(&Packet::control(cnode, home), t0);
+        t += 1; // directory pipeline
+        if !self.dircaches[home.index()].lookup(block) {
+            // Fetch the entry off-chip through the block's controller.
+            let (mc, _) = self.layout.memory_controller_of(block);
+            let service = self.reserve_directory_refill(mc, t);
+            t = service + machine.memory_latency;
+        }
+
+        let prior_sharers = self.directory.sharers_of(block);
+        let outcome = self.directory.handle(core, block, kind);
+
+        // Invalidations fan out from the home; the requester waits for the
+        // slowest acknowledgement.
+        let mut ack_time = Cycle::ZERO;
+        for victim in &outcome.invalidate {
+            let vnode = self.layout.core_node(*victim);
+            let arrive = self.noc.send(&Packet::control(home, vnode), t);
+            self.invalidate_private(*victim, block);
+            if measuring {
+                self.metrics[vm.index()].invalidations_received += 1;
+            }
+            let ack = self.noc.send(&Packet::control(vnode, cnode), arrive);
+            ack_time = ack_time.max(ack);
+        }
+
+        let is_write = matches!(kind, AccessKind::Write | AccessKind::Upgrade);
+        let (data_time, source) = match outcome.source {
+            DataSource::DirtyCache(owner) => {
+                let (t_data, src) = self.serve_from_remote_l1(
+                    owner, cnode, block, t, true, is_write, outcome.writeback,
+                );
+                (t_data, src)
+            }
+            DataSource::CleanCache(_) => {
+                // Pick the *nearest* prior sharer as the supplier.
+                let supplier = prior_sharers
+                    .iter()
+                    .filter(|&c| c != core)
+                    .min_by_key(|&c| {
+                        self.layout
+                            .mesh()
+                            .hops(self.layout.core_node(c), cnode)
+                    })
+                    .expect("clean transfer implies a sharer");
+                self.serve_from_remote_l1(supplier, cnode, block, t, false, is_write, false)
+            }
+            DataSource::Below => self.serve_from_llc_or_memory(core, cnode, block, t, is_write),
+            DataSource::None => {
+                // Upgrade: permission only, no data.
+                (t, MissSource::Upgrade)
+            }
+        };
+
+        // Keep the LLC consistent with the new ownership: writers leave no
+        // stale bank copies; read fills also allocate in the local bank
+        // (mostly-inclusive L2), which is what lets read-shared lines
+        // replicate across banks (paper Fig. 12).
+        if is_write {
+            self.invalidate_llc_copies(block);
+        } else if matches!(
+            source,
+            MissSource::RemoteL1Dirty | MissSource::RemoteL1Clean
+        ) {
+            let my_bank = machine.bank_of_core(core);
+            self.fill_llc(my_bank, block, LineState::Shared, data_time);
+        }
+
+        let completion = data_time.max(ack_time);
+        if measuring {
+            self.metrics[vm.index()].record_miss(source, completion - issue);
+        }
+
+        // Install the line in the private hierarchy.
+        if source != MissSource::Upgrade {
+            let new_state = if is_write {
+                LineState::Modified
+            } else if outcome.exclusive {
+                LineState::Exclusive
+            } else {
+                LineState::Shared
+            };
+            self.fill_l1(core, block, new_state, completion);
+        } else {
+            self.l1[core.index()].set_state(block, LineState::Modified);
+            self.l0[core.index()].set_state(block, LineState::Modified);
+        }
+        completion
+    }
+
+    /// Serves a miss from another core's L1 (cache-to-cache transfer).
+    #[allow(clippy::too_many_arguments)] // one argument per protocol actor
+    fn serve_from_remote_l1(
+        &mut self,
+        supplier: CoreId,
+        requester_node: consim_types::NodeId,
+        block: BlockAddr,
+        t: Cycle,
+        dirty: bool,
+        is_write: bool,
+        sharing_writeback: bool,
+    ) -> (Cycle, MissSource) {
+        let snode = self.layout.core_node(supplier);
+        let home = self.directory.home_of(block);
+        let fwd = self.noc.send(&Packet::control(home, snode), t);
+        let access_done = fwd + self.config.machine.l1.latency;
+        let data = self
+            .noc
+            .send(&Packet::data(snode, requester_node), access_done);
+
+        if is_write {
+            // Ownership moves wholesale; the supplier loses its copy. (For
+            // dirty suppliers the directory already invalidated via
+            // `outcome.invalidate`; clean suppliers may keep S only on
+            // reads.)
+            self.invalidate_private(supplier, block);
+        } else if dirty {
+            // Owner downgrades M -> S; dirty data also written back to the
+            // memory controller (SGI-Origin sharing writeback), off the
+            // critical path.
+            self.l1[supplier.index()].set_state(block, LineState::Shared);
+            self.l0[supplier.index()].set_state(block, LineState::Shared);
+        }
+        if sharing_writeback {
+            let (mc, mcnode) = self.layout.memory_controller_of(block);
+            let arrive = self.noc.send(&Packet::data(snode, mcnode), access_done);
+            self.reserve_memory(mc, arrive);
+        }
+        let source = if dirty {
+            MissSource::RemoteL1Dirty
+        } else {
+            MissSource::RemoteL1Clean
+        };
+        (data, source)
+    }
+
+    /// Serves a miss from the LLC (local bank, then nearest remote bank)
+    /// or, failing both, from memory.
+    fn serve_from_llc_or_memory(
+        &mut self,
+        core: CoreId,
+        cnode: consim_types::NodeId,
+        block: BlockAddr,
+        t: Cycle,
+        is_write: bool,
+    ) -> (Cycle, MissSource) {
+        let machine = self.config.machine.clone();
+        let home = self.directory.home_of(block);
+        let my_bank = machine.bank_of_core(core);
+        // A core's own LLC bank is physically distributed across its group
+        // (the paper's uniform 6-cycle L2), so the access point is the
+        // requester's node; only *remote* banks cost a mesh traversal.
+        let bnode = cnode;
+        let at_bank = self.noc.send(&Packet::control(home, bnode), t);
+        let probed = at_bank + machine.llc.latency;
+
+        if self.llc[my_bank.index()].access(block).is_some() {
+            let data = self.noc.send(&Packet::data(bnode, cnode), probed);
+            if is_write {
+                // The writer's L1 copy becomes the only valid one.
+                self.invalidate_llc_copies(block);
+            }
+            return (data, MissSource::LocalLlc);
+        }
+
+        // Nearest other bank holding the block.
+        let remote = (0..self.llc.len())
+            .filter(|&b| b != my_bank.index() && self.llc[b].contains(block))
+            .min_by_key(|&b| {
+                self.layout
+                    .mesh()
+                    .hops(self.layout.bank_node(BankId::new(b)), cnode)
+            });
+        if let Some(rb) = remote {
+            let rnode = self.layout.bank_node(BankId::new(rb));
+            let fwd = self.noc.send(&Packet::control(bnode, rnode), probed);
+            let served = fwd + machine.llc.latency;
+            let data = self.noc.send(&Packet::data(rnode, cnode), served);
+            let was_dirty = self.llc[rb]
+                .probe(block)
+                .map(LineState::is_dirty)
+                .unwrap_or(false);
+            if is_write {
+                self.invalidate_llc_copies(block);
+            } else {
+                if was_dirty {
+                    // Downgrade: push the dirty data to memory so clean
+                    // copies can proliferate.
+                    self.llc[rb].set_state(block, LineState::Shared);
+                    let (mc, mcnode) = self.layout.memory_controller_of(block);
+                    let arrive = self.noc.send(&Packet::data(rnode, mcnode), served);
+                    self.reserve_memory(mc, arrive);
+                }
+                // Replicate into the requester's bank.
+                self.fill_llc(my_bank, block, LineState::Shared, served);
+            }
+            let source = if was_dirty {
+                MissSource::RemoteLlcDirty
+            } else {
+                MissSource::RemoteLlcClean
+            };
+            return (data, source);
+        }
+
+        // Memory: queue at the controller, then pay the DRAM latency.
+        let (mc, mcnode) = self.layout.memory_controller_of(block);
+        let to_mc = self.noc.send(&Packet::control(bnode, mcnode), probed);
+        let service = self.reserve_memory(mc, to_mc);
+        let fetched = service + machine.memory_latency;
+        let data = self.noc.send(&Packet::data(mcnode, cnode), fetched);
+        if !is_write {
+            self.fill_llc(my_bank, block, LineState::Shared, fetched);
+        }
+        (data, MissSource::Memory)
+    }
+
+    /// Installs a block into a core's L1 (and L0), handling the eviction.
+    fn fill_l1(&mut self, core: CoreId, block: BlockAddr, state: LineState, now: Cycle) {
+        if let Some(victim) = self.l1[core.index()].insert(block, state) {
+            // Keep L0 inclusive.
+            self.l0[core.index()].invalidate(victim.block);
+            self.directory.evict(core, victim.block);
+            if victim.state.is_dirty() {
+                // Dirty victims write back into the local LLC bank, which is
+                // distributed across the core's group (local delivery).
+                let bank = self.config.machine.bank_of_core(core);
+                let cnode = self.layout.core_node(core);
+                self.noc.send(&Packet::data(cnode, cnode), now);
+                self.fill_llc(bank, victim.block, LineState::Modified, now);
+            }
+        }
+        self.fill_l0(core, block, state);
+    }
+
+    /// Mirrors a block into L0 (strictly inclusive in L1; evictions are
+    /// silent because L0 state mirrors L1).
+    fn fill_l0(&mut self, core: CoreId, block: BlockAddr, state: LineState) {
+        self.l0[core.index()].insert(block, state);
+    }
+
+    /// Installs a block into an LLC bank, pushing dirty victims to memory.
+    fn fill_llc(&mut self, bank: BankId, block: BlockAddr, state: LineState, now: Cycle) {
+        if let Some(victim) = self.llc[bank.index()].insert(block, state) {
+            if victim.state.is_dirty() {
+                let bnode = self.layout.bank_node(bank);
+                let (mc, mcnode) = self.layout.memory_controller_of(victim.block);
+                let arrive = self.noc.send(&Packet::data(bnode, mcnode), now);
+                self.reserve_memory(mc, arrive);
+            }
+        }
+    }
+
+    /// Recomputes the thread-to-core mapping with a fresh random stream
+    /// (one context-switch epoch). Threads migrate; their cached data stays
+    /// behind on the old cores and must be re-fetched (or transferred
+    /// cache-to-cache) from the new ones.
+    fn reschedule(&mut self) {
+        self.resched_epoch += 1;
+        let rng = SimRng::from_seed(self.config.seed)
+            .derive(&format!("resched/epoch{}", self.resched_epoch));
+        let vm_threads: Vec<usize> = self.config.workloads.iter().map(|w| w.threads).collect();
+        if let Ok(placement) = place(
+            self.config.policy,
+            &self.config.machine,
+            &vm_threads,
+            &rng,
+        ) {
+            self.core_thread = vec![None; self.config.machine.num_cores];
+            for (thread, core) in placement.iter() {
+                self.core_thread[core.index()] = Some(thread);
+            }
+            self.placement = placement;
+        }
+    }
+
+    /// Pre-fills each VM's LLC banks with its hottest blocks (the paper's
+    /// warmed-checkpoint methodology). Each VM receives a share of each of
+    /// its banks proportional to how many of the bank's cores it owns;
+    /// blocks are inserted coldest-first so the hottest end up
+    /// most-recently-used.
+    fn prewarm_llc_banks(&mut self) {
+        let machine = self.config.machine.clone();
+        let per_bank_capacity = machine.llc_bank_geometry().num_lines();
+        for vm in 0..self.config.workloads.len() {
+            // Count this VM's threads per bank.
+            let mut share = vec![0usize; machine.llc_banks()];
+            for (thread, core) in self.placement.iter() {
+                if thread.vm.index() == vm {
+                    share[machine.bank_of_core(core).index()] += 1;
+                }
+            }
+            let quotas: Vec<usize> = share
+                .iter()
+                .map(|&threads| per_bank_capacity * threads / machine.cores_per_bank())
+                .collect();
+            let total: usize = quotas.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            let warm = self.generators[vm].warm_set(total);
+            // Distribute hottest-first across the VM's banks round-robin,
+            // then insert each bank's list in reverse (hottest becomes MRU).
+            let mut per_bank: Vec<Vec<consim_types::BlockAddr>> =
+                quotas.iter().map(|&q| Vec::with_capacity(q)).collect();
+            let mut bank_cursor = 0usize;
+            for block in warm {
+                // Next bank with remaining quota.
+                let mut placed = false;
+                for off in 0..per_bank.len() {
+                    let b = (bank_cursor + off) % per_bank.len();
+                    if per_bank[b].len() < quotas[b] {
+                        per_bank[b].push(block);
+                        bank_cursor = b + 1;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    break;
+                }
+            }
+            for (b, blocks) in per_bank.into_iter().enumerate() {
+                for block in blocks.into_iter().rev() {
+                    self.llc[b].insert(block, LineState::Shared);
+                }
+            }
+        }
+        for bank in &mut self.llc {
+            bank.reset_stats();
+        }
+    }
+
+    /// Occupies a memory-controller service slot for one cache-line access
+    /// starting no earlier than `ready`; returns when service begins.
+    fn reserve_memory(&mut self, mc: consim_types::MemCtrlId, ready: Cycle) -> Cycle {
+        let occupancy = self.config.machine.memory_occupancy.max(1);
+        self.reserve_memory_slot(mc, ready, occupancy)
+    }
+
+    /// Occupies a *directory-entry* service slot: an 8-byte entry read costs
+    /// a quarter of a cache-line transfer's bandwidth.
+    fn reserve_directory_refill(&mut self, mc: consim_types::MemCtrlId, ready: Cycle) -> Cycle {
+        let occupancy = (self.config.machine.memory_occupancy / 4).max(1);
+        self.reserve_memory_slot(mc, ready, occupancy)
+    }
+
+    fn reserve_memory_slot(
+        &mut self,
+        mc: consim_types::MemCtrlId,
+        ready: Cycle,
+        occupancy: u64,
+    ) -> Cycle {
+        let prune_before = ready.raw().saturating_sub(200_000);
+        let start =
+            self.memory_controllers[mc.index()].reserve(ready.raw(), occupancy, prune_before);
+        Cycle::new(start)
+    }
+
+    /// Removes a block from a core's private hierarchy (coherence
+    /// invalidation or ownership transfer).
+    fn invalidate_private(&mut self, core: CoreId, block: BlockAddr) {
+        self.l1[core.index()].invalidate(block);
+        self.l0[core.index()].invalidate(block);
+    }
+
+    /// Drops every LLC copy of a block (a writer took exclusive ownership).
+    fn invalidate_llc_copies(&mut self, block: BlockAddr) {
+        for bank in &mut self.llc {
+            bank.invalidate(block);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consim_types::config::SharingDegree;
+    use consim_workload::{WorkloadKind, WorkloadProfileBuilder};
+
+    fn tiny_profile() -> WorkloadProfile {
+        WorkloadProfileBuilder::new("tiny")
+            .footprint_blocks(4_000)
+            .shared_fraction(0.5)
+            .shared_access_prob(0.5)
+            .shared_write_prob(0.1)
+            .build()
+            .unwrap()
+    }
+
+    fn quick_config(
+        sharing: SharingDegree,
+        policy: SchedulingPolicy,
+        vms: usize,
+    ) -> SimulationConfig {
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(sharing))
+            .policy(policy)
+            .refs_per_vm(3_000)
+            .warmup_refs_per_vm(1_000)
+            .seed(7);
+        for _ in 0..vms {
+            b.workload(tiny_profile());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty_and_oversubscribed() {
+        assert!(SimulationConfig::builder().build().is_err());
+        let mut b = SimulationConfig::builder();
+        for _ in 0..5 {
+            b.workload(tiny_profile());
+        }
+        assert!(b.build().is_err(), "20 threads on 16 cores");
+    }
+
+    #[test]
+    fn single_vm_runs_to_completion() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 1);
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        let m = &out.vm_metrics[0];
+        assert_eq!(m.refs, 3_000);
+        assert!(m.completion.is_some());
+        assert!(m.runtime_cycles() > 0);
+        assert!(m.l0_hits + m.l1_hits + m.l1_misses == m.refs);
+    }
+
+    #[test]
+    fn full_mix_all_vms_complete() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::RoundRobin, 4);
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        assert_eq!(out.vm_metrics.len(), 4);
+        for m in &out.vm_metrics {
+            assert!(m.refs >= 3_000);
+            assert!(m.completion.is_some());
+        }
+        assert!(out.measured_cycles > 0);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Random, 4);
+            let out = Simulation::new(cfg).unwrap().run().unwrap();
+            (
+                out.measured_cycles,
+                out.vm_metrics.iter().map(|m| m.l1_misses).collect::<Vec<_>>(),
+                out.vm_metrics
+                    .iter()
+                    .map(|m| m.runtime_cycles())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 2);
+            cfg.seed = seed;
+            Simulation::new(cfg).unwrap().run().unwrap().measured_cycles
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn miss_accounting_balances() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 2);
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        for m in &out.vm_metrics {
+            let classified = m.c2c_l1_clean
+                + m.c2c_l1_dirty
+                + m.llc_local_hits
+                + m.llc_remote_clean
+                + m.llc_remote_dirty
+                + m.memory_fetches
+                + m.upgrades;
+            assert_eq!(classified, m.l1_misses, "{m}");
+            assert!(m.llc_miss_rate() <= 1.0);
+            // Any real miss takes at least the LLC latency.
+            if m.l1_misses > m.upgrades {
+                assert!(m.mean_miss_latency() > 6.0);
+            }
+        }
+    }
+
+    #[test]
+    fn isolation_idles_unused_cores() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 1);
+        let sim = Simulation::new(cfg).unwrap();
+        let bound: usize = sim.core_thread.iter().flatten().count();
+        assert_eq!(bound, 4);
+        let out = sim.run().unwrap();
+        // Only one VM's metrics exist and they account for every reference.
+        assert_eq!(out.vm_metrics.len(), 1);
+    }
+
+    #[test]
+    fn sharing_produces_c2c_transfers() {
+        let profile = WorkloadProfileBuilder::new("sharey")
+            .footprint_blocks(2_000)
+            .shared_fraction(0.8)
+            .shared_access_prob(0.9)
+            .shared_write_prob(0.2)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::Private))
+            .policy(SchedulingPolicy::RoundRobin)
+            .workload(profile)
+            .refs_per_vm(5_000)
+            .warmup_refs_per_vm(2_000)
+            .seed(3);
+        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+        let m = &out.vm_metrics[0];
+        assert!(m.cache_to_cache() > 0, "sharing workload must transfer: {m}");
+        assert!(m.c2c_l1_dirty > 0, "shared writes must produce dirty transfers");
+    }
+
+    #[test]
+    fn private_config_replicates_more_than_shared() {
+        let run = |sharing| {
+            let cfg = quick_config(sharing, SchedulingPolicy::RoundRobin, 4);
+            let out = Simulation::new(cfg).unwrap().run().unwrap();
+            out.replication.replicated_fraction()
+        };
+        let private = run(SharingDegree::Private);
+        let shared = run(SharingDegree::FullyShared);
+        assert_eq!(shared, 0.0, "a single bank cannot replicate");
+        assert!(private > 0.0, "private banks must replicate shared data");
+    }
+
+    #[test]
+    fn occupancy_shares_are_sane() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::RoundRobin, 4);
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        for bank in &out.occupancy.share {
+            let total: f64 = bank.iter().sum();
+            assert!(total <= 1.0 + 1e-9, "bank over-occupied: {total}");
+        }
+    }
+
+    #[test]
+    fn upgrades_happen_for_read_then_write() {
+        let profile = WorkloadProfileBuilder::new("rw")
+            .footprint_blocks(1_000)
+            .shared_fraction(0.9)
+            .shared_access_prob(0.95)
+            .shared_write_prob(0.3)
+            .shared_zipf(0.9)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile).refs_per_vm(5_000).warmup_refs_per_vm(0).seed(1);
+        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+        assert!(out.vm_metrics[0].upgrades > 0);
+    }
+
+    #[test]
+    fn protocol_stats_exposed() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 2);
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        assert!(out.protocol.requests > 0);
+        assert!(out.noc.packets > 0);
+        assert!(out.dircache_hit_rate > 0.0 && out.dircache_hit_rate <= 1.0);
+    }
+
+    #[test]
+    fn footprint_tracking_approaches_profile() {
+        let profile = WorkloadProfileBuilder::new("fp")
+            .footprint_blocks(1_000)
+            .shared_zipf(0.05)
+            .private_zipf(0.05)
+            .recent_reuse_prob(0.0)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile)
+            .refs_per_vm(30_000)
+            .warmup_refs_per_vm(0)
+            .track_footprint(true)
+            .seed(5);
+        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+        let fp = out.vm_metrics[0].footprint_blocks();
+        assert!(fp > 900, "footprint {fp} of 1000");
+    }
+
+    #[test]
+    fn kinds_run_end_to_end_smoke() {
+        // Short smoke run of every real profile to catch integration panics.
+        for kind in WorkloadKind::PAPER_SET {
+            let mut b = SimulationConfig::builder();
+            b.workload(kind.profile())
+                .refs_per_vm(1_000)
+                .warmup_refs_per_vm(200)
+                .seed(2);
+            let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+            assert!(out.vm_metrics[0].refs >= 1_000, "{kind}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod prewarm_tests {
+    use super::*;
+    use consim_types::config::SharingDegree;
+    use consim_workload::WorkloadProfileBuilder;
+
+    fn config(prewarm: bool) -> SimulationConfig {
+        let profile = WorkloadProfileBuilder::new("pw")
+            .footprint_blocks(60_000)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
+            .policy(SchedulingPolicy::Affinity)
+            .workload(profile)
+            .refs_per_vm(5_000)
+            .warmup_refs_per_vm(0)
+            .prewarm_llc(prewarm)
+            .seed(4);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prewarming_cuts_cold_memory_fetches() {
+        let cold = Simulation::new(config(false)).unwrap().run().unwrap();
+        let warm = Simulation::new(config(true)).unwrap().run().unwrap();
+        assert!(
+            warm.vm_metrics[0].memory_fetches < cold.vm_metrics[0].memory_fetches / 2,
+            "prewarm {} vs cold {}",
+            warm.vm_metrics[0].memory_fetches,
+            cold.vm_metrics[0].memory_fetches
+        );
+    }
+
+    #[test]
+    fn prewarm_respects_bank_ownership() {
+        // With affinity, the single VM owns exactly one bank; prewarmed
+        // lines must all land there.
+        let sim = {
+            let mut s = Simulation::new(config(true)).unwrap();
+            s.prewarm_llc_banks();
+            s
+        };
+        let occupied: Vec<usize> = sim.llc.iter().map(|b| b.occupancy()).collect();
+        let nonempty = occupied.iter().filter(|&&o| o > 0).count();
+        assert_eq!(nonempty, 1, "occupancies: {occupied:?}");
+    }
+
+    #[test]
+    fn prewarm_is_deterministic() {
+        let a = Simulation::new(config(true)).unwrap().run().unwrap();
+        let b = Simulation::new(config(true)).unwrap().run().unwrap();
+        assert_eq!(a.measured_cycles, b.measured_cycles);
+    }
+}
+
+#[cfg(test)]
+mod resched_tests {
+    use super::*;
+    use consim_types::config::SharingDegree;
+    use consim_workload::WorkloadKind;
+
+    fn config(policy: SchedulingPolicy, resched: Option<u64>) -> SimulationConfig {
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
+            .policy(policy)
+            .refs_per_vm(6_000)
+            .warmup_refs_per_vm(1_000)
+            .seed(11);
+        if let Some(interval) = resched {
+            b.reschedule_every(interval);
+        }
+        for _ in 0..4 {
+            b.workload(WorkloadKind::TpcH.profile());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zero_interval_is_rejected() {
+        let mut b = SimulationConfig::builder();
+        b.workload(WorkloadKind::TpcH.profile()).reschedule_every(0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn deterministic_policies_are_unaffected_by_rescheduling() {
+        // Affinity recomputes to the identical placement each epoch, so
+        // dynamic rescheduling must be a behavioral no-op.
+        let stat = Simulation::new(config(SchedulingPolicy::Affinity, None))
+            .unwrap()
+            .run()
+            .unwrap();
+        let dynamic = Simulation::new(config(SchedulingPolicy::Affinity, Some(50_000)))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(stat.measured_cycles, dynamic.measured_cycles);
+    }
+
+    #[test]
+    fn random_rescheduling_costs_performance() {
+        // Frequent random migration abandons warm caches; the machine must
+        // get slower, not faster, and metrics stay balanced.
+        let stat = Simulation::new(config(SchedulingPolicy::Random, None))
+            .unwrap()
+            .run()
+            .unwrap();
+        let churn = Simulation::new(config(SchedulingPolicy::Random, Some(20_000)))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            churn.measured_cycles > stat.measured_cycles,
+            "churn {} vs static {}",
+            churn.measured_cycles,
+            stat.measured_cycles
+        );
+        for m in &churn.vm_metrics {
+            assert_eq!(m.l0_hits + m.l1_hits + m.l1_misses, m.refs);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Physical placement of memory-system endpoints on the mesh.
+//!
+//! Cores map 1:1 to mesh nodes (row-major). Each LLC bank attaches at a node
+//! central to its core group; memory controllers sit at the mesh corners
+//! (edge nodes for other counts). All coherence traffic is routed between
+//! these nodes.
+
+use consim_noc::topology::Mesh;
+use consim_types::config::MachineConfig;
+use consim_types::{BankId, BlockAddr, CoreId, MemCtrlId, NodeId, SimError};
+
+/// Node placement derived from a [`MachineConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use consim::machine::Layout;
+/// use consim_types::config::{MachineConfig, SharingDegree};
+/// use consim_types::{BankId, CoreId};
+///
+/// let machine = MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4));
+/// let layout = Layout::new(&machine)?;
+/// // Bank 0 serves cores 0..4 and sits among them.
+/// let node = layout.bank_node(BankId::new(0));
+/// assert!(node.index() < 4);
+/// # Ok::<(), consim_types::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Layout {
+    mesh: Mesh,
+    bank_nodes: Vec<NodeId>,
+    mc_nodes: Vec<NodeId>,
+}
+
+impl Layout {
+    /// Computes the layout for a machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the mesh cannot be built.
+    pub fn new(machine: &MachineConfig) -> Result<Self, SimError> {
+        let mesh = Mesh::new(machine.mesh_width, machine.mesh_height())?;
+        let per_bank = machine.cores_per_bank();
+        let bank_nodes = (0..machine.llc_banks())
+            .map(|b| NodeId::new(b * per_bank + per_bank / 2))
+            .collect();
+        let mc_nodes = Self::memory_controller_nodes(&mesh, machine.num_memory_controllers);
+        Ok(Self {
+            mesh,
+            bank_nodes,
+            mc_nodes,
+        })
+    }
+
+    /// Spreads `count` memory controllers around the mesh perimeter,
+    /// starting from the corners.
+    fn memory_controller_nodes(mesh: &Mesh, count: usize) -> Vec<NodeId> {
+        let w = mesh.width();
+        let h = mesh.height();
+        // Corners first, then evenly spaced nodes.
+        let mut candidates: Vec<NodeId> = vec![
+            NodeId::new(0),
+            NodeId::new(w - 1),
+            NodeId::new((h - 1) * w),
+            NodeId::new(h * w - 1),
+        ];
+        candidates.dedup();
+        let mut nodes = Vec::with_capacity(count);
+        for i in 0..count {
+            if i < candidates.len() {
+                nodes.push(candidates[i]);
+            } else {
+                // Fall back to even striding across all nodes.
+                nodes.push(NodeId::new((i * mesh.num_nodes() / count) % mesh.num_nodes()));
+            }
+        }
+        nodes
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The mesh node of a core (identity mapping).
+    pub fn core_node(&self, core: CoreId) -> NodeId {
+        NodeId::new(core.index())
+    }
+
+    /// The mesh node an LLC bank attaches to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank does not exist under this layout.
+    pub fn bank_node(&self, bank: BankId) -> NodeId {
+        self.bank_nodes[bank.index()]
+    }
+
+    /// The memory controller responsible for a block (striped by block
+    /// address) and its mesh node.
+    pub fn memory_controller_of(&self, block: BlockAddr) -> (MemCtrlId, NodeId) {
+        let mc = (block.raw() % self.mc_nodes.len() as u64) as usize;
+        (MemCtrlId::new(mc), self.mc_nodes[mc])
+    }
+
+    /// Nodes of all memory controllers.
+    pub fn memory_controller_nodes_list(&self) -> &[NodeId] {
+        &self.mc_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consim_types::config::SharingDegree;
+
+    fn layout(sharing: SharingDegree) -> (MachineConfig, Layout) {
+        let m = MachineConfig::paper_default().with_sharing(sharing);
+        let l = Layout::new(&m).unwrap();
+        (m, l)
+    }
+
+    #[test]
+    fn bank_nodes_sit_inside_their_core_group() {
+        for sharing in SharingDegree::paper_sweep() {
+            let (m, l) = layout(sharing);
+            for b in 0..m.llc_banks() {
+                let bank = BankId::new(b);
+                let node = l.bank_node(bank);
+                assert!(
+                    m.cores_of_bank(bank).contains(&node.index()),
+                    "{sharing}: bank {b} at node {node} outside its group"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn private_banks_are_at_their_core() {
+        let (m, l) = layout(SharingDegree::Private);
+        for c in 0..m.num_cores {
+            assert_eq!(l.bank_node(BankId::new(c)).index(), c);
+        }
+    }
+
+    #[test]
+    fn memory_controllers_at_corners() {
+        let (_, l) = layout(SharingDegree::FullyShared);
+        let nodes = l.memory_controller_nodes_list();
+        assert_eq!(nodes.len(), 4);
+        let set: std::collections::HashSet<usize> = nodes.iter().map(|n| n.index()).collect();
+        assert_eq!(set, [0, 3, 12, 15].into_iter().collect());
+    }
+
+    #[test]
+    fn blocks_stripe_across_memory_controllers() {
+        let (_, l) = layout(SharingDegree::FullyShared);
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..16 {
+            let (mc, node) = l.memory_controller_of(BlockAddr::new(n));
+            seen.insert(mc);
+            assert!(l.memory_controller_nodes_list().contains(&node));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn core_nodes_are_identity() {
+        let (_, l) = layout(SharingDegree::SharedBy(2));
+        assert_eq!(l.core_node(CoreId::new(11)), NodeId::new(11));
+    }
+
+    #[test]
+    fn more_mcs_than_corners_still_distinct_enough() {
+        let m = consim_types::config::MachineConfigBuilder::new()
+            .num_memory_controllers(8)
+            .build()
+            .unwrap();
+        let l = Layout::new(&m).unwrap();
+        assert_eq!(l.memory_controller_nodes_list().len(), 8);
+    }
+}

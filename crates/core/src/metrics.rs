@@ -1,0 +1,365 @@
+//! Per-VM metrics and LLC snapshots.
+//!
+//! Metrics follow the paper's definitions (§V):
+//!
+//! * **runtime** — cycles for the VM to complete its transaction quota;
+//! * **miss latency** — cycles to satisfy a miss to the last level of
+//!   *private* cache (L1), including cache-to-cache transfer, LLC access,
+//!   and memory latencies;
+//! * **miss rate** — "last level cache misses seen by each virtual machine":
+//!   the fraction of the VM's LLC-level requests (L1 misses) that must be
+//!   satisfied off-chip;
+//! * **replication / occupancy** — snapshots over the LLC banks' contents
+//!   (Figs. 12 and 13).
+
+use consim_cache::SetAssocCache;
+use consim_types::cycles::LatencyAccumulator;
+use consim_types::{Cycle, VmId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Where an L1 miss was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissSource {
+    /// Another core's private cache, line was Modified.
+    RemoteL1Dirty,
+    /// Another core's private cache, line was clean.
+    RemoteL1Clean,
+    /// The requester's own LLC bank.
+    LocalLlc,
+    /// A different LLC bank, line was dirty there.
+    RemoteLlcDirty,
+    /// A different LLC bank, line was clean there.
+    RemoteLlcClean,
+    /// Off-chip memory.
+    Memory,
+    /// No data movement (upgrade for exclusivity).
+    Upgrade,
+}
+
+impl MissSource {
+    /// Whether this source is an on-chip cache other than the requester's
+    /// own (the paper's "cache-to-cache transfer").
+    pub fn is_cache_to_cache(self) -> bool {
+        matches!(
+            self,
+            MissSource::RemoteL1Dirty
+                | MissSource::RemoteL1Clean
+                | MissSource::RemoteLlcDirty
+                | MissSource::RemoteLlcClean
+        )
+    }
+
+    /// Whether the source copy was dirty.
+    pub fn is_dirty_transfer(self) -> bool {
+        matches!(self, MissSource::RemoteL1Dirty | MissSource::RemoteLlcDirty)
+    }
+}
+
+/// Counters for one VM over the measurement interval.
+#[derive(Debug, Clone, Default)]
+pub struct VmMetrics {
+    /// Memory references issued.
+    pub refs: u64,
+    /// Store references issued.
+    pub writes: u64,
+    /// Instructions executed (references + compute gaps).
+    pub instructions: u64,
+    /// References that hit in L0.
+    pub l0_hits: u64,
+    /// References that hit in L1 (after missing L0).
+    pub l1_hits: u64,
+    /// Misses to the last private level (LLC-level requests).
+    pub l1_misses: u64,
+    /// Misses served by a clean transfer from a remote L1.
+    pub c2c_l1_clean: u64,
+    /// Misses served by a dirty transfer from a remote L1.
+    pub c2c_l1_dirty: u64,
+    /// Misses served by the requester's own LLC bank.
+    pub llc_local_hits: u64,
+    /// Misses served clean by a remote LLC bank.
+    pub llc_remote_clean: u64,
+    /// Misses served dirty by a remote LLC bank.
+    pub llc_remote_dirty: u64,
+    /// Misses that went to memory.
+    pub memory_fetches: u64,
+    /// Upgrade transactions (exclusivity only).
+    pub upgrades: u64,
+    /// Invalidations received by this VM's threads.
+    pub invalidations_received: u64,
+    /// Latency of every L1 miss (issue to completion).
+    pub miss_latency: LatencyAccumulator,
+    /// When the VM completed its transaction quota (measurement-relative).
+    pub completion: Option<Cycle>,
+    /// Unique blocks touched (Table II footprint), when tracking is enabled.
+    pub footprint: HashSet<u64>,
+}
+
+impl VmMetrics {
+    /// Records one resolved L1 miss.
+    pub fn record_miss(&mut self, source: MissSource, latency: u64) {
+        self.l1_misses += 1;
+        self.miss_latency.record(latency);
+        match source {
+            MissSource::RemoteL1Dirty => self.c2c_l1_dirty += 1,
+            MissSource::RemoteL1Clean => self.c2c_l1_clean += 1,
+            MissSource::LocalLlc => self.llc_local_hits += 1,
+            MissSource::RemoteLlcDirty => self.llc_remote_dirty += 1,
+            MissSource::RemoteLlcClean => self.llc_remote_clean += 1,
+            MissSource::Memory => self.memory_fetches += 1,
+            MissSource::Upgrade => self.upgrades += 1,
+        }
+    }
+
+    /// Cycles from measurement start to quota completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM never completed (the engine guarantees completion).
+    pub fn runtime_cycles(&self) -> u64 {
+        self.completion.expect("VM completed").raw()
+    }
+
+    /// Total cache-to-cache transfers (clean + dirty, L1 and LLC sources).
+    pub fn cache_to_cache(&self) -> u64 {
+        self.c2c_l1_clean + self.c2c_l1_dirty + self.llc_remote_clean + self.llc_remote_dirty
+    }
+
+    /// Fraction of L1 misses served cache-to-cache (Table II "all").
+    pub fn c2c_fraction(&self) -> f64 {
+        ratio(self.cache_to_cache(), self.l1_misses)
+    }
+
+    /// Table II's "percent of accesses resulting in a cache-to-cache
+    /// transfer": of the misses that leave the requester's *private*
+    /// hierarchy (in the paper's private configuration: core caches plus the
+    /// private LLC partition), the fraction served by another cache rather
+    /// than memory.
+    pub fn c2c_fraction_of_hierarchy_misses(&self) -> f64 {
+        ratio(
+            self.cache_to_cache(),
+            self.cache_to_cache() + self.memory_fetches,
+        )
+    }
+
+    /// Fraction of cache-to-cache transfers that were dirty (Table II).
+    pub fn c2c_dirty_fraction(&self) -> f64 {
+        ratio(
+            self.c2c_l1_dirty + self.llc_remote_dirty,
+            self.cache_to_cache(),
+        )
+    }
+
+    /// The paper's per-VM LLC miss rate: off-chip fetches over LLC-level
+    /// requests.
+    pub fn llc_miss_rate(&self) -> f64 {
+        ratio(self.memory_fetches, self.l1_misses)
+    }
+
+    /// Mean L1-miss latency in cycles.
+    pub fn mean_miss_latency(&self) -> f64 {
+        self.miss_latency.mean()
+    }
+
+    /// Misses per thousand references (a second, quota-independent view of
+    /// pressure).
+    pub fn mpkr(&self) -> f64 {
+        1000.0 * ratio(self.memory_fetches, self.refs)
+    }
+
+    /// Unique blocks touched during measurement.
+    pub fn footprint_blocks(&self) -> u64 {
+        self.footprint.len() as u64
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for VmMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "refs={} l1_misses={} c2c={:.1}% (dirty {:.1}%) llc_miss={:.1}% mean_lat={:.1}cy",
+            self.refs,
+            self.l1_misses,
+            self.c2c_fraction() * 100.0,
+            self.c2c_dirty_fraction() * 100.0,
+            self.llc_miss_rate() * 100.0,
+            self.mean_miss_latency(),
+        )
+    }
+}
+
+/// Fraction of LLC lines replicated across banks (paper Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReplicationSnapshot {
+    /// Valid lines across all banks.
+    pub total_lines: u64,
+    /// Lines whose block also resides in at least one other bank.
+    pub replicated_lines: u64,
+}
+
+impl ReplicationSnapshot {
+    /// Computes the snapshot over a set of LLC banks.
+    pub fn capture(banks: &[SetAssocCache]) -> Self {
+        let mut copies: HashMap<u64, u32> = HashMap::new();
+        let mut total = 0u64;
+        for bank in banks {
+            for line in bank.lines() {
+                *copies.entry(line.block.raw()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        let replicated = banks
+            .iter()
+            .flat_map(|b| b.lines())
+            .filter(|l| copies[&l.block.raw()] > 1)
+            .count() as u64;
+        Self {
+            total_lines: total,
+            replicated_lines: replicated,
+        }
+    }
+
+    /// Fraction of lines replicated, in `[0, 1]`.
+    pub fn replicated_fraction(&self) -> f64 {
+        ratio(self.replicated_lines, self.total_lines)
+    }
+}
+
+/// Per-bank, per-VM share of LLC capacity (paper Fig. 13).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OccupancySnapshot {
+    /// `share[bank][vm]` = fraction of the bank's *capacity* holding that
+    /// VM's lines.
+    pub share: Vec<Vec<f64>>,
+}
+
+impl OccupancySnapshot {
+    /// Computes the snapshot over LLC banks for `num_vms` VMs.
+    pub fn capture(banks: &[SetAssocCache], num_vms: usize) -> Self {
+        let share = banks
+            .iter()
+            .map(|bank| {
+                let mut counts = vec![0u64; num_vms];
+                for line in bank.lines() {
+                    let vm = line.block.vm().index();
+                    if vm < num_vms {
+                        counts[vm] += 1;
+                    }
+                }
+                counts
+                    .into_iter()
+                    .map(|c| ratio(c, bank.capacity() as u64))
+                    .collect()
+            })
+            .collect();
+        Self { share }
+    }
+
+    /// A VM's average share of LLC capacity across all banks, in `[0, 1]`.
+    pub fn vm_total_share(&self, vm: VmId) -> f64 {
+        if self.share.is_empty() {
+            return 0.0;
+        }
+        self.share.iter().map(|bank| bank[vm.index()]).sum::<f64>() / self.share.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consim_cache::{LineState, ReplacementPolicy};
+    use consim_types::{BlockAddr, CacheGeometry};
+
+    #[test]
+    fn miss_source_classification() {
+        assert!(MissSource::RemoteL1Dirty.is_cache_to_cache());
+        assert!(MissSource::RemoteLlcClean.is_cache_to_cache());
+        assert!(!MissSource::LocalLlc.is_cache_to_cache());
+        assert!(!MissSource::Memory.is_cache_to_cache());
+        assert!(MissSource::RemoteLlcDirty.is_dirty_transfer());
+        assert!(!MissSource::RemoteL1Clean.is_dirty_transfer());
+    }
+
+    #[test]
+    fn record_miss_buckets() {
+        let mut m = VmMetrics::default();
+        m.record_miss(MissSource::RemoteL1Dirty, 30);
+        m.record_miss(MissSource::RemoteL1Clean, 20);
+        m.record_miss(MissSource::LocalLlc, 10);
+        m.record_miss(MissSource::Memory, 160);
+        assert_eq!(m.l1_misses, 4);
+        assert_eq!(m.cache_to_cache(), 2);
+        assert_eq!(m.c2c_fraction(), 0.5);
+        assert_eq!(m.c2c_dirty_fraction(), 0.5);
+        assert_eq!(m.llc_miss_rate(), 0.25);
+        assert_eq!(m.mean_miss_latency(), 55.0);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = VmMetrics::default();
+        assert_eq!(m.c2c_fraction(), 0.0);
+        assert_eq!(m.llc_miss_rate(), 0.0);
+        assert_eq!(m.mpkr(), 0.0);
+    }
+
+    fn bank_with(blocks: &[u64]) -> SetAssocCache {
+        let geom = CacheGeometry::new(64 * 64, 4, 6).unwrap();
+        let mut c = SetAssocCache::new(geom, ReplacementPolicy::Lru);
+        for &b in blocks {
+            c.insert(BlockAddr::new(b), LineState::Shared);
+        }
+        c
+    }
+
+    #[test]
+    fn replication_counts_cross_bank_copies() {
+        let banks = vec![bank_with(&[1, 2, 3]), bank_with(&[3, 4]), bank_with(&[3])];
+        let snap = ReplicationSnapshot::capture(&banks);
+        assert_eq!(snap.total_lines, 6);
+        // Block 3 appears in all three banks: 3 replicated lines.
+        assert_eq!(snap.replicated_lines, 3);
+        assert!((snap.replicated_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_zero_when_disjoint() {
+        let banks = vec![bank_with(&[1]), bank_with(&[2])];
+        assert_eq!(ReplicationSnapshot::capture(&banks).replicated_fraction(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_attributes_lines_to_vms() {
+        let geom = CacheGeometry::new(64 * 64, 4, 6).unwrap();
+        let mut bank = SetAssocCache::new(geom, ReplacementPolicy::Lru);
+        for i in 0..6 {
+            bank.insert(BlockAddr::in_vm(VmId::new(0), i), LineState::Shared);
+        }
+        for i in 0..2 {
+            bank.insert(BlockAddr::in_vm(VmId::new(1), i), LineState::Shared);
+        }
+        let snap = OccupancySnapshot::capture(&[bank], 2);
+        let cap = 64.0;
+        assert!((snap.share[0][0] - 6.0 / cap).abs() < 1e-12);
+        assert!((snap.share[0][1] - 2.0 / cap).abs() < 1e-12);
+        assert!((snap.vm_total_share(VmId::new(0)) - 6.0 / cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut m = VmMetrics {
+            refs: 10,
+            ..VmMetrics::default()
+        };
+        m.record_miss(MissSource::Memory, 150);
+        assert!(m.to_string().contains("llc_miss=100.0%"));
+    }
+}

@@ -1,0 +1,227 @@
+//! The paper's Table IV workload mixes.
+//!
+//! Nine heterogeneous mixes (pairings of TPC-W, SPECjbb, TPC-H at 3:1, 2:2,
+//! and 1:3 ratios) and four homogeneous mixes (four copies of each
+//! workload). SPECweb appears only in its homogeneous mix — the paper could
+//! not combine it heterogeneously "due to issues with the workload driver",
+//! and we reproduce the same experiment set.
+
+use consim_workload::WorkloadKind;
+use std::fmt;
+
+/// Identifies one experimental mix from Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MixId {
+    /// Heterogeneous mixes 1–9.
+    Heterogeneous(u8),
+    /// Homogeneous mixes A–D.
+    Homogeneous(char),
+}
+
+impl fmt::Display for MixId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixId::Heterogeneous(n) => write!(f, "Mix {n}"),
+            MixId::Homogeneous(c) => write!(f, "Mix {c}"),
+        }
+    }
+}
+
+/// One consolidated workload mix: which workloads run, with multiplicity.
+///
+/// # Examples
+///
+/// ```
+/// use consim::mix::{Mix, MixId};
+/// use consim_workload::WorkloadKind;
+///
+/// let mix5 = Mix::heterogeneous(5).unwrap();
+/// assert_eq!(mix5.id(), MixId::Heterogeneous(5));
+/// assert_eq!(mix5.instances(), [
+///     WorkloadKind::SpecJbb, WorkloadKind::SpecJbb,
+///     WorkloadKind::TpcH, WorkloadKind::TpcH,
+/// ]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mix {
+    id: MixId,
+    instances: Vec<WorkloadKind>,
+}
+
+impl Mix {
+    /// The heterogeneous mixes of Table IV.
+    ///
+    /// | Mix | Composition |
+    /// |-----|-------------|
+    /// | 1   | TPC-W (3) & TPC-H (1) |
+    /// | 2   | TPC-W (2) & TPC-H (2) |
+    /// | 3   | TPC-W (1) & TPC-H (3) |
+    /// | 4   | SPECjbb (3) & TPC-H (1) |
+    /// | 5   | SPECjbb (2) & TPC-H (2) |
+    /// | 6   | SPECjbb (1) & TPC-H (3) |
+    /// | 7   | SPECjbb (3) & TPC-W (1) |
+    /// | 8   | SPECjbb (2) & TPC-W (2) |
+    /// | 9   | SPECjbb (1) & TPC-W (3) |
+    ///
+    /// Returns `None` for numbers outside 1–9.
+    pub fn heterogeneous(number: u8) -> Option<Mix> {
+        use WorkloadKind::{SpecJbb, TpcH, TpcW};
+        let (major, minor, majors) = match number {
+            1..=3 => (TpcW, TpcH, 4 - number),
+            4..=6 => (SpecJbb, TpcH, 4 - (number - 3)),
+            7..=9 => (SpecJbb, TpcW, 4 - (number - 6)),
+            _ => return None,
+        };
+        let mut instances = vec![major; majors as usize];
+        instances.extend(std::iter::repeat_n(minor, 4 - majors as usize));
+        Some(Mix {
+            id: MixId::Heterogeneous(number),
+            instances,
+        })
+    }
+
+    /// The homogeneous mixes of Table IV: A = TPC-W (4), B = TPC-H (4),
+    /// C = SPECjbb (4), D = SPECweb (4).
+    ///
+    /// Returns `None` for letters outside A–D.
+    pub fn homogeneous(letter: char) -> Option<Mix> {
+        let kind = match letter {
+            'A' => WorkloadKind::TpcW,
+            'B' => WorkloadKind::TpcH,
+            'C' => WorkloadKind::SpecJbb,
+            'D' => WorkloadKind::SpecWeb,
+            _ => return None,
+        };
+        Some(Mix {
+            id: MixId::Homogeneous(letter),
+            instances: vec![kind; 4],
+        })
+    }
+
+    /// All nine heterogeneous mixes, in order.
+    pub fn all_heterogeneous() -> Vec<Mix> {
+        (1..=9).map(|n| Mix::heterogeneous(n).expect("in range")).collect()
+    }
+
+    /// All four homogeneous mixes, in order.
+    pub fn all_homogeneous() -> Vec<Mix> {
+        ['A', 'B', 'C', 'D']
+            .into_iter()
+            .map(|c| Mix::homogeneous(c).expect("in range"))
+            .collect()
+    }
+
+    /// The mix's Table IV identifier.
+    pub fn id(&self) -> MixId {
+        self.id
+    }
+
+    /// The workload of each VM, in VM order.
+    pub fn instances(&self) -> &[WorkloadKind] {
+        &self.instances
+    }
+
+    /// The distinct workloads in this mix, in first-appearance order.
+    pub fn distinct_workloads(&self) -> Vec<WorkloadKind> {
+        let mut seen = Vec::new();
+        for &k in &self.instances {
+            if !seen.contains(&k) {
+                seen.push(k);
+            }
+        }
+        seen
+    }
+
+    /// Number of instances of `kind` in the mix.
+    pub fn count_of(&self, kind: WorkloadKind) -> usize {
+        self.instances.iter().filter(|&&k| k == kind).count()
+    }
+}
+
+impl fmt::Display for Mix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [", self.id)?;
+        for (i, kind) in self.distinct_workloads().iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{} ({})", kind, self.count_of(*kind))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use WorkloadKind::{SpecJbb, SpecWeb, TpcH, TpcW};
+
+    #[test]
+    fn heterogeneous_compositions_match_table4() {
+        let cases: [(u8, WorkloadKind, usize, WorkloadKind, usize); 9] = [
+            (1, TpcW, 3, TpcH, 1),
+            (2, TpcW, 2, TpcH, 2),
+            (3, TpcW, 1, TpcH, 3),
+            (4, SpecJbb, 3, TpcH, 1),
+            (5, SpecJbb, 2, TpcH, 2),
+            (6, SpecJbb, 1, TpcH, 3),
+            (7, SpecJbb, 3, TpcW, 1),
+            (8, SpecJbb, 2, TpcW, 2),
+            (9, SpecJbb, 1, TpcW, 3),
+        ];
+        for (n, a, ca, b, cb) in cases {
+            let mix = Mix::heterogeneous(n).unwrap();
+            assert_eq!(mix.count_of(a), ca, "Mix {n}");
+            assert_eq!(mix.count_of(b), cb, "Mix {n}");
+            assert_eq!(mix.instances().len(), 4, "Mix {n}");
+        }
+    }
+
+    #[test]
+    fn homogeneous_compositions_match_table4() {
+        assert_eq!(Mix::homogeneous('A').unwrap().count_of(TpcW), 4);
+        assert_eq!(Mix::homogeneous('B').unwrap().count_of(TpcH), 4);
+        assert_eq!(Mix::homogeneous('C').unwrap().count_of(SpecJbb), 4);
+        assert_eq!(Mix::homogeneous('D').unwrap().count_of(SpecWeb), 4);
+    }
+
+    #[test]
+    fn out_of_range_mixes_are_none() {
+        assert!(Mix::heterogeneous(0).is_none());
+        assert!(Mix::heterogeneous(10).is_none());
+        assert!(Mix::homogeneous('E').is_none());
+        assert!(Mix::homogeneous('a').is_none());
+    }
+
+    #[test]
+    fn specweb_never_appears_heterogeneously() {
+        for mix in Mix::all_heterogeneous() {
+            assert_eq!(mix.count_of(SpecWeb), 0, "{mix}");
+        }
+    }
+
+    #[test]
+    fn enumerations_are_complete() {
+        assert_eq!(Mix::all_heterogeneous().len(), 9);
+        assert_eq!(Mix::all_homogeneous().len(), 4);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mix = Mix::heterogeneous(7).unwrap();
+        assert_eq!(mix.to_string(), "Mix 7 [SPECjbb (3) & TPC-W (1)]");
+        assert_eq!(Mix::homogeneous('B').unwrap().to_string(), "Mix B [TPC-H (4)]");
+    }
+
+    #[test]
+    fn distinct_workloads_order() {
+        let mix = Mix::heterogeneous(9).unwrap();
+        assert_eq!(mix.distinct_workloads(), vec![SpecJbb, TpcW]);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(MixId::Heterogeneous(3).to_string(), "Mix 3");
+        assert_eq!(MixId::Homogeneous('D').to_string(), "Mix D");
+    }
+}

@@ -1,0 +1,143 @@
+//! Plain-text tables for figure/table regeneration output.
+
+use std::fmt;
+
+/// A labeled numeric table, printed in aligned plain text.
+///
+/// Used by the bench harness to print the same rows/series the paper's
+/// figures plot.
+///
+/// # Examples
+///
+/// ```
+/// use consim::report::TextTable;
+///
+/// let mut t = TextTable::new("Fig 2 (excerpt)", &["shared", "private"]);
+/// t.row("TPC-W", &[1.0, 1.42]);
+/// t.row("TPC-H", &[1.0, 1.08]);
+/// let text = t.to_string();
+/// assert!(text.contains("TPC-W"));
+/// assert!(text.contains("1.420"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    precision: usize,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            precision: 3,
+        }
+    }
+
+    /// Sets the number of decimal places (default 3).
+    pub fn precision(&mut self, digits: usize) -> &mut Self {
+        self.precision = digits;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn row(&mut self, label: impl Into<String>, values: &[f64]) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push((label.into(), values.to_vec()));
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4);
+        let col_width = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(8)
+            .max(self.precision + 5);
+
+        writeln!(f, "=== {} ===", self.title)?;
+        write!(f, "{:label_width$}", "")?;
+        for c in &self.columns {
+            write!(f, " {c:>col_width$}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:label_width$}")?;
+            for v in values {
+                write!(f, " {v:>col_width$.prec$}", prec = self.precision)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut t = TextTable::new("T", &["a", "b"]);
+        t.row("x", &[1.0, 2.0]).row("longer", &[3.5, 4.25]);
+        let s = t.to_string();
+        assert!(s.contains("=== T ==="));
+        assert!(s.contains("1.000"));
+        assert!(s.contains("4.250"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn precision_is_adjustable() {
+        let mut t = TextTable::new("p", &["v"]);
+        t.precision(1).row("r", &[0.123]);
+        assert!(t.to_string().contains("0.1"));
+        assert!(!t.to_string().contains("0.123"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        TextTable::new("T", &["a", "b"]).row("x", &[1.0]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new("empty", &["c"]);
+        assert!(t.is_empty());
+        assert!(t.to_string().contains("empty"));
+    }
+}

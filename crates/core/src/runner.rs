@@ -1,0 +1,428 @@
+//! Experiment orchestration: multi-seed runs, isolation baselines, sweeps.
+//!
+//! The figure regenerators in `consim-bench` are thin loops over this
+//! module: [`ExperimentRunner::run`] executes one (mix, policy, sharing)
+//! cell across the configured seeds and aggregates per-workload metrics;
+//! [`ExperimentRunner::isolated`] produces the isolation baselines every
+//! paper figure normalizes against.
+
+use crate::engine::{Simulation, SimulationConfig, SimulationOutcome};
+use crate::stats::Summary;
+use consim_sched::SchedulingPolicy;
+use consim_types::config::{MachineConfig, SharingDegree};
+use consim_types::{SimError, VmId};
+use consim_workload::{WorkloadKind, WorkloadProfile};
+
+/// Run-length and replication options shared by every experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Measured references per VM.
+    pub refs_per_vm: u64,
+    /// Warmup references per VM.
+    pub warmup_refs_per_vm: u64,
+    /// Seeds to run (one simulation per seed; results aggregated).
+    pub seeds: Vec<u64>,
+    /// Track per-VM footprints (needed only for Table II).
+    pub track_footprint: bool,
+    /// Pre-fill LLC banks with each workload's hot set before warmup
+    /// (checkpoint-style warm start; see
+    /// [`crate::engine::SimulationConfig::prewarm_llc`]).
+    pub prewarm_llc: bool,
+}
+
+impl RunOptions {
+    /// Quick settings for tests and smoke benches.
+    pub fn quick() -> Self {
+        Self {
+            refs_per_vm: 8_000,
+            warmup_refs_per_vm: 4_000,
+            seeds: vec![1],
+            track_footprint: false,
+            prewarm_llc: false,
+        }
+    }
+
+    /// Settings for regenerating the paper's figures (minutes per figure).
+    pub fn thorough() -> Self {
+        Self {
+            refs_per_vm: 120_000,
+            warmup_refs_per_vm: 60_000,
+            seeds: vec![1, 2, 3],
+            track_footprint: false,
+            prewarm_llc: true,
+        }
+    }
+
+    /// Reads overrides from the environment:
+    /// `CONSIM_REFS`, `CONSIM_WARMUP`, `CONSIM_SEEDS` (count).
+    ///
+    /// Unset or unparsable variables keep the base values.
+    pub fn from_env(mut self) -> Self {
+        if let Some(v) = env_u64("CONSIM_REFS") {
+            self.refs_per_vm = v;
+        }
+        if let Some(v) = env_u64("CONSIM_WARMUP") {
+            self.warmup_refs_per_vm = v;
+        }
+        if let Some(v) = env_u64("CONSIM_SEEDS") {
+            self.seeds = (1..=v.max(1)).collect();
+        }
+        self
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            refs_per_vm: 40_000,
+            warmup_refs_per_vm: 20_000,
+            seeds: vec![1, 2],
+            track_footprint: false,
+            prewarm_llc: false,
+        }
+    }
+}
+
+/// Aggregated metrics for one VM across seeds.
+#[derive(Debug, Clone)]
+pub struct VmAggregate {
+    /// The workload running in this VM.
+    pub kind: WorkloadKind,
+    /// Cycles to complete the reference quota.
+    pub runtime_cycles: Summary,
+    /// Off-chip fraction of LLC-level requests.
+    pub llc_miss_rate: Summary,
+    /// Mean L1-miss latency (cycles).
+    pub miss_latency: Summary,
+    /// Fraction of L1 misses served cache-to-cache.
+    pub c2c_fraction: Summary,
+    /// Table II's c2c share: transfers over transfers-plus-memory-fetches.
+    pub c2c_of_hierarchy_misses: Summary,
+    /// Dirty share of cache-to-cache transfers.
+    pub c2c_dirty_fraction: Summary,
+    /// Unique blocks touched (zero unless footprint tracking was on).
+    pub footprint_blocks: Summary,
+    /// Memory fetches per thousand references.
+    pub mpkr: Summary,
+}
+
+/// Aggregated results of one (mix, policy, sharing) experiment cell.
+#[derive(Debug, Clone)]
+pub struct MixRun {
+    /// Per-VM aggregates, in VM order.
+    pub vms: Vec<VmAggregate>,
+    /// LLC replication fraction.
+    pub replication: Summary,
+    /// Mean per-bank, per-VM occupancy share (seed-averaged).
+    pub occupancy: Vec<Vec<f64>>,
+    /// Mean interconnect packet latency.
+    pub noc_latency: Summary,
+    /// Measurement interval length.
+    pub measured_cycles: Summary,
+}
+
+impl MixRun {
+    /// Mean runtime of the VM at `vm`.
+    pub fn runtime(&self, vm: VmId) -> f64 {
+        self.vms[vm.index()].runtime_cycles.mean
+    }
+
+    /// Average of a per-VM statistic over every VM running `kind`.
+    pub fn mean_over_kind(&self, kind: WorkloadKind, f: impl Fn(&VmAggregate) -> f64) -> f64 {
+        let values: Vec<f64> = self
+            .vms
+            .iter()
+            .filter(|v| v.kind == kind)
+            .map(f)
+            .collect();
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+}
+
+/// Runs experiment cells against a base machine.
+///
+/// # Examples
+///
+/// ```
+/// use consim::runner::{ExperimentRunner, RunOptions};
+/// use consim_sched::SchedulingPolicy;
+/// use consim_types::config::SharingDegree;
+/// use consim_workload::WorkloadKind;
+///
+/// let runner = ExperimentRunner::new(RunOptions::quick());
+/// let run = runner.isolated(
+///     WorkloadKind::TpcH,
+///     SchedulingPolicy::Affinity,
+///     SharingDegree::SharedBy(4),
+/// )?;
+/// assert!(run.runtime(consim_types::VmId::new(0)) > 0.0);
+/// # Ok::<(), consim_types::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentRunner {
+    machine: MachineConfig,
+    options: RunOptions,
+}
+
+impl ExperimentRunner {
+    /// A runner over the paper's Table III machine.
+    pub fn new(options: RunOptions) -> Self {
+        Self {
+            machine: MachineConfig::paper_default(),
+            options,
+        }
+    }
+
+    /// A runner over a custom machine.
+    pub fn with_machine(machine: MachineConfig, options: RunOptions) -> Self {
+        Self { machine, options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &RunOptions {
+        &self.options
+    }
+
+    /// Runs a mix of built-in workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/placement errors from the engine.
+    pub fn run(
+        &self,
+        instances: &[WorkloadKind],
+        policy: SchedulingPolicy,
+        sharing: SharingDegree,
+    ) -> Result<MixRun, SimError> {
+        let profiles: Vec<WorkloadProfile> = instances.iter().map(|k| k.profile()).collect();
+        self.run_profiles(&profiles, policy, sharing)
+    }
+
+    /// Runs a mix of explicit profiles (one per VM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/placement errors from the engine.
+    pub fn run_profiles(
+        &self,
+        profiles: &[WorkloadProfile],
+        policy: SchedulingPolicy,
+        sharing: SharingDegree,
+    ) -> Result<MixRun, SimError> {
+        let outcomes: Vec<SimulationOutcome> = self
+            .options
+            .seeds
+            .iter()
+            .map(|&seed| {
+                let mut b = SimulationConfig::builder();
+                b.machine(self.machine.with_sharing(sharing))
+                    .policy(policy)
+                    .seed(seed)
+                    .refs_per_vm(self.options.refs_per_vm)
+                    .warmup_refs_per_vm(self.options.warmup_refs_per_vm)
+                    .track_footprint(self.options.track_footprint)
+                    .prewarm_llc(self.options.prewarm_llc);
+                for p in profiles {
+                    b.workload(p.clone());
+                }
+                Simulation::new(b.build()?)?.run()
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(self.aggregate(profiles, &outcomes))
+    }
+
+    /// Runs one workload in isolation: four active cores, the rest idle,
+    /// the full LLC available (the paper's §V-A setup).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/placement errors from the engine.
+    pub fn isolated(
+        &self,
+        kind: WorkloadKind,
+        policy: SchedulingPolicy,
+        sharing: SharingDegree,
+    ) -> Result<MixRun, SimError> {
+        self.run(&[kind], policy, sharing)
+    }
+
+    /// The paper's normalization baseline: the workload alone with the
+    /// fully shared 16 MB LLC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/placement errors from the engine.
+    pub fn isolation_baseline(&self, kind: WorkloadKind) -> Result<MixRun, SimError> {
+        self.isolated(kind, SchedulingPolicy::Affinity, SharingDegree::FullyShared)
+    }
+
+    fn aggregate(&self, profiles: &[WorkloadProfile], outcomes: &[SimulationOutcome]) -> MixRun {
+        let num_vms = profiles.len();
+        let vms = (0..num_vms)
+            .map(|vm| {
+                let collect = |f: &dyn Fn(&SimulationOutcome) -> f64| {
+                    Summary::of(&outcomes.iter().map(f).collect::<Vec<_>>())
+                };
+                VmAggregate {
+                    kind: profiles[vm].kind,
+                    runtime_cycles: collect(&|o| o.vm_metrics[vm].runtime_cycles() as f64),
+                    llc_miss_rate: collect(&|o| o.vm_metrics[vm].llc_miss_rate()),
+                    miss_latency: collect(&|o| o.vm_metrics[vm].mean_miss_latency()),
+                    c2c_fraction: collect(&|o| o.vm_metrics[vm].c2c_fraction()),
+                    c2c_of_hierarchy_misses: collect(&|o| {
+                        o.vm_metrics[vm].c2c_fraction_of_hierarchy_misses()
+                    }),
+                    c2c_dirty_fraction: collect(&|o| o.vm_metrics[vm].c2c_dirty_fraction()),
+                    footprint_blocks: collect(&|o| o.vm_metrics[vm].footprint_blocks() as f64),
+                    mpkr: collect(&|o| o.vm_metrics[vm].mpkr()),
+                }
+            })
+            .collect();
+        let replication = Summary::of(
+            &outcomes
+                .iter()
+                .map(|o| o.replication.replicated_fraction())
+                .collect::<Vec<_>>(),
+        );
+        let noc_latency = Summary::of(
+            &outcomes
+                .iter()
+                .map(|o| o.noc.mean_latency())
+                .collect::<Vec<_>>(),
+        );
+        let measured_cycles = Summary::of(
+            &outcomes
+                .iter()
+                .map(|o| o.measured_cycles as f64)
+                .collect::<Vec<_>>(),
+        );
+        // Seed-averaged occupancy grid.
+        let banks = outcomes
+            .first()
+            .map(|o| o.occupancy.share.len())
+            .unwrap_or(0);
+        let occupancy = (0..banks)
+            .map(|b| {
+                (0..num_vms)
+                    .map(|v| {
+                        outcomes
+                            .iter()
+                            .map(|o| o.occupancy.share[b][v])
+                            .sum::<f64>()
+                            / outcomes.len() as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        MixRun {
+            vms,
+            replication,
+            occupancy,
+            noc_latency,
+            measured_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consim_workload::WorkloadProfileBuilder;
+
+    fn tiny_runner() -> ExperimentRunner {
+        ExperimentRunner::new(RunOptions {
+            refs_per_vm: 2_000,
+            warmup_refs_per_vm: 500,
+            seeds: vec![1, 2],
+            track_footprint: false,
+            prewarm_llc: false,
+        })
+    }
+
+    fn tiny_profile(name: &str) -> WorkloadProfile {
+        WorkloadProfileBuilder::new(name)
+            .footprint_blocks(3_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn isolated_run_produces_aggregates() {
+        let r = tiny_runner();
+        let run = r
+            .run_profiles(
+                &[tiny_profile("a")],
+                SchedulingPolicy::Affinity,
+                SharingDegree::SharedBy(4),
+            )
+            .unwrap();
+        assert_eq!(run.vms.len(), 1);
+        assert_eq!(run.vms[0].runtime_cycles.n, 2);
+        assert!(run.vms[0].runtime_cycles.mean > 0.0);
+        assert!(run.vms[0].miss_latency.mean > 0.0);
+        assert!(run.measured_cycles.mean > 0.0);
+    }
+
+    #[test]
+    fn mix_run_aggregates_all_vms() {
+        let r = tiny_runner();
+        let profiles = vec![
+            tiny_profile("a"),
+            tiny_profile("b"),
+            tiny_profile("c"),
+            tiny_profile("d"),
+        ];
+        let run = r
+            .run_profiles(&profiles, SchedulingPolicy::RoundRobin, SharingDegree::SharedBy(4))
+            .unwrap();
+        assert_eq!(run.vms.len(), 4);
+        assert_eq!(run.occupancy.len(), 4);
+        assert_eq!(run.occupancy[0].len(), 4);
+        for v in &run.vms {
+            assert!(v.llc_miss_rate.mean >= 0.0 && v.llc_miss_rate.mean <= 1.0);
+        }
+    }
+
+    #[test]
+    fn mean_over_kind_averages_instances() {
+        let mut run = tiny_runner()
+            .run_profiles(
+                &[tiny_profile("a"), tiny_profile("b")],
+                SchedulingPolicy::Affinity,
+                SharingDegree::SharedBy(4),
+            )
+            .unwrap();
+        run.vms[0].kind = WorkloadKind::TpcH;
+        run.vms[1].kind = WorkloadKind::TpcH;
+        let m = run.mean_over_kind(WorkloadKind::TpcH, |v| v.runtime_cycles.mean);
+        let expected = (run.vms[0].runtime_cycles.mean + run.vms[1].runtime_cycles.mean) / 2.0;
+        assert!((m - expected).abs() < 1e-9);
+        assert_eq!(run.mean_over_kind(WorkloadKind::TpcW, |v| v.runtime_cycles.mean), 0.0);
+    }
+
+    #[test]
+    fn options_from_env_parse() {
+        // Set-and-restore to avoid leaking into other tests.
+        std::env::set_var("CONSIM_REFS", "1234");
+        std::env::set_var("CONSIM_SEEDS", "3");
+        let o = RunOptions::quick().from_env();
+        std::env::remove_var("CONSIM_REFS");
+        std::env::remove_var("CONSIM_SEEDS");
+        assert_eq!(o.refs_per_vm, 1234);
+        assert_eq!(o.seeds, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn quick_and_thorough_presets() {
+        assert!(RunOptions::quick().refs_per_vm < RunOptions::thorough().refs_per_vm);
+        assert!(RunOptions::thorough().seeds.len() >= 3);
+    }
+}

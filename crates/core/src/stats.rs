@@ -1,0 +1,123 @@
+//! Multi-seed aggregation (statistical simulation).
+//!
+//! The paper uses the statistical-simulation methodology of Alameldeen and
+//! Wood: multi-threaded runs are non-deterministic, so each configuration is
+//! run several times with perturbed initial conditions and results are
+//! reported as means with confidence intervals. Here the perturbation is the
+//! root RNG seed.
+
+use std::fmt;
+
+/// Mean / standard deviation / confidence half-width of a set of samples.
+///
+/// # Examples
+///
+/// ```
+/// use consim::stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert!(s.std > 0.9 && s.std < 1.1);
+/// assert_eq!(s.n, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 normalization).
+    pub std: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample set. Empty input gives all zeros; a single
+    /// sample gives `std = 0`.
+    pub fn of(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Self::default();
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        Self { mean, std, n }
+    }
+
+    /// Approximate 95 % confidence half-width (1.96 standard errors).
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (std / mean); zero for zero mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.ci95(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_no_spread() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std with n-1: sqrt(32/7).
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few = Summary::of(&[1.0, 2.0, 3.0]);
+        let many = Summary::of(&[1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        assert!(many.ci95() < few.ci95());
+    }
+
+    #[test]
+    fn cv() {
+        let s = Summary::of(&[2.0, 2.0]);
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(Summary::default().cv(), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        let s = Summary::of(&[1.0, 1.0]);
+        assert!(s.to_string().contains("n=2"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests over the full simulation engine: random small
+//! profiles, every policy and sharing degree, with structural invariants
+//! checked on the outcome.
+
+use consim::engine::{Simulation, SimulationConfig};
+use consim_sched::SchedulingPolicy;
+use consim_types::config::{MachineConfig, SharingDegree};
+use consim_workload::{WorkloadProfile, WorkloadProfileBuilder};
+use proptest::prelude::*;
+
+fn any_policy() -> impl Strategy<Value = SchedulingPolicy> {
+    prop_oneof![
+        Just(SchedulingPolicy::RoundRobin),
+        Just(SchedulingPolicy::Affinity),
+        Just(SchedulingPolicy::RrAffinity),
+        Just(SchedulingPolicy::Random),
+    ]
+}
+
+fn any_sharing() -> impl Strategy<Value = SharingDegree> {
+    prop_oneof![
+        Just(SharingDegree::Private),
+        Just(SharingDegree::SharedBy(2)),
+        Just(SharingDegree::SharedBy(4)),
+        Just(SharingDegree::SharedBy(8)),
+        Just(SharingDegree::FullyShared),
+    ]
+}
+
+prop_compose! {
+    fn any_profile()(
+        footprint in 3_000u64..40_000,
+        shared_fraction in 0.1f64..0.9,
+        shared_access in 0.0f64..0.9,
+        shared_write in 0.0f64..0.4,
+        handoff in 0.0f64..0.5,
+        seed_tag in 0u32..1000,
+    ) -> WorkloadProfile {
+        WorkloadProfileBuilder::new(format!("prop{seed_tag}"))
+            .footprint_blocks(footprint)
+            .shared_fraction(shared_fraction)
+            .shared_access_prob(shared_access)
+            .shared_write_prob(shared_write)
+            .handoff_access_prob(handoff)
+            .handoff_segments(8)
+            .handoff_segment_blocks(16)
+            .build()
+            .expect("generated profile in valid ranges")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid (profiles, policy, sharing, seed) combination must run to
+    /// completion with balanced, in-range metrics.
+    #[test]
+    fn engine_invariants_hold_for_random_configs(
+        profiles in prop::collection::vec(any_profile(), 1..4),
+        policy in any_policy(),
+        sharing in any_sharing(),
+        seed in 0u64..1_000,
+    ) {
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(sharing))
+            .policy(policy)
+            .refs_per_vm(1_500)
+            .warmup_refs_per_vm(300)
+            .seed(seed);
+        for p in &profiles {
+            b.workload(p.clone());
+        }
+        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+
+        prop_assert_eq!(out.vm_metrics.len(), profiles.len());
+        for m in &out.vm_metrics {
+            // Every reference is accounted for exactly once.
+            prop_assert_eq!(m.l0_hits + m.l1_hits + m.l1_misses, m.refs);
+            // Every miss is classified exactly once.
+            let classified = m.c2c_l1_clean
+                + m.c2c_l1_dirty
+                + m.llc_local_hits
+                + m.llc_remote_clean
+                + m.llc_remote_dirty
+                + m.memory_fetches
+                + m.upgrades;
+            prop_assert_eq!(classified, m.l1_misses);
+            prop_assert!(m.refs >= 1_500);
+            prop_assert!(m.completion.is_some());
+            prop_assert!(m.llc_miss_rate() >= 0.0 && m.llc_miss_rate() <= 1.0);
+            prop_assert!(m.c2c_fraction() >= 0.0 && m.c2c_fraction() <= 1.0);
+            prop_assert!(m.instructions >= m.refs);
+            // Latency floor: a classified (non-upgrade) miss at least pays
+            // the directory round trip.
+            if m.l1_misses > m.upgrades {
+                prop_assert!(m.miss_latency.max() >= 6);
+            }
+        }
+        // Occupancy shares are per-bank fractions.
+        for bank in &out.occupancy.share {
+            let sum: f64 = bank.iter().sum();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&sum));
+        }
+        // Replication is impossible with a single bank.
+        if sharing == SharingDegree::FullyShared {
+            prop_assert_eq!(out.replication.replicated_lines, 0);
+        }
+        prop_assert!(out.dircache_hit_rate >= 0.0 && out.dircache_hit_rate <= 1.0);
+        prop_assert!(out.noc_peak_utilization >= out.noc_mean_utilization);
+    }
+
+    /// Determinism as a property: any configuration reruns bit-identically.
+    #[test]
+    fn engine_is_deterministic_for_random_configs(
+        profile in any_profile(),
+        policy in any_policy(),
+        seed in 0u64..100,
+    ) {
+        let run = || {
+            let mut b = SimulationConfig::builder();
+            b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
+                .policy(policy)
+                .workload(profile.clone())
+                .refs_per_vm(1_000)
+                .warmup_refs_per_vm(0)
+                .seed(seed);
+            let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+            (
+                out.measured_cycles,
+                out.vm_metrics[0].l1_misses,
+                out.vm_metrics[0].miss_latency.total(),
+                out.noc.packets,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

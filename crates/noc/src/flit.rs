@@ -1,0 +1,588 @@
+//! Flit-level, cycle-driven mesh network model.
+//!
+//! Implements the paper's router microarchitecture: a 3-stage pipeline —
+//! route computation (RC), speculative combined virtual-channel/switch
+//! allocation (VA+SA), and switch traversal (ST) — with credit-based
+//! virtual-channel flow control and XY dimension-order routing.
+//!
+//! Within one [`Network::step`] the stages are processed in *reverse*
+//! pipeline order (ST, then VA+SA, then RC, then injection), so a flit
+//! advances at most one stage per cycle, giving each hop its 3-cycle router
+//! delay plus one link cycle.
+
+use crate::packet::Packet;
+use crate::stats::NocStats;
+use crate::topology::{Direction, Mesh};
+use consim_types::{Cycle, NodeId, SimError};
+use std::collections::VecDeque;
+
+/// Flit-level network parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Virtual channels per input port.
+    pub num_vcs: usize,
+    /// Buffer depth (flits) per virtual channel.
+    pub buf_depth: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self {
+            num_vcs: 2,
+            buf_depth: 4,
+        }
+    }
+}
+
+/// One flit in flight.
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    seq: u64,
+    dst: NodeId,
+    is_head: bool,
+    is_tail: bool,
+}
+
+/// Pipeline stage of the packet at the front of an input VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VcStage {
+    /// No packet, or head flit awaiting route computation.
+    Idle,
+    /// Route computed; needs an output VC (head only).
+    NeedVc,
+    /// Output VC held; body/tail flits stream through.
+    Active,
+}
+
+/// Per-input-VC state.
+#[derive(Debug, Clone)]
+struct VcState {
+    buf: VecDeque<Flit>,
+    stage: VcStage,
+    route: Option<Direction>,
+    out_vc: usize,
+    granted: bool,
+}
+
+impl VcState {
+    fn new() -> Self {
+        Self {
+            buf: VecDeque::new(),
+            stage: VcStage::Idle,
+            route: None,
+            out_vc: 0,
+            granted: false,
+        }
+    }
+
+    fn reset_packet_state(&mut self) {
+        self.stage = VcStage::Idle;
+        self.route = None;
+        self.out_vc = 0;
+        self.granted = false;
+    }
+}
+
+/// One mesh router: 5 input ports x V virtual channels.
+#[derive(Debug, Clone)]
+struct Router {
+    /// `inputs[port][vc]`.
+    inputs: Vec<Vec<VcState>>,
+    /// Downstream VC allocation per output port: `out_vc_busy[port][vc]`.
+    out_vc_busy: Vec<Vec<bool>>,
+    /// Credits toward the downstream buffer per output port and VC.
+    credits: Vec<Vec<usize>>,
+    /// Round-robin arbitration pointer per output port.
+    rr: Vec<usize>,
+}
+
+impl Router {
+    fn new(cfg: &NocConfig) -> Self {
+        Self {
+            inputs: (0..5)
+                .map(|_| (0..cfg.num_vcs).map(|_| VcState::new()).collect())
+                .collect(),
+            out_vc_busy: vec![vec![false; cfg.num_vcs]; 5],
+            credits: vec![vec![cfg.buf_depth; cfg.num_vcs]; 5],
+            rr: vec![0; 5],
+        }
+    }
+}
+
+/// A packet that completed its journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredPacket {
+    /// The original packet.
+    pub packet: Packet,
+    /// Cycle it was injected.
+    pub injected: Cycle,
+    /// Cycle its tail flit was ejected.
+    pub delivered: Cycle,
+}
+
+impl DeliveredPacket {
+    /// End-to-end latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.delivered - self.injected
+    }
+}
+
+/// The flit-level network.
+///
+/// # Examples
+///
+/// ```
+/// use consim_noc::{Mesh, Network, NocConfig, Packet};
+/// use consim_types::NodeId;
+///
+/// let mut net = Network::new(Mesh::new(4, 4)?, NocConfig::default());
+/// net.inject(Packet::control(NodeId::new(0), NodeId::new(5)));
+/// let delivered = net.run_until_idle(1_000)?;
+/// assert_eq!(delivered.len(), 1);
+/// assert!(delivered[0].latency() > 0);
+/// # Ok::<(), consim_types::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    mesh: Mesh,
+    cfg: NocConfig,
+    routers: Vec<Router>,
+    /// Per-node injection queues.
+    inject_queues: Vec<VecDeque<(Packet, u64, Cycle)>>,
+    cycle: Cycle,
+    next_seq: u64,
+    /// seq -> (packet, injected) for in-flight packets.
+    inflight: std::collections::HashMap<u64, (Packet, Cycle)>,
+    delivered: Vec<DeliveredPacket>,
+    stats: NocStats,
+}
+
+impl Network {
+    /// Creates an idle network.
+    pub fn new(mesh: Mesh, cfg: NocConfig) -> Self {
+        assert!(cfg.num_vcs > 0 && cfg.buf_depth > 0, "VCs and buffers must be nonzero");
+        Self {
+            routers: (0..mesh.num_nodes()).map(|_| Router::new(&cfg)).collect(),
+            inject_queues: vec![VecDeque::new(); mesh.num_nodes()],
+            mesh,
+            cfg,
+            cycle: Cycle::ZERO,
+            next_seq: 0,
+            inflight: std::collections::HashMap::new(),
+            delivered: Vec::new(),
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The current simulation cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// The mesh this network runs on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Queues a packet for injection at its source node.
+    pub fn inject(&mut self, packet: Packet) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inject_queues[packet.src.index()].push_back((packet, seq, self.cycle));
+    }
+
+    /// Whether any packet is queued or in flight.
+    pub fn is_busy(&self) -> bool {
+        !self.inflight.is_empty() || self.inject_queues.iter().any(|q| !q.is_empty())
+    }
+
+    /// Packets delivered so far (drains the internal buffer).
+    pub fn take_delivered(&mut self) -> Vec<DeliveredPacket> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Steps until every injected packet is delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invariant`] if the network fails to drain within
+    /// `max_cycles` (would indicate deadlock or livelock).
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Result<Vec<DeliveredPacket>, SimError> {
+        let deadline = self.cycle + max_cycles;
+        while self.is_busy() {
+            if self.cycle >= deadline {
+                return Err(SimError::invariant(format!(
+                    "network failed to drain within {max_cycles} cycles ({} in flight)",
+                    self.inflight.len()
+                )));
+            }
+            self.step();
+        }
+        Ok(self.take_delivered())
+    }
+
+    /// Advances the network by one cycle.
+    pub fn step(&mut self) {
+        // Arrivals staged during ST, applied at end of the step so a flit
+        // cannot traverse two links in one cycle.
+        let mut arrivals: Vec<(usize, usize, usize, Flit)> = Vec::new(); // (router, port, vc, flit)
+        let mut credit_returns: Vec<(usize, usize, usize)> = Vec::new(); // (router, out_port, vc)
+
+        // Phase 1: switch traversal of flits granted last cycle.
+        for r in 0..self.routers.len() {
+            for port in 0..5 {
+                for vc in 0..self.cfg.num_vcs {
+                    if !self.routers[r].inputs[port][vc].granted {
+                        continue;
+                    }
+                    let (flit, route, out_vc) = {
+                        let state = &mut self.routers[r].inputs[port][vc];
+                        state.granted = false;
+                        let flit = state.buf.pop_front().expect("granted VC has a flit");
+                        (flit, state.route.expect("granted VC has a route"), state.out_vc)
+                    };
+                    // Return a credit upstream for the buffer slot we freed
+                    // (injection and ejection queues are endpoint buffers,
+                    // not credited links).
+                    if port != Direction::Local.port_index() {
+                        let in_dir = port_direction(port);
+                        // The flit came over the link from `upstream` in the
+                        // direction opposite to our input port label.
+                        if let Some(upstream) = self.mesh.neighbor(node(r), in_dir) {
+                            let out_port = in_dir.opposite().port_index();
+                            credit_returns.push((upstream.index(), out_port, vc));
+                        }
+                    }
+                    if route == Direction::Local {
+                        // Ejection: endpoint sink.
+                        if flit.is_tail {
+                            self.finish_packet(flit.seq);
+                        }
+                    } else {
+                        let downstream = self
+                            .mesh
+                            .neighbor(node(r), route)
+                            .expect("XY route stays in mesh");
+                        let in_port = route.opposite().port_index();
+                        arrivals.push((downstream.index(), in_port, out_vc, flit));
+                    }
+                    if flit.is_tail {
+                        // Release the downstream VC and rearm this input VC
+                        // for the next packet.
+                        if route != Direction::Local {
+                            self.routers[r].out_vc_busy[route.port_index()][out_vc] = false;
+                        }
+                        self.routers[r].inputs[port][vc].reset_packet_state();
+                    }
+                }
+            }
+        }
+        for (r, port, vc) in credit_returns {
+            self.routers[r].credits[port][vc] += 1;
+            debug_assert!(
+                self.routers[r].credits[port][vc] <= self.cfg.buf_depth,
+                "credit overflow"
+            );
+        }
+
+        // Phase 2: combined (speculative) VC + switch allocation.
+        for r in 0..self.routers.len() {
+            let mut input_port_used = [false; 5];
+            for out_port in 0..5 {
+                let num_candidates = 5 * self.cfg.num_vcs;
+                let start = self.routers[r].rr[out_port];
+                let mut winner: Option<(usize, usize, Option<usize>)> = None;
+                for k in 0..num_candidates {
+                    let idx = (start + k) % num_candidates;
+                    let (port, vc) = (idx / self.cfg.num_vcs, idx % self.cfg.num_vcs);
+                    if input_port_used[port] {
+                        continue;
+                    }
+                    let state = &self.routers[r].inputs[port][vc];
+                    if state.granted || state.buf.is_empty() {
+                        continue;
+                    }
+                    if state.route.map(Direction::port_index) != Some(out_port) {
+                        continue;
+                    }
+                    match state.stage {
+                        VcStage::Active => {
+                            if out_port == Direction::Local.port_index()
+                                || self.routers[r].credits[out_port][state.out_vc] > 0
+                            {
+                                winner = Some((port, vc, None));
+                            }
+                        }
+                        VcStage::NeedVc => {
+                            // Speculative VA+SA: claim a free downstream VC
+                            // and the switch in the same cycle.
+                            if out_port == Direction::Local.port_index() {
+                                winner = Some((port, vc, Some(0)));
+                            } else {
+                                let free = (0..self.cfg.num_vcs).find(|&v| {
+                                    !self.routers[r].out_vc_busy[out_port][v]
+                                        && self.routers[r].credits[out_port][v] > 0
+                                });
+                                if let Some(v) = free {
+                                    winner = Some((port, vc, Some(v)));
+                                }
+                            }
+                        }
+                        VcStage::Idle => {}
+                    }
+                    if winner.is_some() {
+                        self.routers[r].rr[out_port] = (idx + 1) % num_candidates;
+                        break;
+                    }
+                }
+                if let Some((port, vc, newly_allocated)) = winner {
+                    input_port_used[port] = true;
+                    if let Some(v) = newly_allocated {
+                        let state = &mut self.routers[r].inputs[port][vc];
+                        state.out_vc = v;
+                        state.stage = VcStage::Active;
+                        if out_port != Direction::Local.port_index() {
+                            self.routers[r].out_vc_busy[out_port][v] = true;
+                        }
+                    }
+                    let out_vc = self.routers[r].inputs[port][vc].out_vc;
+                    if out_port != Direction::Local.port_index() {
+                        debug_assert!(self.routers[r].credits[out_port][out_vc] > 0);
+                        self.routers[r].credits[out_port][out_vc] -= 1;
+                    }
+                    self.routers[r].inputs[port][vc].granted = true;
+                }
+            }
+        }
+
+        // Phase 3: route computation for fresh head flits.
+        for r in 0..self.routers.len() {
+            for port in 0..5 {
+                for vc in 0..self.cfg.num_vcs {
+                    let front_head = {
+                        let state = &self.routers[r].inputs[port][vc];
+                        state.stage == VcStage::Idle
+                            && state.buf.front().map(|f| f.is_head).unwrap_or(false)
+                    };
+                    if front_head {
+                        let dst = self.routers[r].inputs[port][vc].buf[0].dst;
+                        let route = self.mesh.route_xy(node(r), dst);
+                        let state = &mut self.routers[r].inputs[port][vc];
+                        state.route = Some(route);
+                        state.stage = VcStage::NeedVc;
+                    }
+                }
+            }
+        }
+
+        // Phase 4: injection — one packet per node per cycle, into an idle
+        // local-input VC (endpoint source queues are uncredited).
+        for n in 0..self.mesh.num_nodes() {
+            if self.inject_queues[n].is_empty() {
+                continue;
+            }
+            let local = Direction::Local.port_index();
+            let free_vc = (0..self.cfg.num_vcs).find(|&v| {
+                let state = &self.routers[n].inputs[local][v];
+                state.buf.is_empty() && state.stage == VcStage::Idle
+            });
+            if let Some(v) = free_vc {
+                let (packet, seq, injected) = self.inject_queues[n].pop_front().expect("nonempty");
+                let flits = packet.flits();
+                for i in 0..flits {
+                    self.routers[n].inputs[local][v].buf.push_back(Flit {
+                        seq,
+                        dst: packet.dst,
+                        is_head: i == 0,
+                        is_tail: i == flits - 1,
+                    });
+                }
+                self.inflight.insert(seq, (packet, injected));
+            }
+        }
+
+        // Apply staged arrivals; they become visible next cycle.
+        for (r, port, vc, flit) in arrivals {
+            let state = &mut self.routers[r].inputs[port][vc];
+            debug_assert!(state.buf.len() < self.cfg.buf_depth, "buffer overflow");
+            state.buf.push_back(flit);
+        }
+
+        self.cycle += 1;
+    }
+
+    fn finish_packet(&mut self, seq: u64) {
+        let (packet, injected) = self
+            .inflight
+            .remove(&seq)
+            .expect("delivered packet was in flight");
+        let delivered = self.cycle + 1; // tail lands at the endpoint next cycle
+        let hops = self.mesh.hops(packet.src, packet.dst);
+        self.stats.record(&packet, hops, delivered - injected);
+        self.delivered.push(DeliveredPacket {
+            packet,
+            injected,
+            delivered,
+        });
+    }
+}
+
+/// The direction label of an input port index (inverse of
+/// [`Direction::port_index`]).
+fn port_direction(port: usize) -> Direction {
+    Direction::ALL[port]
+}
+
+fn node(index: usize) -> NodeId {
+    NodeId::new(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(Mesh::new(4, 4).unwrap(), NocConfig::default())
+    }
+
+    #[test]
+    fn single_control_packet_is_delivered() {
+        let mut n = net();
+        n.inject(Packet::control(NodeId::new(0), NodeId::new(1)));
+        let d = n.run_until_idle(100).unwrap();
+        assert_eq!(d.len(), 1);
+        // 2 routers x 3-stage pipeline + 1 link cycle + ejection landing.
+        assert!(d[0].latency() >= 6, "latency {}", d[0].latency());
+        assert!(d[0].latency() <= 10, "latency {}", d[0].latency());
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let mut near = net();
+        near.inject(Packet::control(NodeId::new(0), NodeId::new(1)));
+        let near_lat = near.run_until_idle(100).unwrap()[0].latency();
+
+        let mut far = net();
+        far.inject(Packet::control(NodeId::new(0), NodeId::new(15)));
+        let far_lat = far.run_until_idle(200).unwrap()[0].latency();
+        assert!(far_lat > near_lat, "{far_lat} vs {near_lat}");
+    }
+
+    #[test]
+    fn data_packet_pays_serialization() {
+        let mut a = net();
+        a.inject(Packet::control(NodeId::new(0), NodeId::new(3)));
+        let ctrl = a.run_until_idle(200).unwrap()[0].latency();
+
+        let mut b = net();
+        b.inject(Packet::data(NodeId::new(0), NodeId::new(3)));
+        let data = b.run_until_idle(200).unwrap()[0].latency();
+        assert_eq!(data - ctrl, 4, "4 extra body/tail flits trail the head");
+    }
+
+    #[test]
+    fn local_packet_is_ejected() {
+        let mut n = net();
+        n.inject(Packet::control(NodeId::new(6), NodeId::new(6)));
+        let d = n.run_until_idle(50).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d[0].latency() <= 5);
+    }
+
+    #[test]
+    fn many_packets_all_delivered() {
+        let mut n = net();
+        let mut expected = 0;
+        for s in 0..16 {
+            for d in 0..16 {
+                n.inject(Packet::control(NodeId::new(s), NodeId::new(d)));
+                expected += 1;
+            }
+        }
+        let delivered = n.run_until_idle(20_000).unwrap();
+        assert_eq!(delivered.len(), expected);
+        assert_eq!(n.stats().packets, expected as u64);
+    }
+
+    #[test]
+    fn contention_slows_sharing_flows() {
+        // Two flows sharing the 0->1->2->3 links vs the same flows alone.
+        let mut alone = net();
+        for _ in 0..20 {
+            alone.inject(Packet::data(NodeId::new(0), NodeId::new(3)));
+        }
+        let alone_done = {
+            let d = alone.run_until_idle(10_000).unwrap();
+            d.iter().map(|p| p.delivered.raw()).max().unwrap()
+        };
+
+        let mut shared = net();
+        for _ in 0..20 {
+            shared.inject(Packet::data(NodeId::new(0), NodeId::new(3)));
+            shared.inject(Packet::data(NodeId::new(1), NodeId::new(3)));
+        }
+        let shared_done = {
+            let d = shared.run_until_idle(20_000).unwrap();
+            d.iter()
+                .filter(|p| p.packet.src == NodeId::new(0))
+                .map(|p| p.delivered.raw())
+                .max()
+                .unwrap()
+        };
+        assert!(
+            shared_done > alone_done,
+            "shared {shared_done} should exceed alone {alone_done}"
+        );
+    }
+
+    #[test]
+    fn run_until_idle_reports_livelock_budget_exhaustion() {
+        let mut n = net();
+        n.inject(Packet::data(NodeId::new(0), NodeId::new(15)));
+        let err = n.run_until_idle(3).unwrap_err();
+        assert!(err.to_string().contains("drain"));
+    }
+
+    #[test]
+    fn take_delivered_drains() {
+        let mut n = net();
+        n.inject(Packet::control(NodeId::new(0), NodeId::new(1)));
+        n.run_until_idle(100).unwrap();
+        assert!(n.take_delivered().is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut n = net();
+            for s in 0..8 {
+                n.inject(Packet::data(NodeId::new(s), NodeId::new(15 - s)));
+            }
+            let mut d = n.run_until_idle(10_000).unwrap();
+            d.sort_by_key(|p| (p.packet.src, p.packet.dst));
+            d.iter().map(|p| p.latency()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn vc_count_one_still_works() {
+        let mut n = Network::new(
+            Mesh::new(4, 4).unwrap(),
+            NocConfig {
+                num_vcs: 1,
+                buf_depth: 2,
+            },
+        );
+        for s in 0..8 {
+            n.inject(Packet::data(NodeId::new(s), NodeId::new(15 - s)));
+        }
+        let d = n.run_until_idle(50_000).unwrap();
+        assert_eq!(d.len(), 8);
+    }
+}

@@ -1,0 +1,118 @@
+//! Network packets.
+
+use consim_types::NodeId;
+use std::fmt;
+
+/// Link width in bytes; a 64 B cache line plus header fits in 5 flits.
+pub const FLIT_BYTES: usize = 16;
+
+/// Flits in a control packet (requests, acknowledgements, invalidations).
+pub const CONTROL_FLITS: usize = 1;
+
+/// Flits in a data packet (cache-line transfers: 64 B payload + header).
+pub const DATA_FLITS: usize = 5;
+
+/// What a packet carries; determines its length in flits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PacketClass {
+    /// A single-flit control message.
+    Control,
+    /// A cache-line-bearing data message.
+    Data,
+}
+
+impl PacketClass {
+    /// Packet length in flits.
+    pub const fn flits(self) -> usize {
+        match self {
+            PacketClass::Control => CONTROL_FLITS,
+            PacketClass::Data => DATA_FLITS,
+        }
+    }
+}
+
+/// A point-to-point message on the mesh.
+///
+/// # Examples
+///
+/// ```
+/// use consim_noc::packet::{Packet, PacketClass};
+/// use consim_types::NodeId;
+///
+/// let req = Packet::control(NodeId::new(2), NodeId::new(9));
+/// assert_eq!(req.flits(), 1);
+/// let fill = Packet::data(NodeId::new(9), NodeId::new(2));
+/// assert_eq!(fill.flits(), 5);
+/// assert_eq!(fill.class, PacketClass::Data);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Injecting node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload class.
+    pub class: PacketClass,
+}
+
+impl Packet {
+    /// Creates a control packet.
+    pub const fn control(src: NodeId, dst: NodeId) -> Self {
+        Self {
+            src,
+            dst,
+            class: PacketClass::Control,
+        }
+    }
+
+    /// Creates a data packet.
+    pub const fn data(src: NodeId, dst: NodeId) -> Self {
+        Self {
+            src,
+            dst,
+            class: PacketClass::Data,
+        }
+    }
+
+    /// Packet length in flits.
+    pub const fn flits(&self) -> usize {
+        self.class.flits()
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self.class {
+            PacketClass::Control => "ctrl",
+            PacketClass::Data => "data",
+        };
+        write!(f, "{c} {}->{}", self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_counts() {
+        assert_eq!(PacketClass::Control.flits(), 1);
+        assert_eq!(PacketClass::Data.flits(), 5);
+        // 5 flits of 16 B cover a 64 B line + 16 B header.
+        const { assert!(DATA_FLITS * FLIT_BYTES >= 64 + FLIT_BYTES) };
+    }
+
+    #[test]
+    fn constructors() {
+        let p = Packet::control(NodeId::new(1), NodeId::new(2));
+        assert_eq!(p.class, PacketClass::Control);
+        let q = Packet::data(NodeId::new(1), NodeId::new(2));
+        assert_eq!(q.flits(), DATA_FLITS);
+    }
+
+    #[test]
+    fn display() {
+        let p = Packet::data(NodeId::new(0), NodeId::new(3));
+        assert_eq!(p.to_string(), "data node0->node3");
+    }
+}

@@ -1,0 +1,94 @@
+//! Cross-validation between the flit-level network and the packet-level
+//! contention model: the fast model the engine runs on must agree with the
+//! detailed model on distance scaling and congestion ordering.
+
+use consim_noc::{ContentionModel, Mesh, Network, NocConfig, Packet};
+use consim_types::{Cycle, NodeId};
+
+fn mesh() -> Mesh {
+    Mesh::new(4, 4).unwrap()
+}
+
+fn flit_latency(p: Packet) -> u64 {
+    let mut net = Network::new(mesh(), NocConfig::default());
+    net.inject(p);
+    net.run_until_idle(10_000).unwrap()[0].latency()
+}
+
+#[test]
+fn uncontended_latencies_scale_identically_with_distance() {
+    let noc = ContentionModel::new(mesh(), 1, 3);
+    let mut last_flit = 0;
+    let mut last_pkt = 0;
+    // Walk increasing distances along the bottom row then up the far column.
+    for &dst in &[1usize, 2, 3, 7, 11, 15] {
+        let p = Packet::control(NodeId::new(0), NodeId::new(dst));
+        let flit = flit_latency(p);
+        let pkt = noc.probe_latency(&p, Cycle::ZERO);
+        assert!(flit > last_flit, "flit latency must grow with distance");
+        assert!(pkt > last_pkt, "packet latency must grow with distance");
+        // The models count per-hop cycles slightly differently (the flit
+        // model folds the link into its third pipeline stage and pays an
+        // ejection pipeline at the destination); they must stay within one
+        // hop-count of each other.
+        let hops = mesh().hops(NodeId::new(0), NodeId::new(dst)) as u64;
+        assert!(
+            flit + hops >= pkt && flit <= pkt + 8,
+            "models diverged at dst {dst}: flit {flit} vs packet {pkt}"
+        );
+        last_flit = flit;
+        last_pkt = pkt;
+    }
+}
+
+#[test]
+fn serialization_overhead_matches() {
+    // Data vs control latency difference is (flits-1) in both models.
+    let ctrl = Packet::control(NodeId::new(0), NodeId::new(5));
+    let data = Packet::data(NodeId::new(0), NodeId::new(5));
+    let flit_delta = flit_latency(data) - flit_latency(ctrl);
+    let noc = ContentionModel::new(mesh(), 1, 3);
+    let pkt_delta =
+        noc.probe_latency(&data, Cycle::ZERO) - noc.probe_latency(&ctrl, Cycle::ZERO);
+    assert_eq!(flit_delta, pkt_delta, "both models charge 4 tail-flit cycles");
+}
+
+#[test]
+fn hotspot_congestion_orders_flows_the_same_way() {
+    // Eight flows into node 0 vs eight disjoint nearest-neighbor flows:
+    // both models must show the hotspot as slower on average.
+    let hotspot: Vec<Packet> = (8..16).map(|s| Packet::data(NodeId::new(s), NodeId::new(0))).collect();
+    let disjoint: Vec<Packet> = (0..8)
+        .map(|i| Packet::data(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+        .collect();
+
+    let flit_mean = |packets: &[Packet]| {
+        let mut net = Network::new(mesh(), NocConfig::default());
+        for _ in 0..4 {
+            for p in packets {
+                net.inject(*p);
+            }
+        }
+        let done = net.run_until_idle(100_000).unwrap();
+        done.iter().map(|d| d.latency()).sum::<u64>() as f64 / done.len() as f64
+    };
+    let pkt_mean = |packets: &[Packet]| {
+        let mut noc = ContentionModel::new(mesh(), 1, 3);
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for _ in 0..4 {
+            for p in packets {
+                total += noc.send(p, Cycle::ZERO).raw();
+                count += 1;
+            }
+        }
+        total as f64 / count as f64
+    };
+
+    let flit_hot = flit_mean(&hotspot);
+    let flit_cold = flit_mean(&disjoint);
+    let pkt_hot = pkt_mean(&hotspot);
+    let pkt_cold = pkt_mean(&disjoint);
+    assert!(flit_hot > flit_cold, "flit model: hotspot must be slower");
+    assert!(pkt_hot > pkt_cold, "packet model: hotspot must be slower");
+}

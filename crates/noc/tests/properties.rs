@@ -1,0 +1,95 @@
+//! Property-based tests for the interconnect models.
+
+use consim_noc::{ContentionModel, Mesh, Network, NocConfig, Packet};
+use consim_types::{Cycle, NodeId};
+use proptest::prelude::*;
+
+fn any_node() -> impl Strategy<Value = NodeId> {
+    (0usize..16).prop_map(NodeId::new)
+}
+
+fn any_packet() -> impl Strategy<Value = Packet> {
+    (any_node(), any_node(), any::<bool>()).prop_map(|(s, d, data)| {
+        if data {
+            Packet::data(s, d)
+        } else {
+            Packet::control(s, d)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every injected packet is eventually delivered, exactly once.
+    #[test]
+    fn flit_network_delivers_everything(
+        packets in prop::collection::vec(any_packet(), 1..60),
+    ) {
+        let mut net = Network::new(Mesh::new(4, 4).unwrap(), NocConfig::default());
+        for p in &packets {
+            net.inject(*p);
+        }
+        let delivered = net.run_until_idle(200_000).unwrap();
+        prop_assert_eq!(delivered.len(), packets.len());
+        // Source/destination multiset matches.
+        let mut want: Vec<_> = packets.iter().map(|p| (p.src, p.dst, p.class)).collect();
+        let mut got: Vec<_> = delivered.iter().map(|d| (d.packet.src, d.packet.dst, d.packet.class)).collect();
+        want.sort();
+        got.sort();
+        prop_assert_eq!(want, got);
+    }
+
+    /// Flit-level latency is never below the contention model's base
+    /// (uncontended) latency minus slack, and both grow with distance.
+    #[test]
+    fn flit_latency_at_least_distance_bound(src in any_node(), dst in any_node()) {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let mut net = Network::new(mesh, NocConfig::default());
+        net.inject(Packet::control(src, dst));
+        let d = net.run_until_idle(10_000).unwrap();
+        let hops = mesh.hops(src, dst) as u64;
+        // Each hop needs at least a link traversal plus pipeline progress.
+        prop_assert!(d[0].latency() >= hops);
+    }
+
+    /// The contention model's arrival is monotone in departure time:
+    /// leaving later never means arriving earlier.
+    #[test]
+    fn contention_arrivals_monotone(
+        packets in prop::collection::vec(any_packet(), 1..40),
+        departs in prop::collection::vec(0u64..200, 1..40),
+    ) {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let mut noc = ContentionModel::new(mesh, 1, 3);
+        let n = packets.len().min(departs.len());
+        let mut sorted: Vec<u64> = departs[..n].to_vec();
+        sorted.sort_unstable();
+        let mut last_same_route: std::collections::HashMap<(NodeId, NodeId), Cycle> =
+            std::collections::HashMap::new();
+        for (p, t) in packets[..n].iter().zip(sorted) {
+            let arrival = noc.send(p, Cycle::new(t));
+            prop_assert!(arrival.raw() >= t);
+            // Same-route FIFO: a later departure on the identical route
+            // cannot overtake (same links, same order).
+            if let Some(prev) = last_same_route.get(&(p.src, p.dst)) {
+                prop_assert!(arrival >= *prev);
+            }
+            last_same_route.insert((p.src, p.dst), arrival);
+        }
+    }
+
+    /// Contended latency is never below the uncontended base latency.
+    #[test]
+    fn contention_never_beats_base(
+        packets in prop::collection::vec(any_packet(), 1..60),
+    ) {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let mut noc = ContentionModel::new(mesh, 1, 3);
+        for p in &packets {
+            let arrival = noc.send(p, Cycle::ZERO);
+            let base = noc.base_latency(p.src, p.dst, p.flits());
+            prop_assert!(arrival.raw() >= base, "{} < {}", arrival.raw(), base);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Thread-to-core scheduling policies for consolidated CMP workloads.
+//!
+//! Whenever cores share last-level caches, the policy assigning threads to
+//! cores also assigns them to caches (paper §III-D). The hypervisor policies
+//! the paper evaluates:
+//!
+//! * **Round robin** — each workload's threads land in separate LLC banks,
+//!   maximizing the cache capacity visible to the workload at the cost of
+//!   replicating its shared data in every bank.
+//! * **Affinity** — each workload's threads are packed into as few banks as
+//!   possible, maximizing sharing and minimizing replication at the cost of
+//!   capacity and local congestion.
+//! * **RR-affinity hybrid** — threads spread round-robin but in pairs, so at
+//!   least two threads of a workload share each bank.
+//! * **Random** — the seemingly random assignment an over-committed
+//!   virtual-machine monitor drifts toward (seeded, deterministic).
+//!
+//! [`place`] computes a [`Placement`] for any machine/mix combination; the
+//! simulation engine then pins threads for the whole run, matching the
+//! paper's static-binding methodology.
+//!
+//! # Examples
+//!
+//! ```
+//! use consim_sched::{place, SchedulingPolicy};
+//! use consim_types::config::{MachineConfig, SharingDegree};
+//! use consim_types::SimRng;
+//!
+//! let machine = MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4));
+//! // Four 4-thread workloads, affinity: each workload owns one bank.
+//! let placement = place(
+//!     SchedulingPolicy::Affinity,
+//!     &machine,
+//!     &[4, 4, 4, 4],
+//!     &SimRng::from_seed(1),
+//! )?;
+//! assert_eq!(placement.banks_of_vm(consim_types::VmId::new(0), &machine).len(), 1);
+//! # Ok::<(), consim_types::SimError>(())
+//! ```
+
+pub mod placement;
+pub mod policy;
+
+pub use placement::{place, Placement};
+pub use policy::SchedulingPolicy;

@@ -1,0 +1,396 @@
+//! Computing and querying thread-to-core placements.
+
+use crate::policy::SchedulingPolicy;
+use consim_types::config::MachineConfig;
+use consim_types::{BankId, CoreId, GlobalThreadId, SimError, SimRng, ThreadId, VmId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A complete, validated assignment of every workload thread to a core.
+///
+/// Threads stay bound for the whole simulation (the paper statically binds
+/// threads at checkpoint load).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// `core_of[vm][thread]`.
+    core_of: Vec<Vec<CoreId>>,
+    policy: SchedulingPolicy,
+}
+
+impl Placement {
+    /// The policy that produced this placement.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// The core running a thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is outside the placed mix.
+    pub fn core_of(&self, thread: GlobalThreadId) -> CoreId {
+        self.core_of[thread.vm.index()][thread.thread.index()]
+    }
+
+    /// Number of VMs placed.
+    pub fn num_vms(&self) -> usize {
+        self.core_of.len()
+    }
+
+    /// Threads of a VM.
+    pub fn threads_of_vm(&self, vm: VmId) -> usize {
+        self.core_of[vm.index()].len()
+    }
+
+    /// Iterates over `(thread, core)` pairs in VM-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (GlobalThreadId, CoreId)> + '_ {
+        self.core_of.iter().enumerate().flat_map(|(vm, cores)| {
+            cores.iter().enumerate().map(move |(t, &core)| {
+                (GlobalThreadId::new(VmId::new(vm), ThreadId::new(t)), core)
+            })
+        })
+    }
+
+    /// The set of LLC banks a VM's threads touch under `machine`'s sharing
+    /// degree.
+    pub fn banks_of_vm(&self, vm: VmId, machine: &MachineConfig) -> BTreeSet<BankId> {
+        self.core_of[vm.index()]
+            .iter()
+            .map(|&c| machine.bank_of_core(c))
+            .collect()
+    }
+
+    /// How many placed threads share each LLC bank.
+    pub fn threads_per_bank(&self, machine: &MachineConfig) -> Vec<usize> {
+        let mut counts = vec![0usize; machine.llc_banks()];
+        for (_, core) in self.iter() {
+            counts[machine.bank_of_core(core).index()] += 1;
+        }
+        counts
+    }
+
+    /// Checks that no core is double-booked and every core is on the
+    /// machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Placement`] describing the first violation.
+    pub fn validate(&self, machine: &MachineConfig) -> Result<(), SimError> {
+        let mut used = vec![false; machine.num_cores];
+        for (thread, core) in self.iter() {
+            if core.index() >= machine.num_cores {
+                return Err(SimError::placement(format!(
+                    "{thread} assigned to nonexistent {core}"
+                )));
+            }
+            if used[core.index()] {
+                return Err(SimError::placement(format!("{core} double-booked")));
+            }
+            used[core.index()] = true;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.policy)?;
+        for (thread, core) in self.iter() {
+            write!(f, " {thread}->{core}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes a placement of `vm_threads` (thread count per VM, in VM order)
+/// onto `machine` under `policy`.
+///
+/// `rng` seeds the random policy; the deterministic policies ignore it.
+///
+/// # Errors
+///
+/// Returns [`SimError::Placement`] if the mix needs more cores than the
+/// machine has, or (for [`SchedulingPolicy::RrAffinity`]) more capacity than
+/// pairing can satisfy.
+///
+/// # Examples
+///
+/// ```
+/// use consim_sched::{place, SchedulingPolicy};
+/// use consim_types::config::{MachineConfig, SharingDegree};
+/// use consim_types::SimRng;
+///
+/// let machine = MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4));
+/// let p = place(SchedulingPolicy::RoundRobin, &machine, &[4], &SimRng::from_seed(0))?;
+/// // Round robin spreads an isolated workload's 4 threads over all 4 banks.
+/// assert_eq!(p.banks_of_vm(consim_types::VmId::new(0), &machine).len(), 4);
+/// # Ok::<(), consim_types::SimError>(())
+/// ```
+pub fn place(
+    policy: SchedulingPolicy,
+    machine: &MachineConfig,
+    vm_threads: &[usize],
+    rng: &SimRng,
+) -> Result<Placement, SimError> {
+    let total: usize = vm_threads.iter().sum();
+    if total > machine.num_cores {
+        return Err(SimError::placement(format!(
+            "{total} threads exceed {} cores",
+            machine.num_cores
+        )));
+    }
+    if vm_threads.contains(&0) {
+        return Err(SimError::placement("every VM needs at least one thread"));
+    }
+
+    // Free cores per bank, lowest core index first.
+    let num_banks = machine.llc_banks();
+    let mut free: Vec<Vec<CoreId>> = (0..num_banks)
+        .map(|b| {
+            machine
+                .cores_of_bank(BankId::new(b))
+                .map(CoreId::new)
+                .rev() // pop() yields the lowest index
+                .collect()
+        })
+        .collect();
+
+    let mut core_of: Vec<Vec<CoreId>> = vm_threads.iter().map(|&t| Vec::with_capacity(t)).collect();
+
+    // Takes the next free core in `bank` or, failing that, scans forward
+    // from `bank` for the first bank with space.
+    let take_from = |free: &mut Vec<Vec<CoreId>>, bank: usize| -> Option<CoreId> {
+        for off in 0..num_banks {
+            let b = (bank + off) % num_banks;
+            if let Some(core) = free[b].pop() {
+                return Some(core);
+            }
+        }
+        None
+    };
+
+    match policy {
+        SchedulingPolicy::RoundRobin => {
+            // Global cursor over banks: each workload's consecutive threads
+            // land in consecutive (hence distinct, when capacity allows)
+            // banks.
+            let mut cursor = 0usize;
+            for (vm, &threads) in vm_threads.iter().enumerate() {
+                for _ in 0..threads {
+                    let core = take_from(&mut free, cursor % num_banks)
+                        .ok_or_else(|| SimError::placement("ran out of cores"))?;
+                    core_of[vm].push(core);
+                    cursor += 1;
+                }
+            }
+        }
+        SchedulingPolicy::Affinity => {
+            // Fill banks sequentially so each workload occupies as few banks
+            // as possible.
+            let mut bank = 0usize;
+            for (vm, &threads) in vm_threads.iter().enumerate() {
+                for _ in 0..threads {
+                    // Stay on the current bank while it has room.
+                    while free[bank % num_banks].is_empty() {
+                        bank += 1;
+                    }
+                    let core = free[bank % num_banks].pop().expect("checked nonempty");
+                    core_of[vm].push(core);
+                }
+            }
+        }
+        SchedulingPolicy::RrAffinity => {
+            // Pairs of threads round-robin across banks: at least two
+            // threads of the workload share each bank (when the bank can
+            // hold a pair; single-core banks degenerate to round robin).
+            let pair = machine.cores_per_bank().min(2);
+            let mut cursor = 0usize;
+            for (vm, &threads) in vm_threads.iter().enumerate() {
+                let mut placed = 0usize;
+                while placed < threads {
+                    let want = pair.min(threads - placed);
+                    // Find a bank with room for the whole pair.
+                    let mut chosen = None;
+                    for off in 0..num_banks {
+                        let b = (cursor + off) % num_banks;
+                        if free[b].len() >= want {
+                            chosen = Some(b);
+                            break;
+                        }
+                    }
+                    let b = match chosen {
+                        Some(b) => b,
+                        // No bank can hold a pair; fall back to singles.
+                        None => {
+                            let core = take_from(&mut free, cursor % num_banks)
+                                .ok_or_else(|| SimError::placement("ran out of cores"))?;
+                            core_of[vm].push(core);
+                            placed += 1;
+                            cursor += 1;
+                            continue;
+                        }
+                    };
+                    for _ in 0..want {
+                        let core = free[b].pop().expect("capacity checked");
+                        core_of[vm].push(core);
+                        placed += 1;
+                    }
+                    cursor = b + 1;
+                }
+            }
+        }
+        SchedulingPolicy::Random => {
+            let mut cores: Vec<CoreId> = (0..machine.num_cores).map(CoreId::new).collect();
+            let mut rng = rng.derive("sched/random");
+            rng.shuffle(&mut cores);
+            let mut next = cores.into_iter();
+            for (vm, &threads) in vm_threads.iter().enumerate() {
+                for _ in 0..threads {
+                    core_of[vm].push(next.next().expect("count checked"));
+                }
+            }
+        }
+    }
+
+    let placement = Placement { core_of, policy };
+    placement.validate(machine)?;
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consim_types::config::SharingDegree;
+
+    fn machine(sharing: SharingDegree) -> MachineConfig {
+        MachineConfig::paper_default().with_sharing(sharing)
+    }
+
+    fn rng() -> SimRng {
+        SimRng::from_seed(42)
+    }
+
+    #[test]
+    fn round_robin_spreads_isolated_workload_across_banks() {
+        let m = machine(SharingDegree::SharedBy(4));
+        let p = place(SchedulingPolicy::RoundRobin, &m, &[4], &rng()).unwrap();
+        assert_eq!(p.banks_of_vm(VmId::new(0), &m).len(), 4);
+    }
+
+    #[test]
+    fn affinity_packs_isolated_workload_into_one_bank() {
+        let m = machine(SharingDegree::SharedBy(4));
+        let p = place(SchedulingPolicy::Affinity, &m, &[4], &rng()).unwrap();
+        assert_eq!(p.banks_of_vm(VmId::new(0), &m).len(), 1);
+    }
+
+    #[test]
+    fn affinity_on_shared8_uses_half_a_bank() {
+        let m = machine(SharingDegree::SharedBy(8));
+        let p = place(SchedulingPolicy::Affinity, &m, &[4], &rng()).unwrap();
+        assert_eq!(p.banks_of_vm(VmId::new(0), &m).len(), 1);
+    }
+
+    #[test]
+    fn full_mix_round_robin_gives_every_workload_every_bank() {
+        let m = machine(SharingDegree::SharedBy(4));
+        let p = place(SchedulingPolicy::RoundRobin, &m, &[4, 4, 4, 4], &rng()).unwrap();
+        for vm in 0..4 {
+            assert_eq!(p.banks_of_vm(VmId::new(vm), &m).len(), 4, "vm{vm}");
+        }
+        assert_eq!(p.threads_per_bank(&m), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn full_mix_affinity_gives_every_workload_its_own_bank() {
+        let m = machine(SharingDegree::SharedBy(4));
+        let p = place(SchedulingPolicy::Affinity, &m, &[4, 4, 4, 4], &rng()).unwrap();
+        let mut seen = BTreeSet::new();
+        for vm in 0..4 {
+            let banks = p.banks_of_vm(VmId::new(vm), &m);
+            assert_eq!(banks.len(), 1, "vm{vm}");
+            seen.extend(banks);
+        }
+        assert_eq!(seen.len(), 4, "workloads must not share banks");
+    }
+
+    #[test]
+    fn rr_affinity_pairs_threads() {
+        let m = machine(SharingDegree::SharedBy(4));
+        let p = place(SchedulingPolicy::RrAffinity, &m, &[4, 4, 4, 4], &rng()).unwrap();
+        for vm in 0..4 {
+            let banks = p.banks_of_vm(VmId::new(vm), &m);
+            assert_eq!(banks.len(), 2, "4 threads in pairs -> 2 banks (vm{vm})");
+            // Each bank hosts exactly 2 of this VM's threads.
+            for bank in banks {
+                let count = p
+                    .iter()
+                    .filter(|(t, c)| t.vm == VmId::new(vm) && m.bank_of_core(*c) == bank)
+                    .count();
+                assert_eq!(count, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn rr_affinity_degenerates_with_private_caches() {
+        let m = machine(SharingDegree::Private);
+        let p = place(SchedulingPolicy::RrAffinity, &m, &[4, 4, 4, 4], &rng()).unwrap();
+        p.validate(&m).unwrap();
+        assert_eq!(p.iter().count(), 16);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_varies_across_seeds() {
+        let m = machine(SharingDegree::SharedBy(4));
+        let a = place(SchedulingPolicy::Random, &m, &[4, 4, 4, 4], &SimRng::from_seed(1)).unwrap();
+        let b = place(SchedulingPolicy::Random, &m, &[4, 4, 4, 4], &SimRng::from_seed(1)).unwrap();
+        assert_eq!(a, b);
+        let differs = (2..20).any(|s| {
+            place(SchedulingPolicy::Random, &m, &[4, 4, 4, 4], &SimRng::from_seed(s)).unwrap() != a
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn all_policies_produce_valid_full_placements() {
+        for sharing in SharingDegree::paper_sweep() {
+            let m = machine(sharing);
+            for policy in SchedulingPolicy::PAPER_SET {
+                let p = place(policy, &m, &[4, 4, 4, 4], &rng()).unwrap();
+                p.validate(&m).unwrap();
+                assert_eq!(p.iter().count(), 16, "{policy} {sharing}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversubscription() {
+        let m = machine(SharingDegree::FullyShared);
+        assert!(place(SchedulingPolicy::RoundRobin, &m, &[8, 8, 4], &rng()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_thread_vm() {
+        let m = machine(SharingDegree::FullyShared);
+        assert!(place(SchedulingPolicy::Affinity, &m, &[4, 0], &rng()).is_err());
+    }
+
+    #[test]
+    fn unequal_thread_counts_place_cleanly() {
+        let m = machine(SharingDegree::SharedBy(4));
+        let p = place(SchedulingPolicy::Affinity, &m, &[2, 6, 8], &rng()).unwrap();
+        p.validate(&m).unwrap();
+        assert_eq!(p.threads_of_vm(VmId::new(1)), 6);
+        assert_eq!(p.iter().count(), 16);
+    }
+
+    #[test]
+    fn display_lists_assignments() {
+        let m = machine(SharingDegree::SharedBy(4));
+        let p = place(SchedulingPolicy::Affinity, &m, &[4], &rng()).unwrap();
+        let text = p.to_string();
+        assert!(text.starts_with("affinity:"));
+        assert!(text.contains("vm0.thread0->core"));
+    }
+}

@@ -1,0 +1,60 @@
+//! The scheduling policies.
+
+use std::fmt;
+
+/// How the hypervisor maps workload threads onto physical cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulingPolicy {
+    /// Spread each workload's threads across LLC banks (load balancing).
+    RoundRobin,
+    /// Pack each workload's threads into as few LLC banks as possible.
+    Affinity,
+    /// Round robin in pairs: at least two threads of a workload per bank.
+    RrAffinity,
+    /// Uniformly random core assignment (seeded).
+    Random,
+}
+
+impl SchedulingPolicy {
+    /// The four policies the paper sweeps.
+    pub const PAPER_SET: [SchedulingPolicy; 4] = [
+        SchedulingPolicy::RoundRobin,
+        SchedulingPolicy::Affinity,
+        SchedulingPolicy::RrAffinity,
+        SchedulingPolicy::Random,
+    ];
+
+    /// Label used in reports, matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulingPolicy::RoundRobin => "rr",
+            SchedulingPolicy::Affinity => "affinity",
+            SchedulingPolicy::RrAffinity => "aff-rr",
+            SchedulingPolicy::Random => "random",
+        }
+    }
+}
+
+impl fmt::Display for SchedulingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(SchedulingPolicy::RoundRobin.label(), "rr");
+        assert_eq!(SchedulingPolicy::Affinity.label(), "affinity");
+        assert_eq!(SchedulingPolicy::RrAffinity.label(), "aff-rr");
+        assert_eq!(SchedulingPolicy::Random.to_string(), "random");
+    }
+
+    #[test]
+    fn paper_set_has_all_four() {
+        assert_eq!(SchedulingPolicy::PAPER_SET.len(), 4);
+    }
+}

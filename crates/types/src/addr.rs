@@ -1,0 +1,210 @@
+//! Physical addresses and cache-block addresses.
+//!
+//! The simulator keeps every virtual machine in a disjoint slice of the
+//! physical address space: the top bits of an [`Address`] carry the VM id, the
+//! low bits the offset inside the VM's memory. This mirrors the paper's
+//! methodology ("each workload is statically assigned its own portion of
+//! physical memory ... no data is shared across workloads").
+//!
+//! Caches and the coherence protocol operate on [`BlockAddr`]s — addresses
+//! rounded down to the 64-byte cache-line granularity of the paper's machine.
+
+use crate::ids::VmId;
+use std::fmt;
+
+/// Cache-line size used throughout the paper and the simulator (bytes).
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// log2 of [`CACHE_LINE_BYTES`].
+pub const CACHE_LINE_SHIFT: u32 = CACHE_LINE_BYTES.trailing_zeros();
+
+/// Number of low bits reserved for the per-VM offset. 40 bits = 1 TiB per VM,
+/// far more than any workload footprint in the study.
+pub const VM_OFFSET_BITS: u32 = 40;
+
+/// A byte-granular physical address, tagged with the owning VM in its top
+/// bits.
+///
+/// # Examples
+///
+/// ```
+/// use consim_types::addr::Address;
+/// use consim_types::ids::VmId;
+///
+/// let a = Address::in_vm(VmId::new(3), 0x1234);
+/// assert_eq!(a.vm(), VmId::new(3));
+/// assert_eq!(a.offset(), 0x1234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// Builds an address from a VM id and a byte offset within the VM's
+    /// private memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit in [`VM_OFFSET_BITS`] bits.
+    #[inline]
+    pub fn in_vm(vm: VmId, offset: u64) -> Self {
+        assert!(
+            offset < (1 << VM_OFFSET_BITS),
+            "offset {offset:#x} exceeds the per-VM address space"
+        );
+        Self(((vm.index() as u64) << VM_OFFSET_BITS) | offset)
+    }
+
+    /// The raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The VM that owns this address.
+    #[inline]
+    pub fn vm(self) -> VmId {
+        VmId::new((self.0 >> VM_OFFSET_BITS) as usize)
+    }
+
+    /// The byte offset within the owning VM's memory.
+    #[inline]
+    pub const fn offset(self) -> u64 {
+        self.0 & ((1 << VM_OFFSET_BITS) - 1)
+    }
+
+    /// The cache block containing this address.
+    #[inline]
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> CACHE_LINE_SHIFT)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#x}", self.vm(), self.offset())
+    }
+}
+
+/// A cache-block (64 B line) address: an [`Address`] shifted right by
+/// [`CACHE_LINE_SHIFT`].
+///
+/// All cache tags, directory entries and coherence messages are keyed by
+/// `BlockAddr`.
+///
+/// # Examples
+///
+/// ```
+/// use consim_types::addr::{Address, BlockAddr, CACHE_LINE_BYTES};
+/// use consim_types::ids::VmId;
+///
+/// let a = Address::in_vm(VmId::new(0), 130);
+/// assert_eq!(a.block(), BlockAddr::new(2));
+/// assert_eq!(a.block().base_address().offset(), 2 * CACHE_LINE_BYTES as u64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw block number.
+    #[inline]
+    pub const fn new(block_number: u64) -> Self {
+        Self(block_number)
+    }
+
+    /// The raw block number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of the block.
+    #[inline]
+    pub const fn base_address(self) -> Address {
+        Address(self.0 << CACHE_LINE_SHIFT)
+    }
+
+    /// The VM that owns this block.
+    #[inline]
+    pub fn vm(self) -> VmId {
+        self.base_address().vm()
+    }
+
+    /// Builds the `index`-th block of VM `vm`'s address space.
+    #[inline]
+    pub fn in_vm(vm: VmId, block_index: u64) -> Self {
+        Address::in_vm(vm, block_index << CACHE_LINE_SHIFT).block()
+    }
+
+    /// The block index within the owning VM (i.e. offset / 64).
+    #[inline]
+    pub const fn vm_block_index(self) -> u64 {
+        self.base_address().offset() >> CACHE_LINE_SHIFT
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk[{}]", self.base_address())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_and_offset_roundtrip() {
+        for vm in [0usize, 1, 7, 15] {
+            for off in [0u64, 63, 64, 4096, (1 << 30) + 17] {
+                let a = Address::in_vm(VmId::new(vm), off);
+                assert_eq!(a.vm().index(), vm);
+                assert_eq!(a.offset(), off);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the per-VM address space")]
+    fn oversized_offset_panics() {
+        let _ = Address::in_vm(VmId::new(0), 1 << VM_OFFSET_BITS);
+    }
+
+    #[test]
+    fn addresses_in_same_line_share_block() {
+        let vm = VmId::new(2);
+        let a = Address::in_vm(vm, 128);
+        let b = Address::in_vm(vm, 191);
+        let c = Address::in_vm(vm, 192);
+        assert_eq!(a.block(), b.block());
+        assert_ne!(b.block(), c.block());
+    }
+
+    #[test]
+    fn blocks_from_distinct_vms_never_collide() {
+        let a = BlockAddr::in_vm(VmId::new(0), 42);
+        let b = BlockAddr::in_vm(VmId::new(1), 42);
+        assert_ne!(a, b);
+        assert_eq!(a.vm_block_index(), b.vm_block_index());
+        assert_eq!(a.vm().index(), 0);
+        assert_eq!(b.vm().index(), 1);
+    }
+
+    #[test]
+    fn block_base_address_is_line_aligned() {
+        let blk = BlockAddr::in_vm(VmId::new(3), 99);
+        assert_eq!(blk.base_address().raw() % CACHE_LINE_BYTES as u64, 0);
+        assert_eq!(blk.base_address().block(), blk);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Address::in_vm(VmId::new(1), 0x40);
+        assert_eq!(a.to_string(), "vm1:0x40");
+        assert_eq!(a.block().to_string(), "blk[vm1:0x40]");
+    }
+
+    #[test]
+    fn line_constants_agree() {
+        assert_eq!(1usize << CACHE_LINE_SHIFT, CACHE_LINE_BYTES);
+    }
+}

@@ -1,0 +1,573 @@
+//! Machine configuration (the paper's Table III) and cache geometry.
+//!
+//! [`MachineConfig::paper_default`] builds the exact 16-core machine used in
+//! the study; [`MachineConfigBuilder`] lets callers explore other designs
+//! (larger meshes, different LLC sizes, different latencies) while keeping
+//! the invariants checked in one place.
+
+use crate::addr::CACHE_LINE_BYTES;
+use crate::error::SimError;
+use std::fmt;
+
+/// How many cores share each last-level-cache bank.
+///
+/// The paper's continuum from private to fully shared:
+/// `Private` = 16 x 1 MB, `SharedBy(2)` = 8 x 2 MB, `SharedBy(4)` = 4 x 4 MB,
+/// `SharedBy(8)` = 2 x 8 MB, `FullyShared` = 1 x 16 MB (for the 16 MB / 16
+/// core default machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingDegree {
+    /// Each core has an exclusive LLC partition.
+    Private,
+    /// `n` cores share each LLC bank; `n` must divide the core count.
+    SharedBy(usize),
+    /// All cores share a single monolithic LLC.
+    FullyShared,
+}
+
+impl SharingDegree {
+    /// Number of cores sharing one bank, given the machine's core count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use consim_types::config::SharingDegree;
+    /// assert_eq!(SharingDegree::Private.cores_per_bank(16), 1);
+    /// assert_eq!(SharingDegree::SharedBy(4).cores_per_bank(16), 4);
+    /// assert_eq!(SharingDegree::FullyShared.cores_per_bank(16), 16);
+    /// ```
+    pub fn cores_per_bank(self, num_cores: usize) -> usize {
+        match self {
+            SharingDegree::Private => 1,
+            SharingDegree::SharedBy(n) => n,
+            SharingDegree::FullyShared => num_cores,
+        }
+    }
+
+    /// Number of LLC banks, given the machine's core count.
+    pub fn num_banks(self, num_cores: usize) -> usize {
+        num_cores / self.cores_per_bank(num_cores)
+    }
+
+    /// Canonical label used in reports ("private", "shared-4", "shared").
+    pub fn label(self) -> String {
+        match self {
+            SharingDegree::Private => "private".to_string(),
+            SharingDegree::SharedBy(n) => format!("shared-{n}"),
+            SharingDegree::FullyShared => "shared".to_string(),
+        }
+    }
+
+    /// All degrees the paper evaluates on a 16-core machine, from the most
+    /// partitioned to the most shared.
+    pub fn paper_sweep() -> Vec<SharingDegree> {
+        vec![
+            SharingDegree::Private,
+            SharingDegree::SharedBy(2),
+            SharingDegree::SharedBy(4),
+            SharingDegree::SharedBy(8),
+            SharingDegree::FullyShared,
+        ]
+    }
+}
+
+impl fmt::Display for SharingDegree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Size/shape/latency of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use consim_types::config::CacheGeometry;
+///
+/// let l1 = CacheGeometry::new(64 * 1024, 4, 2).unwrap();
+/// assert_eq!(l1.num_lines(), 1024);
+/// assert_eq!(l1.num_sets(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub total_bytes: usize,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry, validating that the capacity is a whole number of
+    /// sets of 64 B lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `total_bytes` is not a multiple
+    /// of `associativity * 64`, or if any parameter is zero.
+    pub fn new(total_bytes: usize, associativity: usize, latency: u64) -> Result<Self, SimError> {
+        if total_bytes == 0 || associativity == 0 {
+            return Err(SimError::invalid_config("cache size and associativity must be nonzero"));
+        }
+        let set_bytes = associativity * CACHE_LINE_BYTES;
+        if !total_bytes.is_multiple_of(set_bytes) {
+            return Err(SimError::invalid_config(format!(
+                "cache of {total_bytes} bytes is not a whole number of {associativity}-way sets"
+            )));
+        }
+        Ok(Self {
+            total_bytes,
+            associativity,
+            latency,
+        })
+    }
+
+    /// Total number of 64 B lines the cache can hold.
+    pub fn num_lines(&self) -> usize {
+        self.total_bytes / CACHE_LINE_BYTES
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_lines() / self.associativity
+    }
+
+    /// Returns a copy scaled to `bytes` total capacity (same associativity
+    /// and latency). Used to split the aggregate LLC into banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the scaled size is not a whole
+    /// number of sets.
+    pub fn with_total_bytes(&self, bytes: usize) -> Result<Self, SimError> {
+        Self::new(bytes, self.associativity, self.latency)
+    }
+}
+
+/// Full machine description (the paper's Table III plus simulator knobs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of in-order cores (16 in the paper).
+    pub num_cores: usize,
+    /// Mesh width; the mesh is `mesh_width x (num_cores / mesh_width)`.
+    pub mesh_width: usize,
+    /// Private L0 geometry (8 KB / 1 cycle).
+    pub l0: CacheGeometry,
+    /// Private L1 geometry (64 KB / 2 cycles).
+    pub l1: CacheGeometry,
+    /// Aggregate LLC geometry (16 MB / 6 cycles); divided into banks by
+    /// `sharing`.
+    pub llc: CacheGeometry,
+    /// LLC sharing degree.
+    pub sharing: SharingDegree,
+    /// DRAM access latency in cycles (150 in the paper).
+    pub memory_latency: u64,
+    /// Cycles each access occupies a memory controller (bandwidth model:
+    /// one controller serves one request per this many cycles).
+    pub memory_occupancy: u64,
+    /// Number of memory controllers attached to the mesh (4).
+    pub num_memory_controllers: usize,
+    /// Per-hop link traversal latency in cycles.
+    pub link_latency: u64,
+    /// Router pipeline depth in cycles (3-stage in the paper).
+    pub router_pipeline: u64,
+    /// Directory-cache entries per home node; a directory-cache miss costs an
+    /// extra off-chip access.
+    pub directory_cache_entries: usize,
+    /// Average non-memory instructions executed between two memory
+    /// references (in-order, 1 IPC).
+    pub instructions_per_memory_op: u64,
+}
+
+impl MachineConfig {
+    /// The machine from the paper's Table III.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use consim_types::config::MachineConfig;
+    /// let m = MachineConfig::paper_default();
+    /// assert_eq!(m.num_cores, 16);
+    /// assert_eq!(m.memory_latency, 150);
+    /// assert_eq!(m.llc_banks(), 1); // fully shared by default
+    /// ```
+    pub fn paper_default() -> Self {
+        MachineConfigBuilder::new()
+            .build()
+            .expect("paper default configuration is valid")
+    }
+
+    /// Returns a copy with a different LLC sharing degree.
+    pub fn with_sharing(&self, sharing: SharingDegree) -> Self {
+        let mut copy = self.clone();
+        copy.sharing = sharing;
+        copy
+    }
+
+    /// Number of LLC banks under the current sharing degree.
+    pub fn llc_banks(&self) -> usize {
+        self.sharing.num_banks(self.num_cores)
+    }
+
+    /// Number of cores sharing each LLC bank.
+    pub fn cores_per_bank(&self) -> usize {
+        self.sharing.cores_per_bank(self.num_cores)
+    }
+
+    /// Geometry of a single LLC bank (aggregate capacity / bank count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the aggregate LLC cannot be split evenly — prevented at
+    /// build time by [`MachineConfigBuilder::build`].
+    pub fn llc_bank_geometry(&self) -> CacheGeometry {
+        let banks = self.llc_banks();
+        self.llc
+            .with_total_bytes(self.llc.total_bytes / banks)
+            .expect("validated at build time")
+    }
+
+    /// The LLC bank serving a given core: cores are grouped contiguously,
+    /// `[0..n)`, `[n..2n)`, ... as in the paper's Figure 1.
+    pub fn bank_of_core(&self, core: crate::ids::CoreId) -> crate::ids::BankId {
+        crate::ids::BankId::new(core.index() / self.cores_per_bank())
+    }
+
+    /// The cores attached to a given LLC bank.
+    pub fn cores_of_bank(&self, bank: crate::ids::BankId) -> std::ops::Range<usize> {
+        let n = self.cores_per_bank();
+        bank.index() * n..(bank.index() + 1) * n
+    }
+
+    /// Mesh height.
+    pub fn mesh_height(&self) -> usize {
+        self.num_cores / self.mesh_width
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Builder for [`MachineConfig`] ([C-BUILDER]).
+///
+/// # Examples
+///
+/// ```
+/// use consim_types::config::{MachineConfigBuilder, SharingDegree};
+///
+/// let machine = MachineConfigBuilder::new()
+///     .sharing(SharingDegree::SharedBy(4))
+///     .memory_latency(200)
+///     .build()?;
+/// assert_eq!(machine.llc_banks(), 4);
+/// # Ok::<(), consim_types::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    num_cores: usize,
+    mesh_width: usize,
+    l0: CacheGeometry,
+    l1: CacheGeometry,
+    llc: CacheGeometry,
+    sharing: SharingDegree,
+    memory_latency: u64,
+    memory_occupancy: u64,
+    num_memory_controllers: usize,
+    link_latency: u64,
+    router_pipeline: u64,
+    directory_cache_entries: usize,
+    instructions_per_memory_op: u64,
+}
+
+impl MachineConfigBuilder {
+    /// Starts from the paper's Table III values.
+    pub fn new() -> Self {
+        Self {
+            num_cores: 16,
+            mesh_width: 4,
+            l0: CacheGeometry {
+                total_bytes: 8 * 1024,
+                associativity: 2,
+                latency: 1,
+            },
+            l1: CacheGeometry {
+                total_bytes: 64 * 1024,
+                associativity: 4,
+                latency: 2,
+            },
+            llc: CacheGeometry {
+                total_bytes: 16 * 1024 * 1024,
+                associativity: 16,
+                latency: 6,
+            },
+            sharing: SharingDegree::FullyShared,
+            memory_latency: 150,
+            memory_occupancy: 30,
+            num_memory_controllers: 4,
+            link_latency: 1,
+            router_pipeline: 3,
+            directory_cache_entries: 8192,
+            instructions_per_memory_op: 2,
+        }
+    }
+
+    /// Sets the core count.
+    pub fn num_cores(&mut self, n: usize) -> &mut Self {
+        self.num_cores = n;
+        self
+    }
+
+    /// Sets the mesh width (must divide the core count).
+    pub fn mesh_width(&mut self, w: usize) -> &mut Self {
+        self.mesh_width = w;
+        self
+    }
+
+    /// Sets the private L0 geometry.
+    pub fn l0(&mut self, geom: CacheGeometry) -> &mut Self {
+        self.l0 = geom;
+        self
+    }
+
+    /// Sets the private L1 geometry.
+    pub fn l1(&mut self, geom: CacheGeometry) -> &mut Self {
+        self.l1 = geom;
+        self
+    }
+
+    /// Sets the aggregate LLC geometry.
+    pub fn llc(&mut self, geom: CacheGeometry) -> &mut Self {
+        self.llc = geom;
+        self
+    }
+
+    /// Sets the LLC sharing degree.
+    pub fn sharing(&mut self, sharing: SharingDegree) -> &mut Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// Sets the DRAM latency.
+    pub fn memory_latency(&mut self, cycles: u64) -> &mut Self {
+        self.memory_latency = cycles;
+        self
+    }
+
+    /// Sets the per-access memory-controller occupancy (bandwidth).
+    pub fn memory_occupancy(&mut self, cycles: u64) -> &mut Self {
+        self.memory_occupancy = cycles;
+        self
+    }
+
+    /// Sets the number of memory controllers.
+    pub fn num_memory_controllers(&mut self, n: usize) -> &mut Self {
+        self.num_memory_controllers = n;
+        self
+    }
+
+    /// Sets the per-hop link latency.
+    pub fn link_latency(&mut self, cycles: u64) -> &mut Self {
+        self.link_latency = cycles;
+        self
+    }
+
+    /// Sets the router pipeline depth.
+    pub fn router_pipeline(&mut self, cycles: u64) -> &mut Self {
+        self.router_pipeline = cycles;
+        self
+    }
+
+    /// Sets the per-node directory-cache capacity (entries).
+    pub fn directory_cache_entries(&mut self, entries: usize) -> &mut Self {
+        self.directory_cache_entries = entries;
+        self
+    }
+
+    /// Sets the mean number of non-memory instructions between references.
+    pub fn instructions_per_memory_op(&mut self, n: u64) -> &mut Self {
+        self.instructions_per_memory_op = n;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if:
+    /// * the mesh width does not divide the core count;
+    /// * the sharing degree does not divide the core count;
+    /// * the LLC cannot be split into equal banks of whole sets;
+    /// * any count is zero.
+    pub fn build(&self) -> Result<MachineConfig, SimError> {
+        if self.num_cores == 0 {
+            return Err(SimError::invalid_config("machine needs at least one core"));
+        }
+        if self.mesh_width == 0 || !self.num_cores.is_multiple_of(self.mesh_width) {
+            return Err(SimError::invalid_config(format!(
+                "mesh width {} does not divide core count {}",
+                self.mesh_width, self.num_cores
+            )));
+        }
+        let per_bank = self.sharing.cores_per_bank(self.num_cores);
+        if per_bank == 0 || !self.num_cores.is_multiple_of(per_bank) {
+            return Err(SimError::invalid_config(format!(
+                "sharing degree {} does not divide core count {}",
+                self.sharing, self.num_cores
+            )));
+        }
+        let banks = self.num_cores / per_bank;
+        if !self.llc.total_bytes.is_multiple_of(banks) {
+            return Err(SimError::invalid_config(format!(
+                "LLC of {} bytes does not split into {banks} equal banks",
+                self.llc.total_bytes
+            )));
+        }
+        // Validate that each bank is a whole number of sets.
+        self.llc.with_total_bytes(self.llc.total_bytes / banks)?;
+        // Re-validate the per-level geometries (caller may have constructed
+        // them directly with struct syntax through a config copy).
+        CacheGeometry::new(self.l0.total_bytes, self.l0.associativity, self.l0.latency)?;
+        CacheGeometry::new(self.l1.total_bytes, self.l1.associativity, self.l1.latency)?;
+        if self.num_memory_controllers == 0 || self.num_memory_controllers > self.num_cores {
+            return Err(SimError::invalid_config(
+                "memory controller count must be in 1..=num_cores",
+            ));
+        }
+        if self.directory_cache_entries == 0 {
+            return Err(SimError::invalid_config(
+                "directory cache needs at least one entry",
+            ));
+        }
+        Ok(MachineConfig {
+            num_cores: self.num_cores,
+            mesh_width: self.mesh_width,
+            l0: self.l0,
+            l1: self.l1,
+            llc: self.llc,
+            sharing: self.sharing,
+            memory_latency: self.memory_latency,
+            memory_occupancy: self.memory_occupancy,
+            num_memory_controllers: self.num_memory_controllers,
+            link_latency: self.link_latency,
+            router_pipeline: self.router_pipeline,
+            directory_cache_entries: self.directory_cache_entries,
+            instructions_per_memory_op: self.instructions_per_memory_op,
+        })
+    }
+}
+
+impl Default for MachineConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BankId, CoreId};
+
+    #[test]
+    fn paper_default_matches_table3() {
+        let m = MachineConfig::paper_default();
+        assert_eq!(m.num_cores, 16);
+        assert_eq!(m.mesh_width, 4);
+        assert_eq!(m.l0.total_bytes, 8 * 1024);
+        assert_eq!(m.l0.latency, 1);
+        assert_eq!(m.l1.total_bytes, 64 * 1024);
+        assert_eq!(m.l1.latency, 2);
+        assert_eq!(m.llc.total_bytes, 16 * 1024 * 1024);
+        assert_eq!(m.llc.latency, 6);
+        assert_eq!(m.memory_latency, 150);
+        assert_eq!(m.router_pipeline, 3);
+    }
+
+    #[test]
+    fn sharing_degrees_partition_the_llc() {
+        let m = MachineConfig::paper_default();
+        let cases = [
+            (SharingDegree::Private, 16, 1 << 20),
+            (SharingDegree::SharedBy(2), 8, 2 << 20),
+            (SharingDegree::SharedBy(4), 4, 4 << 20),
+            (SharingDegree::SharedBy(8), 2, 8 << 20),
+            (SharingDegree::FullyShared, 1, 16 << 20),
+        ];
+        for (deg, banks, bank_bytes) in cases {
+            let m = m.with_sharing(deg);
+            assert_eq!(m.llc_banks(), banks, "{deg}");
+            assert_eq!(m.llc_bank_geometry().total_bytes, bank_bytes, "{deg}");
+        }
+    }
+
+    #[test]
+    fn bank_of_core_groups_contiguously() {
+        let m = MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4));
+        assert_eq!(m.bank_of_core(CoreId::new(0)), BankId::new(0));
+        assert_eq!(m.bank_of_core(CoreId::new(3)), BankId::new(0));
+        assert_eq!(m.bank_of_core(CoreId::new(4)), BankId::new(1));
+        assert_eq!(m.bank_of_core(CoreId::new(15)), BankId::new(3));
+        assert_eq!(m.cores_of_bank(BankId::new(2)), 8..12);
+    }
+
+    #[test]
+    fn builder_rejects_bad_mesh() {
+        let err = MachineConfigBuilder::new().mesh_width(5).build().unwrap_err();
+        assert!(err.to_string().contains("mesh width"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_sharing() {
+        let err = MachineConfigBuilder::new()
+            .sharing(SharingDegree::SharedBy(3))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("sharing degree"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_cores() {
+        assert!(MachineConfigBuilder::new().num_cores(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_too_many_memory_controllers() {
+        assert!(MachineConfigBuilder::new()
+            .num_memory_controllers(17)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(CacheGeometry::new(0, 4, 1).is_err());
+        assert!(CacheGeometry::new(64 * 3, 2, 1).is_err()); // 192 B / 2-way = 1.5 sets
+        let g = CacheGeometry::new(8 * 1024, 2, 1).unwrap();
+        assert_eq!(g.num_lines(), 128);
+        assert_eq!(g.num_sets(), 64);
+    }
+
+    #[test]
+    fn sharing_labels() {
+        assert_eq!(SharingDegree::Private.label(), "private");
+        assert_eq!(SharingDegree::SharedBy(8).label(), "shared-8");
+        assert_eq!(SharingDegree::FullyShared.label(), "shared");
+    }
+
+    #[test]
+    fn paper_sweep_order() {
+        let sweep = SharingDegree::paper_sweep();
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(sweep[0], SharingDegree::Private);
+        assert_eq!(sweep[4], SharingDegree::FullyShared);
+    }
+
+    #[test]
+    fn mesh_height() {
+        let m = MachineConfig::paper_default();
+        assert_eq!(m.mesh_height(), 4);
+    }
+}

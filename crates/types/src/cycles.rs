@@ -1,0 +1,281 @@
+//! Simulation-time arithmetic.
+//!
+//! A [`Cycle`] is a point on the global simulation clock; a plain `u64` is
+//! used for durations. The newtype prevents accidentally mixing clock values
+//! with, say, instruction counts.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in core clock cycles since the start
+/// of the run.
+///
+/// # Examples
+///
+/// ```
+/// use consim_types::cycles::Cycle;
+///
+/// let start = Cycle::ZERO;
+/// let later = start + 150;
+/// assert_eq!(later - start, 150);
+/// assert!(later > start);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two time points.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// The earlier of two time points.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Duration since `earlier`, saturating at zero if `earlier` is actually
+    /// later (useful when comparing unordered event timestamps).
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, duration: u64) -> Cycle {
+        Cycle(self.0 + duration)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, duration: u64) {
+        self.0 += duration;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = u64;
+
+    /// Duration between two time points.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative cycle duration");
+        self.0 - rhs.0
+    }
+}
+
+impl Sum<u64> for Cycle {
+    fn sum<I: Iterator<Item = u64>>(iter: I) -> Self {
+        Cycle(iter.sum())
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+/// Running mean of cycle durations without storing samples.
+///
+/// Used pervasively for latency statistics (e.g. average L1-miss latency).
+///
+/// # Examples
+///
+/// ```
+/// use consim_types::cycles::LatencyAccumulator;
+///
+/// let mut acc = LatencyAccumulator::new();
+/// acc.record(10);
+/// acc.record(20);
+/// assert_eq!(acc.count(), 2);
+/// assert_eq!(acc.mean(), 15.0);
+/// assert_eq!(acc.max(), 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyAccumulator {
+    count: u64,
+    total: u64,
+    max: u64,
+    min: u64,
+}
+
+impl LatencyAccumulator {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        Self {
+            count: 0,
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.total += latency;
+        self.max = self.max.max(latency);
+        self.min = self.min.min(latency);
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[inline]
+    pub const fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency, or 0.0 if no samples were recorded.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    #[inline]
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample, or 0 if empty.
+    #[inline]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyAccumulator) {
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_add_and_sub() {
+        let a = Cycle::new(100);
+        let b = a + 50;
+        assert_eq!(b.raw(), 150);
+        assert_eq!(b - a, 50);
+    }
+
+    #[test]
+    fn cycle_add_assign() {
+        let mut c = Cycle::ZERO;
+        c += 7;
+        c += 3;
+        assert_eq!(c, Cycle::new(10));
+    }
+
+    #[test]
+    fn cycle_min_max() {
+        let a = Cycle::new(5);
+        let b = Cycle::new(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(Cycle::new(5).saturating_since(Cycle::new(9)), 0);
+        assert_eq!(Cycle::new(9).saturating_since(Cycle::new(5)), 4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycle::new(42).to_string(), "42cy");
+    }
+
+    #[test]
+    fn empty_accumulator_is_safe() {
+        let acc = LatencyAccumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.min(), 0);
+        assert_eq!(acc.max(), 0);
+        assert_eq!(acc.count(), 0);
+    }
+
+    #[test]
+    fn accumulator_tracks_extremes() {
+        let mut acc = LatencyAccumulator::new();
+        for v in [7, 3, 11, 5] {
+            acc.record(v);
+        }
+        assert_eq!(acc.min(), 3);
+        assert_eq!(acc.max(), 11);
+        assert_eq!(acc.total(), 26);
+        assert_eq!(acc.count(), 4);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = LatencyAccumulator::new();
+        a.record(10);
+        let mut b = LatencyAccumulator::new();
+        b.record(2);
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 2);
+        assert_eq!(a.max(), 10);
+        assert_eq!(a.total(), 16);
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty_keeps_min() {
+        let mut a = LatencyAccumulator::new();
+        a.record(10);
+        a.merge(&LatencyAccumulator::new());
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.count(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! The workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a simulation.
+///
+/// # Examples
+///
+/// ```
+/// use consim_types::SimError;
+/// let e = SimError::invalid_config("mesh width must divide core count");
+/// assert!(e.to_string().contains("mesh width"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A machine, workload, or experiment configuration was inconsistent.
+    InvalidConfig(String),
+    /// A scheduling policy could not place all threads on the machine.
+    Placement(String),
+    /// A simulation invariant was violated (indicates a simulator bug).
+    Invariant(String),
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        SimError::InvalidConfig(msg.into())
+    }
+
+    /// Convenience constructor for [`SimError::Placement`].
+    pub fn placement(msg: impl Into<String>) -> Self {
+        SimError::Placement(msg.into())
+    }
+
+    /// Convenience constructor for [`SimError::Invariant`].
+    pub fn invariant(msg: impl Into<String>) -> Self {
+        SimError::Invariant(msg.into())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Placement(msg) => write!(f, "placement failed: {msg}"),
+            SimError::Invariant(msg) => write!(f, "simulation invariant violated: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            SimError::invalid_config("x").to_string(),
+            "invalid configuration: x"
+        );
+        assert_eq!(SimError::placement("y").to_string(), "placement failed: y");
+        assert_eq!(
+            SimError::invariant("z").to_string(),
+            "simulation invariant violated: z"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn Error> = Box::new(SimError::invariant("boom"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! Deterministic, stream-splittable random number generation.
+//!
+//! Every stochastic component (workload generators, random scheduling,
+//! replacement tie-breaks, statistical-simulation perturbation) draws from a
+//! [`SimRng`]. A run is fully reproducible from its root seed; independent
+//! components get *derived* streams so that adding a consumer does not shift
+//! the values any other consumer sees.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+///
+/// Wraps [`SmallRng`] and adds [`SimRng::derive`], which forks an independent
+/// stream identified by a string label — the label is hashed into the child
+/// seed so streams are stable across code reordering.
+///
+/// # Examples
+///
+/// ```
+/// use consim_types::rng::SimRng;
+///
+/// let mut a = SimRng::from_seed(42).derive("workload/tpcw/thread0");
+/// let mut b = SimRng::from_seed(42).derive("workload/tpcw/thread0");
+/// assert_eq!(a.next_u64(), b.next_u64()); // same label, same stream
+///
+/// let mut c = SimRng::from_seed(42).derive("workload/tpcw/thread1");
+/// assert_ne!(a.next_u64(), c.next_u64()); // overwhelmingly likely
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a root stream from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Forks an independent child stream identified by `label`.
+    ///
+    /// Children of the same parent with the same label are identical;
+    /// different labels give (with overwhelming probability) unrelated
+    /// streams. Deriving does not consume randomness from the parent.
+    pub fn derive(&self, label: &str) -> SimRng {
+        let child_seed = splitmix64(self.seed ^ fnv1a(label.as_bytes()));
+        SimRng::from_seed(child_seed)
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `usize` index in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index(0) is meaningless");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Geometric-ish positive count with the given mean (at least 1).
+    ///
+    /// Used for "instructions between memory references" gaps.
+    #[inline]
+    pub fn positive_with_mean(&mut self, mean: u64) -> u64 {
+        if mean <= 1 {
+            return 1;
+        }
+        // Draw uniformly in [1, 2*mean-1]; mean is `mean`, cheap and bounded.
+        self.inner.gen_range(1..2 * mean)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// FNV-1a hash used to turn stream labels into seed material.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer: decorrelates derived seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derive_is_stable_and_label_sensitive() {
+        let root = SimRng::from_seed(123);
+        let mut x = root.derive("a");
+        let mut y = root.derive("a");
+        let mut z = root.derive("b");
+        assert_eq!(x.next_u64(), y.next_u64());
+        assert_ne!(y.next_u64(), z.next_u64());
+    }
+
+    #[test]
+    fn derive_does_not_consume_parent() {
+        let mut a = SimRng::from_seed(5);
+        let mut b = SimRng::from_seed(5);
+        let _ = b.derive("child");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SimRng::from_seed(1);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SimRng::from_seed(1).below(0);
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut rng = SimRng::from_seed(2);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::from_seed(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range p is clamped rather than panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn positive_with_mean_bounds_and_mean() {
+        let mut rng = SimRng::from_seed(4);
+        let mean = 8u64;
+        let n = 20_000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let v = rng.positive_with_mean(mean);
+            assert!((1..2 * mean).contains(&v));
+            total += v;
+        }
+        let empirical = total as f64 / n as f64;
+        assert!((empirical - mean as f64).abs() < 0.2, "mean drifted: {empirical}");
+    }
+
+    #[test]
+    fn positive_with_mean_one_is_constant() {
+        let mut rng = SimRng::from_seed(5);
+        for _ in 0..10 {
+            assert_eq!(rng.positive_with_mean(1), 1);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::from_seed(6);
+        let mut v: Vec<usize> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_slices() {
+        let mut rng = SimRng::from_seed(7);
+        let mut empty: [u8; 0] = [];
+        rng.shuffle(&mut empty);
+        let mut one = [42];
+        rng.shuffle(&mut one);
+        assert_eq!(one, [42]);
+    }
+}

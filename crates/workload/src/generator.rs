@@ -1,0 +1,672 @@
+//! The per-instance reference-stream generator.
+
+use crate::profile::WorkloadProfile;
+use crate::reference::MemRef;
+use crate::zipf::ZipfSampler;
+use consim_types::{BlockAddr, SimRng, ThreadId, VmId};
+use std::collections::VecDeque;
+
+/// Per-thread generator state.
+#[derive(Debug, Clone)]
+struct ThreadState {
+    rng: SimRng,
+    recent: VecDeque<u64>,
+    refs: u64,
+    segment: Option<SegmentCursor>,
+}
+
+/// Progress through an owned work segment.
+#[derive(Debug, Clone, Copy)]
+struct SegmentCursor {
+    segment: usize,
+    pos: u64,
+    touch: u32,
+}
+
+/// One migrating work segment: a window of blocks moving through the
+/// pipeline of threads.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    /// Block offset of the segment's current incarnation within the
+    /// handoff region.
+    base: u64,
+    /// How many threads have processed this incarnation so far.
+    passes: usize,
+    /// The thread that last processed it.
+    last_owner: Option<usize>,
+}
+
+/// The pool of migrating work segments (see
+/// [`WorkloadProfile::handoff_access_prob`]).
+///
+/// Segments follow a *pipeline* discipline modeling task-queue and
+/// buffer-pool handoff: a fresh segment (new blocks, cold everywhere) is
+/// first processed by one thread, then passed in turn to every other
+/// thread — each successor's misses land in the previous owner's still-warm
+/// caches (cache-to-cache transfers, dirty when the previous owner wrote).
+/// After all threads have processed an incarnation, the segment is
+/// *reincarnated* onto the next window of the handoff region, streaming
+/// through it so old copies die by eviction.
+#[derive(Debug, Clone, Default)]
+struct HandoffPool {
+    segments: Vec<Segment>,
+    /// Stack of free segment ids; top = most recently released.
+    free: Vec<usize>,
+    /// Next streaming offset for reincarnations (block units).
+    next_window: u64,
+    /// Handoff region span in blocks.
+    span: u64,
+    seg_blocks: u64,
+    threads: usize,
+}
+
+impl HandoffPool {
+    fn new(num_segments: usize, seg_blocks: u64, threads: usize) -> Self {
+        let span = num_segments as u64 * seg_blocks;
+        Self {
+            segments: (0..num_segments)
+                .map(|i| Segment {
+                    base: i as u64 * seg_blocks,
+                    passes: 0,
+                    last_owner: None,
+                })
+                .collect(),
+            free: (0..num_segments).rev().collect(),
+            next_window: 0,
+            span,
+            seg_blocks,
+            threads,
+        }
+    }
+
+    /// Takes a segment for `me`: preferably the most recently released
+    /// mid-pipeline segment last processed by *another* thread (warm), else
+    /// a fresh incarnation, else whatever is on top.
+    fn acquire(&mut self, me: usize) -> Option<usize> {
+        if self.free.is_empty() {
+            return None;
+        }
+        let pick = self
+            .free
+            .iter()
+            .rposition(|&id| {
+                let s = &self.segments[id];
+                s.passes > 0 && s.last_owner != Some(me)
+            })
+            .or_else(|| {
+                self.free
+                    .iter()
+                    .rposition(|&id| self.segments[id].passes == 0)
+            })
+            .unwrap_or(self.free.len() - 1);
+        Some(self.free.remove(pick))
+    }
+
+    /// Returns a processed segment; completed incarnations stream onto the
+    /// next window of the region.
+    fn release(&mut self, id: usize, owner: usize) {
+        let threads = self.threads;
+        let seg = &mut self.segments[id];
+        seg.passes += 1;
+        seg.last_owner = Some(owner);
+        if seg.passes >= threads {
+            seg.base = self.next_window;
+            seg.passes = 0;
+            seg.last_owner = None;
+            self.next_window = (self.next_window + self.seg_blocks) % self.span.max(1);
+        }
+        self.free.push(id);
+    }
+
+    /// Block offset (within the handoff region) of position `pos` in
+    /// segment `id`.
+    fn block_of(&self, id: usize, pos: u64) -> u64 {
+        self.segments[id].base + pos
+    }
+}
+
+/// Generates the memory-reference stream of one workload instance (one VM).
+///
+/// Address-space layout inside the VM (block indices):
+///
+/// ```text
+/// [0 .. shared)                      shared region, all threads
+///   [shared - H .. shared)             handoff (migratory) segments
+/// [shared + t*P .. shared + (t+1)*P) private region of thread t
+/// ```
+///
+/// Four locality mechanisms shape each thread's stream: migratory handoff
+/// segments (producer-consumer sharing), Zipf-hot shared reuse, Zipf-hot
+/// private reuse, and a short recent-blocks window.
+///
+/// # Examples
+///
+/// ```
+/// use consim_workload::{WorkloadGenerator, WorkloadKind};
+/// use consim_types::{SimRng, ThreadId, VmId};
+///
+/// let profile = WorkloadKind::SpecJbb.profile();
+/// let rng = SimRng::from_seed(42);
+/// let mut g = WorkloadGenerator::new(VmId::new(2), &profile, &rng);
+/// let r = g.next_ref(ThreadId::new(1));
+/// assert_eq!(r.thread, ThreadId::new(1));
+/// assert_eq!(g.refs_emitted(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    vm: VmId,
+    profile: WorkloadProfile,
+    shared_sampler: Option<ZipfSampler>,
+    private_sampler: ZipfSampler,
+    threads: Vec<ThreadState>,
+    handoff: HandoffPool,
+    /// First block index of the handoff region (within the shared region).
+    handoff_base: u64,
+    refs_emitted: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for VM `vm` running `profile`.
+    ///
+    /// Each thread derives an independent RNG stream from `rng`, labeled by
+    /// VM and thread index, so streams are stable regardless of issue order
+    /// (except for handoff accesses, which intentionally depend on the
+    /// inter-thread segment migration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`WorkloadProfile::validate`].
+    pub fn new(vm: VmId, profile: &WorkloadProfile, rng: &SimRng) -> Self {
+        profile.validate().expect("workload profile must be valid");
+        let shared_blocks = profile.shared_blocks();
+        let shared_sampler = if shared_blocks > 0 {
+            Some(ZipfSampler::new(shared_blocks, profile.shared_zipf).expect("validated"))
+        } else {
+            None
+        };
+        let private_sampler =
+            ZipfSampler::new(profile.private_blocks_per_thread().max(1), profile.private_zipf)
+                .expect("validated");
+        let threads = (0..profile.threads)
+            .map(|t| ThreadState {
+                rng: rng.derive(&format!("workload/{}/vm{}/thread{}", profile.name, vm.index(), t)),
+                recent: VecDeque::with_capacity(profile.recent_window + 1),
+                refs: 0,
+                segment: None,
+            })
+            .collect();
+        let handoff_span = profile.handoff_segments as u64 * profile.handoff_segment_blocks;
+        Self {
+            vm,
+            profile: profile.clone(),
+            shared_sampler,
+            private_sampler,
+            threads,
+            handoff: HandoffPool::new(
+                profile.handoff_segments,
+                profile.handoff_segment_blocks,
+                profile.threads,
+            ),
+            handoff_base: shared_blocks.saturating_sub(handoff_span),
+            refs_emitted: 0,
+        }
+    }
+
+    /// The VM this generator feeds.
+    pub fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Total references emitted across all threads.
+    pub fn refs_emitted(&self) -> u64 {
+        self.refs_emitted
+    }
+
+    /// References emitted by one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is outside the profile's thread count.
+    pub fn thread_refs(&self, thread: ThreadId) -> u64 {
+        self.threads[thread.index()].refs
+    }
+
+    /// Whole transactions completed so far (references divided by the
+    /// profile's transaction size).
+    pub fn transactions_completed(&self) -> u64 {
+        self.refs_emitted / self.profile.refs_per_transaction
+    }
+
+    /// The hottest `n` block indices of the VM's address space, most-shared
+    /// first: handoff region, then the shared Zipf head, then each thread's
+    /// private head, interleaved. Used to pre-warm caches (the paper loads
+    /// *warmed* workload checkpoints).
+    pub fn warm_set(&self, n: usize) -> Vec<BlockAddr> {
+        let shared = self.profile.shared_blocks();
+        let per_thread = self.profile.private_blocks_per_thread();
+        let mut blocks = Vec::with_capacity(n);
+        // Handoff region first: always the most actively communicated.
+        let span = self.profile.handoff_segments as u64
+            * self.profile.handoff_segment_blocks;
+        for i in 0..span.min(n as u64) {
+            blocks.push(self.handoff_base + i);
+        }
+        // Then alternate shared head and private heads by hotness rank.
+        let mut rank = 0u64;
+        while blocks.len() < n && rank < shared.max(per_thread) {
+            if rank < shared {
+                blocks.push(rank);
+            }
+            for t in 0..self.profile.threads as u64 {
+                if blocks.len() >= n {
+                    break;
+                }
+                if rank < per_thread {
+                    blocks.push(shared + t * per_thread + rank);
+                }
+            }
+            rank += 1;
+        }
+        blocks.truncate(n);
+        blocks
+            .into_iter()
+            .map(|b| BlockAddr::in_vm(self.vm, b))
+            .collect()
+    }
+
+    /// Emits the next reference for `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is outside the profile's thread count.
+    pub fn next_ref(&mut self, thread: ThreadId) -> MemRef {
+        let t = thread.index();
+        let shared_count = self.profile.shared_blocks();
+
+        // Migratory handoff sharing takes priority with its own probability;
+        // the owned segment advances only on handoff accesses, so the
+        // per-reference handoff share equals the profile's knob.
+        let take_handoff = self.profile.handoff_access_prob > 0.0
+            && self.threads[t].rng.chance(self.profile.handoff_access_prob);
+        if take_handoff {
+            if let Some(r) = self.handoff_access(thread) {
+                return r;
+            }
+        }
+
+        let state = &mut self.threads[t];
+        let block_index = if state.recent.len() > 1
+            && state.rng.chance(self.profile.recent_reuse_prob)
+        {
+            let i = state.rng.index(state.recent.len());
+            state.recent[i]
+        } else if self.shared_sampler.is_some()
+            && state.rng.chance(self.profile.shared_access_prob)
+        {
+            self.shared_sampler
+                .as_ref()
+                .expect("checked above")
+                .sample(&mut state.rng)
+        } else {
+            let rank = self.private_sampler.sample(&mut state.rng);
+            shared_count + t as u64 * self.profile.private_blocks_per_thread() + rank
+        };
+
+        let is_shared_region = block_index < shared_count;
+        let write_prob = if is_shared_region {
+            self.profile.shared_write_prob
+        } else {
+            self.profile.private_write_prob
+        };
+        let is_write = state.rng.chance(write_prob);
+        state.recent.push_back(block_index);
+        if state.recent.len() > self.profile.recent_window {
+            state.recent.pop_front();
+        }
+        self.finish_ref(thread, block_index, is_write, is_shared_region)
+    }
+
+    /// One access to the thread's current (or a newly acquired) work
+    /// segment. Returns `None` if every segment is owned elsewhere.
+    fn handoff_access(&mut self, thread: ThreadId) -> Option<MemRef> {
+        let t = thread.index();
+        let p = &self.profile;
+        let seg_blocks = p.handoff_segment_blocks;
+        let touches = p.handoff_touches;
+        if self.threads[t].segment.is_none() {
+            let segment = self.handoff.acquire(t)?;
+            self.threads[t].segment = Some(SegmentCursor {
+                segment,
+                pos: 0,
+                touch: 0,
+            });
+        }
+        let cursor = self.threads[t].segment.expect("set above");
+        let block_index =
+            self.handoff_base + self.handoff.block_of(cursor.segment, cursor.pos);
+        // The owner decides on first touch whether it dirties the block.
+        let is_write =
+            cursor.touch == 0 && self.threads[t].rng.chance(p.handoff_write_prob);
+        // Advance the cursor; release the segment after the last touch of
+        // the last block.
+        let mut next = cursor;
+        next.touch += 1;
+        if next.touch >= touches {
+            next.touch = 0;
+            next.pos += 1;
+        }
+        if next.pos >= seg_blocks {
+            self.handoff.release(cursor.segment, t);
+            self.threads[t].segment = None;
+        } else {
+            self.threads[t].segment = Some(next);
+        }
+        Some(self.finish_ref(thread, block_index, is_write, true))
+    }
+
+    fn finish_ref(
+        &mut self,
+        thread: ThreadId,
+        block_index: u64,
+        is_write: bool,
+        is_shared_region: bool,
+    ) -> MemRef {
+        self.threads[thread.index()].refs += 1;
+        self.refs_emitted += 1;
+        MemRef {
+            thread,
+            address: BlockAddr::in_vm(self.vm, block_index).base_address(),
+            is_write,
+            is_shared_region,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{WorkloadKind, WorkloadProfileBuilder};
+    use std::collections::HashSet;
+
+    fn gen_for(kind: WorkloadKind, seed: u64) -> WorkloadGenerator {
+        WorkloadGenerator::new(VmId::new(0), &kind.profile(), &SimRng::from_seed(seed))
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = gen_for(WorkloadKind::TpcH, 1);
+        let mut b = gen_for(WorkloadKind::TpcH, 1);
+        for i in 0..1000 {
+            let t = ThreadId::new(i % 4);
+            assert_eq!(a.next_ref(t), b.next_ref(t));
+        }
+        let mut c = gen_for(WorkloadKind::TpcH, 2);
+        let differs = (0..1000).any(|i| {
+            let t = ThreadId::new(i % 4);
+            a.next_ref(t) != c.next_ref(t)
+        });
+        assert!(differs, "different seeds must differ");
+    }
+
+    #[test]
+    fn thread_streams_independent_of_interleaving_without_handoff() {
+        let profile = WorkloadProfileBuilder::new("indep")
+            .footprint_blocks(50_000)
+            .build()
+            .unwrap();
+        let mk = || WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(9));
+        let mut solo = mk();
+        let solo_refs: Vec<_> = (0..100).map(|_| solo.next_ref(ThreadId::new(0))).collect();
+
+        let mut mixed = mk();
+        let mut mixed_refs = Vec::new();
+        for i in 0..200 {
+            let r = mixed.next_ref(ThreadId::new(i % 2));
+            if i % 2 == 0 {
+                mixed_refs.push(r);
+            }
+        }
+        assert_eq!(solo_refs, mixed_refs);
+    }
+
+    #[test]
+    fn addresses_stay_inside_vm_and_footprint() {
+        let profile = WorkloadKind::TpcW.profile();
+        let mut g = WorkloadGenerator::new(VmId::new(3), &profile, &SimRng::from_seed(4));
+        for i in 0..20_000 {
+            let r = g.next_ref(ThreadId::new(i % 4));
+            assert_eq!(r.address.vm(), VmId::new(3));
+            assert!(r.address.block().vm_block_index() < profile.footprint_blocks);
+        }
+    }
+
+    #[test]
+    fn shared_flag_matches_region() {
+        let profile = WorkloadKind::TpcH.profile();
+        let shared = profile.shared_blocks();
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(5));
+        for i in 0..5_000 {
+            let r = g.next_ref(ThreadId::new(i % 4));
+            assert_eq!(r.is_shared_region, r.address.block().vm_block_index() < shared);
+        }
+    }
+
+    #[test]
+    fn private_regions_are_disjoint_per_thread() {
+        let profile = WorkloadProfileBuilder::new("t")
+            .footprint_blocks(10_000)
+            .shared_access_prob(0.0)
+            .recent_reuse_prob(0.0)
+            .build()
+            .unwrap();
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(6));
+        let mut per_thread: Vec<HashSet<u64>> = vec![HashSet::new(); 4];
+        for i in 0..8_000 {
+            let t = i % 4;
+            let r = g.next_ref(ThreadId::new(t));
+            per_thread[t].insert(r.address.block().vm_block_index());
+        }
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                assert!(
+                    per_thread[a].is_disjoint(&per_thread[b]),
+                    "threads {a} and {b} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn write_fraction_tracks_profile() {
+        let profile = WorkloadProfileBuilder::new("w")
+            .footprint_blocks(10_000)
+            .shared_access_prob(0.0)
+            .recent_reuse_prob(0.0)
+            .private_write_prob(0.25)
+            .build()
+            .unwrap();
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(7));
+        let n = 40_000;
+        let writes = (0..n)
+            .filter(|i| g.next_ref(ThreadId::new(i % 4)).is_write)
+            .count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn shared_access_fraction_tracks_profile() {
+        let profile = WorkloadProfileBuilder::new("s")
+            .footprint_blocks(10_000)
+            .shared_fraction(0.5)
+            .shared_access_prob(0.6)
+            .recent_reuse_prob(0.0)
+            .build()
+            .unwrap();
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(8));
+        let n = 40_000;
+        let shared = (0..n)
+            .filter(|i| g.next_ref(ThreadId::new(i % 4)).is_shared_region)
+            .count();
+        let frac = shared as f64 / n as f64;
+        assert!((frac - 0.6).abs() < 0.02, "shared fraction {frac}");
+    }
+
+    #[test]
+    fn recent_reuse_raises_short_range_hits() {
+        let base = WorkloadProfileBuilder::new("r0")
+            .footprint_blocks(100_000)
+            .recent_reuse_prob(0.0)
+            .build()
+            .unwrap();
+        let reuse = WorkloadProfileBuilder::new("r1")
+            .footprint_blocks(100_000)
+            .recent_reuse_prob(0.6)
+            .build()
+            .unwrap();
+        let unique_fraction = |profile| {
+            let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(9));
+            let mut seen = HashSet::new();
+            let n = 20_000;
+            for _ in 0..n {
+                seen.insert(g.next_ref(ThreadId::new(0)).address.block());
+            }
+            seen.len() as f64 / n as f64
+        };
+        assert!(unique_fraction(reuse) < unique_fraction(base) * 0.7);
+    }
+
+    #[test]
+    fn transaction_accounting() {
+        let mut g = gen_for(WorkloadKind::SpecJbb, 10); // 16 refs/txn
+        for i in 0..64 {
+            g.next_ref(ThreadId::new(i % 4));
+        }
+        assert_eq!(g.refs_emitted(), 64);
+        assert_eq!(g.transactions_completed(), 4);
+        assert_eq!(g.thread_refs(ThreadId::new(0)), 16);
+    }
+
+    #[test]
+    fn footprint_coverage_grows_toward_working_set() {
+        let profile = WorkloadProfileBuilder::new("cov")
+            .footprint_blocks(2_000)
+            .shared_zipf(0.1)
+            .private_zipf(0.1)
+            .recent_reuse_prob(0.0)
+            .build()
+            .unwrap();
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(11));
+        let mut seen = HashSet::new();
+        for i in 0..60_000 {
+            seen.insert(g.next_ref(ThreadId::new(i % 4)).address.block());
+        }
+        assert!(
+            seen.len() as u64 > profile.footprint_blocks * 9 / 10,
+            "only covered {} of {}",
+            seen.len(),
+            profile.footprint_blocks
+        );
+    }
+
+    #[test]
+    fn handoff_fraction_tracks_knob() {
+        let profile = WorkloadProfileBuilder::new("h")
+            .footprint_blocks(50_000)
+            .handoff_access_prob(0.3)
+            .recent_reuse_prob(0.0)
+            .build()
+            .unwrap();
+        let base = profile.shared_blocks()
+            - profile.handoff_segments as u64 * profile.handoff_segment_blocks;
+        let span = profile.handoff_segments as u64 * profile.handoff_segment_blocks;
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(12));
+        let n = 40_000;
+        let mut in_handoff = 0;
+        for i in 0..n {
+            let r = g.next_ref(ThreadId::new(i % 4));
+            let idx = r.address.block().vm_block_index();
+            if (base..base + span).contains(&idx) {
+                in_handoff += 1;
+            }
+        }
+        let frac = in_handoff as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.03, "handoff fraction {frac}");
+    }
+
+    #[test]
+    fn segments_migrate_between_threads() {
+        let profile = WorkloadProfileBuilder::new("m")
+            .footprint_blocks(50_000)
+            .handoff_access_prob(0.5)
+            .handoff_segments(4)
+            .handoff_segment_blocks(8)
+            .recent_reuse_prob(0.0)
+            .build()
+            .unwrap();
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(13));
+        let base = profile.shared_blocks() - 4 * 8;
+        // Track which threads touched each handoff block.
+        let mut owners: std::collections::HashMap<u64, HashSet<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..20_000 {
+            let t = i % 4;
+            let r = g.next_ref(ThreadId::new(t));
+            let idx = r.address.block().vm_block_index();
+            if idx >= base && idx < profile.shared_blocks() {
+                owners.entry(idx).or_default().insert(t);
+            }
+        }
+        let migrated = owners.values().filter(|s| s.len() >= 2).count();
+        assert!(
+            migrated > owners.len() / 2,
+            "blocks must migrate between threads: {migrated}/{}",
+            owners.len()
+        );
+    }
+
+    #[test]
+    fn handoff_writes_track_write_prob() {
+        let profile = WorkloadProfileBuilder::new("hw")
+            .footprint_blocks(50_000)
+            .shared_access_prob(0.0)
+            .private_write_prob(0.0)
+            .recent_reuse_prob(0.0)
+            .handoff_access_prob(1.0)
+            .handoff_write_prob(0.5)
+            .handoff_touches(1)
+            .build()
+            .unwrap();
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(14));
+        let n = 20_000;
+        let writes = (0..n)
+            .filter(|i| g.next_ref(ThreadId::new(i % 4)).is_write)
+            .count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "handoff write fraction {frac}");
+    }
+
+    #[test]
+    fn warm_set_is_unique_and_sized() {
+        let g = gen_for(WorkloadKind::TpcH, 15);
+        let warm = g.warm_set(5_000);
+        assert_eq!(warm.len(), 5_000);
+        let unique: HashSet<_> = warm.iter().collect();
+        assert_eq!(unique.len(), warm.len(), "warm set has duplicates");
+        for b in &warm {
+            assert_eq!(b.vm(), VmId::new(0));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_thread_panics() {
+        let mut g = gen_for(WorkloadKind::TpcW, 1);
+        let _ = g.next_ref(ThreadId::new(4));
+    }
+}

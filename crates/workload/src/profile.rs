@@ -1,0 +1,609 @@
+//! Workload profiles: the knobs that make a synthetic stream behave like a
+//! specific commercial workload.
+//!
+//! The four built-in profiles are calibrated to the paper's Tables I and II.
+//! The *targets* (footprint, cache-to-cache fraction, dirty share) are the
+//! paper's numbers; the *knobs* (shared fraction, access/write
+//! probabilities, Zipf skews) were tuned empirically against this
+//! repository's own engine in the paper's private-cache configuration — see
+//! the calibration integration test and EXPERIMENTS.md.
+
+use crate::zipf::ZipfSampler;
+use consim_types::SimError;
+use std::fmt;
+
+/// The commercial workloads from the paper, plus an escape hatch for custom
+/// profiles built with [`WorkloadProfileBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// TPC-W: web commerce (online bookstore), DB2-backed. Large footprint,
+    /// modest sharing, mostly clean transfers.
+    TpcW,
+    /// SPECjbb: Java middleware order processing. Medium footprint, heavy
+    /// read-sharing (94 % of transfers clean).
+    SpecJbb,
+    /// TPC-H: decision support (query 12). Small footprint, intense
+    /// read-write sharing from join/merge activity (57 % dirty).
+    TpcH,
+    /// SPECweb: web serving with Zeus. Large footprint, heavy clean sharing.
+    SpecWeb,
+    /// A user-defined profile.
+    Custom,
+}
+
+impl WorkloadKind {
+    /// The four workloads the paper evaluates.
+    pub const PAPER_SET: [WorkloadKind; 4] = [
+        WorkloadKind::TpcW,
+        WorkloadKind::SpecJbb,
+        WorkloadKind::TpcH,
+        WorkloadKind::SpecWeb,
+    ];
+
+    /// The calibrated profile for this workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`WorkloadKind::Custom`] — build those with
+    /// [`WorkloadProfileBuilder`].
+    pub fn profile(self) -> WorkloadProfile {
+        match self {
+            WorkloadKind::TpcW => WorkloadProfile::tpc_w(),
+            WorkloadKind::SpecJbb => WorkloadProfile::spec_jbb(),
+            WorkloadKind::TpcH => WorkloadProfile::tpc_h(),
+            WorkloadKind::SpecWeb => WorkloadProfile::spec_web(),
+            WorkloadKind::Custom => panic!("custom profiles have no canonical parameters"),
+        }
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::TpcW => "TPC-W",
+            WorkloadKind::SpecJbb => "SPECjbb",
+            WorkloadKind::TpcH => "TPC-H",
+            WorkloadKind::SpecWeb => "SPECweb",
+            WorkloadKind::Custom => "custom",
+        }
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Statistics the paper reports for a workload (Table II): targets our
+/// synthetic streams are calibrated against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperTargets {
+    /// Fraction of private-cache misses served cache-to-cache.
+    pub c2c_fraction: f64,
+    /// Fraction of those transfers that are dirty.
+    pub dirty_fraction: f64,
+    /// Footprint in 64 B blocks.
+    pub footprint_blocks: u64,
+}
+
+/// Everything the generator needs to emit one workload's reference stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Which workload this models.
+    pub kind: WorkloadKind,
+    /// Human-readable name.
+    pub name: String,
+    /// Threads per instance (4 for every paper workload).
+    pub threads: usize,
+    /// Footprint in 64 B blocks (shared + all private regions).
+    pub footprint_blocks: u64,
+    /// Fraction of the footprint that is the shared region.
+    pub shared_fraction: f64,
+    /// Probability an access targets the shared region.
+    pub shared_access_prob: f64,
+    /// Probability a shared-region access is a store.
+    pub shared_write_prob: f64,
+    /// Probability a private-region access is a store.
+    pub private_write_prob: f64,
+    /// Zipf skew of shared-region accesses (hotter = more reuse = more
+    /// cache-to-cache transfers).
+    pub shared_zipf: f64,
+    /// Zipf skew of private-region accesses.
+    pub private_zipf: f64,
+    /// Probability a reference re-touches one of the thread's recently
+    /// accessed blocks (models short-range temporal locality: registers
+    /// spilled to stack, loop-carried reuse).
+    pub recent_reuse_prob: f64,
+    /// How many recently-touched blocks each thread remembers.
+    pub recent_window: usize,
+    /// Probability a reference participates in *migratory* (hand-off)
+    /// sharing: threads process work segments (task-queue items, buffer
+    /// pools, lock-protected structures) that move between threads, so a
+    /// new owner's misses hit the previous owner's caches. This is the
+    /// dominant source of commercial-workload cache-to-cache transfers.
+    pub handoff_access_prob: f64,
+    /// Work segments in flight per VM (ownership migrates among threads).
+    pub handoff_segments: usize,
+    /// Blocks per work segment.
+    pub handoff_segment_blocks: u64,
+    /// Probability the owner dirties each handoff block (controls the
+    /// dirty share of cache-to-cache transfers).
+    pub handoff_write_prob: f64,
+    /// Times the owner touches each block of a segment before releasing it.
+    pub handoff_touches: u32,
+    /// Memory references constituting one transaction (the unit of the
+    /// paper's per-workload "execution" column).
+    pub refs_per_transaction: u64,
+    /// Default transaction quota for one run.
+    pub default_transactions: u64,
+    /// The paper's Table II numbers for this workload, if it has them.
+    pub paper_targets: Option<PaperTargets>,
+}
+
+impl WorkloadProfile {
+    /// TPC-W: browsing mix, online bookstore (DB2).
+    ///
+    /// Table II: 15 % c2c (84 % clean / 16 % dirty), 1,125 K blocks.
+    pub fn tpc_w() -> Self {
+        Self {
+            kind: WorkloadKind::TpcW,
+            name: "TPC-W".to_string(),
+            threads: 4,
+            footprint_blocks: 1_125_000,
+            shared_fraction: 0.30,
+            shared_access_prob: 0.32,
+            shared_write_prob: 0.08,
+            private_write_prob: 0.10,
+            shared_zipf: 0.62,
+            private_zipf: 0.55,
+            recent_reuse_prob: 0.45,
+            recent_window: 48,
+            handoff_access_prob: 0.17,
+            handoff_segments: 48,
+            handoff_segment_blocks: 32,
+            handoff_write_prob: 0.15,
+            handoff_touches: 3,
+            refs_per_transaction: 4_000,
+            default_transactions: 25,
+            paper_targets: Some(PaperTargets {
+                c2c_fraction: 0.15,
+                dirty_fraction: 0.16,
+                footprint_blocks: 1_125_000,
+            }),
+        }
+    }
+
+    /// SPECjbb: Java order processing, six warehouses.
+    ///
+    /// Table II: 52 % c2c (94 % clean / 6 % dirty), 606 K blocks.
+    pub fn spec_jbb() -> Self {
+        Self {
+            kind: WorkloadKind::SpecJbb,
+            name: "SPECjbb".to_string(),
+            threads: 4,
+            footprint_blocks: 606_000,
+            shared_fraction: 0.45,
+            shared_access_prob: 0.62,
+            shared_write_prob: 0.020,
+            private_write_prob: 0.08,
+            shared_zipf: 0.80,
+            private_zipf: 0.60,
+            recent_reuse_prob: 0.50,
+            recent_window: 64,
+            handoff_access_prob: 0.56,
+            handoff_segments: 48,
+            handoff_segment_blocks: 32,
+            handoff_write_prob: 0.032,
+            handoff_touches: 3,
+            refs_per_transaction: 16,
+            default_transactions: 6_400,
+            paper_targets: Some(PaperTargets {
+                c2c_fraction: 0.52,
+                dirty_fraction: 0.06,
+                footprint_blocks: 606_000,
+            }),
+        }
+    }
+
+    /// TPC-H: decision support, query 12 on DB2.
+    ///
+    /// Table II: 69 % c2c (43 % clean / 57 % dirty), 172 K blocks.
+    pub fn tpc_h() -> Self {
+        Self {
+            kind: WorkloadKind::TpcH,
+            name: "TPC-H".to_string(),
+            threads: 4,
+            footprint_blocks: 172_000,
+            shared_fraction: 0.55,
+            shared_access_prob: 0.78,
+            shared_write_prob: 0.24,
+            private_write_prob: 0.06,
+            shared_zipf: 0.85,
+            private_zipf: 0.70,
+            recent_reuse_prob: 0.55,
+            recent_window: 64,
+            handoff_access_prob: 0.31,
+            handoff_segments: 8,
+            handoff_segment_blocks: 24,
+            handoff_write_prob: 0.55,
+            handoff_touches: 3,
+            refs_per_transaction: 100_000,
+            default_transactions: 1,
+            paper_targets: Some(PaperTargets {
+                c2c_fraction: 0.69,
+                dirty_fraction: 0.57,
+                footprint_blocks: 172_000,
+            }),
+        }
+    }
+
+    /// SPECweb: Zeus web serving, 300 HTTP requests.
+    ///
+    /// Table II: 37 % c2c (93 % clean / 7 % dirty), 986 K blocks.
+    pub fn spec_web() -> Self {
+        Self {
+            kind: WorkloadKind::SpecWeb,
+            name: "SPECweb".to_string(),
+            threads: 4,
+            footprint_blocks: 986_000,
+            shared_fraction: 0.40,
+            shared_access_prob: 0.52,
+            shared_write_prob: 0.022,
+            private_write_prob: 0.07,
+            shared_zipf: 0.78,
+            private_zipf: 0.58,
+            recent_reuse_prob: 0.50,
+            recent_window: 64,
+            handoff_access_prob: 0.43,
+            handoff_segments: 48,
+            handoff_segment_blocks: 32,
+            handoff_write_prob: 0.042,
+            handoff_touches: 3,
+            refs_per_transaction: 330,
+            default_transactions: 300,
+            paper_targets: Some(PaperTargets {
+                c2c_fraction: 0.37,
+                dirty_fraction: 0.07,
+                footprint_blocks: 986_000,
+            }),
+        }
+    }
+
+    /// Number of blocks in the shared region.
+    pub fn shared_blocks(&self) -> u64 {
+        ((self.footprint_blocks as f64) * self.shared_fraction) as u64
+    }
+
+    /// Number of blocks in each thread's private region.
+    pub fn private_blocks_per_thread(&self) -> u64 {
+        (self.footprint_blocks - self.shared_blocks()) / self.threads as u64
+    }
+
+    /// Total references in the default transaction quota.
+    pub fn default_total_refs(&self) -> u64 {
+        self.refs_per_transaction * self.default_transactions
+    }
+
+    /// Validates internal consistency (probabilities in range, nonzero
+    /// regions, Zipf skews sane).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.threads == 0 {
+            return Err(SimError::invalid_config("workload needs threads"));
+        }
+        if self.footprint_blocks < self.threads as u64 + 1 {
+            return Err(SimError::invalid_config("footprint too small"));
+        }
+        for (label, p) in [
+            ("shared_fraction", self.shared_fraction),
+            ("shared_access_prob", self.shared_access_prob),
+            ("shared_write_prob", self.shared_write_prob),
+            ("private_write_prob", self.private_write_prob),
+            ("recent_reuse_prob", self.recent_reuse_prob),
+            ("handoff_access_prob", self.handoff_access_prob),
+            ("handoff_write_prob", self.handoff_write_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(SimError::invalid_config(format!(
+                    "{label} must be a probability, got {p}"
+                )));
+            }
+        }
+        ZipfSampler::new(self.shared_blocks().max(1), self.shared_zipf)?;
+        ZipfSampler::new(self.private_blocks_per_thread().max(1), self.private_zipf)?;
+        if self.recent_reuse_prob > 0.0 && self.recent_window == 0 {
+            return Err(SimError::invalid_config(
+                "recent reuse requested but the window is empty",
+            ));
+        }
+        if self.handoff_access_prob > 0.0 {
+            if self.handoff_segments < self.threads
+                || self.handoff_segment_blocks == 0
+                || self.handoff_touches == 0
+            {
+                return Err(SimError::invalid_config(
+                    "handoff sharing needs at least one segment per thread, \
+                     nonzero segment size, and nonzero touches",
+                ));
+            }
+            let handoff_blocks = self.handoff_segments as u64 * self.handoff_segment_blocks;
+            if handoff_blocks > self.shared_blocks() {
+                return Err(SimError::invalid_config(
+                    "handoff region exceeds the shared region",
+                ));
+            }
+        }
+        if self.refs_per_transaction == 0 || self.default_transactions == 0 {
+            return Err(SimError::invalid_config("transaction sizing must be nonzero"));
+        }
+        if self.shared_blocks() == 0 && self.shared_access_prob > 0.0 {
+            return Err(SimError::invalid_config(
+                "shared accesses requested but shared region is empty",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for custom workload profiles ([C-BUILDER]).
+///
+/// Starts from neutral mid-range parameters; every knob can be overridden.
+///
+/// # Examples
+///
+/// ```
+/// use consim_workload::WorkloadProfileBuilder;
+///
+/// let profile = WorkloadProfileBuilder::new("my-analytics")
+///     .footprint_blocks(50_000)
+///     .shared_fraction(0.6)
+///     .shared_access_prob(0.8)
+///     .shared_write_prob(0.3)
+///     .build()?;
+/// assert_eq!(profile.name, "my-analytics");
+/// # Ok::<(), consim_types::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl WorkloadProfileBuilder {
+    /// Starts a custom profile with neutral defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            profile: WorkloadProfile {
+                kind: WorkloadKind::Custom,
+                name: name.into(),
+                threads: 4,
+                footprint_blocks: 100_000,
+                shared_fraction: 0.4,
+                shared_access_prob: 0.5,
+                shared_write_prob: 0.1,
+                private_write_prob: 0.1,
+                shared_zipf: 0.7,
+                private_zipf: 0.6,
+                recent_reuse_prob: 0.5,
+                recent_window: 64,
+                handoff_access_prob: 0.0,
+                handoff_segments: 8,
+                handoff_segment_blocks: 32,
+                handoff_write_prob: 0.1,
+                handoff_touches: 3,
+                refs_per_transaction: 1_000,
+                default_transactions: 100,
+                paper_targets: None,
+            },
+        }
+    }
+
+    /// Sets the thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.profile.threads = n;
+        self
+    }
+
+    /// Sets the footprint in 64 B blocks.
+    pub fn footprint_blocks(mut self, n: u64) -> Self {
+        self.profile.footprint_blocks = n;
+        self
+    }
+
+    /// Sets the shared-region fraction of the footprint.
+    pub fn shared_fraction(mut self, f: f64) -> Self {
+        self.profile.shared_fraction = f;
+        self
+    }
+
+    /// Sets the probability an access targets the shared region.
+    pub fn shared_access_prob(mut self, p: f64) -> Self {
+        self.profile.shared_access_prob = p;
+        self
+    }
+
+    /// Sets the store probability for shared accesses.
+    pub fn shared_write_prob(mut self, p: f64) -> Self {
+        self.profile.shared_write_prob = p;
+        self
+    }
+
+    /// Sets the store probability for private accesses.
+    pub fn private_write_prob(mut self, p: f64) -> Self {
+        self.profile.private_write_prob = p;
+        self
+    }
+
+    /// Sets the shared-region Zipf skew.
+    pub fn shared_zipf(mut self, theta: f64) -> Self {
+        self.profile.shared_zipf = theta;
+        self
+    }
+
+    /// Sets the private-region Zipf skew.
+    pub fn private_zipf(mut self, theta: f64) -> Self {
+        self.profile.private_zipf = theta;
+        self
+    }
+
+    /// Sets the short-range temporal-reuse probability.
+    pub fn recent_reuse_prob(mut self, p: f64) -> Self {
+        self.profile.recent_reuse_prob = p;
+        self
+    }
+
+    /// Sets the temporal-reuse window (blocks remembered per thread).
+    pub fn recent_window(mut self, n: usize) -> Self {
+        self.profile.recent_window = n;
+        self
+    }
+
+    /// Sets the migratory-sharing access probability.
+    pub fn handoff_access_prob(mut self, p: f64) -> Self {
+        self.profile.handoff_access_prob = p;
+        self
+    }
+
+    /// Sets the number of migrating work segments per VM.
+    pub fn handoff_segments(mut self, n: usize) -> Self {
+        self.profile.handoff_segments = n;
+        self
+    }
+
+    /// Sets the blocks per work segment.
+    pub fn handoff_segment_blocks(mut self, n: u64) -> Self {
+        self.profile.handoff_segment_blocks = n;
+        self
+    }
+
+    /// Sets the probability the owner dirties each handoff block.
+    pub fn handoff_write_prob(mut self, p: f64) -> Self {
+        self.profile.handoff_write_prob = p;
+        self
+    }
+
+    /// Sets how many times the owner touches each segment block.
+    pub fn handoff_touches(mut self, n: u32) -> Self {
+        self.profile.handoff_touches = n;
+        self
+    }
+
+    /// Sets the references per transaction.
+    pub fn refs_per_transaction(mut self, n: u64) -> Self {
+        self.profile.refs_per_transaction = n;
+        self
+    }
+
+    /// Sets the default transaction quota.
+    pub fn default_transactions(mut self, n: u64) -> Self {
+        self.profile.default_transactions = n;
+        self
+    }
+
+    /// Validates and returns the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any knob is out of range; see
+    /// [`WorkloadProfile::validate`].
+    pub fn build(self) -> Result<WorkloadProfile, SimError> {
+        self.profile.validate()?;
+        Ok(self.profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_profiles_validate() {
+        for kind in WorkloadKind::PAPER_SET {
+            kind.profile().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn builtin_footprints_match_table2() {
+        assert_eq!(WorkloadProfile::tpc_w().footprint_blocks, 1_125_000);
+        assert_eq!(WorkloadProfile::spec_jbb().footprint_blocks, 606_000);
+        assert_eq!(WorkloadProfile::tpc_h().footprint_blocks, 172_000);
+        assert_eq!(WorkloadProfile::spec_web().footprint_blocks, 986_000);
+    }
+
+    #[test]
+    fn paper_targets_match_table2() {
+        let h = WorkloadProfile::tpc_h().paper_targets.unwrap();
+        assert!((h.c2c_fraction - 0.69).abs() < 1e-9);
+        assert!((h.dirty_fraction - 0.57).abs() < 1e-9);
+        let jbb = WorkloadProfile::spec_jbb().paper_targets.unwrap();
+        assert!((jbb.dirty_fraction - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regions_partition_footprint() {
+        for kind in WorkloadKind::PAPER_SET {
+            let p = kind.profile();
+            let total =
+                p.shared_blocks() + p.private_blocks_per_thread() * p.threads as u64;
+            assert!(total <= p.footprint_blocks);
+            // Rounding loses at most `threads` blocks.
+            assert!(p.footprint_blocks - total < 2 * p.threads as u64 + 2);
+            assert!(p.private_blocks_per_thread() > 0);
+        }
+    }
+
+    #[test]
+    fn sharing_ordering_matches_paper_intuition() {
+        // TPC-H is the most sharing-intensive, TPC-W the least.
+        let h = WorkloadProfile::tpc_h();
+        let w = WorkloadProfile::tpc_w();
+        assert!(h.shared_access_prob > w.shared_access_prob);
+        assert!(h.shared_write_prob > w.shared_write_prob);
+        // SPECjbb and SPECweb share heavily but almost read-only.
+        for p in [WorkloadProfile::spec_jbb(), WorkloadProfile::spec_web()] {
+            assert!(p.shared_write_prob < 0.05);
+        }
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(WorkloadKind::TpcW.name(), "TPC-W");
+        assert_eq!(WorkloadKind::TpcH.to_string(), "TPC-H");
+    }
+
+    #[test]
+    #[should_panic(expected = "custom profiles")]
+    fn custom_kind_has_no_canonical_profile() {
+        let _ = WorkloadKind::Custom.profile();
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let p = WorkloadProfileBuilder::new("x")
+            .threads(8)
+            .footprint_blocks(10_000)
+            .build()
+            .unwrap();
+        assert_eq!(p.threads, 8);
+        assert_eq!(p.kind, WorkloadKind::Custom);
+
+        assert!(WorkloadProfileBuilder::new("bad")
+            .shared_access_prob(1.5)
+            .build()
+            .is_err());
+        assert!(WorkloadProfileBuilder::new("bad")
+            .shared_zipf(1.0)
+            .build()
+            .is_err());
+        assert!(WorkloadProfileBuilder::new("bad").threads(0).build().is_err());
+    }
+
+    #[test]
+    fn default_total_refs() {
+        let p = WorkloadProfile::spec_jbb();
+        assert_eq!(p.default_total_refs(), 16 * 6_400);
+    }
+}

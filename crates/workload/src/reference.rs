@@ -1,0 +1,84 @@
+//! Memory references.
+
+use consim_types::{Address, ThreadId};
+use std::fmt;
+
+/// One memory reference emitted by a workload thread.
+///
+/// # Examples
+///
+/// ```
+/// use consim_workload::MemRef;
+/// use consim_types::{Address, ThreadId, VmId};
+///
+/// let r = MemRef::read(ThreadId::new(0), Address::in_vm(VmId::new(1), 64));
+/// assert!(!r.is_write);
+/// assert_eq!(r.address.vm(), VmId::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// The issuing thread (within its workload instance).
+    pub thread: ThreadId,
+    /// The byte address accessed.
+    pub address: Address,
+    /// Whether the access is a store.
+    pub is_write: bool,
+    /// Whether the access targets the workload's shared region (diagnostic;
+    /// the hardware never sees this bit).
+    pub is_shared_region: bool,
+}
+
+impl MemRef {
+    /// Creates a load reference.
+    pub const fn read(thread: ThreadId, address: Address) -> Self {
+        Self {
+            thread,
+            address,
+            is_write: false,
+            is_shared_region: false,
+        }
+    }
+
+    /// Creates a store reference.
+    pub const fn write(thread: ThreadId, address: Address) -> Self {
+        Self {
+            thread,
+            address,
+            is_write: true,
+            is_shared_region: false,
+        }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}",
+            self.thread,
+            if self.is_write { "st" } else { "ld" },
+            self.address
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consim_types::VmId;
+
+    #[test]
+    fn constructors_set_kind() {
+        let a = Address::in_vm(VmId::new(0), 0);
+        assert!(!MemRef::read(ThreadId::new(0), a).is_write);
+        assert!(MemRef::write(ThreadId::new(0), a).is_write);
+    }
+
+    #[test]
+    fn display_shows_kind() {
+        let a = Address::in_vm(VmId::new(0), 128);
+        let r = MemRef::write(ThreadId::new(2), a);
+        assert!(r.to_string().contains("st"));
+        assert!(r.to_string().contains("thread2"));
+    }
+}

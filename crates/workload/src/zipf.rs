@@ -1,0 +1,169 @@
+//! Approximate bounded-Zipf sampling.
+//!
+//! Commercial-workload locality is heavy-tailed: a few blocks are touched
+//! constantly, most rarely. We use the continuous-inversion approximation to
+//! a bounded Zipf distribution with skew `theta` in `[0, 1)`: ranks are drawn
+//! with `rank = floor(n * u^(1/(1-theta)))`, which gives
+//! `P(rank < r) = (r/n)^(1-theta)` — uniform at `theta = 0`, increasingly
+//! hot-biased as `theta -> 1`. This is the classic approximation used by
+//! transaction-processing workload generators; exactness of the tail is
+//! irrelevant here, only the hot/cold contrast matters.
+
+use consim_types::SimRng;
+
+/// A sampler of ranks in `[0, n)` with Zipf-like skew.
+///
+/// Rank 0 is the hottest item. Use [`ZipfSampler::sample`] with a
+/// [`SimRng`] stream.
+///
+/// # Examples
+///
+/// ```
+/// use consim_workload::ZipfSampler;
+/// use consim_types::SimRng;
+///
+/// let sampler = ZipfSampler::new(1000, 0.8)?;
+/// let mut rng = SimRng::from_seed(1);
+/// let rank = sampler.sample(&mut rng);
+/// assert!(rank < 1000);
+/// # Ok::<(), consim_types::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfSampler {
+    n: u64,
+    /// `1 / (1 - theta)`, precomputed.
+    inv_one_minus_theta: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with skew `theta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`consim_types::SimError::InvalidConfig`] if `n` is zero or
+    /// `theta` is outside `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Result<Self, consim_types::SimError> {
+        if n == 0 {
+            return Err(consim_types::SimError::invalid_config(
+                "zipf sampler needs a nonempty domain",
+            ));
+        }
+        if !(0.0..1.0).contains(&theta) {
+            return Err(consim_types::SimError::invalid_config(format!(
+                "zipf skew must be in [0, 1), got {theta}"
+            )));
+        }
+        Ok(Self {
+            n,
+            inv_one_minus_theta: 1.0 / (1.0 - theta),
+        })
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is hottest.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.unit();
+        let r = (self.n as f64 * u.powf(self.inv_one_minus_theta)) as u64;
+        r.min(self.n - 1)
+    }
+
+    /// The fraction of probability mass on the hottest `k` ranks.
+    pub fn mass_below(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        (k as f64 / self.n as f64).powf(1.0 / self.inv_one_minus_theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ZipfSampler::new(0, 0.5).is_err());
+        assert!(ZipfSampler::new(10, 1.0).is_err());
+        assert!(ZipfSampler::new(10, -0.1).is_err());
+        assert!(ZipfSampler::new(10, 0.0).is_ok());
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let s = ZipfSampler::new(100, 0.9).unwrap();
+        let mut rng = SimRng::from_seed(3);
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let s = ZipfSampler::new(10, 0.0).unwrap();
+        let mut rng = SimRng::from_seed(4);
+        let mut counts = [0u64; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / n as f64;
+            assert!((p - 0.1).abs() < 0.01, "non-uniform bucket: {p}");
+        }
+    }
+
+    #[test]
+    fn higher_theta_concentrates_mass() {
+        let mut rng = SimRng::from_seed(5);
+        let flat = ZipfSampler::new(1000, 0.1).unwrap();
+        let hot = ZipfSampler::new(1000, 0.9).unwrap();
+        let head = |s: &ZipfSampler, rng: &mut SimRng| {
+            let mut in_head = 0;
+            for _ in 0..20_000 {
+                if s.sample(rng) < 10 {
+                    in_head += 1;
+                }
+            }
+            in_head
+        };
+        let flat_head = head(&flat, &mut rng);
+        let hot_head = head(&hot, &mut rng);
+        assert!(
+            hot_head > flat_head * 5,
+            "hot {hot_head} should dwarf flat {flat_head}"
+        );
+    }
+
+    #[test]
+    fn mass_below_matches_empirical_head() {
+        let s = ZipfSampler::new(1000, 0.8).unwrap();
+        let mut rng = SimRng::from_seed(6);
+        let k = 50;
+        let expected = s.mass_below(k);
+        let n = 200_000;
+        let mut hits = 0;
+        for _ in 0..n {
+            if s.sample(&mut rng) < k {
+                hits += 1;
+            }
+        }
+        let empirical = hits as f64 / n as f64;
+        assert!(
+            (empirical - expected).abs() < 0.01,
+            "empirical {empirical} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn singleton_domain_always_zero() {
+        let s = ZipfSampler::new(1, 0.5).unwrap();
+        let mut rng = SimRng::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: consolidate two SPECjbb and two TPC-H instances (the paper's
+//! Mix 5) on the 16-core machine and compare scheduling policies.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use server_consolidation_sim::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    // Paper-scale warmup takes minutes; the quickstart trades some cache
+    // warmth for a fast first run. See `crates/bench` for full-length runs.
+    let runner = ExperimentRunner::new(RunOptions {
+        refs_per_vm: 30_000,
+        warmup_refs_per_vm: 60_000,
+        seeds: vec![1, 2],
+        track_footprint: false,
+        prewarm_llc: false,
+    });
+
+    let mix = Mix::heterogeneous(5).expect("mix 5 is defined");
+    println!("Running {mix} on shared-4-way LLCs...\n");
+
+    let mut table = TextTable::new(
+        "Mix 5: per-VM results (mean over seeds)",
+        &["runtime (Mcy)", "miss rate %", "miss lat (cy)", "c2c %"],
+    );
+    for policy in [SchedulingPolicy::Affinity, SchedulingPolicy::RoundRobin] {
+        let run = runner.run(mix.instances(), policy, SharingDegree::SharedBy(4))?;
+        for (vm, agg) in run.vms.iter().enumerate() {
+            table.row(
+                format!("{policy} vm{vm} {}", agg.kind),
+                &[
+                    agg.runtime_cycles.mean / 1e6,
+                    agg.llc_miss_rate.mean * 100.0,
+                    agg.miss_latency.mean,
+                    agg.c2c_fraction.mean * 100.0,
+                ],
+            );
+        }
+    }
+    println!("{table}");
+    println!(
+        "Reading the table: SPECjbb instances are the consolidation-sensitive\n\
+         ones (larger miss-rate increases), while TPC-H's small, heavily shared\n\
+         working set rides along largely unharmed — the paper's §V-C headline."
+    );
+    Ok(())
+}

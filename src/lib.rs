@@ -1,0 +1,64 @@
+//! # server-consolidation-sim
+//!
+//! A reproduction of *An Evaluation of Server Consolidation Workloads for
+//! Multi-Core Designs* (Enright Jerger, Vantrease, Lipasti — IISWC 2007) as
+//! a production-quality Rust workspace: a transaction-level CMP
+//! memory-hierarchy simulator, synthetic commercial workloads calibrated to
+//! the paper's Table II, the four hypervisor scheduling policies, and a
+//! harness regenerating every figure and table in the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace's public API so downstream
+//! users can depend on a single crate:
+//!
+//! * [`engine`](mod@engine) and friends — the simulation engine, mixes,
+//!   metrics, and experiment runner (from the `consim` crate);
+//! * [`workload`] — workload profiles and reference-stream generators;
+//! * [`sched`] — the scheduling policies;
+//! * [`cache`] / [`coherence`] / [`noc`] — the hardware substrates;
+//! * [`types`] — ids, addresses, machine configuration.
+//!
+//! # Quickstart
+//!
+//! Run the paper's Mix 5 (two SPECjbb + two TPC-H instances) under affinity
+//! scheduling on shared-4-way LLCs:
+//!
+//! ```
+//! use server_consolidation_sim::prelude::*;
+//!
+//! let runner = ExperimentRunner::new(RunOptions::quick());
+//! let mix = Mix::heterogeneous(5).expect("mix 5 exists");
+//! let run = runner.run(
+//!     mix.instances(),
+//!     SchedulingPolicy::Affinity,
+//!     SharingDegree::SharedBy(4),
+//! )?;
+//! for vm in &run.vms {
+//!     println!("{}: {:.0} cycles, miss rate {:.1}%",
+//!         vm.kind, vm.runtime_cycles.mean, vm.llc_miss_rate.mean * 100.0);
+//! }
+//! # Ok::<(), server_consolidation_sim::types::SimError>(())
+//! ```
+//!
+//! See `examples/` for richer scenarios and `crates/bench` for the
+//! figure-by-figure reproduction harness.
+
+pub use consim::{engine, machine, metrics, mix, report, runner, stats};
+pub use consim_cache as cache;
+pub use consim_coherence as coherence;
+pub use consim_noc as noc;
+pub use consim_sched as sched;
+pub use consim_types as types;
+pub use consim_workload as workload;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use consim::engine::{Simulation, SimulationConfig, SimulationOutcome};
+    pub use consim::mix::{Mix, MixId};
+    pub use consim::report::TextTable;
+    pub use consim::runner::{ExperimentRunner, MixRun, RunOptions};
+    pub use consim::stats::Summary;
+    pub use consim_sched::SchedulingPolicy;
+    pub use consim_types::config::{MachineConfig, MachineConfigBuilder, SharingDegree};
+    pub use consim_types::{SimError, VmId};
+    pub use consim_workload::{WorkloadKind, WorkloadProfile, WorkloadProfileBuilder};
+}

@@ -1,0 +1,113 @@
+//! Reproducibility and statistical-simulation behavior across the whole
+//! stack.
+
+use server_consolidation_sim::prelude::*;
+use server_consolidation_sim::engine::{Simulation, SimulationConfig};
+
+fn config(seed: u64, policy: SchedulingPolicy) -> SimulationConfig {
+    let mut b = SimulationConfig::builder();
+    b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
+        .policy(policy)
+        .refs_per_vm(8_000)
+        .warmup_refs_per_vm(2_000)
+        .seed(seed);
+    for kind in [WorkloadKind::SpecJbb, WorkloadKind::TpcH] {
+        b.workload(kind.profile());
+    }
+    b.build().expect("valid config")
+}
+
+fn fingerprint(outcome: &SimulationOutcome) -> Vec<u64> {
+    let mut f = vec![outcome.measured_cycles];
+    for m in &outcome.vm_metrics {
+        f.push(m.refs);
+        f.push(m.l1_misses);
+        f.push(m.memory_fetches);
+        f.push(m.c2c_l1_clean + m.c2c_l1_dirty);
+        f.push(m.runtime_cycles());
+        f.push(m.miss_latency.total());
+    }
+    f.push(outcome.noc.packets);
+    f.push(outcome.replication.replicated_lines);
+    f
+}
+
+#[test]
+fn identical_configs_are_bit_identical() {
+    let a = Simulation::new(config(7, SchedulingPolicy::Affinity))
+        .unwrap()
+        .run()
+        .unwrap();
+    let b = Simulation::new(config(7, SchedulingPolicy::Affinity))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn seeds_perturb_results() {
+    let a = Simulation::new(config(1, SchedulingPolicy::Affinity))
+        .unwrap()
+        .run()
+        .unwrap();
+    let b = Simulation::new(config(2, SchedulingPolicy::Affinity))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn policies_change_behavior() {
+    let a = Simulation::new(config(1, SchedulingPolicy::Affinity))
+        .unwrap()
+        .run()
+        .unwrap();
+    let b = Simulation::new(config(1, SchedulingPolicy::RoundRobin))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn multi_seed_summaries_have_spread_and_shrinking_ci() {
+    let narrow = ExperimentRunner::new(RunOptions {
+        refs_per_vm: 5_000,
+        warmup_refs_per_vm: 1_000,
+        seeds: vec![1, 2],
+        track_footprint: false,
+        prewarm_llc: false,
+    });
+    let wide = ExperimentRunner::new(RunOptions {
+        refs_per_vm: 5_000,
+        warmup_refs_per_vm: 1_000,
+        seeds: (1..=6).collect(),
+        track_footprint: false,
+        prewarm_llc: false,
+    });
+    let kinds = [WorkloadKind::TpcH];
+    let a = narrow
+        .run(&kinds, SchedulingPolicy::Affinity, SharingDegree::SharedBy(4))
+        .unwrap();
+    let b = wide
+        .run(&kinds, SchedulingPolicy::Affinity, SharingDegree::SharedBy(4))
+        .unwrap();
+    assert_eq!(a.vms[0].runtime_cycles.n, 2);
+    assert_eq!(b.vms[0].runtime_cycles.n, 6);
+    assert!(b.vms[0].runtime_cycles.std > 0.0, "seeds must perturb runtime");
+    // Means should agree within a loose band (same workload, same machine).
+    let rel = (a.vms[0].runtime_cycles.mean - b.vms[0].runtime_cycles.mean).abs()
+        / b.vms[0].runtime_cycles.mean;
+    assert!(rel < 0.25, "seed means drifted {rel:.3}");
+}
+
+#[test]
+fn placement_is_deterministic_per_seed_even_when_random() {
+    let a = Simulation::new(config(3, SchedulingPolicy::Random)).unwrap();
+    let b = Simulation::new(config(3, SchedulingPolicy::Random)).unwrap();
+    let pa: Vec<_> = a.placement().iter().collect();
+    let pb: Vec<_> = b.placement().iter().collect();
+    assert_eq!(pa, pb);
+}

@@ -1,0 +1,102 @@
+//! Smoke tests for every figure/table regenerator at test scale: each
+//! exhibit must produce a table with the paper's rows and columns.
+
+use consim_bench::{figures, FigureContext};
+use consim::runner::RunOptions;
+
+fn ctx() -> FigureContext {
+    FigureContext::new(RunOptions {
+        refs_per_vm: 2_000,
+        warmup_refs_per_vm: 500,
+        seeds: vec![1],
+        track_footprint: false,
+        prewarm_llc: false,
+    })
+}
+
+#[test]
+fn table2_has_four_workloads() {
+    let t = figures::table2(&ctx()).unwrap();
+    assert_eq!(t.len(), 4);
+    let text = t.to_string();
+    for name in ["TPC-W", "SPECjbb", "TPC-H", "SPECweb"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn table4_lists_all_thirteen_mixes() {
+    let text = figures::table4();
+    for n in 1..=9 {
+        assert!(text.contains(&format!("Mix {n} ")), "missing Mix {n}");
+    }
+    for c in ['A', 'B', 'C', 'D'] {
+        assert!(text.contains(&format!("Mix {c} ")), "missing Mix {c}");
+    }
+}
+
+#[test]
+fn isolated_figures_have_expected_shape() {
+    let ctx = ctx();
+    let f2 = figures::fig02_isolated_performance(&ctx).unwrap();
+    assert_eq!(f2.len(), 4);
+    assert!(f2.to_string().contains("2LL$ rr"));
+    let f3 = figures::fig03_isolated_missrate(&ctx).unwrap();
+    assert_eq!(f3.len(), 4);
+    let f4 = figures::fig04_isolated_misslatency(&ctx).unwrap();
+    assert_eq!(f4.len(), 4);
+    assert!(f4.to_string().contains("priv aff"));
+}
+
+#[test]
+fn homogeneous_figures_have_expected_shape() {
+    let ctx = ctx();
+    for t in [
+        figures::fig05_homogeneous_performance(&ctx).unwrap(),
+        figures::fig06_homogeneous_misslatency(&ctx).unwrap(),
+        figures::fig07_homogeneous_missrate(&ctx).unwrap(),
+    ] {
+        assert_eq!(t.len(), 4, "one row per workload");
+        let text = t.to_string();
+        for policy in ["rr", "affinity", "aff-rr", "random"] {
+            assert!(text.contains(policy), "missing column {policy}");
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_figures_cover_all_mixes() {
+    let ctx = ctx();
+    // 9 mixes x 2 distinct workloads each = 18 rows (+6 iso rows in fig 8).
+    let f8 = figures::fig08_heterogeneous_performance(&ctx).unwrap();
+    assert_eq!(f8.len(), 18 + 3);
+    let f9 = figures::fig09_heterogeneous_missrate(&ctx).unwrap();
+    assert_eq!(f9.len(), 18);
+    let f10 = figures::fig10_heterogeneous_misslatency(&ctx).unwrap();
+    assert_eq!(f10.len(), 18);
+    let text = f10.to_string();
+    assert!(text.contains("Mix 9 TPC-W"));
+}
+
+#[test]
+fn sharing_and_snapshot_figures_have_expected_shape() {
+    let ctx = ctx();
+    let f11 = figures::fig11_sharing_degree(&ctx).unwrap();
+    assert_eq!(f11.len(), 18);
+    assert!(f11.to_string().contains("1x16MB"));
+    let f12 = figures::fig12_replication(&ctx).unwrap();
+    assert_eq!(f12.len(), 4);
+    assert!(f12.to_string().contains("private (max)"));
+    let f13 = figures::fig13_occupancy(&ctx).unwrap();
+    assert_eq!(f13.len(), 36, "9 mixes x 4 VMs");
+}
+
+#[test]
+fn context_memoization_spans_figures() {
+    let ctx = ctx();
+    figures::fig02_isolated_performance(&ctx).unwrap();
+    let after_f2 = ctx.cached_cells();
+    // Fig 3 uses exactly the same cells.
+    figures::fig03_isolated_missrate(&ctx).unwrap();
+    assert_eq!(ctx.cached_cells(), after_f2, "fig 3 must reuse fig 2's runs");
+}
