@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, and the tier-1 test suite.
+#
+# Mirrors .github/workflows/ci.yml so the same checks run locally before a
+# push. The workspace has no external dependencies, so everything works
+# offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test (root package) =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "CI OK"

@@ -26,7 +26,12 @@ fn main() {
 
     let mut table = TextTable::new(
         "Ablation: memory-controller occupancy (Mix 1, affinity, shared-4-way)",
-        &["TPC-W lat (cy)", "TPC-H lat (cy)", "TPC-W runtime (Mcy)", "TPC-H runtime (Mcy)"],
+        &[
+            "TPC-W lat (cy)",
+            "TPC-H lat (cy)",
+            "TPC-W runtime (Mcy)",
+            "TPC-H runtime (Mcy)",
+        ],
     );
     for occupancy in [1u64, 15, 30, 60] {
         let machine = MachineConfigBuilder::new()
@@ -65,7 +70,10 @@ fn main() {
             / 3.0
             / 1e6;
         let h_rt = out.vm_metrics[3].runtime_cycles() as f64 / 1e6;
-        table.row(format!("occupancy {occupancy}"), &[w_lat, h_lat, w_rt, h_rt]);
+        table.row(
+            format!("occupancy {occupancy}"),
+            &[w_lat, h_lat, w_rt, h_rt],
+        );
     }
     println!("{table}");
 }

@@ -54,10 +54,19 @@ fn main() {
             .run()
             .expect("run");
         let n = out.vm_metrics.len() as f64;
-        let missrate =
-            out.vm_metrics.iter().map(|m| m.llc_miss_rate()).sum::<f64>() / n * 100.0;
-        let misslat =
-            out.vm_metrics.iter().map(|m| m.mean_miss_latency()).sum::<f64>() / n;
+        let missrate = out
+            .vm_metrics
+            .iter()
+            .map(|m| m.llc_miss_rate())
+            .sum::<f64>()
+            / n
+            * 100.0;
+        let misslat = out
+            .vm_metrics
+            .iter()
+            .map(|m| m.mean_miss_latency())
+            .sum::<f64>()
+            / n;
         let c2c = out.vm_metrics.iter().map(|m| m.c2c_fraction()).sum::<f64>() / n * 100.0;
         table.row(
             label,

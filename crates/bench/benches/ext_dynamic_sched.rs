@@ -52,12 +52,26 @@ fn main() {
             .run()
             .expect("run");
         let n = out.vm_metrics.len() as f64;
-        let runtime =
-            out.vm_metrics.iter().map(|m| m.runtime_cycles() as f64).sum::<f64>() / n / 1e6;
-        let missrate =
-            out.vm_metrics.iter().map(|m| m.llc_miss_rate()).sum::<f64>() / n * 100.0;
-        let misslat =
-            out.vm_metrics.iter().map(|m| m.mean_miss_latency()).sum::<f64>() / n;
+        let runtime = out
+            .vm_metrics
+            .iter()
+            .map(|m| m.runtime_cycles() as f64)
+            .sum::<f64>()
+            / n
+            / 1e6;
+        let missrate = out
+            .vm_metrics
+            .iter()
+            .map(|m| m.llc_miss_rate())
+            .sum::<f64>()
+            / n
+            * 100.0;
+        let misslat = out
+            .vm_metrics
+            .iter()
+            .map(|m| m.mean_miss_latency())
+            .sum::<f64>()
+            / n;
         let l1hit = out
             .vm_metrics
             .iter()

@@ -51,7 +51,11 @@ fn main() {
         &["slowdown vs isolation", "miss rate %", "miss lat (cy)"],
     );
     let run = runner
-        .run(&instances, SchedulingPolicy::Affinity, SharingDegree::SharedBy(4))
+        .run(
+            &instances,
+            SchedulingPolicy::Affinity,
+            SharingDegree::SharedBy(4),
+        )
         .expect("consolidated run");
     for kind in WorkloadKind::PAPER_SET {
         let base = runner

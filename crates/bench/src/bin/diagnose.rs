@@ -34,7 +34,9 @@ fn run(label: &str, kinds: &[WorkloadKind]) {
     for (i, m) in out.vm_metrics.iter().enumerate() {
         println!(
             "  vm{i}: {m}  upgrades={} inv_recv={} mem={} runtime={}",
-            m.upgrades, m.invalidations_received, m.memory_fetches,
+            m.upgrades,
+            m.invalidations_received,
+            m.memory_fetches,
             m.runtime_cycles()
         );
     }
@@ -52,8 +54,5 @@ fn main() {
             WorkloadKind::TpcH,
         ],
     );
-    run(
-        "Mix B (4x TPC-H)",
-        &[WorkloadKind::TpcH; 4],
-    );
+    run("Mix B (4x TPC-H)", &[WorkloadKind::TpcH; 4]);
 }

@@ -1,10 +1,20 @@
 //! Regenerates every paper exhibit in one invocation.
 //!
-//! Run-length knobs: `CONSIM_REFS`, `CONSIM_WARMUP`, `CONSIM_SEEDS`.
+//! All experiment cells are prefetched in one parallel batch across the
+//! worker pool before any table is printed. Run-length knobs:
+//! `CONSIM_REFS`, `CONSIM_WARMUP`, `CONSIM_SEEDS`; worker count:
+//! `CONSIM_THREADS` (defaults to the machine's available parallelism).
 
 use consim_bench::{figures, FigureContext};
+use std::time::Instant;
 
 fn main() {
+    let started = Instant::now();
     let ctx = FigureContext::for_figures();
     figures::run_all(&ctx).expect("figure regeneration failed");
+    eprintln!(
+        "run_all: {} cells in {:.1}s",
+        ctx.cached_cells(),
+        started.elapsed().as_secs_f64()
+    );
 }

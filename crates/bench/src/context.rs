@@ -1,18 +1,118 @@
 //! Shared, memoizing experiment context for figure regeneration.
+//!
+//! Two layers of caching keep `run_all` from re-simulating anything:
+//!
+//! * [`BaselineCache`] holds single-workload isolation runs keyed by
+//!   (kind, policy, sharing, run options). Every figure normalizes against
+//!   one of a handful of isolation baselines, so sharing this cache across
+//!   regenerators — even ones using different contexts — computes each
+//!   baseline exactly once.
+//! * [`FigureContext`] adds a memo for full mix cells and a
+//!   [`FigureContext::prefetch`] entry point that fans every not-yet-cached
+//!   cell out across the runner's worker pool in one
+//!   [`ExperimentRunner::run_cells`] batch.
+//!
+//! Both are `Sync`: interior mutability is `Mutex`-based and results are
+//! handed out as `Arc`s, so regenerators may run from multiple threads.
 
-use consim::runner::{ExperimentRunner, MixRun, RunOptions};
+use consim::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
 use consim_sched::SchedulingPolicy;
 use consim_types::config::SharingDegree;
 use consim_types::SimError;
 use consim_workload::WorkloadKind;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-/// A cache key for one experiment cell.
+/// A cache key for one mix cell.
 type Key = (Vec<WorkloadKind>, SchedulingPolicy, String);
 
-/// An [`ExperimentRunner`] plus a memo table, so figures that share cells
+/// A cache key for one isolation baseline. Includes the run options so
+/// contexts with different measurement settings (e.g. Table II's
+/// footprint-tracking runner) never alias.
+type BaselineKey = (WorkloadKind, SchedulingPolicy, String, RunOptions);
+
+/// Process-wide cache of single-workload isolation runs.
+///
+/// # Examples
+///
+/// ```
+/// use consim_bench::BaselineCache;
+/// use consim::runner::{ExperimentRunner, RunOptions};
+/// use consim_sched::SchedulingPolicy;
+/// use consim_types::config::SharingDegree;
+/// use consim_workload::WorkloadKind;
+///
+/// let cache = BaselineCache::new();
+/// let runner = ExperimentRunner::new(RunOptions::quick());
+/// let a = cache.get_or_run(&runner, WorkloadKind::TpcH,
+///                          SchedulingPolicy::Affinity,
+///                          SharingDegree::FullyShared).unwrap();
+/// let b = cache.get_or_run(&runner, WorkloadKind::TpcH,
+///                          SchedulingPolicy::Affinity,
+///                          SharingDegree::FullyShared).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // simulated once
+/// ```
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    memo: Mutex<HashMap<BaselineKey, Arc<MixRun>>>,
+}
+
+impl BaselineCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached isolation run for `(kind, policy, sharing)` under
+    /// `runner`'s options, simulating it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine configuration/placement errors.
+    pub fn get_or_run(
+        &self,
+        runner: &ExperimentRunner,
+        kind: WorkloadKind,
+        policy: SchedulingPolicy,
+        sharing: SharingDegree,
+    ) -> Result<Arc<MixRun>, SimError> {
+        let key = (kind, policy, sharing.label(), runner.options().clone());
+        if let Some(hit) = self.memo.lock().expect("baseline memo poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let run = Arc::new(runner.isolated(kind, policy, sharing)?);
+        self.insert(key, Arc::clone(&run));
+        Ok(run)
+    }
+
+    /// Cached baseline, if present (no simulation).
+    fn get(&self, key: &BaselineKey) -> Option<Arc<MixRun>> {
+        self.memo
+            .lock()
+            .expect("baseline memo poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: BaselineKey, run: Arc<MixRun>) {
+        self.memo
+            .lock()
+            .expect("baseline memo poisoned")
+            .insert(key, run);
+    }
+
+    /// Number of cached baselines.
+    pub fn len(&self) -> usize {
+        self.memo.lock().expect("baseline memo poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An [`ExperimentRunner`] plus memo tables, so figures that share cells
 /// (e.g. every figure needs the isolation baselines) don't re-simulate
 /// them.
 ///
@@ -30,20 +130,30 @@ type Key = (Vec<WorkloadKind>, SchedulingPolicy, String);
 ///                 SharingDegree::SharedBy(4)).unwrap();
 /// let b = ctx.run(&[WorkloadKind::TpcH], SchedulingPolicy::Affinity,
 ///                 SharingDegree::SharedBy(4)).unwrap();
-/// assert!(std::rc::Rc::ptr_eq(&a, &b)); // memoized
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // memoized
 /// ```
 #[derive(Debug)]
 pub struct FigureContext {
     runner: ExperimentRunner,
-    memo: RefCell<HashMap<Key, Rc<MixRun>>>,
+    memo: Mutex<HashMap<Key, Arc<MixRun>>>,
+    baselines: Arc<BaselineCache>,
 }
 
 impl FigureContext {
-    /// Creates a context with explicit options.
+    /// Creates a context with explicit options and a private baseline
+    /// cache.
     pub fn new(options: RunOptions) -> Self {
+        Self::with_baselines(options, Arc::new(BaselineCache::new()))
+    }
+
+    /// Creates a context sharing an existing baseline cache (so several
+    /// contexts with different options — or several regenerators — reuse
+    /// isolation runs wherever the options match).
+    pub fn with_baselines(options: RunOptions, baselines: Arc<BaselineCache>) -> Self {
         Self {
             runner: ExperimentRunner::new(options),
-            memo: RefCell::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
+            baselines,
         }
     }
 
@@ -71,7 +181,27 @@ impl FigureContext {
         &self.runner
     }
 
-    /// Runs (or recalls) one experiment cell.
+    /// The shared baseline cache.
+    pub fn baselines(&self) -> &Arc<BaselineCache> {
+        &self.baselines
+    }
+
+    fn baseline_key(
+        &self,
+        kind: WorkloadKind,
+        policy: SchedulingPolicy,
+        label: &str,
+    ) -> BaselineKey {
+        (
+            kind,
+            policy,
+            label.to_owned(),
+            self.runner.options().clone(),
+        )
+    }
+
+    /// Runs (or recalls) one experiment cell. Single-workload cells are
+    /// isolation baselines and go through the shared [`BaselineCache`].
     ///
     /// # Errors
     ///
@@ -81,14 +211,85 @@ impl FigureContext {
         instances: &[WorkloadKind],
         policy: SchedulingPolicy,
         sharing: SharingDegree,
-    ) -> Result<Rc<MixRun>, SimError> {
-        let key = (instances.to_vec(), policy, sharing.label());
-        if let Some(hit) = self.memo.borrow().get(&key) {
-            return Ok(Rc::clone(hit));
+    ) -> Result<Arc<MixRun>, SimError> {
+        if let [kind] = instances {
+            return self
+                .baselines
+                .get_or_run(&self.runner, *kind, policy, sharing);
         }
-        let run = Rc::new(self.runner.run(instances, policy, sharing)?);
-        self.memo.borrow_mut().insert(key, Rc::clone(&run));
+        let key = (instances.to_vec(), policy, sharing.label());
+        if let Some(hit) = self.memo.lock().expect("figure memo poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let run = Arc::new(self.runner.run(instances, policy, sharing)?);
+        self.memo
+            .lock()
+            .expect("figure memo poisoned")
+            .insert(key, Arc::clone(&run));
         Ok(run)
+    }
+
+    /// Simulates every not-yet-cached cell of `cells` in one parallel
+    /// [`ExperimentRunner::run_cells`] batch, filling the memo tables.
+    /// Subsequent [`FigureContext::run`] calls on these cells are cache
+    /// hits, so figure regeneration after a prefetch does no simulation.
+    ///
+    /// Duplicate cells in `cells` are collapsed before submission.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine configuration/placement error.
+    pub fn prefetch(
+        &self,
+        cells: &[(Vec<WorkloadKind>, SchedulingPolicy, SharingDegree)],
+    ) -> Result<(), SimError> {
+        let mut pending: Vec<&(Vec<WorkloadKind>, SchedulingPolicy, SharingDegree)> = Vec::new();
+        let mut submitted: HashMap<Key, ()> = HashMap::new();
+        for cell in cells {
+            let (instances, policy, sharing) = cell;
+            let key = (instances.clone(), *policy, sharing.label());
+            if submitted.contains_key(&key) {
+                continue;
+            }
+            let cached = if let [kind] = instances.as_slice() {
+                self.baselines
+                    .get(&self.baseline_key(*kind, *policy, &sharing.label()))
+                    .is_some()
+            } else {
+                self.memo
+                    .lock()
+                    .expect("figure memo poisoned")
+                    .contains_key(&key)
+            };
+            if cached {
+                continue;
+            }
+            submitted.insert(key, ());
+            pending.push(cell);
+        }
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let batch: Vec<ExperimentCell> = pending
+            .iter()
+            .map(|(instances, policy, sharing)| {
+                ExperimentCell::of_kinds(instances, *policy, *sharing)
+            })
+            .collect();
+        let runs = self.runner.run_cells(&batch)?;
+        for ((instances, policy, sharing), run) in pending.into_iter().zip(runs) {
+            let run = Arc::new(run);
+            if let [kind] = instances.as_slice() {
+                self.baselines
+                    .insert(self.baseline_key(*kind, *policy, &sharing.label()), run);
+            } else {
+                self.memo
+                    .lock()
+                    .expect("figure memo poisoned")
+                    .insert((instances.clone(), *policy, sharing.label()), run);
+            }
+        }
+        Ok(())
     }
 
     /// The paper's normalization baseline: the workload alone on the fully
@@ -97,13 +298,17 @@ impl FigureContext {
     /// # Errors
     ///
     /// Propagates engine configuration/placement errors.
-    pub fn baseline(&self, kind: WorkloadKind) -> Result<Rc<MixRun>, SimError> {
-        self.run(&[kind], SchedulingPolicy::Affinity, SharingDegree::FullyShared)
+    pub fn baseline(&self, kind: WorkloadKind) -> Result<Arc<MixRun>, SimError> {
+        self.run(
+            &[kind],
+            SchedulingPolicy::Affinity,
+            SharingDegree::FullyShared,
+        )
     }
 
-    /// Number of memoized cells (for tests).
+    /// Number of memoized cells, baselines included (for tests).
     pub fn cached_cells(&self) -> usize {
-        self.memo.borrow().len()
+        self.memo.lock().expect("figure memo poisoned").len() + self.baselines.len()
     }
 }
 
@@ -111,15 +316,19 @@ impl FigureContext {
 mod tests {
     use super::*;
 
-    #[test]
-    fn memoizes_identical_cells() {
-        let ctx = FigureContext::new(RunOptions {
+    fn tiny_options() -> RunOptions {
+        RunOptions {
             refs_per_vm: 500,
             warmup_refs_per_vm: 100,
             seeds: vec![1],
             track_footprint: false,
             prewarm_llc: false,
-        });
+        }
+    }
+
+    #[test]
+    fn memoizes_identical_cells() {
+        let ctx = FigureContext::new(tiny_options());
         let a = ctx
             .run(
                 &[WorkloadKind::TpcH],
@@ -135,7 +344,7 @@ mod tests {
                 SharingDegree::SharedBy(4),
             )
             .unwrap();
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(ctx.cached_cells(), 1);
         // A different cell is a different run.
         ctx.run(
@@ -145,5 +354,84 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ctx.cached_cells(), 2);
+    }
+
+    #[test]
+    fn baselines_shared_across_contexts() {
+        let baselines = Arc::new(BaselineCache::new());
+        let a_ctx = FigureContext::with_baselines(tiny_options(), Arc::clone(&baselines));
+        let b_ctx = FigureContext::with_baselines(tiny_options(), Arc::clone(&baselines));
+        let a = a_ctx.baseline(WorkloadKind::TpcH).unwrap();
+        let b = b_ctx.baseline(WorkloadKind::TpcH).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "baseline must be simulated once");
+        assert_eq!(baselines.len(), 1);
+
+        // Different options must not alias.
+        let mut other = tiny_options();
+        other.refs_per_vm = 600;
+        let c_ctx = FigureContext::with_baselines(other, Arc::clone(&baselines));
+        let c = c_ctx.baseline(WorkloadKind::TpcH).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(baselines.len(), 2);
+    }
+
+    #[test]
+    fn prefetch_fills_both_caches_and_matches_serial() {
+        let cells = vec![
+            (
+                vec![WorkloadKind::TpcH],
+                SchedulingPolicy::Affinity,
+                SharingDegree::FullyShared,
+            ),
+            (
+                vec![WorkloadKind::TpcH; 4],
+                SchedulingPolicy::RoundRobin,
+                SharingDegree::SharedBy(4),
+            ),
+            // Duplicate collapses.
+            (
+                vec![WorkloadKind::TpcH; 4],
+                SchedulingPolicy::RoundRobin,
+                SharingDegree::SharedBy(4),
+            ),
+        ];
+        let ctx = FigureContext::new(tiny_options());
+        ctx.prefetch(&cells).unwrap();
+        assert_eq!(ctx.cached_cells(), 2);
+
+        // Prefetched results are identical to serially computed ones.
+        let serial_ctx = FigureContext::new(tiny_options());
+        let warm = ctx
+            .run(
+                &cells[1].0,
+                SchedulingPolicy::RoundRobin,
+                SharingDegree::SharedBy(4),
+            )
+            .unwrap();
+        let cold = serial_ctx
+            .run(
+                &cells[1].0,
+                SchedulingPolicy::RoundRobin,
+                SharingDegree::SharedBy(4),
+            )
+            .unwrap();
+        for (w, c) in warm.vms.iter().zip(cold.vms.iter()) {
+            assert_eq!(
+                w.runtime_cycles.mean.to_bits(),
+                c.runtime_cycles.mean.to_bits()
+            );
+            assert_eq!(w.miss_latency.mean.to_bits(), c.miss_latency.mean.to_bits());
+        }
+
+        // A second prefetch of the same list is a no-op.
+        ctx.prefetch(&cells).unwrap();
+        assert_eq!(ctx.cached_cells(), 2);
+    }
+
+    #[test]
+    fn context_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<FigureContext>();
+        assert_sync::<BaselineCache>();
     }
 }

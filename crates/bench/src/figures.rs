@@ -18,7 +18,7 @@
 use crate::context::FigureContext;
 use consim::mix::Mix;
 use consim::report::TextTable;
-use consim::runner::{ExperimentRunner, RunOptions, VmAggregate};
+use consim::runner::{ExperimentCell, ExperimentRunner, RunOptions, VmAggregate};
 use consim_sched::SchedulingPolicy;
 use consim_types::config::SharingDegree;
 use consim_types::SimError;
@@ -76,8 +76,13 @@ pub fn table2(ctx: &FigureContext) -> Result<TextTable, SimError> {
         "Table II: workload statistics (private LLC, isolated)",
         &["c2c %", "clean %", "dirty %", "blocks (K)"],
     );
-    for kind in WorkloadKind::PAPER_SET {
-        let run = runner.isolated(kind, RoundRobin, Private)?;
+    // One batch: all workloads simulate in parallel on the worker pool.
+    let cells: Vec<ExperimentCell> = WorkloadKind::PAPER_SET
+        .into_iter()
+        .map(|kind| ExperimentCell::of_kinds(&[kind], RoundRobin, Private))
+        .collect();
+    let runs = runner.run_cells(&cells)?;
+    for (kind, run) in WorkloadKind::PAPER_SET.into_iter().zip(runs) {
         let v = &run.vms[0];
         let dirty = v.c2c_dirty_fraction.mean;
         t.row(
@@ -426,13 +431,46 @@ pub fn fig13_occupancy(ctx: &FigureContext) -> Result<TextTable, SimError> {
     Ok(t)
 }
 
+/// Every experiment cell the figure regenerators will request, so
+/// [`run_all`] can prefetch them in one parallel batch. Duplicates are
+/// fine; [`FigureContext::prefetch`] collapses them.
+pub fn run_all_cells() -> Vec<(Vec<WorkloadKind>, SchedulingPolicy, SharingDegree)> {
+    let mut cells = Vec::new();
+    for kind in WorkloadKind::PAPER_SET {
+        // Figs. 2-4 isolated sweep (includes every isolation baseline).
+        for (_, sharing, policy) in ISOLATED_SWEEP {
+            cells.push((vec![kind], policy, sharing));
+        }
+        // Figs. 5-7 and 12: homogeneous mixes under every policy, plus the
+        // private-LLC replication maximum.
+        for policy in POLICIES {
+            cells.push((vec![kind; 4], policy, SharedBy(4)));
+        }
+        cells.push((vec![kind; 4], RoundRobin, Private));
+    }
+    // Figs. 8-11 and 13: heterogeneous mixes, both schedulers at the
+    // paper's shared-4-way point and the Fig. 11 sharing-degree sweep.
+    for mix in Mix::all_heterogeneous() {
+        let instances = mix.instances().to_vec();
+        for policy in [Affinity, RoundRobin] {
+            cells.push((instances.clone(), policy, SharedBy(4)));
+        }
+        for sharing in [SharedBy(2), SharedBy(8), FullyShared] {
+            cells.push((instances.clone(), Affinity, sharing));
+        }
+    }
+    cells
+}
+
 /// Regenerates every exhibit, printing each table (used by the `run_all`
-/// binary).
+/// binary). All cells are prefetched through the context's parallel batch
+/// API first, so the figure code below only reads cached results.
 ///
 /// # Errors
 ///
 /// Propagates engine errors.
 pub fn run_all(ctx: &FigureContext) -> Result<(), SimError> {
+    ctx.prefetch(&run_all_cells())?;
     println!("{}", table4());
     println!("{}", table2(ctx)?);
     println!("{}", fig02_isolated_performance(ctx)?);

@@ -33,14 +33,16 @@
 //!
 //! Each bench target prints the figure's rows/series as a plain-text table;
 //! run-length and seed count are tunable with `CONSIM_REFS`,
-//! `CONSIM_WARMUP`, and `CONSIM_SEEDS`. `cargo bench -p consim-bench` runs
-//! everything; criterion micro-benchmarks of the substrates live in the
+//! `CONSIM_WARMUP`, and `CONSIM_SEEDS`; worker-pool width with
+//! `CONSIM_THREADS`. `cargo bench -p consim-bench` runs everything;
+//! dependency-free timing micro-benchmarks of the substrates live in the
 //! `micro` target. Helper binaries: `run_all` (every exhibit in one
-//! process, with cross-figure memoization), `calibrate` (Table II
-//! calibration check), `sweep` (profile-knob search), `diagnose`
-//! (latency-composition debugging).
+//! process, batch-prefetched across the worker pool with cross-figure
+//! memoization), `calibrate` (Table II calibration check), `sweep`
+//! (profile-knob search, one parallel batch per workload), `diagnose`
+//! (latency-composition debugging), `throughput` (engine refs/sec probe).
 
 pub mod context;
 pub mod figures;
 
-pub use context::FigureContext;
+pub use context::{BaselineCache, FigureContext};

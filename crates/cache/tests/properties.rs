@@ -1,141 +1,162 @@
-//! Property-based tests for the cache substrate.
+//! Randomized property tests for the cache substrate.
+//!
+//! Each test drives the cache with deterministic pseudo-random operation
+//! sequences (seeded `SimRng` streams, many iterations per test) and checks
+//! invariants that must hold for *every* sequence.
 
 use consim_cache::{LineState, ReplacementPolicy, SetAssocCache};
-use consim_types::{BlockAddr, CacheGeometry};
-use proptest::prelude::*;
+use consim_types::{BlockAddr, CacheGeometry, SimRng};
 use std::collections::HashSet;
 
-fn any_policy() -> impl Strategy<Value = ReplacementPolicy> {
-    prop_oneof![
-        Just(ReplacementPolicy::Lru),
-        Just(ReplacementPolicy::TreePlru),
-        Just(ReplacementPolicy::Random),
-    ]
-}
+const POLICIES: [ReplacementPolicy; 3] = [
+    ReplacementPolicy::Lru,
+    ReplacementPolicy::TreePlru,
+    ReplacementPolicy::Random,
+];
 
-/// Cache operations driven by proptest.
-#[derive(Debug, Clone)]
+/// Randomized cache operations.
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Access(u64),
     Insert(u64, bool),
     Invalidate(u64),
 }
 
-fn any_op(max_block: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..max_block).prop_map(Op::Access),
-        (0..max_block, any::<bool>()).prop_map(|(b, dirty)| Op::Insert(b, dirty)),
-        (0..max_block).prop_map(Op::Invalidate),
-    ]
+fn random_op(rng: &mut SimRng, max_block: u64) -> Op {
+    match rng.below(3) {
+        0 => Op::Access(rng.below(max_block)),
+        1 => Op::Insert(rng.below(max_block), rng.chance(0.5)),
+        _ => Op::Invalidate(rng.below(max_block)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Occupancy never exceeds capacity, and stored blocks are unique.
-    #[test]
-    fn capacity_and_uniqueness_invariants(
-        policy in any_policy(),
-        ops in prop::collection::vec(any_op(512), 1..400),
-    ) {
-        let geom = CacheGeometry::new(8 * 64 * 4, 4, 1).unwrap(); // 4-way, 8 sets
-        let mut cache = SetAssocCache::new(geom, policy);
-        for op in ops {
-            match op {
-                Op::Access(b) => { cache.access(BlockAddr::new(b)); }
-                Op::Insert(b, dirty) => {
-                    let state = if dirty { LineState::Modified } else { LineState::Shared };
-                    cache.insert(BlockAddr::new(b), state);
+/// Occupancy never exceeds capacity, and stored blocks are unique.
+#[test]
+fn capacity_and_uniqueness_invariants() {
+    let mut rng = SimRng::from_seed(0xCAC4E);
+    for policy in POLICIES {
+        for _case in 0..32 {
+            let geom = CacheGeometry::new(8 * 64 * 4, 4, 1).unwrap(); // 4-way, 8 sets
+            let mut cache = SetAssocCache::new(geom, policy);
+            let ops = 1 + rng.index(400);
+            for _ in 0..ops {
+                match random_op(&mut rng, 512) {
+                    Op::Access(b) => {
+                        cache.access(BlockAddr::new(b));
+                    }
+                    Op::Insert(b, dirty) => {
+                        let state = if dirty {
+                            LineState::Modified
+                        } else {
+                            LineState::Shared
+                        };
+                        cache.insert(BlockAddr::new(b), state);
+                    }
+                    Op::Invalidate(b) => {
+                        cache.invalidate(BlockAddr::new(b));
+                    }
                 }
-                Op::Invalidate(b) => { cache.invalidate(BlockAddr::new(b)); }
+                assert!(cache.occupancy() <= cache.capacity());
+                let blocks: Vec<_> = cache.lines().map(|l| l.block).collect();
+                let unique: HashSet<_> = blocks.iter().copied().collect();
+                assert_eq!(blocks.len(), unique.len(), "duplicate block in cache");
             }
-            prop_assert!(cache.occupancy() <= cache.capacity());
-            let blocks: Vec<_> = cache.lines().map(|l| l.block).collect();
-            let unique: HashSet<_> = blocks.iter().copied().collect();
-            prop_assert_eq!(blocks.len(), unique.len(), "duplicate block in cache");
         }
     }
+}
 
-    /// After an insert the block is always findable until evicted or
-    /// invalidated, and a probe agrees with access.
-    #[test]
-    fn inserted_blocks_are_findable(
-        policy in any_policy(),
-        blocks in prop::collection::vec(0u64..256, 1..100),
-    ) {
-        let geom = CacheGeometry::new(64 * 64 * 8, 8, 1).unwrap();
-        let mut cache = SetAssocCache::new(geom, policy);
-        for b in blocks {
-            let block = BlockAddr::new(b);
-            cache.insert(block, LineState::Exclusive);
-            prop_assert!(cache.contains(block), "just-inserted block missing");
-            prop_assert_eq!(cache.probe(block), cache.access(block));
+/// After an insert the block is always findable until evicted or
+/// invalidated, and a probe agrees with access.
+#[test]
+fn inserted_blocks_are_findable() {
+    let mut rng = SimRng::from_seed(0xF1DE);
+    for policy in POLICIES {
+        for _case in 0..32 {
+            let geom = CacheGeometry::new(64 * 64 * 8, 8, 1).unwrap();
+            let mut cache = SetAssocCache::new(geom, policy);
+            let inserts = 1 + rng.index(100);
+            for _ in 0..inserts {
+                let block = BlockAddr::new(rng.below(256));
+                cache.insert(block, LineState::Exclusive);
+                assert!(cache.contains(block), "just-inserted block missing");
+                assert_eq!(cache.probe(block), cache.access(block));
+            }
         }
     }
+}
 
-    /// Hit+miss counts always equal the number of accesses performed.
-    #[test]
-    fn stats_balance(
-        ops in prop::collection::vec(any_op(128), 1..300),
-    ) {
+/// Hit+miss counts always equal the number of accesses performed.
+#[test]
+fn stats_balance() {
+    let mut rng = SimRng::from_seed(0x57A75);
+    for _case in 0..64 {
         let geom = CacheGeometry::new(4 * 64 * 2, 2, 1).unwrap();
         let mut cache = SetAssocCache::new(geom, ReplacementPolicy::Lru);
         let mut expected_accesses = 0u64;
-        for op in ops {
-            match op {
+        let ops = 1 + rng.index(300);
+        for _ in 0..ops {
+            match random_op(&mut rng, 128) {
                 Op::Access(b) => {
                     cache.access(BlockAddr::new(b));
                     expected_accesses += 1;
                 }
-                Op::Insert(b, _) => { cache.insert(BlockAddr::new(b), LineState::Shared); }
-                Op::Invalidate(b) => { cache.invalidate(BlockAddr::new(b)); }
+                Op::Insert(b, _) => {
+                    cache.insert(BlockAddr::new(b), LineState::Shared);
+                }
+                Op::Invalidate(b) => {
+                    cache.invalidate(BlockAddr::new(b));
+                }
             }
         }
-        prop_assert_eq!(cache.stats().accesses(), expected_accesses);
+        assert_eq!(cache.stats().accesses(), expected_accesses);
     }
+}
 
-    /// LRU caches never evict the most-recently-used line.
-    #[test]
-    fn lru_never_evicts_mru(
-        blocks in prop::collection::vec(0u64..64, 2..200),
-    ) {
+/// LRU caches never evict the most-recently-used line.
+#[test]
+fn lru_never_evicts_mru() {
+    let mut rng = SimRng::from_seed(0x14B);
+    for _case in 0..64 {
         let geom = CacheGeometry::new(2 * 64, 2, 1).unwrap(); // 2-way, 1 set
         let mut cache = SetAssocCache::new(geom, ReplacementPolicy::Lru);
         let mut last: Option<BlockAddr> = None;
-        for b in blocks {
-            let block = BlockAddr::new(b);
+        let inserts = 2 + rng.index(198);
+        for _ in 0..inserts {
+            let block = BlockAddr::new(rng.below(64));
             if let Some(victim) = cache.insert(block, LineState::Shared) {
                 if let Some(mru) = last {
                     if mru != block {
-                        prop_assert_ne!(victim.block, mru, "evicted the MRU line");
+                        assert_ne!(victim.block, mru, "evicted the MRU line");
                     }
                 }
             }
             last = Some(block);
         }
     }
+}
 
-    /// Invalidation is idempotent and removes exactly the named block.
-    #[test]
-    fn invalidate_exactness(
-        blocks in prop::collection::vec(0u64..64, 1..60),
-        target in 0u64..64,
-    ) {
+/// Invalidation is idempotent and removes exactly the named block.
+#[test]
+fn invalidate_exactness() {
+    let mut rng = SimRng::from_seed(0x17A11D);
+    for _case in 0..64 {
         let geom = CacheGeometry::new(16 * 64 * 16, 16, 1).unwrap();
         let mut cache = SetAssocCache::new(geom, ReplacementPolicy::Lru);
-        for b in &blocks {
-            cache.insert(BlockAddr::new(*b), LineState::Shared);
+        let inserts = 1 + rng.index(60);
+        for _ in 0..inserts {
+            cache.insert(BlockAddr::new(rng.below(64)), LineState::Shared);
         }
+        let target = rng.below(64);
         let before: HashSet<_> = cache.lines().map(|l| l.block).collect();
         let removed = cache.invalidate(BlockAddr::new(target));
         let after: HashSet<_> = cache.lines().map(|l| l.block).collect();
         if removed.is_some() {
-            prop_assert!(before.contains(&BlockAddr::new(target)));
-            prop_assert!(!after.contains(&BlockAddr::new(target)));
-            prop_assert_eq!(before.len(), after.len() + 1);
+            assert!(before.contains(&BlockAddr::new(target)));
+            assert!(!after.contains(&BlockAddr::new(target)));
+            assert_eq!(before.len(), after.len() + 1);
         } else {
-            prop_assert_eq!(&before, &after);
+            assert_eq!(before, after);
         }
-        prop_assert!(cache.invalidate(BlockAddr::new(target)).is_none());
+        assert!(cache.invalidate(BlockAddr::new(target)).is_none());
     }
 }

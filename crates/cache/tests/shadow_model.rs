@@ -3,11 +3,12 @@
 //! The shadow keeps, per set, a plain `Vec` of (block, state) in
 //! most-recently-used order — the textbook definition of an LRU
 //! set-associative cache. Every operation must produce identical hit/miss
-//! results, identical victims, and identical final contents.
+//! results, identical victims, and identical final contents. Operation
+//! sequences and geometries are drawn from a seeded `SimRng`, so failures
+//! reproduce exactly.
 
 use consim_cache::{CacheLine, LineState, ReplacementPolicy, SetAssocCache};
-use consim_types::{BlockAddr, CacheGeometry};
-use proptest::prelude::*;
+use consim_types::{BlockAddr, CacheGeometry, SimRng};
 use std::collections::BTreeSet;
 
 /// Textbook LRU cache: per-set MRU-ordered vectors.
@@ -67,19 +68,19 @@ impl ShadowCache {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Access(u64),
     Insert(u64, bool),
     Invalidate(u64),
 }
 
-fn any_op(max_block: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..max_block).prop_map(Op::Access),
-        (0..max_block, any::<bool>()).prop_map(|(b, d)| Op::Insert(b, d)),
-        (0..max_block).prop_map(Op::Invalidate),
-    ]
+fn random_op(rng: &mut SimRng, max_block: u64) -> Op {
+    match rng.below(3) {
+        0 => Op::Access(rng.below(max_block)),
+        1 => Op::Insert(rng.below(max_block), rng.chance(0.5)),
+        _ => Op::Invalidate(rng.below(max_block)),
+    }
 }
 
 fn state_of(dirty: bool) -> LineState {
@@ -94,50 +95,47 @@ fn line_key(line: &CacheLine) -> (u64, LineState) {
     (line.block.raw(), line.state)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The real cache and the shadow model agree on every operation's
-    /// result and on the final contents.
-    #[test]
-    fn lru_cache_matches_shadow_model(
-        ops in prop::collection::vec(any_op(128), 1..500),
-        ways in 1usize..8,
-        sets_pow in 0u32..4,
-    ) {
-        let sets = 1usize << sets_pow;
+/// The real cache and the shadow model agree on every operation's result and
+/// on the final contents, across many random geometries and op sequences.
+#[test]
+fn lru_cache_matches_shadow_model() {
+    let mut rng = SimRng::from_seed(0x5AD0);
+    for _case in 0..128 {
+        let ways = 1 + rng.index(7);
+        let sets = 1usize << rng.index(4);
         let geom = CacheGeometry::new(sets * ways * 64, ways, 1).unwrap();
         let mut real = SetAssocCache::new(geom, ReplacementPolicy::Lru);
         let mut shadow = ShadowCache::new(sets, ways);
 
-        for op in ops {
-            match op {
+        let ops = 1 + rng.index(500);
+        for _ in 0..ops {
+            match random_op(&mut rng, 128) {
                 Op::Access(b) => {
                     let r = real.access(BlockAddr::new(b));
                     let s = shadow.access(b);
-                    prop_assert_eq!(r, s, "access diverged at block {}", b);
+                    assert_eq!(r, s, "access diverged at block {b}");
                 }
                 Op::Insert(b, dirty) => {
                     let r = real.insert(BlockAddr::new(b), state_of(dirty));
                     let s = shadow.insert(b, state_of(dirty));
-                    prop_assert_eq!(
+                    assert_eq!(
                         r.as_ref().map(line_key),
                         s,
-                        "insert victim diverged at block {}", b
+                        "insert victim diverged at block {b}"
                     );
                 }
                 Op::Invalidate(b) => {
                     let r = real.invalidate(BlockAddr::new(b));
                     let s = shadow.invalidate(b);
-                    prop_assert_eq!(
+                    assert_eq!(
                         r.as_ref().map(line_key),
                         s,
-                        "invalidate diverged at block {}", b
+                        "invalidate diverged at block {b}"
                     );
                 }
             }
         }
         let real_contents: BTreeSet<_> = real.lines().map(line_key).collect();
-        prop_assert_eq!(real_contents, shadow.contents(), "final contents diverged");
+        assert_eq!(real_contents, shadow.contents(), "final contents diverged");
     }
 }

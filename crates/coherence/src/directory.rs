@@ -16,8 +16,7 @@
 
 use crate::coreset::CoreSet;
 use crate::stats::ProtocolStats;
-use consim_types::{BlockAddr, CoreId, NodeId, SimError};
-use std::collections::HashMap;
+use consim_types::{BlockAddr, CoreId, FastHashMap, NodeId, SimError};
 
 /// The kind of private-cache miss being resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,12 +56,15 @@ impl DataSource {
 }
 
 /// The directory's answer to one request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy`: the invalidation set is a [`CoreSet`] bitmask, so handling a
+/// request allocates nothing — this sits on the engine's per-miss hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Outcome {
     /// Where the data comes from.
     pub source: DataSource,
     /// Caches that must invalidate their copies (excludes the requester).
-    pub invalidate: Vec<CoreId>,
+    pub invalidate: CoreSet,
     /// Whether a dirty copy was written back toward the home (read of a
     /// Modified line downgrades the owner and pushes data down).
     pub writeback: bool,
@@ -102,7 +104,7 @@ impl DirEntry {
 #[derive(Debug, Clone)]
 pub struct Directory {
     num_cores: usize,
-    entries: HashMap<BlockAddr, DirEntry>,
+    entries: FastHashMap<BlockAddr, DirEntry>,
     stats: ProtocolStats,
 }
 
@@ -119,7 +121,7 @@ impl Directory {
         );
         Self {
             num_cores,
-            entries: HashMap::new(),
+            entries: FastHashMap::default(),
             stats: ProtocolStats::default(),
         }
     }
@@ -137,7 +139,10 @@ impl Directory {
     ///
     /// Panics if `requester` is outside the machine.
     pub fn handle(&mut self, requester: CoreId, block: BlockAddr, kind: AccessKind) -> Outcome {
-        assert!(requester.index() < self.num_cores, "requester outside machine");
+        assert!(
+            requester.index() < self.num_cores,
+            "requester outside machine"
+        );
         self.stats.requests += 1;
         let entry = self.entries.entry(block).or_default();
         let outcome = match kind {
@@ -151,7 +156,7 @@ impl Directory {
                     entry.sharers.insert(requester);
                     Outcome {
                         source: DataSource::DirtyCache(owner),
-                        invalidate: Vec::new(),
+                        invalidate: CoreSet::EMPTY,
                         writeback: true,
                         exclusive: false,
                     }
@@ -167,7 +172,7 @@ impl Directory {
                     entry.sharers.insert(requester);
                     Outcome {
                         source: DataSource::CleanCache(supplier),
-                        invalidate: Vec::new(),
+                        invalidate: CoreSet::EMPTY,
                         writeback: false,
                         exclusive: false,
                     }
@@ -176,7 +181,7 @@ impl Directory {
                     entry.sharers.insert(requester);
                     Outcome {
                         source: DataSource::Below,
-                        invalidate: Vec::new(),
+                        invalidate: CoreSet::EMPTY,
                         writeback: false,
                         exclusive: true,
                     }
@@ -189,14 +194,14 @@ impl Directory {
                     entry.sharers = CoreSet::EMPTY;
                     Outcome {
                         source: DataSource::DirtyCache(owner),
-                        invalidate: vec![owner],
+                        invalidate: CoreSet::singleton(owner),
                         writeback: false,
                         exclusive: true,
                     }
                 } else if !entry.sharers.is_empty() {
                     let supplier = entry.sharers.iter().find(|&c| c != requester);
-                    let invalidate: Vec<CoreId> =
-                        entry.sharers.iter().filter(|&c| c != requester).collect();
+                    let mut invalidate = entry.sharers;
+                    invalidate.remove(requester);
                     entry.sharers = CoreSet::EMPTY;
                     entry.owner = Some(requester);
                     match supplier {
@@ -218,7 +223,7 @@ impl Directory {
                     entry.owner = Some(requester);
                     Outcome {
                         source: DataSource::Below,
-                        invalidate: Vec::new(),
+                        invalidate: CoreSet::EMPTY,
                         writeback: false,
                         exclusive: true,
                     }
@@ -229,8 +234,8 @@ impl Directory {
                     entry.sharers.contains(requester),
                     "upgrade from a non-sharer"
                 );
-                let invalidate: Vec<CoreId> =
-                    entry.sharers.iter().filter(|&c| c != requester).collect();
+                let mut invalidate = entry.sharers;
+                invalidate.remove(requester);
                 entry.owner = Some(requester);
                 entry.sharers = CoreSet::EMPTY;
                 self.stats.upgrades += 1;
@@ -402,7 +407,7 @@ mod tests {
         d.handle(core(0), blk(1), AccessKind::Write);
         let out = d.handle(core(5), blk(1), AccessKind::Write);
         assert_eq!(out.source, DataSource::DirtyCache(core(0)));
-        assert_eq!(out.invalidate, vec![core(0)]);
+        assert_eq!(out.invalidate, CoreSet::singleton(core(0)));
         assert_eq!(d.owner_of(blk(1)), Some(core(5)));
     }
 
@@ -413,7 +418,7 @@ mod tests {
         d.handle(core(1), blk(1), AccessKind::Read);
         let out = d.handle(core(0), blk(1), AccessKind::Upgrade);
         assert_eq!(out.source, DataSource::None);
-        assert_eq!(out.invalidate, vec![core(1)]);
+        assert_eq!(out.invalidate, CoreSet::singleton(core(1)));
         assert_eq!(d.owner_of(blk(1)), Some(core(0)));
     }
 
@@ -453,8 +458,7 @@ mod tests {
     #[test]
     fn homes_are_striped_across_all_cores() {
         let d = dir();
-        let homes: std::collections::HashSet<_> =
-            (0..64).map(|n| d.home_of(blk(n))).collect();
+        let homes: std::collections::HashSet<_> = (0..64).map(|n| d.home_of(blk(n))).collect();
         assert_eq!(homes.len(), 16);
         assert_eq!(d.home_of(blk(17)), NodeId::new(1));
     }

@@ -35,11 +35,11 @@
 //! ```
 
 pub mod coreset;
-pub mod directory;
 pub mod dircache;
+pub mod directory;
 pub mod stats;
 
 pub use coreset::CoreSet;
-pub use directory::{AccessKind, DataSource, Directory, Outcome};
 pub use dircache::DirectoryCache;
+pub use directory::{AccessKind, DataSource, Directory, Outcome};
 pub use stats::ProtocolStats;

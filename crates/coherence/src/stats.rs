@@ -98,6 +98,7 @@ impl fmt::Display for ProtocolStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CoreSet;
     use consim_types::CoreId;
 
     #[test]
@@ -112,19 +113,19 @@ mod tests {
         let mut s = ProtocolStats::default();
         s.record_outcome(&Outcome {
             source: DataSource::DirtyCache(CoreId::new(1)),
-            invalidate: vec![CoreId::new(1)],
+            invalidate: CoreSet::singleton(CoreId::new(1)),
             writeback: false,
             exclusive: true,
         });
         s.record_outcome(&Outcome {
             source: DataSource::CleanCache(CoreId::new(2)),
-            invalidate: Vec::new(),
+            invalidate: CoreSet::EMPTY,
             writeback: false,
             exclusive: false,
         });
         s.record_outcome(&Outcome {
             source: DataSource::Below,
-            invalidate: Vec::new(),
+            invalidate: CoreSet::EMPTY,
             writeback: false,
             exclusive: true,
         });

@@ -1,12 +1,12 @@
-//! Property-based tests for the directory protocol.
+//! Randomized property tests for the directory protocol, driven by seeded
+//! `SimRng` streams so every run is reproducible.
 
 use consim_coherence::{AccessKind, DataSource, Directory};
-use consim_types::{BlockAddr, CoreId};
-use proptest::prelude::*;
+use consim_types::{BlockAddr, CoreId, SimRng};
 
-/// A requester action proptest can drive against the directory, mirroring
-/// how the engine uses it (writers that already share a line upgrade; cores
-/// that already hold sufficient permission don't re-request).
+/// A requester action the tests drive against the directory, mirroring how
+/// the engine uses it (writers that already share a line upgrade; cores that
+/// already hold sufficient permission don't re-request).
 #[derive(Debug, Clone, Copy)]
 struct Action {
     core: usize,
@@ -15,15 +15,13 @@ struct Action {
     evict: bool,
 }
 
-fn any_action() -> impl Strategy<Value = Action> {
-    (0usize..16, 0u64..12, any::<bool>(), prop::bool::weighted(0.2)).prop_map(
-        |(core, block, write, evict)| Action {
-            core,
-            block,
-            write,
-            evict,
-        },
-    )
+fn random_action(rng: &mut SimRng) -> Action {
+    Action {
+        core: rng.index(16),
+        block: rng.below(12),
+        write: rng.chance(0.5),
+        evict: rng.chance(0.2),
+    }
 }
 
 fn drive(dir: &mut Directory, a: Action) {
@@ -48,46 +46,58 @@ fn drive(dir: &mut Directory, a: Action) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Structural invariants hold under arbitrary request/evict interleaving:
-    /// never both an owner and sharers; no empty or out-of-range entries.
-    #[test]
-    fn invariants_under_arbitrary_traffic(actions in prop::collection::vec(any_action(), 1..300)) {
+/// Structural invariants hold under arbitrary request/evict interleaving:
+/// never both an owner and sharers; no empty or out-of-range entries.
+#[test]
+fn invariants_under_arbitrary_traffic() {
+    let mut rng = SimRng::from_seed(0xD1A1);
+    for _case in 0..128 {
         let mut dir = Directory::new(16);
-        for a in actions {
-            drive(&mut dir, a);
+        for _ in 0..1 + rng.index(300) {
+            drive(&mut dir, random_action(&mut rng));
             dir.check_invariants().unwrap();
         }
     }
+}
 
-    /// After a write, the writer is the sole tracked holder.
-    #[test]
-    fn writes_serialize_ownership(
-        setup in prop::collection::vec(any_action(), 0..100),
-        writer in 0usize..16,
-        block in 0u64..12,
-    ) {
+/// After a write, the writer is the sole tracked holder.
+#[test]
+fn writes_serialize_ownership() {
+    let mut rng = SimRng::from_seed(0xD1A2);
+    for _case in 0..128 {
         let mut dir = Directory::new(16);
-        for a in setup {
-            drive(&mut dir, a);
+        for _ in 0..rng.index(101) {
+            drive(&mut dir, random_action(&mut rng));
         }
+        let writer = rng.index(16);
+        let block = rng.below(12);
         let core = CoreId::new(writer);
         let blk = BlockAddr::new(block);
-        drive(&mut dir, Action { core: writer, block, write: true, evict: false });
-        prop_assert_eq!(dir.owner_of(blk), Some(core));
+        drive(
+            &mut dir,
+            Action {
+                core: writer,
+                block,
+                write: true,
+                evict: false,
+            },
+        );
+        assert_eq!(dir.owner_of(blk), Some(core));
         let sharers = dir.sharers_of(blk);
-        prop_assert_eq!(sharers.len(), 1);
-        prop_assert!(sharers.contains(core));
+        assert_eq!(sharers.len(), 1);
+        assert!(sharers.contains(core));
     }
+}
 
-    /// A dirty transfer is only ever sourced from the previous owner, and a
-    /// clean transfer only from a previous sharer.
-    #[test]
-    fn transfer_sources_are_real_holders(actions in prop::collection::vec(any_action(), 1..200)) {
+/// A dirty transfer is only ever sourced from the previous owner, and a
+/// clean transfer only from a previous sharer.
+#[test]
+fn transfer_sources_are_real_holders() {
+    let mut rng = SimRng::from_seed(0xD1A3);
+    for _case in 0..128 {
         let mut dir = Directory::new(16);
-        for a in actions {
+        for _ in 0..1 + rng.index(200) {
+            let a = random_action(&mut rng);
             if a.evict {
                 dir.evict(CoreId::new(a.core), BlockAddr::new(a.block));
                 continue;
@@ -98,7 +108,9 @@ proptest! {
             let owner_before = dir.owner_of(block);
             let holds = holders_before.contains(core);
             let owns = owner_before == Some(core);
-            if a.write && owns { continue; }
+            if a.write && owns {
+                continue;
+            }
             let outcome = if a.write {
                 if holds {
                     dir.handle(core, block, AccessKind::Upgrade)
@@ -106,29 +118,35 @@ proptest! {
                     dir.handle(core, block, AccessKind::Write)
                 }
             } else {
-                if holds || owns { continue; }
+                if holds || owns {
+                    continue;
+                }
                 dir.handle(core, block, AccessKind::Read)
             };
             match outcome.source {
-                DataSource::DirtyCache(src) => prop_assert_eq!(Some(src), owner_before),
+                DataSource::DirtyCache(src) => assert_eq!(Some(src), owner_before),
                 DataSource::CleanCache(src) => {
-                    prop_assert!(holders_before.contains(src));
-                    prop_assert_ne!(src, core);
+                    assert!(holders_before.contains(src));
+                    assert_ne!(src, core);
                 }
-                DataSource::Below => prop_assert!(holders_before.is_empty()),
+                DataSource::Below => assert!(holders_before.is_empty()),
                 DataSource::None => {}
             }
         }
     }
+}
 
-    /// Request accounting balances: every request lands in exactly one of
-    /// clean/dirty/below/none buckets.
-    #[test]
-    fn stats_partition_requests(actions in prop::collection::vec(any_action(), 1..200)) {
+/// Request accounting balances: every request lands in exactly one of
+/// clean/dirty/below/none buckets.
+#[test]
+fn stats_partition_requests() {
+    let mut rng = SimRng::from_seed(0xD1A4);
+    for _case in 0..128 {
         let mut dir = Directory::new(16);
         let mut handled = 0u64;
         let mut none_sourced = 0u64;
-        for a in actions {
+        for _ in 0..1 + rng.index(200) {
+            let a = random_action(&mut rng);
             if a.evict {
                 dir.evict(CoreId::new(a.core), BlockAddr::new(a.block));
                 continue;
@@ -138,14 +156,18 @@ proptest! {
             let holds = dir.sharers_of(block).contains(core);
             let owns = dir.owner_of(block) == Some(core);
             let outcome = if a.write {
-                if owns { continue; }
+                if owns {
+                    continue;
+                }
                 if holds {
                     dir.handle(core, block, AccessKind::Upgrade)
                 } else {
                     dir.handle(core, block, AccessKind::Write)
                 }
             } else {
-                if holds || owns { continue; }
+                if holds || owns {
+                    continue;
+                }
                 dir.handle(core, block, AccessKind::Read)
             };
             handled += 1;
@@ -154,7 +176,10 @@ proptest! {
             }
         }
         let s = dir.stats();
-        prop_assert_eq!(s.requests, handled);
-        prop_assert_eq!(s.clean_transfers + s.dirty_transfers + s.from_below + none_sourced, handled);
+        assert_eq!(s.requests, handled);
+        assert_eq!(
+            s.clean_transfers + s.dirty_transfers + s.from_below + none_sourced,
+            handled
+        );
     }
 }

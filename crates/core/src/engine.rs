@@ -42,9 +42,7 @@ use consim_coherence::{AccessKind, DataSource, Directory, DirectoryCache, Protoc
 use consim_noc::{ContentionModel, NocStats, Packet, ReservationCalendar};
 use consim_sched::{place, Placement, SchedulingPolicy};
 use consim_types::config::MachineConfig;
-use consim_types::{
-    BankId, BlockAddr, CoreId, Cycle, GlobalThreadId, SimError, SimRng, VmId,
-};
+use consim_types::{BankId, BlockAddr, CoreId, Cycle, GlobalThreadId, SimError, SimRng, VmId};
 use consim_workload::{MemRef, WorkloadGenerator, WorkloadProfile};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -200,7 +198,9 @@ impl SimulationConfigBuilder {
     /// machine.
     pub fn build(&self) -> Result<SimulationConfig, SimError> {
         if self.workloads.is_empty() {
-            return Err(SimError::invalid_config("at least one workload is required"));
+            return Err(SimError::invalid_config(
+                "at least one workload is required",
+            ));
         }
         if self.refs_per_vm == 0 {
             return Err(SimError::invalid_config("refs_per_vm must be nonzero"));
@@ -338,9 +338,13 @@ impl Simulation {
             .map(|(vm, profile)| WorkloadGenerator::new(VmId::new(vm), profile, &root))
             .collect();
         let gap_rngs = (0..machine.num_cores)
-            .map(|c| root.derive(&format!("core/{c}/gaps")))
+            .map(|c| root.derive_parts("core/gaps", &[c as u64]))
             .collect();
-        let metrics = config.workloads.iter().map(|_| VmMetrics::default()).collect();
+        let metrics = config
+            .workloads
+            .iter()
+            .map(|_| VmMetrics::default())
+            .collect();
 
         Ok(Self {
             config,
@@ -423,6 +427,8 @@ impl Simulation {
     /// Returns the cycle at which the last VM finished its quota.
     fn phase(&mut self, start: Cycle, quota: u64, measuring: bool) -> Result<Cycle, SimError> {
         let num_vms = self.config.workloads.len();
+        let mean_gap = self.config.machine.instructions_per_memory_op;
+        let track_footprint = self.config.track_footprint;
         let mut vm_refs = vec![0u64; num_vms];
         let mut vm_done = vec![false; num_vms];
         let mut remaining = num_vms;
@@ -446,8 +452,7 @@ impl Simulation {
             }
             let thread = self.core_thread[core].expect("scheduled cores have threads");
             let vm = thread.vm;
-            let gap = self.gap_rngs[core]
-                .positive_with_mean(self.config.machine.instructions_per_memory_op);
+            let gap = self.gap_rngs[core].positive_with_mean(mean_gap);
             let issue = Cycle::new(now) + gap;
             let mem_ref = self.generators[vm.index()].next_ref(thread.thread);
             if measuring {
@@ -457,7 +462,7 @@ impl Simulation {
                 if mem_ref.is_write {
                     m.writes += 1;
                 }
-                if self.config.track_footprint {
+                if track_footprint {
                     m.footprint.insert(mem_ref.address.block().raw());
                 }
             }
@@ -484,7 +489,12 @@ impl Simulation {
 
     /// Clears statistics after warmup; cache/directory *contents* persist.
     fn reset_measurement_state(&mut self) {
-        for c in self.l0.iter_mut().chain(self.l1.iter_mut()).chain(self.llc.iter_mut()) {
+        for c in self
+            .l0
+            .iter_mut()
+            .chain(self.l1.iter_mut())
+            .chain(self.llc.iter_mut())
+        {
             c.reset_stats();
         }
         self.directory.reset_stats();
@@ -541,7 +551,14 @@ impl Simulation {
                 return issue + l0_latency + l1_latency;
             }
             // Write hit on a Shared line: upgrade.
-            return self.coherence_transaction(core, vm, block, AccessKind::Upgrade, issue, measuring);
+            return self.coherence_transaction(
+                core,
+                vm,
+                block,
+                AccessKind::Upgrade,
+                issue,
+                measuring,
+            );
         }
         let kind = if mem_ref.is_write {
             AccessKind::Write
@@ -562,11 +579,15 @@ impl Simulation {
         issue: Cycle,
         measuring: bool,
     ) -> Cycle {
-        let machine = self.config.machine.clone();
+        // Scalar reads instead of cloning the whole machine description:
+        // this runs once per L1 miss.
+        let l0_latency = self.config.machine.l0.latency;
+        let l1_latency = self.config.machine.l1.latency;
+        let memory_latency = self.config.machine.memory_latency;
         let cnode = self.layout.core_node(core);
         let home = self.directory.home_of(block);
         // Miss detected after the private lookups.
-        let t0 = issue + machine.l0.latency + machine.l1.latency;
+        let t0 = issue + l0_latency + l1_latency;
         // Request to the home directory.
         let mut t = self.noc.send(&Packet::control(cnode, home), t0);
         t += 1; // directory pipeline
@@ -574,7 +595,7 @@ impl Simulation {
             // Fetch the entry off-chip through the block's controller.
             let (mc, _) = self.layout.memory_controller_of(block);
             let service = self.reserve_directory_refill(mc, t);
-            t = service + machine.memory_latency;
+            t = service + memory_latency;
         }
 
         let prior_sharers = self.directory.sharers_of(block);
@@ -583,10 +604,10 @@ impl Simulation {
         // Invalidations fan out from the home; the requester waits for the
         // slowest acknowledgement.
         let mut ack_time = Cycle::ZERO;
-        for victim in &outcome.invalidate {
-            let vnode = self.layout.core_node(*victim);
+        for victim in outcome.invalidate.iter() {
+            let vnode = self.layout.core_node(victim);
             let arrive = self.noc.send(&Packet::control(home, vnode), t);
-            self.invalidate_private(*victim, block);
+            self.invalidate_private(victim, block);
             if measuring {
                 self.metrics[vm.index()].invalidations_received += 1;
             }
@@ -598,7 +619,13 @@ impl Simulation {
         let (data_time, source) = match outcome.source {
             DataSource::DirtyCache(owner) => {
                 let (t_data, src) = self.serve_from_remote_l1(
-                    owner, cnode, block, t, true, is_write, outcome.writeback,
+                    owner,
+                    cnode,
+                    block,
+                    t,
+                    true,
+                    is_write,
+                    outcome.writeback,
                 );
                 (t_data, src)
             }
@@ -607,11 +634,7 @@ impl Simulation {
                 let supplier = prior_sharers
                     .iter()
                     .filter(|&c| c != core)
-                    .min_by_key(|&c| {
-                        self.layout
-                            .mesh()
-                            .hops(self.layout.core_node(c), cnode)
-                    })
+                    .min_by_key(|&c| self.layout.mesh().hops(self.layout.core_node(c), cnode))
                     .expect("clean transfer implies a sharer");
                 self.serve_from_remote_l1(supplier, cnode, block, t, false, is_write, false)
             }
@@ -632,7 +655,7 @@ impl Simulation {
             source,
             MissSource::RemoteL1Dirty | MissSource::RemoteL1Clean
         ) {
-            let my_bank = machine.bank_of_core(core);
+            let my_bank = self.config.machine.bank_of_core(core);
             self.fill_llc(my_bank, block, LineState::Shared, data_time);
         }
 
@@ -714,15 +737,16 @@ impl Simulation {
         t: Cycle,
         is_write: bool,
     ) -> (Cycle, MissSource) {
-        let machine = self.config.machine.clone();
+        let llc_latency = self.config.machine.llc.latency;
+        let memory_latency = self.config.machine.memory_latency;
         let home = self.directory.home_of(block);
-        let my_bank = machine.bank_of_core(core);
+        let my_bank = self.config.machine.bank_of_core(core);
         // A core's own LLC bank is physically distributed across its group
         // (the paper's uniform 6-cycle L2), so the access point is the
         // requester's node; only *remote* banks cost a mesh traversal.
         let bnode = cnode;
         let at_bank = self.noc.send(&Packet::control(home, bnode), t);
-        let probed = at_bank + machine.llc.latency;
+        let probed = at_bank + llc_latency;
 
         if self.llc[my_bank.index()].access(block).is_some() {
             let data = self.noc.send(&Packet::data(bnode, cnode), probed);
@@ -744,7 +768,7 @@ impl Simulation {
         if let Some(rb) = remote {
             let rnode = self.layout.bank_node(BankId::new(rb));
             let fwd = self.noc.send(&Packet::control(bnode, rnode), probed);
-            let served = fwd + machine.llc.latency;
+            let served = fwd + llc_latency;
             let data = self.noc.send(&Packet::data(rnode, cnode), served);
             let was_dirty = self.llc[rb]
                 .probe(block)
@@ -776,7 +800,7 @@ impl Simulation {
         let (mc, mcnode) = self.layout.memory_controller_of(block);
         let to_mc = self.noc.send(&Packet::control(bnode, mcnode), probed);
         let service = self.reserve_memory(mc, to_mc);
-        let fetched = service + machine.memory_latency;
+        let fetched = service + memory_latency;
         let data = self.noc.send(&Packet::data(mcnode, cnode), fetched);
         if !is_write {
             self.fill_llc(my_bank, block, LineState::Shared, fetched);
@@ -827,14 +851,9 @@ impl Simulation {
     fn reschedule(&mut self) {
         self.resched_epoch += 1;
         let rng = SimRng::from_seed(self.config.seed)
-            .derive(&format!("resched/epoch{}", self.resched_epoch));
+            .derive_parts("resched/epoch", &[self.resched_epoch]);
         let vm_threads: Vec<usize> = self.config.workloads.iter().map(|w| w.threads).collect();
-        if let Ok(placement) = place(
-            self.config.policy,
-            &self.config.machine,
-            &vm_threads,
-            &rng,
-        ) {
+        if let Ok(placement) = place(self.config.policy, &self.config.machine, &vm_threads, &rng) {
             self.core_thread = vec![None; self.config.machine.num_cores];
             for (thread, core) in placement.iter() {
                 self.core_thread[core.index()] = Some(thread);
@@ -1014,7 +1033,10 @@ mod tests {
             let out = Simulation::new(cfg).unwrap().run().unwrap();
             (
                 out.measured_cycles,
-                out.vm_metrics.iter().map(|m| m.l1_misses).collect::<Vec<_>>(),
+                out.vm_metrics
+                    .iter()
+                    .map(|m| m.l1_misses)
+                    .collect::<Vec<_>>(),
                 out.vm_metrics
                     .iter()
                     .map(|m| m.runtime_cycles())
@@ -1084,8 +1106,14 @@ mod tests {
             .seed(3);
         let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
         let m = &out.vm_metrics[0];
-        assert!(m.cache_to_cache() > 0, "sharing workload must transfer: {m}");
-        assert!(m.c2c_l1_dirty > 0, "shared writes must produce dirty transfers");
+        assert!(
+            m.cache_to_cache() > 0,
+            "sharing workload must transfer: {m}"
+        );
+        assert!(
+            m.c2c_l1_dirty > 0,
+            "shared writes must produce dirty transfers"
+        );
     }
 
     #[test]
@@ -1122,7 +1150,10 @@ mod tests {
             .build()
             .unwrap();
         let mut b = SimulationConfig::builder();
-        b.workload(profile).refs_per_vm(5_000).warmup_refs_per_vm(0).seed(1);
+        b.workload(profile)
+            .refs_per_vm(5_000)
+            .warmup_refs_per_vm(0)
+            .seed(1);
         let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
         assert!(out.vm_metrics[0].upgrades > 0);
     }

@@ -71,7 +71,9 @@ impl Layout {
                 nodes.push(candidates[i]);
             } else {
                 // Fall back to even striding across all nodes.
-                nodes.push(NodeId::new((i * mesh.num_nodes() / count) % mesh.num_nodes()));
+                nodes.push(NodeId::new(
+                    (i * mesh.num_nodes() / count) % mesh.num_nodes(),
+                ));
             }
         }
         nodes

@@ -14,8 +14,7 @@
 
 use consim_cache::SetAssocCache;
 use consim_types::cycles::LatencyAccumulator;
-use consim_types::{Cycle, VmId};
-use std::collections::{HashMap, HashSet};
+use consim_types::{Cycle, FastHashMap, FastHashSet, VmId};
 use std::fmt;
 
 /// Where an L1 miss was satisfied.
@@ -92,7 +91,7 @@ pub struct VmMetrics {
     /// When the VM completed its transaction quota (measurement-relative).
     pub completion: Option<Cycle>,
     /// Unique blocks touched (Table II footprint), when tracking is enabled.
-    pub footprint: HashSet<u64>,
+    pub footprint: FastHashSet<u64>,
 }
 
 impl VmMetrics {
@@ -208,7 +207,7 @@ pub struct ReplicationSnapshot {
 impl ReplicationSnapshot {
     /// Computes the snapshot over a set of LLC banks.
     pub fn capture(banks: &[SetAssocCache]) -> Self {
-        let mut copies: HashMap<u64, u32> = HashMap::new();
+        let mut copies: FastHashMap<u64, u32> = FastHashMap::default();
         let mut total = 0u64;
         for bank in banks {
             for line in bank.lines() {
@@ -333,7 +332,10 @@ mod tests {
     #[test]
     fn replication_zero_when_disjoint() {
         let banks = vec![bank_with(&[1]), bank_with(&[2])];
-        assert_eq!(ReplicationSnapshot::capture(&banks).replicated_fraction(), 0.0);
+        assert_eq!(
+            ReplicationSnapshot::capture(&banks).replicated_fraction(),
+            0.0
+        );
     }
 
     #[test]

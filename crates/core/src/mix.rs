@@ -100,7 +100,9 @@ impl Mix {
 
     /// All nine heterogeneous mixes, in order.
     pub fn all_heterogeneous() -> Vec<Mix> {
-        (1..=9).map(|n| Mix::heterogeneous(n).expect("in range")).collect()
+        (1..=9)
+            .map(|n| Mix::heterogeneous(n).expect("in range"))
+            .collect()
     }
 
     /// All four homogeneous mixes, in order.
@@ -210,7 +212,10 @@ mod tests {
     fn display_formats() {
         let mix = Mix::heterogeneous(7).unwrap();
         assert_eq!(mix.to_string(), "Mix 7 [SPECjbb (3) & TPC-W (1)]");
-        assert_eq!(Mix::homogeneous('B').unwrap().to_string(), "Mix B [TPC-H (4)]");
+        assert_eq!(
+            Mix::homogeneous('B').unwrap().to_string(),
+            "Mix B [TPC-H (4)]"
+        );
     }
 
     #[test]

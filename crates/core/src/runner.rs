@@ -4,7 +4,20 @@
 //! module: [`ExperimentRunner::run`] executes one (mix, policy, sharing)
 //! cell across the configured seeds and aggregates per-workload metrics;
 //! [`ExperimentRunner::isolated`] produces the isolation baselines every
-//! paper figure normalizes against.
+//! paper figure normalizes against; [`ExperimentRunner::run_cells`] executes
+//! a whole batch of cells across a pool of OS threads.
+//!
+//! # Parallelism and determinism
+//!
+//! Parallelism lives *between* simulations, never inside one. Each
+//! `(cell, seed)` pair builds its own [`Simulation`], which derives every
+//! random stream from its own root seed — so a simulation's outcome is a
+//! pure function of its configuration, independent of which thread runs it
+//! or what else runs concurrently. [`ExperimentRunner::run_cells`] therefore
+//! returns results bit-identical to serial execution, in submission order.
+//! The worker count defaults to [`std::thread::available_parallelism`],
+//! clamped by the `CONSIM_THREADS` environment variable or
+//! [`ExperimentRunner::with_threads`].
 
 use crate::engine::{Simulation, SimulationConfig, SimulationOutcome};
 use crate::stats::Summary;
@@ -12,9 +25,14 @@ use consim_sched::SchedulingPolicy;
 use consim_types::config::{MachineConfig, SharingDegree};
 use consim_types::{SimError, VmId};
 use consim_workload::{WorkloadKind, WorkloadProfile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run-length and replication options shared by every experiment.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` let options participate in cache keys (see
+/// `consim-bench`'s `BaselineCache`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunOptions {
     /// Measured references per VM.
     pub refs_per_vm: u64,
@@ -57,14 +75,22 @@ impl RunOptions {
     /// `CONSIM_REFS`, `CONSIM_WARMUP`, `CONSIM_SEEDS` (count).
     ///
     /// Unset or unparsable variables keep the base values.
-    pub fn from_env(mut self) -> Self {
-        if let Some(v) = env_u64("CONSIM_REFS") {
+    pub fn from_env(self) -> Self {
+        self.from_env_with(|key| std::env::var(key).ok())
+    }
+
+    /// Like [`RunOptions::from_env`] but with an injectable variable lookup,
+    /// so tests can exercise the parsing without mutating process-global
+    /// environment state (which races against concurrently running tests).
+    pub fn from_env_with(mut self, lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let parse = |key: &str| -> Option<u64> { lookup(key)?.trim().parse().ok() };
+        if let Some(v) = parse("CONSIM_REFS") {
             self.refs_per_vm = v;
         }
-        if let Some(v) = env_u64("CONSIM_WARMUP") {
+        if let Some(v) = parse("CONSIM_WARMUP") {
             self.warmup_refs_per_vm = v;
         }
-        if let Some(v) = env_u64("CONSIM_SEEDS") {
+        if let Some(v) = parse("CONSIM_SEEDS") {
             self.seeds = (1..=v.max(1)).collect();
         }
         self
@@ -133,17 +159,54 @@ impl MixRun {
 
     /// Average of a per-VM statistic over every VM running `kind`.
     pub fn mean_over_kind(&self, kind: WorkloadKind, f: impl Fn(&VmAggregate) -> f64) -> f64 {
-        let values: Vec<f64> = self
-            .vms
-            .iter()
-            .filter(|v| v.kind == kind)
-            .map(f)
-            .collect();
+        let values: Vec<f64> = self.vms.iter().filter(|v| v.kind == kind).map(f).collect();
         if values.is_empty() {
             0.0
         } else {
             values.iter().sum::<f64>() / values.len() as f64
         }
+    }
+}
+
+/// One (profiles, policy, sharing) experiment cell for batch execution.
+///
+/// A cell is everything that varies between grid points; run length, seeds,
+/// and the base machine come from the [`ExperimentRunner`] executing it.
+#[derive(Debug, Clone)]
+pub struct ExperimentCell {
+    /// One workload profile per VM.
+    pub profiles: Vec<WorkloadProfile>,
+    /// Thread-to-core scheduling policy.
+    pub policy: SchedulingPolicy,
+    /// LLC sharing degree.
+    pub sharing: SharingDegree,
+}
+
+impl ExperimentCell {
+    /// A cell over explicit profiles.
+    pub fn new(
+        profiles: Vec<WorkloadProfile>,
+        policy: SchedulingPolicy,
+        sharing: SharingDegree,
+    ) -> Self {
+        Self {
+            profiles,
+            policy,
+            sharing,
+        }
+    }
+
+    /// A cell over built-in workload kinds (one VM per instance).
+    pub fn of_kinds(
+        instances: &[WorkloadKind],
+        policy: SchedulingPolicy,
+        sharing: SharingDegree,
+    ) -> Self {
+        Self::new(
+            instances.iter().map(|k| k.profile()).collect(),
+            policy,
+            sharing,
+        )
     }
 }
 
@@ -170,6 +233,7 @@ impl MixRun {
 pub struct ExperimentRunner {
     machine: MachineConfig,
     options: RunOptions,
+    threads: Option<usize>,
 }
 
 impl ExperimentRunner {
@@ -178,17 +242,45 @@ impl ExperimentRunner {
         Self {
             machine: MachineConfig::paper_default(),
             options,
+            threads: None,
         }
     }
 
     /// A runner over a custom machine.
     pub fn with_machine(machine: MachineConfig, options: RunOptions) -> Self {
-        Self { machine, options }
+        Self {
+            machine,
+            options,
+            threads: None,
+        }
+    }
+
+    /// Pins the worker-thread count, overriding `CONSIM_THREADS` and the
+    /// hardware default. `with_threads(1)` forces serial execution.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// The options in use.
     pub fn options(&self) -> &RunOptions {
         &self.options
+    }
+
+    /// Worker threads for a batch of `jobs` simulations: the explicit
+    /// [`ExperimentRunner::with_threads`] setting, else `CONSIM_THREADS`,
+    /// else [`std::thread::available_parallelism`] — never more workers
+    /// than jobs.
+    fn worker_count(&self, jobs: usize) -> usize {
+        let configured = self
+            .threads
+            .or_else(|| env_u64("CONSIM_THREADS").map(|v| v as usize))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        configured.clamp(1, jobs.max(1))
     }
 
     /// Runs a mix of built-in workloads.
@@ -206,7 +298,8 @@ impl ExperimentRunner {
         self.run_profiles(&profiles, policy, sharing)
     }
 
-    /// Runs a mix of explicit profiles (one per VM).
+    /// Runs a mix of explicit profiles (one per VM), fanning seeds out
+    /// across the worker pool.
     ///
     /// # Errors
     ///
@@ -217,26 +310,87 @@ impl ExperimentRunner {
         policy: SchedulingPolicy,
         sharing: SharingDegree,
     ) -> Result<MixRun, SimError> {
-        let outcomes: Vec<SimulationOutcome> = self
-            .options
-            .seeds
-            .iter()
-            .map(|&seed| {
-                let mut b = SimulationConfig::builder();
-                b.machine(self.machine.with_sharing(sharing))
-                    .policy(policy)
-                    .seed(seed)
-                    .refs_per_vm(self.options.refs_per_vm)
-                    .warmup_refs_per_vm(self.options.warmup_refs_per_vm)
-                    .track_footprint(self.options.track_footprint)
-                    .prewarm_llc(self.options.prewarm_llc);
-                for p in profiles {
-                    b.workload(p.clone());
+        let cell = ExperimentCell::new(profiles.to_vec(), policy, sharing);
+        let mut runs = self.run_cells(std::slice::from_ref(&cell))?;
+        Ok(runs.pop().expect("one cell in, one aggregate out"))
+    }
+
+    /// Runs a batch of experiment cells, each across every configured seed,
+    /// on a pool of scoped OS threads. Results come back in submission
+    /// order and are bit-identical to serial execution (see the module docs
+    /// on determinism).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first configuration/placement error from the engine
+    /// (in job order).
+    pub fn run_cells(&self, cells: &[ExperimentCell]) -> Result<Vec<MixRun>, SimError> {
+        // One job per (cell, seed). Configs are built up front so invalid
+        // cells fail deterministically regardless of the worker count.
+        let mut jobs: Vec<(usize, SimulationConfig)> = Vec::new();
+        for (ci, cell) in cells.iter().enumerate() {
+            for &seed in &self.options.seeds {
+                jobs.push((ci, self.cell_config(cell, seed)?));
+            }
+        }
+
+        let workers = self.worker_count(jobs.len());
+        let outcomes: Vec<Result<SimulationOutcome, SimError>> = if workers <= 1 {
+            jobs.iter()
+                .map(|(_, cfg)| Simulation::new(cfg.clone())?.run())
+                .collect()
+        } else {
+            // Work-stealing by atomic index: cells vary widely in cost, so
+            // static chunking would leave workers idle.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Result<SimulationOutcome, SimError>>>> =
+                jobs.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((_, cfg)) = jobs.get(i) else { break };
+                        let outcome = Simulation::new(cfg.clone()).and_then(Simulation::run);
+                        *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                    });
                 }
-                Simulation::new(b.build()?)?.run()
-            })
-            .collect::<Result<_, _>>()?;
-        Ok(self.aggregate(profiles, &outcomes))
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("worker pool drained every job")
+                })
+                .collect()
+        };
+
+        // Group per cell, preserving submission order.
+        let mut per_cell: Vec<Vec<SimulationOutcome>> = cells.iter().map(|_| Vec::new()).collect();
+        for ((ci, _), outcome) in jobs.iter().zip(outcomes) {
+            per_cell[*ci].push(outcome?);
+        }
+        Ok(cells
+            .iter()
+            .zip(&per_cell)
+            .map(|(cell, outcomes)| self.aggregate(&cell.profiles, outcomes))
+            .collect())
+    }
+
+    /// Builds the simulation configuration for one (cell, seed) job.
+    fn cell_config(&self, cell: &ExperimentCell, seed: u64) -> Result<SimulationConfig, SimError> {
+        let mut b = SimulationConfig::builder();
+        b.machine(self.machine.with_sharing(cell.sharing))
+            .policy(cell.policy)
+            .seed(seed)
+            .refs_per_vm(self.options.refs_per_vm)
+            .warmup_refs_per_vm(self.options.warmup_refs_per_vm)
+            .track_footprint(self.options.track_footprint)
+            .prewarm_llc(self.options.prewarm_llc);
+        for p in &cell.profiles {
+            b.workload(p.clone());
+        }
+        b.build()
     }
 
     /// Runs one workload in isolation: four active cores, the rest idle,
@@ -381,7 +535,11 @@ mod tests {
             tiny_profile("d"),
         ];
         let run = r
-            .run_profiles(&profiles, SchedulingPolicy::RoundRobin, SharingDegree::SharedBy(4))
+            .run_profiles(
+                &profiles,
+                SchedulingPolicy::RoundRobin,
+                SharingDegree::SharedBy(4),
+            )
             .unwrap();
         assert_eq!(run.vms.len(), 4);
         assert_eq!(run.occupancy.len(), 4);
@@ -405,24 +563,119 @@ mod tests {
         let m = run.mean_over_kind(WorkloadKind::TpcH, |v| v.runtime_cycles.mean);
         let expected = (run.vms[0].runtime_cycles.mean + run.vms[1].runtime_cycles.mean) / 2.0;
         assert!((m - expected).abs() < 1e-9);
-        assert_eq!(run.mean_over_kind(WorkloadKind::TpcW, |v| v.runtime_cycles.mean), 0.0);
+        assert_eq!(
+            run.mean_over_kind(WorkloadKind::TpcW, |v| v.runtime_cycles.mean),
+            0.0
+        );
     }
 
     #[test]
     fn options_from_env_parse() {
-        // Set-and-restore to avoid leaking into other tests.
-        std::env::set_var("CONSIM_REFS", "1234");
-        std::env::set_var("CONSIM_SEEDS", "3");
-        let o = RunOptions::quick().from_env();
-        std::env::remove_var("CONSIM_REFS");
-        std::env::remove_var("CONSIM_SEEDS");
+        // Injected lookup: no process-global env mutation, so this cannot
+        // race against other tests running in parallel.
+        let vars = |key: &str| match key {
+            "CONSIM_REFS" => Some("1234".to_string()),
+            "CONSIM_SEEDS" => Some("3".to_string()),
+            _ => None,
+        };
+        let o = RunOptions::quick().from_env_with(vars);
         assert_eq!(o.refs_per_vm, 1234);
         assert_eq!(o.seeds, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn options_from_env_ignores_garbage() {
+        let vars = |key: &str| match key {
+            "CONSIM_REFS" => Some("not-a-number".to_string()),
+            "CONSIM_WARMUP" => Some(" 77 ".to_string()),
+            _ => None,
+        };
+        let o = RunOptions::quick().from_env_with(vars);
+        assert_eq!(o.refs_per_vm, RunOptions::quick().refs_per_vm);
+        assert_eq!(o.warmup_refs_per_vm, 77);
     }
 
     #[test]
     fn quick_and_thorough_presets() {
         assert!(RunOptions::quick().refs_per_vm < RunOptions::thorough().refs_per_vm);
         assert!(RunOptions::thorough().seeds.len() >= 3);
+    }
+
+    fn cell(name: &str, policy: SchedulingPolicy) -> ExperimentCell {
+        ExperimentCell::new(vec![tiny_profile(name)], policy, SharingDegree::SharedBy(4))
+    }
+
+    /// Per-VM metric fingerprint with exact (bit-level) float comparison.
+    fn fingerprint(run: &MixRun) -> Vec<(u64, u64, u64)> {
+        run.vms
+            .iter()
+            .map(|v| {
+                (
+                    v.runtime_cycles.mean.to_bits(),
+                    v.miss_latency.mean.to_bits(),
+                    v.llc_miss_rate.mean.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_cells_matches_serial_bit_for_bit() {
+        let cells = vec![
+            cell("a", SchedulingPolicy::Affinity),
+            cell("b", SchedulingPolicy::RoundRobin),
+            cell("c", SchedulingPolicy::RrAffinity),
+        ];
+        let serial = tiny_runner().with_threads(1).run_cells(&cells).unwrap();
+        let parallel = tiny_runner().with_threads(4).run_cells(&cells).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(fingerprint(s), fingerprint(p));
+        }
+    }
+
+    #[test]
+    fn run_cells_preserves_submission_order() {
+        // Distinguish cells by VM count: 1, 2, 3 VMs.
+        let cells: Vec<ExperimentCell> = (1..=3)
+            .map(|n| {
+                ExperimentCell::new(
+                    (0..n).map(|i| tiny_profile(&format!("vm{i}"))).collect(),
+                    SchedulingPolicy::Affinity,
+                    SharingDegree::SharedBy(4),
+                )
+            })
+            .collect();
+        let runs = tiny_runner().with_threads(3).run_cells(&cells).unwrap();
+        let vm_counts: Vec<usize> = runs.iter().map(|r| r.vms.len()).collect();
+        assert_eq!(vm_counts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_profiles_delegates_to_batch_path() {
+        // The single-cell path must produce the same aggregate as run_cells.
+        let r = tiny_runner().with_threads(2);
+        let via_single = r
+            .run_profiles(
+                &[tiny_profile("x")],
+                SchedulingPolicy::Affinity,
+                SharingDegree::SharedBy(4),
+            )
+            .unwrap();
+        let via_batch = &r
+            .run_cells(&[cell("x", SchedulingPolicy::Affinity)])
+            .unwrap()[0];
+        assert_eq!(fingerprint(&via_single), fingerprint(via_batch));
+    }
+
+    #[test]
+    fn invalid_cell_reports_error_not_panic() {
+        // 17 VMs on a 16-core machine cannot be placed.
+        let too_many = ExperimentCell::new(
+            (0..17).map(|i| tiny_profile(&format!("vm{i}"))).collect(),
+            SchedulingPolicy::Affinity,
+            SharingDegree::SharedBy(4),
+        );
+        assert!(tiny_runner().run_cells(&[too_many]).is_err());
     }
 }

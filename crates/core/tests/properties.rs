@@ -1,66 +1,56 @@
-//! Property-based tests over the full simulation engine: random small
-//! profiles, every policy and sharing degree, with structural invariants
-//! checked on the outcome.
+//! Randomized tests over the full simulation engine: random small profiles,
+//! every policy and sharing degree, with structural invariants checked on
+//! the outcome. Configurations are drawn from seeded `SimRng` streams so
+//! every run is reproducible.
 
 use consim::engine::{Simulation, SimulationConfig};
 use consim_sched::SchedulingPolicy;
 use consim_types::config::{MachineConfig, SharingDegree};
+use consim_types::SimRng;
 use consim_workload::{WorkloadProfile, WorkloadProfileBuilder};
-use proptest::prelude::*;
 
-fn any_policy() -> impl Strategy<Value = SchedulingPolicy> {
-    prop_oneof![
-        Just(SchedulingPolicy::RoundRobin),
-        Just(SchedulingPolicy::Affinity),
-        Just(SchedulingPolicy::RrAffinity),
-        Just(SchedulingPolicy::Random),
-    ]
+const POLICIES: [SchedulingPolicy; 4] = [
+    SchedulingPolicy::RoundRobin,
+    SchedulingPolicy::Affinity,
+    SchedulingPolicy::RrAffinity,
+    SchedulingPolicy::Random,
+];
+
+const SHARINGS: [SharingDegree; 5] = [
+    SharingDegree::Private,
+    SharingDegree::SharedBy(2),
+    SharingDegree::SharedBy(4),
+    SharingDegree::SharedBy(8),
+    SharingDegree::FullyShared,
+];
+
+fn random_profile(rng: &mut SimRng) -> WorkloadProfile {
+    let seed_tag = rng.below(1000);
+    WorkloadProfileBuilder::new(format!("prop{seed_tag}"))
+        .footprint_blocks(3_000 + rng.below(37_000))
+        .shared_fraction(0.1 + 0.8 * rng.unit())
+        .shared_access_prob(0.9 * rng.unit())
+        .shared_write_prob(0.4 * rng.unit())
+        .handoff_access_prob(0.5 * rng.unit())
+        .handoff_segments(8)
+        .handoff_segment_blocks(16)
+        .build()
+        .expect("generated profile in valid ranges")
 }
 
-fn any_sharing() -> impl Strategy<Value = SharingDegree> {
-    prop_oneof![
-        Just(SharingDegree::Private),
-        Just(SharingDegree::SharedBy(2)),
-        Just(SharingDegree::SharedBy(4)),
-        Just(SharingDegree::SharedBy(8)),
-        Just(SharingDegree::FullyShared),
-    ]
-}
+/// Any valid (profiles, policy, sharing, seed) combination must run to
+/// completion with balanced, in-range metrics.
+#[test]
+fn engine_invariants_hold_for_random_configs() {
+    let mut rng = SimRng::from_seed(0xE61);
+    for _case in 0..24 {
+        let profiles: Vec<WorkloadProfile> = (0..1 + rng.index(3))
+            .map(|_| random_profile(&mut rng))
+            .collect();
+        let policy = POLICIES[rng.index(POLICIES.len())];
+        let sharing = SHARINGS[rng.index(SHARINGS.len())];
+        let seed = rng.below(1_000);
 
-prop_compose! {
-    fn any_profile()(
-        footprint in 3_000u64..40_000,
-        shared_fraction in 0.1f64..0.9,
-        shared_access in 0.0f64..0.9,
-        shared_write in 0.0f64..0.4,
-        handoff in 0.0f64..0.5,
-        seed_tag in 0u32..1000,
-    ) -> WorkloadProfile {
-        WorkloadProfileBuilder::new(format!("prop{seed_tag}"))
-            .footprint_blocks(footprint)
-            .shared_fraction(shared_fraction)
-            .shared_access_prob(shared_access)
-            .shared_write_prob(shared_write)
-            .handoff_access_prob(handoff)
-            .handoff_segments(8)
-            .handoff_segment_blocks(16)
-            .build()
-            .expect("generated profile in valid ranges")
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any valid (profiles, policy, sharing, seed) combination must run to
-    /// completion with balanced, in-range metrics.
-    #[test]
-    fn engine_invariants_hold_for_random_configs(
-        profiles in prop::collection::vec(any_profile(), 1..4),
-        policy in any_policy(),
-        sharing in any_sharing(),
-        seed in 0u64..1_000,
-    ) {
         let mut b = SimulationConfig::builder();
         b.machine(MachineConfig::paper_default().with_sharing(sharing))
             .policy(policy)
@@ -72,10 +62,10 @@ proptest! {
         }
         let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
 
-        prop_assert_eq!(out.vm_metrics.len(), profiles.len());
+        assert_eq!(out.vm_metrics.len(), profiles.len());
         for m in &out.vm_metrics {
             // Every reference is accounted for exactly once.
-            prop_assert_eq!(m.l0_hits + m.l1_hits + m.l1_misses, m.refs);
+            assert_eq!(m.l0_hits + m.l1_hits + m.l1_misses, m.refs);
             // Every miss is classified exactly once.
             let classified = m.c2c_l1_clean
                 + m.c2c_l1_dirty
@@ -84,38 +74,40 @@ proptest! {
                 + m.llc_remote_dirty
                 + m.memory_fetches
                 + m.upgrades;
-            prop_assert_eq!(classified, m.l1_misses);
-            prop_assert!(m.refs >= 1_500);
-            prop_assert!(m.completion.is_some());
-            prop_assert!(m.llc_miss_rate() >= 0.0 && m.llc_miss_rate() <= 1.0);
-            prop_assert!(m.c2c_fraction() >= 0.0 && m.c2c_fraction() <= 1.0);
-            prop_assert!(m.instructions >= m.refs);
+            assert_eq!(classified, m.l1_misses);
+            assert!(m.refs >= 1_500);
+            assert!(m.completion.is_some());
+            assert!(m.llc_miss_rate() >= 0.0 && m.llc_miss_rate() <= 1.0);
+            assert!(m.c2c_fraction() >= 0.0 && m.c2c_fraction() <= 1.0);
+            assert!(m.instructions >= m.refs);
             // Latency floor: a classified (non-upgrade) miss at least pays
             // the directory round trip.
             if m.l1_misses > m.upgrades {
-                prop_assert!(m.miss_latency.max() >= 6);
+                assert!(m.miss_latency.max() >= 6);
             }
         }
         // Occupancy shares are per-bank fractions.
         for bank in &out.occupancy.share {
             let sum: f64 = bank.iter().sum();
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&sum));
+            assert!((0.0..=1.0 + 1e-9).contains(&sum));
         }
         // Replication is impossible with a single bank.
         if sharing == SharingDegree::FullyShared {
-            prop_assert_eq!(out.replication.replicated_lines, 0);
+            assert_eq!(out.replication.replicated_lines, 0);
         }
-        prop_assert!(out.dircache_hit_rate >= 0.0 && out.dircache_hit_rate <= 1.0);
-        prop_assert!(out.noc_peak_utilization >= out.noc_mean_utilization);
+        assert!(out.dircache_hit_rate >= 0.0 && out.dircache_hit_rate <= 1.0);
+        assert!(out.noc_peak_utilization >= out.noc_mean_utilization);
     }
+}
 
-    /// Determinism as a property: any configuration reruns bit-identically.
-    #[test]
-    fn engine_is_deterministic_for_random_configs(
-        profile in any_profile(),
-        policy in any_policy(),
-        seed in 0u64..100,
-    ) {
+/// Determinism as a property: any configuration reruns bit-identically.
+#[test]
+fn engine_is_deterministic_for_random_configs() {
+    let mut rng = SimRng::from_seed(0xE62);
+    for _case in 0..12 {
+        let profile = random_profile(&mut rng);
+        let policy = POLICIES[rng.index(POLICIES.len())];
+        let seed = rng.below(100);
         let run = || {
             let mut b = SimulationConfig::builder();
             b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
@@ -132,6 +124,6 @@ proptest! {
                 out.noc.packets,
             )
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

@@ -359,7 +359,9 @@ mod tests {
         for i in 0..50_000u64 {
             noc.send(&p, Cycle::new(i * 20));
         }
-        let link = noc.mesh.link_index(NodeId::new(0), crate::topology::Direction::East);
+        let link = noc
+            .mesh
+            .link_index(NodeId::new(0), crate::topology::Direction::East);
         assert!(
             noc.links[link].intervals.len() < PRUNE_HORIZON as usize / 10,
             "calendar must stay bounded: {}",
@@ -381,7 +383,10 @@ mod tests {
     #[test]
     fn stats_count_packets_and_hops() {
         let mut noc = model();
-        noc.send(&Packet::control(NodeId::new(0), NodeId::new(2)), Cycle::ZERO);
+        noc.send(
+            &Packet::control(NodeId::new(0), NodeId::new(2)),
+            Cycle::ZERO,
+        );
         noc.send(&Packet::data(NodeId::new(0), NodeId::new(1)), Cycle::ZERO);
         assert_eq!(noc.stats().packets, 2);
         assert_eq!(noc.stats().total_hops, 3);

@@ -160,7 +160,10 @@ pub struct Network {
 impl Network {
     /// Creates an idle network.
     pub fn new(mesh: Mesh, cfg: NocConfig) -> Self {
-        assert!(cfg.num_vcs > 0 && cfg.buf_depth > 0, "VCs and buffers must be nonzero");
+        assert!(
+            cfg.num_vcs > 0 && cfg.buf_depth > 0,
+            "VCs and buffers must be nonzero"
+        );
         Self {
             routers: (0..mesh.num_nodes()).map(|_| Router::new(&cfg)).collect(),
             inject_queues: vec![VecDeque::new(); mesh.num_nodes()],
@@ -244,7 +247,11 @@ impl Network {
                         let state = &mut self.routers[r].inputs[port][vc];
                         state.granted = false;
                         let flit = state.buf.pop_front().expect("granted VC has a flit");
-                        (flit, state.route.expect("granted VC has a route"), state.out_vc)
+                        (
+                            flit,
+                            state.route.expect("granted VC has a route"),
+                            state.out_vc,
+                        )
                     };
                     // Return a credit upstream for the buffer slot we freed
                     // (injection and ejection queues are endpoint buffers,

@@ -260,8 +260,14 @@ mod tests {
         // Corner (0,0) = node 0.
         assert_eq!(m.neighbor(NodeId::new(0), Direction::West), None);
         assert_eq!(m.neighbor(NodeId::new(0), Direction::South), None);
-        assert_eq!(m.neighbor(NodeId::new(0), Direction::East), Some(NodeId::new(1)));
-        assert_eq!(m.neighbor(NodeId::new(0), Direction::North), Some(NodeId::new(4)));
+        assert_eq!(
+            m.neighbor(NodeId::new(0), Direction::East),
+            Some(NodeId::new(1))
+        );
+        assert_eq!(
+            m.neighbor(NodeId::new(0), Direction::North),
+            Some(NodeId::new(4))
+        );
         assert_eq!(m.neighbor(NodeId::new(0), Direction::Local), None);
     }
 
@@ -271,8 +277,14 @@ mod tests {
         // From (0,0) to (2,3): first two hops east.
         assert_eq!(m.route_xy(NodeId::new(0), NodeId::new(14)), Direction::East);
         assert_eq!(m.route_xy(NodeId::new(1), NodeId::new(14)), Direction::East);
-        assert_eq!(m.route_xy(NodeId::new(2), NodeId::new(14)), Direction::North);
-        assert_eq!(m.route_xy(NodeId::new(14), NodeId::new(14)), Direction::Local);
+        assert_eq!(
+            m.route_xy(NodeId::new(2), NodeId::new(14)),
+            Direction::North
+        );
+        assert_eq!(
+            m.route_xy(NodeId::new(14), NodeId::new(14)),
+            Direction::Local
+        );
     }
 
     #[test]
@@ -299,7 +311,12 @@ mod tests {
         let m = mesh4();
         let mut seen = std::collections::HashSet::new();
         for n in 0..16 {
-            for dir in [Direction::East, Direction::West, Direction::North, Direction::South] {
+            for dir in [
+                Direction::East,
+                Direction::West,
+                Direction::North,
+                Direction::South,
+            ] {
                 assert!(seen.insert(m.link_index(NodeId::new(n), dir)));
             }
         }

@@ -48,16 +48,20 @@ fn serialization_overhead_matches() {
     let data = Packet::data(NodeId::new(0), NodeId::new(5));
     let flit_delta = flit_latency(data) - flit_latency(ctrl);
     let noc = ContentionModel::new(mesh(), 1, 3);
-    let pkt_delta =
-        noc.probe_latency(&data, Cycle::ZERO) - noc.probe_latency(&ctrl, Cycle::ZERO);
-    assert_eq!(flit_delta, pkt_delta, "both models charge 4 tail-flit cycles");
+    let pkt_delta = noc.probe_latency(&data, Cycle::ZERO) - noc.probe_latency(&ctrl, Cycle::ZERO);
+    assert_eq!(
+        flit_delta, pkt_delta,
+        "both models charge 4 tail-flit cycles"
+    );
 }
 
 #[test]
 fn hotspot_congestion_orders_flows_the_same_way() {
     // Eight flows into node 0 vs eight disjoint nearest-neighbor flows:
     // both models must show the hotspot as slower on average.
-    let hotspot: Vec<Packet> = (8..16).map(|s| Packet::data(NodeId::new(s), NodeId::new(0))).collect();
+    let hotspot: Vec<Packet> = (8..16)
+        .map(|s| Packet::data(NodeId::new(s), NodeId::new(0)))
+        .collect();
     let disjoint: Vec<Packet> = (0..8)
         .map(|i| Packet::data(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
         .collect();

@@ -1,95 +1,105 @@
-//! Property-based tests for the interconnect models.
+//! Randomized property tests for the interconnect models, driven by seeded
+//! `SimRng` streams so every run is reproducible.
 
 use consim_noc::{ContentionModel, Mesh, Network, NocConfig, Packet};
-use consim_types::{Cycle, NodeId};
-use proptest::prelude::*;
+use consim_types::{Cycle, NodeId, SimRng};
 
-fn any_node() -> impl Strategy<Value = NodeId> {
-    (0usize..16).prop_map(NodeId::new)
+fn random_node(rng: &mut SimRng) -> NodeId {
+    NodeId::new(rng.index(16))
 }
 
-fn any_packet() -> impl Strategy<Value = Packet> {
-    (any_node(), any_node(), any::<bool>()).prop_map(|(s, d, data)| {
-        if data {
-            Packet::data(s, d)
-        } else {
-            Packet::control(s, d)
-        }
-    })
+fn random_packet(rng: &mut SimRng) -> Packet {
+    let src = random_node(rng);
+    let dst = random_node(rng);
+    if rng.chance(0.5) {
+        Packet::data(src, dst)
+    } else {
+        Packet::control(src, dst)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every injected packet is eventually delivered, exactly once.
-    #[test]
-    fn flit_network_delivers_everything(
-        packets in prop::collection::vec(any_packet(), 1..60),
-    ) {
+/// Every injected packet is eventually delivered, exactly once.
+#[test]
+fn flit_network_delivers_everything() {
+    let mut rng = SimRng::from_seed(0x0C01);
+    for _case in 0..48 {
+        let packets: Vec<Packet> = (0..1 + rng.index(60))
+            .map(|_| random_packet(&mut rng))
+            .collect();
         let mut net = Network::new(Mesh::new(4, 4).unwrap(), NocConfig::default());
         for p in &packets {
             net.inject(*p);
         }
         let delivered = net.run_until_idle(200_000).unwrap();
-        prop_assert_eq!(delivered.len(), packets.len());
+        assert_eq!(delivered.len(), packets.len());
         // Source/destination multiset matches.
         let mut want: Vec<_> = packets.iter().map(|p| (p.src, p.dst, p.class)).collect();
-        let mut got: Vec<_> = delivered.iter().map(|d| (d.packet.src, d.packet.dst, d.packet.class)).collect();
+        let mut got: Vec<_> = delivered
+            .iter()
+            .map(|d| (d.packet.src, d.packet.dst, d.packet.class))
+            .collect();
         want.sort();
         got.sort();
-        prop_assert_eq!(want, got);
+        assert_eq!(want, got);
     }
+}
 
-    /// Flit-level latency is never below the contention model's base
-    /// (uncontended) latency minus slack, and both grow with distance.
-    #[test]
-    fn flit_latency_at_least_distance_bound(src in any_node(), dst in any_node()) {
+/// Flit-level latency is never below the hop distance.
+#[test]
+fn flit_latency_at_least_distance_bound() {
+    let mut rng = SimRng::from_seed(0x0C02);
+    for _case in 0..48 {
+        let src = random_node(&mut rng);
+        let dst = random_node(&mut rng);
         let mesh = Mesh::new(4, 4).unwrap();
         let mut net = Network::new(mesh, NocConfig::default());
         net.inject(Packet::control(src, dst));
         let d = net.run_until_idle(10_000).unwrap();
         let hops = mesh.hops(src, dst) as u64;
         // Each hop needs at least a link traversal plus pipeline progress.
-        prop_assert!(d[0].latency() >= hops);
+        assert!(d[0].latency() >= hops);
     }
+}
 
-    /// The contention model's arrival is monotone in departure time:
-    /// leaving later never means arriving earlier.
-    #[test]
-    fn contention_arrivals_monotone(
-        packets in prop::collection::vec(any_packet(), 1..40),
-        departs in prop::collection::vec(0u64..200, 1..40),
-    ) {
+/// The contention model's arrival is monotone in departure time:
+/// leaving later never means arriving earlier.
+#[test]
+fn contention_arrivals_monotone() {
+    let mut rng = SimRng::from_seed(0x0C03);
+    for _case in 0..48 {
         let mesh = Mesh::new(4, 4).unwrap();
         let mut noc = ContentionModel::new(mesh, 1, 3);
-        let n = packets.len().min(departs.len());
-        let mut sorted: Vec<u64> = departs[..n].to_vec();
-        sorted.sort_unstable();
+        let n = 1 + rng.index(40);
+        let packets: Vec<Packet> = (0..n).map(|_| random_packet(&mut rng)).collect();
+        let mut departs: Vec<u64> = (0..n).map(|_| rng.below(200)).collect();
+        departs.sort_unstable();
         let mut last_same_route: std::collections::HashMap<(NodeId, NodeId), Cycle> =
             std::collections::HashMap::new();
-        for (p, t) in packets[..n].iter().zip(sorted) {
+        for (p, t) in packets.iter().zip(departs) {
             let arrival = noc.send(p, Cycle::new(t));
-            prop_assert!(arrival.raw() >= t);
+            assert!(arrival.raw() >= t);
             // Same-route FIFO: a later departure on the identical route
             // cannot overtake (same links, same order).
             if let Some(prev) = last_same_route.get(&(p.src, p.dst)) {
-                prop_assert!(arrival >= *prev);
+                assert!(arrival >= *prev);
             }
             last_same_route.insert((p.src, p.dst), arrival);
         }
     }
+}
 
-    /// Contended latency is never below the uncontended base latency.
-    #[test]
-    fn contention_never_beats_base(
-        packets in prop::collection::vec(any_packet(), 1..60),
-    ) {
+/// Contended latency is never below the uncontended base latency.
+#[test]
+fn contention_never_beats_base() {
+    let mut rng = SimRng::from_seed(0x0C04);
+    for _case in 0..48 {
         let mesh = Mesh::new(4, 4).unwrap();
         let mut noc = ContentionModel::new(mesh, 1, 3);
-        for p in &packets {
-            let arrival = noc.send(p, Cycle::ZERO);
+        for _ in 0..1 + rng.index(60) {
+            let p = random_packet(&mut rng);
+            let arrival = noc.send(&p, Cycle::ZERO);
             let base = noc.base_latency(p.src, p.dst, p.flits());
-            prop_assert!(arrival.raw() >= base, "{} < {}", arrival.raw(), base);
+            assert!(arrival.raw() >= base, "{} < {}", arrival.raw(), base);
         }
     }
 }

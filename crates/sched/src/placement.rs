@@ -45,9 +45,10 @@ impl Placement {
     /// Iterates over `(thread, core)` pairs in VM-major order.
     pub fn iter(&self) -> impl Iterator<Item = (GlobalThreadId, CoreId)> + '_ {
         self.core_of.iter().enumerate().flat_map(|(vm, cores)| {
-            cores.iter().enumerate().map(move |(t, &core)| {
-                (GlobalThreadId::new(VmId::new(vm), ThreadId::new(t)), core)
-            })
+            cores
+                .iter()
+                .enumerate()
+                .map(move |(t, &core)| (GlobalThreadId::new(VmId::new(vm), ThreadId::new(t)), core))
         })
     }
 
@@ -343,11 +344,30 @@ mod tests {
     #[test]
     fn random_is_deterministic_per_seed_and_varies_across_seeds() {
         let m = machine(SharingDegree::SharedBy(4));
-        let a = place(SchedulingPolicy::Random, &m, &[4, 4, 4, 4], &SimRng::from_seed(1)).unwrap();
-        let b = place(SchedulingPolicy::Random, &m, &[4, 4, 4, 4], &SimRng::from_seed(1)).unwrap();
+        let a = place(
+            SchedulingPolicy::Random,
+            &m,
+            &[4, 4, 4, 4],
+            &SimRng::from_seed(1),
+        )
+        .unwrap();
+        let b = place(
+            SchedulingPolicy::Random,
+            &m,
+            &[4, 4, 4, 4],
+            &SimRng::from_seed(1),
+        )
+        .unwrap();
         assert_eq!(a, b);
         let differs = (2..20).any(|s| {
-            place(SchedulingPolicy::Random, &m, &[4, 4, 4, 4], &SimRng::from_seed(s)).unwrap() != a
+            place(
+                SchedulingPolicy::Random,
+                &m,
+                &[4, 4, 4, 4],
+                &SimRng::from_seed(s),
+            )
+            .unwrap()
+                != a
         });
         assert!(differs);
     }

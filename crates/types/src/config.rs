@@ -108,7 +108,9 @@ impl CacheGeometry {
     /// of `associativity * 64`, or if any parameter is zero.
     pub fn new(total_bytes: usize, associativity: usize, latency: u64) -> Result<Self, SimError> {
         if total_bytes == 0 || associativity == 0 {
-            return Err(SimError::invalid_config("cache size and associativity must be nonzero"));
+            return Err(SimError::invalid_config(
+                "cache size and associativity must be nonzero",
+            ));
         }
         let set_bytes = associativity * CACHE_LINE_BYTES;
         if !total_bytes.is_multiple_of(set_bytes) {
@@ -515,7 +517,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_mesh() {
-        let err = MachineConfigBuilder::new().mesh_width(5).build().unwrap_err();
+        let err = MachineConfigBuilder::new()
+            .mesh_width(5)
+            .build()
+            .unwrap_err();
         assert!(err.to_string().contains("mesh width"));
     }
 

@@ -1,0 +1,149 @@
+//! A fast, non-cryptographic hasher for simulator-internal maps.
+//!
+//! The directory and footprint maps are keyed by small integers (block
+//! addresses) and sit on the per-reference hot path; SipHash's
+//! HashDoS resistance buys nothing there because keys come from the
+//! simulator itself, not from untrusted input. This is the multiply-rotate
+//! scheme popularized by Firefox ("FxHash"), implemented locally so the
+//! workspace stays dependency-free.
+//!
+//! # Examples
+//!
+//! ```
+//! use consim_types::hash::FastHashMap;
+//!
+//! let mut m: FastHashMap<u64, &str> = FastHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash scheme (a 64-bit odd constant derived from
+/// the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher; state is a single `u64`.
+///
+/// Not HashDoS-resistant — use only for keys the simulator generates
+/// itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+        let mut h = FastHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&0u64), hash_of(&1u64));
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content() {
+        assert_eq!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 3][..]));
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 4][..]));
+        // Tail handling: lengths that are not multiples of 8.
+        assert_ne!(hash_of(&[0u8; 7][..]), hash_of(&[0u8; 9][..]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FastHashMap<u64, u64> = FastHashMap::default();
+        for i in 0..1_000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1_000);
+        assert_eq!(m[&999], 1_998);
+
+        let s: FastHashSet<u64> = (0..100).collect();
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn low_collision_rate_on_sequential_keys() {
+        // Sequential block addresses are the common key pattern; the hash
+        // must spread them across 64 buckets reasonably.
+        let mut buckets = [0u32; 64];
+        for i in 0..64_000u64 {
+            buckets[(hash_of(&i) >> 58) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 4_000, "bucket skew too high: {max}");
+    }
+}

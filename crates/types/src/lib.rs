@@ -9,6 +9,8 @@
 //! * the machine configuration from the paper's Table III, with a builder —
 //!   see [`config`];
 //! * the workspace-wide error type — see [`error`];
+//! * a fast non-cryptographic hasher for simulator-internal maps — see
+//!   [`hash`];
 //! * deterministic, stream-splittable random number generation — see [`rng`].
 //!
 //! # Examples
@@ -27,6 +29,7 @@ pub mod addr;
 pub mod config;
 pub mod cycles;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod rng;
 
@@ -34,5 +37,6 @@ pub use addr::{Address, BlockAddr, CACHE_LINE_BYTES};
 pub use config::{CacheGeometry, MachineConfig, SharingDegree};
 pub use cycles::Cycle;
 pub use error::SimError;
+pub use hash::{FastHashMap, FastHashSet};
 pub use ids::{BankId, CoreId, GlobalThreadId, MemCtrlId, NodeId, ThreadId, VmId};
 pub use rng::SimRng;

@@ -5,15 +5,17 @@
 //! [`SimRng`]. A run is fully reproducible from its root seed; independent
 //! components get *derived* streams so that adding a consumer does not shift
 //! the values any other consumer sees.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna), seeded
+//! through SplitMix64 — the textbook pairing. Keeping the implementation local
+//! (~30 lines) means the simulator builds with no external crates and the
+//! streams are bit-stable across toolchain upgrades.
 
 /// A deterministic random stream.
 ///
-/// Wraps [`SmallRng`] and adds [`SimRng::derive`], which forks an independent
-/// stream identified by a string label — the label is hashed into the child
-/// seed so streams are stable across code reordering.
+/// Wraps a xoshiro256++ state and adds [`SimRng::derive`], which forks an
+/// independent stream identified by a string label — the label is hashed into
+/// the child seed so streams are stable across code reordering.
 ///
 /// # Examples
 ///
@@ -30,16 +32,22 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a root stream from a seed.
     pub fn from_seed(seed: u64) -> Self {
-        Self {
-            seed,
-            inner: SmallRng::seed_from_u64(seed),
+        // Expand the 64-bit seed into 256 bits of state with SplitMix64, as
+        // recommended by the xoshiro authors. The expansion walks the
+        // SplitMix64 sequence so no two state words coincide.
+        let mut z = seed;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            z = z.wrapping_add(0x9e3779b97f4a7c15);
+            *word = splitmix64(z);
         }
+        Self { seed, state }
     }
 
     /// The seed this stream was created from.
@@ -57,13 +65,39 @@ impl SimRng {
         SimRng::from_seed(child_seed)
     }
 
-    /// Next raw 64-bit value.
+    /// Forks a child stream identified by `label` plus integer `parts`.
+    ///
+    /// Equivalent in spirit to `derive(&format!("{label}/{a}/{b}"))` but
+    /// allocation-free: the label is hashed once and each part is folded in
+    /// with a SplitMix64 round. Hot construction paths (per-core, per-thread,
+    /// per-epoch streams) use this instead of formatting strings.
+    pub fn derive_parts(&self, label: &str, parts: &[u64]) -> SimRng {
+        let mut h = fnv1a(label.as_bytes());
+        for &p in parts {
+            h = splitmix64(h ^ p);
+        }
+        SimRng::from_seed(splitmix64(self.seed ^ h))
+    }
+
+    /// Next raw 64-bit value (xoshiro256++).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method: unbiased, and in the
+    /// common case a single multiplication.
     ///
     /// # Panics
     ///
@@ -71,7 +105,15 @@ impl SimRng {
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        if (m as u64) < bound {
+            // Rejection zone: only entered for small fractions of the range.
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform `usize` index in `[0, bound)`.
@@ -82,13 +124,14 @@ impl SimRng {
     #[inline]
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "index(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        self.below(bound as u64) as usize
     }
 
     /// Uniform float in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -106,7 +149,7 @@ impl SimRng {
             return 1;
         }
         // Draw uniformly in [1, 2*mean-1]; mean is `mean`, cheap and bounded.
-        self.inner.gen_range(1..2 * mean)
+        1 + self.below(2 * mean - 1)
     }
 
     /// Fisher–Yates shuffle of a slice.
@@ -128,9 +171,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// SplitMix64 finalizer: decorrelates derived seeds.
+/// SplitMix64 finalizer: decorrelates derived seeds and expands state.
 fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e3779b97f4a7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
     z ^ (z >> 31)
@@ -147,6 +189,14 @@ mod tests {
         for _ in 0..64 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(8);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
     }
 
     #[test]
@@ -168,10 +218,44 @@ mod tests {
     }
 
     #[test]
+    fn derive_parts_distinguishes_parts_and_labels() {
+        let root = SimRng::from_seed(99);
+        let mut a = root.derive_parts("core/gaps", &[0]);
+        let mut b = root.derive_parts("core/gaps", &[0]);
+        let mut c = root.derive_parts("core/gaps", &[1]);
+        let mut d = root.derive_parts("other", &[0]);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(b.next_u64(), c.next_u64());
+        assert_ne!(c.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn derive_parts_order_matters() {
+        let root = SimRng::from_seed(321);
+        let mut ab = root.derive_parts("x", &[1, 2]);
+        let mut ba = root.derive_parts("x", &[2, 1]);
+        assert_ne!(ab.next_u64(), ba.next_u64());
+    }
+
+    #[test]
     fn below_respects_bound() {
         let mut rng = SimRng::from_seed(1);
         for _ in 0..1000 {
             assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = SimRng::from_seed(11);
+        let mut counts = [0u64; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / n as f64;
+            assert!((p - 0.125).abs() < 0.01, "biased bucket: {p}");
         }
     }
 
@@ -212,7 +296,10 @@ mod tests {
             total += v;
         }
         let empirical = total as f64 / n as f64;
-        assert!((empirical - mean as f64).abs() < 0.2, "mean drifted: {empirical}");
+        assert!(
+            (empirical - mean as f64).abs() < 0.2,
+            "mean drifted: {empirical}"
+        );
     }
 
     #[test]

@@ -184,12 +184,17 @@ impl WorkloadGenerator {
         } else {
             None
         };
-        let private_sampler =
-            ZipfSampler::new(profile.private_blocks_per_thread().max(1), profile.private_zipf)
-                .expect("validated");
+        let private_sampler = ZipfSampler::new(
+            profile.private_blocks_per_thread().max(1),
+            profile.private_zipf,
+        )
+        .expect("validated");
+        // One labeled derivation for the workload, then alloc-free indexed
+        // streams per (vm, thread) pair.
+        let stream_base = rng.derive(&profile.name);
         let threads = (0..profile.threads)
             .map(|t| ThreadState {
-                rng: rng.derive(&format!("workload/{}/vm{}/thread{}", profile.name, vm.index(), t)),
+                rng: stream_base.derive_parts("workload/vm/thread", &[vm.index() as u64, t as u64]),
                 recent: VecDeque::with_capacity(profile.recent_window + 1),
                 refs: 0,
                 segment: None,
@@ -251,8 +256,7 @@ impl WorkloadGenerator {
         let per_thread = self.profile.private_blocks_per_thread();
         let mut blocks = Vec::with_capacity(n);
         // Handoff region first: always the most actively communicated.
-        let span = self.profile.handoff_segments as u64
-            * self.profile.handoff_segment_blocks;
+        let span = self.profile.handoff_segments as u64 * self.profile.handoff_segment_blocks;
         for i in 0..span.min(n as u64) {
             blocks.push(self.handoff_base + i);
         }
@@ -305,8 +309,7 @@ impl WorkloadGenerator {
         {
             let i = state.rng.index(state.recent.len());
             state.recent[i]
-        } else if self.shared_sampler.is_some()
-            && state.rng.chance(self.profile.shared_access_prob)
+        } else if self.shared_sampler.is_some() && state.rng.chance(self.profile.shared_access_prob)
         {
             self.shared_sampler
                 .as_ref()
@@ -347,11 +350,9 @@ impl WorkloadGenerator {
             });
         }
         let cursor = self.threads[t].segment.expect("set above");
-        let block_index =
-            self.handoff_base + self.handoff.block_of(cursor.segment, cursor.pos);
+        let block_index = self.handoff_base + self.handoff.block_of(cursor.segment, cursor.pos);
         // The owner decides on first touch whether it dirties the block.
-        let is_write =
-            cursor.touch == 0 && self.threads[t].rng.chance(p.handoff_write_prob);
+        let is_write = cursor.touch == 0 && self.threads[t].rng.chance(p.handoff_write_prob);
         // Advance the cursor; release the segment after the last touch of
         // the last block.
         let mut next = cursor;
@@ -452,7 +453,10 @@ mod tests {
         let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(5));
         for i in 0..5_000 {
             let r = g.next_ref(ThreadId::new(i % 4));
-            assert_eq!(r.is_shared_region, r.address.block().vm_block_index() < shared);
+            assert_eq!(
+                r.is_shared_region,
+                r.address.block().vm_block_index() < shared
+            );
         }
     }
 

@@ -337,7 +337,9 @@ impl WorkloadProfile {
             }
         }
         if self.refs_per_transaction == 0 || self.default_transactions == 0 {
-            return Err(SimError::invalid_config("transaction sizing must be nonzero"));
+            return Err(SimError::invalid_config(
+                "transaction sizing must be nonzero",
+            ));
         }
         if self.shared_blocks() == 0 && self.shared_access_prob > 0.0 {
             return Err(SimError::invalid_config(
@@ -546,8 +548,7 @@ mod tests {
     fn regions_partition_footprint() {
         for kind in WorkloadKind::PAPER_SET {
             let p = kind.profile();
-            let total =
-                p.shared_blocks() + p.private_blocks_per_thread() * p.threads as u64;
+            let total = p.shared_blocks() + p.private_blocks_per_thread() * p.threads as u64;
             assert!(total <= p.footprint_blocks);
             // Rounding loses at most `threads` blocks.
             assert!(p.footprint_blocks - total < 2 * p.threads as u64 + 2);
@@ -598,7 +599,10 @@ mod tests {
             .shared_zipf(1.0)
             .build()
             .is_err());
-        assert!(WorkloadProfileBuilder::new("bad").threads(0).build().is_err());
+        assert!(WorkloadProfileBuilder::new("bad")
+            .threads(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -1,77 +1,76 @@
-//! Property-based tests for the workload generators.
+//! Randomized property tests for the workload generators, driven by seeded
+//! `SimRng` streams so every run is reproducible.
 
 use consim_types::{SimRng, ThreadId, VmId};
 use consim_workload::{WorkloadGenerator, WorkloadProfile, WorkloadProfileBuilder};
-use proptest::prelude::*;
 
-prop_compose! {
-    fn any_profile()(
-        footprint in 2_000u64..100_000,
-        shared_fraction in 0.05f64..0.95,
-        shared_access in 0.0f64..0.95,
-        shared_write in 0.0f64..0.5,
-        private_write in 0.0f64..0.5,
-        shared_zipf in 0.0f64..0.95,
-        private_zipf in 0.0f64..0.95,
-        recent in 0.0f64..0.8,
-        handoff in 0.0f64..0.8,
-        threads in 1usize..8,
-    ) -> WorkloadProfile {
-        WorkloadProfileBuilder::new("prop")
-            .footprint_blocks(footprint)
-            .shared_fraction(shared_fraction)
-            .shared_access_prob(shared_access)
-            .shared_write_prob(shared_write)
-            .private_write_prob(private_write)
-            .shared_zipf(shared_zipf)
-            .private_zipf(private_zipf)
-            .recent_reuse_prob(recent)
-            .handoff_access_prob(handoff)
-            .handoff_segments(8)
-            .handoff_segment_blocks(8)
-            .threads(threads)
-            .build()
-            .expect("ranges chosen to be valid")
-    }
+/// Draws a valid random profile covering the whole parameter space the
+/// builder accepts.
+fn random_profile(rng: &mut SimRng) -> WorkloadProfile {
+    WorkloadProfileBuilder::new("prop")
+        .footprint_blocks(2_000 + rng.below(98_000))
+        .shared_fraction(0.05 + 0.90 * rng.unit())
+        .shared_access_prob(0.95 * rng.unit())
+        .shared_write_prob(0.5 * rng.unit())
+        .private_write_prob(0.5 * rng.unit())
+        .shared_zipf(0.95 * rng.unit())
+        .private_zipf(0.95 * rng.unit())
+        .recent_reuse_prob(0.8 * rng.unit())
+        .handoff_access_prob(0.8 * rng.unit())
+        .handoff_segments(8)
+        .handoff_segment_blocks(8)
+        .threads(1 + rng.index(7))
+        .build()
+        .expect("ranges chosen to be valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every generated reference stays inside its VM's footprint, and the
-    /// shared-region flag always matches the address.
-    #[test]
-    fn references_stay_in_bounds(profile in any_profile(), seed in 0u64..500) {
+/// Every generated reference stays inside its VM's footprint, and the
+/// shared-region flag always matches the address.
+#[test]
+fn references_stay_in_bounds() {
+    let mut rng = SimRng::from_seed(0xB0B1);
+    for _case in 0..48 {
+        let profile = random_profile(&mut rng);
+        let seed = rng.below(500);
         let vm = VmId::new(3);
         let mut g = WorkloadGenerator::new(vm, &profile, &SimRng::from_seed(seed));
         let shared = profile.shared_blocks();
         for i in 0..2_000 {
             let r = g.next_ref(ThreadId::new(i % profile.threads));
-            prop_assert_eq!(r.address.vm(), vm);
+            assert_eq!(r.address.vm(), vm);
             let idx = r.address.block().vm_block_index();
-            prop_assert!(idx < profile.footprint_blocks);
-            prop_assert_eq!(r.is_shared_region, idx < shared);
+            assert!(idx < profile.footprint_blocks);
+            assert_eq!(r.is_shared_region, idx < shared);
         }
-        prop_assert_eq!(g.refs_emitted(), 2_000);
+        assert_eq!(g.refs_emitted(), 2_000);
     }
+}
 
-    /// Streams are reproducible from the seed even with handoff sharing,
-    /// as long as the thread interleaving is identical.
-    #[test]
-    fn streams_reproducible(profile in any_profile(), seed in 0u64..500) {
+/// Streams are reproducible from the seed even with handoff sharing, as long
+/// as the thread interleaving is identical.
+#[test]
+fn streams_reproducible() {
+    let mut rng = SimRng::from_seed(0xB0B2);
+    for _case in 0..48 {
+        let profile = random_profile(&mut rng);
+        let seed = rng.below(500);
         let gen_refs = || {
             let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(seed));
             (0..1_000)
                 .map(|i| g.next_ref(ThreadId::new(i % profile.threads)))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(gen_refs(), gen_refs());
+        assert_eq!(gen_refs(), gen_refs());
     }
+}
 
-    /// A zero-write profile never emits stores; an all-write profile always
-    /// does (outside the handoff machinery).
-    #[test]
-    fn write_probability_extremes(seed in 0u64..200) {
+/// A zero-write profile never emits stores; an all-write profile always
+/// does (outside the handoff machinery).
+#[test]
+fn write_probability_extremes() {
+    let mut rng = SimRng::from_seed(0xB0B3);
+    for _case in 0..24 {
+        let seed = rng.below(200);
         let silent = WorkloadProfileBuilder::new("ro")
             .footprint_blocks(5_000)
             .shared_write_prob(0.0)
@@ -81,7 +80,7 @@ proptest! {
             .unwrap();
         let mut g = WorkloadGenerator::new(VmId::new(0), &silent, &SimRng::from_seed(seed));
         for i in 0..500 {
-            prop_assert!(!g.next_ref(ThreadId::new(i % 4)).is_write);
+            assert!(!g.next_ref(ThreadId::new(i % 4)).is_write);
         }
 
         let noisy = WorkloadProfileBuilder::new("wo")
@@ -94,22 +93,27 @@ proptest! {
             .unwrap();
         let mut g = WorkloadGenerator::new(VmId::new(0), &noisy, &SimRng::from_seed(seed));
         for i in 0..500 {
-            prop_assert!(g.next_ref(ThreadId::new(i % 4)).is_write);
+            assert!(g.next_ref(ThreadId::new(i % 4)).is_write);
         }
     }
+}
 
-    /// The warm set never exceeds the requested size, has no duplicates,
-    /// and stays inside the footprint.
-    #[test]
-    fn warm_set_properties(profile in any_profile(), n in 1usize..5_000) {
+/// The warm set never exceeds the requested size, has no duplicates, and
+/// stays inside the footprint.
+#[test]
+fn warm_set_properties() {
+    let mut rng = SimRng::from_seed(0xB0B4);
+    for _case in 0..48 {
+        let profile = random_profile(&mut rng);
+        let n = 1 + rng.index(4_999);
         let g = WorkloadGenerator::new(VmId::new(1), &profile, &SimRng::from_seed(1));
         let warm = g.warm_set(n);
-        prop_assert!(warm.len() <= n);
+        assert!(warm.len() <= n);
         let unique: std::collections::HashSet<_> = warm.iter().collect();
-        prop_assert_eq!(unique.len(), warm.len());
+        assert_eq!(unique.len(), warm.len());
         for b in &warm {
-            prop_assert_eq!(b.vm(), VmId::new(1));
-            prop_assert!(b.vm_block_index() < profile.footprint_blocks);
+            assert_eq!(b.vm(), VmId::new(1));
+            assert!(b.vm_block_index() < profile.footprint_blocks);
         }
     }
 }

@@ -41,7 +41,12 @@ fn main() -> Result<(), SimError> {
 
     let mut table = TextTable::new(
         "Four 'analytics' instances vs LLC sharing degree (affinity)",
-        &["runtime (Mcy)", "miss rate %", "miss lat (cy)", "replication %"],
+        &[
+            "runtime (Mcy)",
+            "miss rate %",
+            "miss lat (cy)",
+            "replication %",
+        ],
     );
     let mut best: Option<(String, f64)> = None;
     for sharing in SharingDegree::paper_sweep() {

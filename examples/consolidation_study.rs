@@ -26,7 +26,11 @@ fn main() -> Result<(), SimError> {
 
     // Isolation baselines, one per workload.
     let mut baselines: HashMap<WorkloadKind, f64> = HashMap::new();
-    for kind in [WorkloadKind::TpcW, WorkloadKind::SpecJbb, WorkloadKind::TpcH] {
+    for kind in [
+        WorkloadKind::TpcW,
+        WorkloadKind::SpecJbb,
+        WorkloadKind::TpcH,
+    ] {
         let run = runner.isolation_baseline(kind)?;
         baselines.insert(kind, run.vms[0].runtime_cycles.mean);
     }
@@ -40,8 +44,7 @@ fn main() -> Result<(), SimError> {
     for mix in Mix::all_heterogeneous() {
         let run = runner.run(mix.instances(), policy, sharing)?;
         for kind in mix.distinct_workloads() {
-            let slowdown =
-                run.mean_over_kind(kind, |v| v.runtime_cycles.mean) / baselines[&kind];
+            let slowdown = run.mean_over_kind(kind, |v| v.runtime_cycles.mean) / baselines[&kind];
             let missrate = run.mean_over_kind(kind, |v| v.llc_miss_rate.mean) * 100.0;
             let label = format!("{} {}", mix.id(), kind);
             if worst.as_ref().map(|(_, w)| slowdown > *w).unwrap_or(true) {

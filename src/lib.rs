@@ -55,7 +55,7 @@ pub mod prelude {
     pub use consim::engine::{Simulation, SimulationConfig, SimulationOutcome};
     pub use consim::mix::{Mix, MixId};
     pub use consim::report::TextTable;
-    pub use consim::runner::{ExperimentRunner, MixRun, RunOptions};
+    pub use consim::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
     pub use consim::stats::Summary;
     pub use consim_sched::SchedulingPolicy;
     pub use consim_types::config::{MachineConfig, MachineConfigBuilder, SharingDegree};

@@ -31,28 +31,40 @@ fn measure(kind: WorkloadKind) -> (f64, f64) {
 fn tpc_w_matches_table2() {
     let (c2c, dirty) = measure(WorkloadKind::TpcW);
     assert!((c2c - 0.15).abs() < 0.07, "TPC-W c2c {c2c:.3} vs 0.15");
-    assert!((dirty - 0.16).abs() < 0.08, "TPC-W dirty {dirty:.3} vs 0.16");
+    assert!(
+        (dirty - 0.16).abs() < 0.08,
+        "TPC-W dirty {dirty:.3} vs 0.16"
+    );
 }
 
 #[test]
 fn spec_jbb_matches_table2() {
     let (c2c, dirty) = measure(WorkloadKind::SpecJbb);
     assert!((c2c - 0.52).abs() < 0.10, "SPECjbb c2c {c2c:.3} vs 0.52");
-    assert!((dirty - 0.06).abs() < 0.06, "SPECjbb dirty {dirty:.3} vs 0.06");
+    assert!(
+        (dirty - 0.06).abs() < 0.06,
+        "SPECjbb dirty {dirty:.3} vs 0.06"
+    );
 }
 
 #[test]
 fn tpc_h_matches_table2() {
     let (c2c, dirty) = measure(WorkloadKind::TpcH);
     assert!((c2c - 0.69).abs() < 0.10, "TPC-H c2c {c2c:.3} vs 0.69");
-    assert!((dirty - 0.57).abs() < 0.10, "TPC-H dirty {dirty:.3} vs 0.57");
+    assert!(
+        (dirty - 0.57).abs() < 0.10,
+        "TPC-H dirty {dirty:.3} vs 0.57"
+    );
 }
 
 #[test]
 fn spec_web_matches_table2() {
     let (c2c, dirty) = measure(WorkloadKind::SpecWeb);
     assert!((c2c - 0.37).abs() < 0.10, "SPECweb c2c {c2c:.3} vs 0.37");
-    assert!((dirty - 0.07).abs() < 0.06, "SPECweb dirty {dirty:.3} vs 0.07");
+    assert!(
+        (dirty - 0.07).abs() < 0.06,
+        "SPECweb dirty {dirty:.3} vs 0.07"
+    );
 }
 
 #[test]
@@ -62,16 +74,26 @@ fn c2c_ordering_matches_table2() {
     let jbb = measure(WorkloadKind::SpecJbb).0;
     let web = measure(WorkloadKind::SpecWeb).0;
     let w = measure(WorkloadKind::TpcW).0;
-    assert!(h > jbb && jbb > web && web > w, "ordering broke: {h:.2} {jbb:.2} {web:.2} {w:.2}");
+    assert!(
+        h > jbb && jbb > web && web > w,
+        "ordering broke: {h:.2} {jbb:.2} {web:.2} {w:.2}"
+    );
 }
 
 #[test]
 fn dirty_ordering_matches_table2() {
     // TPC-H is dirty-transfer dominated; the rest are clean-dominated.
     let h = measure(WorkloadKind::TpcH).1;
-    for kind in [WorkloadKind::TpcW, WorkloadKind::SpecJbb, WorkloadKind::SpecWeb] {
+    for kind in [
+        WorkloadKind::TpcW,
+        WorkloadKind::SpecJbb,
+        WorkloadKind::SpecWeb,
+    ] {
         let d = measure(kind).1;
-        assert!(h > 2.0 * d, "TPC-H dirty {h:.2} must dominate {kind} {d:.2}");
+        assert!(
+            h > 2.0 * d,
+            "TPC-H dirty {h:.2} must dominate {kind} {d:.2}"
+        );
     }
 }
 

@@ -1,8 +1,8 @@
 //! Reproducibility and statistical-simulation behavior across the whole
 //! stack.
 
-use server_consolidation_sim::prelude::*;
 use server_consolidation_sim::engine::{Simulation, SimulationConfig};
+use server_consolidation_sim::prelude::*;
 
 fn config(seed: u64, policy: SchedulingPolicy) -> SimulationConfig {
     let mut b = SimulationConfig::builder();
@@ -89,18 +89,94 @@ fn multi_seed_summaries_have_spread_and_shrinking_ci() {
     });
     let kinds = [WorkloadKind::TpcH];
     let a = narrow
-        .run(&kinds, SchedulingPolicy::Affinity, SharingDegree::SharedBy(4))
+        .run(
+            &kinds,
+            SchedulingPolicy::Affinity,
+            SharingDegree::SharedBy(4),
+        )
         .unwrap();
     let b = wide
-        .run(&kinds, SchedulingPolicy::Affinity, SharingDegree::SharedBy(4))
+        .run(
+            &kinds,
+            SchedulingPolicy::Affinity,
+            SharingDegree::SharedBy(4),
+        )
         .unwrap();
     assert_eq!(a.vms[0].runtime_cycles.n, 2);
     assert_eq!(b.vms[0].runtime_cycles.n, 6);
-    assert!(b.vms[0].runtime_cycles.std > 0.0, "seeds must perturb runtime");
+    assert!(
+        b.vms[0].runtime_cycles.std > 0.0,
+        "seeds must perturb runtime"
+    );
     // Means should agree within a loose band (same workload, same machine).
     let rel = (a.vms[0].runtime_cycles.mean - b.vms[0].runtime_cycles.mean).abs()
         / b.vms[0].runtime_cycles.mean;
     assert!(rel < 0.25, "seed means drifted {rel:.3}");
+}
+
+/// The parallel experiment executor must be an implementation detail:
+/// per-cell metrics are bit-identical whether a batch runs on one worker
+/// or many, and results always come back in submission order.
+#[test]
+fn parallel_batches_match_serial_bit_for_bit() {
+    let options = RunOptions {
+        refs_per_vm: 4_000,
+        warmup_refs_per_vm: 1_000,
+        seeds: vec![1, 2, 3],
+        track_footprint: false,
+        prewarm_llc: false,
+    };
+    let cells = vec![
+        ExperimentCell::of_kinds(
+            &[WorkloadKind::TpcH],
+            SchedulingPolicy::Affinity,
+            SharingDegree::FullyShared,
+        ),
+        ExperimentCell::of_kinds(
+            &[WorkloadKind::SpecJbb; 3],
+            SchedulingPolicy::RoundRobin,
+            SharingDegree::SharedBy(4),
+        ),
+        ExperimentCell::of_kinds(
+            &[WorkloadKind::TpcW, WorkloadKind::SpecWeb],
+            SchedulingPolicy::Random,
+            SharingDegree::Private,
+        ),
+    ];
+    let serial = ExperimentRunner::new(options.clone())
+        .with_threads(1)
+        .run_cells(&cells)
+        .expect("serial batch");
+    let parallel = ExperimentRunner::new(options)
+        .with_threads(8)
+        .run_cells(&cells)
+        .expect("parallel batch");
+
+    assert_eq!(serial.len(), cells.len());
+    assert_eq!(parallel.len(), cells.len());
+    for (cell, (s, p)) in cells.iter().zip(serial.iter().zip(&parallel)) {
+        // Submission order: each aggregate covers its cell's VM count.
+        assert_eq!(s.vms.len(), cell.profiles.len());
+        assert_eq!(p.vms.len(), cell.profiles.len());
+        for (sv, pv) in s.vms.iter().zip(&p.vms) {
+            assert_eq!(
+                sv.runtime_cycles.mean.to_bits(),
+                pv.runtime_cycles.mean.to_bits(),
+                "runtime must not depend on worker count"
+            );
+            assert_eq!(
+                sv.miss_latency.mean.to_bits(),
+                pv.miss_latency.mean.to_bits(),
+                "miss latency must not depend on worker count"
+            );
+            assert_eq!(
+                sv.llc_miss_rate.mean.to_bits(),
+                pv.llc_miss_rate.mean.to_bits(),
+                "miss rate must not depend on worker count"
+            );
+        }
+        assert_eq!(s.replication.mean.to_bits(), p.replication.mean.to_bits());
+    }
 }
 
 #[test]

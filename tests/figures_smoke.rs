@@ -1,8 +1,8 @@
 //! Smoke tests for every figure/table regenerator at test scale: each
 //! exhibit must produce a table with the paper's rows and columns.
 
-use consim_bench::{figures, FigureContext};
 use consim::runner::RunOptions;
+use consim_bench::{figures, FigureContext};
 
 fn ctx() -> FigureContext {
     FigureContext::new(RunOptions {
@@ -98,5 +98,9 @@ fn context_memoization_spans_figures() {
     let after_f2 = ctx.cached_cells();
     // Fig 3 uses exactly the same cells.
     figures::fig03_isolated_missrate(&ctx).unwrap();
-    assert_eq!(ctx.cached_cells(), after_f2, "fig 3 must reuse fig 2's runs");
+    assert_eq!(
+        ctx.cached_cells(),
+        after_f2,
+        "fig 3 must reuse fig 2's runs"
+    );
 }

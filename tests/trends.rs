@@ -53,7 +53,11 @@ fn isolated_shared4_affinity_is_capacity_constrained() {
     let r = runner();
     let kind = WorkloadKind::TpcW; // largest footprint, clearest effect
     let rr = r
-        .isolated(kind, SchedulingPolicy::RoundRobin, SharingDegree::SharedBy(4))
+        .isolated(
+            kind,
+            SchedulingPolicy::RoundRobin,
+            SharingDegree::SharedBy(4),
+        )
         .unwrap();
     let aff = r
         .isolated(kind, SchedulingPolicy::Affinity, SharingDegree::SharedBy(4))
@@ -85,7 +89,11 @@ fn tpc_h_is_least_affected_by_consolidation() {
         WorkloadKind::TpcH,
     ];
     let run = r
-        .run(&mix1, SchedulingPolicy::Affinity, SharingDegree::SharedBy(4))
+        .run(
+            &mix1,
+            SchedulingPolicy::Affinity,
+            SharingDegree::SharedBy(4),
+        )
         .unwrap();
     // Paper Fig. 8 normalizes to the fully-shared isolation baseline.
     let h_base = r.isolation_baseline(WorkloadKind::TpcH).unwrap().vms[0]
@@ -113,10 +121,18 @@ fn affinity_beats_round_robin_for_homogeneous_specjbb() {
     let r = runner();
     let instances = [WorkloadKind::SpecJbb; 4];
     let aff = r
-        .run(&instances, SchedulingPolicy::Affinity, SharingDegree::SharedBy(4))
+        .run(
+            &instances,
+            SchedulingPolicy::Affinity,
+            SharingDegree::SharedBy(4),
+        )
         .unwrap();
     let rr = r
-        .run(&instances, SchedulingPolicy::RoundRobin, SharingDegree::SharedBy(4))
+        .run(
+            &instances,
+            SchedulingPolicy::RoundRobin,
+            SharingDegree::SharedBy(4),
+        )
         .unwrap();
     assert!(
         mean_runtime(&aff, WorkloadKind::SpecJbb) < mean_runtime(&rr, WorkloadKind::SpecJbb),
@@ -132,13 +148,25 @@ fn replication_ordering_matches_fig12() {
     let r = runner();
     let instances = [WorkloadKind::SpecJbb; 4];
     let aff = r
-        .run(&instances, SchedulingPolicy::Affinity, SharingDegree::SharedBy(4))
+        .run(
+            &instances,
+            SchedulingPolicy::Affinity,
+            SharingDegree::SharedBy(4),
+        )
         .unwrap();
     let rr = r
-        .run(&instances, SchedulingPolicy::RoundRobin, SharingDegree::SharedBy(4))
+        .run(
+            &instances,
+            SchedulingPolicy::RoundRobin,
+            SharingDegree::SharedBy(4),
+        )
         .unwrap();
     let private = r
-        .run(&instances, SchedulingPolicy::RoundRobin, SharingDegree::Private)
+        .run(
+            &instances,
+            SchedulingPolicy::RoundRobin,
+            SharingDegree::Private,
+        )
         .unwrap();
     assert!(aff.replication.mean < 0.01, "affinity must not replicate");
     assert!(
@@ -163,7 +191,11 @@ fn tpc_h_underoccupies_its_fair_share() {
         WorkloadKind::TpcH,
     ];
     let run = r
-        .run(&mix1, SchedulingPolicy::RoundRobin, SharingDegree::SharedBy(4))
+        .run(
+            &mix1,
+            SchedulingPolicy::RoundRobin,
+            SharingDegree::SharedBy(4),
+        )
         .unwrap();
     // VM 3 is the TPC-H instance; fair share is 25% of each bank.
     let tpch_share: f64 =
@@ -194,7 +226,10 @@ fn consolidated_metrics_are_sane() {
         let run = r.run(&mix5, policy, SharingDegree::SharedBy(4)).unwrap();
         for v in &run.vms {
             assert!(v.llc_miss_rate.mean >= 0.0 && v.llc_miss_rate.mean <= 1.0);
-            assert!(v.miss_latency.mean > 6.0, "{policy}: latency below LLC access");
+            assert!(
+                v.miss_latency.mean > 6.0,
+                "{policy}: latency below LLC access"
+            );
             assert!(v.runtime_cycles.mean > 0.0);
             assert!(v.c2c_fraction.mean >= 0.0 && v.c2c_fraction.mean <= 1.0);
         }
