@@ -22,4 +22,15 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== audit + trace smoke (release run_all at tiny quotas) =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+CONSIM_REFS=2000 CONSIM_WARMUP=500 CONSIM_SEEDS=1 \
+  cargo run --release -q -p consim-bench --bin run_all -- \
+  --audit --trace "$smoke_dir" > /dev/null
+test -s "$smoke_dir/events.jsonl"
+test -s "$smoke_dir/manifest.json"
+grep -q '"event":"audit_passed"' "$smoke_dir/events.jsonl"
+grep -q '"bin": "run_all"' "$smoke_dir/manifest.json"
+
 echo "CI OK"

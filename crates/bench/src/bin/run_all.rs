@@ -4,17 +4,39 @@
 //! worker pool before any table is printed. Run-length knobs:
 //! `CONSIM_REFS`, `CONSIM_WARMUP`, `CONSIM_SEEDS`; worker count:
 //! `CONSIM_THREADS` (defaults to the machine's available parallelism).
+//!
+//! Observability flags: `--audit` cross-checks every simulation's counters
+//! at end of run; `--trace <dir>` streams trace events to
+//! `<dir>/events.jsonl` and writes `<dir>/manifest.json` on exit (see
+//! `consim_bench::cli`).
 
-use consim_bench::{figures, FigureContext};
+use consim::runner::ExperimentRunner;
+use consim_bench::{cli::BenchFlags, figures, FigureContext};
+use consim_trace::digest_of;
 use std::time::Instant;
 
 fn main() {
+    let flags = BenchFlags::from_env("run_all");
+    let session = flags.trace_session().expect("open trace directory");
+    let options = FigureContext::figure_options();
+    let mut runner = ExperimentRunner::new(options.clone()).with_audit(flags.audit);
+    if let Some(session) = &session {
+        runner = runner.with_sink(session.sink());
+    }
+
     let started = Instant::now();
-    let ctx = FigureContext::for_figures();
+    let ctx = FigureContext::with_runner(runner);
     figures::run_all(&ctx).expect("figure regeneration failed");
     eprintln!(
         "run_all: {} cells in {:.1}s",
         ctx.cached_cells(),
         started.elapsed().as_secs_f64()
     );
+
+    if let Some(session) = session {
+        let path = session
+            .finish("run_all", digest_of(&options), options.seeds, flags.audit)
+            .expect("write manifest.json");
+        eprintln!("run_all: wrote {}", path.display());
+    }
 }

@@ -1,8 +1,14 @@
 //! Calibration sweep: searches workload-profile knobs so the engine's
 //! Table II statistics approach the paper's targets.
+//!
+//! Accepts the shared observability flags: `--audit` enables the counter
+//! audit on every candidate run; `--trace <dir>` records trace events and
+//! a run manifest (see `consim_bench::cli`).
 
 use consim::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
+use consim_bench::cli::BenchFlags;
 use consim_sched::SchedulingPolicy;
+use consim_trace::digest_of;
 use consim_types::config::SharingDegree;
 use consim_workload::{WorkloadKind, WorkloadProfile};
 
@@ -16,24 +22,28 @@ fn extract(run: &MixRun) -> (f64, f64, f64) {
 }
 
 fn main() {
-    let runner = ExperimentRunner::new(
-        RunOptions {
-            refs_per_vm: 50_000,
-            warmup_refs_per_vm: 30_000,
-            seeds: vec![1],
-            track_footprint: false,
-            prewarm_llc: false,
-        }
-        .from_env(),
-    );
-    let which: Vec<WorkloadKind> = match std::env::args().nth(1).as_deref() {
+    let flags = BenchFlags::from_env("sweep");
+    let session = flags.trace_session().expect("open trace directory");
+    let options = RunOptions {
+        refs_per_vm: 50_000,
+        warmup_refs_per_vm: 30_000,
+        seeds: vec![1],
+        track_footprint: false,
+        prewarm_llc: false,
+    }
+    .from_env();
+    let mut runner = ExperimentRunner::new(options.clone()).with_audit(flags.audit);
+    if let Some(session) = &session {
+        runner = runner.with_sink(session.sink());
+    }
+    let which: Vec<WorkloadKind> = match flags.rest.first().map(String::as_str) {
         Some("tpcw") => vec![WorkloadKind::TpcW],
         Some("jbb") => vec![WorkloadKind::SpecJbb],
         Some("tpch") => vec![WorkloadKind::TpcH],
         Some("web") => vec![WorkloadKind::SpecWeb],
         _ => WorkloadKind::PAPER_SET.to_vec(),
     };
-    for kind in which {
+    for kind in &which {
         let base = kind.profile();
         let t = base.paper_targets.unwrap();
         println!(
@@ -90,5 +100,16 @@ fn main() {
                 best = Some((score, line));
             }
         }
+    }
+    if let Some(session) = session {
+        let path = session
+            .finish(
+                "sweep",
+                digest_of(&(&options, &which)),
+                options.seeds,
+                flags.audit,
+            )
+            .expect("write manifest.json");
+        eprintln!("sweep: wrote {}", path.display());
     }
 }

@@ -8,9 +8,14 @@
 //!
 //! Knobs: `CONSIM_REFS` / `CONSIM_WARMUP` scale the per-VM quotas,
 //! `CONSIM_SEEDS` the seed fan-out, `CONSIM_THREADS` the parallel pool.
+//! Observability flags: `--audit` / `--trace <dir>` (see
+//! `consim_bench::cli`) — note tracing adds work to the measured loop, so
+//! regression comparisons should run without `--trace`.
 
 use consim::runner::{ExperimentCell, ExperimentRunner, RunOptions};
+use consim_bench::cli::BenchFlags;
 use consim_sched::SchedulingPolicy;
+use consim_trace::digest_of;
 use consim_types::config::SharingDegree;
 use consim_workload::WorkloadKind;
 use std::time::Instant;
@@ -35,6 +40,8 @@ fn total_refs(opts: &RunOptions, cells: &[ExperimentCell]) -> u64 {
 }
 
 fn main() {
+    let flags = BenchFlags::from_env("throughput");
+    let session = flags.trace_session().expect("open trace directory");
     let opts = options();
     let mix = [
         WorkloadKind::TpcH,
@@ -49,12 +56,19 @@ fn main() {
     )];
     let refs = total_refs(&opts, &cells);
 
-    let serial_runner = ExperimentRunner::new(opts.clone()).with_threads(1);
+    let mut serial_runner = ExperimentRunner::new(opts.clone())
+        .with_threads(1)
+        .with_audit(flags.audit);
+    let mut parallel_runner = ExperimentRunner::new(opts.clone()).with_audit(flags.audit);
+    if let Some(session) = &session {
+        serial_runner = serial_runner.with_sink(session.sink());
+        parallel_runner = parallel_runner.with_sink(session.sink());
+    }
+
     let t0 = Instant::now();
     serial_runner.run_cells(&cells).expect("serial batch");
     let serial_s = t0.elapsed().as_secs_f64();
 
-    let parallel_runner = ExperimentRunner::new(opts.clone());
     let t1 = Instant::now();
     parallel_runner.run_cells(&cells).expect("parallel batch");
     let parallel_s = t1.elapsed().as_secs_f64();
@@ -81,4 +95,11 @@ fn main() {
     );
     std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
     eprintln!("wrote BENCH_engine.json");
+
+    if let Some(session) = session {
+        let path = session
+            .finish("throughput", digest_of(&opts), opts.seeds, flags.audit)
+            .expect("write manifest.json");
+        eprintln!("throughput: wrote {}", path.display());
+    }
 }

@@ -1,0 +1,233 @@
+//! Shared `--audit` / `--trace <dir>` plumbing for the helper binaries.
+//!
+//! Every bin that runs experiments (`run_all`, `sweep`, `throughput`)
+//! accepts the same two observability flags:
+//!
+//! * `--audit` — enable the end-of-run counter audit on every simulation
+//!   (release builds only; debug builds always audit);
+//! * `--trace <dir>` — stream trace events to `<dir>/events.jsonl` and
+//!   write a `manifest.json` describing the run on exit.
+//!
+//! By default the JSONL trace carries the low-volume classes (lifecycle,
+//! epoch snapshots, runner timing); set `CONSIM_TRACE_FULL=1` to also
+//! record the per-transaction coherence and NoC-stall firehose.
+
+use consim_trace::{ClassMask, JsonlSink, Manifest, TraceSink};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Observability flags shared by the experiment bins, plus whatever
+/// arguments the bin interprets itself.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct BenchFlags {
+    /// `--audit`: cross-check counters at the end of every simulation.
+    pub audit: bool,
+    /// `--trace <dir>`: trace output directory, if requested.
+    pub trace_dir: Option<PathBuf>,
+    /// Positional/unrecognized arguments, in order, for the bin to parse.
+    pub rest: Vec<String>,
+}
+
+impl BenchFlags {
+    /// Parses `--audit` and `--trace <dir>` out of `args` (the iterator
+    /// should *not* include the program name). Everything else is passed
+    /// through in [`BenchFlags::rest`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when `--trace` is missing its directory.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut flags = Self::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            if arg == "--audit" {
+                flags.audit = true;
+            } else if arg == "--trace" {
+                let dir = args
+                    .next()
+                    .ok_or_else(|| "--trace requires a directory argument".to_string())?;
+                flags.trace_dir = Some(PathBuf::from(dir));
+            } else if let Some(dir) = arg.strip_prefix("--trace=") {
+                if dir.is_empty() {
+                    return Err("--trace requires a directory argument".to_string());
+                }
+                flags.trace_dir = Some(PathBuf::from(dir));
+            } else {
+                flags.rest.push(arg);
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Parses the process arguments, printing the error and exiting with
+    /// status 2 on a malformed command line.
+    pub fn from_env(bin: &str) -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(flags) => flags,
+            Err(msg) => {
+                eprintln!("{bin}: {msg}");
+                eprintln!("usage: {bin} [--audit] [--trace <dir>] ...");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Opens the trace session when `--trace` was given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors creating the directory or the JSONL file.
+    pub fn trace_session(&self) -> io::Result<Option<TraceSession>> {
+        self.trace_dir
+            .as_deref()
+            .map(TraceSession::create)
+            .transpose()
+    }
+}
+
+/// The worker-thread count the runner will resolve to, for the manifest:
+/// `CONSIM_THREADS` if set and valid, else the machine's parallelism.
+pub fn thread_count() -> usize {
+    std::env::var("CONSIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// One `--trace` run: a JSONL sink streaming to `<dir>/events.jsonl`, and
+/// the bookkeeping needed to write `manifest.json` when the bin finishes.
+#[derive(Debug)]
+pub struct TraceSession {
+    dir: PathBuf,
+    sink: Arc<JsonlSink>,
+    started: Instant,
+}
+
+impl TraceSession {
+    /// Creates `dir` (if needed) and opens `events.jsonl` inside it. The
+    /// event mask defaults to the low-volume classes; `CONSIM_TRACE_FULL=1`
+    /// records everything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn create(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let full = std::env::var("CONSIM_TRACE_FULL").is_ok_and(|v| v.trim() == "1");
+        let mask = if full {
+            ClassMask::ALL
+        } else {
+            ClassMask::default()
+        };
+        let sink = Arc::new(JsonlSink::with_mask(&dir.join("events.jsonl"), mask)?);
+        Ok(TraceSession {
+            dir: dir.to_path_buf(),
+            sink,
+            started: Instant::now(),
+        })
+    }
+
+    /// The sink to install on an experiment runner.
+    pub fn sink(&self) -> Arc<dyn TraceSink> {
+        Arc::clone(&self.sink) as Arc<dyn TraceSink>
+    }
+
+    /// Flushes the trace and writes `manifest.json`; returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors flushing or writing the manifest.
+    pub fn finish(
+        self,
+        bin: &'static str,
+        config_digest: String,
+        seeds: Vec<u64>,
+        audit: bool,
+    ) -> io::Result<PathBuf> {
+        self.sink.flush()?;
+        let manifest = Manifest {
+            bin,
+            crate_version: env!("CARGO_PKG_VERSION"),
+            config_digest,
+            seeds,
+            threads: thread_count(),
+            audit,
+            wall_seconds: self.started.elapsed().as_secs_f64(),
+            trace_lines: self.sink.lines(),
+            trace_errors: self.sink.errors(),
+        };
+        manifest.write_to(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchFlags, String> {
+        BenchFlags::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_audit_and_trace() {
+        let flags = parse(&["--audit", "--trace", "out/traces", "jbb"]).unwrap();
+        assert!(flags.audit);
+        assert_eq!(flags.trace_dir.as_deref(), Some(Path::new("out/traces")));
+        assert_eq!(flags.rest, vec!["jbb".to_string()]);
+    }
+
+    #[test]
+    fn parses_trace_equals_form() {
+        let flags = parse(&["--trace=t"]).unwrap();
+        assert_eq!(flags.trace_dir.as_deref(), Some(Path::new("t")));
+        assert!(!flags.audit);
+    }
+
+    #[test]
+    fn trace_without_dir_is_an_error() {
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&["--trace="]).is_err());
+    }
+
+    #[test]
+    fn unknown_args_pass_through_in_order() {
+        let flags = parse(&["tpch", "--audit", "extra"]).unwrap();
+        assert_eq!(flags.rest, vec!["tpch".to_string(), "extra".to_string()]);
+    }
+
+    #[test]
+    fn session_writes_jsonl_and_manifest() {
+        use consim_trace::TraceEvent;
+
+        let dir = std::env::temp_dir().join("consim-bench-cli-session");
+        std::fs::remove_dir_all(&dir).ok();
+        let session = TraceSession::create(&dir).unwrap();
+        session.sink().record(&TraceEvent::RunStarted {
+            seed: 7,
+            vms: 1,
+            refs_per_vm: 10,
+            warmup_refs_per_vm: 0,
+        });
+        let path = session
+            .finish("run_all", "0123456789abcdef".to_string(), vec![7], true)
+            .unwrap();
+        let manifest = std::fs::read_to_string(&path).unwrap();
+        assert!(manifest.contains("\"bin\": \"run_all\""));
+        assert!(manifest.contains("\"trace_lines\": 1"));
+        let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        assert!(events.lines().next().unwrap().contains("\"run_started\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -150,8 +150,23 @@ impl FigureContext {
     /// contexts with different options — or several regenerators — reuse
     /// isolation runs wherever the options match).
     pub fn with_baselines(options: RunOptions, baselines: Arc<BaselineCache>) -> Self {
+        Self::with_runner_and_baselines(ExperimentRunner::new(options), baselines)
+    }
+
+    /// Creates a context around an already-configured runner (e.g. one
+    /// carrying a trace sink or an explicit audit setting) and a private
+    /// baseline cache.
+    pub fn with_runner(runner: ExperimentRunner) -> Self {
+        Self::with_runner_and_baselines(runner, Arc::new(BaselineCache::new()))
+    }
+
+    /// [`FigureContext::with_runner`] with a shared baseline cache.
+    pub fn with_runner_and_baselines(
+        runner: ExperimentRunner,
+        baselines: Arc<BaselineCache>,
+    ) -> Self {
         Self {
-            runner: ExperimentRunner::new(options),
+            runner,
             memo: Mutex::new(HashMap::new()),
             baselines,
         }

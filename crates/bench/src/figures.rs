@@ -18,7 +18,7 @@
 use crate::context::FigureContext;
 use consim::mix::Mix;
 use consim::report::TextTable;
-use consim::runner::{ExperimentCell, ExperimentRunner, RunOptions, VmAggregate};
+use consim::runner::{ExperimentCell, RunOptions, VmAggregate};
 use consim_sched::SchedulingPolicy;
 use consim_types::config::SharingDegree;
 use consim_types::SimError;
@@ -68,10 +68,12 @@ fn misslat_of(run: &consim::runner::MixRun, kind: WorkloadKind) -> f64 {
 ///
 /// Propagates engine errors.
 pub fn table2(ctx: &FigureContext) -> Result<TextTable, SimError> {
-    // Footprint tracking costs memory, so Table II uses its own runner.
+    // Footprint tracking costs memory, so Table II uses its own runner —
+    // cloned from the context's so an installed trace sink or audit
+    // setting carries over.
     let mut options = ctx.runner().options().clone();
     options.track_footprint = true;
-    let runner = ExperimentRunner::new(options);
+    let runner = ctx.runner().clone().with_options(options);
     let mut t = TextTable::new(
         "Table II: workload statistics (private LLC, isolated)",
         &["c2c %", "clean %", "dirty %", "blocks (K)"],

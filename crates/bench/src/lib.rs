@@ -42,7 +42,9 @@
 //! (profile-knob search, one parallel batch per workload), `diagnose`
 //! (latency-composition debugging), `throughput` (engine refs/sec probe).
 
+pub mod cli;
 pub mod context;
 pub mod figures;
 
+pub use cli::{BenchFlags, TraceSession};
 pub use context::{BaselineCache, FigureContext};

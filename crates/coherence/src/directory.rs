@@ -16,7 +16,9 @@
 
 use crate::coreset::CoreSet;
 use crate::stats::ProtocolStats;
+use consim_trace::{EventClass, TraceEvent, TraceSink};
 use consim_types::{BlockAddr, CoreId, FastHashMap, NodeId, SimError};
+use std::sync::Arc;
 
 /// The kind of private-cache miss being resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +108,16 @@ pub struct Directory {
     num_cores: usize,
     entries: FastHashMap<BlockAddr, DirEntry>,
     stats: ProtocolStats,
+    trace: Option<TraceHook>,
+}
+
+/// Sampled coherence-action tracing: every `sample`-th protocol action is
+/// recorded, keeping trace volume bounded on the per-miss hot path.
+#[derive(Debug, Clone)]
+struct TraceHook {
+    sink: Arc<dyn TraceSink>,
+    sample: u64,
+    countdown: u64,
 }
 
 impl Directory {
@@ -123,7 +135,22 @@ impl Directory {
             num_cores,
             entries: FastHashMap::default(),
             stats: ProtocolStats::default(),
+            trace: None,
         }
+    }
+
+    /// Installs (or clears) a trace sink recording every `sample`-th
+    /// protocol action as a [`TraceEvent::Coherence`] event. Sinks whose
+    /// filter excludes [`EventClass::Coherence`] are not installed at all,
+    /// so the hot path stays a single `None` check.
+    pub fn set_trace_sink(&mut self, sink: Option<Arc<dyn TraceSink>>, sample: u64) {
+        self.trace = sink
+            .filter(|s| s.wants(EventClass::Coherence))
+            .map(|sink| TraceHook {
+                sink,
+                sample: sample.max(1),
+                countdown: 1,
+            });
     }
 
     /// The home node whose directory slice owns `block` (striped by block
@@ -248,6 +275,30 @@ impl Directory {
             }
         };
         self.stats.record_outcome(&outcome);
+        if let Some(hook) = &mut self.trace {
+            hook.countdown -= 1;
+            if hook.countdown == 0 {
+                hook.countdown = hook.sample;
+                hook.sink.record(&TraceEvent::Coherence {
+                    request: self.stats.requests,
+                    requester: requester.index() as u32,
+                    block: block.raw(),
+                    kind: match kind {
+                        AccessKind::Read => "read",
+                        AccessKind::Write => "write",
+                        AccessKind::Upgrade => "upgrade",
+                    },
+                    source: match outcome.source {
+                        DataSource::DirtyCache(_) => "dirty_cache",
+                        DataSource::CleanCache(_) => "clean_cache",
+                        DataSource::Below => "below",
+                        DataSource::None => "none",
+                    },
+                    invalidations: outcome.invalidate.len() as u32,
+                    writeback: outcome.writeback,
+                });
+            }
+        }
         outcome
     }
 
@@ -509,5 +560,45 @@ mod tests {
     #[should_panic(expected = "outside machine")]
     fn out_of_range_requester_panics() {
         dir().handle(core(16), blk(0), AccessKind::Read);
+    }
+
+    #[test]
+    fn trace_hook_samples_every_nth_action() {
+        use consim_trace::RingBufferSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(RingBufferSink::new(64));
+        let mut d = dir();
+        d.set_trace_sink(Some(sink.clone()), 3);
+        for i in 0..9u64 {
+            d.handle(core((i % 16) as usize), blk(i), AccessKind::Read);
+        }
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 3, "every 3rd of 9 actions");
+        match &events[0] {
+            consim_trace::TraceEvent::Coherence {
+                request,
+                kind,
+                source,
+                ..
+            } => {
+                assert_eq!(*request, 1, "first sample is the first action");
+                assert_eq!(*kind, "read");
+                assert_eq!(*source, "below");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_hook_skips_sinks_that_filter_coherence() {
+        use consim_trace::NullSink;
+        use std::sync::Arc;
+
+        let mut d = dir();
+        d.set_trace_sink(Some(Arc::new(NullSink)), 1);
+        // NullSink wants nothing, so the hook must not be installed.
+        d.handle(core(0), blk(0), AccessKind::Read);
+        assert_eq!(d.stats().requests, 1);
     }
 }

@@ -1,0 +1,270 @@
+//! End-of-run counter audit.
+//!
+//! Every figure in the paper is counter-derived, so a silent drift between
+//! the engine's per-VM accounting and the substrates' own statistics
+//! (directory [`ProtocolStats`], NoC [`NocStats`]) corrupts results without
+//! failing any test. [`audit_outcome`] cross-checks the redundant counter
+//! paths of one [`SimulationOutcome`] and returns
+//! [`SimError::AuditFailed`] on any mismatch.
+//!
+//! The audit is sound because all three counter paths observe exactly the
+//! same transactions: the engine resets substrate statistics at the
+//! warmup/measurement boundary, every measured access updates its VM's
+//! metrics and the directory in the same call, and the LLC prewarm bypasses
+//! both the directory and the NoC.
+//!
+//! Checked invariants:
+//!
+//! 1. Per VM: `l0_hits + l1_hits + l1_misses == refs` (every reference is
+//!    accounted exactly once).
+//! 2. Per VM: the [`MissSource`] buckets sum to `l1_misses` (every
+//!    LLC-level request is classified exactly once).
+//! 3. `protocol.requests == Σ l1_misses` (the directory saw every
+//!    LLC-level request the engine issued).
+//! 4. `protocol.clean_transfers == Σ c2c_l1_clean` and
+//!    `protocol.dirty_transfers == Σ c2c_l1_dirty` (transfer classification
+//!    agrees between directory and engine).
+//! 5. `protocol.from_below == Σ (llc_local + llc_remote_* + memory)` (the
+//!    directory's "below" outcomes are the engine's LLC/memory services).
+//! 6. `protocol.requests - c2c - from_below == Σ upgrades` — the derived
+//!    upgrade identity. (The directory's own `upgrades` counter only counts
+//!    `AccessKind::Upgrade`; silent-upgrade *writes* also produce
+//!    `DataSource::None`, so the engine's upgrade bucket must equal the
+//!    requests that moved no data, not `protocol.upgrades`.)
+//! 7. `noc.injected == noc.packets` (no packet was lost between injection
+//!    and delivery accounting).
+//! 8. Derived ratios and snapshot fractions (miss rates, utilizations,
+//!    replication, occupancy, directory-cache hit rate) are finite and
+//!    within `[0, 1]`.
+//!
+//! [`MissSource`]: crate::metrics::MissSource
+//! [`ProtocolStats`]: consim_coherence::ProtocolStats
+//! [`NocStats`]: consim_noc::NocStats
+
+use crate::engine::SimulationOutcome;
+use consim_types::SimError;
+
+/// One failed cross-check, with both sides of the mismatch.
+macro_rules! audit_eq {
+    ($checks:ident, $left:expr, $right:expr, $what:expr) => {{
+        let (l, r) = ($left, $right);
+        if l != r {
+            return Err(SimError::audit_failed(format!(
+                "{}: {} != {} ({} vs {})",
+                $what,
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+        $checks += 1;
+    }};
+}
+
+/// Checks that `value` is a finite fraction in `[0, 1]`.
+macro_rules! audit_fraction {
+    ($checks:ident, $value:expr, $what:expr) => {{
+        let v = $value;
+        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+            return Err(SimError::audit_failed(format!(
+                "{} must be a finite fraction in [0, 1], got {v}",
+                $what
+            )));
+        }
+        $checks += 1;
+    }};
+}
+
+/// Cross-checks the redundant counter paths of one finished run; returns
+/// the number of invariants verified.
+///
+/// # Errors
+///
+/// Returns [`SimError::AuditFailed`] naming the first violated invariant
+/// and both sides of the mismatch.
+pub fn audit_outcome(outcome: &SimulationOutcome) -> Result<u32, SimError> {
+    let mut checks = 0u32;
+
+    let mut sum_misses = 0u64;
+    let mut sum_clean_l1 = 0u64;
+    let mut sum_dirty_l1 = 0u64;
+    let mut sum_below = 0u64;
+    let mut sum_upgrades = 0u64;
+    for (vm, m) in outcome.vm_metrics.iter().enumerate() {
+        audit_eq!(
+            checks,
+            m.l0_hits + m.l1_hits + m.l1_misses,
+            m.refs,
+            format!("vm{vm} reference accounting")
+        );
+        let classified = m.c2c_l1_clean
+            + m.c2c_l1_dirty
+            + m.llc_local_hits
+            + m.llc_remote_clean
+            + m.llc_remote_dirty
+            + m.memory_fetches
+            + m.upgrades;
+        audit_eq!(
+            checks,
+            classified,
+            m.l1_misses,
+            format!("vm{vm} miss classification")
+        );
+        audit_eq!(
+            checks,
+            m.miss_latency.count(),
+            m.l1_misses,
+            format!("vm{vm} latency sample count")
+        );
+        audit_fraction!(checks, m.llc_miss_rate(), format!("vm{vm} llc_miss_rate"));
+        audit_fraction!(checks, m.c2c_fraction(), format!("vm{vm} c2c_fraction"));
+        sum_misses += m.l1_misses;
+        sum_clean_l1 += m.c2c_l1_clean;
+        sum_dirty_l1 += m.c2c_l1_dirty;
+        sum_below += m.llc_local_hits + m.llc_remote_clean + m.llc_remote_dirty + m.memory_fetches;
+        sum_upgrades += m.upgrades;
+    }
+
+    let p = &outcome.protocol;
+    audit_eq!(checks, p.requests, sum_misses, "directory request total");
+    audit_eq!(
+        checks,
+        p.clean_transfers,
+        sum_clean_l1,
+        "clean-transfer classification"
+    );
+    audit_eq!(
+        checks,
+        p.dirty_transfers,
+        sum_dirty_l1,
+        "dirty-transfer classification"
+    );
+    audit_eq!(checks, p.from_below, sum_below, "from-below classification");
+    audit_eq!(
+        checks,
+        p.requests - p.clean_transfers - p.dirty_transfers - p.from_below,
+        sum_upgrades,
+        "derived upgrade identity"
+    );
+    audit_fraction!(
+        checks,
+        p.cache_to_cache_fraction(),
+        "protocol cache_to_cache_fraction"
+    );
+
+    audit_eq!(
+        checks,
+        outcome.noc.injected,
+        outcome.noc.packets,
+        "noc injected == delivered"
+    );
+
+    audit_fraction!(
+        checks,
+        outcome.replication.replicated_fraction(),
+        "replication fraction"
+    );
+    for (bank, shares) in outcome.occupancy.share.iter().enumerate() {
+        let total: f64 = shares.iter().sum();
+        if !total.is_finite() || total > 1.0 + 1e-9 {
+            return Err(SimError::audit_failed(format!(
+                "bank{bank} occupancy shares sum to {total}"
+            )));
+        }
+        checks += 1;
+    }
+    audit_fraction!(checks, outcome.dircache_hit_rate, "dircache_hit_rate");
+    // Link-busy time includes reservations extending past measurement end
+    // (in-flight transactions), so utilizations may slightly exceed 1; they
+    // must still be finite and non-negative.
+    for (value, what) in [
+        (outcome.noc_mean_utilization, "noc_mean_utilization"),
+        (outcome.noc_peak_utilization, "noc_peak_utilization"),
+    ] {
+        if !value.is_finite() || value < 0.0 {
+            return Err(SimError::audit_failed(format!(
+                "{what} must be finite and non-negative, got {value}"
+            )));
+        }
+        checks += 1;
+    }
+
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Simulation, SimulationConfig};
+    use consim_workload::WorkloadKind;
+
+    fn small_outcome(kind: WorkloadKind, vms: usize) -> SimulationOutcome {
+        let mut b = SimulationConfig::builder();
+        for _ in 0..vms {
+            b.workload(kind.profile());
+        }
+        b.refs_per_vm(2_000)
+            .warmup_refs_per_vm(500)
+            .seed(9)
+            .audit(true);
+        Simulation::new(b.build().unwrap()).unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn audit_passes_every_paper_workload() {
+        for kind in WorkloadKind::PAPER_SET {
+            let outcome = small_outcome(kind, 1);
+            let checks = audit_outcome(&outcome).unwrap();
+            assert!(checks >= 15, "{kind}: only {checks} checks ran");
+        }
+    }
+
+    #[test]
+    fn audit_passes_multi_vm_mixes() {
+        let outcome = small_outcome(WorkloadKind::SpecJbb, 4);
+        audit_outcome(&outcome).unwrap();
+    }
+
+    #[test]
+    fn drifted_directory_counter_fails() {
+        let mut outcome = small_outcome(WorkloadKind::TpcH, 1);
+        outcome.protocol.requests += 1;
+        let err = audit_outcome(&outcome).unwrap_err();
+        assert!(matches!(err, SimError::AuditFailed(_)), "{err}");
+        assert!(err.to_string().contains("directory request total"), "{err}");
+    }
+
+    #[test]
+    fn drifted_vm_counter_fails() {
+        let mut outcome = small_outcome(WorkloadKind::TpcH, 1);
+        outcome.vm_metrics[0].l0_hits += 1;
+        let err = audit_outcome(&outcome).unwrap_err();
+        assert!(err.to_string().contains("reference accounting"), "{err}");
+    }
+
+    #[test]
+    fn misclassified_miss_fails() {
+        let mut outcome = small_outcome(WorkloadKind::TpcH, 1);
+        outcome.vm_metrics[0].memory_fetches += 1;
+        // Both the per-VM classification and the cross-subsystem totals
+        // now disagree; the audit must catch it.
+        assert!(audit_outcome(&outcome).is_err());
+    }
+
+    #[test]
+    fn lost_noc_packet_fails() {
+        let mut outcome = small_outcome(WorkloadKind::TpcH, 1);
+        outcome.noc.injected += 1;
+        let err = audit_outcome(&outcome).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_ratio_fails() {
+        let mut outcome = small_outcome(WorkloadKind::TpcH, 1);
+        outcome.dircache_hit_rate = f64::NAN;
+        let err = audit_outcome(&outcome).unwrap_err();
+        assert!(err.to_string().contains("dircache_hit_rate"), "{err}");
+    }
+}

@@ -41,11 +41,42 @@ use consim_cache::{LineState, ReplacementPolicy, SetAssocCache};
 use consim_coherence::{AccessKind, DataSource, Directory, DirectoryCache, ProtocolStats};
 use consim_noc::{ContentionModel, NocStats, Packet, ReservationCalendar};
 use consim_sched::{place, Placement, SchedulingPolicy};
+use consim_trace::{EventClass, TraceEvent, TraceSink};
 use consim_types::config::MachineConfig;
 use consim_types::{BankId, BlockAddr, CoreId, Cycle, GlobalThreadId, SimError, SimRng, VmId};
 use consim_workload::{MemRef, WorkloadGenerator, WorkloadProfile};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// How a simulation reports trace events.
+///
+/// Construct with [`TraceConfig::new`] and adjust the knobs; attach via
+/// [`SimulationConfigBuilder::trace`].
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Destination for every event the simulation emits.
+    pub sink: Arc<dyn TraceSink>,
+    /// Cycle interval between time-series snapshots ([`TraceEvent::Epoch`],
+    /// [`TraceEvent::EpochMachine`]) during measurement.
+    pub epoch_cycles: u64,
+    /// Record every Nth directory protocol action as a
+    /// [`TraceEvent::Coherence`] event (volume control for the per-miss hot
+    /// path).
+    pub coherence_sample: u64,
+}
+
+impl TraceConfig {
+    /// A configuration with the default epoch interval (100k cycles) and
+    /// coherence sampling rate (1 in 64).
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self {
+            sink,
+            epoch_cycles: 100_000,
+            coherence_sample: 64,
+        }
+    }
+}
 
 /// Everything needed to run one simulation.
 #[derive(Debug, Clone)]
@@ -77,6 +108,13 @@ pub struct SimulationConfig {
     /// binding. Each epoch re-runs the scheduling policy with a fresh
     /// random stream, so migrating threads abandon their warm caches.
     pub reschedule_every: Option<u64>,
+    /// Cross-check the redundant counter paths at end of run and fail with
+    /// [`SimError::AuditFailed`] on drift (see [`crate::audit`]). The audit
+    /// also always runs in debug builds; it never changes results.
+    pub audit: bool,
+    /// Optional observability sink and its volume knobs. `None` (the
+    /// default) emits nothing and costs one branch per check site.
+    pub trace: Option<TraceConfig>,
 }
 
 impl SimulationConfig {
@@ -99,6 +137,8 @@ pub struct SimulationConfigBuilder {
     llc_replacement: ReplacementPolicy,
     prewarm_llc: bool,
     reschedule_every: Option<u64>,
+    audit: bool,
+    trace: Option<TraceConfig>,
 }
 
 impl SimulationConfigBuilder {
@@ -115,6 +155,8 @@ impl SimulationConfigBuilder {
             llc_replacement: ReplacementPolicy::Lru,
             prewarm_llc: false,
             reschedule_every: None,
+            audit: false,
+            trace: None,
         }
     }
 
@@ -189,6 +231,19 @@ impl SimulationConfigBuilder {
         self
     }
 
+    /// Enables the end-of-run counter audit (see
+    /// [`SimulationConfig::audit`]).
+    pub fn audit(&mut self, on: bool) -> &mut Self {
+        self.audit = on;
+        self
+    }
+
+    /// Attaches a trace configuration (see [`SimulationConfig::trace`]).
+    pub fn trace(&mut self, trace: TraceConfig) -> &mut Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Validates and builds.
     ///
     /// # Errors
@@ -231,6 +286,8 @@ impl SimulationConfigBuilder {
             llc_replacement: self.llc_replacement,
             prewarm_llc: self.prewarm_llc,
             reschedule_every: self.reschedule_every,
+            audit: self.audit,
+            trace: self.trace.clone(),
         })
     }
 }
@@ -320,15 +377,21 @@ impl Simulation {
         let llc = (0..machine.llc_banks())
             .map(|_| SetAssocCache::new(bank_geom, config.llc_replacement))
             .collect();
-        let directory = Directory::new(machine.num_cores);
+        let mut directory = Directory::new(machine.num_cores);
         let dircaches = (0..machine.num_cores)
             .map(|_| DirectoryCache::new(machine.directory_cache_entries))
             .collect::<Result<Vec<_>, _>>()?;
-        let noc = ContentionModel::new(
+        let mut noc = ContentionModel::new(
             *layout.mesh(),
             machine.link_latency,
             machine.router_pipeline,
         );
+        if let Some(trace) = &config.trace {
+            directory.set_trace_sink(Some(trace.sink.clone()), trace.coherence_sample);
+            if trace.sink.wants(EventClass::NocStall) {
+                noc.set_trace_sink(Some(trace.sink.clone()));
+            }
+        }
         let memory_controllers =
             vec![ReservationCalendar::default(); machine.num_memory_controllers];
         let generators = config
@@ -386,6 +449,14 @@ impl Simulation {
             self.reset_measurement_state();
         }
         let num_vms = self.config.workloads.len();
+        if let Some(trace) = &self.config.trace {
+            trace.sink.record(&TraceEvent::RunStarted {
+                seed: self.config.seed,
+                vms: num_vms as u32,
+                refs_per_vm: self.config.refs_per_vm,
+                warmup_refs_per_vm: self.config.warmup_refs_per_vm,
+            });
+        }
         let measure_start = clock;
         let end = self.phase(clock, self.config.refs_per_vm, true)?;
 
@@ -407,7 +478,10 @@ impl Simulation {
             }
         }
         let elapsed = end.raw().max(1);
-        Ok(SimulationOutcome {
+        let seed = self.config.seed;
+        let audit = self.config.audit;
+        let trace = self.config.trace.clone();
+        let outcome = SimulationOutcome {
             noc_mean_utilization: self.noc.mean_link_utilization(elapsed),
             noc_peak_utilization: self.noc.peak_link_utilization(elapsed),
             vm_metrics: self.metrics,
@@ -418,7 +492,23 @@ impl Simulation {
             placement: self.placement,
             measured_cycles: end.saturating_since(measure_start),
             dircache_hit_rate,
-        })
+        };
+        if let Some(trace) = &trace {
+            trace.sink.record(&TraceEvent::RunCompleted {
+                seed,
+                measured_cycles: outcome.measured_cycles,
+                l1_misses: outcome.vm_metrics.iter().map(|m| m.l1_misses).sum(),
+                memory_fetches: outcome.vm_metrics.iter().map(|m| m.memory_fetches).sum(),
+            });
+        }
+        // Debug builds always audit; release builds opt in via the config.
+        if audit || cfg!(debug_assertions) {
+            let checks = crate::audit::audit_outcome(&outcome)?;
+            if let Some(trace) = &trace {
+                trace.sink.record(&TraceEvent::AuditPassed { seed, checks });
+            }
+        }
+        Ok(outcome)
     }
 
     /// Runs one phase (warmup or measurement) starting at `start`: every VM
@@ -426,6 +516,31 @@ impl Simulation {
     /// machine stays at capacity (the paper restarts finished workloads).
     /// Returns the cycle at which the last VM finished its quota.
     fn phase(&mut self, start: Cycle, quota: u64, measuring: bool) -> Result<Cycle, SimError> {
+        // Epoch snapshots only apply to the measurement phase. The loop is
+        // monomorphized over whether they are on: even a never-taken branch
+        // whose body calls through a trace-sink vtable pessimizes the hot
+        // loop's code generation by ~20%, so the untraced instantiation
+        // must contain no epoch code at all.
+        let epoch_trace = self
+            .config
+            .trace
+            .clone()
+            .filter(|t| measuring && t.sink.wants(EventClass::Epoch));
+        match epoch_trace {
+            Some(trace) => self.phase_loop::<true>(start, quota, measuring, Some(trace)),
+            None => self.phase_loop::<false>(start, quota, measuring, None),
+        }
+    }
+
+    /// The event loop of one phase. `EPOCHS` compiles the epoch-snapshot
+    /// check in or out; `epoch_trace` must be `Some` iff `EPOCHS`.
+    fn phase_loop<const EPOCHS: bool>(
+        &mut self,
+        start: Cycle,
+        quota: u64,
+        measuring: bool,
+        epoch_trace: Option<TraceConfig>,
+    ) -> Result<Cycle, SimError> {
         let num_vms = self.config.workloads.len();
         let mean_gap = self.config.machine.instructions_per_memory_op;
         let track_footprint = self.config.track_footprint;
@@ -443,7 +558,20 @@ impl Simulation {
             .config
             .reschedule_every
             .map(|interval| start.raw() + interval);
+        let epoch_interval = if EPOCHS {
+            epoch_trace
+                .as_ref()
+                .map(|t| t.epoch_cycles.max(1))
+                .unwrap_or(u64::MAX)
+        } else {
+            u64::MAX
+        };
+        let mut next_epoch = start.raw().saturating_add(epoch_interval);
         while let Some(Reverse((now, core))) = heap.pop() {
+            if EPOCHS && now >= next_epoch {
+                next_epoch =
+                    self.epoch_boundary(&epoch_trace, now, start.raw(), next_epoch, epoch_interval);
+            }
             if let (Some(at), Some(interval)) = (next_resched, self.config.reschedule_every) {
                 if now >= at {
                     self.reschedule();
@@ -485,6 +613,52 @@ impl Simulation {
             heap.push(Reverse((done.raw(), core)));
         }
         Ok(last_completion)
+    }
+
+    /// Handles one epoch boundary: advances `next_epoch` past `now` and
+    /// emits the snapshot events. Kept out of line so the event loop only
+    /// pays one comparison per event — inlining this body into `phase`
+    /// measurably pessimizes the hot loop's code generation.
+    #[cold]
+    #[inline(never)]
+    fn epoch_boundary(
+        &self,
+        trace: &Option<TraceConfig>,
+        now: u64,
+        measure_start: u64,
+        mut next_epoch: u64,
+        interval: u64,
+    ) -> u64 {
+        while now >= next_epoch {
+            next_epoch = next_epoch.saturating_add(interval);
+        }
+        let trace = trace.as_ref().expect("epoch trace enabled");
+        self.emit_epoch_snapshot(trace.sink.as_ref(), now, measure_start);
+        next_epoch
+    }
+
+    /// Emits the per-VM and machine-wide time-series snapshot for one epoch
+    /// boundary.
+    fn emit_epoch_snapshot(&self, sink: &dyn TraceSink, cycle: u64, measure_start: u64) {
+        for (vm, m) in self.metrics.iter().enumerate() {
+            sink.record(&TraceEvent::Epoch {
+                cycle,
+                vm: vm as u32,
+                refs: m.refs,
+                l1_misses: m.l1_misses,
+                llc_miss_rate: m.llc_miss_rate(),
+                mean_miss_latency: m.mean_miss_latency(),
+            });
+        }
+        let elapsed = cycle.saturating_sub(measure_start).max(1);
+        let occupied: usize = self.llc.iter().map(SetAssocCache::occupancy).sum();
+        let capacity: usize = self.llc.iter().map(SetAssocCache::capacity).sum();
+        sink.record(&TraceEvent::EpochMachine {
+            cycle,
+            noc_mean_utilization: self.noc.mean_link_utilization(elapsed),
+            noc_peak_utilization: self.noc.peak_link_utilization(elapsed),
+            llc_occupancy: occupied as f64 / capacity.max(1) as f64,
+        });
     }
 
     /// Clears statistics after warmup; cache/directory *contents* persist.

@@ -56,6 +56,7 @@
 //! # Ok::<(), consim_types::SimError>(())
 //! ```
 
+pub mod audit;
 pub mod engine;
 pub mod machine;
 pub mod metrics;
@@ -64,7 +65,10 @@ pub mod report;
 pub mod runner;
 pub mod stats;
 
-pub use engine::{Simulation, SimulationConfig, SimulationConfigBuilder, SimulationOutcome};
+pub use audit::audit_outcome;
+pub use engine::{
+    Simulation, SimulationConfig, SimulationConfigBuilder, SimulationOutcome, TraceConfig,
+};
 pub use metrics::{OccupancySnapshot, ReplicationSnapshot, VmMetrics};
 pub use mix::{Mix, MixId};
 pub use runner::{ExperimentRunner, RunOptions};

@@ -19,14 +19,16 @@
 //! clamped by the `CONSIM_THREADS` environment variable or
 //! [`ExperimentRunner::with_threads`].
 
-use crate::engine::{Simulation, SimulationConfig, SimulationOutcome};
+use crate::engine::{Simulation, SimulationConfig, SimulationOutcome, TraceConfig};
 use crate::stats::Summary;
 use consim_sched::SchedulingPolicy;
+use consim_trace::{EventClass, TraceEvent, TraceSink};
 use consim_types::config::{MachineConfig, SharingDegree};
 use consim_types::{SimError, VmId};
 use consim_workload::{WorkloadKind, WorkloadProfile};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Run-length and replication options shared by every experiment.
 ///
@@ -83,7 +85,7 @@ impl RunOptions {
     /// so tests can exercise the parsing without mutating process-global
     /// environment state (which races against concurrently running tests).
     pub fn from_env_with(mut self, lookup: impl Fn(&str) -> Option<String>) -> Self {
-        let parse = |key: &str| -> Option<u64> { lookup(key)?.trim().parse().ok() };
+        let parse = |key: &str| -> Option<u64> { parse_u64_or_warn(key, &lookup(key)?) };
         if let Some(v) = parse("CONSIM_REFS") {
             self.refs_per_vm = v;
         }
@@ -98,7 +100,24 @@ impl RunOptions {
 }
 
 fn env_u64(key: &str) -> Option<u64> {
-    std::env::var(key).ok()?.trim().parse().ok()
+    parse_u64_or_warn(key, &std::env::var(key).ok()?)
+}
+
+/// Parses an environment override, warning on stderr instead of silently
+/// falling back when the value is set but malformed (a silently ignored
+/// `CONSIM_THREADS=abc` would run the wrong experiment without any
+/// diagnostic).
+fn parse_u64_or_warn(key: &str, raw: &str) -> Option<u64> {
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!(
+                "consim: warning: ignoring {key}={raw:?}: not an unsigned integer; \
+                 using the default"
+            );
+            None
+        }
+    }
 }
 
 impl Default for RunOptions {
@@ -234,6 +253,8 @@ pub struct ExperimentRunner {
     machine: MachineConfig,
     options: RunOptions,
     threads: Option<usize>,
+    audit: bool,
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl ExperimentRunner {
@@ -243,6 +264,8 @@ impl ExperimentRunner {
             machine: MachineConfig::paper_default(),
             options,
             threads: None,
+            audit: false,
+            sink: None,
         }
     }
 
@@ -252,6 +275,8 @@ impl ExperimentRunner {
             machine,
             options,
             threads: None,
+            audit: false,
+            sink: None,
         }
     }
 
@@ -259,6 +284,30 @@ impl ExperimentRunner {
     /// hardware default. `with_threads(1)` forces serial execution.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Enables the end-of-run counter audit on every simulation this runner
+    /// launches. Auditing never changes results — a drift fails the run
+    /// with [`SimError::AuditFailed`] instead of publishing skewed figures.
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Attaches a trace sink. Every simulation emits its lifecycle, epoch,
+    /// and (if the sink's filter accepts them) coherence/stall events into
+    /// it, and the runner adds per-cell wall-time and batch worker
+    /// utilization events. The sink is shared: worker threads record
+    /// concurrently.
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Replaces the run options, keeping machine, threads, audit, and sink.
+    pub fn with_options(mut self, options: RunOptions) -> Self {
+        self.options = options;
         self
     }
 
@@ -335,10 +384,30 @@ impl ExperimentRunner {
         }
 
         let workers = self.worker_count(jobs.len());
+        // Runner-class telemetry: per-job wall time plus batch utilization.
+        let timing_sink = self
+            .sink
+            .as_ref()
+            .filter(|s| s.wants(EventClass::Runner))
+            .map(Arc::clone);
+        let busy_us = AtomicU64::new(0);
+        let batch_start = Instant::now();
+        let run_job = |ci: usize, cfg: &SimulationConfig| {
+            let job_start = Instant::now();
+            let outcome = Simulation::new(cfg.clone()).and_then(Simulation::run);
+            let wall = job_start.elapsed();
+            busy_us.fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+            if let Some(sink) = &timing_sink {
+                sink.record(&TraceEvent::CellCompleted {
+                    cell: ci as u32,
+                    seed: cfg.seed,
+                    wall_ms: wall.as_secs_f64() * 1e3,
+                });
+            }
+            outcome
+        };
         let outcomes: Vec<Result<SimulationOutcome, SimError>> = if workers <= 1 {
-            jobs.iter()
-                .map(|(_, cfg)| Simulation::new(cfg.clone())?.run())
-                .collect()
+            jobs.iter().map(|(ci, cfg)| run_job(*ci, cfg)).collect()
         } else {
             // Work-stealing by atomic index: cells vary widely in cost, so
             // static chunking would leave workers idle.
@@ -349,9 +418,8 @@ impl ExperimentRunner {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((_, cfg)) = jobs.get(i) else { break };
-                        let outcome = Simulation::new(cfg.clone()).and_then(Simulation::run);
-                        *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                        let Some((ci, cfg)) = jobs.get(i) else { break };
+                        *slots[i].lock().expect("result slot poisoned") = Some(run_job(*ci, cfg));
                     });
                 }
             });
@@ -364,6 +432,22 @@ impl ExperimentRunner {
                 })
                 .collect()
         };
+        if let Some(sink) = &timing_sink {
+            let wall_seconds = batch_start.elapsed().as_secs_f64();
+            let busy_seconds = busy_us.load(Ordering::Relaxed) as f64 / 1e6;
+            let capacity = workers as f64 * wall_seconds;
+            sink.record(&TraceEvent::BatchCompleted {
+                jobs: jobs.len() as u32,
+                workers: workers as u32,
+                wall_seconds,
+                busy_seconds,
+                worker_utilization: if capacity > 0.0 {
+                    (busy_seconds / capacity).min(1.0)
+                } else {
+                    0.0
+                },
+            });
+        }
 
         // Group per cell, preserving submission order.
         let mut per_cell: Vec<Vec<SimulationOutcome>> = cells.iter().map(|_| Vec::new()).collect();
@@ -386,7 +470,11 @@ impl ExperimentRunner {
             .refs_per_vm(self.options.refs_per_vm)
             .warmup_refs_per_vm(self.options.warmup_refs_per_vm)
             .track_footprint(self.options.track_footprint)
-            .prewarm_llc(self.options.prewarm_llc);
+            .prewarm_llc(self.options.prewarm_llc)
+            .audit(self.audit);
+        if let Some(sink) = &self.sink {
+            b.trace(TraceConfig::new(sink.clone()));
+        }
         for p in &cell.profiles {
             b.workload(p.clone());
         }
@@ -599,6 +687,77 @@ mod tests {
     fn quick_and_thorough_presets() {
         assert!(RunOptions::quick().refs_per_vm < RunOptions::thorough().refs_per_vm);
         assert!(RunOptions::thorough().seeds.len() >= 3);
+    }
+
+    #[test]
+    fn malformed_env_values_are_rejected_not_misparsed() {
+        // `CONSIM_THREADS=abc` must fall back (with a stderr warning, which
+        // we can't capture here) rather than being misread as a number.
+        assert_eq!(parse_u64_or_warn("CONSIM_THREADS", "abc"), None);
+        assert_eq!(parse_u64_or_warn("CONSIM_THREADS", "-4"), None);
+        assert_eq!(parse_u64_or_warn("CONSIM_THREADS", "4.5"), None);
+        assert_eq!(parse_u64_or_warn("CONSIM_THREADS", ""), None);
+        // Valid values (with surrounding whitespace) still parse.
+        assert_eq!(parse_u64_or_warn("CONSIM_THREADS", " 8 "), Some(8));
+        assert_eq!(parse_u64_or_warn("CONSIM_THREADS", "1"), Some(1));
+    }
+
+    #[test]
+    fn runner_sink_receives_lifecycle_and_timing_events() {
+        use consim_trace::{RingBufferSink, TraceEvent};
+
+        let sink = std::sync::Arc::new(RingBufferSink::new(4_096));
+        let runs = tiny_runner()
+            .with_threads(2)
+            .with_audit(true)
+            .with_sink(sink.clone())
+            .run_cells(&[
+                cell("a", SchedulingPolicy::Affinity),
+                cell("b", SchedulingPolicy::RoundRobin),
+            ])
+            .unwrap();
+        assert_eq!(runs.len(), 2);
+        let events = sink.snapshot();
+        let count = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count();
+        // 2 cells x 2 seeds = 4 simulations.
+        assert_eq!(count(&|e| matches!(e, TraceEvent::RunStarted { .. })), 4);
+        assert_eq!(count(&|e| matches!(e, TraceEvent::RunCompleted { .. })), 4);
+        assert_eq!(count(&|e| matches!(e, TraceEvent::AuditPassed { .. })), 4);
+        assert_eq!(count(&|e| matches!(e, TraceEvent::CellCompleted { .. })), 4);
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::BatchCompleted { .. })),
+            1
+        );
+        let batch = events
+            .iter()
+            .find(|e| matches!(e, TraceEvent::BatchCompleted { .. }))
+            .unwrap();
+        if let TraceEvent::BatchCompleted {
+            jobs,
+            workers,
+            worker_utilization,
+            ..
+        } = batch
+        {
+            assert_eq!(*jobs, 4);
+            assert_eq!(*workers, 2);
+            assert!((0.0..=1.0).contains(worker_utilization));
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        use consim_trace::RingBufferSink;
+
+        let cells = vec![cell("t", SchedulingPolicy::Affinity)];
+        let plain = tiny_runner().with_threads(1).run_cells(&cells).unwrap();
+        let traced = tiny_runner()
+            .with_threads(1)
+            .with_audit(true)
+            .with_sink(std::sync::Arc::new(RingBufferSink::new(1_024)))
+            .run_cells(&cells)
+            .unwrap();
+        assert_eq!(fingerprint(&plain[0]), fingerprint(&traced[0]));
     }
 
     fn cell(name: &str, policy: SchedulingPolicy) -> ExperimentCell {

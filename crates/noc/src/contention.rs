@@ -22,7 +22,9 @@
 use crate::packet::Packet;
 use crate::stats::NocStats;
 use crate::topology::Mesh;
+use consim_trace::{EventClass, TraceEvent, TraceSink};
 use consim_types::Cycle;
+use std::sync::Arc;
 
 /// Busy intervals older than this (relative to the latest departure seen)
 /// are pruned; the engine's event skew is bounded by one transaction
@@ -115,6 +117,8 @@ pub struct ContentionModel {
     /// Latest departure time seen (drives interval pruning).
     latest_depart: u64,
     stats: NocStats,
+    /// Optional trace sink for per-packet contention-stall events.
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl ContentionModel {
@@ -128,7 +132,15 @@ impl ContentionModel {
             link_busy: vec![0; mesh.num_link_slots()],
             latest_depart: 0,
             stats: NocStats::default(),
+            trace: None,
         }
+    }
+
+    /// Installs (or clears) a trace sink receiving
+    /// [`TraceEvent::NocStall`] events for packets that queue behind
+    /// earlier link reservations.
+    pub fn set_trace_sink(&mut self, sink: Option<Arc<dyn TraceSink>>) {
+        self.trace = sink;
     }
 
     /// The underlying mesh.
@@ -142,6 +154,7 @@ impl ContentionModel {
     /// through the same links observe queueing delay.
     pub fn send(&mut self, packet: &Packet, depart: Cycle) -> Cycle {
         let flits = packet.flits() as u64;
+        self.stats.injected += 1;
         self.latest_depart = self.latest_depart.max(depart.raw());
         let prune_before = self.latest_depart.saturating_sub(PRUNE_HORIZON);
         if packet.src == packet.dst {
@@ -152,6 +165,7 @@ impl ContentionModel {
         }
         let mut head = depart;
         let mut hops = 0usize;
+        let mut stall_cycles = 0u64;
         let mut at = packet.src;
         while at != packet.dst {
             let dir = self.mesh.route_xy(at, packet.dst);
@@ -160,10 +174,23 @@ impl ContentionModel {
             let ready = (head + self.router_pipeline).raw();
             let busy = flits * self.link_latency;
             let start = self.links[link].reserve(ready, busy, prune_before);
+            stall_cycles += start - ready;
             self.link_busy[link] += busy;
             head = Cycle::new(start + self.link_latency);
             at = self.mesh.neighbor(at, dir).expect("XY route stays in mesh");
             hops += 1;
+        }
+        if stall_cycles > 0 {
+            if let Some(sink) = &self.trace {
+                if sink.wants(EventClass::NocStall) {
+                    sink.record(&TraceEvent::NocStall {
+                        at: depart.raw(),
+                        src: packet.src.index() as u32,
+                        dst: packet.dst.index() as u32,
+                        stall_cycles,
+                    });
+                }
+            }
         }
         // Tail flit trails the head by (flits-1) link times.
         let arrival = head + (flits - 1) * self.link_latency;
@@ -389,8 +416,39 @@ mod tests {
         );
         noc.send(&Packet::data(NodeId::new(0), NodeId::new(1)), Cycle::ZERO);
         assert_eq!(noc.stats().packets, 2);
+        assert_eq!(noc.stats().injected, 2);
         assert_eq!(noc.stats().total_hops, 3);
         assert_eq!(noc.stats().flits, 6);
         assert!(noc.stats().mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn contended_sends_emit_stall_events() {
+        use consim_trace::RingBufferSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(RingBufferSink::new(16));
+        let mut noc = model();
+        noc.set_trace_sink(Some(sink.clone()));
+        let p = Packet::data(NodeId::new(0), NodeId::new(1));
+        noc.send(&p, Cycle::ZERO);
+        assert!(sink.is_empty(), "uncontended send must not emit a stall");
+        noc.send(&p, Cycle::ZERO);
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            consim_trace::TraceEvent::NocStall {
+                src,
+                dst,
+                stall_cycles,
+                ..
+            } => {
+                assert_eq!((*src, *dst), (0, 1));
+                // Second packet's head was ready at 3 but the link is busy
+                // until 8.
+                assert_eq!(*stall_cycles, 5);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 }

@@ -191,6 +191,7 @@ impl Network {
     pub fn inject(&mut self, packet: Packet) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.stats.injected += 1;
         self.inject_queues[packet.src.index()].push_back((packet, seq, self.cycle));
     }
 

@@ -7,6 +7,10 @@ use std::fmt;
 /// Counters shared by both network models.
 #[derive(Debug, Clone, Default)]
 pub struct NocStats {
+    /// Packets injected (accepted for transport). The counter audit checks
+    /// `injected == packets` at end of run: a gap means the model lost a
+    /// packet between acceptance and delivery accounting.
+    pub injected: u64,
     /// Packets delivered.
     pub packets: u64,
     /// Flits delivered.
@@ -74,6 +78,7 @@ mod tests {
         let mut s = NocStats::default();
         s.record(&Packet::control(NodeId::new(0), NodeId::new(1)), 1, 4);
         s.record(&Packet::data(NodeId::new(0), NodeId::new(2)), 2, 12);
+        assert_eq!(s.injected, 0, "record() only counts deliveries");
         assert_eq!(s.packets, 2);
         assert_eq!(s.control_packets, 1);
         assert_eq!(s.data_packets, 1);

@@ -1,0 +1,515 @@
+//! The trace event vocabulary and its JSONL serialization.
+
+use std::fmt;
+
+/// Coarse event category, used by sinks to filter high-volume classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    /// Run start/end and audit results — a handful per simulation.
+    Lifecycle,
+    /// Per-epoch time-series snapshots — tens to hundreds per simulation.
+    Epoch,
+    /// Per-coherence-action events (sampled) — potentially millions.
+    Coherence,
+    /// Per-packet contention stalls — potentially millions.
+    NocStall,
+    /// Experiment-runner cell/batch timings — one per (cell, seed).
+    Runner,
+}
+
+impl EventClass {
+    /// Every class, in declaration order.
+    pub const ALL: [EventClass; 5] = [
+        EventClass::Lifecycle,
+        EventClass::Epoch,
+        EventClass::Coherence,
+        EventClass::NocStall,
+        EventClass::Runner,
+    ];
+
+    const fn bit(self) -> u8 {
+        match self {
+            EventClass::Lifecycle => 1 << 0,
+            EventClass::Epoch => 1 << 1,
+            EventClass::Coherence => 1 << 2,
+            EventClass::NocStall => 1 << 3,
+            EventClass::Runner => 1 << 4,
+        }
+    }
+}
+
+/// A set of [`EventClass`]es, used to configure sink filters.
+///
+/// # Examples
+///
+/// ```
+/// use consim_trace::{ClassMask, EventClass};
+///
+/// let low_volume = ClassMask::LOW_VOLUME;
+/// assert!(low_volume.contains(EventClass::Lifecycle));
+/// assert!(!low_volume.contains(EventClass::Coherence));
+/// let all = low_volume.with(EventClass::Coherence).with(EventClass::NocStall);
+/// assert_eq!(all, ClassMask::ALL);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassMask(u8);
+
+impl ClassMask {
+    /// No classes.
+    pub const NONE: ClassMask = ClassMask(0);
+    /// Every class, including the per-action firehose.
+    pub const ALL: ClassMask = ClassMask(0b1_1111);
+    /// The bounded-volume classes: lifecycle, epoch series, runner timings.
+    /// This is the default for file sinks; the per-action classes
+    /// ([`EventClass::Coherence`], [`EventClass::NocStall`]) are opt-in.
+    pub const LOW_VOLUME: ClassMask =
+        ClassMask(EventClass::Lifecycle.bit() | EventClass::Epoch.bit() | EventClass::Runner.bit());
+
+    /// This mask plus `class`.
+    #[must_use]
+    pub const fn with(self, class: EventClass) -> ClassMask {
+        ClassMask(self.0 | class.bit())
+    }
+
+    /// This mask minus `class`.
+    #[must_use]
+    pub const fn without(self, class: EventClass) -> ClassMask {
+        ClassMask(self.0 & !class.bit())
+    }
+
+    /// Whether `class` is in the mask.
+    pub const fn contains(self, class: EventClass) -> bool {
+        self.0 & class.bit() != 0
+    }
+}
+
+impl Default for ClassMask {
+    fn default() -> Self {
+        ClassMask::LOW_VOLUME
+    }
+}
+
+/// One structured observability event.
+///
+/// Every variant serializes to a single JSON object with an `"event"` tag
+/// (see [`TraceEvent::to_json`]), so a trace file is plain JSONL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Measurement began (after warmup) for one simulation.
+    RunStarted {
+        /// Root seed of the simulation.
+        seed: u64,
+        /// Number of VMs in the mix.
+        vms: u32,
+        /// Measured reference quota per VM.
+        refs_per_vm: u64,
+        /// Warmup reference quota per VM.
+        warmup_refs_per_vm: u64,
+    },
+    /// Measurement finished for one simulation.
+    RunCompleted {
+        /// Root seed of the simulation.
+        seed: u64,
+        /// Length of the measurement interval in cycles.
+        measured_cycles: u64,
+        /// Total LLC-level requests (L1 misses) across VMs.
+        l1_misses: u64,
+        /// Total off-chip fetches across VMs.
+        memory_fetches: u64,
+    },
+    /// The end-of-run counter audit passed.
+    AuditPassed {
+        /// Root seed of the simulation.
+        seed: u64,
+        /// Number of invariants checked.
+        checks: u32,
+    },
+    /// Per-VM snapshot of the cumulative measurement counters at an epoch
+    /// boundary.
+    Epoch {
+        /// Simulation cycle of the snapshot.
+        cycle: u64,
+        /// VM index.
+        vm: u32,
+        /// References issued so far.
+        refs: u64,
+        /// LLC-level requests so far.
+        l1_misses: u64,
+        /// Off-chip fraction of LLC-level requests so far.
+        llc_miss_rate: f64,
+        /// Mean L1-miss latency (cycles) so far.
+        mean_miss_latency: f64,
+    },
+    /// Machine-wide snapshot at an epoch boundary.
+    EpochMachine {
+        /// Simulation cycle of the snapshot.
+        cycle: u64,
+        /// Mean utilization across mesh links since measurement start.
+        noc_mean_utilization: f64,
+        /// Utilization of the busiest mesh link.
+        noc_peak_utilization: f64,
+        /// Fraction of LLC capacity holding valid lines.
+        llc_occupancy: f64,
+    },
+    /// One (sampled) directory protocol action.
+    Coherence {
+        /// Ordinal of the request at the directory (1-based).
+        request: u64,
+        /// Requesting core.
+        requester: u32,
+        /// Block address.
+        block: u64,
+        /// Access kind: `"read"`, `"write"`, or `"upgrade"`.
+        kind: &'static str,
+        /// Data source: `"dirty_cache"`, `"clean_cache"`, `"below"`, or
+        /// `"none"`.
+        source: &'static str,
+        /// Caches invalidated by this action.
+        invalidations: u32,
+        /// Whether a dirty copy was written back toward the home.
+        writeback: bool,
+    },
+    /// A packet queued behind earlier link reservations.
+    NocStall {
+        /// Departure cycle of the stalled packet.
+        at: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Cycles spent waiting for link slots, summed over the path.
+        stall_cycles: u64,
+    },
+    /// One (cell, seed) simulation job finished in the experiment runner.
+    CellCompleted {
+        /// Cell index within the submitted batch.
+        cell: u32,
+        /// Seed of the finished job.
+        seed: u64,
+        /// Wall-clock time of the job in milliseconds.
+        wall_ms: f64,
+    },
+    /// A whole `run_cells` batch finished.
+    BatchCompleted {
+        /// Jobs in the batch (cells x seeds).
+        jobs: u32,
+        /// Worker threads used.
+        workers: u32,
+        /// Wall-clock time of the batch in seconds.
+        wall_seconds: f64,
+        /// Summed per-job wall time in seconds.
+        busy_seconds: f64,
+        /// `busy / (workers * wall)`, in `[0, 1]` — worker-pool utilization.
+        worker_utilization: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's class, for sink filtering.
+    pub fn class(&self) -> EventClass {
+        match self {
+            TraceEvent::RunStarted { .. }
+            | TraceEvent::RunCompleted { .. }
+            | TraceEvent::AuditPassed { .. } => EventClass::Lifecycle,
+            TraceEvent::Epoch { .. } | TraceEvent::EpochMachine { .. } => EventClass::Epoch,
+            TraceEvent::Coherence { .. } => EventClass::Coherence,
+            TraceEvent::NocStall { .. } => EventClass::NocStall,
+            TraceEvent::CellCompleted { .. } | TraceEvent::BatchCompleted { .. } => {
+                EventClass::Runner
+            }
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    ///
+    /// Non-finite floats serialize as `null` so the output is always valid
+    /// JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.write_json(&mut out)
+            .expect("writing to a String cannot fail");
+        out
+    }
+
+    fn write_json(&self, f: &mut impl fmt::Write) -> fmt::Result {
+        match self {
+            TraceEvent::RunStarted {
+                seed,
+                vms,
+                refs_per_vm,
+                warmup_refs_per_vm,
+            } => write!(
+                f,
+                "{{\"event\":\"run_started\",\"seed\":{seed},\"vms\":{vms},\
+                 \"refs_per_vm\":{refs_per_vm},\"warmup_refs_per_vm\":{warmup_refs_per_vm}}}"
+            ),
+            TraceEvent::RunCompleted {
+                seed,
+                measured_cycles,
+                l1_misses,
+                memory_fetches,
+            } => write!(
+                f,
+                "{{\"event\":\"run_completed\",\"seed\":{seed},\
+                 \"measured_cycles\":{measured_cycles},\"l1_misses\":{l1_misses},\
+                 \"memory_fetches\":{memory_fetches}}}"
+            ),
+            TraceEvent::AuditPassed { seed, checks } => write!(
+                f,
+                "{{\"event\":\"audit_passed\",\"seed\":{seed},\"checks\":{checks}}}"
+            ),
+            TraceEvent::Epoch {
+                cycle,
+                vm,
+                refs,
+                l1_misses,
+                llc_miss_rate,
+                mean_miss_latency,
+            } => write!(
+                f,
+                "{{\"event\":\"epoch\",\"cycle\":{cycle},\"vm\":{vm},\"refs\":{refs},\
+                 \"l1_misses\":{l1_misses},\"llc_miss_rate\":{},\"mean_miss_latency\":{}}}",
+                json_f64(*llc_miss_rate),
+                json_f64(*mean_miss_latency),
+            ),
+            TraceEvent::EpochMachine {
+                cycle,
+                noc_mean_utilization,
+                noc_peak_utilization,
+                llc_occupancy,
+            } => write!(
+                f,
+                "{{\"event\":\"epoch_machine\",\"cycle\":{cycle},\
+                 \"noc_mean_utilization\":{},\"noc_peak_utilization\":{},\
+                 \"llc_occupancy\":{}}}",
+                json_f64(*noc_mean_utilization),
+                json_f64(*noc_peak_utilization),
+                json_f64(*llc_occupancy),
+            ),
+            TraceEvent::Coherence {
+                request,
+                requester,
+                block,
+                kind,
+                source,
+                invalidations,
+                writeback,
+            } => write!(
+                f,
+                "{{\"event\":\"coherence\",\"request\":{request},\"requester\":{requester},\
+                 \"block\":{block},\"kind\":\"{kind}\",\"source\":\"{source}\",\
+                 \"invalidations\":{invalidations},\"writeback\":{writeback}}}"
+            ),
+            TraceEvent::NocStall {
+                at,
+                src,
+                dst,
+                stall_cycles,
+            } => write!(
+                f,
+                "{{\"event\":\"noc_stall\",\"at\":{at},\"src\":{src},\"dst\":{dst},\
+                 \"stall_cycles\":{stall_cycles}}}"
+            ),
+            TraceEvent::CellCompleted {
+                cell,
+                seed,
+                wall_ms,
+            } => write!(
+                f,
+                "{{\"event\":\"cell_completed\",\"cell\":{cell},\"seed\":{seed},\
+                 \"wall_ms\":{}}}",
+                json_f64(*wall_ms)
+            ),
+            TraceEvent::BatchCompleted {
+                jobs,
+                workers,
+                wall_seconds,
+                busy_seconds,
+                worker_utilization,
+            } => write!(
+                f,
+                "{{\"event\":\"batch_completed\",\"jobs\":{jobs},\"workers\":{workers},\
+                 \"wall_seconds\":{},\"busy_seconds\":{},\"worker_utilization\":{}}}",
+                json_f64(*wall_seconds),
+                json_f64(*busy_seconds),
+                json_f64(*worker_utilization),
+            ),
+        }
+    }
+}
+
+/// Formats a float as a JSON value (`null` if non-finite).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_masks_compose() {
+        assert!(ClassMask::ALL.contains(EventClass::Coherence));
+        assert!(!ClassMask::NONE.contains(EventClass::Lifecycle));
+        let m = ClassMask::NONE.with(EventClass::Epoch);
+        assert!(m.contains(EventClass::Epoch));
+        assert!(!m.without(EventClass::Epoch).contains(EventClass::Epoch));
+        for class in EventClass::ALL {
+            assert!(ClassMask::ALL.contains(class));
+        }
+    }
+
+    #[test]
+    fn default_mask_excludes_firehose_classes() {
+        let m = ClassMask::default();
+        assert!(m.contains(EventClass::Lifecycle));
+        assert!(m.contains(EventClass::Epoch));
+        assert!(m.contains(EventClass::Runner));
+        assert!(!m.contains(EventClass::Coherence));
+        assert!(!m.contains(EventClass::NocStall));
+    }
+
+    #[test]
+    fn every_variant_serializes_with_its_tag() {
+        let cases: Vec<(TraceEvent, &str)> = vec![
+            (
+                TraceEvent::RunStarted {
+                    seed: 1,
+                    vms: 4,
+                    refs_per_vm: 10,
+                    warmup_refs_per_vm: 5,
+                },
+                "run_started",
+            ),
+            (
+                TraceEvent::RunCompleted {
+                    seed: 1,
+                    measured_cycles: 99,
+                    l1_misses: 7,
+                    memory_fetches: 3,
+                },
+                "run_completed",
+            ),
+            (
+                TraceEvent::AuditPassed { seed: 1, checks: 9 },
+                "audit_passed",
+            ),
+            (
+                TraceEvent::Epoch {
+                    cycle: 100,
+                    vm: 0,
+                    refs: 50,
+                    l1_misses: 5,
+                    llc_miss_rate: 0.25,
+                    mean_miss_latency: 40.5,
+                },
+                "epoch",
+            ),
+            (
+                TraceEvent::EpochMachine {
+                    cycle: 100,
+                    noc_mean_utilization: 0.1,
+                    noc_peak_utilization: 0.4,
+                    llc_occupancy: 0.9,
+                },
+                "epoch_machine",
+            ),
+            (
+                TraceEvent::Coherence {
+                    request: 1,
+                    requester: 2,
+                    block: 3,
+                    kind: "read",
+                    source: "below",
+                    invalidations: 0,
+                    writeback: false,
+                },
+                "coherence",
+            ),
+            (
+                TraceEvent::NocStall {
+                    at: 10,
+                    src: 0,
+                    dst: 5,
+                    stall_cycles: 3,
+                },
+                "noc_stall",
+            ),
+            (
+                TraceEvent::CellCompleted {
+                    cell: 0,
+                    seed: 2,
+                    wall_ms: 12.5,
+                },
+                "cell_completed",
+            ),
+            (
+                TraceEvent::BatchCompleted {
+                    jobs: 8,
+                    workers: 4,
+                    wall_seconds: 1.0,
+                    busy_seconds: 3.5,
+                    worker_utilization: 0.875,
+                },
+                "batch_completed",
+            ),
+        ];
+        for (event, tag) in cases {
+            let json = event.to_json();
+            assert!(
+                json.starts_with(&format!("{{\"event\":\"{tag}\"")),
+                "{json}"
+            );
+            assert!(json.ends_with('}'), "{json}");
+            // Balanced braces and no raw NaN tokens.
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert!(!json.contains("NaN"));
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = TraceEvent::Epoch {
+            cycle: 1,
+            vm: 0,
+            refs: 0,
+            l1_misses: 0,
+            llc_miss_rate: f64::NAN,
+            mean_miss_latency: f64::INFINITY,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"llc_miss_rate\":null"));
+        assert!(json.contains("\"mean_miss_latency\":null"));
+    }
+
+    #[test]
+    fn classes_match_variants() {
+        assert_eq!(
+            TraceEvent::AuditPassed { seed: 0, checks: 0 }.class(),
+            EventClass::Lifecycle
+        );
+        assert_eq!(
+            TraceEvent::NocStall {
+                at: 0,
+                src: 0,
+                dst: 1,
+                stall_cycles: 1
+            }
+            .class(),
+            EventClass::NocStall
+        );
+        assert_eq!(
+            TraceEvent::CellCompleted {
+                cell: 0,
+                seed: 0,
+                wall_ms: 0.0
+            }
+            .class(),
+            EventClass::Runner
+        );
+    }
+}

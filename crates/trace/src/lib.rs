@@ -1,0 +1,46 @@
+//! Observability for the `consim` workspace.
+//!
+//! The paper's results are entirely counter-derived (miss classification,
+//! latency composition, replication, occupancy), so a silent counter drift
+//! corrupts every figure without failing a test. This crate provides the
+//! instrumentation backbone the rest of the workspace threads through its
+//! hot paths:
+//!
+//! * [`TraceEvent`] — the structured event vocabulary (run lifecycle,
+//!   per-epoch time series, coherence actions, NoC stalls, experiment-runner
+//!   cell timings), each serializable to one JSON line;
+//! * [`TraceSink`] — the recording trait. Producers hold an
+//!   `Option<Arc<dyn TraceSink>>`; the disabled path is a single branch, so
+//!   tracing costs nothing when off;
+//! * [`RingBufferSink`] — a bounded in-memory recorder for tests and
+//!   interactive debugging;
+//! * [`JsonlSink`] — an append-only JSONL file writer with a per-class
+//!   filter (high-volume classes are opt-in);
+//! * [`Manifest`] — the `manifest.json` written next to a trace, recording
+//!   everything needed to reproduce the run (config digest, seeds, thread
+//!   count, crate version, wall time).
+//!
+//! # Examples
+//!
+//! ```
+//! use consim_trace::{RingBufferSink, TraceEvent, TraceSink};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(RingBufferSink::new(128));
+//! sink.record(&TraceEvent::RunStarted {
+//!     seed: 1,
+//!     vms: 4,
+//!     refs_per_vm: 1_000,
+//!     warmup_refs_per_vm: 500,
+//! });
+//! assert_eq!(sink.len(), 1);
+//! assert!(sink.snapshot()[0].to_json().contains("\"run_started\""));
+//! ```
+
+pub mod event;
+pub mod manifest;
+pub mod sink;
+
+pub use event::{ClassMask, EventClass, TraceEvent};
+pub use manifest::{digest_of, Manifest};
+pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};

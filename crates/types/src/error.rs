@@ -21,6 +21,10 @@ pub enum SimError {
     Placement(String),
     /// A simulation invariant was violated (indicates a simulator bug).
     Invariant(String),
+    /// The end-of-run counter audit found inconsistent statistics
+    /// (indicates counter drift between subsystems — the figures derived
+    /// from this run cannot be trusted).
+    AuditFailed(String),
 }
 
 impl SimError {
@@ -38,6 +42,11 @@ impl SimError {
     pub fn invariant(msg: impl Into<String>) -> Self {
         SimError::Invariant(msg.into())
     }
+
+    /// Convenience constructor for [`SimError::AuditFailed`].
+    pub fn audit_failed(msg: impl Into<String>) -> Self {
+        SimError::AuditFailed(msg.into())
+    }
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +55,7 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SimError::Placement(msg) => write!(f, "placement failed: {msg}"),
             SimError::Invariant(msg) => write!(f, "simulation invariant violated: {msg}"),
+            SimError::AuditFailed(msg) => write!(f, "counter audit failed: {msg}"),
         }
     }
 }
@@ -66,6 +76,10 @@ mod tests {
         assert_eq!(
             SimError::invariant("z").to_string(),
             "simulation invariant violated: z"
+        );
+        assert_eq!(
+            SimError::audit_failed("w").to_string(),
+            "counter audit failed: w"
         );
     }
 

@@ -42,11 +42,12 @@
 //! See `examples/` for richer scenarios and `crates/bench` for the
 //! figure-by-figure reproduction harness.
 
-pub use consim::{engine, machine, metrics, mix, report, runner, stats};
+pub use consim::{audit, engine, machine, metrics, mix, report, runner, stats};
 pub use consim_cache as cache;
 pub use consim_coherence as coherence;
 pub use consim_noc as noc;
 pub use consim_sched as sched;
+pub use consim_trace as trace;
 pub use consim_types as types;
 pub use consim_workload as workload;
 

@@ -1,0 +1,218 @@
+//! End-to-end observability: the JSONL trace a runner emits is parseable,
+//! the manifest round-trips, the counter audit passes on real runs, and
+//! the ratio helpers stay NaN-free through the report display paths even
+//! on degenerate inputs.
+
+use server_consolidation_sim::engine::TraceConfig;
+use server_consolidation_sim::prelude::*;
+use server_consolidation_sim::trace::{
+    digest_of, ClassMask, JsonlSink, Manifest, RingBufferSink, TraceEvent, TraceSink,
+};
+use std::sync::Arc;
+
+fn tiny_options() -> RunOptions {
+    RunOptions {
+        refs_per_vm: 2_000,
+        warmup_refs_per_vm: 500,
+        seeds: vec![1, 2],
+        track_footprint: false,
+        prewarm_llc: false,
+    }
+}
+
+/// Minimal structural JSON check (the workspace is dependency-free, so no
+/// serde): braces and brackets balance outside strings, strings terminate,
+/// and the nesting depth never goes negative.
+fn assert_parseable_json(line: &str) {
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced nesting in {line:?}");
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_string, "unterminated string in {line:?}");
+    assert_eq!(depth, 0, "unbalanced braces in {line:?}");
+}
+
+#[test]
+fn traced_batch_emits_parseable_jsonl_and_manifest() {
+    let dir = std::env::temp_dir().join("consim-observability-jsonl");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let sink = Arc::new(JsonlSink::with_mask(&dir.join("events.jsonl"), ClassMask::ALL).unwrap());
+    let options = tiny_options();
+    let runner = ExperimentRunner::new(options.clone())
+        .with_audit(true)
+        .with_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+    runner
+        .run(
+            &[WorkloadKind::SpecJbb, WorkloadKind::TpcH],
+            SchedulingPolicy::Affinity,
+            SharingDegree::SharedBy(4),
+        )
+        .unwrap();
+    sink.flush().unwrap();
+    assert_eq!(sink.errors(), 0);
+
+    let text = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty());
+    for line in &lines {
+        assert!(line.starts_with("{\"event\":\""), "bad line {line:?}");
+        assert_parseable_json(line);
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line:?}");
+    }
+    // One run per seed, each audited (audit explicitly on), plus runner
+    // timing events for the cell and the batch.
+    for (tag, expected) in [
+        ("run_started", 2),
+        ("run_completed", 2),
+        ("audit_passed", 2),
+        ("cell_completed", 2),
+        ("batch_completed", 1),
+    ] {
+        let needle = format!("{{\"event\":\"{tag}\"");
+        let n = lines.iter().filter(|l| l.starts_with(&needle)).count();
+        assert_eq!(n, expected, "{tag}: {n} lines");
+    }
+
+    let manifest = Manifest {
+        bin: "run_all",
+        crate_version: env!("CARGO_PKG_VERSION"),
+        config_digest: digest_of(&options),
+        seeds: options.seeds.clone(),
+        threads: 1,
+        audit: true,
+        wall_seconds: 0.5,
+        trace_lines: sink.lines(),
+        trace_errors: sink.errors(),
+    };
+    let path = manifest.write_to(&dir).unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert_parseable_json(&json.replace('\n', " "));
+    assert!(json.contains(&format!("\"config_digest\": \"{}\"", digest_of(&options))));
+    assert!(json.contains("\"seeds\": [1, 2]"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn epoch_snapshots_form_a_sane_time_series() {
+    let sink = Arc::new(RingBufferSink::new(4_096));
+    let mut b = SimulationConfig::builder();
+    b.workload(WorkloadKind::TpcW.profile())
+        .workload(WorkloadKind::SpecWeb.profile())
+        .refs_per_vm(4_000)
+        .warmup_refs_per_vm(500)
+        .seed(3)
+        .trace(TraceConfig {
+            sink: Arc::clone(&sink) as Arc<dyn TraceSink>,
+            epoch_cycles: 5_000,
+            coherence_sample: 16,
+        });
+    Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+
+    let events = sink.snapshot();
+    let mut last_cycle = 0;
+    let mut epochs = 0;
+    for event in &events {
+        if let TraceEvent::Epoch {
+            cycle,
+            vm,
+            refs,
+            l1_misses,
+            llc_miss_rate,
+            ..
+        } = event
+        {
+            epochs += 1;
+            assert!(*cycle >= last_cycle, "epochs must be time-ordered");
+            last_cycle = *cycle;
+            assert!(*vm < 2);
+            assert!(*l1_misses <= *refs);
+            assert!((0.0..=1.0).contains(llc_miss_rate));
+        }
+    }
+    assert!(epochs >= 2, "only {epochs} epoch snapshots recorded");
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::EpochMachine { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Coherence { .. })));
+}
+
+#[test]
+fn zero_refs_is_a_config_error_not_a_nan_factory() {
+    let mut b = SimulationConfig::builder();
+    b.workload(WorkloadKind::TpcH.profile()).refs_per_vm(0);
+    let err = b.build().unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+}
+
+#[test]
+fn single_vm_run_is_nan_free_through_report_display() {
+    let runner = ExperimentRunner::new(RunOptions {
+        refs_per_vm: 1_000,
+        warmup_refs_per_vm: 0,
+        seeds: vec![1],
+        track_footprint: false,
+        prewarm_llc: false,
+    });
+    let run = runner
+        .isolated(
+            WorkloadKind::SpecWeb,
+            SchedulingPolicy::Affinity,
+            SharingDegree::FullyShared,
+        )
+        .unwrap();
+    let vm = &run.vms[0];
+    let mut table = TextTable::new("single-VM edge case", &["value"]);
+    for (label, summary) in [
+        ("runtime", &vm.runtime_cycles),
+        ("miss rate", &vm.llc_miss_rate),
+        ("miss latency", &vm.miss_latency),
+        ("c2c", &vm.c2c_fraction),
+        ("c2c of misses", &vm.c2c_of_hierarchy_misses),
+        ("c2c dirty", &vm.c2c_dirty_fraction),
+        ("mpkr", &vm.mpkr),
+        ("replication", &run.replication),
+        ("noc latency", &run.noc_latency),
+    ] {
+        assert!(summary.mean.is_finite(), "{label} mean is not finite");
+        table.row(label, &[summary.mean]);
+    }
+    let rendered = table.to_string();
+    assert!(!rendered.contains("NaN"), "report shows NaN:\n{rendered}");
+
+    // A lone VM still sees c2c transfers between its own threads' L1s,
+    // but the fraction must be a proper ratio, never 0/0.
+    assert!((0.0..=1.0).contains(&vm.c2c_fraction.mean));
+}
+
+#[test]
+fn empty_stats_ratio_helpers_are_zero_not_nan() {
+    let noc = server_consolidation_sim::noc::NocStats::default();
+    assert_eq!(noc.mean_hops(), 0.0);
+    let protocol = server_consolidation_sim::coherence::ProtocolStats::default();
+    assert_eq!(protocol.cache_to_cache_fraction(), 0.0);
+}
