@@ -74,6 +74,41 @@ impl BenchFlags {
         }
     }
 
+    /// Extracts a `--name N` / `--name=N` integer option from
+    /// [`BenchFlags::rest`], removing the consumed tokens. Returns
+    /// `Ok(None)` when the flag is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the flag is present without a value or
+    /// with a non-numeric one.
+    pub fn take_u64(&mut self, name: &str) -> Result<Option<u64>, String> {
+        let eq_prefix = format!("{name}=");
+        let Some(pos) = self
+            .rest
+            .iter()
+            .position(|a| a == name || a.starts_with(&eq_prefix))
+        else {
+            return Ok(None);
+        };
+        let raw = if let Some(v) = self.rest[pos].strip_prefix(&eq_prefix) {
+            let v = v.to_string();
+            self.rest.remove(pos);
+            v
+        } else {
+            if pos + 1 >= self.rest.len() {
+                return Err(format!("{name} requires an integer argument"));
+            }
+            let v = self.rest.remove(pos + 1);
+            self.rest.remove(pos);
+            v
+        };
+        raw.trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{name} requires an integer argument, got {raw:?}"))
+    }
+
     /// Opens the trace session when `--trace` was given.
     ///
     /// # Errors
@@ -200,6 +235,23 @@ mod tests {
     fn unknown_args_pass_through_in_order() {
         let flags = parse(&["tpch", "--audit", "extra"]).unwrap();
         assert_eq!(flags.rest, vec!["tpch".to_string(), "extra".to_string()]);
+    }
+
+    #[test]
+    fn take_u64_consumes_both_forms() {
+        let mut flags = parse(&["--cases", "500", "--seed=42", "extra"]).unwrap();
+        assert_eq!(flags.take_u64("--cases"), Ok(Some(500)));
+        assert_eq!(flags.take_u64("--seed"), Ok(Some(42)));
+        assert_eq!(flags.take_u64("--replay"), Ok(None));
+        assert_eq!(flags.rest, vec!["extra".to_string()]);
+    }
+
+    #[test]
+    fn take_u64_rejects_missing_or_bad_values() {
+        let mut flags = parse(&["--cases"]).unwrap();
+        assert!(flags.take_u64("--cases").is_err());
+        let mut flags = parse(&["--cases", "many"]).unwrap();
+        assert!(flags.take_u64("--cases").is_err());
     }
 
     #[test]

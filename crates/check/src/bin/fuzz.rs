@@ -1,0 +1,96 @@
+//! Differential fuzzing driver.
+//!
+//! ```text
+//! cargo run --release -p consim-check --bin fuzz -- --cases 500 --seed 7
+//! cargo run --release -p consim-check --bin fuzz -- --replay <case-seed>
+//! ```
+//!
+//! Each case builds a small randomized machine + workload mix, runs it
+//! through the engine with the counter audit enabled, and replays the
+//! observed access stream through the naive reference model. On any
+//! divergence the case seed is printed (replayable with `--replay`), the
+//! case is shrunk to a minimal still-failing configuration, and the
+//! process exits nonzero.
+
+use consim_bench::cli::BenchFlags;
+use consim_check::{run_case, shrink, CaseOutcome, FuzzCase};
+use consim_types::rng::SimRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut flags = BenchFlags::from_env("fuzz");
+    let parsed = (|| -> Result<(u64, u64, Option<u64>), String> {
+        let cases = flags.take_u64("--cases")?.unwrap_or(500);
+        let seed = flags.take_u64("--seed")?.unwrap_or(1);
+        let replay = flags.take_u64("--replay")?;
+        if let Some(extra) = flags.rest.first() {
+            return Err(format!("unrecognized argument {extra:?}"));
+        }
+        Ok((cases, seed, replay))
+    })();
+    let (cases, seed, replay) = match parsed {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("fuzz: {msg}");
+            eprintln!("usage: fuzz [--cases N] [--seed S] [--replay CASE_SEED]");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(case_seed) = replay {
+        return run_one(case_seed, true);
+    }
+
+    let mut rng = SimRng::from_seed(seed).derive("check/cases");
+    let mut total_steps = 0u64;
+    for i in 0..cases {
+        let case_seed = rng.next_u64();
+        let case = FuzzCase::generate(case_seed);
+        match run_case(&case, None) {
+            CaseOutcome::Pass { steps } => total_steps += steps,
+            failure => return report_failure(&case, &failure),
+        }
+        if (i + 1) % 100 == 0 {
+            println!("fuzz: {}/{cases} cases passed", i + 1);
+        }
+    }
+    println!(
+        "fuzz: {cases} cases passed (seed {seed}, {total_steps} accesses compared, 0 divergences)"
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_one(case_seed: u64, verbose: bool) -> ExitCode {
+    let case = FuzzCase::generate(case_seed);
+    if verbose {
+        println!("fuzz: replaying case seed {case_seed}");
+        println!("{case:#?}");
+    }
+    match run_case(&case, None) {
+        CaseOutcome::Pass { steps } => {
+            println!("fuzz: case seed {case_seed} passes ({steps} accesses compared)");
+            ExitCode::SUCCESS
+        }
+        failure => report_failure(&case, &failure),
+    }
+}
+
+fn report_failure(case: &FuzzCase, failure: &CaseOutcome) -> ExitCode {
+    let kind = match failure {
+        CaseOutcome::Divergence(msg) => format!("divergence: {msg}"),
+        CaseOutcome::EngineError(msg) => format!("engine error: {msg}"),
+        CaseOutcome::Pass { .. } => unreachable!("report_failure on a pass"),
+    };
+    eprintln!("fuzz: FAILURE on case seed {}", case.case_seed);
+    eprintln!("fuzz: {kind}");
+    eprintln!(
+        "fuzz: replay with: cargo run -p consim-check --bin fuzz -- --replay {}",
+        case.case_seed
+    );
+    eprintln!("fuzz: shrinking...");
+    let small = shrink(case, None);
+    let shrunk_failure = run_case(&small, None);
+    eprintln!("fuzz: minimal still-failing case ({:?}):", shrunk_failure);
+    eprintln!("{small:#?}");
+    ExitCode::FAILURE
+}

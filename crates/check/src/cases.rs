@@ -1,0 +1,422 @@
+//! Seeded generation of small randomized fuzz cases.
+//!
+//! A [`FuzzCase`] is a flat, plain-data description of one differential
+//! run: machine shape, workload knobs per VM, and run quotas. It is
+//! generated from a single `u64` seed (so any failure is replayable from
+//! one number), then [canonicalized](FuzzCase::canonicalize) into a valid
+//! configuration — the same canonicalization the shrinker relies on to
+//! keep its transformed candidates buildable.
+//!
+//! The generator deliberately over-weights degenerate shapes: one core,
+//! one VM, direct-mapped caches, single-set LLC banks, zero warmup. Those
+//! corners are where off-by-one and empty-set bugs live, and they also
+//! shrink well.
+
+use consim::engine::SimulationConfig;
+use consim_cache::ReplacementPolicy;
+use consim_sched::SchedulingPolicy;
+use consim_types::config::{CacheGeometry, MachineConfig, SharingDegree};
+use consim_types::rng::SimRng;
+use consim_types::SimError;
+use consim_workload::{WorkloadProfile, WorkloadProfileBuilder};
+
+/// Workload knobs for one VM of a fuzz case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzVm {
+    pub threads: usize,
+    pub footprint_blocks: u64,
+    pub shared_fraction: f64,
+    pub shared_access_prob: f64,
+    pub shared_write_prob: f64,
+    pub private_write_prob: f64,
+    pub shared_zipf: f64,
+    pub private_zipf: f64,
+    pub recent_reuse_prob: f64,
+    pub recent_window: usize,
+    pub handoff_access_prob: f64,
+    pub handoff_segments: usize,
+    pub handoff_segment_blocks: u64,
+}
+
+/// One replayable differential-fuzzing case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// The seed this case was generated from (printed on divergence).
+    pub case_seed: u64,
+    /// The simulation seed (workload streams, random placements).
+    pub sim_seed: u64,
+    pub num_cores: usize,
+    pub mesh_width: usize,
+    pub cores_per_bank: usize,
+    pub l0_sets: usize,
+    pub l0_ways: usize,
+    pub l1_sets: usize,
+    pub l1_ways: usize,
+    pub llc_bank_sets: usize,
+    pub llc_ways: usize,
+    pub memory_controllers: usize,
+    pub directory_cache_entries: usize,
+    pub instructions_per_memory_op: u64,
+    pub memory_latency: u64,
+    pub link_latency: u64,
+    pub policy: SchedulingPolicy,
+    pub vms: Vec<FuzzVm>,
+    pub refs_per_vm: u64,
+    pub warmup_refs_per_vm: u64,
+    pub prewarm_llc: bool,
+    pub reschedule_every: Option<u64>,
+}
+
+/// Power-of-two sizes weighted toward the degenerate low end.
+const CORE_CHOICES: &[usize] = &[1, 1, 2, 2, 4, 4, 8, 16];
+const SET_CHOICES: &[usize] = &[1, 1, 2, 4, 8];
+const WAY_CHOICES: &[usize] = &[1, 1, 2, 4];
+const POLICIES: &[SchedulingPolicy] = &[
+    SchedulingPolicy::RoundRobin,
+    SchedulingPolicy::Affinity,
+    SchedulingPolicy::RrAffinity,
+    SchedulingPolicy::Random,
+];
+
+fn pick<T: Copy>(rng: &mut SimRng, choices: &[T]) -> T {
+    choices[rng.index(choices.len())]
+}
+
+/// Largest divisor of `n` that is `<= want` (falls back to 1).
+fn divisor_at_most(n: usize, want: usize) -> usize {
+    (1..=want.max(1).min(n))
+        .rev()
+        .find(|&d| n.is_multiple_of(d))
+        .unwrap_or(1)
+}
+
+impl FuzzCase {
+    /// Deterministically generates (and canonicalizes) the case for a seed.
+    pub fn generate(case_seed: u64) -> Self {
+        let mut rng = SimRng::from_seed(case_seed).derive("check/case");
+        let num_cores = pick(&mut rng, CORE_CHOICES);
+        let num_vms = pick(&mut rng, &[1usize, 1, 1, 2, 2, 3]);
+        let vms = (0..num_vms)
+            .map(|_| {
+                let threads = 1 + rng.index(4);
+                let footprint_blocks = threads as u64 + 1 + rng.below(96);
+                FuzzVm {
+                    threads,
+                    footprint_blocks,
+                    shared_fraction: rng.unit(),
+                    shared_access_prob: rng.unit(),
+                    shared_write_prob: rng.unit(),
+                    private_write_prob: rng.unit(),
+                    shared_zipf: rng.unit() * 0.95,
+                    private_zipf: rng.unit() * 0.95,
+                    recent_reuse_prob: if rng.chance(0.5) { rng.unit() } else { 0.0 },
+                    recent_window: 1 + rng.index(8),
+                    handoff_access_prob: if rng.chance(0.25) { rng.unit() } else { 0.0 },
+                    handoff_segments: threads + rng.index(3),
+                    handoff_segment_blocks: 1 + rng.below(4),
+                }
+            })
+            .collect();
+        let mut case = FuzzCase {
+            case_seed,
+            sim_seed: rng.next_u64(),
+            num_cores,
+            mesh_width: 1 + rng.index(num_cores),
+            cores_per_bank: 1 + rng.index(num_cores),
+            l0_sets: pick(&mut rng, SET_CHOICES),
+            l0_ways: pick(&mut rng, WAY_CHOICES),
+            l1_sets: pick(&mut rng, SET_CHOICES),
+            l1_ways: pick(&mut rng, WAY_CHOICES),
+            llc_bank_sets: pick(&mut rng, SET_CHOICES),
+            llc_ways: pick(&mut rng, WAY_CHOICES),
+            memory_controllers: 1 + rng.index(num_cores),
+            directory_cache_entries: 8 * (1 + rng.index(8)),
+            instructions_per_memory_op: 1 + rng.below(4),
+            memory_latency: 1 + rng.below(400),
+            link_latency: 1 + rng.below(4),
+            policy: pick(&mut rng, POLICIES),
+            vms,
+            refs_per_vm: 1 + rng.below(600),
+            warmup_refs_per_vm: if rng.chance(0.3) { 0 } else { rng.below(300) },
+            prewarm_llc: rng.chance(0.5),
+            reschedule_every: if rng.chance(0.3) {
+                Some(1 + rng.below(5_000))
+            } else {
+                None
+            },
+        };
+        case.canonicalize();
+        case
+    }
+
+    /// Clamps every field into a valid configuration. Idempotent; called
+    /// after generation and after every shrink transform.
+    pub fn canonicalize(&mut self) {
+        self.num_cores = self.num_cores.clamp(1, 64);
+        if !self.num_cores.is_power_of_two() {
+            self.num_cores = self.num_cores.next_power_of_two() / 2;
+        }
+        self.mesh_width = divisor_at_most(self.num_cores, self.mesh_width);
+        self.cores_per_bank = divisor_at_most(self.num_cores, self.cores_per_bank);
+        for field in [
+            &mut self.l0_sets,
+            &mut self.l0_ways,
+            &mut self.l1_sets,
+            &mut self.l1_ways,
+            &mut self.llc_bank_sets,
+            &mut self.llc_ways,
+        ] {
+            *field = (*field).clamp(1, 64);
+        }
+        self.memory_controllers = self.memory_controllers.clamp(1, self.num_cores);
+        // The directory cache is 8-way: capacity must be a multiple of 8.
+        self.directory_cache_entries = self.directory_cache_entries.max(1).next_multiple_of(8);
+        self.instructions_per_memory_op = self.instructions_per_memory_op.max(1);
+        self.memory_latency = self.memory_latency.max(1);
+        self.link_latency = self.link_latency.max(1);
+        self.refs_per_vm = self.refs_per_vm.max(1);
+
+        if self.vms.is_empty() {
+            self.vms.push(FuzzVm {
+                threads: 1,
+                footprint_blocks: 2,
+                shared_fraction: 0.0,
+                shared_access_prob: 0.0,
+                shared_write_prob: 0.0,
+                private_write_prob: 0.5,
+                shared_zipf: 0.0,
+                private_zipf: 0.0,
+                recent_reuse_prob: 0.0,
+                recent_window: 1,
+                handoff_access_prob: 0.0,
+                handoff_segments: 1,
+                handoff_segment_blocks: 1,
+            });
+        }
+        self.vms.truncate(self.num_cores.max(1));
+        for vm in &mut self.vms {
+            vm.threads = vm.threads.max(1);
+        }
+        // Keep the total thread count on-machine: shed threads from the
+        // widest VM until everything fits.
+        loop {
+            let total: usize = self.vms.iter().map(|v| v.threads).sum();
+            if total <= self.num_cores {
+                break;
+            }
+            let widest = self
+                .vms
+                .iter_mut()
+                .max_by_key(|v| v.threads)
+                .expect("vms is nonempty");
+            if widest.threads > 1 {
+                widest.threads -= 1;
+            } else {
+                self.vms.pop();
+            }
+        }
+        for vm in &mut self.vms {
+            vm.footprint_blocks = vm.footprint_blocks.max(vm.threads as u64 + 1);
+            for p in [
+                &mut vm.shared_fraction,
+                &mut vm.shared_access_prob,
+                &mut vm.shared_write_prob,
+                &mut vm.private_write_prob,
+                &mut vm.recent_reuse_prob,
+                &mut vm.handoff_access_prob,
+            ] {
+                *p = p.clamp(0.0, 1.0);
+            }
+            vm.shared_zipf = vm.shared_zipf.clamp(0.0, 0.95);
+            vm.private_zipf = vm.private_zipf.clamp(0.0, 0.95);
+            vm.recent_window = vm.recent_window.clamp(1, 64);
+            vm.handoff_segments = vm.handoff_segments.max(vm.threads);
+            vm.handoff_segment_blocks = vm.handoff_segment_blocks.max(1);
+        }
+    }
+
+    /// The machine configuration this case describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if a canonicalized case still
+    /// fails machine validation (a generator bug — canonicalize should
+    /// prevent it).
+    pub fn machine(&self) -> Result<MachineConfig, SimError> {
+        let banks = self.num_cores / self.cores_per_bank;
+        let sharing = if self.cores_per_bank == self.num_cores {
+            SharingDegree::FullyShared
+        } else if self.cores_per_bank == 1 {
+            SharingDegree::Private
+        } else {
+            SharingDegree::SharedBy(self.cores_per_bank)
+        };
+        let mut b = consim_types::config::MachineConfigBuilder::new();
+        b.num_cores(self.num_cores)
+            .mesh_width(self.mesh_width)
+            .l0(CacheGeometry::new(
+                self.l0_sets * self.l0_ways * 64,
+                self.l0_ways,
+                1,
+            )?)
+            .l1(CacheGeometry::new(
+                self.l1_sets * self.l1_ways * 64,
+                self.l1_ways,
+                2,
+            )?)
+            .llc(CacheGeometry::new(
+                banks * self.llc_bank_sets * self.llc_ways * 64,
+                self.llc_ways,
+                6,
+            )?)
+            .sharing(sharing)
+            .memory_latency(self.memory_latency)
+            .num_memory_controllers(self.memory_controllers)
+            .link_latency(self.link_latency)
+            .directory_cache_entries(self.directory_cache_entries)
+            .instructions_per_memory_op(self.instructions_per_memory_op);
+        b.build()
+    }
+
+    /// Builds the per-VM workload profiles. Knob combinations that an
+    /// individual profile rejects (e.g. a handoff region larger than the
+    /// shared region) are degraded feature-by-feature rather than
+    /// discarded, so every case still runs.
+    fn profiles(&self) -> Vec<WorkloadProfile> {
+        self.vms
+            .iter()
+            .enumerate()
+            .map(|(i, vm)| {
+                // Ladder of progressively tamer candidates: full feature
+                // set, then without handoff, then without shared accesses.
+                for drop_features in 0..3 {
+                    let mut b = WorkloadProfileBuilder::new(format!("fuzz-vm{i}"))
+                        .threads(vm.threads)
+                        .footprint_blocks(vm.footprint_blocks)
+                        .shared_fraction(vm.shared_fraction)
+                        .shared_write_prob(vm.shared_write_prob)
+                        .private_write_prob(vm.private_write_prob)
+                        .shared_zipf(vm.shared_zipf)
+                        .private_zipf(vm.private_zipf)
+                        .recent_reuse_prob(vm.recent_reuse_prob)
+                        .recent_window(vm.recent_window)
+                        .refs_per_transaction(1)
+                        .default_transactions(1);
+                    b = if drop_features < 2 {
+                        b.shared_access_prob(vm.shared_access_prob)
+                    } else {
+                        b.shared_access_prob(0.0)
+                    };
+                    b = if drop_features < 1 {
+                        b.handoff_access_prob(vm.handoff_access_prob)
+                            .handoff_segments(vm.handoff_segments)
+                            .handoff_segment_blocks(vm.handoff_segment_blocks)
+                            .handoff_write_prob(vm.shared_write_prob)
+                            .handoff_touches(1)
+                    } else {
+                        b.handoff_access_prob(0.0)
+                    };
+                    if let Ok(profile) = b.build() {
+                        return profile;
+                    }
+                }
+                unreachable!("the tamest profile candidate is always valid")
+            })
+            .collect()
+    }
+
+    /// Builds the full simulation configuration (audit always on).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine or simulation validation failures; a
+    /// canonicalized case should never produce one.
+    pub fn build(&self) -> Result<SimulationConfig, SimError> {
+        let mut b = SimulationConfig::builder();
+        b.machine(self.machine()?)
+            .policy(self.policy)
+            .seed(self.sim_seed)
+            .refs_per_vm(self.refs_per_vm)
+            .warmup_refs_per_vm(self.warmup_refs_per_vm)
+            .llc_replacement(ReplacementPolicy::Lru)
+            .prewarm_llc(self.prewarm_llc)
+            .audit(true);
+        for profile in self.profiles() {
+            b.workload(profile);
+        }
+        if let Some(cycles) = self.reschedule_every {
+            b.reschedule_every(cycles);
+        }
+        b.build()
+    }
+
+    /// Scalar size metric for shrinking: every accepted shrink transform
+    /// must strictly decrease it, which bounds the shrink loop.
+    pub fn size(&self) -> u64 {
+        let threads: usize = self.vms.iter().map(|v| v.threads).sum();
+        let footprint: u64 = self.vms.iter().map(|v| v.footprint_blocks).sum();
+        let banks = (self.num_cores / self.cores_per_bank) as u64;
+        let cache_lines = (self.l0_sets * self.l0_ways + self.l1_sets * self.l1_ways) as u64
+            * self.num_cores as u64
+            + (self.llc_bank_sets * self.llc_ways) as u64 * banks;
+        self.num_cores as u64 * 100_000
+            + self.vms.len() as u64 * 50_000
+            + threads as u64 * 10_000
+            + (self.refs_per_vm + self.warmup_refs_per_vm) * 20
+            + footprint * 10
+            + cache_lines * 5
+            + u64::from(self.prewarm_llc) * 1_000
+            + u64::from(self.reschedule_every.is_some()) * 1_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(FuzzCase::generate(7), FuzzCase::generate(7));
+        assert_ne!(FuzzCase::generate(7), FuzzCase::generate(8));
+    }
+
+    #[test]
+    fn generated_cases_build() {
+        for seed in 0..200 {
+            let case = FuzzCase::generate(seed);
+            case.build()
+                .unwrap_or_else(|e| panic!("seed {seed} does not build: {e}"));
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        for seed in 0..50 {
+            let case = FuzzCase::generate(seed);
+            let mut again = case.clone();
+            again.canonicalize();
+            assert_eq!(case, again, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_appear() {
+        let cases: Vec<FuzzCase> = (0..300).map(FuzzCase::generate).collect();
+        assert!(cases.iter().any(|c| c.num_cores == 1));
+        assert!(cases.iter().any(|c| c.vms.len() == 1));
+        assert!(cases
+            .iter()
+            .any(|c| c.llc_bank_sets == 1 && c.llc_ways == 1));
+        assert!(cases.iter().any(|c| c.l0_ways == 1));
+        assert!(cases.iter().any(|c| c.warmup_refs_per_vm == 0));
+    }
+
+    #[test]
+    fn thread_budget_respects_core_count() {
+        for seed in 0..100 {
+            let case = FuzzCase::generate(seed);
+            let total: usize = case.vms.iter().map(|v| v.threads).sum();
+            assert!(total <= case.num_cores, "seed {seed}");
+        }
+    }
+}

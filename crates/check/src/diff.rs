@@ -1,0 +1,291 @@
+//! Running one differential case: engine vs reference model.
+//!
+//! The engine drives the comparison through its [`StepObserver`] hook: the
+//! observer receives every access (warmup and measurement) plus every LLC
+//! prewarm insertion, replays it into the [`RefModel`], and records the
+//! first disagreement. After the run, the model's accumulated per-VM
+//! counters, LLC replication, and LLC occupancy are checked against the
+//! engine's [`SimulationOutcome`] — exactly (both sides compute the same
+//! integer counts; occupancy shares divide by the same capacities).
+
+use crate::cases::FuzzCase;
+use crate::model::{Mutation, RefModel};
+use consim::engine::{Simulation, SimulationOutcome};
+use consim::observe::{AccessStep, StepObserver};
+use consim_types::{BankId, BlockAddr};
+
+/// The result of one differential run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// Engine and model agreed on every step and all final state.
+    Pass {
+        /// Accesses compared (warmup + measurement).
+        steps: u64,
+    },
+    /// Engine and model disagreed; the string names the first mismatch.
+    Divergence(String),
+    /// The engine itself failed (config rejected, internal audit, panic
+    /// guards): also a finding, but a different kind.
+    EngineError(String),
+}
+
+impl CaseOutcome {
+    /// True for anything other than a clean pass.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, CaseOutcome::Pass { .. })
+    }
+}
+
+/// Step observer that mirrors every access into the reference model and
+/// latches the first divergence.
+struct DiffObserver {
+    model: RefModel,
+    steps: u64,
+    failure: Option<String>,
+}
+
+impl StepObserver for DiffObserver {
+    fn on_step(&mut self, step: &AccessStep) {
+        if self.failure.is_some() {
+            return;
+        }
+        self.steps += 1;
+        if let Err(msg) = self.model.step(step) {
+            self.failure = Some(format!("step {}: {msg}", self.steps));
+        }
+    }
+
+    fn on_llc_prewarm(&mut self, bank: BankId, block: BlockAddr) {
+        self.model.prewarm(bank, block);
+    }
+}
+
+/// Runs one case differentially. `mutation`, when set, installs a
+/// deliberate bug in the *model* (mutation testing — the check must fail).
+pub fn run_case(case: &FuzzCase, mutation: Option<Mutation>) -> CaseOutcome {
+    let config = match case.build() {
+        Ok(c) => c,
+        Err(e) => return CaseOutcome::EngineError(format!("config rejected: {e}")),
+    };
+    let sim = match Simulation::new(config) {
+        Ok(s) => s,
+        Err(e) => return CaseOutcome::EngineError(format!("construction failed: {e}")),
+    };
+    let machine = match case.machine() {
+        Ok(m) => m,
+        Err(e) => return CaseOutcome::EngineError(format!("machine rejected: {e}")),
+    };
+    let mut model = RefModel::new(&machine, case.vms.len());
+    if let Some(m) = mutation {
+        model = model.with_mutation(m);
+    }
+    let mut observer = DiffObserver {
+        model,
+        steps: 0,
+        failure: None,
+    };
+    let outcome = match sim.run_with(Some(&mut observer)) {
+        Ok(o) => o,
+        Err(e) => return CaseOutcome::EngineError(format!("run failed: {e}")),
+    };
+    if let Some(msg) = observer.failure {
+        return CaseOutcome::Divergence(msg);
+    }
+    match check_final_state(&observer.model, &outcome, case.vms.len()) {
+        Ok(()) => CaseOutcome::Pass {
+            steps: observer.steps,
+        },
+        Err(msg) => CaseOutcome::Divergence(msg),
+    }
+}
+
+/// Compares the model's end-of-run aggregates with the engine's.
+fn check_final_state(
+    model: &RefModel,
+    outcome: &SimulationOutcome,
+    num_vms: usize,
+) -> Result<(), String> {
+    if outcome.vm_metrics.len() != num_vms {
+        return Err(format!(
+            "vm count mismatch: engine {}, model {num_vms}",
+            outcome.vm_metrics.len()
+        ));
+    }
+    for (vm, (engine, model)) in outcome
+        .vm_metrics
+        .iter()
+        .zip(model.counters().iter())
+        .enumerate()
+    {
+        let pairs: &[(&str, u64, u64)] = &[
+            ("refs", engine.refs, model.refs),
+            ("writes", engine.writes, model.writes),
+            ("l0_hits", engine.l0_hits, model.l0_hits),
+            ("l1_hits", engine.l1_hits, model.l1_hits),
+            ("l1_misses", engine.l1_misses, model.l1_misses),
+            ("c2c_l1_clean", engine.c2c_l1_clean, model.c2c_l1_clean),
+            ("c2c_l1_dirty", engine.c2c_l1_dirty, model.c2c_l1_dirty),
+            (
+                "llc_local_hits",
+                engine.llc_local_hits,
+                model.llc_local_hits,
+            ),
+            (
+                "llc_remote_clean",
+                engine.llc_remote_clean,
+                model.llc_remote_clean,
+            ),
+            (
+                "llc_remote_dirty",
+                engine.llc_remote_dirty,
+                model.llc_remote_dirty,
+            ),
+            (
+                "memory_fetches",
+                engine.memory_fetches,
+                model.memory_fetches,
+            ),
+            ("upgrades", engine.upgrades, model.upgrades),
+            (
+                "invalidations_received",
+                engine.invalidations_received,
+                model.invalidations_received,
+            ),
+        ];
+        for &(name, e, m) in pairs {
+            if e != m {
+                return Err(format!(
+                    "final counter mismatch for vm {vm}: {name} engine {e}, model {m}"
+                ));
+            }
+        }
+    }
+    let (total, replicated) = model.replication();
+    if outcome.replication.total_lines != total {
+        return Err(format!(
+            "replication total_lines mismatch: engine {}, model {total}",
+            outcome.replication.total_lines
+        ));
+    }
+    if outcome.replication.replicated_lines != replicated {
+        return Err(format!(
+            "replication replicated_lines mismatch: engine {}, model {replicated}",
+            outcome.replication.replicated_lines
+        ));
+    }
+    let model_share = model.occupancy(num_vms);
+    if outcome.occupancy.share != model_share {
+        return Err(format!(
+            "occupancy mismatch: engine {:?}, model {model_share:?}",
+            outcome.occupancy.share
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consim_sched::SchedulingPolicy;
+
+    #[test]
+    fn smoke_cases_pass() {
+        for seed in 0..25 {
+            let case = FuzzCase::generate(seed);
+            let outcome = run_case(&case, None);
+            assert!(
+                matches!(outcome, CaseOutcome::Pass { .. }),
+                "seed {seed}: {outcome:?}\ncase: {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_shaped_case_passes() {
+        // A 16-core case with multiple VMs, closer to the paper's machine.
+        let mut case = FuzzCase::generate(1);
+        case.num_cores = 16;
+        case.mesh_width = 4;
+        case.cores_per_bank = 4;
+        case.l1_sets = 8;
+        case.l1_ways = 4;
+        case.llc_bank_sets = 8;
+        case.llc_ways = 4;
+        case.refs_per_vm = 400;
+        case.warmup_refs_per_vm = 100;
+        case.canonicalize();
+        let outcome = run_case(&case, None);
+        assert!(
+            matches!(outcome, CaseOutcome::Pass { .. }),
+            "{outcome:?}\ncase: {case:?}"
+        );
+    }
+
+    /// Degenerate shapes pinned from fuzzing sessions: each of these hit a
+    /// real bug (or guards a boundary close to one) and must stay green.
+    #[test]
+    fn pinned_degenerate_cases_pass() {
+        // One core, one VM, direct-mapped single-set caches everywhere,
+        // zero warmup, prewarm into a tiny LLC.
+        let mut tiny = FuzzCase::generate(0);
+        tiny.num_cores = 1;
+        tiny.vms.truncate(1);
+        tiny.vms[0].threads = 1;
+        tiny.l0_sets = 1;
+        tiny.l0_ways = 1;
+        tiny.l1_sets = 1;
+        tiny.l1_ways = 1;
+        tiny.llc_bank_sets = 1;
+        tiny.llc_ways = 1;
+        tiny.warmup_refs_per_vm = 0;
+        tiny.prewarm_llc = true;
+        tiny.canonicalize();
+
+        // Random placement with fewer threads than cores plus frequent
+        // rescheduling: the engine used to panic popping a vacated core's
+        // issue event ("scheduled cores have threads").
+        let mut churn = FuzzCase::generate(1);
+        churn.num_cores = 16;
+        churn.policy = SchedulingPolicy::Random;
+        churn.reschedule_every = Some(200);
+        churn.refs_per_vm = 500;
+        churn.canonicalize();
+        assert!(
+            churn.vms.iter().map(|v| v.threads).sum::<usize>() < churn.num_cores,
+            "repro needs idle cores for the occupied set to change"
+        );
+
+        // Single-set LLC shared by every core: maximum bank contention on
+        // one replacement list.
+        let mut oneset = FuzzCase::generate(2);
+        oneset.num_cores = 4;
+        oneset.cores_per_bank = 4;
+        oneset.llc_bank_sets = 1;
+        oneset.llc_ways = 2;
+        oneset.canonicalize();
+
+        for (name, case) in [("tiny", tiny), ("churn", churn), ("oneset", oneset)] {
+            let outcome = run_case(&case, None);
+            assert!(
+                matches!(outcome, CaseOutcome::Pass { .. }),
+                "{name}: {outcome:?}\ncase: {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_are_detected() {
+        // Each deliberate model bug must surface as a divergence on at
+        // least one of a handful of cases (the differential check is
+        // symmetric: if a broken model passes, a broken engine would too).
+        for mutation in [
+            Mutation::SkipInvalidations,
+            Mutation::IgnoreOwners,
+            Mutation::SkipOwnerDowngrade,
+        ] {
+            let caught = (0..40)
+                .any(|seed| run_case(&FuzzCase::generate(seed), Some(mutation)).is_failure());
+            assert!(caught, "{mutation:?} was never detected");
+        }
+    }
+}

@@ -1,0 +1,830 @@
+//! The naive reference model.
+//!
+//! A deliberately flat, obviously-correct re-implementation of the engine's
+//! *content* semantics: which blocks sit in which caches in which MESI
+//! states, and what the directory believes. It replays the engine's own
+//! reference stream one [`AccessStep`] at a time and must reproduce, for
+//! every step, the engine's hit/miss classification and the directory's
+//! post-access owner/sharer view — and, at the end of the run, the per-VM
+//! counters, LLC replication, and LLC occupancy.
+//!
+//! Nothing here is shared with the engine except the small value types
+//! (`LineState`, `MissSource`): caches are vectors of `(block, state,
+//! stamp)` tuples with a global logical clock instead of per-way recency
+//! bits, the directory is a `BTreeMap` of owner/sharer sets, and mesh
+//! distances are recomputed from first principles. No NoC timing, no
+//! memory-controller calendars, no statistics plumbing — time does not
+//! exist in this model, only contents.
+//!
+//! The model intentionally mirrors the engine's *tie-breaking* rules, which
+//! are part of the simulated machine's definition (nearest clean supplier,
+//! nearest replica bank, first-minimal on equal distance). See DESIGN.md §8.
+
+use consim::metrics::MissSource;
+use consim::observe::{AccessStep, StepOutcome};
+use consim_cache::LineState;
+use consim_types::config::MachineConfig;
+use consim_types::{BankId, BlockAddr, CoreId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Deliberately-wrong behaviors for mutation testing: each knob disables
+/// one coherence action in the *model*, which must make the differential
+/// check fail (a divergence is symmetric — if breaking the model is not
+/// detected, breaking the engine would not be either).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Skip invalidating sharers' private caches on writes/upgrades.
+    SkipInvalidations,
+    /// Treat every directory read miss as served from below (never
+    /// cache-to-cache).
+    IgnoreOwners,
+    /// Never downgrade a dirty owner on a read (leave it Modified).
+    SkipOwnerDowngrade,
+}
+
+/// One cache line as the model sees it.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    block: BlockAddr,
+    state: LineState,
+    /// Global logical time of the last recency touch; the minimum stamp in
+    /// a full set is the LRU victim. Equivalent to the engine's per-way
+    /// recency order because both touch exactly on hits and inserts.
+    touched: u64,
+}
+
+/// A set-associative cache as flat per-set vectors, LRU by stamp.
+#[derive(Debug, Clone)]
+struct NaiveCache {
+    num_sets: u64,
+    ways: usize,
+    sets: Vec<Vec<Slot>>,
+}
+
+impl NaiveCache {
+    fn new(num_sets: usize, ways: usize) -> Self {
+        Self {
+            num_sets: num_sets as u64,
+            ways,
+            sets: vec![Vec::new(); num_sets],
+        }
+    }
+
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block.raw() % self.num_sets) as usize
+    }
+
+    /// Lookup without a recency touch (the engine's `probe`/`contains`).
+    fn probe(&self, block: BlockAddr) -> Option<LineState> {
+        self.sets[self.set_of(block)]
+            .iter()
+            .find(|s| s.block == block)
+            .map(|s| s.state)
+    }
+
+    /// Demand lookup: touches recency on a hit (the engine's `access`).
+    fn access(&mut self, block: BlockAddr, now: u64) -> Option<LineState> {
+        let set = self.set_of(block);
+        let slot = self.sets[set].iter_mut().find(|s| s.block == block)?;
+        slot.touched = now;
+        Some(slot.state)
+    }
+
+    /// State change in place, no recency touch; absent blocks are ignored.
+    fn set_state(&mut self, block: BlockAddr, state: LineState) {
+        let set = self.set_of(block);
+        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.block == block) {
+            slot.state = state;
+        }
+    }
+
+    /// Fill: updates in place on re-insert, else appends, else evicts the
+    /// minimum-stamp (LRU) slot. Returns the victim.
+    fn insert(&mut self, block: BlockAddr, state: LineState, now: u64) -> Option<Slot> {
+        let ways = self.ways;
+        let idx = self.set_of(block);
+        let set = &mut self.sets[idx];
+        if let Some(slot) = set.iter_mut().find(|s| s.block == block) {
+            slot.state = state;
+            slot.touched = now;
+            return None;
+        }
+        let fresh = Slot {
+            block,
+            state,
+            touched: now,
+        };
+        if set.len() < ways {
+            set.push(fresh);
+            return None;
+        }
+        let lru = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.touched)
+            .map(|(i, _)| i)
+            .expect("full set is nonempty");
+        let victim = set[lru];
+        set[lru] = fresh;
+        Some(victim)
+    }
+
+    /// Invalidate: removes the block if present.
+    fn invalidate(&mut self, block: BlockAddr) {
+        let set = self.set_of(block);
+        self.sets[set].retain(|s| s.block != block);
+    }
+
+    fn lines(&self) -> impl Iterator<Item = &Slot> {
+        self.sets.iter().flatten()
+    }
+
+    fn capacity(&self) -> usize {
+        self.num_sets as usize * self.ways
+    }
+}
+
+/// A directory entry: one Modified owner or a clean sharer set.
+#[derive(Debug, Clone, Default)]
+struct DirEntry {
+    owner: Option<usize>,
+    sharers: BTreeSet<usize>,
+}
+
+/// Flat full-map directory mirroring `consim_coherence::Directory`'s
+/// transition function.
+#[derive(Debug, Clone, Default)]
+struct NaiveDirectory {
+    entries: BTreeMap<u64, DirEntry>,
+}
+
+/// What the naive directory decided for one request.
+struct DirOutcome {
+    source: NaiveSource,
+    invalidate: Vec<usize>,
+    writeback: bool,
+    exclusive: bool,
+}
+
+enum NaiveSource {
+    Dirty(usize),
+    Clean,
+    Below,
+    NoData,
+}
+
+impl NaiveDirectory {
+    fn members(&self, block: BlockAddr) -> Vec<usize> {
+        match self.entries.get(&block.raw()) {
+            Some(e) => {
+                let mut m: BTreeSet<usize> = e.sharers.clone();
+                if let Some(o) = e.owner {
+                    m.insert(o);
+                }
+                m.into_iter().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn owner(&self, block: BlockAddr) -> Option<usize> {
+        self.entries.get(&block.raw()).and_then(|e| e.owner)
+    }
+
+    fn handle(&mut self, requester: usize, block: BlockAddr, write: bool) -> DirOutcome {
+        let entry = self.entries.entry(block.raw()).or_default();
+        if !write {
+            if let Some(owner) = entry.owner {
+                entry.owner = None;
+                entry.sharers.insert(owner);
+                entry.sharers.insert(requester);
+                DirOutcome {
+                    source: NaiveSource::Dirty(owner),
+                    invalidate: Vec::new(),
+                    writeback: true,
+                    exclusive: false,
+                }
+            } else if !entry.sharers.is_empty() {
+                entry.sharers.insert(requester);
+                DirOutcome {
+                    source: NaiveSource::Clean,
+                    invalidate: Vec::new(),
+                    writeback: false,
+                    exclusive: false,
+                }
+            } else {
+                entry.sharers.insert(requester);
+                DirOutcome {
+                    source: NaiveSource::Below,
+                    invalidate: Vec::new(),
+                    writeback: false,
+                    exclusive: true,
+                }
+            }
+        } else if let Some(owner) = entry.owner {
+            entry.owner = Some(requester);
+            entry.sharers.clear();
+            DirOutcome {
+                source: NaiveSource::Dirty(owner),
+                invalidate: vec![owner],
+                writeback: false,
+                exclusive: true,
+            }
+        } else if !entry.sharers.is_empty() {
+            let has_other = entry.sharers.iter().any(|&c| c != requester);
+            let invalidate: Vec<usize> = entry
+                .sharers
+                .iter()
+                .copied()
+                .filter(|&c| c != requester)
+                .collect();
+            entry.sharers.clear();
+            entry.owner = Some(requester);
+            DirOutcome {
+                source: if has_other {
+                    NaiveSource::Clean
+                } else {
+                    // Requester was the only sharer: silent upgrade.
+                    NaiveSource::NoData
+                },
+                invalidate,
+                writeback: false,
+                exclusive: true,
+            }
+        } else {
+            entry.owner = Some(requester);
+            DirOutcome {
+                source: NaiveSource::Below,
+                invalidate: Vec::new(),
+                writeback: false,
+                exclusive: true,
+            }
+        }
+    }
+
+    /// The upgrade transition: requester already holds the line Shared.
+    fn upgrade(&mut self, requester: usize, block: BlockAddr) -> Vec<usize> {
+        let entry = self.entries.entry(block.raw()).or_default();
+        let invalidate: Vec<usize> = entry
+            .sharers
+            .iter()
+            .copied()
+            .filter(|&c| c != requester)
+            .collect();
+        entry.owner = Some(requester);
+        entry.sharers.clear();
+        invalidate
+    }
+
+    fn evict(&mut self, core: usize, block: BlockAddr) {
+        if let Some(entry) = self.entries.get_mut(&block.raw()) {
+            if entry.owner == Some(core) {
+                entry.owner = None;
+            } else {
+                entry.sharers.remove(&core);
+            }
+            if entry.owner.is_none() && entry.sharers.is_empty() {
+                self.entries.remove(&block.raw());
+            }
+        }
+    }
+}
+
+/// Per-VM counters the model accumulates, mirroring the engine's
+/// `VmMetrics` counter fields (timing-dependent fields excluded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelCounters {
+    pub refs: u64,
+    pub writes: u64,
+    pub l0_hits: u64,
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+    pub c2c_l1_clean: u64,
+    pub c2c_l1_dirty: u64,
+    pub llc_local_hits: u64,
+    pub llc_remote_clean: u64,
+    pub llc_remote_dirty: u64,
+    pub memory_fetches: u64,
+    pub upgrades: u64,
+    pub invalidations_received: u64,
+}
+
+/// The full naive machine: private L0/L1 per core, LLC banks, directory.
+#[derive(Debug, Clone)]
+pub struct RefModel {
+    mesh_width: usize,
+    cores_per_bank: usize,
+    l0: Vec<NaiveCache>,
+    l1: Vec<NaiveCache>,
+    llc: Vec<NaiveCache>,
+    directory: NaiveDirectory,
+    counters: Vec<ModelCounters>,
+    /// Global logical clock for LRU stamps.
+    now: u64,
+    /// Injected bug for mutation testing, if any.
+    mutation: Option<Mutation>,
+}
+
+impl RefModel {
+    /// Builds an empty model of `machine` hosting `num_vms` VMs.
+    pub fn new(machine: &MachineConfig, num_vms: usize) -> Self {
+        let geom = |g: consim_types::config::CacheGeometry| (g.num_sets(), g.associativity);
+        let (l0_sets, l0_ways) = geom(machine.l0);
+        let (l1_sets, l1_ways) = geom(machine.l1);
+        let bank = machine.llc_bank_geometry();
+        let (llc_sets, llc_ways) = (bank.num_sets(), bank.associativity);
+        Self {
+            mesh_width: machine.mesh_width,
+            cores_per_bank: machine.cores_per_bank(),
+            l0: (0..machine.num_cores)
+                .map(|_| NaiveCache::new(l0_sets, l0_ways))
+                .collect(),
+            l1: (0..machine.num_cores)
+                .map(|_| NaiveCache::new(l1_sets, l1_ways))
+                .collect(),
+            llc: (0..machine.llc_banks())
+                .map(|_| NaiveCache::new(llc_sets, llc_ways))
+                .collect(),
+            directory: NaiveDirectory::default(),
+            counters: vec![ModelCounters::default(); num_vms],
+            now: 0,
+            mutation: None,
+        }
+    }
+
+    /// Advances the logical clock: one tick per recency-touching cache
+    /// operation, so stamp order reproduces the engine's per-operation LRU
+    /// order exactly (including multiple touches within one access).
+    fn tick(&mut self) -> u64 {
+        self.now += 1;
+        self.now
+    }
+
+    /// Installs a deliberate bug (mutation testing).
+    pub fn with_mutation(mut self, mutation: Mutation) -> Self {
+        self.mutation = Some(mutation);
+        self
+    }
+
+    /// Per-VM counters accumulated so far (measured steps only).
+    pub fn counters(&self) -> &[ModelCounters] {
+        &self.counters
+    }
+
+    /// Mirrors one LLC prewarm insertion.
+    pub fn prewarm(&mut self, bank: BankId, block: BlockAddr) {
+        let t = self.tick();
+        self.llc[bank.index()].insert(block, LineState::Shared, t);
+    }
+
+    /// Total LLC lines and lines present in more than one bank — the
+    /// model's view of the engine's `ReplicationSnapshot`.
+    pub fn replication(&self) -> (u64, u64) {
+        let mut copies: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut total = 0u64;
+        for bank in &self.llc {
+            for line in bank.lines() {
+                *copies.entry(line.block.raw()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        let replicated = self
+            .llc
+            .iter()
+            .flat_map(|b| b.lines())
+            .filter(|l| copies[&l.block.raw()] > 1)
+            .count() as u64;
+        (total, replicated)
+    }
+
+    /// `share[bank][vm]` of LLC capacity — the model's view of the
+    /// engine's `OccupancySnapshot`, computed the same way (count over
+    /// capacity) so agreement is exact.
+    pub fn occupancy(&self, num_vms: usize) -> Vec<Vec<f64>> {
+        self.llc
+            .iter()
+            .map(|bank| {
+                let mut counts = vec![0u64; num_vms];
+                for line in bank.lines() {
+                    let vm = line.block.vm().index();
+                    if vm < num_vms {
+                        counts[vm] += 1;
+                    }
+                }
+                let cap = bank.capacity().max(1) as f64;
+                counts.iter().map(|&c| c as f64 / cap).collect()
+            })
+            .collect()
+    }
+
+    /// Replays one observed step; returns a divergence description if the
+    /// model disagrees with the engine's classification or the directory's
+    /// post-access state.
+    ///
+    /// # Errors
+    ///
+    /// The `Err` string names the first mismatching quantity.
+    pub fn step(&mut self, step: &AccessStep) -> Result<(), String> {
+        let computed = self.apply(step);
+        if computed != step.outcome {
+            return Err(format!(
+                "outcome mismatch at {} core {} {}: engine {:?}, model {:?}",
+                step.block,
+                step.core.index(),
+                if step.is_write { "write" } else { "read" },
+                step.outcome,
+                computed
+            ));
+        }
+        let model_owner = self.directory.owner(step.block);
+        let engine_owner = step.dir_owner.map(CoreId::index);
+        if model_owner != engine_owner {
+            return Err(format!(
+                "directory owner mismatch at {}: engine {engine_owner:?}, model {model_owner:?}",
+                step.block
+            ));
+        }
+        let model_members = self.directory.members(step.block);
+        let engine_members: Vec<usize> = step.dir_sharers.iter().map(CoreId::index).collect();
+        if model_members != engine_members {
+            return Err(format!(
+                "directory sharers mismatch at {}: engine {engine_members:?}, model {model_members:?}",
+                step.block
+            ));
+        }
+        Ok(())
+    }
+
+    /// Replays the hierarchy walk for one reference and returns the model's
+    /// classification. This is a direct, flat transcription of the
+    /// protocol's *content* rules.
+    fn apply(&mut self, step: &AccessStep) -> StepOutcome {
+        let core = step.core.index();
+        let vm = step.vm.index();
+        let block = step.block;
+        let write = step.is_write;
+        if step.measuring {
+            let c = &mut self.counters[vm];
+            c.refs += 1;
+            if write {
+                c.writes += 1;
+            }
+        }
+
+        // L0: hits serve reads and writable writes.
+        let t = self.tick();
+        if let Some(state) = self.l0[core].access(block, t) {
+            if !write || state.is_writable() {
+                if write {
+                    self.l0[core].set_state(block, LineState::Modified);
+                    self.l1[core].set_state(block, LineState::Modified);
+                }
+                if step.measuring {
+                    self.counters[vm].l0_hits += 1;
+                }
+                return StepOutcome::L0Hit;
+            }
+        }
+        // L1.
+        let t = self.tick();
+        if let Some(state) = self.l1[core].access(block, t) {
+            if !write || state.is_writable() {
+                let new_state = if write { LineState::Modified } else { state };
+                if write {
+                    self.l1[core].set_state(block, LineState::Modified);
+                }
+                self.l1_fill_l0(core, block, new_state);
+                if step.measuring {
+                    self.counters[vm].l1_hits += 1;
+                }
+                return StepOutcome::L1Hit;
+            }
+            // Write hit on a Shared line: upgrade for exclusivity.
+            let invalidate = self.directory.upgrade(core, block);
+            self.invalidate_victims(vm, &invalidate, block, step.measuring);
+            self.invalidate_llc_copies(block);
+            self.l1[core].set_state(block, LineState::Modified);
+            self.l0[core].set_state(block, LineState::Modified);
+            if step.measuring {
+                let c = &mut self.counters[vm];
+                c.l1_misses += 1;
+                c.upgrades += 1;
+            }
+            return StepOutcome::Miss(MissSource::Upgrade);
+        }
+
+        // Full directory transaction.
+        let outcome = self.directory.handle(core, block, write);
+        self.invalidate_victims(vm, &outcome.invalidate, block, step.measuring);
+        let source = match outcome.source {
+            NaiveSource::Dirty(owner) => {
+                let owner = if self.mutation == Some(Mutation::IgnoreOwners) {
+                    usize::MAX // pretend nobody owns it; fall through below
+                } else {
+                    owner
+                };
+                if owner == usize::MAX {
+                    self.serve_below(core, block, write)
+                } else {
+                    if write {
+                        self.invalidate_private(owner, block);
+                    } else if self.mutation != Some(Mutation::SkipOwnerDowngrade) {
+                        self.l1[owner].set_state(block, LineState::Shared);
+                        self.l0[owner].set_state(block, LineState::Shared);
+                    }
+                    MissSource::RemoteL1Dirty
+                }
+            }
+            NaiveSource::Clean => {
+                // The engine serves from the *nearest* prior sharer; the
+                // transfer itself does not change the supplier's state on a
+                // read, and on a write the supplier was already invalidated
+                // (idempotently re-invalidated by the engine).
+                let supplier = self.nearest_prior_sharer(core, block, &outcome.invalidate);
+                if write {
+                    self.invalidate_private(supplier, block);
+                }
+                MissSource::RemoteL1Clean
+            }
+            NaiveSource::Below => self.serve_below(core, block, write),
+            NaiveSource::NoData => MissSource::Upgrade,
+        };
+
+        // Post-dispatch LLC consistency, mirroring the engine: writers
+        // leave no bank copies; read c2c transfers also fill the local bank.
+        if write {
+            self.invalidate_llc_copies(block);
+        } else if matches!(
+            source,
+            MissSource::RemoteL1Dirty | MissSource::RemoteL1Clean
+        ) {
+            let bank = self.bank_of_core(core);
+            self.fill_llc(bank, block, LineState::Shared);
+        }
+
+        if step.measuring {
+            let c = &mut self.counters[vm];
+            c.l1_misses += 1;
+            match source {
+                MissSource::RemoteL1Dirty => c.c2c_l1_dirty += 1,
+                MissSource::RemoteL1Clean => c.c2c_l1_clean += 1,
+                MissSource::LocalLlc => c.llc_local_hits += 1,
+                MissSource::RemoteLlcDirty => c.llc_remote_dirty += 1,
+                MissSource::RemoteLlcClean => c.llc_remote_clean += 1,
+                MissSource::Memory => c.memory_fetches += 1,
+                MissSource::Upgrade => c.upgrades += 1,
+            }
+        }
+
+        // Install in the private hierarchy.
+        if source != MissSource::Upgrade {
+            let new_state = if write {
+                LineState::Modified
+            } else if outcome.exclusive {
+                LineState::Exclusive
+            } else {
+                LineState::Shared
+            };
+            self.fill_l1(core, block, new_state);
+        } else {
+            self.l1[core].set_state(block, LineState::Modified);
+            self.l0[core].set_state(block, LineState::Modified);
+        }
+        let _ = outcome.writeback; // memory-side only; no content effect
+        StepOutcome::Miss(source)
+    }
+
+    /// Serves a miss from the LLC banks or memory, mirroring the engine's
+    /// `serve_from_llc_or_memory` content effects.
+    fn serve_below(&mut self, core: usize, block: BlockAddr, write: bool) -> MissSource {
+        let my_bank = self.bank_of_core(core);
+        let t = self.tick();
+        if self.llc[my_bank].access(block, t).is_some() {
+            if write {
+                self.invalidate_llc_copies(block);
+            }
+            return MissSource::LocalLlc;
+        }
+        // Nearest other bank holding the block (first-minimal on ties,
+        // like the engine's `min_by_key` over ascending bank ids).
+        let remote = (0..self.llc.len())
+            .filter(|&b| b != my_bank && self.llc[b].probe(block).is_some())
+            .min_by_key(|&b| self.hops(self.bank_node(b), self.core_node(core)));
+        if let Some(rb) = remote {
+            let was_dirty = self.llc[rb]
+                .probe(block)
+                .map(LineState::is_dirty)
+                .unwrap_or(false);
+            if write {
+                self.invalidate_llc_copies(block);
+            } else {
+                if was_dirty {
+                    self.llc[rb].set_state(block, LineState::Shared);
+                }
+                self.fill_llc(my_bank, block, LineState::Shared);
+            }
+            return if was_dirty {
+                MissSource::RemoteLlcDirty
+            } else {
+                MissSource::RemoteLlcClean
+            };
+        }
+        if !write {
+            self.fill_llc(my_bank, block, LineState::Shared);
+        }
+        MissSource::Memory
+    }
+
+    /// The engine's nearest-clean-supplier rule: among the sharers the
+    /// directory knew *before* the request (excluding the requester),
+    /// minimize mesh distance to the requester, first-minimal on ties.
+    /// The prior sharers are the post-transition members plus any cores the
+    /// transition invalidated, minus the requester.
+    fn nearest_prior_sharer(&self, core: usize, block: BlockAddr, invalidated: &[usize]) -> usize {
+        let mut prior: BTreeSet<usize> = self.directory.members(block).into_iter().collect();
+        prior.extend(invalidated.iter().copied());
+        prior.remove(&core);
+        // On a write the transition removed every other sharer into
+        // `invalidated`; on a read all priors remain members. Either way
+        // `prior` is now exactly the engine's `prior_sharers - requester`.
+        prior
+            .into_iter()
+            .min_by_key(|&c| self.hops(self.core_node(c), self.core_node(core)))
+            .expect("clean transfer implies another sharer")
+    }
+
+    /// L1 fill with inclusive-L0 and directory bookkeeping, mirroring the
+    /// engine's `fill_l1`.
+    fn fill_l1(&mut self, core: usize, block: BlockAddr, state: LineState) {
+        let t = self.tick();
+        if let Some(victim) = self.l1[core].insert(block, state, t) {
+            self.l0[core].invalidate(victim.block);
+            self.directory.evict(core, victim.block);
+            if victim.state.is_dirty() {
+                let bank = self.bank_of_core(core);
+                self.fill_llc(bank, victim.block, LineState::Modified);
+            }
+        }
+        self.l1_fill_l0(core, block, state);
+    }
+
+    /// L0 fill: silent evictions (the engine's `fill_l0`).
+    fn l1_fill_l0(&mut self, core: usize, block: BlockAddr, state: LineState) {
+        let t = self.tick();
+        self.l0[core].insert(block, state, t);
+    }
+
+    /// LLC fill; dirty victims write back to memory, which has no content
+    /// representation here.
+    fn fill_llc(&mut self, bank: usize, block: BlockAddr, state: LineState) {
+        let t = self.tick();
+        self.llc[bank].insert(block, state, t);
+    }
+
+    fn invalidate_private(&mut self, core: usize, block: BlockAddr) {
+        self.l1[core].invalidate(block);
+        self.l0[core].invalidate(block);
+    }
+
+    fn invalidate_llc_copies(&mut self, block: BlockAddr) {
+        for bank in &mut self.llc {
+            bank.invalidate(block);
+        }
+    }
+
+    /// Invalidations fanned out by the directory; counted against the
+    /// *requesting* VM, as the engine does.
+    fn invalidate_victims(
+        &mut self,
+        vm: usize,
+        victims: &[usize],
+        block: BlockAddr,
+        measured: bool,
+    ) {
+        for &victim in victims {
+            if self.mutation != Some(Mutation::SkipInvalidations) {
+                self.invalidate_private(victim, block);
+            }
+            if measured {
+                self.counters[vm].invalidations_received += 1;
+            }
+        }
+    }
+
+    fn bank_of_core(&self, core: usize) -> usize {
+        core / self.cores_per_bank
+    }
+
+    /// Mesh node of a core (identity mapping, like the engine's layout).
+    fn core_node(&self, core: usize) -> usize {
+        core
+    }
+
+    /// Mesh node an LLC bank attaches to (middle of its core group).
+    fn bank_node(&self, bank: usize) -> usize {
+        bank * self.cores_per_bank + self.cores_per_bank / 2
+    }
+
+    /// Manhattan distance on the row-major mesh.
+    fn hops(&self, a: usize, b: usize) -> u64 {
+        let (ax, ay) = (a % self.mesh_width, a / self.mesh_width);
+        let (bx, by) = (b % self.mesh_width, b / self.mesh_width);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consim_types::VmId;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::paper_default()
+    }
+
+    fn blk(n: u64) -> BlockAddr {
+        BlockAddr::in_vm(VmId::new(0), n)
+    }
+
+    fn read_step(core: usize, block: BlockAddr) -> AccessStep {
+        AccessStep {
+            core: CoreId::new(core),
+            vm: VmId::new(0),
+            thread: consim_types::ThreadId::new(0),
+            block,
+            is_write: false,
+            measuring: true,
+            outcome: StepOutcome::Miss(MissSource::Memory),
+            dir_owner: None,
+            dir_sharers: consim_coherence::CoreSet::EMPTY,
+        }
+    }
+
+    #[test]
+    fn cold_read_goes_to_memory() {
+        let mut m = RefModel::new(&machine(), 1);
+        let step = read_step(0, blk(1));
+        let out = m.apply(&step);
+        assert_eq!(out, StepOutcome::Miss(MissSource::Memory));
+        // Second access by the same core is an L0 hit.
+        let out = m.apply(&read_step(0, blk(1)));
+        assert_eq!(out, StepOutcome::L0Hit);
+    }
+
+    #[test]
+    fn second_reader_is_clean_c2c() {
+        let mut m = RefModel::new(&machine(), 1);
+        m.apply(&read_step(0, blk(1)));
+        let out = m.apply(&read_step(1, blk(1)));
+        assert_eq!(out, StepOutcome::Miss(MissSource::RemoteL1Clean));
+    }
+
+    #[test]
+    fn write_after_remote_read_is_dirty_transfer_chain() {
+        let mut m = RefModel::new(&machine(), 1);
+        let mut w = read_step(0, blk(1));
+        w.is_write = true;
+        m.apply(&w);
+        assert_eq!(m.directory.owner(blk(1)), Some(0));
+        // Remote read pulls it dirty and downgrades.
+        let out = m.apply(&read_step(5, blk(1)));
+        assert_eq!(out, StepOutcome::Miss(MissSource::RemoteL1Dirty));
+        assert_eq!(m.directory.owner(blk(1)), None);
+        assert_eq!(m.directory.members(blk(1)), vec![0, 5]);
+    }
+
+    #[test]
+    fn naive_lru_matches_stamp_order() {
+        let mut c = NaiveCache::new(1, 2);
+        c.insert(blk(1), LineState::Shared, 1);
+        c.insert(blk(2), LineState::Shared, 2);
+        c.access(blk(1), 3);
+        let victim = c.insert(blk(3), LineState::Shared, 4).expect("eviction");
+        assert_eq!(victim.block, blk(2));
+        assert!(c.probe(blk(1)).is_some());
+    }
+
+    #[test]
+    fn probe_does_not_touch() {
+        let mut c = NaiveCache::new(1, 2);
+        c.insert(blk(1), LineState::Shared, 1);
+        c.insert(blk(2), LineState::Shared, 2);
+        assert!(c.probe(blk(1)).is_some());
+        let victim = c.insert(blk(3), LineState::Shared, 3).expect("eviction");
+        assert_eq!(victim.block, blk(1), "probe must not protect the LRU line");
+    }
+
+    #[test]
+    fn replication_counts_multi_bank_blocks() {
+        let mut m = RefModel::new(
+            &machine().with_sharing(consim_types::config::SharingDegree::Private),
+            1,
+        );
+        m.prewarm(BankId::new(0), blk(1));
+        m.prewarm(BankId::new(1), blk(1));
+        m.prewarm(BankId::new(2), blk(2));
+        let (total, replicated) = m.replication();
+        assert_eq!(total, 3);
+        assert_eq!(replicated, 2);
+    }
+}

@@ -343,6 +343,22 @@ impl Directory {
         self.entries.get(&block).and_then(|e| e.owner)
     }
 
+    /// Owner and full member set (owner included) in one lookup —
+    /// equivalent to `(owner_of(b), sharers_of(b))` but touches the entry
+    /// map once. Used by the engine's step-observation hook.
+    pub fn state_of(&self, block: BlockAddr) -> (Option<CoreId>, CoreSet) {
+        match self.entries.get(&block) {
+            Some(e) => {
+                let mut members = e.sharers;
+                if let Some(o) = e.owner {
+                    members.insert(o);
+                }
+                (e.owner, members)
+            }
+            None => (None, CoreSet::EMPTY),
+        }
+    }
+
     /// Number of blocks with tracked on-chip copies.
     pub fn tracked_blocks(&self) -> usize {
         self.entries.len()

@@ -37,6 +37,7 @@
 
 use crate::machine::Layout;
 use crate::metrics::{MissSource, OccupancySnapshot, ReplicationSnapshot, VmMetrics};
+use crate::observe::{AccessStep, StepObserver, StepOutcome};
 use consim_cache::{LineState, ReplacementPolicy, SetAssocCache};
 use consim_coherence::{AccessKind, DataSource, Directory, DirectoryCache, ProtocolStats};
 use consim_noc::{ContentionModel, NocStats, Packet, ReservationCalendar};
@@ -439,13 +440,28 @@ impl Simulation {
     ///
     /// Returns [`SimError::Invariant`] if internal protocol invariants break
     /// (a simulator bug).
-    pub fn run(mut self) -> Result<SimulationOutcome, SimError> {
+    pub fn run(self) -> Result<SimulationOutcome, SimError> {
+        self.run_with(None)
+    }
+
+    /// Like [`Simulation::run`], but notifies `observer` of every simulated
+    /// memory reference (see [`crate::observe`]). Passing `None` is exactly
+    /// `run`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invariant`] if internal protocol invariants break
+    /// (a simulator bug).
+    pub fn run_with(
+        mut self,
+        mut observer: Option<&mut dyn StepObserver>,
+    ) -> Result<SimulationOutcome, SimError> {
         if self.config.prewarm_llc {
-            self.prewarm_llc_banks();
+            self.prewarm_llc_banks(&mut observer);
         }
         let mut clock = Cycle::ZERO;
         if self.config.warmup_refs_per_vm > 0 {
-            clock = self.phase(clock, self.config.warmup_refs_per_vm, false)?;
+            clock = self.phase(clock, self.config.warmup_refs_per_vm, false, &mut observer)?;
             self.reset_measurement_state();
         }
         let num_vms = self.config.workloads.len();
@@ -458,7 +474,7 @@ impl Simulation {
             });
         }
         let measure_start = clock;
-        let end = self.phase(clock, self.config.refs_per_vm, true)?;
+        let end = self.phase(clock, self.config.refs_per_vm, true, &mut observer)?;
 
         debug_assert!(self.directory.check_invariants().is_ok());
 
@@ -515,7 +531,13 @@ impl Simulation {
     /// issues `quota` references; cores of finished VMs keep running so the
     /// machine stays at capacity (the paper restarts finished workloads).
     /// Returns the cycle at which the last VM finished its quota.
-    fn phase(&mut self, start: Cycle, quota: u64, measuring: bool) -> Result<Cycle, SimError> {
+    fn phase(
+        &mut self,
+        start: Cycle,
+        quota: u64,
+        measuring: bool,
+        observer: &mut Option<&mut dyn StepObserver>,
+    ) -> Result<Cycle, SimError> {
         // Epoch snapshots only apply to the measurement phase. The loop is
         // monomorphized over whether they are on: even a never-taken branch
         // whose body calls through a trace-sink vtable pessimizes the hot
@@ -527,8 +549,8 @@ impl Simulation {
             .clone()
             .filter(|t| measuring && t.sink.wants(EventClass::Epoch));
         match epoch_trace {
-            Some(trace) => self.phase_loop::<true>(start, quota, measuring, Some(trace)),
-            None => self.phase_loop::<false>(start, quota, measuring, None),
+            Some(trace) => self.phase_loop::<true>(start, quota, measuring, Some(trace), observer),
+            None => self.phase_loop::<false>(start, quota, measuring, None, observer),
         }
     }
 
@@ -540,6 +562,7 @@ impl Simulation {
         quota: u64,
         measuring: bool,
         epoch_trace: Option<TraceConfig>,
+        observer: &mut Option<&mut dyn StepObserver>,
     ) -> Result<Cycle, SimError> {
         let num_vms = self.config.workloads.len();
         let mean_gap = self.config.machine.instructions_per_memory_op;
@@ -574,8 +597,24 @@ impl Simulation {
             }
             if let (Some(at), Some(interval)) = (next_resched, self.config.reschedule_every) {
                 if now >= at {
+                    let occupied_before: Vec<bool> =
+                        self.core_thread.iter().map(Option::is_some).collect();
                     self.reschedule();
                     next_resched = Some(at + interval);
+                    if self
+                        .core_thread
+                        .iter()
+                        .map(Option::is_some)
+                        .ne(occupied_before.iter().copied())
+                    {
+                        // The set of occupied cores changed (possible under
+                        // Random placement): pending events on vacated cores
+                        // would orphan their issue slots and newly occupied
+                        // cores would starve. Remap, then re-pop.
+                        heap.push(Reverse((now, core)));
+                        remap_core_events(&mut heap, &occupied_before, &self.core_thread);
+                        continue;
+                    }
                 }
             }
             let thread = self.core_thread[core].expect("scheduled cores have threads");
@@ -594,7 +633,7 @@ impl Simulation {
                     m.footprint.insert(mem_ref.address.block().raw());
                 }
             }
-            let done = self.access(CoreId::new(core), vm, &mem_ref, issue, measuring);
+            let done = self.access(CoreId::new(core), vm, &mem_ref, issue, measuring, observer);
 
             if !vm_done[vm.index()] {
                 vm_refs[vm.index()] += 1;
@@ -689,6 +728,7 @@ impl Simulation {
         mem_ref: &MemRef,
         issue: Cycle,
         measuring: bool,
+        observer: &mut Option<&mut dyn StepObserver>,
     ) -> Cycle {
         let block = mem_ref.address.block();
         let l0_latency = self.config.machine.l0.latency;
@@ -703,6 +743,9 @@ impl Simulation {
                 }
                 if measuring {
                     self.metrics[vm.index()].l0_hits += 1;
+                }
+                if observer.is_some() {
+                    self.notify_step(observer, core, vm, mem_ref, measuring, StepOutcome::L0Hit);
                 }
                 return issue + l0_latency;
             }
@@ -722,28 +765,66 @@ impl Simulation {
                 if measuring {
                     self.metrics[vm.index()].l1_hits += 1;
                 }
+                if observer.is_some() {
+                    self.notify_step(observer, core, vm, mem_ref, measuring, StepOutcome::L1Hit);
+                }
                 return issue + l0_latency + l1_latency;
             }
             // Write hit on a Shared line: upgrade.
-            return self.coherence_transaction(
-                core,
-                vm,
-                block,
-                AccessKind::Upgrade,
-                issue,
-                measuring,
-            );
+            let (completion, source) =
+                self.coherence_transaction(core, vm, block, AccessKind::Upgrade, issue, measuring);
+            if observer.is_some() {
+                let outcome = StepOutcome::Miss(source);
+                self.notify_step(observer, core, vm, mem_ref, measuring, outcome);
+            }
+            return completion;
         }
         let kind = if mem_ref.is_write {
             AccessKind::Write
         } else {
             AccessKind::Read
         };
-        self.coherence_transaction(core, vm, block, kind, issue, measuring)
+        let (completion, source) =
+            self.coherence_transaction(core, vm, block, kind, issue, measuring);
+        if observer.is_some() {
+            let outcome = StepOutcome::Miss(source);
+            self.notify_step(observer, core, vm, mem_ref, measuring, outcome);
+        }
+        completion
+    }
+
+    /// Delivers one [`AccessStep`] to the attached observer. Out of line and
+    /// cold: the common (unobserved) run pays only the `is_some` branch at
+    /// the call sites.
+    #[cold]
+    #[inline(never)]
+    fn notify_step(
+        &self,
+        observer: &mut Option<&mut dyn StepObserver>,
+        core: CoreId,
+        vm: VmId,
+        mem_ref: &MemRef,
+        measuring: bool,
+        outcome: StepOutcome,
+    ) {
+        let observer = observer.as_deref_mut().expect("observer checked by caller");
+        let block = mem_ref.address.block();
+        let (dir_owner, dir_sharers) = self.directory.state_of(block);
+        observer.on_step(&AccessStep {
+            core,
+            vm,
+            thread: mem_ref.thread,
+            block,
+            is_write: mem_ref.is_write,
+            measuring,
+            outcome,
+            dir_owner,
+            dir_sharers,
+        });
     }
 
     /// Resolves an L1 miss (or upgrade) through the directory; returns the
-    /// completion time.
+    /// completion time and the engine's classification of the miss.
     fn coherence_transaction(
         &mut self,
         core: CoreId,
@@ -752,7 +833,7 @@ impl Simulation {
         kind: AccessKind,
         issue: Cycle,
         measuring: bool,
-    ) -> Cycle {
+    ) -> (Cycle, MissSource) {
         // Scalar reads instead of cloning the whole machine description:
         // this runs once per L1 miss.
         let l0_latency = self.config.machine.l0.latency;
@@ -852,7 +933,7 @@ impl Simulation {
             self.l1[core.index()].set_state(block, LineState::Modified);
             self.l0[core.index()].set_state(block, LineState::Modified);
         }
-        completion
+        (completion, source)
     }
 
     /// Serves a miss from another core's L1 (cache-to-cache transfer).
@@ -1041,7 +1122,7 @@ impl Simulation {
     /// its banks proportional to how many of the bank's cores it owns;
     /// blocks are inserted coldest-first so the hottest end up
     /// most-recently-used.
-    fn prewarm_llc_banks(&mut self) {
+    fn prewarm_llc_banks(&mut self, observer: &mut Option<&mut dyn StepObserver>) {
         let machine = self.config.machine.clone();
         let per_bank_capacity = machine.llc_bank_geometry().num_lines();
         for vm in 0..self.config.workloads.len() {
@@ -1085,6 +1166,9 @@ impl Simulation {
             for (b, blocks) in per_bank.into_iter().enumerate() {
                 for block in blocks.into_iter().rev() {
                     self.llc[b].insert(block, LineState::Shared);
+                    if let Some(obs) = observer.as_deref_mut() {
+                        obs.on_llc_prewarm(BankId::new(b), block);
+                    }
                 }
             }
         }
@@ -1132,6 +1216,33 @@ impl Simulation {
             bank.invalidate(block);
         }
     }
+}
+
+/// Rebinds pending issue events after a reschedule that changed which cores
+/// are occupied (possible under [`SchedulingPolicy::Random`]): events on
+/// vacated cores are reassigned — earliest times first — to the cores that
+/// became occupied, in ascending core order. Events on cores that stayed
+/// occupied are untouched, so deterministic policies keep their exact
+/// pre-existing schedule.
+fn remap_core_events(
+    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    occupied_before: &[bool],
+    core_thread: &[Option<GlobalThreadId>],
+) {
+    let mut kept: Vec<(u64, usize)> = Vec::with_capacity(heap.len());
+    let mut orphaned: Vec<u64> = Vec::new();
+    for Reverse((time, core)) in heap.drain() {
+        if core_thread[core].is_some() {
+            kept.push((time, core));
+        } else {
+            orphaned.push(time);
+        }
+    }
+    orphaned.sort_unstable();
+    let fresh_cores = (0..core_thread.len())
+        .filter(|&core| core_thread[core].is_some() && !occupied_before[core]);
+    heap.extend(kept.into_iter().map(Reverse));
+    heap.extend(orphaned.into_iter().zip(fresh_cores).map(Reverse));
 }
 
 #[cfg(test)]
@@ -1416,7 +1527,7 @@ mod prewarm_tests {
         // lines must all land there.
         let sim = {
             let mut s = Simulation::new(config(true)).unwrap();
-            s.prewarm_llc_banks();
+            s.prewarm_llc_banks(&mut None);
             s
         };
         let occupied: Vec<usize> = sim.llc.iter().map(|b| b.occupancy()).collect();
@@ -1474,6 +1585,30 @@ mod resched_tests {
             .run()
             .unwrap();
         assert_eq!(stat.measured_cycles, dynamic.measured_cycles);
+    }
+
+    #[test]
+    fn random_rescheduling_survives_partial_occupancy() {
+        // Regression (found by consim-check differential fuzzing): with
+        // Random placement and fewer threads than cores, a reschedule can
+        // change *which* cores are occupied. Pending issue events must be
+        // remapped onto the newly occupied cores — previously this panicked
+        // ("scheduled cores have threads") when a vacated core's event was
+        // popped.
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
+            .policy(SchedulingPolicy::Random)
+            .refs_per_vm(3_000)
+            .warmup_refs_per_vm(500)
+            .reschedule_every(1_000)
+            .seed(3);
+        for _ in 0..2 {
+            b.workload(WorkloadKind::TpcH.profile());
+        }
+        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+        for m in &out.vm_metrics {
+            assert_eq!(m.l0_hits + m.l1_hits + m.l1_misses, m.refs);
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod engine;
 pub mod machine;
 pub mod metrics;
 pub mod mix;
+pub mod observe;
 pub mod report;
 pub mod runner;
 pub mod stats;
@@ -69,7 +70,8 @@ pub use audit::audit_outcome;
 pub use engine::{
     Simulation, SimulationConfig, SimulationConfigBuilder, SimulationOutcome, TraceConfig,
 };
-pub use metrics::{OccupancySnapshot, ReplicationSnapshot, VmMetrics};
+pub use metrics::{MissSource, OccupancySnapshot, ReplicationSnapshot, VmMetrics};
 pub use mix::{Mix, MixId};
+pub use observe::{AccessStep, StepObserver, StepOutcome};
 pub use runner::{ExperimentRunner, RunOptions};
 pub use stats::Summary;

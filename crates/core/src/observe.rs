@@ -1,0 +1,74 @@
+//! Step-level observation of a running simulation.
+//!
+//! A [`StepObserver`] attached via [`Simulation::run_with`] is called once
+//! per memory reference — warmup and measurement alike — with everything an
+//! external model needs to replay the access: who issued it, the block, the
+//! classification the engine chose, and the directory's post-access view of
+//! the block. The differential oracle in `consim-check` drives a naive
+//! reference implementation of the hierarchy from these callbacks and
+//! cross-checks every step; other consumers can build trace exporters or
+//! protocol visualizers on the same hook.
+//!
+//! The hook is designed to cost nothing when unused: `Simulation::run`
+//! passes `None` and the engine pays a single always-false branch per
+//! access (the notification body is `#[cold]`, out of the hot path).
+//!
+//! [`Simulation::run_with`]: crate::engine::Simulation::run_with
+
+use crate::metrics::MissSource;
+use consim_coherence::CoreSet;
+use consim_types::{BankId, BlockAddr, CoreId, ThreadId, VmId};
+
+/// How one memory reference was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Satisfied by the issuing core's L0.
+    L0Hit,
+    /// Satisfied by the issuing core's L1 (includes the L0 fill).
+    L1Hit,
+    /// Resolved through the directory; where the data came from.
+    Miss(MissSource),
+}
+
+/// One observed memory reference, with the engine's classification and the
+/// directory's state for the block *after* the access completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessStep {
+    /// The issuing core.
+    pub core: CoreId,
+    /// The VM the issuing thread belongs to.
+    pub vm: VmId,
+    /// The issuing thread within its VM.
+    pub thread: ThreadId,
+    /// The block accessed.
+    pub block: BlockAddr,
+    /// Whether the access was a store.
+    pub is_write: bool,
+    /// Whether the access happened during the measurement phase (as opposed
+    /// to warmup).
+    pub measuring: bool,
+    /// The engine's hit/miss classification.
+    pub outcome: StepOutcome,
+    /// The directory's Modified owner of the block after the access.
+    pub dir_owner: Option<CoreId>,
+    /// All cores the directory tracks for the block after the access
+    /// (owner included).
+    pub dir_sharers: CoreSet,
+}
+
+/// Receives one callback per simulated memory reference.
+///
+/// Implementations must be cheap relative to a simulated access or they
+/// dominate the run time; the engine calls them synchronously from the
+/// event loop.
+pub trait StepObserver {
+    /// Called after each memory reference completes in protocol order.
+    fn on_step(&mut self, step: &AccessStep);
+
+    /// Called for every block the engine pre-fills into an LLC bank during
+    /// checkpoint-style prewarming, in exact insertion order (so an observer
+    /// can mirror the banks' recency state). Default: ignored.
+    fn on_llc_prewarm(&mut self, bank: BankId, block: BlockAddr) {
+        let _ = (bank, block);
+    }
+}

@@ -439,10 +439,14 @@ impl MachineConfigBuilder {
                 "memory controller count must be in 1..=num_cores",
             ));
         }
-        if self.directory_cache_entries == 0 {
-            return Err(SimError::invalid_config(
-                "directory cache needs at least one entry",
-            ));
+        // The directory cache is 8-way set-associative; a capacity that is
+        // not a whole number of sets would otherwise only be rejected much
+        // later, at simulation construction, with a confusing byte count.
+        if self.directory_cache_entries == 0 || !self.directory_cache_entries.is_multiple_of(8) {
+            return Err(SimError::invalid_config(format!(
+                "directory cache capacity must be a positive multiple of 8 entries, got {}",
+                self.directory_cache_entries
+            )));
         }
         Ok(MachineConfig {
             num_cores: self.num_cores,
@@ -486,6 +490,20 @@ mod tests {
         assert_eq!(m.llc.latency, 6);
         assert_eq!(m.memory_latency, 150);
         assert_eq!(m.router_pipeline, 3);
+    }
+
+    #[test]
+    fn directory_cache_capacity_must_fit_whole_sets() {
+        // Regression (found by consim-check differential fuzzing): a
+        // capacity that is not a multiple of the directory cache's 8-way
+        // associativity used to pass config validation and only fail at
+        // simulation construction with a confusing byte-count message.
+        let mut b = MachineConfigBuilder::new();
+        b.directory_cache_entries(12);
+        let err = b.build().unwrap_err().to_string();
+        assert!(err.contains("multiple of 8"), "unexpected error: {err}");
+        b.directory_cache_entries(16);
+        assert!(b.build().is_ok());
     }
 
     #[test]

@@ -158,6 +158,60 @@ mod tests {
         );
     }
 
+    /// The sampler's theoretical pmf from its own CDF:
+    /// `P(rank = r) = ((r+1)/n)^(1-theta) - (r/n)^(1-theta)`.
+    fn pmf(s: &ZipfSampler, r: u64) -> f64 {
+        s.mass_below(r + 1) - s.mass_below(r)
+    }
+
+    #[test]
+    fn empirical_frequencies_match_theoretical_pmf() {
+        // Per-rank chi-squared-style check across several skews: with
+        // 400k draws every rank's empirical frequency must sit within a
+        // few standard errors of the analytic pmf.
+        for &theta in &[0.0, 0.3, 0.6, 0.9] {
+            let n_ranks = 50;
+            let s = ZipfSampler::new(n_ranks, theta).unwrap();
+            let mut rng = SimRng::from_seed(8);
+            let draws = 400_000u64;
+            let mut counts = vec![0u64; n_ranks as usize];
+            for _ in 0..draws {
+                counts[s.sample(&mut rng) as usize] += 1;
+            }
+            for (r, &c) in counts.iter().enumerate() {
+                let p = pmf(&s, r as u64);
+                let empirical = c as f64 / draws as f64;
+                // 5 standard errors of a binomial proportion, plus a small
+                // absolute floor for near-zero tail probabilities.
+                let tolerance = 5.0 * (p * (1.0 - p) / draws as f64).sqrt() + 5e-4;
+                assert!(
+                    (empirical - p).abs() < tolerance,
+                    "theta {theta} rank {r}: empirical {empirical} vs pmf {p} (tol {tolerance})"
+                );
+            }
+            let total: f64 = (0..n_ranks).map(|r| pmf(&s, r)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "pmf must sum to 1, got {total}");
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_exactly_uniform() {
+        // At theta = 0 the inversion degenerates to `floor(n * u)`: the
+        // sample must equal that expression bit-for-bit (same RNG stream),
+        // and the analytic head mass must be exactly k/n.
+        let n = 7u64;
+        let s = ZipfSampler::new(n, 0.0).unwrap();
+        let mut rng = SimRng::from_seed(9);
+        let mut mirror = rng.clone();
+        for _ in 0..10_000 {
+            let expected = (n as f64 * mirror.unit()) as u64;
+            assert_eq!(s.sample(&mut rng), expected.min(n - 1));
+        }
+        for k in 0..=n {
+            assert_eq!(s.mass_below(k), k as f64 / n as f64);
+        }
+    }
+
     #[test]
     fn singleton_domain_always_zero() {
         let s = ZipfSampler::new(1, 0.5).unwrap();

@@ -179,6 +179,86 @@ fn parallel_batches_match_serial_bit_for_bit() {
     }
 }
 
+/// Worker count and tracing are both observability knobs: neither may
+/// change a single reported bit. Runs the same batch on 1, 2, and 4
+/// workers with a live [`RingBufferSink`] attached and demands identical
+/// per-VM statistics everywhere.
+#[test]
+fn traced_runs_are_bit_identical_across_thread_counts() {
+    use server_consolidation_sim::trace::{RingBufferSink, TraceSink};
+    use std::sync::Arc;
+
+    let options = RunOptions {
+        refs_per_vm: 3_000,
+        warmup_refs_per_vm: 500,
+        seeds: vec![1, 2],
+        track_footprint: false,
+        prewarm_llc: true,
+    };
+    let cells = vec![
+        ExperimentCell::of_kinds(
+            &[WorkloadKind::SpecJbb, WorkloadKind::TpcH],
+            SchedulingPolicy::Affinity,
+            SharingDegree::SharedBy(4),
+        ),
+        ExperimentCell::of_kinds(
+            &[WorkloadKind::TpcW; 2],
+            SchedulingPolicy::Random,
+            SharingDegree::Private,
+        ),
+    ];
+    let stats_bits = |threads: usize| -> (Vec<u64>, usize) {
+        let sink = Arc::new(RingBufferSink::new(4_096));
+        let results = ExperimentRunner::new(options.clone())
+            .with_threads(threads)
+            .with_sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .run_cells(&cells)
+            .expect("traced batch");
+        let mut bits = Vec::new();
+        for agg in &results {
+            for vm in &agg.vms {
+                bits.push(vm.runtime_cycles.mean.to_bits());
+                bits.push(vm.miss_latency.mean.to_bits());
+                bits.push(vm.llc_miss_rate.mean.to_bits());
+            }
+            bits.push(agg.replication.mean.to_bits());
+        }
+        (bits, sink.snapshot().len())
+    };
+    let (serial, serial_events) = stats_bits(1);
+    for threads in [2, 4] {
+        let (parallel, parallel_events) = stats_bits(threads);
+        assert_eq!(serial, parallel, "{threads} workers changed the report");
+        assert_eq!(
+            serial_events, parallel_events,
+            "{threads} workers changed the event count"
+        );
+    }
+    assert!(serial_events > 0, "the sink must actually receive events");
+}
+
+/// Manifest digests are the replayability anchor: the same logical run
+/// must digest to the same 16-hex string on every execution, and any
+/// seed change must move it.
+#[test]
+fn manifest_digests_are_stable_across_runs() {
+    use server_consolidation_sim::trace::digest_of;
+
+    let run_digest = |seed: u64| -> String {
+        let outcome = Simulation::new(config(seed, SchedulingPolicy::Affinity))
+            .unwrap()
+            .run()
+            .unwrap();
+        digest_of(&fingerprint(&outcome))
+    };
+    let a = run_digest(7);
+    let b = run_digest(7);
+    assert_eq!(a, b, "identical runs must digest identically");
+    assert_eq!(a.len(), 16);
+    assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_ne!(a, run_digest(8), "seed changes must move the digest");
+}
+
 #[test]
 fn placement_is_deterministic_per_seed_even_when_random() {
     let a = Simulation::new(config(3, SchedulingPolicy::Random)).unwrap();

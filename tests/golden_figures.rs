@@ -1,0 +1,153 @@
+//! Golden snapshot tests for the paper's figure tables.
+//!
+//! Each figure function renders to a plain-text table; this test pins the
+//! exact output for a small fixed configuration (refs, warmup, seed all
+//! hard-coded — deliberately *not* reading `CONSIM_REFS` etc., so the
+//! snapshots don't drift with the environment). Any change to workload
+//! generation, the engine's protocol walk, the statistics pipeline, or
+//! table formatting shows up as a readable text diff against
+//! `tests/golden/`.
+//!
+//! To bless new output after an intentional behavior change:
+//!
+//! ```text
+//! CONSIM_BLESS=1 cargo test --test golden_figures
+//! git diff tests/golden/   # review every diff before committing
+//! ```
+
+use consim::runner::RunOptions;
+use consim_bench::figures;
+use consim_bench::FigureContext;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Small fixed run: big enough that every figure has signal (cache
+/// pressure, sharing, migrations), small enough to run in CI.
+fn golden_context() -> FigureContext {
+    FigureContext::new(RunOptions {
+        refs_per_vm: 1_500,
+        warmup_refs_per_vm: 400,
+        seeds: vec![1],
+        track_footprint: false,
+        prewarm_llc: true,
+    })
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn bless_requested() -> bool {
+    std::env::var("CONSIM_BLESS").is_ok_and(|v| v.trim() == "1")
+}
+
+#[test]
+fn figures_match_golden_snapshots() {
+    let ctx = golden_context();
+    // Rendered lazily in order; the shared context memoizes simulation
+    // cells, so overlapping figures (5/6/7, 8/9/10) reuse each other's runs.
+    let figures: Vec<(&str, String)> = vec![
+        ("table2", figures::table2(&ctx).unwrap().to_string()),
+        ("table4", figures::table4()),
+        (
+            "fig02_isolated_performance",
+            figures::fig02_isolated_performance(&ctx)
+                .unwrap()
+                .to_string(),
+        ),
+        (
+            "fig03_isolated_missrate",
+            figures::fig03_isolated_missrate(&ctx).unwrap().to_string(),
+        ),
+        (
+            "fig04_isolated_misslatency",
+            figures::fig04_isolated_misslatency(&ctx)
+                .unwrap()
+                .to_string(),
+        ),
+        (
+            "fig05_homogeneous_performance",
+            figures::fig05_homogeneous_performance(&ctx)
+                .unwrap()
+                .to_string(),
+        ),
+        (
+            "fig06_homogeneous_misslatency",
+            figures::fig06_homogeneous_misslatency(&ctx)
+                .unwrap()
+                .to_string(),
+        ),
+        (
+            "fig07_homogeneous_missrate",
+            figures::fig07_homogeneous_missrate(&ctx)
+                .unwrap()
+                .to_string(),
+        ),
+        (
+            "fig08_heterogeneous_performance",
+            figures::fig08_heterogeneous_performance(&ctx)
+                .unwrap()
+                .to_string(),
+        ),
+        (
+            "fig09_heterogeneous_missrate",
+            figures::fig09_heterogeneous_missrate(&ctx)
+                .unwrap()
+                .to_string(),
+        ),
+        (
+            "fig10_heterogeneous_misslatency",
+            figures::fig10_heterogeneous_misslatency(&ctx)
+                .unwrap()
+                .to_string(),
+        ),
+        (
+            "fig11_sharing_degree",
+            figures::fig11_sharing_degree(&ctx).unwrap().to_string(),
+        ),
+        (
+            "fig12_replication",
+            figures::fig12_replication(&ctx).unwrap().to_string(),
+        ),
+        (
+            "fig13_occupancy",
+            figures::fig13_occupancy(&ctx).unwrap().to_string(),
+        ),
+    ];
+
+    let dir = golden_dir();
+    if bless_requested() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, rendered) in &figures {
+            std::fs::write(dir.join(format!("{name}.txt")), rendered).unwrap();
+        }
+        return;
+    }
+
+    let mut report = String::new();
+    for (name, rendered) in &figures {
+        let path = dir.join(format!("{name}.txt"));
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == *rendered => {}
+            Ok(expected) => {
+                let _ = writeln!(
+                    report,
+                    "--- {name}: output differs from {} ---\nexpected:\n{expected}\nactual:\n{rendered}",
+                    path.display()
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(
+                    report,
+                    "--- {name}: cannot read {}: {e} ---",
+                    path.display()
+                );
+            }
+        }
+    }
+    assert!(
+        report.is_empty(),
+        "golden snapshots differ; if intentional, re-bless with \
+         `CONSIM_BLESS=1 cargo test --test golden_figures` and review the diff\n{report}"
+    );
+}
