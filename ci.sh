@@ -26,7 +26,7 @@ echo "== workspace tests (release) =="
 cargo test --workspace --release -q
 
 echo "== differential oracle smoke (consim-check, fixed seed) =="
-cargo run --release -q -p consim-check --bin fuzz -- --cases 200 --seed 7
+cargo run --release -q -p consim-check --bin fuzz -- --cases 500 --seed 7
 
 echo "== audit + trace smoke (release run_all at tiny quotas) =="
 smoke_dir="$(mktemp -d)"

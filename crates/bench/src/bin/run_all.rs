@@ -13,6 +13,7 @@
 use consim::runner::ExperimentRunner;
 use consim_bench::{cli::BenchFlags, figures, FigureContext};
 use consim_trace::digest_of;
+use consim_types::config::LlcPartitioning;
 use std::time::Instant;
 
 fn main() {
@@ -35,7 +36,13 @@ fn main() {
 
     if let Some(session) = session {
         let path = session
-            .finish("run_all", digest_of(&options), options.seeds, flags.audit)
+            .finish(
+                "run_all",
+                digest_of(&options),
+                options.seeds,
+                LlcPartitioning::None.label(),
+                flags.audit,
+            )
             .expect("write manifest.json");
         eprintln!("run_all: wrote {}", path.display());
     }

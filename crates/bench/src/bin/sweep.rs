@@ -9,7 +9,7 @@ use consim::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
 use consim_bench::cli::BenchFlags;
 use consim_sched::SchedulingPolicy;
 use consim_trace::digest_of;
-use consim_types::config::SharingDegree;
+use consim_types::config::{LlcPartitioning, SharingDegree};
 use consim_workload::{WorkloadKind, WorkloadProfile};
 
 fn extract(run: &MixRun) -> (f64, f64, f64) {
@@ -107,6 +107,7 @@ fn main() {
                 "sweep",
                 digest_of(&(&options, &which)),
                 options.seeds,
+                LlcPartitioning::None.label(),
                 flags.audit,
             )
             .expect("write manifest.json");

@@ -16,7 +16,7 @@ use consim::runner::{ExperimentCell, ExperimentRunner, RunOptions};
 use consim_bench::cli::BenchFlags;
 use consim_sched::SchedulingPolicy;
 use consim_trace::digest_of;
-use consim_types::config::SharingDegree;
+use consim_types::config::{LlcPartitioning, SharingDegree};
 use consim_workload::WorkloadKind;
 use std::time::Instant;
 
@@ -98,7 +98,13 @@ fn main() {
 
     if let Some(session) = session {
         let path = session
-            .finish("throughput", digest_of(&opts), opts.seeds, flags.audit)
+            .finish(
+                "throughput",
+                digest_of(&opts),
+                opts.seeds,
+                LlcPartitioning::None.label(),
+                flags.audit,
+            )
             .expect("write manifest.json");
         eprintln!("throughput: wrote {}", path.display());
     }

@@ -184,6 +184,7 @@ impl TraceSession {
         bin: &'static str,
         config_digest: String,
         seeds: Vec<u64>,
+        llc_partitioning: String,
         audit: bool,
     ) -> io::Result<PathBuf> {
         self.sink.flush()?;
@@ -192,6 +193,7 @@ impl TraceSession {
             crate_version: env!("CARGO_PKG_VERSION"),
             config_digest,
             seeds,
+            llc_partitioning,
             threads: thread_count(),
             audit,
             wall_seconds: self.started.elapsed().as_secs_f64(),
@@ -268,7 +270,13 @@ mod tests {
             warmup_refs_per_vm: 0,
         });
         let path = session
-            .finish("run_all", "0123456789abcdef".to_string(), vec![7], true)
+            .finish(
+                "run_all",
+                "0123456789abcdef".to_string(),
+                vec![7],
+                "none".to_string(),
+                true,
+            )
             .unwrap();
         let manifest = std::fs::read_to_string(&path).unwrap();
         assert!(manifest.contains("\"bin\": \"run_all\""));

@@ -20,7 +20,7 @@ use consim::mix::Mix;
 use consim::report::TextTable;
 use consim::runner::{ExperimentCell, RunOptions, VmAggregate};
 use consim_sched::SchedulingPolicy;
-use consim_types::config::SharingDegree;
+use consim_types::config::{LlcPartitioning, MachineConfig, SharingDegree};
 use consim_types::SimError;
 use consim_workload::WorkloadKind;
 
@@ -433,6 +433,83 @@ pub fn fig13_occupancy(ctx: &FigureContext) -> Result<TextTable, SimError> {
     Ok(t)
 }
 
+/// Fig. 14 (extension): per-VM quality of service under LLC way
+/// partitioning — the first heterogeneous mix, round robin on shared-4-way
+/// banks, with the LLC unpartitioned, split equally, and split 8/4/2/2
+/// across the four VMs. Row groups give runtime (normalized to the
+/// unpartitioned column), absolute LLC miss rate, and mean bank-capacity
+/// share, per VM — the partitioned analogue of Figs. 8-10 and 13.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig14_partitioning(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let mix = Mix::all_heterogeneous()
+        .into_iter()
+        .next()
+        .expect("at least one heterogeneous mix");
+    let schemes: [(&str, LlcPartitioning); 3] = [
+        ("none", LlcPartitioning::None),
+        ("equal", LlcPartitioning::EqualWays),
+        ("8/4/2/2", LlcPartitioning::ExplicitWays(vec![8, 4, 2, 2])),
+    ];
+    // The unpartitioned column reuses the context's cached cell (it is the
+    // same run Fig. 13 reads); the partitioned columns change the machine
+    // itself, which the cell cache does not key on, so they run on
+    // dedicated runners cloned from the context's (keeping its audit
+    // setting and trace sink).
+    let mut runs = Vec::new();
+    for (_, scheme) in &schemes {
+        runs.push(match scheme {
+            LlcPartitioning::None => ctx.run(mix.instances(), RoundRobin, SharedBy(4))?,
+            _ => {
+                let machine = MachineConfig::paper_default().with_llc_partitioning(scheme.clone());
+                let runner = ctx.runner().clone().on_machine(machine);
+                let cell = ExperimentCell::of_kinds(mix.instances(), RoundRobin, SharedBy(4));
+                let run = runner
+                    .run_cells(std::slice::from_ref(&cell))?
+                    .pop()
+                    .expect("one cell in, one run out");
+                std::sync::Arc::new(run)
+            }
+        });
+    }
+    let cols: Vec<&str> = schemes.iter().map(|(l, _)| *l).collect();
+    let mut t = TextTable::new(
+        format!(
+            "Fig 14: way-partitioning QoS ({}, rr, shared-4-way)",
+            mix.id()
+        ),
+        &cols,
+    );
+    for (vm, kind) in mix.instances().iter().enumerate() {
+        let base = runs[0].vms[vm].runtime_cycles.mean.max(1e-9);
+        let row: Vec<f64> = runs
+            .iter()
+            .map(|r| r.vms[vm].runtime_cycles.mean / base)
+            .collect();
+        t.row(format!("runtime vm{vm} {}", kind.name()), &row);
+    }
+    for (vm, kind) in mix.instances().iter().enumerate() {
+        let row: Vec<f64> = runs
+            .iter()
+            .map(|r| r.vms[vm].llc_miss_rate.mean * 100.0)
+            .collect();
+        t.row(format!("miss% vm{vm} {}", kind.name()), &row);
+    }
+    for (vm, kind) in mix.instances().iter().enumerate() {
+        let row: Vec<f64> = runs
+            .iter()
+            .map(|r| {
+                let banks = r.occupancy.len().max(1) as f64;
+                r.occupancy.iter().map(|bank| bank[vm]).sum::<f64>() / banks * 100.0
+            })
+            .collect();
+        t.row(format!("occ% vm{vm} {}", kind.name()), &row);
+    }
+    Ok(t)
+}
+
 /// Every experiment cell the figure regenerators will request, so
 /// [`run_all`] can prefetch them in one parallel batch. Duplicates are
 /// fine; [`FigureContext::prefetch`] collapses them.
@@ -487,6 +564,7 @@ pub fn run_all(ctx: &FigureContext) -> Result<(), SimError> {
     println!("{}", fig11_sharing_degree(ctx)?);
     println!("{}", fig12_replication(ctx)?);
     println!("{}", fig13_occupancy(ctx)?);
+    println!("{}", fig14_partitioning(ctx)?);
     Ok(())
 }
 

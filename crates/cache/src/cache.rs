@@ -113,6 +113,32 @@ impl SetAssocCache {
         victim
     }
 
+    /// Fills a block, allocating only into the ways allowed by `mask`
+    /// (bit `w` set means way `w` is allowed) — the way-partitioned
+    /// counterpart of [`SetAssocCache::insert`]. Lookups and invalidations
+    /// remain unrestricted; only allocation is confined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` allows none of the set's ways.
+    pub fn insert_in_ways(
+        &mut self,
+        block: BlockAddr,
+        state: LineState,
+        mask: u64,
+    ) -> Option<CacheLine> {
+        let idx = self.set_index(block);
+        let victim = self.sets[idx].insert_in_ways(block, state, mask);
+        self.stats.insertions += 1;
+        if let Some(v) = victim {
+            self.stats.evictions += 1;
+            if v.state.is_dirty() {
+                self.stats.dirty_evictions += 1;
+            }
+        }
+        victim
+    }
+
     /// Removes a block (coherence invalidation); returns the removed line.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<CacheLine> {
         let idx = self.set_index(block);
@@ -233,6 +259,25 @@ mod tests {
         c.insert(BlockAddr::new(1), LineState::Shared);
         c.insert(BlockAddr::new(2), LineState::Modified);
         assert_eq!(c.lines().count(), 2);
+    }
+
+    #[test]
+    fn masked_insert_partitions_ways_per_caller() {
+        let mut c = small_cache(4, 1);
+        // Two "VMs" share the set, two ways each; a conflict must never
+        // cross the partition boundary.
+        c.insert_in_ways(BlockAddr::new(0), LineState::Shared, 0b0011);
+        c.insert_in_ways(BlockAddr::new(1), LineState::Shared, 0b0011);
+        c.insert_in_ways(BlockAddr::new(10), LineState::Shared, 0b1100);
+        c.insert_in_ways(BlockAddr::new(11), LineState::Shared, 0b1100);
+        assert_eq!(c.occupancy(), 4);
+        let victim = c
+            .insert_in_ways(BlockAddr::new(2), LineState::Shared, 0b0011)
+            .unwrap();
+        assert_eq!(victim.block, BlockAddr::new(0));
+        assert!(c.contains(BlockAddr::new(10)) && c.contains(BlockAddr::new(11)));
+        assert_eq!(c.stats().insertions, 5);
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]

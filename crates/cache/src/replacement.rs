@@ -116,6 +116,87 @@ impl ReplacementState {
             ReplacementState::Random(rng) => rng.index(ways),
         }
     }
+
+    /// Picks the victim among the ways allowed by `mask` (bit `w` set means
+    /// way `w` may be evicted) in a set of `ways` ways. Used for way
+    /// partitioning: a VM confined to a subset of ways must pick its victim
+    /// inside that subset. With a full mask this selects exactly the same
+    /// way as [`ReplacementState::victim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` allows none of the set's ways.
+    pub fn victim_in(&mut self, mask: u64, ways: usize) -> usize {
+        let mask = mask & ways_mask(ways);
+        assert!(mask != 0, "victim mask allows no way");
+        match self {
+            ReplacementState::Lru(order) => order
+                .iter()
+                .rev()
+                .map(|&w| w as usize)
+                .find(|&w| mask >> w & 1 == 1)
+                .expect("mask selects a tracked way"),
+            ReplacementState::TreePlru(bits) => {
+                // Walk as in `victim`, but never descend into a subtree that
+                // contains no allowed way.
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let left_has = mask & range_mask(lo, mid) != 0;
+                    let right_has = mask & range_mask(mid, hi) != 0;
+                    let go_right = if !left_has {
+                        true
+                    } else if !right_has {
+                        false
+                    } else {
+                        bits[node]
+                    };
+                    if go_right {
+                        node = 2 * node + 2;
+                        lo = mid;
+                    } else {
+                        node = 2 * node + 1;
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+            ReplacementState::Random(rng) => {
+                let allowed = mask.count_ones() as usize;
+                let pick = rng.index(allowed);
+                nth_set_bit(mask, pick)
+            }
+        }
+    }
+}
+
+/// Bitmask covering ways `[0, ways)`.
+fn ways_mask(ways: usize) -> u64 {
+    if ways >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << ways) - 1
+    }
+}
+
+/// Bitmask covering ways `[lo, hi)`.
+fn range_mask(lo: usize, hi: usize) -> u64 {
+    ways_mask(hi) & !ways_mask(lo)
+}
+
+/// Index of the `n`-th (0-based) set bit of `mask`.
+fn nth_set_bit(mask: u64, mut n: usize) -> usize {
+    let mut m = mask;
+    loop {
+        let bit = m.trailing_zeros() as usize;
+        if n == 0 {
+            return bit;
+        }
+        m &= m - 1;
+        n -= 1;
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +277,62 @@ mod tests {
     #[should_panic(expected = "at least one way")]
     fn zero_ways_rejected() {
         let _ = ReplacementState::new(ReplacementPolicy::Lru, 0, 0);
+    }
+
+    #[test]
+    fn masked_victim_matches_unmasked_with_full_mask() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Random,
+        ] {
+            let mut a = ReplacementState::new(policy, 8, 3);
+            let mut b = ReplacementState::new(policy, 8, 3);
+            for step in 0..50 {
+                let va = a.victim(8);
+                let vb = b.victim_in(u64::MAX, 8);
+                assert_eq!(va, vb, "{policy:?} step {step}");
+                a.touch(va, 8);
+                b.touch(vb, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_victim_stays_inside_mask() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Random,
+        ] {
+            let mut st = ReplacementState::new(policy, 8, 5);
+            let mask = 0b0011_0100u64; // ways 2, 4, 5
+            for step in 0..50 {
+                let v = st.victim_in(mask, 8);
+                assert!(mask >> v & 1 == 1, "{policy:?} step {step}: way {v}");
+                st.touch(v, 8);
+                // Touch an out-of-mask way too; it must never become victim.
+                st.touch(0, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_lru_picks_least_recent_allowed_way() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4, 0);
+        for w in [2, 3, 0, 1] {
+            st.touch(w, 4);
+        }
+        // Recency (most..least): 1,0,3,2. Restricted to {0, 1}: victim 0.
+        assert_eq!(st.victim_in(0b0011, 4), 0);
+        assert_eq!(st.victim(4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "allows no way")]
+    fn empty_mask_panics() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4, 0);
+        let _ = st.victim_in(0b1_0000, 4); // only bit 4: outside the set
     }
 
     #[test]

@@ -85,6 +85,43 @@ impl CacheSet {
         victim
     }
 
+    /// Inserts `block` with `state`, allocating only into the ways allowed
+    /// by `mask` (bit `w` set means way `w` is allowed). Used for per-VM
+    /// way partitioning: a block already present anywhere in the set is
+    /// updated in place, but a new line only fills or evicts inside its
+    /// mask. With a full mask this behaves exactly like
+    /// [`CacheSet::insert`].
+    ///
+    /// Returns the evicted line, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` allows none of the set's ways.
+    pub fn insert_in_ways(
+        &mut self,
+        block: BlockAddr,
+        state: LineState,
+        mask: u64,
+    ) -> Option<CacheLine> {
+        debug_assert!(state.is_valid(), "inserting an invalid line");
+        let ways = self.ways.len();
+        if let Some(w) = self.way_of(block) {
+            self.ways[w] = Some(CacheLine::new(block, state));
+            self.repl.touch(w, ways);
+            return None;
+        }
+        if let Some(w) = (0..ways).find(|&w| mask >> w & 1 == 1 && self.ways[w].is_none()) {
+            self.ways[w] = Some(CacheLine::new(block, state));
+            self.repl.touch(w, ways);
+            return None;
+        }
+        let w = self.repl.victim_in(mask, ways);
+        let victim = self.ways[w].take();
+        self.ways[w] = Some(CacheLine::new(block, state));
+        self.repl.touch(w, ways);
+        victim
+    }
+
     /// Removes `block`; returns the removed line if it was present.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<CacheLine> {
         let w = self.way_of(block)?;
@@ -179,6 +216,44 @@ mod tests {
         let blocks: Vec<u64> = set.lines().map(|l| l.block.raw()).collect();
         assert_eq!(blocks.len(), 2);
         assert!(blocks.contains(&1) && blocks.contains(&2));
+    }
+
+    #[test]
+    fn masked_insert_fills_and_evicts_inside_mask_only() {
+        let mut set = CacheSet::new(ReplacementPolicy::Lru, 4, 0);
+        // VM A owns ways {0, 1}; VM B owns ways {2, 3}.
+        set.insert_in_ways(blk(1), LineState::Shared, 0b0011);
+        set.insert_in_ways(blk(2), LineState::Shared, 0b0011);
+        set.insert_in_ways(blk(10), LineState::Shared, 0b1100);
+        // A's third insert must evict A's oldest line, never B's.
+        let victim = set
+            .insert_in_ways(blk(3), LineState::Shared, 0b0011)
+            .unwrap();
+        assert_eq!(victim.block, blk(1));
+        assert_eq!(set.probe(blk(10)), Some(LineState::Shared));
+        assert_eq!(set.occupancy(), 3);
+    }
+
+    #[test]
+    fn masked_insert_updates_in_place_without_eviction() {
+        let mut set = CacheSet::new(ReplacementPolicy::Lru, 2, 0);
+        set.insert_in_ways(blk(1), LineState::Shared, 0b01);
+        assert!(set
+            .insert_in_ways(blk(1), LineState::Modified, 0b01)
+            .is_none());
+        assert_eq!(set.probe(blk(1)), Some(LineState::Modified));
+        assert_eq!(set.occupancy(), 1);
+    }
+
+    #[test]
+    fn full_mask_insert_matches_plain_insert() {
+        let mut a = CacheSet::new(ReplacementPolicy::Lru, 2, 0);
+        let mut b = CacheSet::new(ReplacementPolicy::Lru, 2, 0);
+        for n in 1..=5 {
+            let va = a.insert(blk(n), LineState::Shared);
+            let vb = b.insert_in_ways(blk(n), LineState::Shared, u64::MAX);
+            assert_eq!(va.map(|l| l.block), vb.map(|l| l.block));
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use consim::engine::SimulationConfig;
 use consim_cache::ReplacementPolicy;
 use consim_sched::SchedulingPolicy;
-use consim_types::config::{CacheGeometry, MachineConfig, SharingDegree};
+use consim_types::config::{CacheGeometry, LlcPartitioning, MachineConfig, SharingDegree};
 use consim_types::rng::SimRng;
 use consim_types::SimError;
 use consim_workload::{WorkloadProfile, WorkloadProfileBuilder};
@@ -54,6 +54,7 @@ pub struct FuzzCase {
     pub l1_ways: usize,
     pub llc_bank_sets: usize,
     pub llc_ways: usize,
+    pub llc_partitioning: LlcPartitioning,
     pub memory_controllers: usize,
     pub directory_cache_entries: usize,
     pub instructions_per_memory_op: u64,
@@ -129,6 +130,7 @@ impl FuzzCase {
             l1_ways: pick(&mut rng, WAY_CHOICES),
             llc_bank_sets: pick(&mut rng, SET_CHOICES),
             llc_ways: pick(&mut rng, WAY_CHOICES),
+            llc_partitioning: LlcPartitioning::None,
             memory_controllers: 1 + rng.index(num_cores),
             directory_cache_entries: 8 * (1 + rng.index(8)),
             instructions_per_memory_op: 1 + rng.below(4),
@@ -145,6 +147,22 @@ impl FuzzCase {
                 None
             },
         };
+        // ~40% of cases exercise way partitioning, split between the two
+        // active policies. Random explicit splits start from one way per
+        // VM and sprinkle the rest; canonicalize repairs splits that VM
+        // shedding or a too-narrow LLC invalidates.
+        if rng.chance(0.4) {
+            case.llc_partitioning = if rng.chance(0.5) {
+                LlcPartitioning::EqualWays
+            } else {
+                let n = case.vms.len();
+                let mut ways = vec![1u8; n];
+                for _ in n..case.llc_ways {
+                    ways[rng.index(n)] += 1;
+                }
+                LlcPartitioning::ExplicitWays(ways)
+            };
+        }
         case.canonicalize();
         case
     }
@@ -233,6 +251,25 @@ impl FuzzCase {
             vm.handoff_segments = vm.handoff_segments.max(vm.threads);
             vm.handoff_segment_blocks = vm.handoff_segment_blocks.max(1);
         }
+        // Way partitioning must fit the final VM count and LLC shape:
+        // with fewer ways than VMs no partitioning is possible, and an
+        // explicit split that no longer matches (a shrink dropped a VM or
+        // halved the ways) is replaced by the deterministic equal split.
+        if self.llc_ways < self.vms.len() {
+            self.llc_partitioning = LlcPartitioning::None;
+        } else if let LlcPartitioning::ExplicitWays(ways) = &self.llc_partitioning {
+            let valid = ways.len() == self.vms.len()
+                && ways.iter().all(|&w| w > 0)
+                && ways.iter().map(|&w| w as usize).sum::<usize>() == self.llc_ways;
+            if !valid {
+                let n = self.vms.len();
+                let base = (self.llc_ways / n) as u8;
+                let extra = self.llc_ways % n;
+                self.llc_partitioning = LlcPartitioning::ExplicitWays(
+                    (0..n).map(|i| base + u8::from(i < extra)).collect(),
+                );
+            }
+        }
     }
 
     /// The machine configuration this case describes.
@@ -270,6 +307,7 @@ impl FuzzCase {
                 6,
             )?)
             .sharing(sharing)
+            .llc_partitioning(self.llc_partitioning.clone())
             .memory_latency(self.memory_latency)
             .num_memory_controllers(self.memory_controllers)
             .link_latency(self.link_latency)
@@ -367,6 +405,7 @@ impl FuzzCase {
             + cache_lines * 5
             + u64::from(self.prewarm_llc) * 1_000
             + u64::from(self.reschedule_every.is_some()) * 1_000
+            + u64::from(self.llc_partitioning != LlcPartitioning::None) * 500
     }
 }
 
@@ -409,6 +448,25 @@ mod tests {
             .any(|c| c.llc_bank_sets == 1 && c.llc_ways == 1));
         assert!(cases.iter().any(|c| c.l0_ways == 1));
         assert!(cases.iter().any(|c| c.warmup_refs_per_vm == 0));
+    }
+
+    #[test]
+    fn partitioned_cases_appear() {
+        let cases: Vec<FuzzCase> = (0..300).map(FuzzCase::generate).collect();
+        assert!(cases
+            .iter()
+            .any(|c| c.llc_partitioning == LlcPartitioning::EqualWays));
+        assert!(cases
+            .iter()
+            .any(|c| matches!(c.llc_partitioning, LlcPartitioning::ExplicitWays(_))));
+        // Every partitioned case survived canonicalization with a split
+        // that actually fits its machine.
+        for c in cases
+            .iter()
+            .filter(|c| c.llc_partitioning != LlcPartitioning::None)
+        {
+            assert!(c.vms.len() <= c.llc_ways, "seed {}", c.case_seed);
+        }
     }
 
     #[test]

@@ -274,6 +274,64 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_cases_pass() {
+        use consim_types::config::LlcPartitioning;
+
+        // A paper-shaped machine with an uneven explicit split under bank
+        // contention, prewarmed so the masked prewarm path is covered too.
+        let mut split = FuzzCase::generate(5);
+        split.num_cores = 8;
+        split.cores_per_bank = 4;
+        split.llc_bank_sets = 2;
+        split.llc_ways = 4;
+        split.vms.truncate(2);
+        while split.vms.len() < 2 {
+            split.vms.push(split.vms[0].clone());
+        }
+        split.llc_partitioning = LlcPartitioning::ExplicitWays(vec![3, 1]);
+        split.prewarm_llc = true;
+        split.refs_per_vm = 400;
+        split.canonicalize();
+        assert!(
+            matches!(split.llc_partitioning, LlcPartitioning::ExplicitWays(_)),
+            "canonicalize must keep a valid split: {split:?}"
+        );
+
+        // Equal-ways across every generated partitionable shape.
+        let mut equal = FuzzCase::generate(6);
+        equal.llc_ways = 4;
+        equal.llc_partitioning = LlcPartitioning::EqualWays;
+        equal.canonicalize();
+
+        for (name, case) in [("split", split), ("equal", equal)] {
+            let outcome = run_case(&case, None);
+            assert!(
+                matches!(outcome, CaseOutcome::Pass { .. }),
+                "{name}: {outcome:?}\ncase: {case:?}"
+            );
+        }
+
+        // And the generator's own partitioned cases agree end-to-end.
+        let partitioned: Vec<FuzzCase> = (0..200)
+            .map(FuzzCase::generate)
+            .filter(|c| c.llc_partitioning != LlcPartitioning::None)
+            .take(10)
+            .collect();
+        assert!(
+            !partitioned.is_empty(),
+            "generator produced no partitioned cases"
+        );
+        for case in partitioned {
+            let outcome = run_case(&case, None);
+            assert!(
+                matches!(outcome, CaseOutcome::Pass { .. }),
+                "seed {}: {outcome:?}\ncase: {case:?}",
+                case.case_seed
+            );
+        }
+    }
+
+    #[test]
     fn mutations_are_detected() {
         // Each deliberate model bug must surface as a divergence on at
         // least one of a handful of cases (the differential check is
@@ -287,5 +345,13 @@ mod tests {
                 .any(|seed| run_case(&FuzzCase::generate(seed), Some(mutation)).is_failure());
             assert!(caught, "{mutation:?} was never detected");
         }
+        // The quota mutation only diverges on partitioned cases, so give
+        // it the generator's partitioned stream.
+        let caught = (0..200)
+            .map(FuzzCase::generate)
+            .filter(|c| c.llc_partitioning != consim_types::config::LlcPartitioning::None)
+            .take(20)
+            .any(|case| run_case(&case, Some(Mutation::IgnoreWayQuotas)).is_failure());
+        assert!(caught, "IgnoreWayQuotas was never detected");
     }
 }

@@ -40,6 +40,9 @@ pub enum Mutation {
     IgnoreOwners,
     /// Never downgrade a dirty owner on a read (leave it Modified).
     SkipOwnerDowngrade,
+    /// Fill the LLC without honoring the per-VM way quotas (partitioned
+    /// configurations only — a no-op divergence otherwise).
+    IgnoreWayQuotas,
 }
 
 /// One cache line as the model sees it.
@@ -124,6 +127,49 @@ impl NaiveCache {
             .min_by_key(|(_, s)| s.touched)
             .map(|(i, _)| i)
             .expect("full set is nonempty");
+        let victim = set[lru];
+        set[lru] = fresh;
+        Some(victim)
+    }
+
+    /// Fill under a per-VM way quota — the model's view of the engine's
+    /// masked `insert_in_ways`. Because the per-VM way masks are disjoint
+    /// and every allocation is confined to the inserting VM's mask, a
+    /// mask's ways only ever hold that VM's lines; "evict the LRU way
+    /// inside the mask" is therefore exactly "evict the VM's LRU line in
+    /// the set", and the mask width reduces to a line-count quota.
+    fn insert_with_quota(
+        &mut self,
+        block: BlockAddr,
+        state: LineState,
+        now: u64,
+        quota: usize,
+    ) -> Option<Slot> {
+        let idx = self.set_of(block);
+        let set = &mut self.sets[idx];
+        if let Some(slot) = set.iter_mut().find(|s| s.block == block) {
+            slot.state = state;
+            slot.touched = now;
+            return None;
+        }
+        let fresh = Slot {
+            block,
+            state,
+            touched: now,
+        };
+        let vm = block.vm();
+        let occupied = set.iter().filter(|s| s.block.vm() == vm).count();
+        if occupied < quota {
+            set.push(fresh);
+            return None;
+        }
+        let lru = set
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.block.vm() == vm)
+            .min_by_key(|(_, s)| s.touched)
+            .map(|(i, _)| i)
+            .expect("quota ways are nonzero");
         let victim = set[lru];
         set[lru] = fresh;
         Some(victim)
@@ -319,6 +365,9 @@ pub struct RefModel {
     llc: Vec<NaiveCache>,
     directory: NaiveDirectory,
     counters: Vec<ModelCounters>,
+    /// Per-VM LLC way quotas when way partitioning is active (the
+    /// popcount of each VM's allowed-way mask).
+    llc_quotas: Option<Vec<usize>>,
     /// Global logical clock for LRU stamps.
     now: u64,
     /// Injected bug for mutation testing, if any.
@@ -347,6 +396,11 @@ impl RefModel {
                 .collect(),
             directory: NaiveDirectory::default(),
             counters: vec![ModelCounters::default(); num_vms],
+            llc_quotas: machine
+                .llc_partitioning
+                .way_masks(llc_ways, num_vms)
+                .expect("partitioning validated by the simulation builder")
+                .map(|masks| masks.iter().map(|m| m.count_ones() as usize).collect()),
             now: 0,
             mutation: None,
         }
@@ -373,8 +427,7 @@ impl RefModel {
 
     /// Mirrors one LLC prewarm insertion.
     pub fn prewarm(&mut self, bank: BankId, block: BlockAddr) {
-        let t = self.tick();
-        self.llc[bank.index()].insert(block, LineState::Shared, t);
+        self.fill_llc(bank.index(), block, LineState::Shared);
     }
 
     /// Total LLC lines and lines present in more than one bank — the
@@ -674,11 +727,25 @@ impl RefModel {
         self.l0[core].insert(block, state, t);
     }
 
-    /// LLC fill; dirty victims write back to memory, which has no content
+    /// LLC fill, honoring the way quotas when partitioning is active;
+    /// dirty victims write back to memory, which has no content
     /// representation here.
     fn fill_llc(&mut self, bank: usize, block: BlockAddr, state: LineState) {
         let t = self.tick();
-        self.llc[bank].insert(block, state, t);
+        let quota = match &self.llc_quotas {
+            Some(q) if self.mutation != Some(Mutation::IgnoreWayQuotas) => {
+                q.get(block.vm().index()).copied()
+            }
+            _ => None,
+        };
+        match quota {
+            Some(quota) => {
+                self.llc[bank].insert_with_quota(block, state, t, quota);
+            }
+            None => {
+                self.llc[bank].insert(block, state, t);
+            }
+        }
     }
 
     fn invalidate_private(&mut self, core: usize, block: BlockAddr) {

@@ -13,6 +13,7 @@
 use crate::cases::FuzzCase;
 use crate::diff::run_case;
 use crate::model::Mutation;
+use consim_types::config::LlcPartitioning;
 
 /// Generates shrink candidates for `case`, most aggressive first. Each is
 /// canonicalized and size-checked by the caller.
@@ -79,6 +80,11 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
     if case.reschedule_every.is_some() {
         let mut c = case.clone();
         c.reschedule_every = None;
+        out.push(c);
+    }
+    if case.llc_partitioning != LlcPartitioning::None {
+        let mut c = case.clone();
+        c.llc_partitioning = LlcPartitioning::None;
         out.push(c);
     }
     // Halve every footprint (down to the threads+1 floor).

@@ -35,16 +35,17 @@
 //! 4. Fills may evict: dirty L1 victims write back into the local LLC bank;
 //!    dirty LLC victims write back to memory.
 
+use crate::hierarchy::HierarchyCtx;
 use crate::machine::Layout;
-use crate::metrics::{MissSource, OccupancySnapshot, ReplicationSnapshot, VmMetrics};
+use crate::metrics::{OccupancySnapshot, ReplicationSnapshot, VmMetrics};
 use crate::observe::{AccessStep, StepObserver, StepOutcome};
 use consim_cache::{LineState, ReplacementPolicy, SetAssocCache};
-use consim_coherence::{AccessKind, DataSource, Directory, DirectoryCache, ProtocolStats};
-use consim_noc::{ContentionModel, NocStats, Packet, ReservationCalendar};
+use consim_coherence::{Directory, DirectoryCache, ProtocolStats};
+use consim_noc::{ContentionModel, NocStats, ReservationCalendar};
 use consim_sched::{place, Placement, SchedulingPolicy};
 use consim_trace::{EventClass, TraceEvent, TraceSink};
 use consim_types::config::MachineConfig;
-use consim_types::{BankId, BlockAddr, CoreId, Cycle, GlobalThreadId, SimError, SimRng, VmId};
+use consim_types::{BankId, CoreId, Cycle, GlobalThreadId, SimError, SimRng, VmId};
 use consim_workload::{MemRef, WorkloadGenerator, WorkloadProfile};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -276,6 +277,13 @@ impl SimulationConfigBuilder {
                 self.machine.num_cores
             )));
         }
+        // Way partitioning is only fully checkable once the VM count is
+        // known: quota entries must match the VM list one-to-one and every
+        // VM needs at least one way. (Bank associativity equals the
+        // aggregate LLC associativity — banking splits sets, not ways.)
+        self.machine
+            .llc_partitioning
+            .way_masks(self.machine.llc.associativity, self.workloads.len())?;
         Ok(SimulationConfig {
             machine: self.machine.clone(),
             policy: self.policy,
@@ -346,6 +354,9 @@ pub struct Simulation {
     generators: Vec<WorkloadGenerator>,
     gap_rngs: Vec<SimRng>,
     metrics: Vec<VmMetrics>,
+    /// Per-VM allowed-way bitmasks for LLC allocation, when
+    /// [`consim_types::config::LlcPartitioning`] is active.
+    llc_way_masks: Option<Vec<u64>>,
     /// Epoch counter for dynamic rescheduling.
     resched_epoch: u64,
 }
@@ -378,6 +389,9 @@ impl Simulation {
         let llc = (0..machine.llc_banks())
             .map(|_| SetAssocCache::new(bank_geom, config.llc_replacement))
             .collect();
+        let llc_way_masks = machine
+            .llc_partitioning
+            .way_masks(bank_geom.associativity, config.workloads.len())?;
         let mut directory = Directory::new(machine.num_cores);
         let dircaches = (0..machine.num_cores)
             .map(|_| DirectoryCache::new(machine.directory_cache_entries))
@@ -425,6 +439,7 @@ impl Simulation {
             generators,
             gap_rngs,
             metrics,
+            llc_way_masks,
             resched_epoch: 0,
         })
     }
@@ -720,7 +735,8 @@ impl Simulation {
         }
     }
 
-    /// Simulates one reference; returns its completion time.
+    /// Simulates one reference through the [`crate::hierarchy`] pipeline;
+    /// returns its completion time.
     fn access(
         &mut self,
         core: CoreId,
@@ -730,67 +746,33 @@ impl Simulation {
         measuring: bool,
         observer: &mut Option<&mut dyn StepObserver>,
     ) -> Cycle {
-        let block = mem_ref.address.block();
-        let l0_latency = self.config.machine.l0.latency;
-        let l1_latency = self.config.machine.l1.latency;
-
-        // L0.
-        if let Some(state) = self.l0[core.index()].access(block) {
-            if !mem_ref.is_write || state.is_writable() {
-                if mem_ref.is_write {
-                    self.l0[core.index()].set_state(block, LineState::Modified);
-                    self.l1[core.index()].set_state(block, LineState::Modified);
-                }
-                if measuring {
-                    self.metrics[vm.index()].l0_hits += 1;
-                }
-                if observer.is_some() {
-                    self.notify_step(observer, core, vm, mem_ref, measuring, StepOutcome::L0Hit);
-                }
-                return issue + l0_latency;
-            }
-        }
-        // L1.
-        if let Some(state) = self.l1[core.index()].access(block) {
-            if !mem_ref.is_write || state.is_writable() {
-                let new_state = if mem_ref.is_write {
-                    LineState::Modified
-                } else {
-                    state
-                };
-                if mem_ref.is_write {
-                    self.l1[core.index()].set_state(block, LineState::Modified);
-                }
-                self.fill_l0(core, block, new_state);
-                if measuring {
-                    self.metrics[vm.index()].l1_hits += 1;
-                }
-                if observer.is_some() {
-                    self.notify_step(observer, core, vm, mem_ref, measuring, StepOutcome::L1Hit);
-                }
-                return issue + l0_latency + l1_latency;
-            }
-            // Write hit on a Shared line: upgrade.
-            let (completion, source) =
-                self.coherence_transaction(core, vm, block, AccessKind::Upgrade, issue, measuring);
-            if observer.is_some() {
-                let outcome = StepOutcome::Miss(source);
-                self.notify_step(observer, core, vm, mem_ref, measuring, outcome);
-            }
-            return completion;
-        }
-        let kind = if mem_ref.is_write {
-            AccessKind::Write
-        } else {
-            AccessKind::Read
-        };
-        let (completion, source) =
-            self.coherence_transaction(core, vm, block, kind, issue, measuring);
+        let (completion, outcome) = self
+            .hierarchy_ctx()
+            .access(core, vm, mem_ref, issue, measuring);
         if observer.is_some() {
-            let outcome = StepOutcome::Miss(source);
             self.notify_step(observer, core, vm, mem_ref, measuring, outcome);
         }
         completion
+    }
+
+    /// The per-access view of the machine handed to the hierarchy pipeline.
+    /// Compiles down to a bundle of pointers; built fresh per reference so
+    /// the engine keeps ownership of all state between events.
+    #[inline]
+    fn hierarchy_ctx(&mut self) -> HierarchyCtx<'_> {
+        HierarchyCtx {
+            machine: &self.config.machine,
+            layout: &self.layout,
+            l0: &mut self.l0,
+            l1: &mut self.l1,
+            llc: &mut self.llc,
+            directory: &mut self.directory,
+            dircaches: &mut self.dircaches,
+            noc: &mut self.noc,
+            memory_controllers: &mut self.memory_controllers,
+            metrics: &mut self.metrics,
+            llc_masks: self.llc_way_masks.as_deref(),
+        }
     }
 
     /// Delivers one [`AccessStep`] to the attached observer. Out of line and
@@ -823,282 +805,6 @@ impl Simulation {
         });
     }
 
-    /// Resolves an L1 miss (or upgrade) through the directory; returns the
-    /// completion time and the engine's classification of the miss.
-    fn coherence_transaction(
-        &mut self,
-        core: CoreId,
-        vm: VmId,
-        block: BlockAddr,
-        kind: AccessKind,
-        issue: Cycle,
-        measuring: bool,
-    ) -> (Cycle, MissSource) {
-        // Scalar reads instead of cloning the whole machine description:
-        // this runs once per L1 miss.
-        let l0_latency = self.config.machine.l0.latency;
-        let l1_latency = self.config.machine.l1.latency;
-        let memory_latency = self.config.machine.memory_latency;
-        let cnode = self.layout.core_node(core);
-        let home = self.directory.home_of(block);
-        // Miss detected after the private lookups.
-        let t0 = issue + l0_latency + l1_latency;
-        // Request to the home directory.
-        let mut t = self.noc.send(&Packet::control(cnode, home), t0);
-        t += 1; // directory pipeline
-        if !self.dircaches[home.index()].lookup(block) {
-            // Fetch the entry off-chip through the block's controller.
-            let (mc, _) = self.layout.memory_controller_of(block);
-            let service = self.reserve_directory_refill(mc, t);
-            t = service + memory_latency;
-        }
-
-        let prior_sharers = self.directory.sharers_of(block);
-        let outcome = self.directory.handle(core, block, kind);
-
-        // Invalidations fan out from the home; the requester waits for the
-        // slowest acknowledgement.
-        let mut ack_time = Cycle::ZERO;
-        for victim in outcome.invalidate.iter() {
-            let vnode = self.layout.core_node(victim);
-            let arrive = self.noc.send(&Packet::control(home, vnode), t);
-            self.invalidate_private(victim, block);
-            if measuring {
-                self.metrics[vm.index()].invalidations_received += 1;
-            }
-            let ack = self.noc.send(&Packet::control(vnode, cnode), arrive);
-            ack_time = ack_time.max(ack);
-        }
-
-        let is_write = matches!(kind, AccessKind::Write | AccessKind::Upgrade);
-        let (data_time, source) = match outcome.source {
-            DataSource::DirtyCache(owner) => {
-                let (t_data, src) = self.serve_from_remote_l1(
-                    owner,
-                    cnode,
-                    block,
-                    t,
-                    true,
-                    is_write,
-                    outcome.writeback,
-                );
-                (t_data, src)
-            }
-            DataSource::CleanCache(_) => {
-                // Pick the *nearest* prior sharer as the supplier.
-                let supplier = prior_sharers
-                    .iter()
-                    .filter(|&c| c != core)
-                    .min_by_key(|&c| self.layout.mesh().hops(self.layout.core_node(c), cnode))
-                    .expect("clean transfer implies a sharer");
-                self.serve_from_remote_l1(supplier, cnode, block, t, false, is_write, false)
-            }
-            DataSource::Below => self.serve_from_llc_or_memory(core, cnode, block, t, is_write),
-            DataSource::None => {
-                // Upgrade: permission only, no data.
-                (t, MissSource::Upgrade)
-            }
-        };
-
-        // Keep the LLC consistent with the new ownership: writers leave no
-        // stale bank copies; read fills also allocate in the local bank
-        // (mostly-inclusive L2), which is what lets read-shared lines
-        // replicate across banks (paper Fig. 12).
-        if is_write {
-            self.invalidate_llc_copies(block);
-        } else if matches!(
-            source,
-            MissSource::RemoteL1Dirty | MissSource::RemoteL1Clean
-        ) {
-            let my_bank = self.config.machine.bank_of_core(core);
-            self.fill_llc(my_bank, block, LineState::Shared, data_time);
-        }
-
-        let completion = data_time.max(ack_time);
-        if measuring {
-            self.metrics[vm.index()].record_miss(source, completion - issue);
-        }
-
-        // Install the line in the private hierarchy.
-        if source != MissSource::Upgrade {
-            let new_state = if is_write {
-                LineState::Modified
-            } else if outcome.exclusive {
-                LineState::Exclusive
-            } else {
-                LineState::Shared
-            };
-            self.fill_l1(core, block, new_state, completion);
-        } else {
-            self.l1[core.index()].set_state(block, LineState::Modified);
-            self.l0[core.index()].set_state(block, LineState::Modified);
-        }
-        (completion, source)
-    }
-
-    /// Serves a miss from another core's L1 (cache-to-cache transfer).
-    #[allow(clippy::too_many_arguments)] // one argument per protocol actor
-    fn serve_from_remote_l1(
-        &mut self,
-        supplier: CoreId,
-        requester_node: consim_types::NodeId,
-        block: BlockAddr,
-        t: Cycle,
-        dirty: bool,
-        is_write: bool,
-        sharing_writeback: bool,
-    ) -> (Cycle, MissSource) {
-        let snode = self.layout.core_node(supplier);
-        let home = self.directory.home_of(block);
-        let fwd = self.noc.send(&Packet::control(home, snode), t);
-        let access_done = fwd + self.config.machine.l1.latency;
-        let data = self
-            .noc
-            .send(&Packet::data(snode, requester_node), access_done);
-
-        if is_write {
-            // Ownership moves wholesale; the supplier loses its copy. (For
-            // dirty suppliers the directory already invalidated via
-            // `outcome.invalidate`; clean suppliers may keep S only on
-            // reads.)
-            self.invalidate_private(supplier, block);
-        } else if dirty {
-            // Owner downgrades M -> S; dirty data also written back to the
-            // memory controller (SGI-Origin sharing writeback), off the
-            // critical path.
-            self.l1[supplier.index()].set_state(block, LineState::Shared);
-            self.l0[supplier.index()].set_state(block, LineState::Shared);
-        }
-        if sharing_writeback {
-            let (mc, mcnode) = self.layout.memory_controller_of(block);
-            let arrive = self.noc.send(&Packet::data(snode, mcnode), access_done);
-            self.reserve_memory(mc, arrive);
-        }
-        let source = if dirty {
-            MissSource::RemoteL1Dirty
-        } else {
-            MissSource::RemoteL1Clean
-        };
-        (data, source)
-    }
-
-    /// Serves a miss from the LLC (local bank, then nearest remote bank)
-    /// or, failing both, from memory.
-    fn serve_from_llc_or_memory(
-        &mut self,
-        core: CoreId,
-        cnode: consim_types::NodeId,
-        block: BlockAddr,
-        t: Cycle,
-        is_write: bool,
-    ) -> (Cycle, MissSource) {
-        let llc_latency = self.config.machine.llc.latency;
-        let memory_latency = self.config.machine.memory_latency;
-        let home = self.directory.home_of(block);
-        let my_bank = self.config.machine.bank_of_core(core);
-        // A core's own LLC bank is physically distributed across its group
-        // (the paper's uniform 6-cycle L2), so the access point is the
-        // requester's node; only *remote* banks cost a mesh traversal.
-        let bnode = cnode;
-        let at_bank = self.noc.send(&Packet::control(home, bnode), t);
-        let probed = at_bank + llc_latency;
-
-        if self.llc[my_bank.index()].access(block).is_some() {
-            let data = self.noc.send(&Packet::data(bnode, cnode), probed);
-            if is_write {
-                // The writer's L1 copy becomes the only valid one.
-                self.invalidate_llc_copies(block);
-            }
-            return (data, MissSource::LocalLlc);
-        }
-
-        // Nearest other bank holding the block.
-        let remote = (0..self.llc.len())
-            .filter(|&b| b != my_bank.index() && self.llc[b].contains(block))
-            .min_by_key(|&b| {
-                self.layout
-                    .mesh()
-                    .hops(self.layout.bank_node(BankId::new(b)), cnode)
-            });
-        if let Some(rb) = remote {
-            let rnode = self.layout.bank_node(BankId::new(rb));
-            let fwd = self.noc.send(&Packet::control(bnode, rnode), probed);
-            let served = fwd + llc_latency;
-            let data = self.noc.send(&Packet::data(rnode, cnode), served);
-            let was_dirty = self.llc[rb]
-                .probe(block)
-                .map(LineState::is_dirty)
-                .unwrap_or(false);
-            if is_write {
-                self.invalidate_llc_copies(block);
-            } else {
-                if was_dirty {
-                    // Downgrade: push the dirty data to memory so clean
-                    // copies can proliferate.
-                    self.llc[rb].set_state(block, LineState::Shared);
-                    let (mc, mcnode) = self.layout.memory_controller_of(block);
-                    let arrive = self.noc.send(&Packet::data(rnode, mcnode), served);
-                    self.reserve_memory(mc, arrive);
-                }
-                // Replicate into the requester's bank.
-                self.fill_llc(my_bank, block, LineState::Shared, served);
-            }
-            let source = if was_dirty {
-                MissSource::RemoteLlcDirty
-            } else {
-                MissSource::RemoteLlcClean
-            };
-            return (data, source);
-        }
-
-        // Memory: queue at the controller, then pay the DRAM latency.
-        let (mc, mcnode) = self.layout.memory_controller_of(block);
-        let to_mc = self.noc.send(&Packet::control(bnode, mcnode), probed);
-        let service = self.reserve_memory(mc, to_mc);
-        let fetched = service + memory_latency;
-        let data = self.noc.send(&Packet::data(mcnode, cnode), fetched);
-        if !is_write {
-            self.fill_llc(my_bank, block, LineState::Shared, fetched);
-        }
-        (data, MissSource::Memory)
-    }
-
-    /// Installs a block into a core's L1 (and L0), handling the eviction.
-    fn fill_l1(&mut self, core: CoreId, block: BlockAddr, state: LineState, now: Cycle) {
-        if let Some(victim) = self.l1[core.index()].insert(block, state) {
-            // Keep L0 inclusive.
-            self.l0[core.index()].invalidate(victim.block);
-            self.directory.evict(core, victim.block);
-            if victim.state.is_dirty() {
-                // Dirty victims write back into the local LLC bank, which is
-                // distributed across the core's group (local delivery).
-                let bank = self.config.machine.bank_of_core(core);
-                let cnode = self.layout.core_node(core);
-                self.noc.send(&Packet::data(cnode, cnode), now);
-                self.fill_llc(bank, victim.block, LineState::Modified, now);
-            }
-        }
-        self.fill_l0(core, block, state);
-    }
-
-    /// Mirrors a block into L0 (strictly inclusive in L1; evictions are
-    /// silent because L0 state mirrors L1).
-    fn fill_l0(&mut self, core: CoreId, block: BlockAddr, state: LineState) {
-        self.l0[core.index()].insert(block, state);
-    }
-
-    /// Installs a block into an LLC bank, pushing dirty victims to memory.
-    fn fill_llc(&mut self, bank: BankId, block: BlockAddr, state: LineState, now: Cycle) {
-        if let Some(victim) = self.llc[bank.index()].insert(block, state) {
-            if victim.state.is_dirty() {
-                let bnode = self.layout.bank_node(bank);
-                let (mc, mcnode) = self.layout.memory_controller_of(victim.block);
-                let arrive = self.noc.send(&Packet::data(bnode, mcnode), now);
-                self.reserve_memory(mc, arrive);
-            }
-        }
-    }
-
     /// Recomputes the thread-to-core mapping with a fresh random stream
     /// (one context-switch epoch). Threads migrate; their cached data stays
     /// behind on the old cores and must be re-fetched (or transferred
@@ -1126,6 +832,8 @@ impl Simulation {
         let machine = self.config.machine.clone();
         let per_bank_capacity = machine.llc_bank_geometry().num_lines();
         for vm in 0..self.config.workloads.len() {
+            // Prewarm fills respect the VM's way mask, like demand fills.
+            let mask = self.llc_way_masks.as_ref().map(|masks| masks[vm]);
             // Count this VM's threads per bank.
             let mut share = vec![0usize; machine.llc_banks()];
             for (thread, core) in self.placement.iter() {
@@ -1165,7 +873,14 @@ impl Simulation {
             }
             for (b, blocks) in per_bank.into_iter().enumerate() {
                 for block in blocks.into_iter().rev() {
-                    self.llc[b].insert(block, LineState::Shared);
+                    match mask {
+                        Some(m) => {
+                            self.llc[b].insert_in_ways(block, LineState::Shared, m);
+                        }
+                        None => {
+                            self.llc[b].insert(block, LineState::Shared);
+                        }
+                    }
                     if let Some(obs) = observer.as_deref_mut() {
                         obs.on_llc_prewarm(BankId::new(b), block);
                     }
@@ -1174,46 +889,6 @@ impl Simulation {
         }
         for bank in &mut self.llc {
             bank.reset_stats();
-        }
-    }
-
-    /// Occupies a memory-controller service slot for one cache-line access
-    /// starting no earlier than `ready`; returns when service begins.
-    fn reserve_memory(&mut self, mc: consim_types::MemCtrlId, ready: Cycle) -> Cycle {
-        let occupancy = self.config.machine.memory_occupancy.max(1);
-        self.reserve_memory_slot(mc, ready, occupancy)
-    }
-
-    /// Occupies a *directory-entry* service slot: an 8-byte entry read costs
-    /// a quarter of a cache-line transfer's bandwidth.
-    fn reserve_directory_refill(&mut self, mc: consim_types::MemCtrlId, ready: Cycle) -> Cycle {
-        let occupancy = (self.config.machine.memory_occupancy / 4).max(1);
-        self.reserve_memory_slot(mc, ready, occupancy)
-    }
-
-    fn reserve_memory_slot(
-        &mut self,
-        mc: consim_types::MemCtrlId,
-        ready: Cycle,
-        occupancy: u64,
-    ) -> Cycle {
-        let prune_before = ready.raw().saturating_sub(200_000);
-        let start =
-            self.memory_controllers[mc.index()].reserve(ready.raw(), occupancy, prune_before);
-        Cycle::new(start)
-    }
-
-    /// Removes a block from a core's private hierarchy (coherence
-    /// invalidation or ownership transfer).
-    fn invalidate_private(&mut self, core: CoreId, block: BlockAddr) {
-        self.l1[core.index()].invalidate(block);
-        self.l0[core.index()].invalidate(block);
-    }
-
-    /// Drops every LLC copy of a block (a writer took exclusive ownership).
-    fn invalidate_llc_copies(&mut self, block: BlockAddr) {
-        for bank in &mut self.llc {
-            bank.invalidate(block);
         }
     }
 }
@@ -1246,391 +921,4 @@ fn remap_core_events(
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use consim_types::config::SharingDegree;
-    use consim_workload::{WorkloadKind, WorkloadProfileBuilder};
-
-    fn tiny_profile() -> WorkloadProfile {
-        WorkloadProfileBuilder::new("tiny")
-            .footprint_blocks(4_000)
-            .shared_fraction(0.5)
-            .shared_access_prob(0.5)
-            .shared_write_prob(0.1)
-            .build()
-            .unwrap()
-    }
-
-    fn quick_config(
-        sharing: SharingDegree,
-        policy: SchedulingPolicy,
-        vms: usize,
-    ) -> SimulationConfig {
-        let mut b = SimulationConfig::builder();
-        b.machine(MachineConfig::paper_default().with_sharing(sharing))
-            .policy(policy)
-            .refs_per_vm(3_000)
-            .warmup_refs_per_vm(1_000)
-            .seed(7);
-        for _ in 0..vms {
-            b.workload(tiny_profile());
-        }
-        b.build().unwrap()
-    }
-
-    #[test]
-    fn builder_rejects_empty_and_oversubscribed() {
-        assert!(SimulationConfig::builder().build().is_err());
-        let mut b = SimulationConfig::builder();
-        for _ in 0..5 {
-            b.workload(tiny_profile());
-        }
-        assert!(b.build().is_err(), "20 threads on 16 cores");
-    }
-
-    #[test]
-    fn single_vm_runs_to_completion() {
-        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 1);
-        let out = Simulation::new(cfg).unwrap().run().unwrap();
-        let m = &out.vm_metrics[0];
-        assert_eq!(m.refs, 3_000);
-        assert!(m.completion.is_some());
-        assert!(m.runtime_cycles() > 0);
-        assert!(m.l0_hits + m.l1_hits + m.l1_misses == m.refs);
-    }
-
-    #[test]
-    fn full_mix_all_vms_complete() {
-        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::RoundRobin, 4);
-        let out = Simulation::new(cfg).unwrap().run().unwrap();
-        assert_eq!(out.vm_metrics.len(), 4);
-        for m in &out.vm_metrics {
-            assert!(m.refs >= 3_000);
-            assert!(m.completion.is_some());
-        }
-        assert!(out.measured_cycles > 0);
-    }
-
-    #[test]
-    fn deterministic_across_identical_runs() {
-        let run = || {
-            let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Random, 4);
-            let out = Simulation::new(cfg).unwrap().run().unwrap();
-            (
-                out.measured_cycles,
-                out.vm_metrics
-                    .iter()
-                    .map(|m| m.l1_misses)
-                    .collect::<Vec<_>>(),
-                out.vm_metrics
-                    .iter()
-                    .map(|m| m.runtime_cycles())
-                    .collect::<Vec<_>>(),
-            )
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let run = |seed| {
-            let mut cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 2);
-            cfg.seed = seed;
-            Simulation::new(cfg).unwrap().run().unwrap().measured_cycles
-        };
-        assert_ne!(run(1), run(2));
-    }
-
-    #[test]
-    fn miss_accounting_balances() {
-        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 2);
-        let out = Simulation::new(cfg).unwrap().run().unwrap();
-        for m in &out.vm_metrics {
-            let classified = m.c2c_l1_clean
-                + m.c2c_l1_dirty
-                + m.llc_local_hits
-                + m.llc_remote_clean
-                + m.llc_remote_dirty
-                + m.memory_fetches
-                + m.upgrades;
-            assert_eq!(classified, m.l1_misses, "{m}");
-            assert!(m.llc_miss_rate() <= 1.0);
-            // Any real miss takes at least the LLC latency.
-            if m.l1_misses > m.upgrades {
-                assert!(m.mean_miss_latency() > 6.0);
-            }
-        }
-    }
-
-    #[test]
-    fn isolation_idles_unused_cores() {
-        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 1);
-        let sim = Simulation::new(cfg).unwrap();
-        let bound: usize = sim.core_thread.iter().flatten().count();
-        assert_eq!(bound, 4);
-        let out = sim.run().unwrap();
-        // Only one VM's metrics exist and they account for every reference.
-        assert_eq!(out.vm_metrics.len(), 1);
-    }
-
-    #[test]
-    fn sharing_produces_c2c_transfers() {
-        let profile = WorkloadProfileBuilder::new("sharey")
-            .footprint_blocks(2_000)
-            .shared_fraction(0.8)
-            .shared_access_prob(0.9)
-            .shared_write_prob(0.2)
-            .build()
-            .unwrap();
-        let mut b = SimulationConfig::builder();
-        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::Private))
-            .policy(SchedulingPolicy::RoundRobin)
-            .workload(profile)
-            .refs_per_vm(5_000)
-            .warmup_refs_per_vm(2_000)
-            .seed(3);
-        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
-        let m = &out.vm_metrics[0];
-        assert!(
-            m.cache_to_cache() > 0,
-            "sharing workload must transfer: {m}"
-        );
-        assert!(
-            m.c2c_l1_dirty > 0,
-            "shared writes must produce dirty transfers"
-        );
-    }
-
-    #[test]
-    fn private_config_replicates_more_than_shared() {
-        let run = |sharing| {
-            let cfg = quick_config(sharing, SchedulingPolicy::RoundRobin, 4);
-            let out = Simulation::new(cfg).unwrap().run().unwrap();
-            out.replication.replicated_fraction()
-        };
-        let private = run(SharingDegree::Private);
-        let shared = run(SharingDegree::FullyShared);
-        assert_eq!(shared, 0.0, "a single bank cannot replicate");
-        assert!(private > 0.0, "private banks must replicate shared data");
-    }
-
-    #[test]
-    fn occupancy_shares_are_sane() {
-        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::RoundRobin, 4);
-        let out = Simulation::new(cfg).unwrap().run().unwrap();
-        for bank in &out.occupancy.share {
-            let total: f64 = bank.iter().sum();
-            assert!(total <= 1.0 + 1e-9, "bank over-occupied: {total}");
-        }
-    }
-
-    #[test]
-    fn upgrades_happen_for_read_then_write() {
-        let profile = WorkloadProfileBuilder::new("rw")
-            .footprint_blocks(1_000)
-            .shared_fraction(0.9)
-            .shared_access_prob(0.95)
-            .shared_write_prob(0.3)
-            .shared_zipf(0.9)
-            .build()
-            .unwrap();
-        let mut b = SimulationConfig::builder();
-        b.workload(profile)
-            .refs_per_vm(5_000)
-            .warmup_refs_per_vm(0)
-            .seed(1);
-        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
-        assert!(out.vm_metrics[0].upgrades > 0);
-    }
-
-    #[test]
-    fn protocol_stats_exposed() {
-        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 2);
-        let out = Simulation::new(cfg).unwrap().run().unwrap();
-        assert!(out.protocol.requests > 0);
-        assert!(out.noc.packets > 0);
-        assert!(out.dircache_hit_rate > 0.0 && out.dircache_hit_rate <= 1.0);
-    }
-
-    #[test]
-    fn footprint_tracking_approaches_profile() {
-        let profile = WorkloadProfileBuilder::new("fp")
-            .footprint_blocks(1_000)
-            .shared_zipf(0.05)
-            .private_zipf(0.05)
-            .recent_reuse_prob(0.0)
-            .build()
-            .unwrap();
-        let mut b = SimulationConfig::builder();
-        b.workload(profile)
-            .refs_per_vm(30_000)
-            .warmup_refs_per_vm(0)
-            .track_footprint(true)
-            .seed(5);
-        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
-        let fp = out.vm_metrics[0].footprint_blocks();
-        assert!(fp > 900, "footprint {fp} of 1000");
-    }
-
-    #[test]
-    fn kinds_run_end_to_end_smoke() {
-        // Short smoke run of every real profile to catch integration panics.
-        for kind in WorkloadKind::PAPER_SET {
-            let mut b = SimulationConfig::builder();
-            b.workload(kind.profile())
-                .refs_per_vm(1_000)
-                .warmup_refs_per_vm(200)
-                .seed(2);
-            let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
-            assert!(out.vm_metrics[0].refs >= 1_000, "{kind}");
-        }
-    }
-}
-
-#[cfg(test)]
-mod prewarm_tests {
-    use super::*;
-    use consim_types::config::SharingDegree;
-    use consim_workload::WorkloadProfileBuilder;
-
-    fn config(prewarm: bool) -> SimulationConfig {
-        let profile = WorkloadProfileBuilder::new("pw")
-            .footprint_blocks(60_000)
-            .build()
-            .unwrap();
-        let mut b = SimulationConfig::builder();
-        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
-            .policy(SchedulingPolicy::Affinity)
-            .workload(profile)
-            .refs_per_vm(5_000)
-            .warmup_refs_per_vm(0)
-            .prewarm_llc(prewarm)
-            .seed(4);
-        b.build().unwrap()
-    }
-
-    #[test]
-    fn prewarming_cuts_cold_memory_fetches() {
-        let cold = Simulation::new(config(false)).unwrap().run().unwrap();
-        let warm = Simulation::new(config(true)).unwrap().run().unwrap();
-        assert!(
-            warm.vm_metrics[0].memory_fetches < cold.vm_metrics[0].memory_fetches / 2,
-            "prewarm {} vs cold {}",
-            warm.vm_metrics[0].memory_fetches,
-            cold.vm_metrics[0].memory_fetches
-        );
-    }
-
-    #[test]
-    fn prewarm_respects_bank_ownership() {
-        // With affinity, the single VM owns exactly one bank; prewarmed
-        // lines must all land there.
-        let sim = {
-            let mut s = Simulation::new(config(true)).unwrap();
-            s.prewarm_llc_banks(&mut None);
-            s
-        };
-        let occupied: Vec<usize> = sim.llc.iter().map(|b| b.occupancy()).collect();
-        let nonempty = occupied.iter().filter(|&&o| o > 0).count();
-        assert_eq!(nonempty, 1, "occupancies: {occupied:?}");
-    }
-
-    #[test]
-    fn prewarm_is_deterministic() {
-        let a = Simulation::new(config(true)).unwrap().run().unwrap();
-        let b = Simulation::new(config(true)).unwrap().run().unwrap();
-        assert_eq!(a.measured_cycles, b.measured_cycles);
-    }
-}
-
-#[cfg(test)]
-mod resched_tests {
-    use super::*;
-    use consim_types::config::SharingDegree;
-    use consim_workload::WorkloadKind;
-
-    fn config(policy: SchedulingPolicy, resched: Option<u64>) -> SimulationConfig {
-        let mut b = SimulationConfig::builder();
-        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
-            .policy(policy)
-            .refs_per_vm(6_000)
-            .warmup_refs_per_vm(1_000)
-            .seed(11);
-        if let Some(interval) = resched {
-            b.reschedule_every(interval);
-        }
-        for _ in 0..4 {
-            b.workload(WorkloadKind::TpcH.profile());
-        }
-        b.build().unwrap()
-    }
-
-    #[test]
-    fn zero_interval_is_rejected() {
-        let mut b = SimulationConfig::builder();
-        b.workload(WorkloadKind::TpcH.profile()).reschedule_every(0);
-        assert!(b.build().is_err());
-    }
-
-    #[test]
-    fn deterministic_policies_are_unaffected_by_rescheduling() {
-        // Affinity recomputes to the identical placement each epoch, so
-        // dynamic rescheduling must be a behavioral no-op.
-        let stat = Simulation::new(config(SchedulingPolicy::Affinity, None))
-            .unwrap()
-            .run()
-            .unwrap();
-        let dynamic = Simulation::new(config(SchedulingPolicy::Affinity, Some(50_000)))
-            .unwrap()
-            .run()
-            .unwrap();
-        assert_eq!(stat.measured_cycles, dynamic.measured_cycles);
-    }
-
-    #[test]
-    fn random_rescheduling_survives_partial_occupancy() {
-        // Regression (found by consim-check differential fuzzing): with
-        // Random placement and fewer threads than cores, a reschedule can
-        // change *which* cores are occupied. Pending issue events must be
-        // remapped onto the newly occupied cores — previously this panicked
-        // ("scheduled cores have threads") when a vacated core's event was
-        // popped.
-        let mut b = SimulationConfig::builder();
-        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
-            .policy(SchedulingPolicy::Random)
-            .refs_per_vm(3_000)
-            .warmup_refs_per_vm(500)
-            .reschedule_every(1_000)
-            .seed(3);
-        for _ in 0..2 {
-            b.workload(WorkloadKind::TpcH.profile());
-        }
-        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
-        for m in &out.vm_metrics {
-            assert_eq!(m.l0_hits + m.l1_hits + m.l1_misses, m.refs);
-        }
-    }
-
-    #[test]
-    fn random_rescheduling_costs_performance() {
-        // Frequent random migration abandons warm caches; the machine must
-        // get slower, not faster, and metrics stay balanced.
-        let stat = Simulation::new(config(SchedulingPolicy::Random, None))
-            .unwrap()
-            .run()
-            .unwrap();
-        let churn = Simulation::new(config(SchedulingPolicy::Random, Some(20_000)))
-            .unwrap()
-            .run()
-            .unwrap();
-        assert!(
-            churn.measured_cycles > stat.measured_cycles,
-            "churn {} vs static {}",
-            churn.measured_cycles,
-            stat.measured_cycles
-        );
-        for m in &churn.vm_metrics {
-            assert_eq!(m.l0_hits + m.l1_hits + m.l1_misses, m.refs);
-        }
-    }
-}
+mod tests;

@@ -1,0 +1,586 @@
+//! The engine test suite: end-to-end behavior, LLC prewarming, dynamic
+//! rescheduling, issue-event remapping, and way partitioning. Lives beside
+//! [`super`] (`engine.rs`) so tests keep access to crate-private state
+//! (`core_thread`, the LLC banks, `remap_core_events`).
+
+use super::*;
+
+mod behavior {
+    use super::*;
+    use consim_types::config::SharingDegree;
+    use consim_workload::{WorkloadKind, WorkloadProfileBuilder};
+
+    fn tiny_profile() -> WorkloadProfile {
+        WorkloadProfileBuilder::new("tiny")
+            .footprint_blocks(4_000)
+            .shared_fraction(0.5)
+            .shared_access_prob(0.5)
+            .shared_write_prob(0.1)
+            .build()
+            .unwrap()
+    }
+
+    fn quick_config(
+        sharing: SharingDegree,
+        policy: SchedulingPolicy,
+        vms: usize,
+    ) -> SimulationConfig {
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(sharing))
+            .policy(policy)
+            .refs_per_vm(3_000)
+            .warmup_refs_per_vm(1_000)
+            .seed(7);
+        for _ in 0..vms {
+            b.workload(tiny_profile());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty_and_oversubscribed() {
+        assert!(SimulationConfig::builder().build().is_err());
+        let mut b = SimulationConfig::builder();
+        for _ in 0..5 {
+            b.workload(tiny_profile());
+        }
+        assert!(b.build().is_err(), "20 threads on 16 cores");
+    }
+
+    #[test]
+    fn single_vm_runs_to_completion() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 1);
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        let m = &out.vm_metrics[0];
+        assert_eq!(m.refs, 3_000);
+        assert!(m.completion.is_some());
+        assert!(m.runtime_cycles() > 0);
+        assert!(m.l0_hits + m.l1_hits + m.l1_misses == m.refs);
+    }
+
+    #[test]
+    fn full_mix_all_vms_complete() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::RoundRobin, 4);
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        assert_eq!(out.vm_metrics.len(), 4);
+        for m in &out.vm_metrics {
+            assert!(m.refs >= 3_000);
+            assert!(m.completion.is_some());
+        }
+        assert!(out.measured_cycles > 0);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Random, 4);
+            let out = Simulation::new(cfg).unwrap().run().unwrap();
+            (
+                out.measured_cycles,
+                out.vm_metrics
+                    .iter()
+                    .map(|m| m.l1_misses)
+                    .collect::<Vec<_>>(),
+                out.vm_metrics
+                    .iter()
+                    .map(|m| m.runtime_cycles())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 2);
+            cfg.seed = seed;
+            Simulation::new(cfg).unwrap().run().unwrap().measured_cycles
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn miss_accounting_balances() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 2);
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        for m in &out.vm_metrics {
+            let classified = m.c2c_l1_clean
+                + m.c2c_l1_dirty
+                + m.llc_local_hits
+                + m.llc_remote_clean
+                + m.llc_remote_dirty
+                + m.memory_fetches
+                + m.upgrades;
+            assert_eq!(classified, m.l1_misses, "{m}");
+            assert!(m.llc_miss_rate() <= 1.0);
+            // Any real miss takes at least the LLC latency.
+            if m.l1_misses > m.upgrades {
+                assert!(m.mean_miss_latency() > 6.0);
+            }
+        }
+    }
+
+    #[test]
+    fn isolation_idles_unused_cores() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 1);
+        let sim = Simulation::new(cfg).unwrap();
+        let bound: usize = sim.core_thread.iter().flatten().count();
+        assert_eq!(bound, 4);
+        let out = sim.run().unwrap();
+        // Only one VM's metrics exist and they account for every reference.
+        assert_eq!(out.vm_metrics.len(), 1);
+    }
+
+    #[test]
+    fn sharing_produces_c2c_transfers() {
+        let profile = WorkloadProfileBuilder::new("sharey")
+            .footprint_blocks(2_000)
+            .shared_fraction(0.8)
+            .shared_access_prob(0.9)
+            .shared_write_prob(0.2)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::Private))
+            .policy(SchedulingPolicy::RoundRobin)
+            .workload(profile)
+            .refs_per_vm(5_000)
+            .warmup_refs_per_vm(2_000)
+            .seed(3);
+        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+        let m = &out.vm_metrics[0];
+        assert!(
+            m.cache_to_cache() > 0,
+            "sharing workload must transfer: {m}"
+        );
+        assert!(
+            m.c2c_l1_dirty > 0,
+            "shared writes must produce dirty transfers"
+        );
+    }
+
+    #[test]
+    fn private_config_replicates_more_than_shared() {
+        let run = |sharing| {
+            let cfg = quick_config(sharing, SchedulingPolicy::RoundRobin, 4);
+            let out = Simulation::new(cfg).unwrap().run().unwrap();
+            out.replication.replicated_fraction()
+        };
+        let private = run(SharingDegree::Private);
+        let shared = run(SharingDegree::FullyShared);
+        assert_eq!(shared, 0.0, "a single bank cannot replicate");
+        assert!(private > 0.0, "private banks must replicate shared data");
+    }
+
+    #[test]
+    fn occupancy_shares_are_sane() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::RoundRobin, 4);
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        for bank in &out.occupancy.share {
+            let total: f64 = bank.iter().sum();
+            assert!(total <= 1.0 + 1e-9, "bank over-occupied: {total}");
+        }
+    }
+
+    #[test]
+    fn upgrades_happen_for_read_then_write() {
+        let profile = WorkloadProfileBuilder::new("rw")
+            .footprint_blocks(1_000)
+            .shared_fraction(0.9)
+            .shared_access_prob(0.95)
+            .shared_write_prob(0.3)
+            .shared_zipf(0.9)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile)
+            .refs_per_vm(5_000)
+            .warmup_refs_per_vm(0)
+            .seed(1);
+        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+        assert!(out.vm_metrics[0].upgrades > 0);
+    }
+
+    #[test]
+    fn protocol_stats_exposed() {
+        let cfg = quick_config(SharingDegree::SharedBy(4), SchedulingPolicy::Affinity, 2);
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        assert!(out.protocol.requests > 0);
+        assert!(out.noc.packets > 0);
+        assert!(out.dircache_hit_rate > 0.0 && out.dircache_hit_rate <= 1.0);
+    }
+
+    #[test]
+    fn footprint_tracking_approaches_profile() {
+        let profile = WorkloadProfileBuilder::new("fp")
+            .footprint_blocks(1_000)
+            .shared_zipf(0.05)
+            .private_zipf(0.05)
+            .recent_reuse_prob(0.0)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile)
+            .refs_per_vm(30_000)
+            .warmup_refs_per_vm(0)
+            .track_footprint(true)
+            .seed(5);
+        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+        let fp = out.vm_metrics[0].footprint_blocks();
+        assert!(fp > 900, "footprint {fp} of 1000");
+    }
+
+    #[test]
+    fn kinds_run_end_to_end_smoke() {
+        // Short smoke run of every real profile to catch integration panics.
+        for kind in WorkloadKind::PAPER_SET {
+            let mut b = SimulationConfig::builder();
+            b.workload(kind.profile())
+                .refs_per_vm(1_000)
+                .warmup_refs_per_vm(200)
+                .seed(2);
+            let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+            assert!(out.vm_metrics[0].refs >= 1_000, "{kind}");
+        }
+    }
+}
+
+mod prewarm {
+    use super::*;
+    use consim_types::config::SharingDegree;
+    use consim_workload::WorkloadProfileBuilder;
+
+    fn config(prewarm: bool) -> SimulationConfig {
+        let profile = WorkloadProfileBuilder::new("pw")
+            .footprint_blocks(60_000)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
+            .policy(SchedulingPolicy::Affinity)
+            .workload(profile)
+            .refs_per_vm(5_000)
+            .warmup_refs_per_vm(0)
+            .prewarm_llc(prewarm)
+            .seed(4);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prewarming_cuts_cold_memory_fetches() {
+        let cold = Simulation::new(config(false)).unwrap().run().unwrap();
+        let warm = Simulation::new(config(true)).unwrap().run().unwrap();
+        assert!(
+            warm.vm_metrics[0].memory_fetches < cold.vm_metrics[0].memory_fetches / 2,
+            "prewarm {} vs cold {}",
+            warm.vm_metrics[0].memory_fetches,
+            cold.vm_metrics[0].memory_fetches
+        );
+    }
+
+    #[test]
+    fn prewarm_respects_bank_ownership() {
+        // With affinity, the single VM owns exactly one bank; prewarmed
+        // lines must all land there.
+        let sim = {
+            let mut s = Simulation::new(config(true)).unwrap();
+            s.prewarm_llc_banks(&mut None);
+            s
+        };
+        let occupied: Vec<usize> = sim.llc.iter().map(|b| b.occupancy()).collect();
+        let nonempty = occupied.iter().filter(|&&o| o > 0).count();
+        assert_eq!(nonempty, 1, "occupancies: {occupied:?}");
+    }
+
+    #[test]
+    fn prewarm_is_deterministic() {
+        let a = Simulation::new(config(true)).unwrap().run().unwrap();
+        let b = Simulation::new(config(true)).unwrap().run().unwrap();
+        assert_eq!(a.measured_cycles, b.measured_cycles);
+    }
+}
+
+mod resched {
+    use super::*;
+    use consim_types::config::SharingDegree;
+    use consim_workload::WorkloadKind;
+
+    fn config(policy: SchedulingPolicy, resched: Option<u64>) -> SimulationConfig {
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
+            .policy(policy)
+            .refs_per_vm(6_000)
+            .warmup_refs_per_vm(1_000)
+            .seed(11);
+        if let Some(interval) = resched {
+            b.reschedule_every(interval);
+        }
+        for _ in 0..4 {
+            b.workload(WorkloadKind::TpcH.profile());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zero_interval_is_rejected() {
+        let mut b = SimulationConfig::builder();
+        b.workload(WorkloadKind::TpcH.profile()).reschedule_every(0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn deterministic_policies_are_unaffected_by_rescheduling() {
+        // Affinity recomputes to the identical placement each epoch, so
+        // dynamic rescheduling must be a behavioral no-op.
+        let stat = Simulation::new(config(SchedulingPolicy::Affinity, None))
+            .unwrap()
+            .run()
+            .unwrap();
+        let dynamic = Simulation::new(config(SchedulingPolicy::Affinity, Some(50_000)))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(stat.measured_cycles, dynamic.measured_cycles);
+    }
+
+    #[test]
+    fn random_rescheduling_survives_partial_occupancy() {
+        // Regression (found by consim-check differential fuzzing): with
+        // Random placement and fewer threads than cores, a reschedule can
+        // change *which* cores are occupied. Pending issue events must be
+        // remapped onto the newly occupied cores — previously this panicked
+        // ("scheduled cores have threads") when a vacated core's event was
+        // popped.
+        let mut b = SimulationConfig::builder();
+        b.machine(MachineConfig::paper_default().with_sharing(SharingDegree::SharedBy(4)))
+            .policy(SchedulingPolicy::Random)
+            .refs_per_vm(3_000)
+            .warmup_refs_per_vm(500)
+            .reschedule_every(1_000)
+            .seed(3);
+        for _ in 0..2 {
+            b.workload(WorkloadKind::TpcH.profile());
+        }
+        let out = Simulation::new(b.build().unwrap()).unwrap().run().unwrap();
+        for m in &out.vm_metrics {
+            assert_eq!(m.l0_hits + m.l1_hits + m.l1_misses, m.refs);
+        }
+    }
+
+    #[test]
+    fn random_rescheduling_costs_performance() {
+        // Frequent random migration abandons warm caches; the machine must
+        // get slower, not faster, and metrics stay balanced.
+        let stat = Simulation::new(config(SchedulingPolicy::Random, None))
+            .unwrap()
+            .run()
+            .unwrap();
+        let churn = Simulation::new(config(SchedulingPolicy::Random, Some(20_000)))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            churn.measured_cycles > stat.measured_cycles,
+            "churn {} vs static {}",
+            churn.measured_cycles,
+            stat.measured_cycles
+        );
+        for m in &churn.vm_metrics {
+            assert_eq!(m.l0_hits + m.l1_hits + m.l1_misses, m.refs);
+        }
+    }
+}
+
+mod remap {
+    //! Direct unit tests for [`remap_core_events`], the post-reschedule
+    //! issue-heap fixup exercised end-to-end by
+    //! [`resched::random_rescheduling_survives_partial_occupancy`].
+
+    use super::*;
+    use consim_types::{ThreadId, VmId};
+
+    fn thread(vm: usize, t: usize) -> Option<GlobalThreadId> {
+        Some(GlobalThreadId::new(VmId::new(vm), ThreadId::new(t)))
+    }
+
+    fn heap_of(events: &[(u64, usize)]) -> BinaryHeap<Reverse<(u64, usize)>> {
+        events.iter().copied().map(Reverse).collect()
+    }
+
+    fn sorted(heap: BinaryHeap<Reverse<(u64, usize)>>) -> Vec<(u64, usize)> {
+        let mut v: Vec<_> = heap.into_iter().map(|Reverse(p)| p).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn unchanged_occupied_set_keeps_events_in_place() {
+        let mut heap = heap_of(&[(10, 0), (30, 1)]);
+        let occupied_before = [true, true, false, false];
+        // Same cores occupied (the threads on them may have swapped).
+        let core_thread = [thread(0, 0), thread(0, 1), None, None];
+        remap_core_events(&mut heap, &occupied_before, &core_thread);
+        assert_eq!(sorted(heap), vec![(10, 0), (30, 1)]);
+    }
+
+    #[test]
+    fn orphaned_event_moves_to_the_fresh_core() {
+        // The thread on core 1 migrated to core 3; its pending event must
+        // follow, while core 0's event stays put.
+        let mut heap = heap_of(&[(10, 0), (30, 1)]);
+        let occupied_before = [true, true, false, false];
+        let core_thread = [thread(0, 0), None, None, thread(0, 1)];
+        remap_core_events(&mut heap, &occupied_before, &core_thread);
+        assert_eq!(sorted(heap), vec![(10, 0), (30, 3)]);
+    }
+
+    #[test]
+    fn orphans_remap_earliest_first_onto_ascending_fresh_cores() {
+        // Both occupied cores vacated; their events land on the newly
+        // occupied cores with the earliest event on the lowest core, so the
+        // pairing is deterministic regardless of heap drain order.
+        let mut heap = heap_of(&[(40, 0), (15, 1)]);
+        let occupied_before = [true, true, false, false];
+        let core_thread = [None, None, thread(0, 0), thread(0, 1)];
+        remap_core_events(&mut heap, &occupied_before, &core_thread);
+        assert_eq!(sorted(heap), vec![(15, 2), (40, 3)]);
+    }
+}
+
+mod partitioning {
+    //! Engine-level way-partitioning (QoS) coverage: builder validation,
+    //! the unpartitioned-equivalence guarantee, and the per-VM occupancy
+    //! cap (see `crate::hierarchy` module docs).
+
+    use super::*;
+    use consim_types::config::{CacheGeometry, MachineConfigBuilder, SharingDegree};
+    use consim_types::LlcPartitioning;
+    use consim_workload::WorkloadProfileBuilder;
+
+    fn hungry_profile() -> WorkloadProfile {
+        // Footprint far above any per-VM quota so partitions fill up.
+        WorkloadProfileBuilder::new("hungry")
+            .footprint_blocks(60_000)
+            .build()
+            .unwrap()
+    }
+
+    fn config(partitioning: LlcPartitioning, vms: usize) -> Result<SimulationConfig, SimError> {
+        // A deliberately small LLC (4 × 64 KB banks) so the 60k-block
+        // footprints overflow every set and the way quotas actually bind.
+        // Built with `with_llc_partitioning` (no machine-level validation)
+        // so these tests exercise the simulation builder's checks.
+        let machine = MachineConfigBuilder::new()
+            .llc(CacheGeometry::new(256 * 1024, 16, 6).unwrap())
+            .sharing(SharingDegree::SharedBy(4))
+            .build()
+            .unwrap()
+            .with_llc_partitioning(partitioning);
+        let mut b = SimulationConfig::builder();
+        b.machine(machine)
+            .policy(SchedulingPolicy::RoundRobin)
+            .refs_per_vm(3_000)
+            .warmup_refs_per_vm(1_000)
+            .seed(9);
+        for _ in 0..vms {
+            b.workload(hungry_profile());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builder_rejects_bad_explicit_ways() {
+        // Wrong entry count for the VM mix (the paper LLC is 16-way).
+        assert!(config(LlcPartitioning::ExplicitWays(vec![8, 8]), 4).is_err());
+        // Right count, wrong sum.
+        assert!(config(LlcPartitioning::ExplicitWays(vec![4, 4, 4, 5]), 4).is_err());
+        // Zero-way VMs could never fill a line.
+        assert!(config(LlcPartitioning::ExplicitWays(vec![0, 8, 4, 4]), 4).is_err());
+        // The exact split is accepted.
+        assert!(config(LlcPartitioning::ExplicitWays(vec![8, 4, 2, 2]), 4).is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_more_vms_than_ways() {
+        // A 2-way LLC cannot give 4 VMs a way each.
+        let machine = MachineConfigBuilder::new()
+            .llc(CacheGeometry::new(16 * 1024 * 1024, 2, 6).unwrap())
+            .sharing(SharingDegree::SharedBy(4))
+            .llc_partitioning(LlcPartitioning::EqualWays)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.machine(machine);
+        for _ in 0..4 {
+            b.workload(hungry_profile());
+        }
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn full_mask_run_matches_unpartitioned_exactly() {
+        // A single VM under EqualWays owns every way, and the masked
+        // replacement walk must then be indistinguishable from the plain
+        // one — cycle-for-cycle, not just statistically.
+        let none = Simulation::new(config(LlcPartitioning::None, 1).unwrap())
+            .unwrap()
+            .run()
+            .unwrap();
+        let equal = Simulation::new(config(LlcPartitioning::EqualWays, 1).unwrap())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(none.measured_cycles, equal.measured_cycles);
+        assert_eq!(none.vm_metrics[0].l1_misses, equal.vm_metrics[0].l1_misses);
+        assert_eq!(
+            none.vm_metrics[0].memory_fetches,
+            equal.vm_metrics[0].memory_fetches
+        );
+    }
+
+    #[test]
+    fn explicit_ways_cap_per_vm_occupancy() {
+        let quotas = [8.0, 4.0, 2.0, 2.0];
+        let cfg = config(LlcPartitioning::ExplicitWays(vec![8, 4, 2, 2]), 4).unwrap();
+        let out = Simulation::new(cfg).unwrap().run().unwrap();
+        for m in &out.vm_metrics {
+            assert!(m.completion.is_some());
+        }
+        for bank in &out.occupancy.share {
+            for (vm, &share) in bank.iter().enumerate() {
+                assert!(
+                    share <= quotas[vm] / 16.0 + 1e-9,
+                    "VM {vm} holds {share} of a bank, quota {}",
+                    quotas[vm] / 16.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_changes_contended_behavior() {
+        // With footprints far above the quotas, confining each VM to a
+        // slice of the ways must actually change the timing.
+        let none = Simulation::new(config(LlcPartitioning::None, 4).unwrap())
+            .unwrap()
+            .run()
+            .unwrap();
+        let split =
+            Simulation::new(config(LlcPartitioning::ExplicitWays(vec![8, 4, 2, 2]), 4).unwrap())
+                .unwrap()
+                .run()
+                .unwrap();
+        assert_ne!(none.measured_cycles, split.measured_cycles);
+    }
+
+    #[test]
+    fn partitioned_runs_are_deterministic() {
+        let run = || {
+            let cfg = config(LlcPartitioning::EqualWays, 4).unwrap();
+            let out = Simulation::new(cfg).unwrap().run().unwrap();
+            (out.measured_cycles, out.occupancy.share.clone())
+        };
+        assert_eq!(run(), run());
+    }
+}

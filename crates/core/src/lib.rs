@@ -58,6 +58,7 @@
 
 pub mod audit;
 pub mod engine;
+pub mod hierarchy;
 pub mod machine;
 pub mod metrics;
 pub mod mix;

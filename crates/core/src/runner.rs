@@ -280,6 +280,15 @@ impl ExperimentRunner {
         }
     }
 
+    /// Retargets this runner at a different machine, keeping the options,
+    /// thread pinning, audit setting, and trace sink. Used for sweeps that
+    /// vary the machine itself (e.g. LLC way partitioning) while sharing
+    /// one configured runner.
+    pub fn on_machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
     /// Pins the worker-thread count, overriding `CONSIM_THREADS` and the
     /// hardware default. `with_threads(1)` forces serial execution.
     pub fn with_threads(mut self, threads: usize) -> Self {

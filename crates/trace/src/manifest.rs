@@ -44,6 +44,9 @@ pub struct Manifest {
     pub config_digest: String,
     /// Seeds the run covered.
     pub seeds: Vec<u64>,
+    /// LLC way-partitioning policy label of the machine (e.g. `none`,
+    /// `equal-ways`, `ways-8/4/2/2`).
+    pub llc_partitioning: String,
     /// Worker threads used by the experiment runner.
     pub threads: usize,
     /// Whether the counter audit was enabled.
@@ -74,6 +77,11 @@ impl Manifest {
         );
         let seeds: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
         let _ = writeln!(out, "  \"seeds\": [{}],", seeds.join(", "));
+        let _ = writeln!(
+            out,
+            "  \"llc_partitioning\": {},",
+            json_string(&self.llc_partitioning)
+        );
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"audit\": {},", self.audit);
         let _ = writeln!(out, "  \"wall_seconds\": {},", json_f64(self.wall_seconds));
@@ -132,6 +140,7 @@ mod tests {
             crate_version: "0.1.0",
             config_digest: digest_of(&("figures", 42u64)),
             seeds: vec![42, 43],
+            llc_partitioning: "none".to_string(),
             threads: 4,
             audit: true,
             wall_seconds: 1.25,
@@ -156,6 +165,7 @@ mod tests {
             "\"crate_version\": \"0.1.0\"",
             "\"config_digest\"",
             "\"seeds\": [42, 43]",
+            "\"llc_partitioning\": \"none\"",
             "\"threads\": 4",
             "\"audit\": true",
             "\"wall_seconds\": 1.25",

@@ -77,6 +77,137 @@ impl fmt::Display for SharingDegree {
     }
 }
 
+/// Per-VM LLC way-partitioning (cache QoS).
+///
+/// Server-consolidation QoS proposals isolate co-scheduled VMs by
+/// restricting which *ways* of each LLC set a VM may allocate into.
+/// Partitioning is enforced at insertion (victim selection): lookups and
+/// invalidations still see the whole set, so coherence is unaffected —
+/// only capacity allocation is constrained.
+///
+/// # Examples
+///
+/// ```
+/// use consim_types::config::LlcPartitioning;
+///
+/// // 16 ways split equally across 4 VMs: 4 contiguous ways each.
+/// let masks = LlcPartitioning::EqualWays.way_masks(16, 4).unwrap().unwrap();
+/// assert_eq!(masks, vec![0x000f, 0x00f0, 0x0f00, 0xf000]);
+///
+/// // Explicit split: VM 0 gets half the cache.
+/// let skew = LlcPartitioning::ExplicitWays(vec![8, 4, 2, 2]);
+/// let masks = skew.way_masks(16, 4).unwrap().unwrap();
+/// assert_eq!(masks[0].count_ones(), 8);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub enum LlcPartitioning {
+    /// No partitioning: every VM may allocate into every way (the paper's
+    /// baseline machine).
+    #[default]
+    None,
+    /// The bank associativity is divided as evenly as possible across VMs;
+    /// when it does not divide exactly, the first `ways % vms` VMs get one
+    /// extra way.
+    EqualWays,
+    /// An explicit per-VM way quota; entry `i` is the number of ways VM `i`
+    /// may occupy. Entries must be nonzero, sum to the LLC associativity,
+    /// and match the VM count one-to-one.
+    ExplicitWays(Vec<u8>),
+}
+
+impl LlcPartitioning {
+    /// Canonical label used in reports and run manifests
+    /// ("none", "equal-ways", "ways-8/4/2/2").
+    pub fn label(&self) -> String {
+        match self {
+            LlcPartitioning::None => "none".to_string(),
+            LlcPartitioning::EqualWays => "equal-ways".to_string(),
+            LlcPartitioning::ExplicitWays(ways) => {
+                let parts: Vec<String> = ways.iter().map(u8::to_string).collect();
+                format!("ways-{}", parts.join("/"))
+            }
+        }
+    }
+
+    /// Computes the per-VM allowed-way bitmasks for an LLC bank of the given
+    /// associativity, or `None` when partitioning is disabled. Each VM gets
+    /// a contiguous run of ways; bit `w` of `masks[vm]` is set when VM `vm`
+    /// may allocate into way `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the associativity exceeds 64
+    /// (mask width), if there are more VMs than ways, if an explicit quota
+    /// has a zero entry, does not sum to the associativity, or does not have
+    /// exactly one entry per VM.
+    pub fn way_masks(
+        &self,
+        associativity: usize,
+        num_vms: usize,
+    ) -> Result<Option<Vec<u64>>, SimError> {
+        let quotas: Vec<usize> = match self {
+            LlcPartitioning::None => return Ok(None),
+            LlcPartitioning::EqualWays => {
+                if num_vms == 0 || num_vms > associativity {
+                    return Err(SimError::invalid_config(format!(
+                        "equal-ways partitioning needs 1..={associativity} VMs \
+                         for a {associativity}-way LLC, got {num_vms}"
+                    )));
+                }
+                let base = associativity / num_vms;
+                let extra = associativity % num_vms;
+                (0..num_vms)
+                    .map(|vm| base + usize::from(vm < extra))
+                    .collect()
+            }
+            LlcPartitioning::ExplicitWays(ways) => {
+                if ways.len() != num_vms {
+                    return Err(SimError::invalid_config(format!(
+                        "explicit way partitioning has {} entries for {num_vms} VMs",
+                        ways.len()
+                    )));
+                }
+                if ways.contains(&0) {
+                    return Err(SimError::invalid_config(
+                        "explicit way partitioning entries must be nonzero",
+                    ));
+                }
+                let sum: usize = ways.iter().map(|&w| w as usize).sum();
+                if sum != associativity {
+                    return Err(SimError::invalid_config(format!(
+                        "explicit way partitioning sums to {sum} ways, \
+                         LLC associativity is {associativity}"
+                    )));
+                }
+                ways.iter().map(|&w| w as usize).collect()
+            }
+        };
+        if associativity > 64 {
+            return Err(SimError::invalid_config(format!(
+                "way partitioning supports at most 64-way LLCs, got {associativity}"
+            )));
+        }
+        let mut masks = Vec::with_capacity(quotas.len());
+        let mut start = 0usize;
+        for quota in quotas {
+            let mask = if quota == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << quota) - 1) << start
+            };
+            masks.push(mask);
+            start += quota;
+        }
+        Ok(Some(masks))
+    }
+}
+
+impl fmt::Display for LlcPartitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 /// Size/shape/latency of one cache level.
 ///
 /// # Examples
@@ -163,6 +294,9 @@ pub struct MachineConfig {
     pub llc: CacheGeometry,
     /// LLC sharing degree.
     pub sharing: SharingDegree,
+    /// Per-VM LLC way-partitioning policy (QoS); [`LlcPartitioning::None`]
+    /// reproduces the paper's unpartitioned machine exactly.
+    pub llc_partitioning: LlcPartitioning,
     /// DRAM access latency in cycles (150 in the paper).
     pub memory_latency: u64,
     /// Cycles each access occupies a memory controller (bandwidth model:
@@ -204,6 +338,15 @@ impl MachineConfig {
     pub fn with_sharing(&self, sharing: SharingDegree) -> Self {
         let mut copy = self.clone();
         copy.sharing = sharing;
+        copy
+    }
+
+    /// Returns a copy with a different LLC way-partitioning policy. The
+    /// policy is re-validated against the VM count when a simulation is
+    /// built from the config.
+    pub fn with_llc_partitioning(&self, partitioning: LlcPartitioning) -> Self {
+        let mut copy = self.clone();
+        copy.llc_partitioning = partitioning;
         copy
     }
 
@@ -276,6 +419,7 @@ pub struct MachineConfigBuilder {
     l1: CacheGeometry,
     llc: CacheGeometry,
     sharing: SharingDegree,
+    llc_partitioning: LlcPartitioning,
     memory_latency: u64,
     memory_occupancy: u64,
     num_memory_controllers: usize,
@@ -307,6 +451,7 @@ impl MachineConfigBuilder {
                 latency: 6,
             },
             sharing: SharingDegree::FullyShared,
+            llc_partitioning: LlcPartitioning::None,
             memory_latency: 150,
             memory_occupancy: 30,
             num_memory_controllers: 4,
@@ -350,6 +495,12 @@ impl MachineConfigBuilder {
     /// Sets the LLC sharing degree.
     pub fn sharing(&mut self, sharing: SharingDegree) -> &mut Self {
         self.sharing = sharing;
+        self
+    }
+
+    /// Sets the per-VM LLC way-partitioning policy.
+    pub fn llc_partitioning(&mut self, partitioning: LlcPartitioning) -> &mut Self {
+        self.llc_partitioning = partitioning;
         self
     }
 
@@ -439,6 +590,26 @@ impl MachineConfigBuilder {
                 "memory controller count must be in 1..=num_cores",
             ));
         }
+        // Way-partitioning constraints that don't need the VM count are
+        // checked here; the per-VM checks (entry count vs VMs, equal split
+        // feasibility) re-run in `SimulationConfigBuilder::build`.
+        match &self.llc_partitioning {
+            LlcPartitioning::None => {}
+            LlcPartitioning::EqualWays => {
+                if self.llc.associativity > 64 {
+                    return Err(SimError::invalid_config(format!(
+                        "way partitioning supports at most 64-way LLCs, got {}",
+                        self.llc.associativity
+                    )));
+                }
+            }
+            LlcPartitioning::ExplicitWays(ways) => {
+                // Validating with num_vms = len checks mask width, nonzero
+                // entries, and the sum-to-associativity invariant.
+                self.llc_partitioning
+                    .way_masks(self.llc.associativity, ways.len())?;
+            }
+        }
         // The directory cache is 8-way set-associative; a capacity that is
         // not a whole number of sets would otherwise only be rejected much
         // later, at simulation construction, with a confusing byte count.
@@ -455,6 +626,7 @@ impl MachineConfigBuilder {
             l1: self.l1,
             llc: self.llc,
             sharing: self.sharing,
+            llc_partitioning: self.llc_partitioning.clone(),
             memory_latency: self.memory_latency,
             memory_occupancy: self.memory_occupancy,
             num_memory_controllers: self.num_memory_controllers,
@@ -592,5 +764,85 @@ mod tests {
     fn mesh_height() {
         let m = MachineConfig::paper_default();
         assert_eq!(m.mesh_height(), 4);
+    }
+
+    #[test]
+    fn partitioning_defaults_to_none() {
+        let m = MachineConfig::paper_default();
+        assert_eq!(m.llc_partitioning, LlcPartitioning::None);
+        assert_eq!(m.llc_partitioning.way_masks(16, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn equal_ways_masks_are_contiguous_and_disjoint() {
+        let masks = LlcPartitioning::EqualWays
+            .way_masks(16, 4)
+            .unwrap()
+            .unwrap();
+        assert_eq!(masks, vec![0x000f, 0x00f0, 0x0f00, 0xf000]);
+        // Uneven split: first `ways % vms` VMs get the extra way.
+        let masks = LlcPartitioning::EqualWays
+            .way_masks(16, 3)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            masks.iter().map(|m| m.count_ones()).collect::<Vec<_>>(),
+            vec![6, 5, 5]
+        );
+        assert_eq!(masks.iter().fold(0u64, |acc, m| acc | m), 0xffff);
+        assert!(masks
+            .iter()
+            .enumerate()
+            .all(|(i, m)| masks[..i].iter().all(|prev| prev & m == 0)));
+    }
+
+    #[test]
+    fn equal_ways_rejects_more_vms_than_ways() {
+        let err = LlcPartitioning::EqualWays.way_masks(2, 3).unwrap_err();
+        assert!(err.to_string().contains("equal-ways"));
+    }
+
+    #[test]
+    fn explicit_ways_must_sum_to_associativity() {
+        let p = LlcPartitioning::ExplicitWays(vec![8, 4, 2]);
+        let err = p.way_masks(16, 3).unwrap_err();
+        assert!(err.to_string().contains("sums to 14"), "{err}");
+        let err = MachineConfigBuilder::new()
+            .llc_partitioning(p)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("sums to 14"), "{err}");
+    }
+
+    #[test]
+    fn explicit_ways_must_match_vm_count() {
+        let p = LlcPartitioning::ExplicitWays(vec![8, 4, 2, 2]);
+        assert!(p.way_masks(16, 4).is_ok());
+        let err = p.way_masks(16, 3).unwrap_err();
+        assert!(err.to_string().contains("4 entries for 3 VMs"), "{err}");
+    }
+
+    #[test]
+    fn explicit_ways_rejects_zero_quota() {
+        let p = LlcPartitioning::ExplicitWays(vec![16, 0]);
+        assert!(p.way_masks(16, 2).is_err());
+    }
+
+    #[test]
+    fn full_width_mask_does_not_overflow() {
+        let p = LlcPartitioning::ExplicitWays(vec![64]);
+        let masks = p.way_masks(64, 1).unwrap().unwrap();
+        assert_eq!(masks, vec![u64::MAX]);
+        assert!(p.way_masks(65, 1).is_err());
+    }
+
+    #[test]
+    fn partitioning_labels() {
+        assert_eq!(LlcPartitioning::None.label(), "none");
+        assert_eq!(LlcPartitioning::EqualWays.label(), "equal-ways");
+        assert_eq!(
+            LlcPartitioning::ExplicitWays(vec![8, 4, 2, 2]).to_string(),
+            "ways-8/4/2/2"
+        );
     }
 }

@@ -34,7 +34,7 @@ pub mod ids;
 pub mod rng;
 
 pub use addr::{Address, BlockAddr, CACHE_LINE_BYTES};
-pub use config::{CacheGeometry, MachineConfig, SharingDegree};
+pub use config::{CacheGeometry, LlcPartitioning, MachineConfig, SharingDegree};
 pub use cycles::Cycle;
 pub use error::SimError;
 pub use hash::{FastHashMap, FastHashSet};

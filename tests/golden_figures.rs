@@ -113,6 +113,10 @@ fn figures_match_golden_snapshots() {
             "fig13_occupancy",
             figures::fig13_occupancy(&ctx).unwrap().to_string(),
         ),
+        (
+            "fig14_partitioning",
+            figures::fig14_partitioning(&ctx).unwrap().to_string(),
+        ),
     ];
 
     let dir = golden_dir();

@@ -100,6 +100,7 @@ fn traced_batch_emits_parseable_jsonl_and_manifest() {
         crate_version: env!("CARGO_PKG_VERSION"),
         config_digest: digest_of(&options),
         seeds: options.seeds.clone(),
+        llc_partitioning: "none".to_string(),
         threads: 1,
         audit: true,
         wall_seconds: 0.5,
