@@ -28,6 +28,9 @@ cargo test --workspace --release -q
 echo "== differential oracle smoke (consim-check, fixed seed) =="
 cargo run --release -q -p consim-check --bin fuzz -- --cases 500 --seed 7
 
+echo "== checkpoint/resume seam smoke (consim-check, fixed seed) =="
+cargo run --release -q -p consim-check --bin fuzz -- --cases 200 --seed 11 --resume
+
 echo "== audit + trace smoke (release run_all at tiny quotas) =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT

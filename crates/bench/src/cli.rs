@@ -12,53 +12,75 @@
 //! epoch snapshots, runner timing); set `CONSIM_TRACE_FULL=1` to also
 //! record the per-transaction coherence and NoC-stall firehose.
 
-use consim_trace::{ClassMask, JsonlSink, Manifest, TraceSink};
+use consim_trace::{digest_of, ClassMask, JsonlSink, Manifest, TraceSink};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Observability flags shared by the experiment bins, plus whatever
-/// arguments the bin interprets itself.
+/// Observability and recovery flags shared by the experiment bins, plus
+/// whatever arguments the bin interprets itself.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct BenchFlags {
     /// `--audit`: cross-check counters at the end of every simulation.
     pub audit: bool,
     /// `--trace <dir>`: trace output directory, if requested.
     pub trace_dir: Option<PathBuf>,
+    /// `--resume <dir>`: results-journal directory. Completed cells found
+    /// there are loaded instead of re-simulated; cells this run completes
+    /// are recorded there.
+    pub resume_dir: Option<PathBuf>,
+    /// `--checkpoint-every <accesses>`: mid-cell checkpoint interval
+    /// (effective only with `--resume`).
+    pub checkpoint_every: Option<u64>,
     /// Positional/unrecognized arguments, in order, for the bin to parse.
     pub rest: Vec<String>,
 }
 
 impl BenchFlags {
-    /// Parses `--audit` and `--trace <dir>` out of `args` (the iterator
-    /// should *not* include the program name). Everything else is passed
-    /// through in [`BenchFlags::rest`].
+    /// Parses `--audit`, `--trace <dir>`, `--resume <dir>`, and
+    /// `--checkpoint-every <accesses>` out of `args` (the iterator should
+    /// *not* include the program name). Everything else is passed through
+    /// in [`BenchFlags::rest`].
     ///
     /// # Errors
     ///
-    /// Returns a usage message when `--trace` is missing its directory.
+    /// Returns a usage message when a flag is missing or has a malformed
+    /// value.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut flags = Self::default();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
             if arg == "--audit" {
                 flags.audit = true;
-            } else if arg == "--trace" {
+            } else if arg == "--trace" || arg == "--resume" {
                 let dir = args
                     .next()
-                    .ok_or_else(|| "--trace requires a directory argument".to_string())?;
-                flags.trace_dir = Some(PathBuf::from(dir));
-            } else if let Some(dir) = arg.strip_prefix("--trace=") {
+                    .ok_or_else(|| format!("{arg} requires a directory argument"))?;
+                *flags.dir_slot(&arg) = Some(PathBuf::from(dir));
+            } else if let Some((name, dir)) = ["--trace", "--resume"]
+                .iter()
+                .find_map(|n| arg.strip_prefix(&format!("{n}=")).map(|d| (*n, d)))
+            {
                 if dir.is_empty() {
-                    return Err("--trace requires a directory argument".to_string());
+                    return Err(format!("{name} requires a directory argument"));
                 }
-                flags.trace_dir = Some(PathBuf::from(dir));
+                *flags.dir_slot(name) = Some(PathBuf::from(dir));
             } else {
                 flags.rest.push(arg);
             }
         }
+        flags.checkpoint_every = flags.take_u64("--checkpoint-every")?;
         Ok(flags)
+    }
+
+    /// The flag's destination field (`--trace` or `--resume`).
+    fn dir_slot(&mut self, name: &str) -> &mut Option<PathBuf> {
+        if name == "--resume" {
+            &mut self.resume_dir
+        } else {
+            &mut self.trace_dir
+        }
     }
 
     /// Parses the process arguments, printing the error and exiting with
@@ -68,7 +90,10 @@ impl BenchFlags {
             Ok(flags) => flags,
             Err(msg) => {
                 eprintln!("{bin}: {msg}");
-                eprintln!("usage: {bin} [--audit] [--trace <dir>] ...");
+                eprintln!(
+                    "usage: {bin} [--audit] [--trace <dir>] [--resume <dir>] \
+                     [--checkpoint-every <accesses>] ..."
+                );
                 std::process::exit(2);
             }
         }
@@ -122,6 +147,54 @@ impl BenchFlags {
     }
 }
 
+/// Parses the `CONSIM_FAULT` fault-injection variable (`cell:K`: abort the
+/// batch once `K` jobs have completed). Unset returns `None`; a set but
+/// malformed value is an error — a typo'd fault spec silently ignored
+/// would make a crash-recovery test pass vacuously.
+pub fn fault_from_env() -> Result<Option<u64>, String> {
+    match std::env::var("CONSIM_FAULT") {
+        Err(_) => Ok(None),
+        Ok(raw) => raw
+            .trim()
+            .strip_prefix("cell:")
+            .and_then(|k| k.trim().parse().ok())
+            .map(Some)
+            .ok_or_else(|| format!("CONSIM_FAULT={raw:?} is malformed; expected cell:<K>")),
+    }
+}
+
+/// Extracts the `config_digest` value from rendered `manifest.json` text.
+pub fn manifest_digest(text: &str) -> Option<String> {
+    let key = "\"config_digest\": \"";
+    let start = text.find(key)? + key.len();
+    let end = text[start..].find('"')? + start;
+    Some(text[start..end].to_string())
+}
+
+/// Refuses to reuse a `--trace`/`--resume` directory whose `manifest.json`
+/// was written by a run with a different configuration digest: mixing
+/// journal records or traces across configurations would silently corrupt
+/// results. A missing or digest-matching manifest passes.
+///
+/// # Errors
+///
+/// Returns a message naming both digests on a mismatch.
+pub fn guard_manifest_digest(dir: &Path, digest: &str) -> Result<(), String> {
+    let path = dir.join("manifest.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Ok(());
+    };
+    match manifest_digest(&text) {
+        Some(previous) if previous != digest => Err(format!(
+            "{} already holds results for config digest {previous}, but this run's \
+             digest is {digest}; refusing to mix them — use a fresh directory or \
+             rerun with the original configuration",
+            dir.display()
+        )),
+        _ => Ok(()),
+    }
+}
+
 /// The worker-thread count the runner will resolve to, for the manifest:
 /// `CONSIM_THREADS` if set and valid, else the machine's parallelism.
 pub fn thread_count() -> usize {
@@ -143,6 +216,8 @@ pub struct TraceSession {
     dir: PathBuf,
     sink: Arc<JsonlSink>,
     started: Instant,
+    resumed_from: Option<String>,
+    checkpoints: Vec<String>,
 }
 
 impl TraceSession {
@@ -166,12 +241,44 @@ impl TraceSession {
             dir: dir.to_path_buf(),
             sink,
             started: Instant::now(),
+            resumed_from: None,
+            checkpoints: Vec::new(),
         })
     }
 
     /// The sink to install on an experiment runner.
     pub fn sink(&self) -> Arc<dyn TraceSink> {
         Arc::clone(&self.sink) as Arc<dyn TraceSink>
+    }
+
+    /// Records journal provenance for the manifest: the `--resume`
+    /// directory, and a digest of every journal/checkpoint record under it
+    /// (sorted by path, so the manifest is deterministic). Call after the
+    /// run, when the journal holds its final records.
+    pub fn note_journal(&mut self, dir: &Path) {
+        self.resumed_from = Some(dir.display().to_string());
+        let mut records: Vec<(PathBuf, String)> = Vec::new();
+        let batches = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(_) => return,
+        };
+        for batch in batches.filter_map(Result::ok) {
+            let Ok(files) = std::fs::read_dir(batch.path()) else {
+                continue;
+            };
+            for file in files.filter_map(Result::ok) {
+                let path = file.path();
+                let is_record = path.extension().is_some_and(|x| x == "bin" || x == "ckpt");
+                if !is_record {
+                    continue;
+                }
+                if let Ok(bytes) = std::fs::read(&path) {
+                    records.push((path, digest_of(bytes.as_slice())));
+                }
+            }
+        }
+        records.sort();
+        self.checkpoints = records.into_iter().map(|(_, d)| d).collect();
     }
 
     /// Flushes the trace and writes `manifest.json`; returns its path.
@@ -199,6 +306,8 @@ impl TraceSession {
             wall_seconds: self.started.elapsed().as_secs_f64(),
             trace_lines: self.sink.lines(),
             trace_errors: self.sink.errors(),
+            resumed_from: self.resumed_from,
+            checkpoints: self.checkpoints,
         };
         manifest.write_to(&self.dir)
     }
@@ -289,5 +398,81 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn parses_resume_and_checkpoint_every() {
+        let flags = parse(&["--resume", "out/j", "--checkpoint-every", "50000", "x"]).unwrap();
+        assert_eq!(flags.resume_dir.as_deref(), Some(Path::new("out/j")));
+        assert_eq!(flags.checkpoint_every, Some(50_000));
+        assert_eq!(flags.rest, vec!["x".to_string()]);
+        let flags = parse(&["--resume=j2", "--checkpoint-every=9"]).unwrap();
+        assert_eq!(flags.resume_dir.as_deref(), Some(Path::new("j2")));
+        assert_eq!(flags.checkpoint_every, Some(9));
+        assert!(parse(&["--resume"]).is_err());
+        assert!(parse(&["--resume="]).is_err());
+        assert!(parse(&["--checkpoint-every", "soon"]).is_err());
+    }
+
+    #[test]
+    fn fault_spec_parses_or_rejects() {
+        // Parse the spec format directly (the env-reading wrapper is a
+        // thin shell around it; mutating the process environment here
+        // would race against parallel tests).
+        let parse_spec = |raw: &str| {
+            raw.trim()
+                .strip_prefix("cell:")
+                .and_then(|k| k.trim().parse::<u64>().ok())
+        };
+        assert_eq!(parse_spec("cell:3"), Some(3));
+        assert_eq!(parse_spec(" cell: 12 "), Some(12));
+        assert_eq!(parse_spec("3"), None);
+        assert_eq!(parse_spec("cell:many"), None);
+    }
+
+    #[test]
+    fn digest_guard_refuses_mismatched_journal() {
+        let dir = std::env::temp_dir().join(format!("consim-cli-guard-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // No manifest yet: anything goes.
+        assert!(guard_manifest_digest(&dir, "aaaa").is_ok());
+        std::fs::write(
+            dir.join("manifest.json"),
+            "{\n  \"bin\": \"run_all\",\n  \"config_digest\": \"aaaa\"\n}",
+        )
+        .unwrap();
+        // Same digest: resume allowed.
+        assert!(guard_manifest_digest(&dir, "aaaa").is_ok());
+        // Different digest: refused, naming both digests.
+        let err = guard_manifest_digest(&dir, "bbbb").unwrap_err();
+        assert!(err.contains("aaaa") && err.contains("bbbb"), "{err}");
+        assert!(err.contains("refusing"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn note_journal_digests_records_deterministically() {
+        let dir = std::env::temp_dir().join(format!("consim-cli-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let batch = dir.join("batch-0123");
+        std::fs::create_dir_all(&batch).unwrap();
+        std::fs::write(batch.join("job-0001.bin"), b"one").unwrap();
+        std::fs::write(batch.join("job-0000.ckpt"), b"zero").unwrap();
+        std::fs::write(batch.join("notes.txt"), b"ignored").unwrap();
+        let mut session = TraceSession::create(&dir.join("trace")).unwrap();
+        session.note_journal(&dir);
+        assert_eq!(
+            session.checkpoints.len(),
+            2,
+            "only .bin/.ckpt records count"
+        );
+        let expected = vec![digest_of(b"zero".as_slice()), digest_of(b"one".as_slice())];
+        assert_eq!(session.checkpoints, expected, "sorted by path");
+        assert_eq!(
+            session.resumed_from.as_deref(),
+            Some(&*dir.display().to_string())
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

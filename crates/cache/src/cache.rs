@@ -4,7 +4,8 @@ use crate::line::{CacheLine, LineState};
 use crate::replacement::ReplacementPolicy;
 use crate::set::CacheSet;
 use crate::stats::CacheStats;
-use consim_types::{BlockAddr, CacheGeometry};
+use consim_snap::{SectionBuf, SectionReader, Snapshot};
+use consim_types::{BlockAddr, CacheGeometry, SimError};
 
 /// A set-associative cache keyed by [`BlockAddr`].
 ///
@@ -175,6 +176,24 @@ impl SetAssocCache {
     }
 }
 
+impl Snapshot for SetAssocCache {
+    fn save(&self, w: &mut SectionBuf) {
+        w.put_usize(self.sets.len());
+        for set in &self.sets {
+            set.save(w);
+        }
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        r.expect_len(self.sets.len(), "cache sets")?;
+        for set in self.sets.iter_mut() {
+            set.restore(r)?;
+        }
+        self.stats.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +297,54 @@ mod tests {
         assert!(c.contains(BlockAddr::new(10)) && c.contains(BlockAddr::new(11)));
         assert_eq!(c.stats().insertions, 5);
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_contents_recency_and_stats() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Random,
+        ] {
+            let geom = CacheGeometry::new(4 * 4 * 64, 4, 1).unwrap();
+            let mut c = SetAssocCache::new(geom, policy);
+            for n in 0..40 {
+                c.insert(BlockAddr::new(n * 3), LineState::Modified);
+                c.access(BlockAddr::new(n));
+            }
+            let mut buf = SectionBuf::new();
+            c.save(&mut buf);
+            let mut back = SetAssocCache::new(geom, policy);
+            back.restore(&mut SectionReader::new("caches", buf.as_bytes()))
+                .unwrap();
+            assert_eq!(back.stats(), c.stats(), "{policy:?}");
+            // Same contents and same future behaviour (recency + RNG state).
+            for n in 40..80 {
+                let va = c.insert(BlockAddr::new(n), LineState::Shared);
+                let vb = back.insert(BlockAddr::new(n), LineState::Shared);
+                assert_eq!(va, vb, "{policy:?} insert {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_wrong_shape() {
+        let geom = CacheGeometry::new(4 * 4 * 64, 4, 1).unwrap();
+        let c = SetAssocCache::new(geom, ReplacementPolicy::Lru);
+        let mut buf = SectionBuf::new();
+        c.save(&mut buf);
+        let other_geom = CacheGeometry::new(4 * 8 * 64, 4, 1).unwrap();
+        let mut other = SetAssocCache::new(other_geom, ReplacementPolicy::Lru);
+        let err = other
+            .restore(&mut SectionReader::new("caches", buf.as_bytes()))
+            .unwrap_err();
+        assert!(err.to_string().contains("cache sets"), "{err}");
+        // Policy mismatch is also typed, not a panic.
+        let mut plru = SetAssocCache::new(geom, ReplacementPolicy::TreePlru);
+        let err = plru
+            .restore(&mut SectionReader::new("caches", buf.as_bytes()))
+            .unwrap_err();
+        assert!(err.to_string().contains("policy"), "{err}");
     }
 
     #[test]

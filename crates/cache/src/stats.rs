@@ -1,5 +1,7 @@
 //! Per-cache statistics.
 
+use consim_snap::{SectionBuf, SectionReader, Snapshot};
+use consim_types::SimError;
 use std::fmt;
 use std::ops::AddAssign;
 
@@ -46,6 +48,27 @@ impl CacheStats {
         } else {
             self.misses as f64 / accesses as f64
         }
+    }
+}
+
+impl Snapshot for CacheStats {
+    fn save(&self, w: &mut SectionBuf) {
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.insertions);
+        w.put_u64(self.evictions);
+        w.put_u64(self.dirty_evictions);
+        w.put_u64(self.invalidations);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        self.hits = r.get_u64()?;
+        self.misses = r.get_u64()?;
+        self.insertions = r.get_u64()?;
+        self.evictions = r.get_u64()?;
+        self.dirty_evictions = r.get_u64()?;
+        self.invalidations = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p consim-check --bin fuzz -- --cases 500 --seed 7
+//! cargo run --release -p consim-check --bin fuzz -- --cases 200 --seed 11 --resume
 //! cargo run --release -p consim-check --bin fuzz -- --replay <case-seed>
 //! ```
 //!
@@ -11,15 +12,28 @@
 //! divergence the case seed is printed (replayable with `--replay`), the
 //! case is shrunk to a minimal still-failing configuration, and the
 //! process exits nonzero.
+//!
+//! With `--resume`, every case is additionally split at a seeded cut
+//! point: the engine is checkpointed mid-run, resumed into a fresh
+//! simulation, and must agree with the naive model *and* bit-identically
+//! with an uninterrupted run of the same case.
 
 use consim_bench::cli::BenchFlags;
-use consim_check::{run_case, shrink, CaseOutcome, FuzzCase};
+use consim_check::{run_case, run_case_resumed, shrink, CaseOutcome, FuzzCase, Mutation};
 use consim_types::rng::SimRng;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut flags = BenchFlags::from_env("fuzz");
-    let parsed = (|| -> Result<(u64, u64, Option<u64>), String> {
+    // `--resume` is a mode switch here (not a journal directory as in the
+    // experiment bins), so it is peeled off before the shared parser.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let resume = if let Some(pos) = raw.iter().position(|a| a == "--resume") {
+        raw.remove(pos);
+        true
+    } else {
+        false
+    };
+    let parsed = BenchFlags::parse(raw.into_iter()).and_then(|mut flags| {
         let cases = flags.take_u64("--cases")?.unwrap_or(500);
         let seed = flags.take_u64("--seed")?.unwrap_or(1);
         let replay = flags.take_u64("--replay")?;
@@ -27,18 +41,20 @@ fn main() -> ExitCode {
             return Err(format!("unrecognized argument {extra:?}"));
         }
         Ok((cases, seed, replay))
-    })();
+    });
     let (cases, seed, replay) = match parsed {
         Ok(v) => v,
         Err(msg) => {
             eprintln!("fuzz: {msg}");
-            eprintln!("usage: fuzz [--cases N] [--seed S] [--replay CASE_SEED]");
+            eprintln!("usage: fuzz [--cases N] [--seed S] [--resume] [--replay CASE_SEED]");
             return ExitCode::from(2);
         }
     };
+    let harness: fn(&FuzzCase, Option<Mutation>) -> CaseOutcome =
+        if resume { run_case_resumed } else { run_case };
 
     if let Some(case_seed) = replay {
-        return run_one(case_seed, true);
+        return run_one(case_seed, harness, resume, true);
     }
 
     let mut rng = SimRng::from_seed(seed).derive("check/cases");
@@ -46,36 +62,47 @@ fn main() -> ExitCode {
     for i in 0..cases {
         let case_seed = rng.next_u64();
         let case = FuzzCase::generate(case_seed);
-        match run_case(&case, None) {
+        match harness(&case, None) {
             CaseOutcome::Pass { steps } => total_steps += steps,
-            failure => return report_failure(&case, &failure),
+            failure => return report_failure(&case, &failure, resume),
         }
         if (i + 1) % 100 == 0 {
             println!("fuzz: {}/{cases} cases passed", i + 1);
         }
     }
+    let mode = if resume {
+        "checkpoint/resume seam, "
+    } else {
+        ""
+    };
     println!(
-        "fuzz: {cases} cases passed (seed {seed}, {total_steps} accesses compared, 0 divergences)"
+        "fuzz: {cases} cases passed (seed {seed}, {mode}{total_steps} accesses compared, \
+         0 divergences)"
     );
     ExitCode::SUCCESS
 }
 
-fn run_one(case_seed: u64, verbose: bool) -> ExitCode {
+fn run_one(
+    case_seed: u64,
+    harness: fn(&FuzzCase, Option<Mutation>) -> CaseOutcome,
+    resume: bool,
+    verbose: bool,
+) -> ExitCode {
     let case = FuzzCase::generate(case_seed);
     if verbose {
         println!("fuzz: replaying case seed {case_seed}");
         println!("{case:#?}");
     }
-    match run_case(&case, None) {
+    match harness(&case, None) {
         CaseOutcome::Pass { steps } => {
             println!("fuzz: case seed {case_seed} passes ({steps} accesses compared)");
             ExitCode::SUCCESS
         }
-        failure => report_failure(&case, &failure),
+        failure => report_failure(&case, &failure, resume),
     }
 }
 
-fn report_failure(case: &FuzzCase, failure: &CaseOutcome) -> ExitCode {
+fn report_failure(case: &FuzzCase, failure: &CaseOutcome, resume: bool) -> ExitCode {
     let kind = match failure {
         CaseOutcome::Divergence(msg) => format!("divergence: {msg}"),
         CaseOutcome::EngineError(msg) => format!("engine error: {msg}"),
@@ -83,10 +110,17 @@ fn report_failure(case: &FuzzCase, failure: &CaseOutcome) -> ExitCode {
     };
     eprintln!("fuzz: FAILURE on case seed {}", case.case_seed);
     eprintln!("fuzz: {kind}");
+    let flag = if resume { " --resume" } else { "" };
     eprintln!(
-        "fuzz: replay with: cargo run -p consim-check --bin fuzz -- --replay {}",
+        "fuzz: replay with: cargo run -p consim-check --bin fuzz --{flag} --replay {}",
         case.case_seed
     );
+    if resume && !run_case(case, None).is_failure() {
+        // The shrinker minimizes against the straight harness; a seam-only
+        // failure (straight passes, resumed diverges) is reported as-is.
+        eprintln!("fuzz: straight run passes — failure is specific to the resume seam");
+        return ExitCode::FAILURE;
+    }
     eprintln!("fuzz: shrinking...");
     let small = shrink(case, None);
     let shrunk_failure = run_case(&small, None);

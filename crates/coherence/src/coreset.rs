@@ -1,6 +1,7 @@
 //! Compact sets of cores (sharer vectors).
 
-use consim_types::CoreId;
+use consim_snap::{SectionBuf, SectionReader, Snapshot};
+use consim_types::{CoreId, SimError};
 use std::fmt;
 
 /// A set of cores, stored as a 64-bit mask — a full-map directory sharer
@@ -93,6 +94,27 @@ impl CoreSet {
         let members: Vec<CoreId> = self.iter().collect();
         self.0 = 0;
         members
+    }
+
+    /// The raw sharer-vector bitmask, for checkpointing.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a set from [`CoreSet::bits`].
+    pub const fn from_bits(bits: u64) -> Self {
+        Self(bits)
+    }
+}
+
+impl Snapshot for CoreSet {
+    fn save(&self, w: &mut SectionBuf) {
+        w.put_u64(self.0);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        self.0 = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! memory latency) and then installs the entry.
 
 use consim_cache::{LineState, ReplacementPolicy, SetAssocCache};
+use consim_snap::{SectionBuf, SectionReader, Snapshot};
 use consim_types::{BlockAddr, CacheGeometry, SimError};
 
 /// One home node's cache of directory entries.
@@ -77,6 +78,16 @@ impl DirectoryCache {
     /// Entry capacity.
     pub fn capacity(&self) -> usize {
         self.cache.capacity()
+    }
+}
+
+impl Snapshot for DirectoryCache {
+    fn save(&self, w: &mut SectionBuf) {
+        self.cache.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        self.cache.restore(r)
     }
 }
 

@@ -16,8 +16,9 @@
 
 use crate::coreset::CoreSet;
 use crate::stats::ProtocolStats;
+use consim_snap::{SectionBuf, SectionReader, Snapshot};
 use consim_trace::{EventClass, TraceEvent, TraceSink};
-use consim_types::{BlockAddr, CoreId, FastHashMap, NodeId, SimError};
+use consim_types::{BlockAddr, CoreId, FastHashMap, NodeId, SimError, SnapshotErrorKind};
 use std::sync::Arc;
 
 /// The kind of private-cache miss being resolved.
@@ -109,6 +110,10 @@ pub struct Directory {
     entries: FastHashMap<BlockAddr, DirEntry>,
     stats: ProtocolStats,
     trace: Option<TraceHook>,
+    /// Trace-sampling countdown restored from a snapshot before a sink was
+    /// reattached; consumed by the next [`Directory::set_trace_sink`] so a
+    /// resumed run samples the same protocol actions as an uninterrupted one.
+    restored_countdown: Option<u64>,
 }
 
 /// Sampled coherence-action tracing: every `sample`-th protocol action is
@@ -136,6 +141,7 @@ impl Directory {
             entries: FastHashMap::default(),
             stats: ProtocolStats::default(),
             trace: None,
+            restored_countdown: None,
         }
     }
 
@@ -144,12 +150,13 @@ impl Directory {
     /// filter excludes [`EventClass::Coherence`] are not installed at all,
     /// so the hot path stays a single `None` check.
     pub fn set_trace_sink(&mut self, sink: Option<Arc<dyn TraceSink>>, sample: u64) {
+        let countdown = self.restored_countdown.take().map_or(1, |c| c.max(1));
         self.trace = sink
             .filter(|s| s.wants(EventClass::Coherence))
             .map(|sink| TraceHook {
                 sink,
                 sample: sample.max(1),
-                countdown: 1,
+                countdown,
             });
     }
 
@@ -407,6 +414,66 @@ impl Directory {
     }
 }
 
+impl Snapshot for Directory {
+    fn save(&self, w: &mut SectionBuf) {
+        w.put_usize(self.num_cores);
+        // FastHashMap iteration order is nondeterministic across processes;
+        // sort by block address so identical state yields identical bytes.
+        let mut blocks: Vec<(u64, DirEntry)> =
+            self.entries.iter().map(|(b, e)| (b.raw(), *e)).collect();
+        blocks.sort_unstable_by_key(|(b, _)| *b);
+        w.put_usize(blocks.len());
+        for (block, entry) in blocks {
+            w.put_u64(block);
+            w.put_opt_u64(entry.owner.map(|c| c.index() as u64));
+            entry.sharers.save(w);
+        }
+        self.stats.save(w);
+        w.put_opt_u64(self.trace.as_ref().map(|h| h.countdown));
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        let num_cores = r.get_usize()?;
+        if num_cores != self.num_cores {
+            return Err(SimError::snapshot(
+                SnapshotErrorKind::Corrupt,
+                format!(
+                    "directory tracks {num_cores} cores, configuration builds {}",
+                    self.num_cores
+                ),
+            ));
+        }
+        let count = r.get_usize()?;
+        self.entries.clear();
+        for _ in 0..count {
+            let block = BlockAddr::new(r.get_u64()?);
+            let owner = match r.get_opt_u64()? {
+                Some(c) => {
+                    let index = usize::try_from(c).unwrap_or(usize::MAX);
+                    if index >= self.num_cores {
+                        return Err(SimError::snapshot(
+                            SnapshotErrorKind::Corrupt,
+                            format!("directory entry owner {c} outside machine"),
+                        ));
+                    }
+                    Some(CoreId::new(index))
+                }
+                None => None,
+            };
+            let mut sharers = CoreSet::EMPTY;
+            sharers.restore(r)?;
+            self.entries.insert(block, DirEntry { owner, sharers });
+        }
+        self.stats.restore(r)?;
+        let countdown = r.get_opt_u64()?;
+        match (&mut self.trace, countdown) {
+            (Some(hook), Some(c)) => hook.countdown = c.max(1),
+            _ => self.restored_countdown = countdown,
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,6 +671,54 @@ mod tests {
             }
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_entries_and_stats() {
+        let mut d = dir();
+        for i in 0..60u64 {
+            let c = core((i % 16) as usize);
+            let b = blk(i % 11);
+            if d.owner_of(b) == Some(c) || d.sharers_of(b).contains(c) {
+                continue;
+            }
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            d.handle(c, b, kind);
+        }
+        let mut buf = consim_snap::SectionBuf::new();
+        d.save(&mut buf);
+        // Identical state twice in a row must serialize identically
+        // (sorted entries, not map iteration order).
+        let mut again = consim_snap::SectionBuf::new();
+        d.save(&mut again);
+        assert_eq!(buf.as_bytes(), again.as_bytes());
+
+        let mut back = dir();
+        back.restore(&mut consim_snap::SectionReader::new("coh", buf.as_bytes()))
+            .unwrap();
+        assert_eq!(back.stats(), d.stats());
+        assert_eq!(back.tracked_blocks(), d.tracked_blocks());
+        for b in 0..11u64 {
+            assert_eq!(back.state_of(blk(b)), d.state_of(blk(b)), "block {b}");
+        }
+        back.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_core_count() {
+        let mut d = dir();
+        d.handle(core(0), blk(1), AccessKind::Read);
+        let mut buf = consim_snap::SectionBuf::new();
+        d.save(&mut buf);
+        let mut other = Directory::new(8);
+        let err = other
+            .restore(&mut consim_snap::SectionReader::new("coh", buf.as_bytes()))
+            .unwrap_err();
+        assert!(err.to_string().contains("cores"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Protocol event counters.
 
 use crate::directory::{DataSource, Outcome};
+use consim_snap::{SectionBuf, SectionReader, Snapshot};
+use consim_types::SimError;
 use std::fmt;
 use std::ops::AddAssign;
 
@@ -63,6 +65,29 @@ impl ProtocolStats {
         } else {
             self.dirty_transfers as f64 / c2c as f64
         }
+    }
+}
+
+impl Snapshot for ProtocolStats {
+    fn save(&self, w: &mut SectionBuf) {
+        w.put_u64(self.requests);
+        w.put_u64(self.clean_transfers);
+        w.put_u64(self.dirty_transfers);
+        w.put_u64(self.from_below);
+        w.put_u64(self.upgrades);
+        w.put_u64(self.invalidations);
+        w.put_u64(self.writebacks);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        self.requests = r.get_u64()?;
+        self.clean_transfers = r.get_u64()?;
+        self.dirty_transfers = r.get_u64()?;
+        self.from_below = r.get_u64()?;
+        self.upgrades = r.get_u64()?;
+        self.invalidations = r.get_u64()?;
+        self.writebacks = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -39,16 +39,23 @@ use crate::hierarchy::HierarchyCtx;
 use crate::machine::Layout;
 use crate::metrics::{OccupancySnapshot, ReplicationSnapshot, VmMetrics};
 use crate::observe::{AccessStep, StepObserver, StepOutcome};
+use crate::snapshot;
 use consim_cache::{LineState, ReplacementPolicy, SetAssocCache};
 use consim_coherence::{Directory, DirectoryCache, ProtocolStats};
 use consim_noc::{ContentionModel, NocStats, ReservationCalendar};
 use consim_sched::{place, Placement, SchedulingPolicy};
+use consim_snap::{
+    restore_items, save_items, SectionBuf, SectionReader, SnapReader, SnapWriter, Snapshot,
+};
 use consim_trace::{EventClass, TraceEvent, TraceSink};
 use consim_types::config::MachineConfig;
-use consim_types::{BankId, CoreId, Cycle, GlobalThreadId, SimError, SimRng, VmId};
+use consim_types::{
+    BankId, CoreId, Cycle, GlobalThreadId, SimError, SimRng, SnapshotErrorKind, VmId,
+};
 use consim_workload::{MemRef, WorkloadGenerator, WorkloadProfile};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::io::{Read, Write};
 use std::sync::Arc;
 
 /// How a simulation reports trace events.
@@ -332,6 +339,54 @@ pub struct SimulationOutcome {
     pub noc_peak_utilization: f64,
 }
 
+/// Whether [`Simulation::advance`] left the run mid-flight or finished it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The access budget ran out before measurement completed; call
+    /// [`Simulation::advance`] again (optionally after a
+    /// [`Simulation::checkpoint`]).
+    Running,
+    /// Every VM met its measured quota; call [`Simulation::finish`].
+    Complete,
+}
+
+/// Which phase of the run the engine is executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseKind {
+    /// Cache-warming references; statistics are discarded at the end.
+    Warmup,
+    /// The measured interval.
+    Measure,
+}
+
+/// The event loop's mutable position within a run. Everything here is
+/// serialized verbatim into checkpoints, so a resumed run re-enters the loop
+/// with bit-identical state.
+#[derive(Debug)]
+struct RunState {
+    phase: PhaseKind,
+    /// Cycle at which this phase started.
+    start: Cycle,
+    /// References issued per VM this phase (quota progress).
+    vm_refs: Vec<u64>,
+    /// Whether each VM has met its quota.
+    vm_done: Vec<bool>,
+    /// VMs still short of quota.
+    remaining: usize,
+    /// Pending (ready-cycle, core) issue events. Keys are unique per core,
+    /// so serializing the heap sorted and rebuilding it on restore
+    /// reproduces the exact pop order.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Completion cycle of the latest quota-meeting reference.
+    last_completion: Cycle,
+    /// Next dynamic-rescheduling boundary, if enabled.
+    next_resched: Option<u64>,
+    /// Next epoch-snapshot boundary (`u64::MAX` when epoch tracing is off).
+    next_epoch: u64,
+    /// Measurement finished; only [`Simulation::finish`] remains.
+    done: bool,
+}
+
 /// One experimental run of the consolidation machine.
 ///
 /// See the [module docs](self) for the timing model; see
@@ -359,6 +414,12 @@ pub struct Simulation {
     llc_way_masks: Option<Vec<u64>>,
     /// Epoch counter for dynamic rescheduling.
     resched_epoch: u64,
+    /// In-flight event-loop state; `None` before the first
+    /// [`Simulation::advance`] call.
+    run_state: Option<RunState>,
+    /// The LLC prewarm pass has run (or was skipped); guards against
+    /// double-prewarming on resume.
+    prewarmed: bool,
 }
 
 impl Simulation {
@@ -441,6 +502,8 @@ impl Simulation {
             metrics,
             llc_way_masks,
             resched_epoch: 0,
+            run_state: None,
+            prewarmed: false,
         })
     }
 
@@ -471,25 +534,114 @@ impl Simulation {
         mut self,
         mut observer: Option<&mut dyn StepObserver>,
     ) -> Result<SimulationOutcome, SimError> {
-        if self.config.prewarm_llc {
-            self.prewarm_llc_banks(&mut observer);
+        loop {
+            let status = match &mut observer {
+                Some(obs) => self.advance(u64::MAX, Some(&mut **obs))?,
+                None => self.advance(u64::MAX, None)?,
+            };
+            if status == RunStatus::Complete {
+                break;
+            }
         }
-        let mut clock = Cycle::ZERO;
-        if self.config.warmup_refs_per_vm > 0 {
-            clock = self.phase(clock, self.config.warmup_refs_per_vm, false, &mut observer)?;
+        self.finish()
+    }
+
+    /// Advances the run by at most `max_accesses` memory references
+    /// (counting warmup), starting it if necessary. Returns
+    /// [`RunStatus::Running`] when the budget ran out first — the simulation
+    /// is then at a well-defined boundary and can be checkpointed with
+    /// [`Simulation::checkpoint`] — and [`RunStatus::Complete`] once every
+    /// VM has met its measured quota.
+    ///
+    /// `run()` is exactly `advance(u64::MAX, None)` followed by
+    /// [`Simulation::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invariant`] if internal protocol invariants break
+    /// (a simulator bug).
+    pub fn advance(
+        &mut self,
+        max_accesses: u64,
+        mut observer: Option<&mut dyn StepObserver>,
+    ) -> Result<RunStatus, SimError> {
+        self.ensure_started(&mut observer);
+        let mut budget = max_accesses;
+        loop {
+            let state = self.run_state.as_ref().expect("run started above");
+            if state.done {
+                return Ok(RunStatus::Complete);
+            }
+            let phase = state.phase;
+            let (quota, measuring) = match phase {
+                PhaseKind::Warmup => (self.config.warmup_refs_per_vm, false),
+                PhaseKind::Measure => (self.config.refs_per_vm, true),
+            };
+            // Epoch snapshots only apply to the measurement phase. The loop
+            // is monomorphized over whether they are on: even a never-taken
+            // branch whose body calls through a trace-sink vtable pessimizes
+            // the hot loop's code generation by ~20%, so the untraced
+            // instantiation must contain no epoch code at all.
+            let epoch_trace = self.epoch_trace_for(phase);
+            let mut st = self.run_state.take().expect("run started above");
+            let result = match epoch_trace {
+                Some(t) => self.phase_loop::<true>(
+                    &mut st,
+                    quota,
+                    measuring,
+                    Some(t),
+                    &mut budget,
+                    &mut observer,
+                ),
+                None => self.phase_loop::<false>(
+                    &mut st,
+                    quota,
+                    measuring,
+                    None,
+                    &mut budget,
+                    &mut observer,
+                ),
+            };
+            self.run_state = Some(st);
+            result?;
+            let st = self.run_state.as_mut().expect("restored above");
+            if st.remaining > 0 {
+                return Ok(RunStatus::Running);
+            }
+            if measuring {
+                st.done = true;
+                return Ok(RunStatus::Complete);
+            }
+            // Warmup finished: clear statistics (cache and directory
+            // *contents* persist) and enter measurement where warmup left
+            // the clock.
+            let clock = st.last_completion;
             self.reset_measurement_state();
+            self.begin_measurement(clock);
+            if budget == 0 {
+                return Ok(RunStatus::Running);
+            }
         }
+    }
+
+    /// Computes the paper's end-of-run outcome. The run must be complete
+    /// ([`Simulation::advance`] returned [`RunStatus::Complete`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invariant`] if called before the run completed,
+    /// or [`SimError::AuditFailed`] if the end-of-run counter audit detects
+    /// drift.
+    pub fn finish(mut self) -> Result<SimulationOutcome, SimError> {
+        let (measure_start, end) = match &self.run_state {
+            Some(st) if st.done => (st.start, st.last_completion),
+            _ => {
+                return Err(SimError::invariant(
+                    "finish() called before the run completed",
+                ))
+            }
+        };
         let num_vms = self.config.workloads.len();
-        if let Some(trace) = &self.config.trace {
-            trace.sink.record(&TraceEvent::RunStarted {
-                seed: self.config.seed,
-                vms: num_vms as u32,
-                refs_per_vm: self.config.refs_per_vm,
-                warmup_refs_per_vm: self.config.warmup_refs_per_vm,
-            });
-        }
-        let measure_start = clock;
-        let end = self.phase(clock, self.config.refs_per_vm, true, &mut observer)?;
 
         debug_assert!(self.directory.check_invariants().is_ok());
 
@@ -542,60 +694,96 @@ impl Simulation {
         Ok(outcome)
     }
 
-    /// Runs one phase (warmup or measurement) starting at `start`: every VM
-    /// issues `quota` references; cores of finished VMs keep running so the
-    /// machine stays at capacity (the paper restarts finished workloads).
-    /// Returns the cycle at which the last VM finished its quota.
-    fn phase(
-        &mut self,
-        start: Cycle,
-        quota: u64,
-        measuring: bool,
-        observer: &mut Option<&mut dyn StepObserver>,
-    ) -> Result<Cycle, SimError> {
-        // Epoch snapshots only apply to the measurement phase. The loop is
-        // monomorphized over whether they are on: even a never-taken branch
-        // whose body calls through a trace-sink vtable pessimizes the hot
-        // loop's code generation by ~20%, so the untraced instantiation
-        // must contain no epoch code at all.
-        let epoch_trace = self
-            .config
-            .trace
-            .clone()
-            .filter(|t| measuring && t.sink.wants(EventClass::Epoch));
-        match epoch_trace {
-            Some(trace) => self.phase_loop::<true>(start, quota, measuring, Some(trace), observer),
-            None => self.phase_loop::<false>(start, quota, measuring, None, observer),
+    /// Performs the one-time run setup on the first [`Simulation::advance`]
+    /// call: LLC prewarming (if configured and not already done, e.g. via
+    /// [`Simulation::prewarm`] or a resumed checkpoint) and entering the
+    /// first phase.
+    fn ensure_started(&mut self, observer: &mut Option<&mut dyn StepObserver>) {
+        if self.run_state.is_some() {
+            return;
+        }
+        if self.config.prewarm_llc && !self.prewarmed {
+            self.prewarm_llc_banks(observer);
+        }
+        self.prewarmed = true;
+        if self.config.warmup_refs_per_vm > 0 {
+            self.run_state = Some(self.start_phase(PhaseKind::Warmup, Cycle::ZERO));
+        } else {
+            self.begin_measurement(Cycle::ZERO);
         }
     }
 
-    /// The event loop of one phase. `EPOCHS` compiles the epoch-snapshot
-    /// check in or out; `epoch_trace` must be `Some` iff `EPOCHS`.
-    fn phase_loop<const EPOCHS: bool>(
-        &mut self,
-        start: Cycle,
-        quota: u64,
-        measuring: bool,
-        epoch_trace: Option<TraceConfig>,
-        observer: &mut Option<&mut dyn StepObserver>,
-    ) -> Result<Cycle, SimError> {
+    /// Enters the measurement phase at `clock` and announces it on the
+    /// trace.
+    fn begin_measurement(&mut self, clock: Cycle) {
+        if let Some(trace) = &self.config.trace {
+            trace.sink.record(&TraceEvent::RunStarted {
+                seed: self.config.seed,
+                vms: self.config.workloads.len() as u32,
+                refs_per_vm: self.config.refs_per_vm,
+                warmup_refs_per_vm: self.config.warmup_refs_per_vm,
+            });
+        }
+        self.run_state = Some(self.start_phase(PhaseKind::Measure, clock));
+    }
+
+    /// Fresh event-loop state for one phase: every VM at zero progress,
+    /// every occupied core with an issue event at `start`.
+    fn start_phase(&self, phase: PhaseKind, start: Cycle) -> RunState {
         let num_vms = self.config.workloads.len();
-        let mean_gap = self.config.machine.instructions_per_memory_op;
-        let track_footprint = self.config.track_footprint;
-        let mut vm_refs = vec![0u64; num_vms];
-        let mut vm_done = vec![false; num_vms];
-        let mut remaining = num_vms;
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut heap = BinaryHeap::new();
         for core in 0..self.config.machine.num_cores {
             if self.core_thread[core].is_some() {
                 heap.push(Reverse((start.raw(), core)));
             }
         }
-        let mut last_completion = start;
-        let mut next_resched = self
-            .config
-            .reschedule_every
-            .map(|interval| start.raw() + interval);
+        let epoch_interval = self
+            .epoch_trace_for(phase)
+            .map(|t| t.epoch_cycles.max(1))
+            .unwrap_or(u64::MAX);
+        RunState {
+            phase,
+            start,
+            vm_refs: vec![0; num_vms],
+            vm_done: vec![false; num_vms],
+            remaining: num_vms,
+            heap,
+            last_completion: start,
+            next_resched: self
+                .config
+                .reschedule_every
+                .map(|interval| start.raw() + interval),
+            next_epoch: start.raw().saturating_add(epoch_interval),
+            done: false,
+        }
+    }
+
+    /// The trace configuration for epoch snapshots, when the given phase
+    /// should emit them.
+    fn epoch_trace_for(&self, phase: PhaseKind) -> Option<TraceConfig> {
+        self.config
+            .trace
+            .clone()
+            .filter(|t| phase == PhaseKind::Measure && t.sink.wants(EventClass::Epoch))
+    }
+
+    /// The event loop of one phase: every VM issues `quota` references;
+    /// cores of finished VMs keep running so the machine stays at capacity
+    /// (the paper restarts finished workloads). Consumes up to `budget`
+    /// references, leaving the phase resumable in `st` when the budget runs
+    /// out first. `EPOCHS` compiles the epoch-snapshot check in or out;
+    /// `epoch_trace` must be `Some` iff `EPOCHS`.
+    fn phase_loop<const EPOCHS: bool>(
+        &mut self,
+        st: &mut RunState,
+        quota: u64,
+        measuring: bool,
+        epoch_trace: Option<TraceConfig>,
+        budget: &mut u64,
+        observer: &mut Option<&mut dyn StepObserver>,
+    ) -> Result<(), SimError> {
+        let mean_gap = self.config.machine.instructions_per_memory_op;
+        let track_footprint = self.config.track_footprint;
         let epoch_interval = if EPOCHS {
             epoch_trace
                 .as_ref()
@@ -604,18 +792,31 @@ impl Simulation {
         } else {
             u64::MAX
         };
-        let mut next_epoch = start.raw().saturating_add(epoch_interval);
-        while let Some(Reverse((now, core))) = heap.pop() {
-            if EPOCHS && now >= next_epoch {
-                next_epoch =
-                    self.epoch_boundary(&epoch_trace, now, start.raw(), next_epoch, epoch_interval);
+        let mut budget_left = *budget;
+        let result = loop {
+            if budget_left == 0 {
+                break Ok(());
             }
-            if let (Some(at), Some(interval)) = (next_resched, self.config.reschedule_every) {
+            let Some(Reverse((now, core))) = st.heap.pop() else {
+                break Err(SimError::invariant(
+                    "event heap drained with unfinished VMs",
+                ));
+            };
+            if EPOCHS && now >= st.next_epoch {
+                st.next_epoch = self.epoch_boundary(
+                    &epoch_trace,
+                    now,
+                    st.start.raw(),
+                    st.next_epoch,
+                    epoch_interval,
+                );
+            }
+            if let (Some(at), Some(interval)) = (st.next_resched, self.config.reschedule_every) {
                 if now >= at {
                     let occupied_before: Vec<bool> =
                         self.core_thread.iter().map(Option::is_some).collect();
                     self.reschedule();
-                    next_resched = Some(at + interval);
+                    st.next_resched = Some(at + interval);
                     if self
                         .core_thread
                         .iter()
@@ -625,9 +826,10 @@ impl Simulation {
                         // The set of occupied cores changed (possible under
                         // Random placement): pending events on vacated cores
                         // would orphan their issue slots and newly occupied
-                        // cores would starve. Remap, then re-pop.
-                        heap.push(Reverse((now, core)));
-                        remap_core_events(&mut heap, &occupied_before, &self.core_thread);
+                        // cores would starve. Remap, then re-pop (without
+                        // consuming budget — no reference was issued).
+                        st.heap.push(Reverse((now, core)));
+                        remap_core_events(&mut st.heap, &occupied_before, &self.core_thread);
                         continue;
                     }
                 }
@@ -649,24 +851,26 @@ impl Simulation {
                 }
             }
             let done = self.access(CoreId::new(core), vm, &mem_ref, issue, measuring, observer);
+            budget_left -= 1;
 
-            if !vm_done[vm.index()] {
-                vm_refs[vm.index()] += 1;
-                if vm_refs[vm.index()] >= quota {
-                    vm_done[vm.index()] = true;
-                    remaining -= 1;
-                    last_completion = last_completion.max(done);
+            if !st.vm_done[vm.index()] {
+                st.vm_refs[vm.index()] += 1;
+                if st.vm_refs[vm.index()] >= quota {
+                    st.vm_done[vm.index()] = true;
+                    st.remaining -= 1;
+                    st.last_completion = st.last_completion.max(done);
                     if measuring {
                         self.metrics[vm.index()].completion = Some(done);
                     }
-                    if remaining == 0 {
-                        break;
+                    if st.remaining == 0 {
+                        break Ok(());
                     }
                 }
             }
-            heap.push(Reverse((done.raw(), core)));
-        }
-        Ok(last_completion)
+            st.heap.push(Reverse((done.raw(), core)));
+        };
+        *budget = budget_left;
+        result
     }
 
     /// Handles one epoch boundary: advances `next_epoch` past `now` and
@@ -811,8 +1015,15 @@ impl Simulation {
     /// cache-to-cache) from the new ones.
     fn reschedule(&mut self) {
         self.resched_epoch += 1;
-        let rng = SimRng::from_seed(self.config.seed)
-            .derive_parts("resched/epoch", &[self.resched_epoch]);
+        self.apply_resched_epoch(self.resched_epoch);
+    }
+
+    /// Applies the placement of one rescheduling epoch. Each epoch's random
+    /// stream derives from the root seed and the epoch number alone, so a
+    /// resumed simulation replays epochs `1..=resched_epoch` to land on the
+    /// exact placement the checkpointed run was using.
+    fn apply_resched_epoch(&mut self, epoch: u64) {
+        let rng = SimRng::from_seed(self.config.seed).derive_parts("resched/epoch", &[epoch]);
         let vm_threads: Vec<usize> = self.config.workloads.iter().map(|w| w.threads).collect();
         if let Ok(placement) = place(self.config.policy, &self.config.machine, &vm_threads, &rng) {
             self.core_thread = vec![None; self.config.machine.num_cores];
@@ -891,6 +1102,296 @@ impl Simulation {
             bank.reset_stats();
         }
     }
+
+    /// Runs the configured LLC prewarm pass now instead of on the first
+    /// [`Simulation::advance`] call. Idempotent; a no-op when
+    /// [`SimulationConfig::prewarm_llc`] is off.
+    pub fn prewarm(&mut self) {
+        if self.config.prewarm_llc && !self.prewarmed {
+            self.prewarm_llc_banks(&mut None);
+        }
+        self.prewarmed = true;
+    }
+
+    /// Attaches (or replaces) the trace configuration on a live simulation.
+    /// Checkpoints exclude the process-local trace sink, so a resumed run
+    /// calls this to keep tracing; the directory's sampling countdown is
+    /// preserved across the gap, so the resumed run samples the same
+    /// protocol actions the uninterrupted run would have.
+    pub fn set_trace(&mut self, trace: TraceConfig) {
+        self.directory
+            .set_trace_sink(Some(trace.sink.clone()), trace.coherence_sample);
+        if trace.sink.wants(EventClass::NocStall) {
+            self.noc.set_trace_sink(Some(trace.sink.clone()));
+        }
+        self.config.trace = Some(trace);
+    }
+
+    /// Replaces the run parameters of a not-yet-started simulation with
+    /// those of `config`, which must agree with the current configuration on
+    /// every field that shaped construction and prewarming (machine, policy,
+    /// workloads, seed, LLC replacement). Used by the runner's prewarm cache
+    /// to specialize one canonical prewarmed checkpoint to each cell.
+    pub(crate) fn adopt_config(&mut self, config: SimulationConfig) -> Result<(), SimError> {
+        if self.run_state.is_some() {
+            return Err(SimError::invariant(
+                "cannot adopt a new configuration mid-run",
+            ));
+        }
+        debug_assert_eq!(
+            snapshot::prewarm_key(&self.config),
+            snapshot::prewarm_key(&config),
+            "adopted configuration describes a different prewarmed machine"
+        );
+        let trace = config.trace.clone();
+        self.config = config;
+        self.config.trace = None;
+        if let Some(trace) = trace {
+            self.set_trace(trace);
+        }
+        Ok(())
+    }
+
+    /// Writes a complete, versioned, checksummed snapshot of the simulation
+    /// — configuration and all mutable state — to `writer`. Resuming it with
+    /// [`Simulation::resume`] and running to completion produces results
+    /// bit-identical to never having stopped.
+    ///
+    /// Call between [`Simulation::advance`] invocations (or before the first
+    /// one); the trace sink is not serialized (reattach with
+    /// [`Simulation::set_trace`] after resuming).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] with [`SnapshotErrorKind::Io`] if
+    /// `writer` fails.
+    pub fn checkpoint<W: Write>(&self, writer: &mut W) -> Result<(), SimError> {
+        let mut snap = SnapWriter::new(writer)?;
+
+        let mut buf = SectionBuf::new();
+        snapshot::save_config(&self.config, &mut buf);
+        snap.section("config", &buf)?;
+
+        let mut buf = SectionBuf::new();
+        self.save_engine(&mut buf);
+        snap.section("engine", &buf)?;
+
+        let mut buf = SectionBuf::new();
+        save_items(&mut buf, &self.l0);
+        save_items(&mut buf, &self.l1);
+        save_items(&mut buf, &self.llc);
+        snap.section("caches", &buf)?;
+
+        let mut buf = SectionBuf::new();
+        self.directory.save(&mut buf);
+        save_items(&mut buf, &self.dircaches);
+        snap.section("coherence", &buf)?;
+
+        let mut buf = SectionBuf::new();
+        self.noc.save(&mut buf);
+        save_items(&mut buf, &self.memory_controllers);
+        snap.section("noc", &buf)?;
+
+        let mut buf = SectionBuf::new();
+        save_items(&mut buf, &self.generators);
+        snap.section("workload", &buf)?;
+
+        let mut buf = SectionBuf::new();
+        save_items(&mut buf, &self.metrics);
+        snap.section("metrics", &buf)?;
+
+        snap.finish()?;
+        Ok(())
+    }
+
+    /// Rebuilds a simulation from a [`Simulation::checkpoint`] stream. The
+    /// machine is constructed from the *stored* configuration, then every
+    /// stateful layer is restored into it; resuming and running to
+    /// completion is bit-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] describing the failure class (bad
+    /// magic, unsupported version, truncation, checksum mismatch, corrupt
+    /// payload, I/O) — never panics on malformed input.
+    pub fn resume<R: Read>(reader: R) -> Result<Self, SimError> {
+        let mut snap = SnapReader::from_reader(reader)?;
+        let config = {
+            let mut r = snap.section("config")?;
+            let config = snapshot::restore_config(&mut r)?;
+            finish_section(&r)?;
+            config
+        };
+        let mut sim = Simulation::new(config)?;
+        {
+            let mut r = snap.section("engine")?;
+            sim.restore_engine(&mut r)?;
+            finish_section(&r)?;
+        }
+        {
+            let mut r = snap.section("caches")?;
+            restore_items(&mut r, &mut sim.l0)?;
+            restore_items(&mut r, &mut sim.l1)?;
+            restore_items(&mut r, &mut sim.llc)?;
+            finish_section(&r)?;
+        }
+        {
+            let mut r = snap.section("coherence")?;
+            sim.directory.restore(&mut r)?;
+            restore_items(&mut r, &mut sim.dircaches)?;
+            finish_section(&r)?;
+        }
+        {
+            let mut r = snap.section("noc")?;
+            sim.noc.restore(&mut r)?;
+            restore_items(&mut r, &mut sim.memory_controllers)?;
+            finish_section(&r)?;
+        }
+        {
+            let mut r = snap.section("workload")?;
+            restore_items(&mut r, &mut sim.generators)?;
+            finish_section(&r)?;
+        }
+        {
+            let mut r = snap.section("metrics")?;
+            restore_items(&mut r, &mut sim.metrics)?;
+            finish_section(&r)?;
+        }
+        snap.expect_end()?;
+        Ok(sim)
+    }
+
+    /// Serializes the engine-owned state: prewarm/reschedule progress, the
+    /// per-core gap streams, and the event loop's position.
+    fn save_engine(&self, w: &mut SectionBuf) {
+        w.put_bool(self.prewarmed);
+        w.put_u64(self.resched_epoch);
+        save_items(w, &self.gap_rngs);
+        match &self.run_state {
+            None => w.put_bool(false),
+            Some(st) => {
+                w.put_bool(true);
+                w.put_u8(match st.phase {
+                    PhaseKind::Warmup => 0,
+                    PhaseKind::Measure => 1,
+                });
+                w.put_u64(st.start.raw());
+                w.put_u64_slice(&st.vm_refs);
+                w.put_usize(st.vm_done.len());
+                for &done in &st.vm_done {
+                    w.put_bool(done);
+                }
+                w.put_usize(st.remaining);
+                // Heap iteration order is arbitrary; serialize sorted so
+                // identical states produce identical checkpoint bytes.
+                let mut events: Vec<(u64, usize)> =
+                    st.heap.iter().map(|&Reverse(event)| event).collect();
+                events.sort_unstable();
+                w.put_usize(events.len());
+                for (time, core) in events {
+                    w.put_u64(time);
+                    w.put_usize(core);
+                }
+                w.put_u64(st.last_completion.raw());
+                w.put_opt_u64(st.next_resched);
+                w.put_u64(st.next_epoch);
+                w.put_bool(st.done);
+            }
+        }
+    }
+
+    /// Restores [`Simulation::save_engine`] state into a freshly built
+    /// machine, replaying rescheduling epochs to recover the placement.
+    fn restore_engine(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        self.prewarmed = r.get_bool()?;
+        let resched_epoch = r.get_u64()?;
+        for epoch in 1..=resched_epoch {
+            self.apply_resched_epoch(epoch);
+        }
+        self.resched_epoch = resched_epoch;
+        restore_items(r, &mut self.gap_rngs)?;
+        self.run_state = if r.get_bool()? {
+            let num_vms = self.config.workloads.len();
+            let num_cores = self.config.machine.num_cores;
+            let phase = match r.get_u8()? {
+                0 => PhaseKind::Warmup,
+                1 => PhaseKind::Measure,
+                t => {
+                    return Err(SimError::snapshot(
+                        SnapshotErrorKind::Corrupt,
+                        format!("invalid phase tag {t}"),
+                    ))
+                }
+            };
+            let start = Cycle::new(r.get_u64()?);
+            let vm_refs = r.get_u64_vec()?;
+            if vm_refs.len() != num_vms {
+                return Err(SimError::snapshot(
+                    SnapshotErrorKind::Corrupt,
+                    format!(
+                        "snapshot tracks {} VMs, configuration builds {num_vms}",
+                        vm_refs.len()
+                    ),
+                ));
+            }
+            r.expect_len(num_vms, "per-VM completion flags")?;
+            let mut vm_done = Vec::with_capacity(num_vms);
+            for _ in 0..num_vms {
+                vm_done.push(r.get_bool()?);
+            }
+            let remaining = r.get_usize()?;
+            if remaining != vm_done.iter().filter(|&&d| !d).count() {
+                return Err(SimError::snapshot(
+                    SnapshotErrorKind::Corrupt,
+                    "remaining-VM count disagrees with completion flags",
+                ));
+            }
+            let events = r.get_usize()?;
+            let mut heap = BinaryHeap::with_capacity(events);
+            for _ in 0..events {
+                let time = r.get_u64()?;
+                let core = r.get_usize()?;
+                if core >= num_cores {
+                    return Err(SimError::snapshot(
+                        SnapshotErrorKind::Corrupt,
+                        format!("issue event on core {core} outside the {num_cores}-core machine"),
+                    ));
+                }
+                heap.push(Reverse((time, core)));
+            }
+            Some(RunState {
+                phase,
+                start,
+                vm_refs,
+                vm_done,
+                remaining,
+                heap,
+                last_completion: Cycle::new(r.get_u64()?),
+                next_resched: r.get_opt_u64()?,
+                next_epoch: r.get_u64()?,
+                done: r.get_bool()?,
+            })
+        } else {
+            None
+        };
+        Ok(())
+    }
+}
+
+/// Rejects unconsumed bytes at the end of a section: the payload passed its
+/// checksum but holds more data than this build knows how to restore.
+fn finish_section(r: &SectionReader<'_>) -> Result<(), SimError> {
+    if r.remaining() != 0 {
+        return Err(SimError::snapshot(
+            SnapshotErrorKind::Corrupt,
+            format!(
+                "{} unconsumed bytes at the end of section '{}'",
+                r.remaining(),
+                r.name()
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// Rebinds pending issue events after a reschedule that changed which cores

@@ -448,6 +448,296 @@ mod remap {
     }
 }
 
+mod snap {
+    //! Checkpoint/restore coverage: bit-identical resume equivalence at
+    //! several cut points, byte-stable checkpoint output, and typed-error
+    //! (never panic) handling of corrupted streams.
+
+    use super::*;
+    use consim_types::config::{CacheGeometry, MachineConfigBuilder, SharingDegree};
+    use consim_types::SnapshotErrorKind;
+    use consim_workload::WorkloadProfileBuilder;
+
+    /// A small machine (256 KB LLC) so checkpoints stay compact and runs
+    /// stay fast while still exercising banking, coherence, and contention.
+    fn config(seed: u64, policy: SchedulingPolicy, resched: Option<u64>) -> SimulationConfig {
+        let machine = MachineConfigBuilder::new()
+            .llc(CacheGeometry::new(256 * 1024, 16, 6).unwrap())
+            .sharing(SharingDegree::SharedBy(4))
+            .build()
+            .unwrap();
+        let profile = WorkloadProfileBuilder::new("snappy")
+            .footprint_blocks(8_000)
+            .shared_fraction(0.5)
+            .shared_access_prob(0.5)
+            .shared_write_prob(0.1)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.machine(machine)
+            .policy(policy)
+            .refs_per_vm(3_000)
+            .warmup_refs_per_vm(1_000)
+            .track_footprint(true)
+            .seed(seed);
+        if let Some(interval) = resched {
+            b.reschedule_every(interval);
+        }
+        for _ in 0..3 {
+            b.workload(profile.clone());
+        }
+        b.build().unwrap()
+    }
+
+    /// Every observable quantity of an outcome, bit-exact (floats compared
+    /// by representation).
+    fn fingerprint(out: &SimulationOutcome) -> Vec<u64> {
+        let mut v = Vec::new();
+        for m in &out.vm_metrics {
+            v.extend([
+                m.refs,
+                m.writes,
+                m.instructions,
+                m.l0_hits,
+                m.l1_hits,
+                m.l1_misses,
+                m.c2c_l1_clean,
+                m.c2c_l1_dirty,
+                m.llc_local_hits,
+                m.llc_remote_clean,
+                m.llc_remote_dirty,
+                m.memory_fetches,
+                m.upgrades,
+                m.invalidations_received,
+            ]);
+            let (count, total, max, min) = m.miss_latency.raw_parts();
+            v.extend([count, total, max, min]);
+            v.push(m.completion.map(|c| c.raw()).unwrap_or(u64::MAX));
+            v.push(m.footprint_blocks());
+        }
+        v.push(out.measured_cycles);
+        v.extend([
+            out.replication.total_lines,
+            out.replication.replicated_lines,
+        ]);
+        for bank in &out.occupancy.share {
+            v.extend(bank.iter().map(|s| s.to_bits()));
+        }
+        v.extend([
+            out.noc.injected,
+            out.noc.packets,
+            out.noc.flits,
+            out.noc.total_hops,
+        ]);
+        v.extend([
+            out.protocol.requests,
+            out.protocol.clean_transfers,
+            out.protocol.dirty_transfers,
+            out.protocol.upgrades,
+            out.protocol.invalidations,
+            out.protocol.writebacks,
+        ]);
+        v.push(out.dircache_hit_rate.to_bits());
+        v.push(out.noc_mean_utilization.to_bits());
+        v.push(out.noc_peak_utilization.to_bits());
+        v
+    }
+
+    fn checkpoint_at(cfg: SimulationConfig, accesses: u64) -> Vec<u8> {
+        let mut sim = Simulation::new(cfg).unwrap();
+        let status = sim.advance(accesses, None).unwrap();
+        assert_eq!(status, RunStatus::Running, "cut point must be mid-run");
+        let mut bytes = Vec::new();
+        sim.checkpoint(&mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn resume_is_bit_identical_at_every_cut_point() {
+        let straight = Simulation::new(config(42, SchedulingPolicy::Affinity, None))
+            .unwrap()
+            .run()
+            .unwrap();
+        let expected = fingerprint(&straight);
+        // Mid-warmup, at the phase boundary's neighborhood, and mid-measure.
+        for cut in [500, 3_000, 7_500] {
+            let bytes = checkpoint_at(config(42, SchedulingPolicy::Affinity, None), cut);
+            let resumed = Simulation::resume(&mut bytes.as_slice())
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(fingerprint(&resumed), expected, "cut at {cut} accesses");
+        }
+    }
+
+    #[test]
+    fn resume_before_first_advance_is_a_full_run() {
+        let cfg = config(7, SchedulingPolicy::RoundRobin, None);
+        let straight = Simulation::new(cfg.clone()).unwrap().run().unwrap();
+        let mut bytes = Vec::new();
+        Simulation::new(cfg)
+            .unwrap()
+            .checkpoint(&mut bytes)
+            .unwrap();
+        let resumed = Simulation::resume(&mut bytes.as_slice())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(fingerprint(&resumed), fingerprint(&straight));
+    }
+
+    #[test]
+    fn resume_replays_dynamic_rescheduling_placement() {
+        // Random placement with frequent rescheduling is the hardest case:
+        // the placement at the cut point exists only as a derived stream.
+        let cfg = || config(9, SchedulingPolicy::Random, Some(5_000));
+        let straight = Simulation::new(cfg()).unwrap().run().unwrap();
+        let bytes = checkpoint_at(cfg(), 6_000);
+        let resumed_sim = Simulation::resume(&mut bytes.as_slice()).unwrap();
+        assert!(
+            resumed_sim.resched_epoch > 0,
+            "cut must land past a reschedule"
+        );
+        let resumed = resumed_sim.run().unwrap();
+        assert_eq!(fingerprint(&resumed), fingerprint(&straight));
+    }
+
+    #[test]
+    fn resume_preserves_prewarmed_llc_state() {
+        let mut cfg = config(3, SchedulingPolicy::Affinity, None);
+        cfg.prewarm_llc = true;
+        cfg.warmup_refs_per_vm = 0;
+        let straight = Simulation::new(cfg.clone()).unwrap().run().unwrap();
+        let bytes = checkpoint_at(cfg, 2_000);
+        let resumed_sim = Simulation::resume(&mut bytes.as_slice()).unwrap();
+        assert!(resumed_sim.prewarmed, "prewarm flag must survive");
+        let resumed = resumed_sim.run().unwrap();
+        assert_eq!(fingerprint(&resumed), fingerprint(&straight));
+    }
+
+    #[test]
+    fn interleaved_advance_checkpoint_chain_matches_straight_run() {
+        // Checkpoint → resume → checkpoint → resume ... every 900 accesses:
+        // repeated serialization must not perturb the stream either.
+        let straight = Simulation::new(config(5, SchedulingPolicy::RrAffinity, None))
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut sim = Simulation::new(config(5, SchedulingPolicy::RrAffinity, None)).unwrap();
+        loop {
+            let status = sim.advance(900, None).unwrap();
+            let mut bytes = Vec::new();
+            sim.checkpoint(&mut bytes).unwrap();
+            sim = Simulation::resume(&mut bytes.as_slice()).unwrap();
+            if status == RunStatus::Complete {
+                break;
+            }
+        }
+        let resumed = sim.finish().unwrap();
+        assert_eq!(fingerprint(&resumed), fingerprint(&straight));
+    }
+
+    #[test]
+    fn checkpoint_bytes_are_deterministic() {
+        let a = checkpoint_at(config(1, SchedulingPolicy::Affinity, None), 4_000);
+        let b = checkpoint_at(config(1, SchedulingPolicy::Affinity, None), 4_000);
+        assert_eq!(a, b, "identical states must serialize identically");
+    }
+
+    #[test]
+    fn advance_past_completion_stays_complete() {
+        let mut sim = Simulation::new(config(2, SchedulingPolicy::Affinity, None)).unwrap();
+        assert_eq!(sim.advance(u64::MAX, None).unwrap(), RunStatus::Complete);
+        assert_eq!(sim.advance(u64::MAX, None).unwrap(), RunStatus::Complete);
+        assert!(sim.finish().is_ok());
+    }
+
+    #[test]
+    fn finish_before_completion_is_an_error() {
+        let mut sim = Simulation::new(config(2, SchedulingPolicy::Affinity, None)).unwrap();
+        sim.advance(100, None).unwrap();
+        let err = sim.finish().unwrap_err();
+        assert!(
+            err.to_string().contains("before the run completed"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected_never_a_panic() {
+        let bytes = checkpoint_at(config(6, SchedulingPolicy::Affinity, None), 2_500);
+        // Scan with a stride that is coprime to all the record sizes, plus
+        // the header and the tail, so every region gets hit.
+        let offsets = (0..bytes.len()).step_by(997).chain([1, 5, bytes.len() - 1]);
+        for offset in offsets {
+            let mut bad = bytes.clone();
+            bad[offset] ^= 0x40;
+            let err = Simulation::resume(&mut bad.as_slice())
+                .err()
+                .unwrap_or_else(|| panic!("flip at {offset} must be rejected"));
+            assert!(
+                err.snapshot_kind().is_some(),
+                "flip at {offset} gave a non-snapshot error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_prefix_is_typed() {
+        let bytes = checkpoint_at(config(6, SchedulingPolicy::Affinity, None), 1_200);
+        for len in (0..bytes.len()).step_by(509) {
+            let err = Simulation::resume(&mut bytes[..len].as_ref())
+                .expect_err("a truncated checkpoint must be rejected");
+            assert!(
+                err.snapshot_kind().is_some(),
+                "prefix of {len} gave a non-snapshot error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_wrong_magic_and_version() {
+        let bytes = checkpoint_at(config(6, SchedulingPolicy::Affinity, None), 1_200);
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            Simulation::resume(&mut bad.as_slice())
+                .unwrap_err()
+                .snapshot_kind(),
+            Some(SnapshotErrorKind::BadMagic)
+        );
+        let mut bad = bytes;
+        bad[4] = 0xff;
+        assert_eq!(
+            Simulation::resume(&mut bad.as_slice())
+                .unwrap_err()
+                .snapshot_kind(),
+            Some(SnapshotErrorKind::BadVersion)
+        );
+    }
+
+    #[test]
+    fn adopt_config_specializes_a_canonical_prewarm_checkpoint() {
+        // The runner's prewarm-reuse path: checkpoint the canonical
+        // prewarmed machine once, then resume + adopt per-cell run
+        // parameters. Must equal building the cell directly.
+        let mut cell = config(8, SchedulingPolicy::Affinity, None);
+        cell.prewarm_llc = true;
+        let direct = Simulation::new(cell.clone()).unwrap().run().unwrap();
+
+        let canonical = crate::snapshot::prewarm_canonical_config(&cell);
+        let mut warmed = Simulation::new(canonical).unwrap();
+        warmed.prewarm();
+        let mut bytes = Vec::new();
+        warmed.checkpoint(&mut bytes).unwrap();
+
+        let mut adopted = Simulation::resume(&mut bytes.as_slice()).unwrap();
+        adopted.adopt_config(cell).unwrap();
+        let via_cache = adopted.run().unwrap();
+        assert_eq!(fingerprint(&via_cache), fingerprint(&direct));
+    }
+}
+
 mod partitioning {
     //! Engine-level way-partitioning (QoS) coverage: builder validation,
     //! the unpartitioned-equivalence guarantee, and the per-VM occupancy

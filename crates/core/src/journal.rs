@@ -1,0 +1,306 @@
+//! On-disk cell journal and mid-cell checkpoint files for crash-resumable
+//! experiment batches.
+//!
+//! Layout under a journal root: one `batch-<digest>/` directory per
+//! distinct job list. The digest covers every job's full configuration
+//! (machine, workloads, seeds, run quotas), so a journal directory can
+//! never be resumed against a different experiment — a changed batch
+//! simply lands in a fresh subdirectory. Inside a batch directory:
+//!
+//! * `job-NNNN.bin` — the serialized [`SimulationOutcome`] of a completed
+//!   job; a resumed invocation loads it instead of re-simulating;
+//! * `job-NNNN.ckpt` — a transient mid-run [`Simulation::checkpoint`],
+//!   rewritten every `checkpoint_every` accesses and deleted when the job
+//!   completes.
+//!
+//! Every write goes to a temporary sibling and is committed with an atomic
+//! rename, so a crash can never leave a half-written record that a resume
+//! would trust (a torn temporary is simply ignored; a torn `.bin`/`.ckpt`
+//! cannot exist). Records are checksummed by the `consim-snap` container,
+//! so bit rot is reported as [`SimError::Snapshot`] rather than read back
+//! as plausible numbers.
+
+use crate::engine::{Simulation, SimulationConfig, SimulationOutcome};
+use crate::metrics::{OccupancySnapshot, ReplicationSnapshot, VmMetrics};
+use crate::snapshot;
+use consim_sched::Placement;
+use consim_snap::{fnv1a, SectionBuf, SectionReader, SnapReader, SnapWriter, Snapshot};
+use consim_types::{CoreId, GlobalThreadId, SimError, SnapshotErrorKind, ThreadId, VmId};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Wraps an I/O failure into the snapshot error taxonomy with the path
+/// that failed (bare `std::io::Error` messages omit it).
+pub(crate) fn io_error(action: &str, path: &Path, err: std::io::Error) -> SimError {
+    SimError::snapshot(
+        SnapshotErrorKind::Io,
+        format!("{action} {}: {err}", path.display()),
+    )
+}
+
+/// The batch directory under `root` for this exact job list: a digest over
+/// every job's cell index and full configuration.
+pub(crate) fn batch_dir(root: &Path, jobs: &[(usize, SimulationConfig)]) -> PathBuf {
+    let mut buf = SectionBuf::new();
+    buf.put_usize(jobs.len());
+    for (cell, config) in jobs {
+        buf.put_usize(*cell);
+        snapshot::save_config(config, &mut buf);
+    }
+    root.join(format!("batch-{:016x}", fnv1a(buf.as_bytes())))
+}
+
+/// Completed-outcome record for job `ji`.
+pub(crate) fn outcome_path(dir: &Path, ji: usize) -> PathBuf {
+    dir.join(format!("job-{ji:04}.bin"))
+}
+
+/// Transient mid-run checkpoint for job `ji`.
+pub(crate) fn checkpoint_path(dir: &Path, ji: usize) -> PathBuf {
+    dir.join(format!("job-{ji:04}.ckpt"))
+}
+
+/// Serializes via `fill`, then commits atomically (tmp + rename).
+fn persist(
+    path: &Path,
+    fill: impl FnOnce(&mut Vec<u8>) -> Result<(), SimError>,
+) -> Result<(), SimError> {
+    let mut bytes = Vec::new();
+    fill(&mut bytes)?;
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, &bytes).map_err(|e| io_error("write", &tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| io_error("commit", path, e))
+}
+
+pub(crate) fn write_checkpoint(path: &Path, sim: &Simulation) -> Result<(), SimError> {
+    persist(path, |bytes| sim.checkpoint(bytes))
+}
+
+pub(crate) fn read_checkpoint(path: &Path) -> Result<Simulation, SimError> {
+    let bytes = fs::read(path).map_err(|e| io_error("read", path, e))?;
+    Simulation::resume(bytes.as_slice())
+}
+
+pub(crate) fn write_outcome(path: &Path, outcome: &SimulationOutcome) -> Result<(), SimError> {
+    persist(path, |bytes| {
+        let mut writer = SnapWriter::new(bytes)?;
+        let mut buf = SectionBuf::new();
+        save_outcome(outcome, &mut buf);
+        writer.section("outcome", &buf)?;
+        writer.finish()?;
+        Ok(())
+    })
+}
+
+pub(crate) fn read_outcome(path: &Path) -> Result<SimulationOutcome, SimError> {
+    let bytes = fs::read(path).map_err(|e| io_error("read", path, e))?;
+    let mut snap = SnapReader::from_bytes(bytes)?;
+    let mut r = snap.section("outcome")?;
+    let outcome = restore_outcome(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(SimError::snapshot(
+            SnapshotErrorKind::Corrupt,
+            format!(
+                "{} unconsumed bytes at the end of a journal record",
+                r.remaining()
+            ),
+        ));
+    }
+    snap.expect_end()?;
+    Ok(outcome)
+}
+
+fn save_outcome(out: &SimulationOutcome, w: &mut SectionBuf) {
+    w.put_usize(out.vm_metrics.len());
+    for m in &out.vm_metrics {
+        m.save(w);
+    }
+    w.put_u64(out.replication.total_lines);
+    w.put_u64(out.replication.replicated_lines);
+    w.put_usize(out.occupancy.share.len());
+    for bank in &out.occupancy.share {
+        w.put_usize(bank.len());
+        for &share in bank {
+            w.put_f64(share);
+        }
+    }
+    out.noc.save(w);
+    out.protocol.save(w);
+    save_placement(&out.placement, w);
+    w.put_u64(out.measured_cycles);
+    w.put_f64(out.dircache_hit_rate);
+    w.put_f64(out.noc_mean_utilization);
+    w.put_f64(out.noc_peak_utilization);
+}
+
+fn restore_outcome(r: &mut SectionReader<'_>) -> Result<SimulationOutcome, SimError> {
+    let num_vms = r.get_usize()?;
+    let mut vm_metrics = Vec::with_capacity(num_vms.min(1024));
+    for _ in 0..num_vms {
+        let mut m = VmMetrics::default();
+        m.restore(r)?;
+        vm_metrics.push(m);
+    }
+    let replication = ReplicationSnapshot {
+        total_lines: r.get_u64()?,
+        replicated_lines: r.get_u64()?,
+    };
+    let banks = r.get_usize()?;
+    let mut share = Vec::with_capacity(banks.min(1024));
+    for _ in 0..banks {
+        let vms = r.get_usize()?;
+        let mut row = Vec::with_capacity(vms.min(1024));
+        for _ in 0..vms {
+            row.push(r.get_f64()?);
+        }
+        share.push(row);
+    }
+    let occupancy = OccupancySnapshot { share };
+    let mut noc = consim_noc::NocStats::default();
+    noc.restore(r)?;
+    let mut protocol = consim_coherence::ProtocolStats::default();
+    protocol.restore(r)?;
+    let placement = restore_placement(r)?;
+    Ok(SimulationOutcome {
+        vm_metrics,
+        replication,
+        occupancy,
+        noc,
+        protocol,
+        placement,
+        measured_cycles: r.get_u64()?,
+        dircache_hit_rate: r.get_f64()?,
+        noc_mean_utilization: r.get_f64()?,
+        noc_peak_utilization: r.get_f64()?,
+    })
+}
+
+fn save_placement(p: &Placement, w: &mut SectionBuf) {
+    w.put_usize(p.num_vms());
+    for vm in 0..p.num_vms() {
+        let vm = VmId::new(vm);
+        w.put_usize(p.threads_of_vm(vm));
+        for t in 0..p.threads_of_vm(vm) {
+            let core = p.core_of(GlobalThreadId::new(vm, ThreadId::new(t)));
+            w.put_usize(core.index());
+        }
+    }
+    snapshot::save_policy(p.policy(), w);
+}
+
+fn restore_placement(r: &mut SectionReader<'_>) -> Result<Placement, SimError> {
+    let num_vms = r.get_usize()?;
+    let mut core_of = Vec::with_capacity(num_vms.min(1024));
+    for _ in 0..num_vms {
+        let threads = r.get_usize()?;
+        let mut cores = Vec::with_capacity(threads.min(1024));
+        for _ in 0..threads {
+            cores.push(CoreId::new(r.get_usize()?));
+        }
+        core_of.push(cores);
+    }
+    let policy = snapshot::restore_policy(r)?;
+    Ok(Placement::from_parts(core_of, policy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimulationConfig;
+    use consim_workload::WorkloadProfileBuilder;
+
+    fn outcome() -> SimulationOutcome {
+        let profile = WorkloadProfileBuilder::new("j")
+            .footprint_blocks(3_000)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile)
+            .refs_per_vm(1_500)
+            .warmup_refs_per_vm(300)
+            .track_footprint(true)
+            .seed(12);
+        Simulation::new(b.build().unwrap()).unwrap().run().unwrap()
+    }
+
+    /// Exact equality over everything the aggregator and figures consume.
+    fn assert_identical(a: &SimulationOutcome, b: &SimulationOutcome) {
+        assert_eq!(a.vm_metrics.len(), b.vm_metrics.len());
+        for (x, y) in a.vm_metrics.iter().zip(&b.vm_metrics) {
+            let mut bx = SectionBuf::new();
+            let mut by = SectionBuf::new();
+            x.save(&mut bx);
+            y.save(&mut by);
+            assert_eq!(bx.as_bytes(), by.as_bytes());
+        }
+        assert_eq!(a.replication.total_lines, b.replication.total_lines);
+        assert_eq!(
+            a.replication.replicated_lines,
+            b.replication.replicated_lines
+        );
+        assert_eq!(a.occupancy.share, b.occupancy.share);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.measured_cycles, b.measured_cycles);
+        assert_eq!(a.dircache_hit_rate.to_bits(), b.dircache_hit_rate.to_bits());
+        assert_eq!(
+            a.noc_mean_utilization.to_bits(),
+            b.noc_mean_utilization.to_bits()
+        );
+        assert_eq!(
+            a.noc_peak_utilization.to_bits(),
+            b.noc_peak_utilization.to_bits()
+        );
+    }
+
+    #[test]
+    fn outcome_record_round_trips_exactly() {
+        let dir = std::env::temp_dir().join(format!("consim-journal-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let out = outcome();
+        let path = outcome_path(&dir, 7);
+        write_outcome(&path, &out).unwrap();
+        let back = read_outcome(&path).unwrap();
+        assert_identical(&out, &back);
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "commit must consume the temporary"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_record_is_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("consim-journal-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = outcome_path(&dir, 0);
+        write_outcome(&path, &outcome()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = read_outcome(&path).unwrap_err();
+        assert!(err.snapshot_kind().is_some(), "{err}");
+        let missing = read_outcome(&outcome_path(&dir, 99)).unwrap_err();
+        assert_eq!(missing.snapshot_kind(), Some(SnapshotErrorKind::Io));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_digest_tracks_configuration_not_order_of_use() {
+        let cfg = |seed: u64| {
+            let profile = WorkloadProfileBuilder::new("d")
+                .footprint_blocks(2_000)
+                .build()
+                .unwrap();
+            let mut b = SimulationConfig::builder();
+            b.workload(profile).refs_per_vm(100).seed(seed);
+            b.build().unwrap()
+        };
+        let root = Path::new("/tmp/j");
+        let a = batch_dir(root, &[(0, cfg(1)), (0, cfg(2))]);
+        let b = batch_dir(root, &[(0, cfg(1)), (0, cfg(2))]);
+        let c = batch_dir(root, &[(0, cfg(1)), (0, cfg(3))]);
+        assert_eq!(a, b, "identical batches share a directory");
+        assert_ne!(a, c, "a different batch must not reuse the directory");
+    }
+}

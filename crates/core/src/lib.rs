@@ -59,17 +59,20 @@
 pub mod audit;
 pub mod engine;
 pub mod hierarchy;
+mod journal;
 pub mod machine;
 pub mod metrics;
 pub mod mix;
 pub mod observe;
 pub mod report;
 pub mod runner;
+mod snapshot;
 pub mod stats;
 
 pub use audit::audit_outcome;
 pub use engine::{
-    Simulation, SimulationConfig, SimulationConfigBuilder, SimulationOutcome, TraceConfig,
+    RunStatus, Simulation, SimulationConfig, SimulationConfigBuilder, SimulationOutcome,
+    TraceConfig,
 };
 pub use metrics::{MissSource, OccupancySnapshot, ReplicationSnapshot, VmMetrics};
 pub use mix::{Mix, MixId};

@@ -13,8 +13,9 @@
 //!   (Figs. 12 and 13).
 
 use consim_cache::SetAssocCache;
+use consim_snap::{SectionBuf, SectionReader, Snapshot};
 use consim_types::cycles::LatencyAccumulator;
-use consim_types::{Cycle, FastHashMap, FastHashSet, VmId};
+use consim_types::{Cycle, FastHashMap, FastHashSet, SimError, VmId};
 use std::fmt;
 
 /// Where an L1 miss was satisfied.
@@ -169,6 +170,53 @@ impl VmMetrics {
     /// Unique blocks touched during measurement.
     pub fn footprint_blocks(&self) -> u64 {
         self.footprint.len() as u64
+    }
+}
+
+impl Snapshot for VmMetrics {
+    fn save(&self, w: &mut SectionBuf) {
+        w.put_u64(self.refs);
+        w.put_u64(self.writes);
+        w.put_u64(self.instructions);
+        w.put_u64(self.l0_hits);
+        w.put_u64(self.l1_hits);
+        w.put_u64(self.l1_misses);
+        w.put_u64(self.c2c_l1_clean);
+        w.put_u64(self.c2c_l1_dirty);
+        w.put_u64(self.llc_local_hits);
+        w.put_u64(self.llc_remote_clean);
+        w.put_u64(self.llc_remote_dirty);
+        w.put_u64(self.memory_fetches);
+        w.put_u64(self.upgrades);
+        w.put_u64(self.invalidations_received);
+        self.miss_latency.save(w);
+        w.put_opt_u64(self.completion.map(|c| c.raw()));
+        // The footprint set iterates in hash order; sort so identical
+        // states always serialize to identical bytes.
+        let mut blocks: Vec<u64> = self.footprint.iter().copied().collect();
+        blocks.sort_unstable();
+        w.put_u64_slice(&blocks);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        self.refs = r.get_u64()?;
+        self.writes = r.get_u64()?;
+        self.instructions = r.get_u64()?;
+        self.l0_hits = r.get_u64()?;
+        self.l1_hits = r.get_u64()?;
+        self.l1_misses = r.get_u64()?;
+        self.c2c_l1_clean = r.get_u64()?;
+        self.c2c_l1_dirty = r.get_u64()?;
+        self.llc_local_hits = r.get_u64()?;
+        self.llc_remote_clean = r.get_u64()?;
+        self.llc_remote_dirty = r.get_u64()?;
+        self.memory_fetches = r.get_u64()?;
+        self.upgrades = r.get_u64()?;
+        self.invalidations_received = r.get_u64()?;
+        self.miss_latency.restore(r)?;
+        self.completion = r.get_opt_u64()?.map(Cycle::new);
+        self.footprint = r.get_u64_vec()?.into_iter().collect();
+        Ok(())
     }
 }
 
@@ -353,6 +401,40 @@ mod tests {
         assert!((snap.share[0][0] - 6.0 / cap).abs() < 1e-12);
         assert!((snap.share[0][1] - 2.0 / cap).abs() < 1e-12);
         assert!((snap.vm_total_share(VmId::new(0)) - 6.0 / cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_every_counter() {
+        let mut m = VmMetrics {
+            refs: 10,
+            writes: 3,
+            instructions: 25,
+            invalidations_received: 2,
+            completion: Some(Cycle::new(12_345)),
+            ..VmMetrics::default()
+        };
+        m.record_miss(MissSource::Memory, 150);
+        m.record_miss(MissSource::RemoteL1Dirty, 40);
+        m.footprint.extend([7u64, 3, 99]);
+
+        let mut buf = SectionBuf::new();
+        m.save(&mut buf);
+        // Sorted footprint serialization: identical state, identical bytes.
+        let mut again = SectionBuf::new();
+        m.save(&mut again);
+        assert_eq!(buf.as_bytes(), again.as_bytes());
+
+        let mut restored = VmMetrics::default();
+        let mut r = SectionReader::new("metrics", buf.as_bytes());
+        restored.restore(&mut r).unwrap();
+        assert_eq!(restored.refs, 10);
+        assert_eq!(restored.writes, 3);
+        assert_eq!(restored.l1_misses, 2);
+        assert_eq!(restored.memory_fetches, 1);
+        assert_eq!(restored.c2c_l1_dirty, 1);
+        assert_eq!(restored.completion, Some(Cycle::new(12_345)));
+        assert_eq!(restored.mean_miss_latency(), m.mean_miss_latency());
+        assert_eq!(restored.footprint, m.footprint);
     }
 
     #[test]

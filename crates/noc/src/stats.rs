@@ -1,7 +1,9 @@
 //! Network statistics.
 
 use crate::packet::{Packet, PacketClass};
+use consim_snap::{SectionBuf, SectionReader, Snapshot};
 use consim_types::cycles::LatencyAccumulator;
+use consim_types::SimError;
 use std::fmt;
 
 /// Counters shared by both network models.
@@ -50,6 +52,28 @@ impl NocStats {
         } else {
             self.total_hops as f64 / self.packets as f64
         }
+    }
+}
+
+impl Snapshot for NocStats {
+    fn save(&self, w: &mut SectionBuf) {
+        w.put_u64(self.injected);
+        w.put_u64(self.packets);
+        w.put_u64(self.flits);
+        w.put_u64(self.control_packets);
+        w.put_u64(self.data_packets);
+        w.put_u64(self.total_hops);
+        self.latency.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        self.injected = r.get_u64()?;
+        self.packets = r.get_u64()?;
+        self.flits = r.get_u64()?;
+        self.control_packets = r.get_u64()?;
+        self.data_packets = r.get_u64()?;
+        self.total_hops = r.get_u64()?;
+        self.latency.restore(r)
     }
 }
 

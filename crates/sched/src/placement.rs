@@ -18,6 +18,13 @@ pub struct Placement {
 }
 
 impl Placement {
+    /// Rebuilds a placement from its raw `core_of[vm][thread]` table, as
+    /// stored in checkpoints and result journals. Callers decoding an
+    /// untrusted table should follow up with [`Placement::validate`].
+    pub fn from_parts(core_of: Vec<Vec<CoreId>>, policy: SchedulingPolicy) -> Self {
+        Self { core_of, policy }
+    }
+
     /// The policy that produced this placement.
     pub fn policy(&self) -> SchedulingPolicy {
         self.policy

@@ -57,6 +57,12 @@ pub struct Manifest {
     pub trace_lines: u64,
     /// Trace write failures (events dropped on I/O error).
     pub trace_errors: u64,
+    /// Journal directory this run resumed from (`--resume`), if any.
+    pub resumed_from: Option<String>,
+    /// Digests of the journal/checkpoint records involved in the run
+    /// (sorted by file name), tying the manifest to the exact on-disk
+    /// records it trusted or produced.
+    pub checkpoints: Vec<String>,
 }
 
 impl Manifest {
@@ -86,7 +92,17 @@ impl Manifest {
         let _ = writeln!(out, "  \"audit\": {},", self.audit);
         let _ = writeln!(out, "  \"wall_seconds\": {},", json_f64(self.wall_seconds));
         let _ = writeln!(out, "  \"trace_lines\": {},", self.trace_lines);
-        let _ = writeln!(out, "  \"trace_errors\": {}", self.trace_errors);
+        let _ = writeln!(out, "  \"trace_errors\": {},", self.trace_errors);
+        let _ = writeln!(
+            out,
+            "  \"resumed_from\": {},",
+            match &self.resumed_from {
+                Some(dir) => json_string(dir),
+                None => "null".to_string(),
+            }
+        );
+        let checkpoints: Vec<String> = self.checkpoints.iter().map(|d| json_string(d)).collect();
+        let _ = writeln!(out, "  \"checkpoints\": [{}]", checkpoints.join(", "));
         out.push('}');
         out
     }
@@ -146,6 +162,8 @@ mod tests {
             wall_seconds: 1.25,
             trace_lines: 321,
             trace_errors: 0,
+            resumed_from: None,
+            checkpoints: Vec::new(),
         }
     }
 
@@ -171,6 +189,8 @@ mod tests {
             "\"wall_seconds\": 1.25",
             "\"trace_lines\": 321",
             "\"trace_errors\": 0",
+            "\"resumed_from\": null",
+            "\"checkpoints\": []",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -200,5 +220,15 @@ mod tests {
         let mut m = sample();
         m.wall_seconds = f64::NAN;
         assert!(m.to_json().contains("\"wall_seconds\": null"));
+    }
+
+    #[test]
+    fn resume_provenance_serializes() {
+        let mut m = sample();
+        m.resumed_from = Some("out/journal".to_string());
+        m.checkpoints = vec!["aa".to_string(), "bb".to_string()];
+        let json = m.to_json();
+        assert!(json.contains("\"resumed_from\": \"out/journal\""));
+        assert!(json.contains("\"checkpoints\": [\"aa\", \"bb\"]"));
     }
 }

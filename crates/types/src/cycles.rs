@@ -185,6 +185,24 @@ impl LatencyAccumulator {
         }
     }
 
+    /// The raw `(count, total, max, min)` fields, for checkpointing. The
+    /// `min` word is returned unmasked (it may be the empty-accumulator
+    /// sentinel); feed it back through
+    /// [`LatencyAccumulator::from_raw_parts`] for an exact round trip.
+    pub const fn raw_parts(&self) -> (u64, u64, u64, u64) {
+        (self.count, self.total, self.max, self.min)
+    }
+
+    /// Reconstructs an accumulator from [`LatencyAccumulator::raw_parts`].
+    pub const fn from_raw_parts(count: u64, total: u64, max: u64, min: u64) -> Self {
+        Self {
+            count,
+            total,
+            max,
+            min,
+        }
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &LatencyAccumulator) {
         self.count += other.count;
@@ -268,6 +286,23 @@ mod tests {
         assert_eq!(a.min(), 2);
         assert_eq!(a.max(), 10);
         assert_eq!(a.total(), 16);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_exactly() {
+        let mut acc = LatencyAccumulator::new();
+        acc.record(9);
+        acc.record(2);
+        let (count, total, max, min) = acc.raw_parts();
+        assert_eq!(
+            LatencyAccumulator::from_raw_parts(count, total, max, min),
+            acc
+        );
+        // The empty accumulator's min sentinel survives the round trip too.
+        let empty = LatencyAccumulator::new();
+        let (c, t, mx, mn) = empty.raw_parts();
+        assert_eq!(mn, u64::MAX);
+        assert_eq!(LatencyAccumulator::from_raw_parts(c, t, mx, mn), empty);
     }
 
     #[test]

@@ -3,6 +3,40 @@
 use std::error::Error;
 use std::fmt;
 
+/// Why a snapshot could not be written or restored.
+///
+/// Every corruption class maps to exactly one kind so tests (and operators
+/// reading logs) can tell a stale file from a torn write from bit rot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotErrorKind {
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The format version is one this build cannot read.
+    BadVersion,
+    /// The file ended before a declared section/field was complete.
+    Truncated,
+    /// A section's checksum did not match its payload (bit rot, torn write).
+    Checksum,
+    /// The bytes decoded but describe a state inconsistent with the
+    /// configuration (wrong section name, shape mismatch, invalid tag).
+    Corrupt,
+    /// An underlying I/O operation failed while reading or writing.
+    Io,
+}
+
+impl fmt::Display for SnapshotErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SnapshotErrorKind::BadMagic => "bad magic",
+            SnapshotErrorKind::BadVersion => "unsupported version",
+            SnapshotErrorKind::Truncated => "truncated",
+            SnapshotErrorKind::Checksum => "checksum mismatch",
+            SnapshotErrorKind::Corrupt => "corrupt",
+            SnapshotErrorKind::Io => "io",
+        })
+    }
+}
+
 /// Errors produced while configuring or running a simulation.
 ///
 /// # Examples
@@ -25,6 +59,9 @@ pub enum SimError {
     /// (indicates counter drift between subsystems — the figures derived
     /// from this run cannot be trusted).
     AuditFailed(String),
+    /// A checkpoint snapshot could not be written or restored (see
+    /// [`SnapshotErrorKind`] for the corruption class).
+    Snapshot(SnapshotErrorKind, String),
 }
 
 impl SimError {
@@ -47,6 +84,19 @@ impl SimError {
     pub fn audit_failed(msg: impl Into<String>) -> Self {
         SimError::AuditFailed(msg.into())
     }
+
+    /// Convenience constructor for [`SimError::Snapshot`].
+    pub fn snapshot(kind: SnapshotErrorKind, msg: impl Into<String>) -> Self {
+        SimError::Snapshot(kind, msg.into())
+    }
+
+    /// The corruption class, if this is a snapshot error.
+    pub fn snapshot_kind(&self) -> Option<SnapshotErrorKind> {
+        match self {
+            SimError::Snapshot(kind, _) => Some(*kind),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +106,7 @@ impl fmt::Display for SimError {
             SimError::Placement(msg) => write!(f, "placement failed: {msg}"),
             SimError::Invariant(msg) => write!(f, "simulation invariant violated: {msg}"),
             SimError::AuditFailed(msg) => write!(f, "counter audit failed: {msg}"),
+            SimError::Snapshot(kind, msg) => write!(f, "snapshot error ({kind}): {msg}"),
         }
     }
 }
@@ -81,6 +132,17 @@ mod tests {
             SimError::audit_failed("w").to_string(),
             "counter audit failed: w"
         );
+        assert_eq!(
+            SimError::snapshot(SnapshotErrorKind::Checksum, "section caches").to_string(),
+            "snapshot error (checksum mismatch): section caches"
+        );
+    }
+
+    #[test]
+    fn snapshot_kind_is_queryable() {
+        let e = SimError::snapshot(SnapshotErrorKind::Truncated, "eof");
+        assert_eq!(e.snapshot_kind(), Some(SnapshotErrorKind::Truncated));
+        assert_eq!(SimError::invariant("x").snapshot_kind(), None);
     }
 
     #[test]

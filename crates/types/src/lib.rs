@@ -36,7 +36,7 @@ pub mod rng;
 pub use addr::{Address, BlockAddr, CACHE_LINE_BYTES};
 pub use config::{CacheGeometry, LlcPartitioning, MachineConfig, SharingDegree};
 pub use cycles::Cycle;
-pub use error::SimError;
+pub use error::{SimError, SnapshotErrorKind};
 pub use hash::{FastHashMap, FastHashSet};
 pub use ids::{BankId, CoreId, GlobalThreadId, MemCtrlId, NodeId, ThreadId, VmId};
 pub use rng::SimRng;

@@ -3,7 +3,8 @@
 use crate::profile::WorkloadProfile;
 use crate::reference::MemRef;
 use crate::zipf::ZipfSampler;
-use consim_types::{BlockAddr, SimRng, ThreadId, VmId};
+use consim_snap::{SectionBuf, SectionReader, Snapshot};
+use consim_types::{BlockAddr, SimError, SimRng, SnapshotErrorKind, ThreadId, VmId};
 use std::collections::VecDeque;
 
 /// Per-thread generator state.
@@ -388,6 +389,80 @@ impl WorkloadGenerator {
     }
 }
 
+impl Snapshot for WorkloadGenerator {
+    fn save(&self, w: &mut SectionBuf) {
+        w.put_u64(self.refs_emitted);
+        w.put_usize(self.threads.len());
+        for state in &self.threads {
+            state.rng.save(w);
+            let recent: Vec<u64> = state.recent.iter().copied().collect();
+            w.put_u64_slice(&recent);
+            w.put_u64(state.refs);
+            match state.segment {
+                Some(cursor) => {
+                    w.put_bool(true);
+                    w.put_usize(cursor.segment);
+                    w.put_u64(cursor.pos);
+                    w.put_u32(cursor.touch);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_usize(self.handoff.segments.len());
+        for seg in &self.handoff.segments {
+            w.put_u64(seg.base);
+            w.put_usize(seg.passes);
+            w.put_opt_u64(seg.last_owner.map(|t| t as u64));
+        }
+        let free: Vec<u64> = self.handoff.free.iter().map(|&id| id as u64).collect();
+        w.put_u64_slice(&free);
+        w.put_u64(self.handoff.next_window);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        self.refs_emitted = r.get_u64()?;
+        r.expect_len(self.threads.len(), "workload threads")?;
+        let num_segments = self.handoff.segments.len();
+        for state in self.threads.iter_mut() {
+            state.rng.restore(r)?;
+            state.recent = r.get_u64_vec()?.into();
+            state.refs = r.get_u64()?;
+            state.segment = if r.get_bool()? {
+                let segment = r.get_usize()?;
+                if segment >= num_segments {
+                    return Err(SimError::snapshot(
+                        SnapshotErrorKind::Corrupt,
+                        format!("thread owns segment {segment} of {num_segments}"),
+                    ));
+                }
+                Some(SegmentCursor {
+                    segment,
+                    pos: r.get_u64()?,
+                    touch: r.get_u32()?,
+                })
+            } else {
+                None
+            };
+        }
+        r.expect_len(num_segments, "handoff segments")?;
+        for seg in self.handoff.segments.iter_mut() {
+            seg.base = r.get_u64()?;
+            seg.passes = r.get_usize()?;
+            seg.last_owner = r.get_opt_u64()?.map(|t| t as usize);
+        }
+        let free = r.get_u64_vec()?;
+        if free.iter().any(|&id| id as usize >= num_segments) {
+            return Err(SimError::snapshot(
+                SnapshotErrorKind::Corrupt,
+                "free list references an out-of-range segment",
+            ));
+        }
+        self.handoff.free = free.into_iter().map(|id| id as usize).collect();
+        self.handoff.next_window = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +740,47 @@ mod tests {
         for b in &warm {
             assert_eq!(b.vm(), VmId::new(0));
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_stream_exactly() {
+        for kind in [
+            WorkloadKind::TpcW,
+            WorkloadKind::SpecJbb,
+            WorkloadKind::TpcH,
+        ] {
+            let mut g = gen_for(kind, 21);
+            for i in 0..5_000 {
+                g.next_ref(ThreadId::new(i % 4));
+            }
+            let mut buf = SectionBuf::new();
+            g.save(&mut buf);
+            let mut back = gen_for(kind, 21);
+            back.restore(&mut SectionReader::new("wl", buf.as_bytes()))
+                .unwrap();
+            assert_eq!(back.refs_emitted(), g.refs_emitted());
+            for i in 0..5_000 {
+                let t = ThreadId::new(i % 4);
+                assert_eq!(back.next_ref(t), g.next_ref(t), "{kind:?} ref {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_thread_count() {
+        let profile_2 = WorkloadProfileBuilder::new("two")
+            .footprint_blocks(10_000)
+            .threads(2)
+            .build()
+            .unwrap();
+        let g = gen_for(WorkloadKind::TpcW, 3);
+        let mut buf = SectionBuf::new();
+        g.save(&mut buf);
+        let mut other = WorkloadGenerator::new(VmId::new(0), &profile_2, &SimRng::from_seed(3));
+        let err = other
+            .restore(&mut SectionReader::new("wl", buf.as_bytes()))
+            .unwrap_err();
+        assert!(err.to_string().contains("workload threads"), "{err}");
     }
 
     #[test]

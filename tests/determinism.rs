@@ -237,6 +237,71 @@ fn traced_runs_are_bit_identical_across_thread_counts() {
     assert!(serial_events > 0, "the sink must actually receive events");
 }
 
+/// Crash recovery end-to-end: a sweep killed by fault injection leaves a
+/// results journal; a second invocation pointed at the same journal loads
+/// the completed cells, finishes the rest, and renders figure text that is
+/// byte-identical to an uninterrupted run — on 1, 2, and 4 workers.
+#[test]
+fn faulted_sweep_resumes_to_byte_identical_figure_text() {
+    use consim_bench::{figures, FigureContext};
+
+    let options = RunOptions {
+        refs_per_vm: 1_200,
+        warmup_refs_per_vm: 300,
+        seeds: vec![1, 2],
+        track_footprint: false,
+        prewarm_llc: true,
+    };
+    let reference = figures::fig12_replication(&FigureContext::with_runner(
+        ExperimentRunner::new(options.clone()).with_threads(1),
+    ))
+    .expect("uninterrupted render")
+    .to_string();
+
+    for threads in [1usize, 2, 4] {
+        let dir = std::env::temp_dir().join(format!(
+            "consim-determinism-crash-{}-{threads}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // First invocation: the injected fault aborts the sweep after two
+        // completed cells, which must already be journaled.
+        let faulted = FigureContext::with_runner(
+            ExperimentRunner::new(options.clone())
+                .with_threads(threads)
+                .with_journal(&dir)
+                .with_checkpoint_every(400)
+                .with_fault_after(2),
+        );
+        let err = figures::fig12_replication(&faulted);
+        let msg = match err {
+            Err(e) => e.to_string(),
+            Ok(t) => panic!("fault injection must abort the sweep, got:\n{t}"),
+        };
+        assert!(msg.contains("fault injected"), "unexpected error: {msg}");
+        let journaled = std::fs::read_dir(&dir)
+            .expect("journal directory exists after the crash")
+            .count();
+        assert!(journaled > 0, "the crashed run must leave journal batches");
+
+        // Second invocation: resume from the journal and finish the sweep.
+        let resumed = FigureContext::with_runner(
+            ExperimentRunner::new(options.clone())
+                .with_threads(threads)
+                .with_journal(&dir),
+        );
+        let rendered = figures::fig12_replication(&resumed)
+            .expect("resumed render")
+            .to_string();
+        assert_eq!(
+            rendered, reference,
+            "{threads} workers: resumed figure text differs from uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// Manifest digests are the replayability anchor: the same logical run
 /// must digest to the same 16-hex string on every execution, and any
 /// seed change must move it.

@@ -23,14 +23,18 @@ use std::path::{Path, PathBuf};
 
 /// Small fixed run: big enough that every figure has signal (cache
 /// pressure, sharing, migrations), small enough to run in CI.
-fn golden_context() -> FigureContext {
-    FigureContext::new(RunOptions {
+fn golden_options() -> RunOptions {
+    RunOptions {
         refs_per_vm: 1_500,
         warmup_refs_per_vm: 400,
         seeds: vec![1],
         track_footprint: false,
         prewarm_llc: true,
-    })
+    }
+}
+
+fn golden_context() -> FigureContext {
+    FigureContext::new(golden_options())
 }
 
 fn golden_dir() -> PathBuf {
@@ -154,4 +158,49 @@ fn figures_match_golden_snapshots() {
         "golden snapshots differ; if intentional, re-bless with \
          `CONSIM_BLESS=1 cargo test --test golden_figures` and review the diff\n{report}"
     );
+}
+
+/// Checkpoint→resume pins to the *same* goldens: a figure rendered from a
+/// journal left behind by a faulted, checkpointing run and completed by a
+/// resumed invocation must match `tests/golden/fig12_replication.txt`
+/// byte-for-byte. Any seam in the checkpoint/restore path — a counter
+/// lost, an RNG stream replayed, a cache line misplaced — shows up as a
+/// readable text diff against the blessed snapshot.
+#[test]
+fn resumed_render_matches_golden_snapshot() {
+    use consim::runner::ExperimentRunner;
+
+    if bless_requested() {
+        // The snapshot is blessed by `figures_match_golden_snapshots`;
+        // don't race its writes within the same process.
+        return;
+    }
+
+    let dir = std::env::temp_dir().join(format!("consim-golden-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // First invocation: crash (via fault injection) after one completed
+    // cell, with mid-cell checkpointing on.
+    let faulted = FigureContext::with_runner(
+        ExperimentRunner::new(golden_options())
+            .with_journal(&dir)
+            .with_checkpoint_every(300)
+            .with_fault_after(1),
+    );
+    assert!(
+        figures::fig12_replication(&faulted).is_err(),
+        "fault injection must abort the first render"
+    );
+
+    // Second invocation: resume from the journal and render.
+    let resumed =
+        FigureContext::with_runner(ExperimentRunner::new(golden_options()).with_journal(&dir));
+    let rendered = figures::fig12_replication(&resumed).unwrap().to_string();
+    let golden =
+        std::fs::read_to_string(golden_dir().join("fig12_replication.txt")).expect("golden exists");
+    assert_eq!(
+        rendered, golden,
+        "resumed render differs from the golden snapshot"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -106,6 +106,8 @@ fn traced_batch_emits_parseable_jsonl_and_manifest() {
         wall_seconds: 0.5,
         trace_lines: sink.lines(),
         trace_errors: sink.errors(),
+        resumed_from: None,
+        checkpoints: Vec::new(),
     };
     let path = manifest.write_to(&dir).unwrap();
     let json = std::fs::read_to_string(&path).unwrap();
