@@ -31,6 +31,9 @@ cargo run --release -q -p consim-check --bin fuzz -- --cases 500 --seed 7
 echo "== checkpoint/resume seam smoke (consim-check, fixed seed) =="
 cargo run --release -q -p consim-check --bin fuzz -- --cases 200 --seed 11 --resume
 
+echo "== fast-path fuzz smoke (high-locality bias, fixed seed) =="
+cargo run --release -q -p consim-check --bin fuzz -- --cases 200 --seed 19 --high-locality
+
 echo "== audit + trace smoke (release run_all at tiny quotas) =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -41,5 +44,22 @@ test -s "$smoke_dir/events.jsonl"
 test -s "$smoke_dir/manifest.json"
 grep -q '"event":"audit_passed"' "$smoke_dir/events.jsonl"
 grep -q '"bin": "run_all"' "$smoke_dir/manifest.json"
+
+echo "== perf smoke (non-gating, short throughput probe) =="
+# A short serial probe compared against the committed BENCH_engine.json
+# baseline. Informational only: wall-clock noise (shared CI boxes, thermal
+# state) is far above any gate we could set, so a regression here prompts a
+# full `cargo run --release -p consim-bench --bin throughput` by hand.
+CONSIM_REFS=20000 CONSIM_WARMUP=5000 CONSIM_SEEDS=2 CONSIM_THREADS=1 \
+  cargo run --release -q -p consim-bench --bin throughput -- \
+  --json "$smoke_dir/bench.json" || echo "perf smoke failed (non-gating)"
+if [ -s "$smoke_dir/bench.json" ] && [ -s BENCH_engine.json ]; then
+  probe=$(sed -n 's/.*"serial_refs_per_sec": \([0-9]*\).*/\1/p' "$smoke_dir/bench.json")
+  base=$(sed -n 's/.*"serial_refs_per_sec": \([0-9]*\).*/\1/p' BENCH_engine.json)
+  if [ -n "$probe" ] && [ -n "$base" ] && [ "$base" -gt 0 ]; then
+    echo "perf smoke: probe ${probe} refs/sec vs committed baseline ${base} refs/sec" \
+      "($(( 100 * probe / base ))% of baseline; informational)"
+  fi
+fi
 
 echo "CI OK"

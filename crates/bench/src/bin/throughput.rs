@@ -4,7 +4,9 @@
 //! heterogeneous mix — the shape that dominates `run_all` — first serially,
 //! then with the full worker pool, and reports refs/sec plus the parallel
 //! speedup. Results land on stdout and in `BENCH_engine.json` (hand-rolled
-//! JSON; the workspace is dependency-free).
+//! JSON; the workspace is dependency-free); `--json <path>` redirects the
+//! JSON report, so CI smoke probes can write a scratch file without
+//! clobbering the committed baseline.
 //!
 //! Knobs: `CONSIM_REFS` / `CONSIM_WARMUP` scale the per-VM quotas,
 //! `CONSIM_SEEDS` the seed fan-out, `CONSIM_THREADS` the parallel pool.
@@ -40,7 +42,15 @@ fn total_refs(opts: &RunOptions, cells: &[ExperimentCell]) -> u64 {
 }
 
 fn main() {
-    let flags = BenchFlags::from_env("throughput");
+    let mut flags = BenchFlags::from_env("throughput");
+    let json_path = match flags.take_path("--json") {
+        Ok(path) => path.unwrap_or_else(|| "BENCH_engine.json".into()),
+        Err(msg) => {
+            eprintln!("throughput: {msg}");
+            eprintln!("usage: throughput [--json <path>] [--audit] [--trace <dir>]");
+            std::process::exit(2);
+        }
+    };
     let session = flags.trace_session().expect("open trace directory");
     let opts = options();
     let mix = [
@@ -93,8 +103,9 @@ fn main() {
          \"speedup\": {speedup:.3}\n}}\n",
         opts.seeds.len()
     );
-    std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
-    eprintln!("wrote BENCH_engine.json");
+    std::fs::write(&json_path, json)
+        .unwrap_or_else(|e| panic!("write {}: {e}", json_path.display()));
+    eprintln!("wrote {}", json_path.display());
 
     if let Some(session) = session {
         let path = session

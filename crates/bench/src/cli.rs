@@ -134,6 +134,40 @@ impl BenchFlags {
             .map_err(|_| format!("{name} requires an integer argument, got {raw:?}"))
     }
 
+    /// Extracts a `--name PATH` / `--name=PATH` path option from
+    /// [`BenchFlags::rest`], removing the consumed tokens. Returns
+    /// `Ok(None)` when the flag is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the flag is present without a value.
+    pub fn take_path(&mut self, name: &str) -> Result<Option<PathBuf>, String> {
+        let eq_prefix = format!("{name}=");
+        let Some(pos) = self
+            .rest
+            .iter()
+            .position(|a| a == name || a.starts_with(&eq_prefix))
+        else {
+            return Ok(None);
+        };
+        let raw = if let Some(v) = self.rest[pos].strip_prefix(&eq_prefix) {
+            let v = v.to_string();
+            self.rest.remove(pos);
+            v
+        } else {
+            if pos + 1 >= self.rest.len() {
+                return Err(format!("{name} requires a path argument"));
+            }
+            let v = self.rest.remove(pos + 1);
+            self.rest.remove(pos);
+            v
+        };
+        if raw.is_empty() {
+            return Err(format!("{name} requires a path argument"));
+        }
+        Ok(Some(PathBuf::from(raw)))
+    }
+
     /// Opens the trace session when `--trace` was given.
     ///
     /// # Errors
@@ -355,6 +389,20 @@ mod tests {
         assert_eq!(flags.take_u64("--seed"), Ok(Some(42)));
         assert_eq!(flags.take_u64("--replay"), Ok(None));
         assert_eq!(flags.rest, vec!["extra".to_string()]);
+    }
+
+    #[test]
+    fn take_path_consumes_both_forms() {
+        let mut flags = parse(&["--json", "out/b.json", "--log=run.txt", "extra"]).unwrap();
+        assert_eq!(
+            flags.take_path("--json"),
+            Ok(Some(PathBuf::from("out/b.json")))
+        );
+        assert_eq!(flags.take_path("--log"), Ok(Some(PathBuf::from("run.txt"))));
+        assert_eq!(flags.take_path("--other"), Ok(None));
+        assert_eq!(flags.rest, vec!["extra".to_string()]);
+        assert!(parse(&["--json"]).unwrap().take_path("--json").is_err());
+        assert!(parse(&["--json="]).unwrap().take_path("--json").is_err());
     }
 
     #[test]

@@ -1,11 +1,42 @@
-//! A whole set-associative cache.
+//! A whole set-associative cache, stored as flat struct-of-arrays planes.
+//!
+//! Storage is three contiguous per-cache planes indexed `set * ways + way`:
+//! a `u64` tag plane, a `u8` state plane (0 encodes Invalid — the slot is
+//! empty), and the replacement planes ([`ReplacementPlanes`]). A set probe
+//! is a stride-limited scan over adjacent words instead of pointer-chasing
+//! `Option<CacheLine>`, which is what the engine's hot path spends most of
+//! its time doing. The per-set AoS formulation ([`crate::set::CacheSet`])
+//! is retained as the executable specification; the differential tests in
+//! `crates/cache/tests/soa_vs_aos.rs` pin this implementation to it
+//! operation by operation.
 
 use crate::line::{CacheLine, LineState};
-use crate::replacement::ReplacementPolicy;
-use crate::set::CacheSet;
+use crate::replacement::{ReplacementPlanes, ReplacementPolicy};
 use crate::stats::CacheStats;
 use consim_snap::{SectionBuf, SectionReader, Snapshot};
-use consim_types::{BlockAddr, CacheGeometry, SimError};
+use consim_types::{BlockAddr, CacheGeometry, SimError, SnapshotErrorKind};
+
+/// Encodes a state for the state plane (Invalid = 0 marks an empty slot).
+#[inline]
+const fn encode(state: LineState) -> u8 {
+    match state {
+        LineState::Invalid => 0,
+        LineState::Shared => 1,
+        LineState::Exclusive => 2,
+        LineState::Modified => 3,
+    }
+}
+
+/// Decodes a state-plane byte known to be a valid encoding.
+#[inline]
+const fn decode(v: u8) -> LineState {
+    match v {
+        1 => LineState::Shared,
+        2 => LineState::Exclusive,
+        3 => LineState::Modified,
+        _ => LineState::Invalid,
+    }
+}
 
 /// A set-associative cache keyed by [`BlockAddr`].
 ///
@@ -31,7 +62,20 @@ use consim_types::{BlockAddr, CacheGeometry, SimError};
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
-    sets: Vec<CacheSet>,
+    num_sets: usize,
+    ways: usize,
+    /// `Some(num_sets - 1)` when the set count is a power of two, so the
+    /// index is a mask instead of a division.
+    set_mask: Option<u64>,
+    /// Tag plane: the block address cached in each slot. Slots whose state
+    /// is Invalid keep their last tag (never read — guarded by the state).
+    tags: Vec<u64>,
+    /// State plane: 0 = Invalid/empty, 1 = Shared, 2 = Exclusive,
+    /// 3 = Modified.
+    states: Vec<u8>,
+    repl: ReplacementPlanes,
+    /// Valid-line count, maintained incrementally (O(1) `occupancy`).
+    occupancy: usize,
     stats: CacheStats,
 }
 
@@ -42,12 +86,17 @@ impl SetAssocCache {
     /// two identically-configured caches behave identically.
     pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
         let num_sets = geometry.num_sets();
-        let sets = (0..num_sets)
-            .map(|i| CacheSet::new(policy, geometry.associativity, i as u64))
-            .collect();
+        let ways = geometry.associativity;
+        let set_mask = num_sets.is_power_of_two().then_some(num_sets as u64 - 1);
         Self {
             geometry,
-            sets,
+            num_sets,
+            ways,
+            set_mask,
+            tags: vec![0; num_sets * ways],
+            states: vec![0; num_sets * ways],
+            repl: ReplacementPlanes::new(policy, num_sets, ways),
+            occupancy: 0,
             stats: CacheStats::default(),
         }
     }
@@ -65,35 +114,68 @@ impl SetAssocCache {
     /// The set index for a block.
     #[inline]
     fn set_index(&self, block: BlockAddr) -> usize {
-        (block.raw() % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (block.raw() & mask) as usize,
+            None => (block.raw() % self.num_sets as u64) as usize,
+        }
+    }
+
+    /// Finds the way of `set` holding `block`, if any.
+    #[inline]
+    fn way_of(&self, set: usize, raw: u64) -> Option<usize> {
+        let base = set * self.ways;
+        let tags = &self.tags[base..base + self.ways];
+        let states = &self.states[base..base + self.ways];
+        (0..self.ways).find(|&w| states[w] != 0 && tags[w] == raw)
     }
 
     /// Looks up a block without modifying recency or statistics.
+    #[inline]
     pub fn probe(&self, block: BlockAddr) -> Option<LineState> {
-        self.sets[self.set_index(block)].probe(block)
+        let set = self.set_index(block);
+        self.way_of(set, block.raw())
+            .map(|w| decode(self.states[set * self.ways + w]))
     }
 
     /// Whether the block is present.
+    #[inline]
     pub fn contains(&self, block: BlockAddr) -> bool {
         self.probe(block).is_some()
     }
 
     /// Performs a demand access: updates recency and hit/miss statistics.
+    #[inline]
     pub fn access(&mut self, block: BlockAddr) -> Option<LineState> {
-        let idx = self.set_index(block);
-        let result = self.sets[idx].access(block);
-        if result.is_some() {
-            self.stats.hits += 1;
-        } else {
-            self.stats.misses += 1;
+        let set = self.set_index(block);
+        match self.way_of(set, block.raw()) {
+            Some(w) => {
+                self.repl.touch(set, w, self.ways);
+                self.stats.hits += 1;
+                Some(decode(self.states[set * self.ways + w]))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
         }
-        result
     }
 
     /// Changes the state of a present block; returns `false` if absent.
     pub fn set_state(&mut self, block: BlockAddr, state: LineState) -> bool {
-        let idx = self.set_index(block);
-        self.sets[idx].set_state(block, state)
+        let set = self.set_index(block);
+        match self.way_of(set, block.raw()) {
+            Some(w) => {
+                let idx = set * self.ways + w;
+                if state.is_valid() {
+                    self.states[idx] = encode(state);
+                } else {
+                    self.states[idx] = 0;
+                    self.occupancy -= 1;
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Fills a block, evicting a victim if the set is full.
@@ -102,16 +184,7 @@ impl SetAssocCache {
     /// the caller decides where it goes). Dirty evictions are also counted
     /// in [`CacheStats::dirty_evictions`].
     pub fn insert(&mut self, block: BlockAddr, state: LineState) -> Option<CacheLine> {
-        let idx = self.set_index(block);
-        let victim = self.sets[idx].insert(block, state);
-        self.stats.insertions += 1;
-        if let Some(v) = victim {
-            self.stats.evictions += 1;
-            if v.state.is_dirty() {
-                self.stats.dirty_evictions += 1;
-            }
-        }
-        victim
+        self.insert_masked(block, state, u64::MAX, false)
     }
 
     /// Fills a block, allocating only into the ways allowed by `mask`
@@ -128,36 +201,84 @@ impl SetAssocCache {
         state: LineState,
         mask: u64,
     ) -> Option<CacheLine> {
-        let idx = self.set_index(block);
-        let victim = self.sets[idx].insert_in_ways(block, state, mask);
+        self.insert_masked(block, state, mask, true)
+    }
+
+    /// Shared fill path. `masked` only affects which replacement entry
+    /// point is used so the RNG draw sequence matches the per-set
+    /// reference exactly (plain inserts draw `index(ways)`, masked ones
+    /// `index(popcount)`).
+    fn insert_masked(
+        &mut self,
+        block: BlockAddr,
+        state: LineState,
+        mask: u64,
+        masked: bool,
+    ) -> Option<CacheLine> {
+        debug_assert!(state.is_valid(), "inserting an invalid line");
+        let raw = block.raw();
+        let set = self.set_index(block);
+        let base = set * self.ways;
         self.stats.insertions += 1;
-        if let Some(v) = victim {
-            self.stats.evictions += 1;
-            if v.state.is_dirty() {
-                self.stats.dirty_evictions += 1;
-            }
+        if let Some(w) = self.way_of(set, raw) {
+            // Present anywhere in the set (even outside the mask): update
+            // in place, no eviction.
+            self.states[base + w] = encode(state);
+            self.repl.touch(set, w, self.ways);
+            return None;
         }
-        victim
+        // Lowest allowed free way.
+        if let Some(w) = (0..self.ways).find(|&w| mask >> w & 1 == 1 && self.states[base + w] == 0)
+        {
+            self.tags[base + w] = raw;
+            self.states[base + w] = encode(state);
+            self.repl.touch(set, w, self.ways);
+            self.occupancy += 1;
+            return None;
+        }
+        let w = if masked {
+            self.repl.victim_in(set, mask, self.ways)
+        } else {
+            self.repl.victim(set, self.ways)
+        };
+        let victim = CacheLine::new(
+            BlockAddr::new(self.tags[base + w]),
+            decode(self.states[base + w]),
+        );
+        self.tags[base + w] = raw;
+        self.states[base + w] = encode(state);
+        self.repl.touch(set, w, self.ways);
+        self.stats.evictions += 1;
+        if victim.state.is_dirty() {
+            self.stats.dirty_evictions += 1;
+        }
+        Some(victim)
     }
 
     /// Removes a block (coherence invalidation); returns the removed line.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<CacheLine> {
-        let idx = self.set_index(block);
-        let removed = self.sets[idx].invalidate(block);
-        if removed.is_some() {
-            self.stats.invalidations += 1;
-        }
-        removed
+        let set = self.set_index(block);
+        let w = self.way_of(set, block.raw())?;
+        let idx = set * self.ways + w;
+        let removed = CacheLine::new(block, decode(self.states[idx]));
+        self.states[idx] = 0;
+        self.occupancy -= 1;
+        self.stats.invalidations += 1;
+        Some(removed)
     }
 
     /// Iterates over every valid line (for snapshot metrics).
-    pub fn lines(&self) -> impl Iterator<Item = &CacheLine> {
-        self.sets.iter().flat_map(CacheSet::lines)
+    pub fn lines(&self) -> impl Iterator<Item = CacheLine> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != 0)
+            .map(|(i, &s)| CacheLine::new(BlockAddr::new(self.tags[i]), decode(s)))
     }
 
     /// Number of valid lines currently stored.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(CacheSet::occupancy).sum()
+        self.occupancy
     }
 
     /// Total line capacity.
@@ -177,20 +298,50 @@ impl SetAssocCache {
 }
 
 impl Snapshot for SetAssocCache {
+    /// One pass over the flat planes — no per-set allocation, unlike the
+    /// retired per-set format (snap format v2).
     fn save(&self, w: &mut SectionBuf) {
-        w.put_usize(self.sets.len());
-        for set in &self.sets {
-            set.save(w);
-        }
+        w.put_usize(self.num_sets);
+        w.put_u8(match self.repl.policy() {
+            ReplacementPolicy::Lru => 0,
+            ReplacementPolicy::TreePlru => 1,
+            ReplacementPolicy::Random => 2,
+        });
+        w.put_u64_slice(&self.tags);
+        w.put_u8_slice(&self.states);
+        self.repl.save(w);
         self.stats.save(w);
     }
 
     fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
-        r.expect_len(self.sets.len(), "cache sets")?;
-        for set in self.sets.iter_mut() {
-            set.restore(r)?;
+        r.expect_len(self.num_sets, "cache sets")?;
+        let tag = r.get_u8()?;
+        let want = match self.repl.policy() {
+            ReplacementPolicy::Lru => 0,
+            ReplacementPolicy::TreePlru => 1,
+            ReplacementPolicy::Random => 2,
+        };
+        if tag != want {
+            return Err(SimError::snapshot(
+                SnapshotErrorKind::Corrupt,
+                format!("replacement-policy tag {tag} does not match configured policy"),
+            ));
         }
-        self.stats.restore(r)
+        r.expect_len(self.tags.len(), "tag-plane entries")?;
+        for t in self.tags.iter_mut() {
+            *t = r.get_u64()?;
+        }
+        r.get_u8_slice_into(&mut self.states, "state-plane entries")?;
+        if let Some(&bad) = self.states.iter().find(|&&s| s > 3) {
+            return Err(SimError::snapshot(
+                SnapshotErrorKind::Corrupt,
+                format!("invalid line-state tag {bad}"),
+            ));
+        }
+        self.repl.restore(r)?;
+        self.stats.restore(r)?;
+        self.occupancy = self.states.iter().filter(|&&s| s != 0).count();
+        Ok(())
     }
 }
 
@@ -281,6 +432,33 @@ mod tests {
     }
 
     #[test]
+    fn non_power_of_two_set_counts_still_index_correctly() {
+        // 3 sets: the modulo fallback path (no pow2 mask).
+        let mut c = small_cache(2, 3);
+        for n in 0..6 {
+            c.insert(BlockAddr::new(n), LineState::Shared);
+        }
+        assert_eq!(c.occupancy(), 6);
+        for n in 0..6 {
+            assert!(c.contains(BlockAddr::new(n)), "block {n} missing");
+        }
+        // Block 6 conflicts with set 0 = {0, 3}; LRU victim is 0.
+        let victim = c.insert(BlockAddr::new(6), LineState::Shared).unwrap();
+        assert_eq!(victim.block, BlockAddr::new(0));
+    }
+
+    #[test]
+    fn stale_tags_of_invalidated_slots_never_resurface() {
+        let mut c = small_cache(2, 1);
+        c.insert(BlockAddr::new(1), LineState::Shared);
+        c.invalidate(BlockAddr::new(1));
+        // The tag plane still holds 1, but the slot is Invalid.
+        assert!(!c.contains(BlockAddr::new(1)));
+        assert!(c.access(BlockAddr::new(1)).is_none());
+        assert_eq!(c.lines().count(), 0);
+    }
+
+    #[test]
     fn masked_insert_partitions_ways_per_caller() {
         let mut c = small_cache(4, 1);
         // Two "VMs" share the set, two ways each; a conflict must never
@@ -318,6 +496,7 @@ mod tests {
             back.restore(&mut SectionReader::new("caches", buf.as_bytes()))
                 .unwrap();
             assert_eq!(back.stats(), c.stats(), "{policy:?}");
+            assert_eq!(back.occupancy(), c.occupancy(), "{policy:?}");
             // Same contents and same future behaviour (recency + RNG state).
             for n in 40..80 {
                 let va = c.insert(BlockAddr::new(n), LineState::Shared);

@@ -4,9 +4,12 @@
 //!
 //! * [`line`] — cache lines and their coherence-relevant state;
 //! * [`replacement`] — pluggable replacement policies (true LRU, tree-PLRU,
-//!   random);
-//! * [`set`] — one associative set;
-//! * [`cache`] — a whole set-associative cache ([`SetAssocCache`]);
+//!   random), both the flat per-cache planes the production cache uses and
+//!   the per-set reference formulation;
+//! * [`set`] — one associative set (AoS reference model for the
+//!   differential property tests);
+//! * [`cache`] — a whole set-associative cache ([`SetAssocCache`]), stored
+//!   as flat struct-of-arrays tag/state/recency planes;
 //! * [`stats`] — per-cache hit/miss/eviction counters.
 //!
 //! The same type models every level: the 8 KB L0s, 64 KB L1s, and the LLC

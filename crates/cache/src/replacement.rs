@@ -1,10 +1,15 @@
 //! Replacement policies.
 //!
-//! Each associative set carries a [`ReplacementState`] matching the cache's
-//! [`ReplacementPolicy`]. The paper's machine uses "vanilla LRU"; tree-PLRU
-//! and random are provided for the ablation benches (design-choice studies in
-//! DESIGN.md) and to validate that the characterization trends are not an
-//! artifact of true-LRU bookkeeping.
+//! The production cache stores its recency bookkeeping in flat per-cache
+//! [`ReplacementPlanes`] (one contiguous allocation per cache, indexed
+//! `set * ways + way`). The per-set [`ReplacementState`] is the original
+//! boxed-per-set formulation; it is *retained* as the executable
+//! specification of the replacement semantics and drives the differential
+//! property tests that pin the planes to it (see
+//! `crates/cache/tests/soa_vs_aos.rs`). The paper's machine uses "vanilla
+//! LRU"; tree-PLRU and random are provided for the ablation benches
+//! (design-choice studies in DESIGN.md) and to validate that the
+//! characterization trends are not an artifact of true-LRU bookkeeping.
 
 use consim_snap::{SectionBuf, SectionReader, Snapshot};
 use consim_types::{SimError, SimRng, SnapshotErrorKind};
@@ -219,6 +224,250 @@ impl Snapshot for ReplacementState {
                 SnapshotErrorKind::Corrupt,
                 format!("replacement-policy tag {tag} does not match configured policy"),
             )),
+        }
+    }
+}
+
+/// Flat per-cache replacement bookkeeping: one contiguous allocation for
+/// *all* sets, indexed `set * ways + way` (matching the cache's tag/state
+/// planes).
+///
+/// Semantically equivalent to one [`ReplacementState`] per set, but with
+/// O(1) LRU touches: instead of splicing an order list, true LRU keeps a
+/// monotonic per-cache clock and stamps each way at its last touch — the
+/// victim is the minimum stamp. The equivalence holds because victims are
+/// only ever requested when every candidate way (the whole set for
+/// [`ReplacementPlanes::victim`], the masked subset for
+/// [`ReplacementPlanes::victim_in`]) holds a valid line, and every fill or
+/// hit of a valid line goes through [`ReplacementPlanes::touch`]; untouched
+/// ways keep their initial stamps `0..ways`, reproducing the "way 0 is the
+/// first victim" cold order. Stamps are unique within a set (initial stamps
+/// are distinct and the clock is strictly increasing), so the minimum is
+/// unambiguous.
+#[derive(Debug, Clone)]
+pub(crate) enum ReplacementPlanes {
+    /// True LRU: last-touch stamp per way plus the cache-wide clock.
+    Lru { stamps: Vec<u64>, clock: u64 },
+    /// PLRU tree bits, `ways - 1` per set; ways must be a power of two.
+    TreePlru { bits: Vec<bool> },
+    /// One seeded RNG per set (seed = set index), drawn only on victim
+    /// picks — the same stream the per-set formulation consumes.
+    Random { rngs: Vec<SimRng> },
+}
+
+impl ReplacementPlanes {
+    /// Creates fresh planes for `num_sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero, or if the policy is
+    /// [`ReplacementPolicy::TreePlru`] and `ways` is not a power of two.
+    pub(crate) fn new(policy: ReplacementPolicy, num_sets: usize, ways: usize) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        match policy {
+            ReplacementPolicy::Lru => {
+                let mut stamps = Vec::with_capacity(num_sets * ways);
+                for _ in 0..num_sets {
+                    stamps.extend(0..ways as u64);
+                }
+                ReplacementPlanes::Lru {
+                    stamps,
+                    clock: ways as u64,
+                }
+            }
+            ReplacementPolicy::TreePlru => {
+                assert!(
+                    ways.is_power_of_two(),
+                    "tree-PLRU requires power-of-two associativity, got {ways}"
+                );
+                ReplacementPlanes::TreePlru {
+                    bits: vec![false; num_sets * (ways - 1)],
+                }
+            }
+            ReplacementPolicy::Random => ReplacementPlanes::Random {
+                rngs: (0..num_sets).map(|i| SimRng::from_seed(i as u64)).collect(),
+            },
+        }
+    }
+
+    /// The policy these planes implement.
+    pub(crate) fn policy(&self) -> ReplacementPolicy {
+        match self {
+            ReplacementPlanes::Lru { .. } => ReplacementPolicy::Lru,
+            ReplacementPlanes::TreePlru { .. } => ReplacementPolicy::TreePlru,
+            ReplacementPlanes::Random { .. } => ReplacementPolicy::Random,
+        }
+    }
+
+    /// Records a use of `way` in set `set` (hit or fill).
+    #[inline]
+    pub(crate) fn touch(&mut self, set: usize, way: usize, ways: usize) {
+        match self {
+            ReplacementPlanes::Lru { stamps, clock } => {
+                *clock += 1;
+                stamps[set * ways + way] = *clock;
+            }
+            ReplacementPlanes::TreePlru { bits } => {
+                let bits = &mut bits[set * (ways - 1)..];
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if way < mid {
+                        bits[node] = true; // protect left, point right
+                        node = 2 * node + 1;
+                        hi = mid;
+                    } else {
+                        bits[node] = false; // protect right, point left
+                        node = 2 * node + 2;
+                        lo = mid;
+                    }
+                }
+            }
+            ReplacementPlanes::Random { .. } => {}
+        }
+    }
+
+    /// Picks the victim way in set `set`; every way must hold a valid line.
+    #[inline]
+    pub(crate) fn victim(&mut self, set: usize, ways: usize) -> usize {
+        match self {
+            ReplacementPlanes::Lru { stamps, .. } => {
+                let s = &stamps[set * ways..set * ways + ways];
+                let mut best = 0usize;
+                for (w, &stamp) in s.iter().enumerate().skip(1) {
+                    if stamp < s[best] {
+                        best = w;
+                    }
+                }
+                best
+            }
+            ReplacementPlanes::TreePlru { bits } => {
+                let bits = &bits[set * (ways - 1)..];
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if bits[node] {
+                        node = 2 * node + 2; // points right
+                        lo = mid;
+                    } else {
+                        node = 2 * node + 1; // points left
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+            ReplacementPlanes::Random { rngs } => rngs[set].index(ways),
+        }
+    }
+
+    /// Picks the victim among the ways allowed by `mask`; every allowed way
+    /// must hold a valid line. With a full mask this selects exactly the
+    /// same way (and consumes the same RNG stream) as
+    /// [`ReplacementPlanes::victim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` allows none of the set's ways.
+    pub(crate) fn victim_in(&mut self, set: usize, mask: u64, ways: usize) -> usize {
+        let mask = mask & ways_mask(ways);
+        assert!(mask != 0, "victim mask allows no way");
+        match self {
+            ReplacementPlanes::Lru { stamps, .. } => {
+                let s = &stamps[set * ways..set * ways + ways];
+                let mut best: Option<usize> = None;
+                for (w, &stamp) in s.iter().enumerate() {
+                    if mask >> w & 1 == 1 && best.is_none_or(|b| stamp < s[b]) {
+                        best = Some(w);
+                    }
+                }
+                best.expect("mask selects a tracked way")
+            }
+            ReplacementPlanes::TreePlru { bits } => {
+                let bits = &bits[set * (ways - 1)..];
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let left_has = mask & range_mask(lo, mid) != 0;
+                    let right_has = mask & range_mask(mid, hi) != 0;
+                    let go_right = if !left_has {
+                        true
+                    } else if !right_has {
+                        false
+                    } else {
+                        bits[node]
+                    };
+                    if go_right {
+                        node = 2 * node + 2;
+                        lo = mid;
+                    } else {
+                        node = 2 * node + 1;
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+            ReplacementPlanes::Random { rngs } => {
+                let allowed = mask.count_ones() as usize;
+                let pick = rngs[set].index(allowed);
+                nth_set_bit(mask, pick)
+            }
+        }
+    }
+
+    /// Appends the planes' dynamic state (the policy tag is written by the
+    /// owning cache, which also validates it on restore).
+    pub(crate) fn save(&self, w: &mut SectionBuf) {
+        match self {
+            ReplacementPlanes::Lru { stamps, clock } => {
+                w.put_u64(*clock);
+                w.put_u64_slice(stamps);
+            }
+            ReplacementPlanes::TreePlru { bits } => {
+                w.put_usize(bits.len());
+                for &bit in bits {
+                    w.put_bool(bit);
+                }
+            }
+            ReplacementPlanes::Random { rngs } => {
+                w.put_usize(rngs.len());
+                for rng in rngs {
+                    rng.save(w);
+                }
+            }
+        }
+    }
+
+    /// Restores the planes' dynamic state in place.
+    pub(crate) fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        match self {
+            ReplacementPlanes::Lru { stamps, clock } => {
+                *clock = r.get_u64()?;
+                r.expect_len(stamps.len(), "LRU stamp-plane entries")?;
+                for stamp in stamps.iter_mut() {
+                    *stamp = r.get_u64()?;
+                }
+                Ok(())
+            }
+            ReplacementPlanes::TreePlru { bits } => {
+                r.expect_len(bits.len(), "PLRU tree bits")?;
+                for bit in bits.iter_mut() {
+                    *bit = r.get_bool()?;
+                }
+                Ok(())
+            }
+            ReplacementPlanes::Random { rngs } => {
+                r.expect_len(rngs.len(), "replacement RNG streams")?;
+                for rng in rngs.iter_mut() {
+                    rng.restore(r)?;
+                }
+                Ok(())
+            }
         }
     }
 }

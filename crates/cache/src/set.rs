@@ -1,4 +1,14 @@
-//! One associative set.
+//! One associative set — the retained AoS reference model.
+//!
+//! [`CacheSet`] is the original boxed-per-set formulation
+//! (`Vec<Option<CacheLine>>` plus a per-set
+//! [`crate::replacement::ReplacementState`]). The production
+//! [`crate::SetAssocCache`] now stores flat struct-of-arrays planes for
+//! speed; this type is kept as the executable specification of the old
+//! semantics, and the differential tests in
+//! `crates/cache/tests/soa_vs_aos.rs` drive identical operation streams
+//! through both and require exact agreement (hits, victims, masked
+//! allocation, snapshot round-trips).
 
 use crate::line::{CacheLine, LineState};
 use crate::replacement::{ReplacementPolicy, ReplacementState};

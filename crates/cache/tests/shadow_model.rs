@@ -135,7 +135,7 @@ fn lru_cache_matches_shadow_model() {
                 }
             }
         }
-        let real_contents: BTreeSet<_> = real.lines().map(line_key).collect();
+        let real_contents: BTreeSet<_> = real.lines().map(|l| line_key(&l)).collect();
         assert_eq!(real_contents, shadow.contents(), "final contents diverged");
     }
 }

@@ -1,0 +1,244 @@
+//! Differential pinning of the flat SoA [`SetAssocCache`] against the
+//! retained per-set AoS reference model ([`CacheSet`]).
+//!
+//! The production cache stores flat tag/state/recency planes; `CacheSet`
+//! is the original boxed-per-set formulation, kept as the executable
+//! specification. These tests drive identical seeded operation streams
+//! through both and require exact agreement at every step — hit states,
+//! eviction victims, masked (way-partitioned) allocation, and behaviour
+//! after a mid-stream snapshot round-trip of the flat planes — for all
+//! three replacement policies.
+
+use consim_cache::set::CacheSet;
+use consim_cache::{CacheLine, LineState, ReplacementPolicy, SetAssocCache};
+use consim_snap::{SectionBuf, SectionReader, Snapshot};
+use consim_types::rng::SimRng;
+use consim_types::{BlockAddr, CacheGeometry};
+
+const POLICIES: [ReplacementPolicy; 3] = [
+    ReplacementPolicy::Lru,
+    ReplacementPolicy::TreePlru,
+    ReplacementPolicy::Random,
+];
+
+/// The AoS shadow: one [`CacheSet`] per set, indexed like the production
+/// cache (low bits of the block address), with Random replacement seeded
+/// by the set index — the same per-set streams [`SetAssocCache`] draws.
+struct AosShadow {
+    sets: Vec<CacheSet>,
+}
+
+impl AosShadow {
+    fn new(policy: ReplacementPolicy, num_sets: usize, ways: usize) -> Self {
+        Self {
+            sets: (0..num_sets)
+                .map(|i| CacheSet::new(policy, ways, i as u64))
+                .collect(),
+        }
+    }
+
+    fn set_of(&mut self, block: BlockAddr) -> &mut CacheSet {
+        let idx = (block.raw() % self.sets.len() as u64) as usize;
+        &mut self.sets[idx]
+    }
+}
+
+/// One operation of the seeded stream.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Probe(BlockAddr),
+    Access(BlockAddr),
+    Insert(BlockAddr, LineState),
+    InsertInWays(BlockAddr, LineState, u64),
+    SetState(BlockAddr, LineState),
+    Invalidate(BlockAddr),
+}
+
+fn gen_op(rng: &mut SimRng, ways: usize) -> Op {
+    // A small block universe over many sets forces constant conflicts.
+    let block = BlockAddr::new(rng.below(96));
+    let state = match rng.index(3) {
+        0 => LineState::Shared,
+        1 => LineState::Exclusive,
+        _ => LineState::Modified,
+    };
+    match rng.index(6) {
+        0 => Op::Probe(block),
+        1 => Op::Access(block),
+        2 => Op::Insert(block, state),
+        3 => {
+            // Split the ways in half by block parity, like two VMs under
+            // way partitioning.
+            let half = ways / 2;
+            let low = (1u64 << half) - 1;
+            let mask = if block.raw().is_multiple_of(2) {
+                low
+            } else {
+                ((1u64 << ways) - 1) & !low
+            };
+            Op::InsertInWays(block, state, mask)
+        }
+        4 => Op::SetState(block, state),
+        _ => Op::Invalidate(block),
+    }
+}
+
+/// Applies one op to both formulations and asserts exact agreement.
+fn apply_both(op: Op, soa: &mut SetAssocCache, aos: &mut AosShadow, ctx: &str) {
+    let line = |l: CacheLine| (l.block, l.state);
+    match op {
+        Op::Probe(b) => {
+            assert_eq!(soa.probe(b), aos.set_of(b).probe(b), "{ctx}: probe {op:?}");
+        }
+        Op::Access(b) => {
+            assert_eq!(
+                soa.access(b),
+                aos.set_of(b).access(b),
+                "{ctx}: access {op:?}"
+            );
+        }
+        Op::Insert(b, s) => {
+            assert_eq!(
+                soa.insert(b, s).map(line),
+                aos.set_of(b).insert(b, s).map(line),
+                "{ctx}: victim of {op:?}"
+            );
+        }
+        Op::InsertInWays(b, s, m) => {
+            assert_eq!(
+                soa.insert_in_ways(b, s, m).map(line),
+                aos.set_of(b).insert_in_ways(b, s, m).map(line),
+                "{ctx}: victim of {op:?}"
+            );
+        }
+        Op::SetState(b, s) => {
+            assert_eq!(
+                soa.set_state(b, s),
+                aos.set_of(b).set_state(b, s),
+                "{ctx}: {op:?}"
+            );
+        }
+        Op::Invalidate(b) => {
+            assert_eq!(
+                soa.invalidate(b).map(line),
+                aos.set_of(b).invalidate(b).map(line),
+                "{ctx}: {op:?}"
+            );
+        }
+    }
+    let aos_occupancy: usize = aos.sets.iter().map(CacheSet::occupancy).sum();
+    assert_eq!(
+        soa.occupancy(),
+        aos_occupancy,
+        "{ctx}: occupancy after {op:?}"
+    );
+}
+
+/// Full-content comparison: the same lines in the same sets.
+fn assert_same_contents(soa: &SetAssocCache, aos: &AosShadow, ctx: &str) {
+    let num_sets = aos.sets.len() as u64;
+    let mut soa_lines: Vec<(u64, u64, LineState)> = soa
+        .lines()
+        .map(|l| (l.block.raw() % num_sets, l.block.raw(), l.state))
+        .collect();
+    soa_lines.sort();
+    let mut aos_lines: Vec<(u64, u64, LineState)> = aos
+        .sets
+        .iter()
+        .enumerate()
+        .flat_map(|(i, set)| set.lines().map(move |l| (i as u64, l.block.raw(), l.state)))
+        .collect();
+    aos_lines.sort();
+    assert_eq!(soa_lines, aos_lines, "{ctx}: cache contents diverged");
+}
+
+fn geometry(num_sets: usize, ways: usize) -> CacheGeometry {
+    CacheGeometry::new(num_sets * ways * 64, ways, 1).expect("valid geometry")
+}
+
+#[test]
+fn soa_matches_aos_on_seeded_op_streams() {
+    for policy in POLICIES {
+        for (num_sets, ways, seed) in [(8, 4, 11u64), (4, 2, 12), (16, 8, 13), (1, 4, 14)] {
+            let mut soa = SetAssocCache::new(geometry(num_sets, ways), policy);
+            let mut aos = AosShadow::new(policy, num_sets, ways);
+            let mut rng = SimRng::from_seed(seed).derive("soa-vs-aos");
+            let ctx = format!("{policy:?} {num_sets}x{ways} seed {seed}");
+            for step in 0..4_000 {
+                let op = gen_op(&mut rng, ways);
+                apply_both(op, &mut soa, &mut aos, &format!("{ctx} step {step}"));
+            }
+            assert_same_contents(&soa, &aos, &ctx);
+        }
+    }
+}
+
+#[test]
+fn soa_matches_aos_after_mid_stream_snapshot_round_trip() {
+    // Save the flat planes mid-stream, restore into a fresh cache, and
+    // keep comparing against the *uninterrupted* AoS shadow: the snapshot
+    // must preserve contents, recency order, and (for Random) the per-set
+    // RNG streams exactly, or the post-restore victims diverge.
+    for policy in POLICIES {
+        let (num_sets, ways) = (8, 4);
+        let mut soa = SetAssocCache::new(geometry(num_sets, ways), policy);
+        let mut aos = AosShadow::new(policy, num_sets, ways);
+        let mut rng = SimRng::from_seed(77).derive("soa-vs-aos/snap");
+        let ctx = format!("{policy:?} pre-snapshot");
+        for step in 0..1_500 {
+            let op = gen_op(&mut rng, ways);
+            apply_both(op, &mut soa, &mut aos, &format!("{ctx} step {step}"));
+        }
+
+        let mut buf = SectionBuf::new();
+        soa.save(&mut buf);
+        let mut restored = SetAssocCache::new(geometry(num_sets, ways), policy);
+        restored
+            .restore(&mut SectionReader::new("soa-vs-aos", buf.as_bytes()))
+            .expect("snapshot round-trip");
+        assert_eq!(restored.occupancy(), soa.occupancy(), "{policy:?}");
+        assert_eq!(restored.stats(), soa.stats(), "{policy:?}");
+
+        let ctx = format!("{policy:?} post-restore");
+        for step in 0..1_500 {
+            let op = gen_op(&mut rng, ways);
+            apply_both(op, &mut restored, &mut aos, &format!("{ctx} step {step}"));
+        }
+        assert_same_contents(&restored, &aos, &ctx);
+    }
+}
+
+#[test]
+fn masked_and_plain_inserts_agree_across_formulations() {
+    // A pure allocation workload (no invalidations) leaning on the
+    // partitioned fill path: every eviction decision must match,
+    // including the Random policy's draw parity (plain inserts draw
+    // index(ways), masked ones index(popcount)).
+    for policy in POLICIES {
+        let (num_sets, ways) = (4, 4);
+        let mut soa = SetAssocCache::new(geometry(num_sets, ways), policy);
+        let mut aos = AosShadow::new(policy, num_sets, ways);
+        let mut rng = SimRng::from_seed(5).derive("soa-vs-aos/masked");
+        for step in 0..3_000 {
+            let block = BlockAddr::new(rng.below(64));
+            let masked = rng.chance(0.5);
+            let op = if masked {
+                let mask = if block.raw().is_multiple_of(2) {
+                    0b0011
+                } else {
+                    0b1100
+                };
+                Op::InsertInWays(block, LineState::Shared, mask)
+            } else {
+                Op::Insert(block, LineState::Exclusive)
+            };
+            apply_both(
+                op,
+                &mut soa,
+                &mut aos,
+                &format!("{policy:?} masked-mix step {step}"),
+            );
+        }
+        assert_same_contents(&soa, &aos, &format!("{policy:?} masked-mix"));
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p consim-check --bin fuzz -- --cases 500 --seed 7
 //! cargo run --release -p consim-check --bin fuzz -- --cases 200 --seed 11 --resume
+//! cargo run --release -p consim-check --bin fuzz -- --cases 200 --seed 19 --high-locality
 //! cargo run --release -p consim-check --bin fuzz -- --replay <case-seed>
 //! ```
 //!
@@ -17,6 +18,11 @@
 //! point: the engine is checkpointed mid-run, resumed into a fresh
 //! simulation, and must agree with the naive model *and* bit-identically
 //! with an uninterrupted run of the same case.
+//!
+//! With `--high-locality`, every generated case is skewed toward the
+//! engine's private-hit fast path (bigger L0/L1, strong recent-block
+//! reuse, shared writes) so hit-heavy streams — where a fast-path
+//! misclassification would hide — get dedicated coverage.
 
 use consim_bench::cli::BenchFlags;
 use consim_check::{run_case, run_case_resumed, shrink, CaseOutcome, FuzzCase, Mutation};
@@ -27,12 +33,16 @@ fn main() -> ExitCode {
     // `--resume` is a mode switch here (not a journal directory as in the
     // experiment bins), so it is peeled off before the shared parser.
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    let resume = if let Some(pos) = raw.iter().position(|a| a == "--resume") {
-        raw.remove(pos);
-        true
-    } else {
-        false
+    let mut take_switch = |name: &str| {
+        if let Some(pos) = raw.iter().position(|a| a == name) {
+            raw.remove(pos);
+            true
+        } else {
+            false
+        }
     };
+    let resume = take_switch("--resume");
+    let high_locality = take_switch("--high-locality");
     let parsed = BenchFlags::parse(raw.into_iter()).and_then(|mut flags| {
         let cases = flags.take_u64("--cases")?.unwrap_or(500);
         let seed = flags.take_u64("--seed")?.unwrap_or(1);
@@ -46,34 +56,44 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(msg) => {
             eprintln!("fuzz: {msg}");
-            eprintln!("usage: fuzz [--cases N] [--seed S] [--resume] [--replay CASE_SEED]");
+            eprintln!(
+                "usage: fuzz [--cases N] [--seed S] [--resume] [--high-locality] \
+                 [--replay CASE_SEED]"
+            );
             return ExitCode::from(2);
         }
     };
     let harness: fn(&FuzzCase, Option<Mutation>) -> CaseOutcome =
         if resume { run_case_resumed } else { run_case };
+    let generate = |case_seed: u64| {
+        let mut case = FuzzCase::generate(case_seed);
+        if high_locality {
+            case.bias_high_locality();
+        }
+        case
+    };
 
     if let Some(case_seed) = replay {
-        return run_one(case_seed, harness, resume, true);
+        return run_one(&generate(case_seed), harness, resume, high_locality, true);
     }
 
     let mut rng = SimRng::from_seed(seed).derive("check/cases");
     let mut total_steps = 0u64;
     for i in 0..cases {
         let case_seed = rng.next_u64();
-        let case = FuzzCase::generate(case_seed);
+        let case = generate(case_seed);
         match harness(&case, None) {
             CaseOutcome::Pass { steps } => total_steps += steps,
-            failure => return report_failure(&case, &failure, resume),
+            failure => return report_failure(&case, &failure, resume, high_locality),
         }
         if (i + 1) % 100 == 0 {
             println!("fuzz: {}/{cases} cases passed", i + 1);
         }
     }
-    let mode = if resume {
-        "checkpoint/resume seam, "
-    } else {
-        ""
+    let mode = match (resume, high_locality) {
+        (true, _) => "checkpoint/resume seam, ",
+        (false, true) => "high-locality bias, ",
+        (false, false) => "",
     };
     println!(
         "fuzz: {cases} cases passed (seed {seed}, {mode}{total_steps} accesses compared, \
@@ -83,26 +103,32 @@ fn main() -> ExitCode {
 }
 
 fn run_one(
-    case_seed: u64,
+    case: &FuzzCase,
     harness: fn(&FuzzCase, Option<Mutation>) -> CaseOutcome,
     resume: bool,
+    high_locality: bool,
     verbose: bool,
 ) -> ExitCode {
-    let case = FuzzCase::generate(case_seed);
+    let case_seed = case.case_seed;
     if verbose {
         println!("fuzz: replaying case seed {case_seed}");
         println!("{case:#?}");
     }
-    match harness(&case, None) {
+    match harness(case, None) {
         CaseOutcome::Pass { steps } => {
             println!("fuzz: case seed {case_seed} passes ({steps} accesses compared)");
             ExitCode::SUCCESS
         }
-        failure => report_failure(&case, &failure, resume),
+        failure => report_failure(case, &failure, resume, high_locality),
     }
 }
 
-fn report_failure(case: &FuzzCase, failure: &CaseOutcome, resume: bool) -> ExitCode {
+fn report_failure(
+    case: &FuzzCase,
+    failure: &CaseOutcome,
+    resume: bool,
+    high_locality: bool,
+) -> ExitCode {
     let kind = match failure {
         CaseOutcome::Divergence(msg) => format!("divergence: {msg}"),
         CaseOutcome::EngineError(msg) => format!("engine error: {msg}"),
@@ -110,9 +136,15 @@ fn report_failure(case: &FuzzCase, failure: &CaseOutcome, resume: bool) -> ExitC
     };
     eprintln!("fuzz: FAILURE on case seed {}", case.case_seed);
     eprintln!("fuzz: {kind}");
-    let flag = if resume { " --resume" } else { "" };
+    let mut flags = String::new();
+    if resume {
+        flags.push_str(" --resume");
+    }
+    if high_locality {
+        flags.push_str(" --high-locality");
+    }
     eprintln!(
-        "fuzz: replay with: cargo run -p consim-check --bin fuzz --{flag} --replay {}",
+        "fuzz: replay with: cargo run -p consim-check --bin fuzz --{flags} --replay {}",
         case.case_seed
     );
     if resume && !run_case(case, None).is_failure() {

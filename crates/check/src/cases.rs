@@ -167,6 +167,29 @@ impl FuzzCase {
         case
     }
 
+    /// Skews an already-generated case toward the engine's L0/L1-hit fast
+    /// path: bigger private caches, strong recent-block reuse, a tighter
+    /// footprint, and enough shared-write traffic that
+    /// write-hits-on-Shared — the fast path's mandatory bail-out into the
+    /// upgrade transaction — actually occur. Used by the CI fuzz smoke's
+    /// `--high-locality` pass and the fast-path mutation proof: a
+    /// fast-path bug that misclassifies hits shows up most readily in a
+    /// stream that is nearly all hits.
+    pub fn bias_high_locality(&mut self) {
+        self.l0_sets = self.l0_sets.max(4);
+        self.l0_ways = self.l0_ways.max(2);
+        self.l1_sets = self.l1_sets.max(8);
+        self.l1_ways = self.l1_ways.max(2);
+        for vm in &mut self.vms {
+            vm.recent_reuse_prob = vm.recent_reuse_prob.max(0.8);
+            vm.recent_window = vm.recent_window.clamp(1, 8);
+            vm.footprint_blocks = vm.footprint_blocks.min(vm.threads as u64 + 32);
+            vm.shared_access_prob = vm.shared_access_prob.max(0.3);
+            vm.shared_write_prob = vm.shared_write_prob.max(0.2);
+        }
+        self.canonicalize();
+    }
+
     /// Clamps every field into a valid configuration. Idempotent; called
     /// after generation and after every shrink transform.
     pub fn canonicalize(&mut self) {
@@ -466,6 +489,24 @@ mod tests {
             .filter(|c| c.llc_partitioning != LlcPartitioning::None)
         {
             assert!(c.vms.len() <= c.llc_ways, "seed {}", c.case_seed);
+        }
+    }
+
+    #[test]
+    fn high_locality_bias_keeps_cases_valid() {
+        for seed in 0..100 {
+            let mut case = FuzzCase::generate(seed);
+            case.bias_high_locality();
+            let mut again = case.clone();
+            again.canonicalize();
+            assert_eq!(case, again, "bias must leave a canonical case, seed {seed}");
+            case.build()
+                .unwrap_or_else(|e| panic!("biased seed {seed} does not build: {e}"));
+            assert!(case.l1_sets >= 8 && case.l1_ways >= 2, "seed {seed}");
+            assert!(
+                case.vms.iter().all(|vm| vm.recent_reuse_prob >= 0.8),
+                "seed {seed}"
+            );
         }
     }
 

@@ -530,4 +530,19 @@ mod tests {
             .any(|case| run_case(&case, Some(Mutation::IgnoreWayQuotas)).is_failure());
         assert!(caught, "IgnoreWayQuotas was never detected");
     }
+
+    #[test]
+    fn fast_path_demotion_mutation_is_detected_on_hit_heavy_streams() {
+        // The engine's private-hit fast path must bail out to the upgrade
+        // transaction on every write that hits a Shared line; the mutation
+        // plants the exact opposite bug in the model. It must surface on
+        // the high-locality biased stream — the nearly-all-hits regime
+        // where a fast-path misclassification would otherwise hide.
+        let caught = (0..40).any(|seed| {
+            let mut case = FuzzCase::generate(seed);
+            case.bias_high_locality();
+            run_case(&case, Some(Mutation::SkipFastPathDemotion)).is_failure()
+        });
+        assert!(caught, "SkipFastPathDemotion was never detected");
+    }
 }

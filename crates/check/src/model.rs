@@ -43,6 +43,11 @@ pub enum Mutation {
     /// Fill the LLC without honoring the per-VM way quotas (partitioned
     /// configurations only — a no-op divergence otherwise).
     IgnoreWayQuotas,
+    /// Complete a write that hits a *Shared* private line as a plain hit,
+    /// skipping the demotion to the upgrade transaction — the exact bug a
+    /// broken engine fast path would have (the fast path must bail out to
+    /// `coherence_transaction` whenever a write lacks permission).
+    SkipFastPathDemotion,
 }
 
 /// One cache line as the model sees it.
@@ -524,10 +529,14 @@ impl RefModel {
             }
         }
 
-        // L0: hits serve reads and writable writes.
+        // L0: hits serve reads and writable writes. The mutation mirrors a
+        // broken engine fast path that treats *any* private hit as
+        // servable, never demoting unwritable write hits to the upgrade
+        // transaction.
+        let skip_demotion = self.mutation == Some(Mutation::SkipFastPathDemotion);
         let t = self.tick();
         if let Some(state) = self.l0[core].access(block, t) {
-            if !write || state.is_writable() {
+            if !write || state.is_writable() || skip_demotion {
                 if write {
                     self.l0[core].set_state(block, LineState::Modified);
                     self.l1[core].set_state(block, LineState::Modified);
@@ -541,7 +550,7 @@ impl RefModel {
         // L1.
         let t = self.tick();
         if let Some(state) = self.l1[core].access(block, t) {
-            if !write || state.is_writable() {
+            if !write || state.is_writable() || skip_demotion {
                 let new_state = if write { LineState::Modified } else { state };
                 if write {
                     self.l1[core].set_state(block, LineState::Modified);

@@ -41,7 +41,7 @@ use crate::metrics::{OccupancySnapshot, ReplicationSnapshot, VmMetrics};
 use crate::observe::{AccessStep, StepObserver, StepOutcome};
 use crate::snapshot;
 use consim_cache::{LineState, ReplacementPolicy, SetAssocCache};
-use consim_coherence::{Directory, DirectoryCache, ProtocolStats};
+use consim_coherence::{AccessKind, Directory, DirectoryCache, ProtocolStats};
 use consim_noc::{ContentionModel, NocStats, ReservationCalendar};
 use consim_sched::{place, Placement, SchedulingPolicy};
 use consim_snap::{
@@ -50,7 +50,8 @@ use consim_snap::{
 use consim_trace::{EventClass, TraceEvent, TraceSink};
 use consim_types::config::MachineConfig;
 use consim_types::{
-    BankId, CoreId, Cycle, GlobalThreadId, SimError, SimRng, SnapshotErrorKind, VmId,
+    Address, BankId, BlockAddr, CoreId, Cycle, GlobalThreadId, SimError, SimRng, SnapshotErrorKind,
+    ThreadId, VmId,
 };
 use consim_workload::{MemRef, WorkloadGenerator, WorkloadProfile};
 use std::cmp::Reverse;
@@ -359,6 +360,21 @@ enum PhaseKind {
     Measure,
 }
 
+/// References prefetched per thread in one generator call. Large enough to
+/// amortize the per-call dispatch, small enough that the engine never holds
+/// more than a scheduling quantum of lookahead per thread.
+const REF_BATCH: usize = 64;
+
+/// One thread's prefetched references (see
+/// [`WorkloadGenerator::fill_batch`]): a refill buffer plus the cursor of
+/// the next reference to issue. The generator's RNG stream has advanced
+/// past everything in here, so checkpoints serialize the unissued tail.
+#[derive(Debug, Default)]
+struct RefBatch {
+    refs: Vec<MemRef>,
+    cursor: usize,
+}
+
 /// The event loop's mutable position within a run. Everything here is
 /// serialized verbatim into checkpoints, so a resumed run re-enters the loop
 /// with bit-identical state.
@@ -407,6 +423,13 @@ pub struct Simulation {
     /// One service calendar per memory controller (bandwidth model).
     memory_controllers: Vec<ReservationCalendar>,
     generators: Vec<WorkloadGenerator>,
+    /// First batch slot of each VM's threads (prefix sums of thread
+    /// counts); slot = `thread_base[vm] + thread_index`.
+    thread_base: Vec<usize>,
+    /// Per-global-thread prefetched reference batches. Keyed by thread —
+    /// not core — so dynamic rescheduling migrates a thread's lookahead
+    /// with it.
+    batches: Vec<RefBatch>,
     gap_rngs: Vec<SimRng>,
     metrics: Vec<VmMetrics>,
     /// Per-VM allowed-way bitmasks for LLC allocation, when
@@ -479,6 +502,13 @@ impl Simulation {
         let gap_rngs = (0..machine.num_cores)
             .map(|c| root.derive_parts("core/gaps", &[c as u64]))
             .collect();
+        let mut thread_base = Vec::with_capacity(config.workloads.len());
+        let mut total_threads = 0usize;
+        for w in &config.workloads {
+            thread_base.push(total_threads);
+            total_threads += w.threads;
+        }
+        let batches = (0..total_threads).map(|_| RefBatch::default()).collect();
         let metrics = config
             .workloads
             .iter()
@@ -498,6 +528,8 @@ impl Simulation {
             noc,
             memory_controllers,
             generators,
+            thread_base,
+            batches,
             gap_rngs,
             metrics,
             llc_way_masks,
@@ -793,14 +825,29 @@ impl Simulation {
             u64::MAX
         };
         let mut budget_left = *budget;
+        // The carry slot: when the reference just issued completes before
+        // every pending event, its (ready-cycle, core) pair never enters the
+        // heap — the next iteration consumes it directly. Pop order is
+        // unchanged (tuples are unique: one event per core), so this skips
+        // the push/pop pair on the common L0/L1-hit streak without touching
+        // serialization. Any live carry is pushed back before the loop
+        // exits, so `RunState` — and every checkpoint — is bit-identical to
+        // the carry-free formulation.
+        let mut carry: Option<(u64, usize)> = None;
         let result = loop {
             if budget_left == 0 {
                 break Ok(());
             }
-            let Some(Reverse((now, core))) = st.heap.pop() else {
-                break Err(SimError::invariant(
-                    "event heap drained with unfinished VMs",
-                ));
+            let (now, core) = match carry.take() {
+                Some(event) => event,
+                None => match st.heap.pop() {
+                    Some(Reverse(event)) => event,
+                    None => {
+                        break Err(SimError::invariant(
+                            "event heap drained with unfinished VMs",
+                        ))
+                    }
+                },
             };
             if EPOCHS && now >= st.next_epoch {
                 st.next_epoch = self.epoch_boundary(
@@ -838,7 +885,7 @@ impl Simulation {
             let vm = thread.vm;
             let gap = self.gap_rngs[core].positive_with_mean(mean_gap);
             let issue = Cycle::new(now) + gap;
-            let mem_ref = self.generators[vm.index()].next_ref(thread.thread);
+            let mem_ref = self.next_batched_ref(thread);
             if measuring {
                 let m = &mut self.metrics[vm.index()];
                 m.instructions += gap + 1;
@@ -867,8 +914,15 @@ impl Simulation {
                     }
                 }
             }
-            st.heap.push(Reverse((done.raw(), core)));
+            let event = (done.raw(), core);
+            match st.heap.peek() {
+                Some(&Reverse(top)) if event > top => st.heap.push(Reverse(event)),
+                _ => carry = Some(event),
+            }
         };
+        if let Some(event) = carry {
+            st.heap.push(Reverse(event));
+        }
         *budget = budget_left;
         result
     }
@@ -939,8 +993,38 @@ impl Simulation {
         }
     }
 
-    /// Simulates one reference through the [`crate::hierarchy`] pipeline;
-    /// returns its completion time.
+    /// The next reference of `thread`'s stream: served from the thread's
+    /// prefetched batch, refilled [`REF_BATCH`] at a time when drained.
+    /// Handoff-boundary references (where the batch stops) are generated
+    /// one at a time at their exact issue event, so the global
+    /// segment-migration order is byte-identical to unbatched generation.
+    #[inline]
+    fn next_batched_ref(&mut self, thread: GlobalThreadId) -> MemRef {
+        let slot = self.thread_base[thread.vm.index()] + thread.thread.index();
+        let batch = &mut self.batches[slot];
+        if batch.cursor == batch.refs.len() {
+            batch.refs.clear();
+            batch.cursor = 0;
+            self.generators[thread.vm.index()].fill_batch(
+                thread.thread,
+                &mut batch.refs,
+                REF_BATCH,
+            );
+            if batch.refs.is_empty() {
+                // A handoff access is due (or the pool is exhausted for
+                // this thread): the generator resolves it now, in event
+                // order.
+                return self.generators[thread.vm.index()].next_ref(thread.thread);
+            }
+        }
+        let r = batch.refs[batch.cursor];
+        batch.cursor += 1;
+        r
+    }
+
+    /// Simulates one reference: the private-hit fast path completes it
+    /// inline; anything else walks the [`crate::hierarchy`] pipeline.
+    /// Returns its completion time.
     fn access(
         &mut self,
         core: CoreId,
@@ -950,13 +1034,87 @@ impl Simulation {
         measuring: bool,
         observer: &mut Option<&mut dyn StepObserver>,
     ) -> Cycle {
-        let (completion, outcome) = self
-            .hierarchy_ctx()
-            .access(core, vm, mem_ref, issue, measuring);
+        let block = mem_ref.address.block();
+        let (completion, outcome) = match self.private_access(
+            core.index(),
+            vm,
+            block,
+            mem_ref.is_write,
+            issue,
+            measuring,
+        ) {
+            Ok(hit) => hit,
+            Err(kind) => {
+                let (completion, source) = self
+                    .hierarchy_ctx()
+                    .coherence_transaction(core, vm, block, kind, issue, measuring);
+                (completion, StepOutcome::Miss(source))
+            }
+        };
         if observer.is_some() {
             self.notify_step(observer, core, vm, mem_ref, measuring, outcome);
         }
         completion
+    }
+
+    /// The L0/L1 private-hit fast path: a hit with sufficient permission
+    /// completes here, touching only the issuing core's private caches and
+    /// the VM's metrics — no directory, NoC, LLC, or memory-controller
+    /// borrows, and no [`HierarchyCtx`] construction. Everything else
+    /// (miss, or write hit on a Shared line) returns `Err` with the
+    /// [`AccessKind`] the coherence slow path must resolve.
+    ///
+    /// This is the private-level prefix of the hierarchy walk, verbatim;
+    /// the differential oracle in consim-check pins its semantics against
+    /// the reference model.
+    #[inline]
+    fn private_access(
+        &mut self,
+        core: usize,
+        vm: VmId,
+        block: BlockAddr,
+        is_write: bool,
+        issue: Cycle,
+        measuring: bool,
+    ) -> Result<(Cycle, StepOutcome), AccessKind> {
+        let l0_latency = self.config.machine.l0.latency;
+        let l1_latency = self.config.machine.l1.latency;
+
+        // L0.
+        if let Some(state) = self.l0[core].access(block) {
+            if !is_write || state.is_writable() {
+                if is_write {
+                    self.l0[core].set_state(block, LineState::Modified);
+                    self.l1[core].set_state(block, LineState::Modified);
+                }
+                if measuring {
+                    self.metrics[vm.index()].l0_hits += 1;
+                }
+                return Ok((issue + l0_latency, StepOutcome::L0Hit));
+            }
+        }
+        // L1.
+        if let Some(state) = self.l1[core].access(block) {
+            if !is_write || state.is_writable() {
+                let new_state = if is_write { LineState::Modified } else { state };
+                if is_write {
+                    self.l1[core].set_state(block, LineState::Modified);
+                }
+                // Mirror into L0 (strictly inclusive; evictions silent).
+                self.l0[core].insert(block, new_state);
+                if measuring {
+                    self.metrics[vm.index()].l1_hits += 1;
+                }
+                return Ok((issue + l0_latency + l1_latency, StepOutcome::L1Hit));
+            }
+            // Write hit on a Shared line: upgrade.
+            return Err(AccessKind::Upgrade);
+        }
+        Err(if is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        })
     }
 
     /// The per-access view of the machine handed to the hierarchy pipeline.
@@ -1267,6 +1425,22 @@ impl Simulation {
         w.put_bool(self.prewarmed);
         w.put_u64(self.resched_epoch);
         save_items(w, &self.gap_rngs);
+        // Prefetched-but-unissued references, per global thread. The
+        // generators' RNG streams have advanced past these, so a resumed
+        // run must drain them before asking the generators for more. Only
+        // the unissued tail is written: a checkpoint taken mid-batch and
+        // one taken after a resume at the same point produce identical
+        // bytes.
+        w.put_usize(self.batches.len());
+        for batch in &self.batches {
+            let pending = &batch.refs[batch.cursor..];
+            w.put_usize(pending.len());
+            for r in pending {
+                w.put_u64(r.address.raw());
+                w.put_bool(r.is_write);
+                w.put_bool(r.is_shared_region);
+            }
+        }
         match &self.run_state {
             None => w.put_bool(false),
             Some(st) => {
@@ -1310,6 +1484,35 @@ impl Simulation {
         }
         self.resched_epoch = resched_epoch;
         restore_items(r, &mut self.gap_rngs)?;
+        r.expect_len(self.batches.len(), "thread ref batches")?;
+        for (slot, batch) in self.batches.iter_mut().enumerate() {
+            // Slot -> (vm, thread) via the prefix sums.
+            let vm = self.thread_base.partition_point(|&b| b <= slot) - 1;
+            let thread = ThreadId::new(slot - self.thread_base[vm]);
+            let pending = r.get_usize()?;
+            batch.cursor = 0;
+            batch.refs.clear();
+            for _ in 0..pending {
+                let address = Address(r.get_u64()?);
+                if address.vm() != VmId::new(vm) {
+                    return Err(SimError::snapshot(
+                        SnapshotErrorKind::Corrupt,
+                        format!(
+                            "prefetched reference for VM {vm} addresses {}",
+                            address.vm()
+                        ),
+                    ));
+                }
+                let is_write = r.get_bool()?;
+                let is_shared_region = r.get_bool()?;
+                batch.refs.push(MemRef {
+                    thread,
+                    address,
+                    is_write,
+                    is_shared_region,
+                });
+            }
+        }
         self.run_state = if r.get_bool()? {
             let num_vms = self.config.workloads.len();
             let num_cores = self.config.machine.num_cores;

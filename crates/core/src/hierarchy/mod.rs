@@ -1,10 +1,13 @@
-//! The memory-access pipeline: one reference's walk through the hierarchy.
+//! The memory-access pipeline: the slow half of one reference's walk.
 //!
-//! [`crate::engine`] owns the event loop, scheduling, and epochs; this
-//! module owns what happens to a single reference once a core issues it:
-//! the L0/L1 lookups, the directory transaction, and the fills, downgrades,
-//! and invalidations each level performs. Each level's logic lives in its
-//! own submodule behind a small internal API:
+//! [`crate::engine`] owns the event loop, scheduling, and epochs — and,
+//! since the raw-speed overhaul, the private L0/L1 hit fast path (see
+//! `Simulation::private_access`): a hit needing no coherence action
+//! completes inline without borrowing any of the structures below. This
+//! module owns everything else — what happens once a reference misses the
+//! private levels (or needs an upgrade): the directory transaction, and
+//! the fills, downgrades, and invalidations each level performs. Each
+//! level's logic lives in its own submodule behind a small internal API:
 //!
 //! * [`l1`] — the private levels: L0/L1 fills, private invalidations, and
 //!   cache-to-cache service from a remote L1;
@@ -34,13 +37,11 @@ mod memory;
 
 use crate::machine::Layout;
 use crate::metrics::{MissSource, VmMetrics};
-use crate::observe::StepOutcome;
 use consim_cache::{LineState, SetAssocCache};
 use consim_coherence::{AccessKind, DataSource, Directory, DirectoryCache};
 use consim_noc::{ContentionModel, Packet, ReservationCalendar};
 use consim_types::config::MachineConfig;
 use consim_types::{BlockAddr, CoreId, Cycle, VmId};
-use consim_workload::MemRef;
 
 /// A per-access view of the machine: borrows every structure one reference
 /// can touch on its walk through the hierarchy. Constructed by the engine
@@ -62,69 +63,12 @@ pub struct HierarchyCtx<'a> {
 }
 
 impl HierarchyCtx<'_> {
-    /// Simulates one reference; returns its completion time and the
-    /// outcome classification (for the observer hook).
-    #[inline]
-    pub(crate) fn access(
-        &mut self,
-        core: CoreId,
-        vm: VmId,
-        mem_ref: &MemRef,
-        issue: Cycle,
-        measuring: bool,
-    ) -> (Cycle, StepOutcome) {
-        let block = mem_ref.address.block();
-        let l0_latency = self.machine.l0.latency;
-        let l1_latency = self.machine.l1.latency;
-
-        // L0.
-        if let Some(state) = self.l0[core.index()].access(block) {
-            if !mem_ref.is_write || state.is_writable() {
-                if mem_ref.is_write {
-                    self.l0[core.index()].set_state(block, LineState::Modified);
-                    self.l1[core.index()].set_state(block, LineState::Modified);
-                }
-                if measuring {
-                    self.metrics[vm.index()].l0_hits += 1;
-                }
-                return (issue + l0_latency, StepOutcome::L0Hit);
-            }
-        }
-        // L1.
-        if let Some(state) = self.l1[core.index()].access(block) {
-            if !mem_ref.is_write || state.is_writable() {
-                let new_state = if mem_ref.is_write {
-                    LineState::Modified
-                } else {
-                    state
-                };
-                if mem_ref.is_write {
-                    self.l1[core.index()].set_state(block, LineState::Modified);
-                }
-                self.fill_l0(core, block, new_state);
-                if measuring {
-                    self.metrics[vm.index()].l1_hits += 1;
-                }
-                return (issue + l0_latency + l1_latency, StepOutcome::L1Hit);
-            }
-            // Write hit on a Shared line: upgrade.
-            let (completion, source) =
-                self.coherence_transaction(core, vm, block, AccessKind::Upgrade, issue, measuring);
-            return (completion, StepOutcome::Miss(source));
-        }
-        let kind = if mem_ref.is_write {
-            AccessKind::Write
-        } else {
-            AccessKind::Read
-        };
-        let (completion, source) =
-            self.coherence_transaction(core, vm, block, kind, issue, measuring);
-        (completion, StepOutcome::Miss(source))
-    }
-
     /// Resolves an L1 miss (or upgrade) through the directory; returns the
-    /// completion time and the engine's classification of the miss.
-    fn coherence_transaction(
+    /// completion time and the engine's classification of the miss. The
+    /// private-hit prefix of the walk lives in the engine's fast path
+    /// (`Simulation::private_access`), which falls through to here with the
+    /// [`AccessKind`] it already classified.
+    pub(crate) fn coherence_transaction(
         &mut self,
         core: CoreId,
         vm: VmId,

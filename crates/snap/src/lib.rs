@@ -57,7 +57,13 @@ use consim_types::{Cycle, SimError, SimRng, SnapshotErrorKind};
 pub const MAGIC: [u8; 4] = *b"CSNP";
 
 /// Current format version. Bump on any incompatible layout change.
-pub const VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — per-set AoS cache sections (`Option<CacheLine>` per way).
+/// * 2 — flat SoA cache planes (tag/state/recency vectors per cache) and
+///   batched generator cursors; v1 files are rejected as
+///   [`SnapshotErrorKind::BadVersion`].
+pub const VERSION: u32 = 2;
 
 /// FNV-1a hash of a byte slice — the section checksum function.
 ///
@@ -177,6 +183,12 @@ impl SectionBuf {
             self.put_u64(v);
         }
     }
+
+    /// Appends a length-prefixed slice of raw bytes (e.g. a state plane).
+    pub fn put_u8_slice(&mut self, vs: &[u8]) {
+        self.put_usize(vs.len());
+        self.bytes.extend_from_slice(vs);
+    }
 }
 
 /// Bounds-checked little-endian decoders over one section's payload.
@@ -288,6 +300,15 @@ impl<'a> SectionReader<'a> {
             out.push(self.get_u64()?);
         }
         Ok(out)
+    }
+
+    /// Reads a length-prefixed slice of raw bytes into `dst`; the stored
+    /// length must equal `dst.len()` exactly (`what` names the mismatch).
+    pub fn get_u8_slice_into(&mut self, dst: &mut [u8], what: &str) -> Result<(), SimError> {
+        self.expect_len(dst.len(), what)?;
+        let bytes = self.take(dst.len())?;
+        dst.copy_from_slice(bytes);
+        Ok(())
     }
 
     /// Reads a length prefix and requires it to equal `expected`.
@@ -583,6 +604,31 @@ mod tests {
         bytes[4] = 0xff;
         let err = SnapReader::from_bytes(bytes).unwrap_err();
         assert_eq!(err.snapshot_kind(), Some(SnapshotErrorKind::BadVersion));
+    }
+
+    #[test]
+    fn version_one_files_are_rejected() {
+        // v1 predates the SoA cache planes; reading one must be a typed
+        // error, never a garbled parse.
+        let mut bytes = two_section_snapshot();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let err = SnapReader::from_bytes(bytes).unwrap_err();
+        assert_eq!(err.snapshot_kind(), Some(SnapshotErrorKind::BadVersion));
+    }
+
+    #[test]
+    fn u8_slice_round_trips_and_checks_shape() {
+        let mut buf = SectionBuf::new();
+        buf.put_u8_slice(&[3, 1, 0, 2]);
+        let mut r = SectionReader::new("planes", buf.as_bytes());
+        let mut back = [0u8; 4];
+        r.get_u8_slice_into(&mut back, "state plane").unwrap();
+        assert_eq!(back, [3, 1, 0, 2]);
+
+        let mut r = SectionReader::new("planes", buf.as_bytes());
+        let mut short = [0u8; 3];
+        let err = r.get_u8_slice_into(&mut short, "state plane").unwrap_err();
+        assert!(err.to_string().contains("state plane"), "{err}");
     }
 
     #[test]

@@ -14,6 +14,12 @@ struct ThreadState {
     recent: VecDeque<u64>,
     refs: u64,
     segment: Option<SegmentCursor>,
+    /// A batched fill ([`WorkloadGenerator::fill_batch`]) already consumed
+    /// the take-a-handoff-access draw for this thread's next reference and
+    /// it came up *yes*: the next [`WorkloadGenerator::next_ref`] call must
+    /// go straight to the handoff pool without re-drawing, so the thread's
+    /// RNG stream is identical to the unbatched one.
+    pending_handoff: bool,
 }
 
 /// Progress through an owned work segment.
@@ -199,6 +205,7 @@ impl WorkloadGenerator {
                 recent: VecDeque::with_capacity(profile.recent_window + 1),
                 refs: 0,
                 segment: None,
+                pending_handoff: false,
             })
             .collect();
         let handoff_span = profile.handoff_segments as u64 * profile.handoff_segment_blocks;
@@ -291,19 +298,64 @@ impl WorkloadGenerator {
     /// Panics if `thread` is outside the profile's thread count.
     pub fn next_ref(&mut self, thread: ThreadId) -> MemRef {
         let t = thread.index();
-        let shared_count = self.profile.shared_blocks();
-
         // Migratory handoff sharing takes priority with its own probability;
         // the owned segment advances only on handoff accesses, so the
-        // per-reference handoff share equals the profile's knob.
-        let take_handoff = self.profile.handoff_access_prob > 0.0
-            && self.threads[t].rng.chance(self.profile.handoff_access_prob);
+        // per-reference handoff share equals the profile's knob. A batched
+        // fill may have drawn (and committed to) the handoff decision
+        // already — see [`WorkloadGenerator::fill_batch`].
+        let take_handoff = if self.threads[t].pending_handoff {
+            self.threads[t].pending_handoff = false;
+            true
+        } else {
+            self.profile.handoff_access_prob > 0.0
+                && self.threads[t].rng.chance(self.profile.handoff_access_prob)
+        };
         if take_handoff {
             if let Some(r) = self.handoff_access(thread) {
                 return r;
             }
         }
+        self.thread_local_ref(thread)
+    }
 
+    /// Pre-generates up to `max` references for `thread` into `out`,
+    /// stopping early at the first reference that needs the shared
+    /// [`HandoffPool`]. Handoff accesses depend on the *global* inter-thread
+    /// segment migration order, so they must be generated at their exact
+    /// issue event ([`WorkloadGenerator::next_ref`]); everything else is a
+    /// pure function of per-thread state and can be produced in bulk. The
+    /// concatenation of batched fills and boundary `next_ref` calls yields
+    /// the per-thread stream of the purely unbatched formulation, draw for
+    /// draw.
+    ///
+    /// Returns without appending anything when a handoff access is due
+    /// immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is outside the profile's thread count.
+    pub fn fill_batch(&mut self, thread: ThreadId, out: &mut Vec<MemRef>, max: usize) {
+        let t = thread.index();
+        let handoff_prob = self.profile.handoff_access_prob;
+        for _ in 0..max {
+            if self.threads[t].pending_handoff {
+                break;
+            }
+            if handoff_prob > 0.0 && self.threads[t].rng.chance(handoff_prob) {
+                // The draw is spent; next_ref must honor it, not repeat it.
+                self.threads[t].pending_handoff = true;
+                break;
+            }
+            let r = self.thread_local_ref(thread);
+            out.push(r);
+        }
+    }
+
+    /// One non-handoff reference: recent-window reuse, shared Zipf, or
+    /// private Zipf — all driven by the thread's own RNG stream alone.
+    fn thread_local_ref(&mut self, thread: ThreadId) -> MemRef {
+        let t = thread.index();
+        let shared_count = self.profile.shared_blocks();
         let state = &mut self.threads[t];
         let block_index = if state.recent.len() > 1
             && state.rng.chance(self.profile.recent_reuse_prob)
@@ -398,6 +450,7 @@ impl Snapshot for WorkloadGenerator {
             let recent: Vec<u64> = state.recent.iter().copied().collect();
             w.put_u64_slice(&recent);
             w.put_u64(state.refs);
+            w.put_bool(state.pending_handoff);
             match state.segment {
                 Some(cursor) => {
                     w.put_bool(true);
@@ -427,6 +480,7 @@ impl Snapshot for WorkloadGenerator {
             state.rng.restore(r)?;
             state.recent = r.get_u64_vec()?.into();
             state.refs = r.get_u64()?;
+            state.pending_handoff = r.get_bool()?;
             state.segment = if r.get_bool()? {
                 let segment = r.get_usize()?;
                 if segment >= num_segments {
@@ -763,6 +817,78 @@ mod tests {
                 let t = ThreadId::new(i % 4);
                 assert_eq!(back.next_ref(t), g.next_ref(t), "{kind:?} ref {i}");
             }
+        }
+    }
+
+    /// Interleaving batched fills with boundary `next_ref` calls across
+    /// threads reproduces the purely unbatched per-thread streams exactly —
+    /// including every handoff access, whose global migration order the
+    /// batching must not disturb when threads advance in the same order.
+    #[test]
+    fn batched_fills_match_unbatched_streams() {
+        for kind in [
+            WorkloadKind::TpcW,
+            WorkloadKind::SpecJbb,
+            WorkloadKind::TpcH,
+        ] {
+            let mut plain = gen_for(kind, 33);
+            let mut batched = gen_for(kind, 33);
+            let threads = plain.profile().threads;
+            let mut queues: Vec<Vec<MemRef>> = vec![Vec::new(); threads];
+            let mut cursors = vec![0usize; threads];
+            for i in 0..20_000usize {
+                let t = i % threads;
+                let expect = plain.next_ref(ThreadId::new(t));
+                if cursors[t] == queues[t].len() {
+                    queues[t].clear();
+                    cursors[t] = 0;
+                    batched.fill_batch(ThreadId::new(t), &mut queues[t], 7);
+                }
+                let got = if cursors[t] < queues[t].len() {
+                    let r = queues[t][cursors[t]];
+                    cursors[t] += 1;
+                    r
+                } else {
+                    // Batch boundary: a handoff access is due (or the batch
+                    // came up empty); generate it at issue time.
+                    batched.next_ref(ThreadId::new(t))
+                };
+                assert_eq!(got, expect, "{kind:?} ref {i}");
+            }
+        }
+    }
+
+    /// A pending (drawn-but-not-issued) handoff decision survives a
+    /// snapshot round-trip: the resumed generator issues the handoff access
+    /// without re-drawing.
+    #[test]
+    fn snapshot_preserves_pending_handoff_draw() {
+        let profile = WorkloadProfileBuilder::new("pend")
+            .footprint_blocks(50_000)
+            .handoff_access_prob(0.5)
+            .build()
+            .unwrap();
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(44));
+        // Drive fills until one parks a pending handoff draw.
+        let mut sink = Vec::new();
+        for i in 0..1_000 {
+            g.fill_batch(ThreadId::new(i % 4), &mut sink, 8);
+            if g.threads.iter().any(|t| t.pending_handoff) {
+                break;
+            }
+        }
+        assert!(
+            g.threads.iter().any(|t| t.pending_handoff),
+            "fill never hit a handoff with prob 0.5"
+        );
+        let mut buf = SectionBuf::new();
+        g.save(&mut buf);
+        let mut back = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(44));
+        back.restore(&mut SectionReader::new("wl", buf.as_bytes()))
+            .unwrap();
+        for i in 0..2_000 {
+            let t = ThreadId::new(i % 4);
+            assert_eq!(back.next_ref(t), g.next_ref(t), "ref {i}");
         }
     }
 
