@@ -20,7 +20,7 @@ use consim::mix::Mix;
 use consim::report::TextTable;
 use consim::runner::{ExperimentCell, RunOptions, VmAggregate};
 use consim_sched::SchedulingPolicy;
-use consim_types::config::{LlcPartitioning, MachineConfig, SharingDegree};
+use consim_types::config::{DynamicPolicy, LlcPartitioning, MachineConfig, SharingDegree};
 use consim_types::SimError;
 use consim_workload::WorkloadKind;
 
@@ -510,6 +510,94 @@ pub fn fig14_partitioning(ctx: &FigureContext) -> Result<TextTable, SimError> {
     Ok(t)
 }
 
+/// Fig. 15 (extension): closing the QoS loop — the Fig. 14 mix under the
+/// *dynamic* fairness-aware repartitioning controller, against the static
+/// alternatives. Columns: unpartitioned, equal static split, the explicit
+/// 8/4/2/2 split, and the dynamic controller at a responsive tuning
+/// (10k-cycle epochs, 1-way steps, no dead-band — the default 50k/5%
+/// tuning barely wakes up inside a short run, so the figure tightens it
+/// to exercise the feedback loop). Row groups match Fig. 14: per-VM
+/// runtime normalized to the unpartitioned column, absolute LLC miss
+/// rate, and mean bank-capacity share. The dynamic column should track
+/// the equal split for symmetric demand and shift ways toward
+/// cache-sensitive VMs when the mix is skewed.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig15_dynamic_partitioning(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let mix = Mix::all_heterogeneous()
+        .into_iter()
+        .next()
+        .expect("at least one heterogeneous mix");
+    let schemes: [(&str, LlcPartitioning); 4] = [
+        ("none", LlcPartitioning::None),
+        ("equal", LlcPartitioning::EqualWays),
+        ("8/4/2/2", LlcPartitioning::ExplicitWays(vec![8, 4, 2, 2])),
+        (
+            "dynamic",
+            LlcPartitioning::Dynamic(DynamicPolicy {
+                epoch_interval: 10_000,
+                deadband_milli: 0,
+                ..DynamicPolicy::default()
+            }),
+        ),
+    ];
+    // Same cell-cache caveat as Fig. 14: partitioning lives on the machine,
+    // which the context's cell cache does not key on, so every partitioned
+    // column runs on a dedicated runner cloned from the context's.
+    let mut runs = Vec::new();
+    for (_, scheme) in &schemes {
+        runs.push(match scheme {
+            LlcPartitioning::None => ctx.run(mix.instances(), RoundRobin, SharedBy(4))?,
+            _ => {
+                let machine = MachineConfig::paper_default().with_llc_partitioning(scheme.clone());
+                let runner = ctx.runner().clone().on_machine(machine);
+                let cell = ExperimentCell::of_kinds(mix.instances(), RoundRobin, SharedBy(4));
+                let run = runner
+                    .run_cells(std::slice::from_ref(&cell))?
+                    .pop()
+                    .expect("one cell in, one run out");
+                std::sync::Arc::new(run)
+            }
+        });
+    }
+    let cols: Vec<&str> = schemes.iter().map(|(l, _)| *l).collect();
+    let mut t = TextTable::new(
+        format!(
+            "Fig 15: dynamic QoS repartitioning ({}, rr, shared-4-way)",
+            mix.id()
+        ),
+        &cols,
+    );
+    for (vm, kind) in mix.instances().iter().enumerate() {
+        let base = runs[0].vms[vm].runtime_cycles.mean.max(1e-9);
+        let row: Vec<f64> = runs
+            .iter()
+            .map(|r| r.vms[vm].runtime_cycles.mean / base)
+            .collect();
+        t.row(format!("runtime vm{vm} {}", kind.name()), &row);
+    }
+    for (vm, kind) in mix.instances().iter().enumerate() {
+        let row: Vec<f64> = runs
+            .iter()
+            .map(|r| r.vms[vm].llc_miss_rate.mean * 100.0)
+            .collect();
+        t.row(format!("miss% vm{vm} {}", kind.name()), &row);
+    }
+    for (vm, kind) in mix.instances().iter().enumerate() {
+        let row: Vec<f64> = runs
+            .iter()
+            .map(|r| {
+                let banks = r.occupancy.len().max(1) as f64;
+                r.occupancy.iter().map(|bank| bank[vm]).sum::<f64>() / banks * 100.0
+            })
+            .collect();
+        t.row(format!("occ% vm{vm} {}", kind.name()), &row);
+    }
+    Ok(t)
+}
+
 /// Every experiment cell the figure regenerators will request, so
 /// [`run_all`] can prefetch them in one parallel batch. Duplicates are
 /// fine; [`FigureContext::prefetch`] collapses them.
@@ -565,6 +653,7 @@ pub fn run_all(ctx: &FigureContext) -> Result<(), SimError> {
     println!("{}", fig12_replication(ctx)?);
     println!("{}", fig13_occupancy(ctx)?);
     println!("{}", fig14_partitioning(ctx)?);
+    println!("{}", fig15_dynamic_partitioning(ctx)?);
     Ok(())
 }
 

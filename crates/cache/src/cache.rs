@@ -477,6 +477,72 @@ mod tests {
         assert_eq!(c.stats().evictions, 1);
     }
 
+    /// Pins the repartitioning contract from the dynamic QoS controller's
+    /// point of view: when a caller's way mask *shrinks* while its lines
+    /// are resident, nothing is flushed. Stale lines in lost ways keep
+    /// hitting (lookups are unrestricted), re-inserts of a stale block
+    /// update it in place without evicting, and the line is displaced only
+    /// when the way's new owner allocates over it.
+    #[test]
+    fn mask_shrink_keeps_stale_lines_until_the_new_owner_displaces_them() {
+        let mut c = small_cache(4, 1);
+        // VM A owns ways {0,1} and fills both.
+        c.insert_in_ways(BlockAddr::new(0), LineState::Shared, 0b0011);
+        c.insert_in_ways(BlockAddr::new(1), LineState::Shared, 0b0011);
+        // Repartition: A -> {0}, B -> {1,2,3}. Block 1 is now stale in
+        // B's territory — but it still hits.
+        assert!(c.access(BlockAddr::new(1)).is_some());
+        // Re-inserting the stale block under A's shrunken mask updates in
+        // place: no eviction, no duplicate.
+        assert!(c
+            .insert_in_ways(BlockAddr::new(1), LineState::Modified, 0b0001)
+            .is_none());
+        assert_eq!(c.occupancy(), 2);
+        // A's next *new* fill is confined to way 0 and must victimize
+        // block 0, never the stale line in way 1.
+        let victim = c
+            .insert_in_ways(BlockAddr::new(2), LineState::Shared, 0b0001)
+            .unwrap();
+        assert_eq!(victim.block, BlockAddr::new(0));
+        assert!(c.contains(BlockAddr::new(1)));
+        // B fills its three ways: the two free ways go first, then the
+        // stale block 1 (the LRU line inside B's mask) is displaced.
+        assert!(c
+            .insert_in_ways(BlockAddr::new(10), LineState::Shared, 0b1110)
+            .is_none());
+        assert!(c
+            .insert_in_ways(BlockAddr::new(11), LineState::Shared, 0b1110)
+            .is_none());
+        let victim = c
+            .insert_in_ways(BlockAddr::new(12), LineState::Shared, 0b1110)
+            .unwrap();
+        assert_eq!(victim.block, BlockAddr::new(1));
+        assert!(victim.state.is_dirty(), "stale dirty line evicts dirty");
+        assert!(c.contains(BlockAddr::new(2)), "A's line is untouched");
+    }
+
+    /// The growing side of a repartition: a way granted to a new owner
+    /// arrives still holding the previous owner's line, which the new
+    /// owner victimizes through normal replacement — no flush on either
+    /// side of the mask change.
+    #[test]
+    fn mask_grow_victimizes_the_previous_owners_line_naturally() {
+        let mut c = small_cache(4, 1);
+        c.insert_in_ways(BlockAddr::new(0), LineState::Shared, 0b0001); // A
+        c.insert_in_ways(BlockAddr::new(10), LineState::Shared, 0b1110); // B
+        c.insert_in_ways(BlockAddr::new(11), LineState::Shared, 0b1110);
+        c.insert_in_ways(BlockAddr::new(12), LineState::Shared, 0b1110);
+        // Repartition: A -> {0,1}; way 1 still holds B's block 10. Keep
+        // A's own line recent so the stale line is the LRU choice.
+        assert!(c.access(BlockAddr::new(0)).is_some());
+        let victim = c
+            .insert_in_ways(BlockAddr::new(1), LineState::Shared, 0b0011)
+            .unwrap();
+        assert_eq!(victim.block, BlockAddr::new(10));
+        assert!(c.contains(BlockAddr::new(0)));
+        assert!(c.contains(BlockAddr::new(11)) && c.contains(BlockAddr::new(12)));
+    }
+
     #[test]
     fn snapshot_round_trip_preserves_contents_recency_and_stats() {
         for policy in [

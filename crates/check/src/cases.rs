@@ -15,7 +15,9 @@
 use consim::engine::SimulationConfig;
 use consim_cache::ReplacementPolicy;
 use consim_sched::SchedulingPolicy;
-use consim_types::config::{CacheGeometry, LlcPartitioning, MachineConfig, SharingDegree};
+use consim_types::config::{
+    CacheGeometry, DynamicPolicy, LlcPartitioning, MachineConfig, SharingDegree,
+};
 use consim_types::rng::SimRng;
 use consim_types::SimError;
 use consim_workload::{WorkloadProfile, WorkloadProfileBuilder};
@@ -147,11 +149,24 @@ impl FuzzCase {
                 None
             },
         };
-        // ~40% of cases exercise way partitioning, split between the two
-        // active policies. Random explicit splits start from one way per
-        // VM and sprinkle the rest; canonicalize repairs splits that VM
+        // ~55% of cases exercise way partitioning: ~30% the dynamic
+        // repartitioning controller (short epochs, so decisions fire and
+        // ways actually move inside tiny runs), the rest split between the
+        // two static policies. Random explicit splits start from one way
+        // per VM and sprinkle the rest; canonicalize repairs anything VM
         // shedding or a too-narrow LLC invalidates.
-        if rng.chance(0.4) {
+        let partitioning_draw = rng.unit();
+        if partitioning_draw < 0.30 {
+            case.llc_partitioning = LlcPartitioning::Dynamic(DynamicPolicy {
+                epoch_interval: 50 + rng.below(5_000),
+                min_ways: 1 + rng.below(2) as u8,
+                max_step: 1 + rng.below(2) as u8,
+                ewma_permille: 100 + rng.below(800) as u32,
+                deadband_milli: rng.below(100) as u32,
+                light_miss_permille: rng.below(50) as u32,
+                stream_memory_permille: 400 + rng.below(600) as u32,
+            });
+        } else if partitioning_draw < 0.55 {
             case.llc_partitioning = if rng.chance(0.5) {
                 LlcPartitioning::EqualWays
             } else {
@@ -280,6 +295,15 @@ impl FuzzCase {
         // halved the ways) is replaced by the deterministic equal split.
         if self.llc_ways < self.vms.len() {
             self.llc_partitioning = LlcPartitioning::None;
+        } else if let LlcPartitioning::Dynamic(policy) = &self.llc_partitioning {
+            // A dynamic policy that no longer fits (min_ways floor exceeds
+            // the shrunken LLC) degrades to the static equal split, which
+            // is always feasible past the ways-vs-VMs check above.
+            let feasible = policy.validate().is_ok()
+                && policy.min_ways as usize * self.vms.len() <= self.llc_ways;
+            if !feasible {
+                self.llc_partitioning = LlcPartitioning::EqualWays;
+            }
         } else if let LlcPartitioning::ExplicitWays(ways) = &self.llc_partitioning {
             let valid = ways.len() == self.vms.len()
                 && ways.iter().all(|&w| w > 0)
@@ -429,6 +453,9 @@ impl FuzzCase {
             + u64::from(self.prewarm_llc) * 1_000
             + u64::from(self.reschedule_every.is_some()) * 1_000
             + u64::from(self.llc_partitioning != LlcPartitioning::None) * 500
+            // Dynamic costs extra so shrinking it to the static equal
+            // split is a strict size decrease.
+            + u64::from(matches!(self.llc_partitioning, LlcPartitioning::Dynamic(_))) * 250
     }
 }
 
@@ -489,6 +516,29 @@ mod tests {
             .filter(|c| c.llc_partitioning != LlcPartitioning::None)
         {
             assert!(c.vms.len() <= c.llc_ways, "seed {}", c.case_seed);
+        }
+        // Dynamic cases appear in force (the draw aims for ~30%; some
+        // degrade to EqualWays or None when the LLC is too narrow) and
+        // every survivor is feasible.
+        let dynamic: Vec<&FuzzCase> = cases
+            .iter()
+            .filter(|c| matches!(c.llc_partitioning, LlcPartitioning::Dynamic(_)))
+            .collect();
+        assert!(
+            dynamic.len() >= 30,
+            "only {} of 300 cases are dynamic",
+            dynamic.len()
+        );
+        for c in &dynamic {
+            let LlcPartitioning::Dynamic(policy) = &c.llc_partitioning else {
+                unreachable!()
+            };
+            assert!(policy.validate().is_ok(), "seed {}", c.case_seed);
+            assert!(
+                policy.min_ways as usize * c.vms.len() <= c.llc_ways,
+                "seed {}",
+                c.case_seed
+            );
         }
     }
 

@@ -59,6 +59,15 @@ impl StepObserver for DiffObserver {
     fn on_llc_prewarm(&mut self, bank: BankId, block: BlockAddr) {
         self.model.prewarm(bank, block);
     }
+
+    fn on_repartition(&mut self, decision: &consim::qos::RepartitionDecision) {
+        if self.failure.is_some() {
+            return;
+        }
+        if let Err(msg) = self.model.repartition(decision) {
+            self.failure = Some(format!("step {}: {msg}", self.steps));
+        }
+    }
 }
 
 /// Runs one case differentially. `mutation`, when set, installs a
@@ -438,6 +447,98 @@ mod tests {
                 case.case_seed
             );
         }
+    }
+
+    #[test]
+    fn dynamic_cases_pass() {
+        use consim_types::config::{DynamicPolicy, LlcPartitioning};
+
+        // A pinned dynamic case tuned so decisions fire and ways move: a
+        // short epoch, no dead-band, two VMs with very different appetites
+        // on a small LLC.
+        let mut pinned = FuzzCase::generate(5);
+        pinned.num_cores = 8;
+        pinned.cores_per_bank = 4;
+        pinned.llc_bank_sets = 2;
+        pinned.llc_ways = 4;
+        pinned.vms.truncate(2);
+        while pinned.vms.len() < 2 {
+            pinned.vms.push(pinned.vms[0].clone());
+        }
+        pinned.vms[0].footprint_blocks = 8;
+        pinned.vms[1].footprint_blocks = 96;
+        pinned.llc_partitioning = LlcPartitioning::Dynamic(DynamicPolicy {
+            epoch_interval: 500,
+            deadband_milli: 0,
+            ..Default::default()
+        });
+        pinned.refs_per_vm = 600;
+        pinned.warmup_refs_per_vm = 100;
+        pinned.canonicalize();
+        assert!(
+            matches!(pinned.llc_partitioning, LlcPartitioning::Dynamic(_)),
+            "canonicalize must keep a feasible dynamic policy: {pinned:?}"
+        );
+        let outcome = run_case(&pinned, None);
+        assert!(
+            matches!(outcome, CaseOutcome::Pass { .. }),
+            "pinned: {outcome:?}\ncase: {pinned:?}"
+        );
+
+        // And the generator's own dynamic cases agree end-to-end.
+        let dynamic: Vec<FuzzCase> = (0..200)
+            .map(FuzzCase::generate)
+            .filter(|c| matches!(c.llc_partitioning, LlcPartitioning::Dynamic(_)))
+            .take(10)
+            .collect();
+        assert!(!dynamic.is_empty(), "generator produced no dynamic cases");
+        for case in dynamic {
+            let outcome = run_case(&case, None);
+            assert!(
+                matches!(outcome, CaseOutcome::Pass { .. }),
+                "seed {}: {outcome:?}\ncase: {case:?}",
+                case.case_seed
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_dynamic_cases_pass() {
+        // The seam must round-trip the controller mirror too: checkpoint a
+        // dynamic case mid-run (sometimes mid-epoch, sometimes right on a
+        // boundary, wherever the seeded cut lands) and keep agreeing.
+        use consim_types::config::LlcPartitioning;
+        let dynamic: Vec<FuzzCase> = (0..200)
+            .map(FuzzCase::generate)
+            .filter(|c| matches!(c.llc_partitioning, LlcPartitioning::Dynamic(_)))
+            .take(8)
+            .collect();
+        assert!(!dynamic.is_empty(), "generator produced no dynamic cases");
+        for case in dynamic {
+            let outcome = run_case_resumed(&case, None);
+            assert!(
+                matches!(outcome, CaseOutcome::Pass { .. }),
+                "seed {}: {outcome:?}\ncase: {case:?}",
+                case.case_seed
+            );
+        }
+    }
+
+    #[test]
+    fn ignore_repartition_mutation_is_detected() {
+        // A model that freezes the initial split while the engine's
+        // controller moves ways must diverge — symmetrically, an engine
+        // that silently dropped the QoS feedback loop would be caught the
+        // same way. Only dynamic multi-VM cases can move ways at all.
+        use consim_types::config::LlcPartitioning;
+        let caught = (0..400)
+            .map(FuzzCase::generate)
+            .filter(|c| {
+                matches!(c.llc_partitioning, LlcPartitioning::Dynamic(_)) && c.vms.len() >= 2
+            })
+            .take(20)
+            .any(|case| run_case(&case, Some(Mutation::IgnoreRepartition)).is_failure());
+        assert!(caught, "IgnoreRepartition was never detected");
     }
 
     #[test]

@@ -22,8 +22,9 @@
 
 use consim::metrics::MissSource;
 use consim::observe::{AccessStep, StepOutcome};
+use consim::qos::{RepartitionDecision, VmClass};
 use consim_cache::LineState;
-use consim_types::config::MachineConfig;
+use consim_types::config::{DynamicPolicy, LlcPartitioning, MachineConfig};
 use consim_types::{BankId, BlockAddr, CoreId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -48,6 +49,12 @@ pub enum Mutation {
     /// broken engine fast path would have (the fast path must bail out to
     /// `coherence_transaction` whenever a write lacks permission).
     SkipFastPathDemotion,
+    /// Never apply (or re-derive) dynamic repartition decisions: the model
+    /// keeps the initial equal-split masks forever. The first decision that
+    /// actually moves a way must then surface as a mask mismatch — exactly
+    /// what a broken engine that dropped the QoS feedback loop would look
+    /// like from the other side (dynamic configurations only).
+    IgnoreRepartition,
 }
 
 /// One cache line as the model sees it.
@@ -59,6 +66,11 @@ struct Slot {
     /// a full set is the LRU victim. Equivalent to the engine's per-way
     /// recency order because both touch exactly on hits and inserts.
     touched: u64,
+    /// Physical way index. Fills take the lowest free way and evictions
+    /// reuse the victim's way, mirroring the engine — which makes the
+    /// masked (dynamic-partitioning) fill path way-exact. The static paths
+    /// never consult it.
+    way: usize,
 }
 
 /// A set-associative cache as flat per-set vectors, LRU by stamp.
@@ -106,8 +118,14 @@ impl NaiveCache {
         }
     }
 
-    /// Fill: updates in place on re-insert, else appends, else evicts the
-    /// minimum-stamp (LRU) slot. Returns the victim.
+    /// Lowest way index in `mask` that no slot of `set` occupies.
+    fn free_way(set: &[Slot], ways: usize, mask: u64) -> Option<usize> {
+        let used = set.iter().fold(0u64, |m, s| m | 1 << s.way);
+        (0..ways).find(|&w| mask >> w & 1 == 1 && used >> w & 1 == 0)
+    }
+
+    /// Fill: updates in place on re-insert, else takes the lowest free
+    /// way, else evicts the minimum-stamp (LRU) slot. Returns the victim.
     fn insert(&mut self, block: BlockAddr, state: LineState, now: u64) -> Option<Slot> {
         let ways = self.ways;
         let idx = self.set_of(block);
@@ -117,12 +135,14 @@ impl NaiveCache {
             slot.touched = now;
             return None;
         }
-        let fresh = Slot {
+        let mut fresh = Slot {
             block,
             state,
             touched: now,
+            way: 0,
         };
-        if set.len() < ways {
+        if let Some(way) = Self::free_way(set, ways, u64::MAX) {
+            fresh.way = way;
             set.push(fresh);
             return None;
         }
@@ -133,6 +153,7 @@ impl NaiveCache {
             .map(|(i, _)| i)
             .expect("full set is nonempty");
         let victim = set[lru];
+        fresh.way = victim.way;
         set[lru] = fresh;
         Some(victim)
     }
@@ -157,14 +178,17 @@ impl NaiveCache {
             slot.touched = now;
             return None;
         }
-        let fresh = Slot {
+        let mut fresh = Slot {
             block,
             state,
             touched: now,
+            way: 0,
         };
         let vm = block.vm();
         let occupied = set.iter().filter(|s| s.block.vm() == vm).count();
         if occupied < quota {
+            fresh.way = Self::free_way(set, self.ways, u64::MAX)
+                .expect("quotas sum to the associativity, so a slot is free");
             set.push(fresh);
             return None;
         }
@@ -176,6 +200,55 @@ impl NaiveCache {
             .map(|(i, _)| i)
             .expect("quota ways are nonzero");
         let victim = set[lru];
+        fresh.way = victim.way;
+        set[lru] = fresh;
+        Some(victim)
+    }
+
+    /// Fill confined to the ways in `mask` — the way-exact mirror of the
+    /// engine's `insert_in_ways`, used for *dynamic* partitioning, where
+    /// masks change while the cache is occupied and the count-based quota
+    /// reduction of [`NaiveCache::insert_with_quota`] no longer holds (a
+    /// VM's lines linger in ways it lost until the new owner evicts them).
+    /// A block present anywhere in the set (even outside the mask) updates
+    /// in place; otherwise the lowest allowed free way is taken; otherwise
+    /// the LRU line among the masked ways — whoever it belongs to — is
+    /// evicted.
+    fn insert_masked(
+        &mut self,
+        block: BlockAddr,
+        state: LineState,
+        now: u64,
+        mask: u64,
+    ) -> Option<Slot> {
+        let ways = self.ways;
+        let idx = self.set_of(block);
+        let set = &mut self.sets[idx];
+        if let Some(slot) = set.iter_mut().find(|s| s.block == block) {
+            slot.state = state;
+            slot.touched = now;
+            return None;
+        }
+        let mut fresh = Slot {
+            block,
+            state,
+            touched: now,
+            way: 0,
+        };
+        if let Some(way) = Self::free_way(set, ways, mask) {
+            fresh.way = way;
+            set.push(fresh);
+            return None;
+        }
+        let lru = set
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| mask >> s.way & 1 == 1)
+            .min_by_key(|(_, s)| s.touched)
+            .map(|(i, _)| i)
+            .expect("mask selects an occupied way");
+        let victim = set[lru];
+        fresh.way = victim.way;
         set[lru] = fresh;
         Some(victim)
     }
@@ -360,6 +433,177 @@ pub struct ModelCounters {
     pub invalidations_received: u64,
 }
 
+/// Independent flat re-derivation of the engine's dynamic repartitioning
+/// controller (`consim::qos::QosController`). It consumes only quantities
+/// the model can vouch for — its own cumulative counters and LLC line
+/// counts — plus the engine-reported epoch timing (time does not exist in
+/// this model), and must reproduce every decision's classification, EWMA
+/// vector, and way masks bit-for-bit. The arithmetic is the documented
+/// fixed-point procedure (permille EWMA, largest-remainder apportionment,
+/// single-way steps), transcribed here without sharing any code with the
+/// engine's controller.
+#[derive(Debug, Clone)]
+struct NaiveQos {
+    policy: DynamicPolicy,
+    ways: u64,
+    total_lines: u64,
+    quotas: Vec<u64>,
+    ewma: Vec<u64>,
+    best_cpkr: Vec<u64>,
+    /// Cumulative `[refs, l1_misses, memory_fetches]` at the previous
+    /// boundary, per VM.
+    prev: Vec<[u64; 3]>,
+    /// Cycle of the previous decision (None before the first), used to
+    /// cross-check the engine's reported `elapsed`.
+    last_at: Option<u64>,
+    epochs: u64,
+}
+
+fn sat64(v: u128) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+impl NaiveQos {
+    fn new(policy: DynamicPolicy, ways: usize, num_vms: usize, total_lines: u64) -> Self {
+        let base = ways / num_vms;
+        let extra = ways % num_vms;
+        Self {
+            policy,
+            ways: ways as u64,
+            total_lines,
+            quotas: (0..num_vms)
+                .map(|vm| (base + usize::from(vm < extra)) as u64)
+                .collect(),
+            ewma: vec![1000; num_vms],
+            best_cpkr: vec![u64::MAX; num_vms],
+            prev: vec![[0; 3]; num_vms],
+            last_at: None,
+            epochs: 0,
+        }
+    }
+
+    /// Contiguous masks from the current quotas: VM 0 takes the lowest
+    /// ways, VM 1 the next block, and so on.
+    fn masks(&self) -> Vec<u64> {
+        let mut base = 0u32;
+        self.quotas
+            .iter()
+            .map(|&q| {
+                let mask = if q >= 64 {
+                    u64::MAX
+                } else {
+                    ((1u64 << q) - 1) << base
+                };
+                base += q as u32;
+                mask
+            })
+            .collect()
+    }
+
+    /// One decision from epoch deltas and current occupancy; returns the
+    /// per-VM classes, the updated EWMA vector, and the new masks.
+    fn decide(
+        &mut self,
+        elapsed: u64,
+        refs_d: &[u64],
+        l1_d: &[u64],
+        mem_d: &[u64],
+        occ: &[u64],
+    ) -> (Vec<VmClass>, Vec<u64>, Vec<u64>) {
+        let n = self.quotas.len();
+        self.epochs += 1;
+        let mut classes = vec![VmClass::Light; n];
+        for vm in 0..n {
+            if refs_d[vm] == 0 {
+                // No progress signal: EWMA untouched, ways up for grabs.
+                continue;
+            }
+            let cpkr = sat64(u128::from(elapsed) * 1000 / u128::from(refs_d[vm]));
+            self.best_cpkr[vm] = self.best_cpkr[vm].min(cpkr);
+            let best = self.best_cpkr[vm].max(1);
+            let slow = sat64(u128::from(cpkr) * 1000 / u128::from(best));
+            let p = u128::from(self.policy.ewma_permille);
+            self.ewma[vm] =
+                sat64((p * u128::from(slow) + (1000 - p) * u128::from(self.ewma[vm])) / 1000);
+
+            let mpkr = u128::from(l1_d[vm]) * 1000 / u128::from(refs_d[vm]);
+            let occ_ways =
+                u128::from(self.ways) * u128::from(occ[vm]) / u128::from(self.total_lines.max(1));
+            let mem_share = u128::from(mem_d[vm]) * 1000 / u128::from(l1_d[vm].max(1));
+            classes[vm] = if mpkr < u128::from(self.policy.light_miss_permille) || occ_ways == 0 {
+                VmClass::Light
+            } else if mem_share > u128::from(self.policy.stream_memory_permille) {
+                VmClass::Streaming
+            } else {
+                VmClass::CacheSensitive
+            };
+        }
+
+        let spread =
+            self.ewma.iter().max().unwrap_or(&1000) - self.ewma.iter().min().unwrap_or(&1000);
+        if spread > u64::from(self.policy.deadband_milli) {
+            // Targets: min_ways each, pool largest-remainder-proportional
+            // to the EWMA of cache-sensitive VMs (everyone else weight 0);
+            // all weights zero falls back to the equal split with the
+            // remainder on the first VMs.
+            let min = u64::from(self.policy.min_ways);
+            let pool = self.ways - min * n as u64;
+            let weights: Vec<u64> = (0..n)
+                .map(|vm| {
+                    if classes[vm] == VmClass::CacheSensitive {
+                        self.ewma[vm]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+            let mut targets = vec![0u64; n];
+            if total == 0 {
+                let base = pool / n as u64;
+                let extra = pool % n as u64;
+                for (vm, t) in targets.iter_mut().enumerate() {
+                    *t = min + base + u64::from((vm as u64) < extra);
+                }
+            } else {
+                let mut assigned = 0u64;
+                let mut rems: Vec<(u128, usize)> = Vec::with_capacity(n);
+                for vm in 0..n {
+                    let prod = u128::from(pool) * u128::from(weights[vm]);
+                    let share = prod.checked_div(total).unwrap_or(0) as u64;
+                    targets[vm] = min + share;
+                    assigned += share;
+                    rems.push((prod.checked_rem(total).unwrap_or(0), vm));
+                }
+                rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                for &(_, vm) in rems.iter().take((pool - assigned) as usize) {
+                    targets[vm] += 1;
+                }
+            }
+            // At most max_step single-way moves: largest surplus donates to
+            // largest deficit, ties to the lowest VM id, floors respected.
+            for _ in 0..self.policy.max_step {
+                let mut donor: Option<(u64, usize)> = None;
+                let mut recipient: Option<(u64, usize)> = None;
+                for (vm, (&cur, &tgt)) in self.quotas.iter().zip(&targets).enumerate() {
+                    if cur > tgt && cur > min && donor.is_none_or(|(s, _)| cur - tgt > s) {
+                        donor = Some((cur - tgt, vm));
+                    }
+                    if tgt > cur && recipient.is_none_or(|(d, _)| tgt - cur > d) {
+                        recipient = Some((tgt - cur, vm));
+                    }
+                }
+                let (Some((_, from)), Some((_, to))) = (donor, recipient) else {
+                    break;
+                };
+                self.quotas[from] -= 1;
+                self.quotas[to] += 1;
+            }
+        }
+        (classes, self.ewma.clone(), self.masks())
+    }
+}
+
 /// The full naive machine: private L0/L1 per core, LLC banks, directory.
 #[derive(Debug, Clone)]
 pub struct RefModel {
@@ -370,9 +614,14 @@ pub struct RefModel {
     llc: Vec<NaiveCache>,
     directory: NaiveDirectory,
     counters: Vec<ModelCounters>,
-    /// Per-VM LLC way quotas when way partitioning is active (the
-    /// popcount of each VM's allowed-way mask).
+    /// Per-VM LLC way quotas under *static* way partitioning (the popcount
+    /// of each VM's allowed-way mask).
     llc_quotas: Option<Vec<usize>>,
+    /// Current per-VM way masks under *dynamic* partitioning; swapped by
+    /// [`RefModel::repartition`] as decisions are verified.
+    llc_masks: Option<Vec<u64>>,
+    /// Independent controller mirror, dynamic partitioning only.
+    qos: Option<NaiveQos>,
     /// Global logical clock for LRU stamps.
     now: u64,
     /// Injected bug for mutation testing, if any.
@@ -387,6 +636,30 @@ impl RefModel {
         let (l1_sets, l1_ways) = geom(machine.l1);
         let bank = machine.llc_bank_geometry();
         let (llc_sets, llc_ways) = (bank.num_sets(), bank.associativity);
+        let masks = machine
+            .llc_partitioning
+            .way_masks(llc_ways, num_vms)
+            .expect("partitioning validated by the simulation builder");
+        let (llc_quotas, llc_masks, qos) = match &machine.llc_partitioning {
+            LlcPartitioning::Dynamic(policy) => {
+                let total_lines = (machine.llc_banks() * bank.num_lines()) as u64;
+                (
+                    None,
+                    masks,
+                    Some(NaiveQos::new(
+                        policy.clone(),
+                        llc_ways,
+                        num_vms,
+                        total_lines,
+                    )),
+                )
+            }
+            _ => (
+                masks.map(|m| m.iter().map(|m| m.count_ones() as usize).collect()),
+                None,
+                None,
+            ),
+        };
         Self {
             mesh_width: machine.mesh_width,
             cores_per_bank: machine.cores_per_bank(),
@@ -401,11 +674,9 @@ impl RefModel {
                 .collect(),
             directory: NaiveDirectory::default(),
             counters: vec![ModelCounters::default(); num_vms],
-            llc_quotas: machine
-                .llc_partitioning
-                .way_masks(llc_ways, num_vms)
-                .expect("partitioning validated by the simulation builder")
-                .map(|masks| masks.iter().map(|m| m.count_ones() as usize).collect()),
+            llc_quotas,
+            llc_masks,
+            qos,
             now: 0,
             mutation: None,
         }
@@ -736,25 +1007,161 @@ impl RefModel {
         self.l0[core].insert(block, state, t);
     }
 
-    /// LLC fill, honoring the way quotas when partitioning is active;
-    /// dirty victims write back to memory, which has no content
-    /// representation here.
+    /// LLC fill, honoring the way quotas (static partitioning) or the
+    /// current way masks (dynamic partitioning) when active; dirty victims
+    /// write back to memory, which has no content representation here.
     fn fill_llc(&mut self, bank: usize, block: BlockAddr, state: LineState) {
         let t = self.tick();
-        let quota = match &self.llc_quotas {
-            Some(q) if self.mutation != Some(Mutation::IgnoreWayQuotas) => {
-                q.get(block.vm().index()).copied()
+        if self.mutation != Some(Mutation::IgnoreWayQuotas) {
+            if let Some(masks) = &self.llc_masks {
+                let mask = masks.get(block.vm().index()).copied().unwrap_or(u64::MAX);
+                self.llc[bank].insert_masked(block, state, t, mask);
+                return;
             }
-            _ => None,
-        };
-        match quota {
-            Some(quota) => {
-                self.llc[bank].insert_with_quota(block, state, t, quota);
-            }
-            None => {
-                self.llc[bank].insert(block, state, t);
+            if let Some(quotas) = &self.llc_quotas {
+                if let Some(quota) = quotas.get(block.vm().index()).copied() {
+                    self.llc[bank].insert_with_quota(block, state, t, quota);
+                    return;
+                }
             }
         }
+        self.llc[bank].insert(block, state, t);
+    }
+
+    /// LLC lines currently held per VM across every bank — the quantity
+    /// the engine hands its repartitioning controller at each boundary.
+    fn llc_lines_per_vm(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.counters.len()];
+        for bank in &self.llc {
+            for line in bank.lines() {
+                let vm = line.block.vm().index();
+                if vm < counts.len() {
+                    counts[vm] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Verifies one engine repartition decision against the model and
+    /// applies it. The decision's epoch counter, old masks, occupancy, and
+    /// per-VM epoch deltas are each checked against the model's own state,
+    /// then the new masks are re-derived by the independent [`NaiveQos`]
+    /// mirror and compared field-for-field before being adopted for
+    /// subsequent fills.
+    ///
+    /// # Errors
+    ///
+    /// The `Err` string names the first mismatching quantity.
+    pub fn repartition(&mut self, d: &RepartitionDecision) -> Result<(), String> {
+        let n = self.counters.len();
+        if self.llc_masks.is_none() || self.qos.is_none() {
+            return Err("repartition decision on a non-dynamic configuration".into());
+        }
+        if [
+            d.refs.len(),
+            d.l1_misses.len(),
+            d.memory_fetches.len(),
+            d.occupancy_lines.len(),
+            d.old_masks.len(),
+            d.new_masks.len(),
+        ]
+        .iter()
+        .any(|&len| len != n)
+        {
+            return Err(format!(
+                "repartition epoch {}: per-VM vector length disagrees with {n} VMs",
+                d.epoch
+            ));
+        }
+        if self.mutation == Some(Mutation::IgnoreRepartition) {
+            // The deliberately broken mirror never follows the controller;
+            // the comparison stays, so the first decision that actually
+            // moves a way surfaces as a divergence.
+            let masks = self.llc_masks.as_ref().expect("checked above");
+            if d.new_masks != *masks {
+                return Err(format!(
+                    "repartition epoch {}: engine masks {:?}, model masks {:?} \
+                     (mutated: decisions ignored)",
+                    d.epoch, d.new_masks, masks
+                ));
+            }
+            return Ok(());
+        }
+        let masks = self.llc_masks.as_ref().expect("checked above");
+        if d.old_masks != *masks {
+            return Err(format!(
+                "repartition epoch {}: engine old masks {:?}, model masks {:?}",
+                d.epoch, d.old_masks, masks
+            ));
+        }
+        let occ = self.llc_lines_per_vm();
+        if d.occupancy_lines != occ {
+            return Err(format!(
+                "repartition epoch {}: engine occupancy {:?}, model {:?}",
+                d.epoch, d.occupancy_lines, occ
+            ));
+        }
+        let qos = self.qos.as_mut().expect("checked above");
+        if d.epoch != qos.epochs + 1 {
+            return Err(format!(
+                "repartition epoch {}: model expected epoch {}",
+                d.epoch,
+                qos.epochs + 1
+            ));
+        }
+        if let Some(last) = qos.last_at {
+            if d.elapsed != d.at.saturating_sub(last) {
+                return Err(format!(
+                    "repartition epoch {}: engine elapsed {}, but boundary moved {} to {}",
+                    d.epoch, d.elapsed, last, d.at
+                ));
+            }
+        }
+        qos.last_at = Some(d.at);
+        // Epoch deltas from the model's own cumulative counters.
+        let mut deltas = [vec![0u64; n], vec![0u64; n], vec![0u64; n]];
+        for vm in 0..n {
+            let cum = [
+                self.counters[vm].refs,
+                self.counters[vm].l1_misses,
+                self.counters[vm].memory_fetches,
+            ];
+            for (k, name) in ["refs", "l1_misses", "memory_fetches"].iter().enumerate() {
+                deltas[k][vm] = cum[k].saturating_sub(qos.prev[vm][k]);
+                let engine = [&d.refs, &d.l1_misses, &d.memory_fetches][k][vm];
+                if deltas[k][vm] != engine {
+                    return Err(format!(
+                        "repartition epoch {}: {name} delta for vm {vm}: engine {engine}, \
+                         model {}",
+                        d.epoch, deltas[k][vm]
+                    ));
+                }
+            }
+            qos.prev[vm] = cum;
+        }
+        let [refs_d, l1_d, mem_d] = deltas;
+        let (classes, ewma, new_masks) = qos.decide(d.elapsed, &refs_d, &l1_d, &mem_d, &occ);
+        if classes != d.classes {
+            return Err(format!(
+                "repartition epoch {}: engine classes {:?}, model {:?}",
+                d.epoch, d.classes, classes
+            ));
+        }
+        if ewma != d.ewma_milli {
+            return Err(format!(
+                "repartition epoch {}: engine ewma {:?}, model {:?}",
+                d.epoch, d.ewma_milli, ewma
+            ));
+        }
+        if new_masks != d.new_masks {
+            return Err(format!(
+                "repartition epoch {}: engine new masks {:?}, model {:?}",
+                d.epoch, d.new_masks, new_masks
+            ));
+        }
+        self.llc_masks = Some(new_masks);
+        Ok(())
     }
 
     fn invalidate_private(&mut self, core: usize, block: BlockAddr) {

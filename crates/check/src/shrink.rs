@@ -87,6 +87,13 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
         c.llc_partitioning = LlcPartitioning::None;
         out.push(c);
     }
+    // A dynamic controller that still fails as the static equal split
+    // rules the whole feedback loop out of the repro.
+    if matches!(case.llc_partitioning, LlcPartitioning::Dynamic(_)) {
+        let mut c = case.clone();
+        c.llc_partitioning = LlcPartitioning::EqualWays;
+        out.push(c);
+    }
     // Halve every footprint (down to the threads+1 floor).
     {
         let mut c = case.clone();

@@ -39,6 +39,7 @@ use crate::hierarchy::HierarchyCtx;
 use crate::machine::Layout;
 use crate::metrics::{OccupancySnapshot, ReplicationSnapshot, VmMetrics};
 use crate::observe::{AccessStep, StepObserver, StepOutcome};
+use crate::qos::QosController;
 use crate::snapshot;
 use consim_cache::{LineState, ReplacementPolicy, SetAssocCache};
 use consim_coherence::{AccessKind, Directory, DirectoryCache, ProtocolStats};
@@ -48,7 +49,7 @@ use consim_snap::{
     restore_items, save_items, SectionBuf, SectionReader, SnapReader, SnapWriter, Snapshot,
 };
 use consim_trace::{EventClass, TraceEvent, TraceSink};
-use consim_types::config::MachineConfig;
+use consim_types::config::{LlcPartitioning, MachineConfig};
 use consim_types::{
     Address, BankId, BlockAddr, CoreId, Cycle, GlobalThreadId, SimError, SimRng, SnapshotErrorKind,
     ThreadId, VmId,
@@ -399,6 +400,10 @@ struct RunState {
     next_resched: Option<u64>,
     /// Next epoch-snapshot boundary (`u64::MAX` when epoch tracing is off).
     next_epoch: u64,
+    /// Next dynamic-QoS repartition boundary (`u64::MAX` outside the
+    /// measurement phase or when the machine is not
+    /// `LlcPartitioning::Dynamic`).
+    next_repart: u64,
     /// Measurement finished; only [`Simulation::finish`] remains.
     done: bool,
 }
@@ -433,8 +438,14 @@ pub struct Simulation {
     gap_rngs: Vec<SimRng>,
     metrics: Vec<VmMetrics>,
     /// Per-VM allowed-way bitmasks for LLC allocation, when
-    /// [`consim_types::config::LlcPartitioning`] is active.
+    /// [`consim_types::config::LlcPartitioning`] is active. Under
+    /// `LlcPartitioning::Dynamic` these are live state: the QoS controller
+    /// rewrites them at repartition boundaries and every subsequent fill
+    /// reads the new masks.
     llc_way_masks: Option<Vec<u64>>,
+    /// The dynamic repartitioning controller, present iff the machine is
+    /// configured with `LlcPartitioning::Dynamic`.
+    qos: Option<QosController>,
     /// Epoch counter for dynamic rescheduling.
     resched_epoch: u64,
     /// In-flight event-loop state; `None` before the first
@@ -476,6 +487,15 @@ impl Simulation {
         let llc_way_masks = machine
             .llc_partitioning
             .way_masks(bank_geom.associativity, config.workloads.len())?;
+        let qos = match &machine.llc_partitioning {
+            LlcPartitioning::Dynamic(policy) => Some(QosController::new(
+                policy.clone(),
+                bank_geom.associativity,
+                config.workloads.len(),
+                (machine.llc_banks() * bank_geom.num_lines()) as u64,
+            )),
+            _ => None,
+        };
         let mut directory = Directory::new(machine.num_cores);
         let dircaches = (0..machine.num_cores)
             .map(|_| DirectoryCache::new(machine.directory_cache_entries))
@@ -533,6 +553,7 @@ impl Simulation {
             gap_rngs,
             metrics,
             llc_way_masks,
+            qos,
             resched_epoch: 0,
             run_state: None,
             prewarmed: false,
@@ -609,30 +630,33 @@ impl Simulation {
                 PhaseKind::Warmup => (self.config.warmup_refs_per_vm, false),
                 PhaseKind::Measure => (self.config.refs_per_vm, true),
             };
-            // Epoch snapshots only apply to the measurement phase. The loop
-            // is monomorphized over whether they are on: even a never-taken
-            // branch whose body calls through a trace-sink vtable pessimizes
-            // the hot loop's code generation by ~20%, so the untraced
-            // instantiation must contain no epoch code at all.
+            // Epoch snapshots and QoS repartitioning only apply to the
+            // measurement phase. The loop is monomorphized over whether
+            // either is on: even a never-taken branch whose body calls
+            // through a trace-sink vtable pessimizes the hot loop's code
+            // generation by ~20%, so the plain instantiation must contain
+            // no boundary code at all.
             let epoch_trace = self.epoch_trace_for(phase);
+            let qos_active = phase == PhaseKind::Measure && self.qos.is_some();
             let mut st = self.run_state.take().expect("run started above");
-            let result = match epoch_trace {
-                Some(t) => self.phase_loop::<true>(
+            let result = if epoch_trace.is_some() || qos_active {
+                self.phase_loop::<true>(
                     &mut st,
                     quota,
                     measuring,
-                    Some(t),
+                    epoch_trace,
                     &mut budget,
                     &mut observer,
-                ),
-                None => self.phase_loop::<false>(
+                )
+            } else {
+                self.phase_loop::<false>(
                     &mut st,
                     quota,
                     measuring,
                     None,
                     &mut budget,
                     &mut observer,
-                ),
+                )
             };
             self.run_state = Some(st);
             result?;
@@ -746,8 +770,14 @@ impl Simulation {
     }
 
     /// Enters the measurement phase at `clock` and announces it on the
-    /// trace.
+    /// trace. The QoS controller (if any) restarts here too: measurement
+    /// counters reset at this boundary, and its epoch clock is anchored at
+    /// the phase start.
     fn begin_measurement(&mut self, clock: Cycle) {
+        if let Some(qos) = &mut self.qos {
+            qos.begin(clock.raw());
+            self.llc_way_masks = Some(qos.masks());
+        }
         if let Some(trace) = &self.config.trace {
             trace.sink.record(&TraceEvent::RunStarted {
                 seed: self.config.seed,
@@ -773,6 +803,10 @@ impl Simulation {
             .epoch_trace_for(phase)
             .map(|t| t.epoch_cycles.max(1))
             .unwrap_or(u64::MAX);
+        let repart_interval = match (&self.qos, phase) {
+            (Some(qos), PhaseKind::Measure) => qos.interval(),
+            _ => u64::MAX,
+        };
         RunState {
             phase,
             start,
@@ -786,6 +820,7 @@ impl Simulation {
                 .reschedule_every
                 .map(|interval| start.raw() + interval),
             next_epoch: start.raw().saturating_add(epoch_interval),
+            next_repart: start.raw().saturating_add(repart_interval),
             done: false,
         }
     }
@@ -803,8 +838,11 @@ impl Simulation {
     /// cores of finished VMs keep running so the machine stays at capacity
     /// (the paper restarts finished workloads). Consumes up to `budget`
     /// references, leaving the phase resumable in `st` when the budget runs
-    /// out first. `EPOCHS` compiles the epoch-snapshot check in or out;
-    /// `epoch_trace` must be `Some` iff `EPOCHS`.
+    /// out first. `EPOCHS` compiles the boundary checks (epoch snapshots
+    /// and QoS repartitioning) in or out; `epoch_trace` may only be `Some`
+    /// under `EPOCHS` (a QoS-only run passes `EPOCHS = true` with no
+    /// trace — its `next_epoch` is `u64::MAX`, so the snapshot branch
+    /// never fires).
     fn phase_loop<const EPOCHS: bool>(
         &mut self,
         st: &mut RunState,
@@ -857,6 +895,9 @@ impl Simulation {
                     st.next_epoch,
                     epoch_interval,
                 );
+            }
+            if EPOCHS && now >= st.next_repart {
+                st.next_repart = self.repartition_boundary(now, st.next_repart, observer);
             }
             if let (Some(at), Some(interval)) = (st.next_resched, self.config.reschedule_every) {
                 if now >= at {
@@ -947,6 +988,70 @@ impl Simulation {
         let trace = trace.as_ref().expect("epoch trace enabled");
         self.emit_epoch_snapshot(trace.sink.as_ref(), now, measure_start);
         next_epoch
+    }
+
+    /// Handles one dynamic-QoS repartition boundary: advances `next_repart`
+    /// past `now` (one decision per crossing, even if the event gap spanned
+    /// several intervals), gathers the controller inputs, runs the decision,
+    /// and swaps the live way masks when it moved ways. Out of line and cold
+    /// for the same reason as [`Simulation::epoch_boundary`].
+    #[cold]
+    #[inline(never)]
+    fn repartition_boundary(
+        &mut self,
+        now: u64,
+        mut next_repart: u64,
+        observer: &mut Option<&mut dyn StepObserver>,
+    ) -> u64 {
+        let interval = self
+            .qos
+            .as_ref()
+            .expect("repartition boundary without a QoS controller")
+            .interval();
+        while now >= next_repart {
+            next_repart = next_repart.saturating_add(interval);
+        }
+        // Controller inputs: cumulative measurement counters plus the LLC's
+        // actual per-VM line counts (which may transiently exceed quotas
+        // while out-of-mask lines age out).
+        let num_vms = self.config.workloads.len();
+        let mut refs = Vec::with_capacity(num_vms);
+        let mut l1_misses = Vec::with_capacity(num_vms);
+        let mut memory_fetches = Vec::with_capacity(num_vms);
+        for m in &self.metrics {
+            refs.push(m.refs);
+            l1_misses.push(m.l1_misses);
+            memory_fetches.push(m.memory_fetches);
+        }
+        let mut occupancy = vec![0u64; num_vms];
+        for bank in &self.llc {
+            for line in bank.lines() {
+                occupancy[line.block.vm().index()] += 1;
+            }
+        }
+        let qos = self.qos.as_mut().expect("checked above");
+        let decision = qos.decide(now, &refs, &l1_misses, &memory_fetches, &occupancy);
+        if decision.changed() {
+            self.llc_way_masks = Some(decision.new_masks.clone());
+            if let Some(trace) = &self.config.trace {
+                if trace.sink.wants(EventClass::Epoch) {
+                    trace.sink.record(&TraceEvent::Repartition {
+                        cycle: decision.at,
+                        epoch: decision.epoch,
+                        old_masks: decision.old_masks.clone(),
+                        new_masks: decision.new_masks.clone(),
+                        classes: decision.classes.iter().map(|c| c.label()).collect(),
+                        ewma_milli: decision.ewma_milli.clone(),
+                    });
+                }
+            }
+        }
+        // Every decision — changed or not — reaches the observer so an
+        // external controller mirror advances its EWMA state in lockstep.
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.on_repartition(&decision);
+        }
+        next_repart
     }
 
     /// Emits the per-VM and machine-wide time-series snapshot for one epoch
@@ -1469,7 +1574,17 @@ impl Simulation {
                 w.put_u64(st.last_completion.raw());
                 w.put_opt_u64(st.next_resched);
                 w.put_u64(st.next_epoch);
+                w.put_u64(st.next_repart);
                 w.put_bool(st.done);
+            }
+        }
+        // QoS controller state (quotas, EWMA slowdowns, boundary counters);
+        // presence must match the stored configuration's partitioning mode.
+        match &self.qos {
+            None => w.put_bool(false),
+            Some(qos) => {
+                w.put_bool(true);
+                qos.save(w);
             }
         }
     }
@@ -1572,11 +1687,25 @@ impl Simulation {
                 last_completion: Cycle::new(r.get_u64()?),
                 next_resched: r.get_opt_u64()?,
                 next_epoch: r.get_u64()?,
+                next_repart: r.get_u64()?,
                 done: r.get_bool()?,
             })
         } else {
             None
         };
+        if r.get_bool()? != self.qos.is_some() {
+            return Err(SimError::snapshot(
+                SnapshotErrorKind::Corrupt,
+                "QoS-controller presence disagrees with the stored partitioning mode",
+            ));
+        }
+        if let Some(qos) = &mut self.qos {
+            qos.restore(r)?;
+            // The live masks are derived state: rebuild them from the
+            // restored quotas so a checkpoint taken after a repartition
+            // resumes with the repartitioned split, not the initial one.
+            self.llc_way_masks = Some(qos.masks());
+        }
         Ok(())
     }
 }

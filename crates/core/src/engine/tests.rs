@@ -5,6 +5,28 @@
 
 use super::*;
 
+/// Records every QoS repartition decision plus how many accesses had
+/// completed when it fired — the engine checks the boundary when an event
+/// pops, *before* simulating that event's access, so `steps_at[i]` is the
+/// exact `advance` budget that checkpoints just ahead of decision `i`.
+#[derive(Default)]
+struct RepartProbe {
+    steps: u64,
+    decisions: Vec<crate::qos::RepartitionDecision>,
+    steps_at: Vec<u64>,
+}
+
+impl StepObserver for RepartProbe {
+    fn on_step(&mut self, _: &AccessStep) {
+        self.steps += 1;
+    }
+
+    fn on_repartition(&mut self, decision: &crate::qos::RepartitionDecision) {
+        self.decisions.push(decision.clone());
+        self.steps_at.push(self.steps);
+    }
+}
+
 mod behavior {
     use super::*;
     use consim_types::config::SharingDegree;
@@ -736,6 +758,67 @@ mod snap {
         let via_cache = adopted.run().unwrap();
         assert_eq!(fingerprint(&via_cache), fingerprint(&direct));
     }
+
+    /// A dynamic-QoS variant of [`config`]: a short repartition epoch, no
+    /// dead-band, and an asymmetric VM mix so controller decisions land —
+    /// and actually move ways — inside the measured window.
+    fn dynamic_config(seed: u64) -> SimulationConfig {
+        let policy = consim_types::config::DynamicPolicy {
+            epoch_interval: 2_000,
+            deadband_milli: 0,
+            ..Default::default()
+        };
+        let machine = MachineConfigBuilder::new()
+            .llc(CacheGeometry::new(256 * 1024, 16, 6).unwrap())
+            .sharing(SharingDegree::SharedBy(4))
+            .llc_partitioning(consim_types::LlcPartitioning::Dynamic(policy))
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.machine(machine)
+            .policy(SchedulingPolicy::RoundRobin)
+            .refs_per_vm(3_000)
+            .warmup_refs_per_vm(1_000)
+            .seed(seed);
+        for (name, footprint) in [("resident", 3_000), ("streamy", 60_000), ("tiny", 256)] {
+            b.workload(
+                WorkloadProfileBuilder::new(name)
+                    .footprint_blocks(footprint)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn resume_seam_on_a_repartition_boundary_is_bit_identical() {
+        // The hard QoS seam: cut the run exactly where the controller acts.
+        // Replaying `steps_at[i]` accesses stops just before the event that
+        // triggers decision `i`, so the resumed run must re-take that
+        // decision from restored controller state; one access later the
+        // decision is already in the checkpoint (masks swapped) and must
+        // not be taken again.
+        let mut probe = RepartProbe::default();
+        let mut sim = Simulation::new(dynamic_config(11)).unwrap();
+        sim.advance(u64::MAX, Some(&mut probe)).unwrap();
+        let straight = sim.finish().unwrap();
+        let expected = fingerprint(&straight);
+        let changed = probe
+            .decisions
+            .iter()
+            .position(|d| d.changed())
+            .expect("the asymmetric mix must trigger at least one mask change");
+        let at = probe.steps_at[changed];
+        for cut in [at, at + 1] {
+            let bytes = checkpoint_at(dynamic_config(11), cut);
+            let resumed = Simulation::resume(&mut bytes.as_slice())
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(fingerprint(&resumed), expected, "cut at {cut} accesses");
+        }
+    }
 }
 
 mod partitioning {
@@ -744,7 +827,7 @@ mod partitioning {
     //! cap (see `crate::hierarchy` module docs).
 
     use super::*;
-    use consim_types::config::{CacheGeometry, MachineConfigBuilder, SharingDegree};
+    use consim_types::config::{CacheGeometry, DynamicPolicy, MachineConfigBuilder, SharingDegree};
     use consim_types::LlcPartitioning;
     use consim_workload::WorkloadProfileBuilder;
 
@@ -868,6 +951,126 @@ mod partitioning {
     fn partitioned_runs_are_deterministic() {
         let run = || {
             let cfg = config(LlcPartitioning::EqualWays, 4).unwrap();
+            let out = Simulation::new(cfg).unwrap().run().unwrap();
+            (out.measured_cycles, out.occupancy.share.clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// One LLC-resident VM, one memory streamer, one light VM — the
+    /// asymmetric consolidation mix the dynamic controller exists to
+    /// arbitrate.
+    fn mixed_config(partitioning: LlcPartitioning) -> SimulationConfig {
+        let machine = MachineConfigBuilder::new()
+            .llc(CacheGeometry::new(256 * 1024, 16, 6).unwrap())
+            .sharing(SharingDegree::SharedBy(4))
+            .build()
+            .unwrap()
+            .with_llc_partitioning(partitioning);
+        let mut b = SimulationConfig::builder();
+        b.machine(machine)
+            .policy(SchedulingPolicy::RoundRobin)
+            .refs_per_vm(3_000)
+            .warmup_refs_per_vm(1_000)
+            .seed(9);
+        for (name, footprint) in [("resident", 3_000), ("streamy", 60_000), ("tiny", 256)] {
+            b.workload(
+                WorkloadProfileBuilder::new(name)
+                    .footprint_blocks(footprint)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    /// A short repartition epoch and no dead-band, so the controller gets
+    /// plenty of chances to act inside a 3 000-ref measured window.
+    fn quick_policy() -> DynamicPolicy {
+        DynamicPolicy {
+            epoch_interval: 2_000,
+            deadband_milli: 0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dynamic_decisions_fire_and_masks_stay_well_formed() {
+        let mut probe = RepartProbe::default();
+        let mut sim =
+            Simulation::new(mixed_config(LlcPartitioning::Dynamic(quick_policy()))).unwrap();
+        sim.advance(u64::MAX, Some(&mut probe)).unwrap();
+        let out = sim.finish().unwrap();
+        for m in &out.vm_metrics {
+            assert!(m.completion.is_some());
+        }
+        assert!(
+            probe.decisions.len() >= 3,
+            "only {} decisions fired",
+            probe.decisions.len()
+        );
+        assert!(
+            probe.decisions.iter().any(|d| d.changed()),
+            "the asymmetric mix must move at least one way"
+        );
+        for (i, d) in probe.decisions.iter().enumerate() {
+            assert_eq!(d.epoch, i as u64 + 1, "epochs must be consecutive");
+            let mut covered = 0u64;
+            for (vm, &mask) in d.new_masks.iter().enumerate() {
+                assert_eq!(covered & mask, 0, "epoch {}: VM {vm} overlaps", d.epoch);
+                covered |= mask;
+                assert!(
+                    mask.count_ones() >= 1,
+                    "epoch {}: VM {vm} dropped below min_ways",
+                    d.epoch
+                );
+                // A contiguous run of ones leaves 2^k - 1 once shifted down.
+                let norm = mask >> mask.trailing_zeros();
+                assert_eq!(
+                    norm & (norm + 1),
+                    0,
+                    "epoch {}: VM {vm} mask {mask:#06x} is not contiguous",
+                    d.epoch
+                );
+            }
+            assert_eq!(
+                covered,
+                (1u64 << 16) - 1,
+                "epoch {}: masks must cover all 16 ways",
+                d.epoch
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_never_firing_matches_equal_ways_exactly() {
+        // With the first boundary beyond the run's horizon the controller
+        // never acts, and the initial equal split must make the run
+        // indistinguishable from static EqualWays — cycle-for-cycle.
+        let lazy = DynamicPolicy {
+            epoch_interval: u64::MAX / 2,
+            ..Default::default()
+        };
+        let dynamic = Simulation::new(mixed_config(LlcPartitioning::Dynamic(lazy)))
+            .unwrap()
+            .run()
+            .unwrap();
+        let equal = Simulation::new(mixed_config(LlcPartitioning::EqualWays))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(dynamic.measured_cycles, equal.measured_cycles);
+        for (d, e) in dynamic.vm_metrics.iter().zip(&equal.vm_metrics) {
+            assert_eq!(d.l1_misses, e.l1_misses);
+            assert_eq!(d.memory_fetches, e.memory_fetches);
+            assert_eq!(d.completion, e.completion);
+        }
+    }
+
+    #[test]
+    fn dynamic_runs_are_deterministic() {
+        let run = || {
+            let cfg = mixed_config(LlcPartitioning::Dynamic(quick_policy()));
             let out = Simulation::new(cfg).unwrap().run().unwrap();
             (out.measured_cycles, out.occupancy.share.clone())
         };

@@ -64,6 +64,7 @@ pub mod machine;
 pub mod metrics;
 pub mod mix;
 pub mod observe;
+pub mod qos;
 pub mod report;
 pub mod runner;
 mod snapshot;
@@ -77,5 +78,6 @@ pub use engine::{
 pub use metrics::{MissSource, OccupancySnapshot, ReplicationSnapshot, VmMetrics};
 pub use mix::{Mix, MixId};
 pub use observe::{AccessStep, StepObserver, StepOutcome};
+pub use qos::{QosController, RepartitionDecision, VmClass};
 pub use runner::{ExperimentRunner, RunOptions};
 pub use stats::Summary;

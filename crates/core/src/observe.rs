@@ -16,6 +16,7 @@
 //! [`Simulation::run_with`]: crate::engine::Simulation::run_with
 
 use crate::metrics::MissSource;
+use crate::qos::RepartitionDecision;
 use consim_coherence::CoreSet;
 use consim_types::{BankId, BlockAddr, CoreId, ThreadId, VmId};
 
@@ -70,5 +71,14 @@ pub trait StepObserver {
     /// can mirror the banks' recency state). Default: ignored.
     fn on_llc_prewarm(&mut self, bank: BankId, block: BlockAddr) {
         let _ = (bank, block);
+    }
+
+    /// Called at every dynamic-QoS repartition boundary with the full
+    /// decision record — *including* decisions that left the masks unchanged
+    /// — so an external model can keep its own controller mirror in exact
+    /// lockstep (EWMA state advances even when no way moves). Only fires
+    /// when the machine uses `LlcPartitioning::Dynamic`. Default: ignored.
+    fn on_repartition(&mut self, decision: &RepartitionDecision) {
+        let _ = decision;
     }
 }

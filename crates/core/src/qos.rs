@@ -1,0 +1,637 @@
+//! Dynamic fairness-aware LLC way repartitioning — the QoS control loop.
+//!
+//! [`QosController`] implements [`LlcPartitioning::Dynamic`]: at every epoch
+//! boundary of the measurement phase the engine hands it the per-VM
+//! cumulative counters (references, L1 misses, memory fetches) plus the
+//! current per-VM LLC occupancy, and the controller re-derives the
+//! contiguous way split. The decision procedure is LFOC+-flavoured:
+//!
+//! 1. **Progress estimate.** Per VM, cycles-per-kiloref for the epoch
+//!    (`1000 * elapsed / refs`). The best (lowest) value ever seen for a VM
+//!    stands in for its isolated speed; the ratio of the current epoch to
+//!    that best is the VM's *slowdown* in milli units (1000 = no slowdown),
+//!    folded into an EWMA with weight `ewma_permille`. A VM that issued no
+//!    references this epoch keeps its previous EWMA.
+//! 2. **Classification.** *Light* if the VM missed its private caches fewer
+//!    than `light_miss_permille` times per 1000 references or holds less
+//!    than one way's worth of LLC lines; otherwise *streaming* if more than
+//!    `stream_memory_permille` of its private misses went all the way to
+//!    memory (the LLC is not helping it); otherwise *cache-sensitive*.
+//! 3. **Targets.** Every VM is floored at `min_ways`. The remaining pool is
+//!    split largest-remainder-proportionally to the EWMA slowdown of the
+//!    cache-sensitive VMs (light/streaming VMs get weight zero — taking
+//!    ways from them is free, giving them ways is pointless). If no VM is
+//!    cache-sensitive the pool is split equally, first VMs taking the
+//!    remainder, which reproduces the static `EqualWays` rule.
+//! 4. **Hysteresis.** If the spread between the largest and smallest EWMA
+//!    slowdown is within `deadband_milli`, the current split is kept
+//!    untouched. Otherwise at most `max_step` single-way moves are applied
+//!    per epoch, each taking one way from the VM with the largest surplus
+//!    over its target (ties: lowest VM id) and handing it to the VM with the
+//!    largest deficit (same tie rule). Quotas never drop below `min_ways`.
+//!
+//! The arithmetic is exclusively unsigned-integer (u128 intermediates for
+//! the proportional split), so the controller is bit-reproducible across
+//! platforms, its state checkpoints exactly, and the differential oracle in
+//! `consim-check` can re-derive every decision from the same inputs.
+//!
+//! Mask changes are applied *lazily*: the engine swaps the per-VM allowed
+//! way masks and lets out-of-quota lines age out through natural
+//! replacement (a VM still hits on its lines parked in ways it no longer
+//! owns; the new owner evicts them on demand). There is no flush.
+//!
+//! [`LlcPartitioning::Dynamic`]: consim_types::LlcPartitioning::Dynamic
+
+use consim_snap::{SectionBuf, SectionReader};
+use consim_types::{DynamicPolicy, SimError, SnapshotErrorKind};
+
+/// LFOC+-style classification of one VM's behaviour over the last epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmClass {
+    /// Barely touches the LLC: very few private-cache misses per reference,
+    /// or holds less than one way's worth of lines.
+    Light,
+    /// Misses a lot but the LLC does not catch the misses — most go to
+    /// memory. Extra ways are wasted on it.
+    Streaming,
+    /// The LLC visibly works for this VM; it competes for capacity.
+    CacheSensitive,
+}
+
+impl VmClass {
+    /// Stable lower-snake label (used in trace events and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            VmClass::Light => "light",
+            VmClass::Streaming => "streaming",
+            VmClass::CacheSensitive => "cache_sensitive",
+        }
+    }
+}
+
+/// Everything one repartition decision consumed and produced. Handed to
+/// [`StepObserver::on_repartition`] (every decision, changed or not) and —
+/// when the masks actually change — recorded as a `Repartition` trace event.
+///
+/// [`StepObserver::on_repartition`]: crate::observe::StepObserver::on_repartition
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepartitionDecision {
+    /// 1-based index of this decision within the measurement phase.
+    pub epoch: u64,
+    /// Cycle at which the boundary fired.
+    pub at: u64,
+    /// Cycles elapsed since the previous boundary (or measurement start).
+    pub elapsed: u64,
+    /// Per-VM references issued during the epoch.
+    pub refs: Vec<u64>,
+    /// Per-VM private-cache (L1) misses during the epoch.
+    pub l1_misses: Vec<u64>,
+    /// Per-VM misses that were served by memory during the epoch.
+    pub memory_fetches: Vec<u64>,
+    /// Per-VM LLC lines held at the boundary (actual contents, may exceed
+    /// the quota while old lines age out).
+    pub occupancy_lines: Vec<u64>,
+    /// Per-VM classification used for this decision.
+    pub classes: Vec<VmClass>,
+    /// Per-VM EWMA slowdown (milli units, 1000 = no slowdown) after the
+    /// epoch's update.
+    pub ewma_milli: Vec<u64>,
+    /// Way masks in force before the decision.
+    pub old_masks: Vec<u64>,
+    /// Way masks in force after the decision (equal to `old_masks` when the
+    /// dead-band held or no move was possible).
+    pub new_masks: Vec<u64>,
+}
+
+impl RepartitionDecision {
+    /// Whether the decision actually moved any ways.
+    pub fn changed(&self) -> bool {
+        self.old_masks != self.new_masks
+    }
+}
+
+/// Builds the contiguous per-VM way masks implied by a quota vector:
+/// VM 0 takes the lowest `quotas[0]` ways, VM 1 the next `quotas[1]`, …
+pub fn masks_from_quotas(quotas: &[u8]) -> Vec<u64> {
+    let mut base = 0u32;
+    quotas
+        .iter()
+        .map(|&q| {
+            let q = u32::from(q);
+            let mask = if q >= 64 {
+                u64::MAX
+            } else {
+                ((1u64 << q) - 1) << base
+            };
+            base += q;
+            mask
+        })
+        .collect()
+}
+
+/// The repartitioning controller state machine. Owned by the engine when the
+/// machine is configured with [`LlcPartitioning::Dynamic`]; runs only during
+/// the measurement phase.
+///
+/// [`LlcPartitioning::Dynamic`]: consim_types::LlcPartitioning::Dynamic
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QosController {
+    policy: DynamicPolicy,
+    associativity: u32,
+    /// Total line capacity of the LLC across all banks (for the
+    /// "less than one way's worth" classification test).
+    total_lines: u64,
+    /// Current per-VM way quotas; always ≥ `min_ways` each, summing to the
+    /// associativity.
+    quotas: Vec<u8>,
+    /// Per-VM EWMA slowdown, milli units; starts at 1000 (no slowdown).
+    ewma_milli: Vec<u64>,
+    /// Best (lowest) cycles-per-kiloref seen per VM; `u64::MAX` until the
+    /// VM's first active epoch.
+    best_cpkr: Vec<u64>,
+    /// Cumulative counter values at the previous boundary.
+    prev_refs: Vec<u64>,
+    prev_l1_misses: Vec<u64>,
+    prev_memory_fetches: Vec<u64>,
+    /// Cycle of the previous boundary (or of `begin`).
+    last_boundary: u64,
+    /// Decisions made so far this measurement phase.
+    epochs: u64,
+}
+
+fn corrupt(msg: impl Into<String>) -> SimError {
+    SimError::snapshot(SnapshotErrorKind::Corrupt, msg)
+}
+
+impl QosController {
+    /// Creates a controller at its initial state: the equal split (the same
+    /// masks [`LlcPartitioning::way_masks`] hands the engine for `Dynamic`).
+    ///
+    /// [`LlcPartitioning::way_masks`]: consim_types::LlcPartitioning::way_masks
+    pub fn new(
+        policy: DynamicPolicy,
+        associativity: usize,
+        num_vms: usize,
+        total_lines: u64,
+    ) -> Self {
+        let base = associativity / num_vms;
+        let extra = associativity % num_vms;
+        let quotas = (0..num_vms)
+            .map(|vm| (base + usize::from(vm < extra)) as u8)
+            .collect();
+        Self {
+            policy,
+            associativity: associativity as u32,
+            total_lines,
+            quotas,
+            ewma_milli: vec![1000; num_vms],
+            best_cpkr: vec![u64::MAX; num_vms],
+            prev_refs: vec![0; num_vms],
+            prev_l1_misses: vec![0; num_vms],
+            prev_memory_fetches: vec![0; num_vms],
+            last_boundary: 0,
+            epochs: 0,
+        }
+    }
+
+    /// Cycles between repartition decisions.
+    pub fn interval(&self) -> u64 {
+        self.policy.epoch_interval
+    }
+
+    /// The masks implied by the current quotas.
+    pub fn masks(&self) -> Vec<u64> {
+        masks_from_quotas(&self.quotas)
+    }
+
+    /// The current per-VM way quotas.
+    pub fn quotas(&self) -> &[u8] {
+        &self.quotas
+    }
+
+    /// Resets the controller for a fresh measurement phase starting at
+    /// `now` (measurement counters restart at zero there too).
+    pub fn begin(&mut self, now: u64) {
+        let n = self.quotas.len();
+        *self = Self::new(
+            self.policy.clone(),
+            self.associativity as usize,
+            n,
+            self.total_lines,
+        );
+        self.last_boundary = now;
+    }
+
+    /// Runs one repartition decision at cycle `now` from the *cumulative*
+    /// per-VM measurement counters and the current per-VM LLC line counts.
+    /// Updates the controller state and returns the full decision record.
+    pub fn decide(
+        &mut self,
+        now: u64,
+        refs: &[u64],
+        l1_misses: &[u64],
+        memory_fetches: &[u64],
+        occupancy_lines: &[u64],
+    ) -> RepartitionDecision {
+        let n = self.quotas.len();
+        debug_assert!(
+            refs.len() == n
+                && l1_misses.len() == n
+                && memory_fetches.len() == n
+                && occupancy_lines.len() == n
+        );
+        let elapsed = now.saturating_sub(self.last_boundary);
+        self.last_boundary = now;
+        self.epochs += 1;
+
+        let mut refs_d = vec![0u64; n];
+        let mut l1_d = vec![0u64; n];
+        let mut mem_d = vec![0u64; n];
+        for vm in 0..n {
+            refs_d[vm] = refs[vm].saturating_sub(self.prev_refs[vm]);
+            l1_d[vm] = l1_misses[vm].saturating_sub(self.prev_l1_misses[vm]);
+            mem_d[vm] = memory_fetches[vm].saturating_sub(self.prev_memory_fetches[vm]);
+            self.prev_refs[vm] = refs[vm];
+            self.prev_l1_misses[vm] = l1_misses[vm];
+            self.prev_memory_fetches[vm] = memory_fetches[vm];
+        }
+
+        let mut classes = vec![VmClass::Light; n];
+        for vm in 0..n {
+            if refs_d[vm] == 0 {
+                // Idle or finished: no progress signal. Keep the EWMA and
+                // classify light so its ways are up for grabs.
+                classes[vm] = VmClass::Light;
+                continue;
+            }
+            // Progress: cycles per kiloref this epoch vs the best ever seen.
+            let cpkr = sat64((elapsed as u128) * 1000 / refs_d[vm] as u128);
+            if cpkr < self.best_cpkr[vm] {
+                self.best_cpkr[vm] = cpkr;
+            }
+            let best = self.best_cpkr[vm].max(1);
+            let slow_milli = sat64((cpkr as u128) * 1000 / best as u128);
+            let p = u128::from(self.policy.ewma_permille);
+            self.ewma_milli[vm] = sat64(
+                (p * u128::from(slow_milli) + (1000 - p) * u128::from(self.ewma_milli[vm])) / 1000,
+            );
+
+            // Classification.
+            let mpkr = (l1_d[vm] as u128) * 1000 / refs_d[vm] as u128;
+            let occ_ways = u128::from(self.associativity) * u128::from(occupancy_lines[vm])
+                / u128::from(self.total_lines.max(1));
+            let mem_share = (mem_d[vm] as u128) * 1000 / (l1_d[vm].max(1)) as u128;
+            classes[vm] = if mpkr < u128::from(self.policy.light_miss_permille) || occ_ways == 0 {
+                VmClass::Light
+            } else if mem_share > u128::from(self.policy.stream_memory_permille) {
+                VmClass::Streaming
+            } else {
+                VmClass::CacheSensitive
+            };
+        }
+
+        let old_masks = self.masks();
+        let spread = self.ewma_milli.iter().max().unwrap_or(&1000)
+            - self.ewma_milli.iter().min().unwrap_or(&1000);
+        if spread > u64::from(self.policy.deadband_milli) {
+            let targets = self.targets(&classes);
+            self.step_towards(&targets);
+        }
+        let new_masks = self.masks();
+
+        RepartitionDecision {
+            epoch: self.epochs,
+            at: now,
+            elapsed,
+            refs: refs_d,
+            l1_misses: l1_d,
+            memory_fetches: mem_d,
+            occupancy_lines: occupancy_lines.to_vec(),
+            classes,
+            ewma_milli: self.ewma_milli.clone(),
+            old_masks,
+            new_masks,
+        }
+    }
+
+    /// The quota vector the controller would like to converge to: `min_ways`
+    /// each plus the free pool split largest-remainder-proportionally to the
+    /// EWMA slowdown of cache-sensitive VMs.
+    fn targets(&self, classes: &[VmClass]) -> Vec<u8> {
+        let n = self.quotas.len();
+        let min = u32::from(self.policy.min_ways);
+        let pool = self.associativity - min * n as u32;
+        let weights: Vec<u64> = (0..n)
+            .map(|vm| {
+                if classes[vm] == VmClass::CacheSensitive {
+                    self.ewma_milli[vm]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+
+        let mut targets = vec![0u32; n];
+        if total == 0 {
+            // Nobody is cache-sensitive: equal split, first VMs take the
+            // remainder (the EqualWays rule).
+            let base = pool / n as u32;
+            let extra = pool % n as u32;
+            for (vm, t) in targets.iter_mut().enumerate() {
+                *t = min + base + u32::from((vm as u32) < extra);
+            }
+        } else {
+            // Largest-remainder apportionment, ties to the lowest VM id.
+            let mut assigned = 0u32;
+            let mut rems: Vec<(u128, usize)> = Vec::with_capacity(n);
+            for vm in 0..n {
+                let prod = u128::from(pool) * u128::from(weights[vm]);
+                let share = prod.checked_div(total).unwrap_or(0) as u32;
+                targets[vm] = min + share;
+                assigned += share;
+                rems.push((prod.checked_rem(total).unwrap_or(0), vm));
+            }
+            // Highest remainder first; equal remainders go to lower ids.
+            rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let leftover = pool - assigned;
+            for &(_, vm) in rems.iter().take(leftover as usize) {
+                targets[vm] += 1;
+            }
+        }
+        targets.iter().map(|&t| t as u8).collect()
+    }
+
+    /// Moves at most `max_step` single ways from the largest-surplus VM to
+    /// the largest-deficit VM (ties: lowest id), never dropping a quota
+    /// below `min_ways`.
+    fn step_towards(&mut self, targets: &[u8]) {
+        let min = self.policy.min_ways;
+        for _ in 0..self.policy.max_step {
+            let mut donor: Option<(u8, usize)> = None;
+            let mut recipient: Option<(u8, usize)> = None;
+            for (vm, (&cur, &tgt)) in self.quotas.iter().zip(targets).enumerate() {
+                if cur > tgt && cur > min {
+                    let surplus = cur - tgt;
+                    if donor.is_none_or(|(s, _)| surplus > s) {
+                        donor = Some((surplus, vm));
+                    }
+                }
+                if tgt > cur {
+                    let deficit = tgt - cur;
+                    if recipient.is_none_or(|(d, _)| deficit > d) {
+                        recipient = Some((deficit, vm));
+                    }
+                }
+            }
+            let (Some((_, from)), Some((_, to))) = (donor, recipient) else {
+                break;
+            };
+            self.quotas[from] -= 1;
+            self.quotas[to] += 1;
+        }
+    }
+
+    /// Appends the controller's mutable state to a checkpoint section.
+    pub(crate) fn save(&self, w: &mut SectionBuf) {
+        w.put_u8_slice(&self.quotas);
+        w.put_u64_slice(&self.ewma_milli);
+        w.put_u64_slice(&self.best_cpkr);
+        w.put_u64_slice(&self.prev_refs);
+        w.put_u64_slice(&self.prev_l1_misses);
+        w.put_u64_slice(&self.prev_memory_fetches);
+        w.put_u64(self.last_boundary);
+        w.put_u64(self.epochs);
+    }
+
+    /// Restores the controller's mutable state from a checkpoint section,
+    /// re-validating the quota invariants against the configuration.
+    pub(crate) fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        let n = self.quotas.len();
+        let mut quotas = vec![0u8; n];
+        r.get_u8_slice_into(&mut quotas, "qos quotas")?;
+        if quotas.iter().map(|&q| u32::from(q)).sum::<u32>() != self.associativity {
+            return Err(corrupt("qos quotas do not sum to the LLC associativity"));
+        }
+        if quotas.iter().any(|&q| q < self.policy.min_ways) {
+            return Err(corrupt("qos quota below the configured min_ways"));
+        }
+        self.quotas = quotas;
+        for field in [
+            &mut self.ewma_milli,
+            &mut self.best_cpkr,
+            &mut self.prev_refs,
+            &mut self.prev_l1_misses,
+            &mut self.prev_memory_fetches,
+        ] {
+            let values = r.get_u64_vec()?;
+            if values.len() != n {
+                return Err(corrupt("qos per-VM state length mismatch"));
+            }
+            *field = values;
+        }
+        self.last_boundary = r.get_u64()?;
+        self.epochs = r.get_u64()?;
+        Ok(())
+    }
+}
+
+fn sat64(v: u128) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> DynamicPolicy {
+        DynamicPolicy::default()
+    }
+
+    fn controller(assoc: usize, vms: usize) -> QosController {
+        // 4 banks × 256 sets × assoc ways is representative; the exact line
+        // count only matters for the "less than one way" occupancy test.
+        QosController::new(policy(), assoc, vms, (4 * 256 * assoc) as u64)
+    }
+
+    #[test]
+    fn initial_masks_are_the_equal_split() {
+        let c = controller(16, 3);
+        assert_eq!(c.quotas(), &[6, 5, 5]);
+        assert_eq!(c.masks(), vec![0x003f, 0x07c0, 0xf800]);
+    }
+
+    #[test]
+    fn masks_from_quotas_are_contiguous_and_cover() {
+        let masks = masks_from_quotas(&[2, 2, 2, 1, 1]);
+        assert_eq!(
+            masks,
+            vec![0b11, 0b1100, 0b11_0000, 0b100_0000, 0b1000_0000]
+        );
+        assert_eq!(masks.iter().fold(0, |a, m| a | m), 0xff);
+        assert_eq!(masks_from_quotas(&[64]), vec![u64::MAX]);
+    }
+
+    /// Drives one VM as clearly cache-sensitive-and-slowed and the other as
+    /// light; ways must migrate toward the slowed VM, one per epoch.
+    #[test]
+    fn ways_migrate_to_the_slowed_cache_sensitive_vm() {
+        let mut c = controller(16, 2);
+        c.begin(0);
+        let lines = 4 * 256 * 16 / 4; // plenty of occupancy for VM 0
+                                      // Epoch 1: establish VM 0's best cpkr (fast epoch).
+        let d1 = c.decide(
+            50_000,
+            &[50_000, 50_000],
+            &[5_000, 0],
+            &[500, 0],
+            &[lines, 0],
+        );
+        assert_eq!(d1.classes, vec![VmClass::CacheSensitive, VmClass::Light]);
+        assert!(!d1.changed(), "no slowdown signal yet: {d1:?}");
+        // Epoch 2: VM 0 runs 3x slower than its best; VM 1 still light.
+        let d2 = c.decide(
+            100_000,
+            &[50_000 + 16_000, 50_000 + 50_000],
+            &[10_000, 0],
+            &[1_000, 0],
+            &[lines, 0],
+        );
+        assert!(d2.changed(), "slowdown must trigger a move: {d2:?}");
+        assert_eq!(c.quotas(), &[9, 7], "one way per epoch (max_step=1)");
+        assert_eq!(d2.new_masks, masks_from_quotas(&[9, 7]));
+    }
+
+    #[test]
+    fn deadband_keeps_the_split_stable() {
+        let mut c = controller(16, 2);
+        c.begin(0);
+        // Identical progress on both VMs, both cache-sensitive: spread 0.
+        for epoch in 1..=5u64 {
+            let cum = 50_000 * epoch;
+            let d = c.decide(
+                50_000 * epoch,
+                &[cum, cum],
+                &[cum / 10, cum / 10],
+                &[cum / 100, cum / 100],
+                &[1000, 1000],
+            );
+            assert!(!d.changed(), "epoch {epoch} moved ways: {d:?}");
+        }
+        assert_eq!(c.quotas(), &[8, 8]);
+    }
+
+    #[test]
+    fn quotas_never_drop_below_min_ways() {
+        let mut c = controller(16, 4);
+        c.begin(0);
+        // VM 0 slowed and sensitive, the rest permanently idle.
+        for epoch in 1..=40u64 {
+            let now = 10_000 * epoch;
+            let slow = if epoch == 1 { 10_000 } else { 2_000 };
+            let refs0 = c.prev_refs[0] + slow;
+            c.decide(
+                now,
+                &[refs0, 0, 0, 0],
+                &[refs0 / 5, 0, 0, 0],
+                &[refs0 / 50, 0, 0, 0],
+                &[4096, 0, 0, 0],
+            );
+        }
+        assert_eq!(c.quotas()[1..], [1, 1, 1], "idle VMs pinned at min_ways");
+        assert_eq!(c.quotas()[0], 13);
+        assert_eq!(c.quotas().iter().map(|&q| u32::from(q)).sum::<u32>(), 16);
+    }
+
+    #[test]
+    fn streaming_vms_get_weight_zero() {
+        let mut c = controller(16, 2);
+        c.begin(0);
+        // Both miss heavily; VM 1's misses all go to memory (streaming).
+        c.decide(
+            50_000,
+            &[50_000, 50_000],
+            &[5_000, 5_000],
+            &[500, 5_000],
+            &[2000, 2000],
+        );
+        let d = c.decide(
+            100_000,
+            &[66_000, 66_000],
+            &[10_000, 10_000],
+            &[1_000, 10_000],
+            &[2000, 2000],
+        );
+        assert_eq!(d.classes, vec![VmClass::CacheSensitive, VmClass::Streaming]);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_state_round_trips() {
+        let drive = |c: &mut QosController| {
+            c.begin(7);
+            let mut out = Vec::new();
+            for e in 1..=6u64 {
+                let cum = 40_000 * e;
+                out.push(c.decide(
+                    7 + 50_000 * e,
+                    &[cum, cum / 2, cum / 3],
+                    &[cum / 8, cum / 64, cum / 4],
+                    &[cum / 80, cum / 640, cum / 5],
+                    &[3000, 100, 2500],
+                ));
+            }
+            out
+        };
+        let mut a = controller(16, 3);
+        let mut b = controller(16, 3);
+        assert_eq!(drive(&mut a), drive(&mut b));
+
+        // Round-trip the mid-run state and continue both copies in lockstep.
+        let mut buf = SectionBuf::new();
+        a.save(&mut buf);
+        let mut c = controller(16, 3);
+        c.restore(&mut SectionReader::new("qos", buf.as_bytes()))
+            .unwrap();
+        assert_eq!(a, c);
+        let cum = 40_000 * 7;
+        let next = |c: &mut QosController| {
+            c.decide(
+                7 + 50_000 * 7,
+                &[cum, cum / 2, cum / 3],
+                &[cum / 8, cum / 64, cum / 4],
+                &[cum / 80, cum / 640, cum / 5],
+                &[3000, 100, 2500],
+            )
+        };
+        assert_eq!(next(&mut a), next(&mut c));
+    }
+
+    #[test]
+    fn restore_rejects_invalid_quotas() {
+        let mut good = controller(16, 2);
+        good.begin(0);
+        let mut buf = SectionBuf::new();
+        good.save(&mut buf);
+        // A valid payload restores fine.
+        let mut c = controller(16, 2);
+        c.restore(&mut SectionReader::new("qos", buf.as_bytes()))
+            .unwrap();
+
+        // Corrupt the quota bytes so they no longer sum to the
+        // associativity: count(usize) is 8 bytes, quotas follow.
+        let mut bad = buf.as_bytes().to_vec();
+        bad[8] = 15; // [15, 8] sums to 23, not 16
+        let err = controller(16, 2)
+            .restore(&mut SectionReader::new("qos", &bad))
+            .expect_err("bad sum must be rejected");
+        assert_eq!(err.snapshot_kind(), Some(SnapshotErrorKind::Corrupt));
+
+        let mut below_min = buf.as_bytes().to_vec();
+        below_min[8] = 0;
+        below_min[9] = 16;
+        let err = controller(16, 2)
+            .restore(&mut SectionReader::new("qos", &below_min))
+            .expect_err("quota below min_ways must be rejected");
+        assert_eq!(err.snapshot_kind(), Some(SnapshotErrorKind::Corrupt));
+    }
+}

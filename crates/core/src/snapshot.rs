@@ -12,7 +12,9 @@ use crate::engine::SimulationConfig;
 use consim_cache::ReplacementPolicy;
 use consim_sched::SchedulingPolicy;
 use consim_snap::{fnv1a, SectionBuf, SectionReader};
-use consim_types::config::{CacheGeometry, LlcPartitioning, MachineConfigBuilder, SharingDegree};
+use consim_types::config::{
+    CacheGeometry, DynamicPolicy, LlcPartitioning, MachineConfigBuilder, SharingDegree,
+};
 use consim_types::{SimError, SnapshotErrorKind};
 use consim_workload::profile::PaperTargets;
 use consim_workload::{WorkloadKind, WorkloadProfile};
@@ -52,6 +54,16 @@ pub(crate) fn save_config(config: &SimulationConfig, w: &mut SectionBuf) {
             for &ways in ways {
                 w.put_u8(ways);
             }
+        }
+        LlcPartitioning::Dynamic(p) => {
+            w.put_u8(3);
+            w.put_u64(p.epoch_interval);
+            w.put_u8(p.min_ways);
+            w.put_u8(p.max_step);
+            w.put_u32(p.ewma_permille);
+            w.put_u32(p.deadband_milli);
+            w.put_u32(p.light_miss_permille);
+            w.put_u32(p.stream_memory_permille);
         }
     }
     w.put_u64(m.memory_latency);
@@ -105,6 +117,15 @@ pub(crate) fn restore_config(r: &mut SectionReader<'_>) -> Result<SimulationConf
             }
             LlcPartitioning::ExplicitWays(ways)
         }
+        3 => LlcPartitioning::Dynamic(DynamicPolicy {
+            epoch_interval: r.get_u64()?,
+            min_ways: r.get_u8()?,
+            max_step: r.get_u8()?,
+            ewma_permille: r.get_u32()?,
+            deadband_milli: r.get_u32()?,
+            light_miss_permille: r.get_u32()?,
+            stream_memory_permille: r.get_u32()?,
+        }),
         t => return Err(corrupt(format!("invalid LLC-partitioning tag {t}"))),
     });
     machine.memory_latency(r.get_u64()?);

@@ -63,7 +63,11 @@ pub const MAGIC: [u8; 4] = *b"CSNP";
 /// * 2 — flat SoA cache planes (tag/state/recency vectors per cache) and
 ///   batched generator cursors; v1 files are rejected as
 ///   [`SnapshotErrorKind::BadVersion`].
-pub const VERSION: u32 = 2;
+/// * 3 — dynamic-QoS repartitioning: the engine section gains the next
+///   repartition boundary and the controller's state (way quotas, EWMA
+///   slowdowns, per-boundary counter baselines); older versions are
+///   rejected as [`SnapshotErrorKind::BadVersion`].
+pub const VERSION: u32 = 3;
 
 /// FNV-1a hash of a byte slice — the section checksum function.
 ///

@@ -151,6 +151,23 @@ pub enum TraceEvent {
         /// Fraction of LLC capacity holding valid lines.
         llc_occupancy: f64,
     },
+    /// The dynamic QoS controller changed the per-VM LLC way split at an
+    /// epoch boundary (emitted only for decisions that moved ways).
+    Repartition {
+        /// Simulation cycle of the decision.
+        cycle: u64,
+        /// 1-based decision index within the measurement phase.
+        epoch: u64,
+        /// Per-VM allowed-way bitmasks before the decision.
+        old_masks: Vec<u64>,
+        /// Per-VM allowed-way bitmasks after the decision.
+        new_masks: Vec<u64>,
+        /// Per-VM classification labels (`"light"`, `"streaming"`,
+        /// `"cache_sensitive"`) used for the decision.
+        classes: Vec<&'static str>,
+        /// Per-VM EWMA slowdown in milli units (1000 = no slowdown).
+        ewma_milli: Vec<u64>,
+    },
     /// One (sampled) directory protocol action.
     Coherence {
         /// Ordinal of the request at the directory (1-based).
@@ -211,7 +228,9 @@ impl TraceEvent {
             TraceEvent::RunStarted { .. }
             | TraceEvent::RunCompleted { .. }
             | TraceEvent::AuditPassed { .. } => EventClass::Lifecycle,
-            TraceEvent::Epoch { .. } | TraceEvent::EpochMachine { .. } => EventClass::Epoch,
+            TraceEvent::Epoch { .. }
+            | TraceEvent::EpochMachine { .. }
+            | TraceEvent::Repartition { .. } => EventClass::Epoch,
             TraceEvent::Coherence { .. } => EventClass::Coherence,
             TraceEvent::NocStall { .. } => EventClass::NocStall,
             TraceEvent::CellCompleted { .. } | TraceEvent::BatchCompleted { .. } => {
@@ -286,6 +305,33 @@ impl TraceEvent {
                 json_f64(*noc_peak_utilization),
                 json_f64(*llc_occupancy),
             ),
+            TraceEvent::Repartition {
+                cycle,
+                epoch,
+                old_masks,
+                new_masks,
+                classes,
+                ewma_milli,
+            } => {
+                write!(
+                    f,
+                    "{{\"event\":\"repartition\",\"cycle\":{cycle},\"epoch\":{epoch},\
+                     \"old_masks\":"
+                )?;
+                json_u64_array(f, old_masks)?;
+                f.write_str(",\"new_masks\":")?;
+                json_u64_array(f, new_masks)?;
+                f.write_str(",\"classes\":[")?;
+                for (i, class) in classes.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\"{class}\"")?;
+                }
+                f.write_str("],\"ewma_milli\":")?;
+                json_u64_array(f, ewma_milli)?;
+                f.write_str("}")
+            }
             TraceEvent::Coherence {
                 request,
                 requester,
@@ -336,6 +382,18 @@ impl TraceEvent {
             ),
         }
     }
+}
+
+/// Writes a `u64` slice as a JSON array.
+fn json_u64_array(f: &mut impl fmt::Write, vs: &[u64]) -> fmt::Result {
+    f.write_str("[")?;
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            f.write_str(",")?;
+        }
+        write!(f, "{v}")?;
+    }
+    f.write_str("]")
 }
 
 /// Formats a float as a JSON value (`null` if non-finite).
@@ -419,6 +477,17 @@ mod tests {
                 "epoch_machine",
             ),
             (
+                TraceEvent::Repartition {
+                    cycle: 200,
+                    epoch: 2,
+                    old_masks: vec![0xff, 0xff00],
+                    new_masks: vec![0x1ff, 0xfe00],
+                    classes: vec!["cache_sensitive", "light"],
+                    ewma_milli: vec![1500, 1000],
+                },
+                "repartition",
+            ),
+            (
                 TraceEvent::Coherence {
                     request: 1,
                     requester: 2,
@@ -484,6 +553,26 @@ mod tests {
         let json = e.to_json();
         assert!(json.contains("\"llc_miss_rate\":null"));
         assert!(json.contains("\"mean_miss_latency\":null"));
+    }
+
+    #[test]
+    fn repartition_serializes_arrays() {
+        let e = TraceEvent::Repartition {
+            cycle: 50_000,
+            epoch: 1,
+            old_masks: vec![0xff, 0xff00],
+            new_masks: vec![0x1ff, 0xfe00],
+            classes: vec!["cache_sensitive", "streaming"],
+            ewma_milli: vec![2000, 1000],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"repartition\",\"cycle\":50000,\"epoch\":1,\
+             \"old_masks\":[255,65280],\"new_masks\":[511,65024],\
+             \"classes\":[\"cache_sensitive\",\"streaming\"],\
+             \"ewma_milli\":[2000,1000]}"
+        );
+        assert_eq!(e.class(), EventClass::Epoch);
     }
 
     #[test]

@@ -77,6 +77,99 @@ impl fmt::Display for SharingDegree {
     }
 }
 
+/// Parameters of the dynamic (LFOC+-style) LLC repartitioning controller.
+///
+/// Every field is an integer in fixed-point units (permille weights,
+/// milli-slowdowns) so controller decisions are exact, platform-independent,
+/// bit-identical across checkpoint/resume, and re-computable by the
+/// differential oracle from the same inputs.
+///
+/// The controller runs at `epoch_interval`-cycle boundaries of the
+/// measurement phase. Each epoch it classifies every VM from its epoch
+/// deltas — *light* (few L1 misses per reference, or occupying less than
+/// one way's worth of LLC capacity), *streaming* (misses mostly served by
+/// memory: the cache is not helping), or *cache-sensitive* (the rest) —
+/// and redistributes the ways above the per-VM `min_ways` floor across the
+/// cache-sensitive VMs proportional to their EWMA slowdown (cycles per
+/// reference versus the VM's own best epoch). Hysteresis: no rebalancing
+/// while the max−min slowdown spread is within `deadband_milli`, and at
+/// most `max_step` ways migrate per boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DynamicPolicy {
+    /// Cycles between repartitioning decisions. Must be nonzero — a zero
+    /// interval would make the epoch boundary degenerate (the controller
+    /// would re-run before every access).
+    pub epoch_interval: u64,
+    /// Floor on the ways any VM may hold (≥ 1; a zero-way VM could never
+    /// fill a line).
+    pub min_ways: u8,
+    /// Maximum number of ways migrated per decision (gradual rebalancing;
+    /// displaced lines are evicted by natural replacement, not flushed).
+    pub max_step: u8,
+    /// EWMA weight of the newest slowdown sample, in permille (1..=1000).
+    pub ewma_permille: u32,
+    /// Dead-band: skip rebalancing while the max−min EWMA slowdown spread
+    /// is at most this many milli-units (1000 = 1.0×).
+    pub deadband_milli: u32,
+    /// A VM whose epoch L1 misses per reference (permille) fall below this
+    /// threshold is classified *light*.
+    pub light_miss_permille: u32,
+    /// A VM whose epoch memory fetches per L1 miss (permille) exceed this
+    /// threshold is classified *streaming*.
+    pub stream_memory_permille: u32,
+}
+
+impl Default for DynamicPolicy {
+    /// A stable, paper-scale tuning: decide every 50k cycles, one way per
+    /// step, 30% EWMA weight, 5% slowdown dead-band, light below 0.5%
+    /// misses/ref, streaming above 70% memory-served misses.
+    fn default() -> Self {
+        Self {
+            epoch_interval: 50_000,
+            min_ways: 1,
+            max_step: 1,
+            ewma_permille: 300,
+            deadband_milli: 50,
+            light_miss_permille: 5,
+            stream_memory_permille: 700,
+        }
+    }
+}
+
+impl DynamicPolicy {
+    /// Validates the VM-count-independent parameter invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `epoch_interval`, `min_ways`,
+    /// or `max_step` is zero, or if `ewma_permille` is outside `1..=1000`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.epoch_interval == 0 {
+            return Err(SimError::invalid_config(
+                "dynamic repartitioning epoch_interval must be nonzero \
+                 (a zero interval degenerates the epoch boundary)",
+            ));
+        }
+        if self.min_ways == 0 {
+            return Err(SimError::invalid_config(
+                "dynamic repartitioning min_ways must be nonzero",
+            ));
+        }
+        if self.max_step == 0 {
+            return Err(SimError::invalid_config(
+                "dynamic repartitioning max_step must be nonzero",
+            ));
+        }
+        if self.ewma_permille == 0 || self.ewma_permille > 1000 {
+            return Err(SimError::invalid_config(format!(
+                "dynamic repartitioning ewma_permille must be in 1..=1000, got {}",
+                self.ewma_permille
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Per-VM LLC way-partitioning (cache QoS).
 ///
 /// Server-consolidation QoS proposals isolate co-scheduled VMs by
@@ -105,14 +198,24 @@ pub enum LlcPartitioning {
     /// baseline machine).
     #[default]
     None,
-    /// The bank associativity is divided as evenly as possible across VMs;
-    /// when it does not divide exactly, the first `ways % vms` VMs get one
-    /// extra way.
+    /// The bank associativity is divided as evenly as possible across VMs.
+    ///
+    /// Remainder rule (documented and pinned by tests — a deterministic
+    /// round-robin of the leftover ways): every VM gets
+    /// `associativity / num_vms` ways, and the first `associativity %
+    /// num_vms` VMs (in VM-id order) get exactly one extra way each. E.g.
+    /// 16 ways / 3 VMs → 6/5/5; 8 ways / 5 VMs → 2/2/2/1/1. Masks are
+    /// contiguous, lowest ways to VM 0.
     EqualWays,
     /// An explicit per-VM way quota; entry `i` is the number of ways VM `i`
     /// may occupy. Entries must be nonzero, sum to the LLC associativity,
     /// and match the VM count one-to-one.
     ExplicitWays(Vec<u8>),
+    /// Online fairness-aware repartitioning: starts from the
+    /// [`LlcPartitioning::EqualWays`] split and lets a deterministic
+    /// controller rebalance contiguous way masks at epoch boundaries of the
+    /// measurement phase (see [`DynamicPolicy`]).
+    Dynamic(DynamicPolicy),
 }
 
 impl LlcPartitioning {
@@ -126,6 +229,7 @@ impl LlcPartitioning {
                 let parts: Vec<String> = ways.iter().map(u8::to_string).collect();
                 format!("ways-{}", parts.join("/"))
             }
+            LlcPartitioning::Dynamic(_) => "dynamic".to_string(),
         }
     }
 
@@ -180,6 +284,31 @@ impl LlcPartitioning {
                     )));
                 }
                 ways.iter().map(|&w| w as usize).collect()
+            }
+            LlcPartitioning::Dynamic(p) => {
+                p.validate()?;
+                if num_vms == 0 || num_vms > associativity {
+                    return Err(SimError::invalid_config(format!(
+                        "dynamic partitioning needs 1..={associativity} VMs \
+                         for a {associativity}-way LLC, got {num_vms}"
+                    )));
+                }
+                if p.min_ways as usize * num_vms > associativity {
+                    return Err(SimError::invalid_config(format!(
+                        "dynamic partitioning needs min_ways ({}) × VMs ({num_vms}) \
+                         ≤ LLC associativity ({associativity})",
+                        p.min_ways
+                    )));
+                }
+                // Initial placement before the first decision: the same
+                // deterministic equal split as `EqualWays` (the controller
+                // rebalances from here). `min_ways × vms ≤ assoc` implies
+                // every equal share is already ≥ `min_ways`.
+                let base = associativity / num_vms;
+                let extra = associativity % num_vms;
+                (0..num_vms)
+                    .map(|vm| base + usize::from(vm < extra))
+                    .collect()
             }
         };
         if associativity > 64 {
@@ -609,6 +738,15 @@ impl MachineConfigBuilder {
                 self.llc_partitioning
                     .way_masks(self.llc.associativity, ways.len())?;
             }
+            LlcPartitioning::Dynamic(p) => {
+                if self.llc.associativity > 64 {
+                    return Err(SimError::invalid_config(format!(
+                        "way partitioning supports at most 64-way LLCs, got {}",
+                        self.llc.associativity
+                    )));
+                }
+                p.validate()?;
+            }
         }
         // The directory cache is 8-way set-associative; a capacity that is
         // not a whole number of sets would otherwise only be rejected much
@@ -797,6 +935,39 @@ mod tests {
     }
 
     #[test]
+    fn equal_ways_remainder_rule_is_pinned() {
+        // The documented deterministic rule: base = ways / vms, and the
+        // first `ways % vms` VMs (by id) get exactly one extra way, masks
+        // contiguous from way 0. Pinned for 3 VMs / 16 ways...
+        let masks = LlcPartitioning::EqualWays
+            .way_masks(16, 3)
+            .unwrap()
+            .unwrap();
+        assert_eq!(masks, vec![0x003f, 0x07c0, 0xf800]); // 6 | 5 | 5
+                                                         // ...and 5 VMs / 8 ways.
+        let masks = LlcPartitioning::EqualWays.way_masks(8, 5).unwrap().unwrap();
+        assert_eq!(
+            masks.iter().map(|m| m.count_ones()).collect::<Vec<_>>(),
+            vec![2, 2, 2, 1, 1]
+        );
+        assert_eq!(
+            masks,
+            vec![
+                0b0000_0011,
+                0b0000_1100,
+                0b0011_0000,
+                0b0100_0000,
+                0b1000_0000
+            ]
+        );
+        assert_eq!(masks.iter().fold(0u64, |acc, m| acc | m), 0xff);
+        assert!(masks
+            .iter()
+            .enumerate()
+            .all(|(i, m)| masks[..i].iter().all(|prev| prev & m == 0)));
+    }
+
+    #[test]
     fn equal_ways_rejects_more_vms_than_ways() {
         let err = LlcPartitioning::EqualWays.way_masks(2, 3).unwrap_err();
         assert!(err.to_string().contains("equal-ways"));
@@ -844,5 +1015,89 @@ mod tests {
             LlcPartitioning::ExplicitWays(vec![8, 4, 2, 2]).to_string(),
             "ways-8/4/2/2"
         );
+        assert_eq!(
+            LlcPartitioning::Dynamic(DynamicPolicy::default()).label(),
+            "dynamic"
+        );
+    }
+
+    #[test]
+    fn dynamic_initial_masks_equal_the_equal_ways_split() {
+        let dynamic = LlcPartitioning::Dynamic(DynamicPolicy::default());
+        for (assoc, vms) in [(16, 4), (16, 3), (8, 5), (64, 1)] {
+            assert_eq!(
+                dynamic.way_masks(assoc, vms).unwrap(),
+                LlcPartitioning::EqualWays.way_masks(assoc, vms).unwrap(),
+                "{assoc}-way / {vms} VMs"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_dynamic_epoch_interval() {
+        // Satellite bugfix: a zero interval would make the repartition
+        // boundary degenerate (`next = start.saturating_add(0)` re-fires
+        // before every access), so it is a typed config error at build time.
+        let p = DynamicPolicy {
+            epoch_interval: 0,
+            ..DynamicPolicy::default()
+        };
+        let err = MachineConfigBuilder::new()
+            .llc_partitioning(LlcPartitioning::Dynamic(p.clone()))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("epoch_interval"), "{err}");
+        // The same rejection guards the VM-aware path used by the
+        // simulation builder (reachable via `with_llc_partitioning`).
+        let err = LlcPartitioning::Dynamic(p).way_masks(16, 4).unwrap_err();
+        assert!(err.to_string().contains("epoch_interval"), "{err}");
+    }
+
+    #[test]
+    fn dynamic_parameter_validation() {
+        let ok = DynamicPolicy::default();
+        assert!(ok.validate().is_ok());
+        for bad in [
+            DynamicPolicy {
+                min_ways: 0,
+                ..ok.clone()
+            },
+            DynamicPolicy {
+                max_step: 0,
+                ..ok.clone()
+            },
+            DynamicPolicy {
+                ewma_permille: 0,
+                ..ok.clone()
+            },
+            DynamicPolicy {
+                ewma_permille: 1001,
+                ..ok.clone()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+            assert!(MachineConfigBuilder::new()
+                .llc_partitioning(LlcPartitioning::Dynamic(bad))
+                .build()
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn dynamic_min_ways_feasibility_is_vm_aware() {
+        let p = DynamicPolicy {
+            min_ways: 3,
+            ..DynamicPolicy::default()
+        };
+        let part = LlcPartitioning::Dynamic(p);
+        // 3 ways × 5 VMs = 15 ≤ 16: feasible.
+        assert!(part.way_masks(16, 5).is_ok());
+        // 3 ways × 6 VMs = 18 > 16: rejected with a typed error.
+        let err = part.way_masks(16, 6).unwrap_err();
+        assert!(err.to_string().contains("min_ways"), "{err}");
+        // More VMs than ways is rejected like the static policies.
+        assert!(LlcPartitioning::Dynamic(DynamicPolicy::default())
+            .way_masks(4, 5)
+            .is_err());
     }
 }

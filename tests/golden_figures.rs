@@ -121,6 +121,12 @@ fn figures_match_golden_snapshots() {
             "fig14_partitioning",
             figures::fig14_partitioning(&ctx).unwrap().to_string(),
         ),
+        (
+            "fig15_dynamic_partitioning",
+            figures::fig15_dynamic_partitioning(&ctx)
+                .unwrap()
+                .to_string(),
+        ),
     ];
 
     let dir = golden_dir();
