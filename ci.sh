@@ -26,12 +26,20 @@ echo "== workspace tests (release) =="
 cargo test --workspace --release -q
 
 echo "== differential oracle smoke (consim-check, fixed seed) =="
-# The generator draws dynamic-repartitioning cases at ~30%, so this smoke
-# also covers the QoS controller against the naive mirror.
+# The generator draws dynamic-repartitioning cases at ~30% and lifecycle
+# churn at ~30%, so this smoke covers the QoS controller and the
+# birth–death/migration machinery against the naive mirror.
 cargo run --release -q -p consim-check --bin fuzz -- --cases 500 --seed 7
 
 echo "== QoS mutation self-test (IgnoreRepartition must be caught) =="
 cargo test --release -q -p consim-check ignore_repartition_mutation_is_detected
+
+echo "== churn mutation self-tests (IgnoreRetire, SkipMigrationInvalidation) =="
+cargo test --release -q -p consim-check ignore_retire_mutation_is_detected
+cargo test --release -q -p consim-check skip_migration_invalidation_mutation_is_detected
+
+echo "== lifecycle churn smoke (every case churned, fixed seed) =="
+cargo run --release -q -p consim-check --bin fuzz -- --cases 200 --seed 23 --churn
 
 echo "== checkpoint/resume seam smoke (consim-check, fixed seed) =="
 cargo run --release -q -p consim-check --bin fuzz -- --cases 200 --seed 11 --resume

@@ -20,7 +20,9 @@ use consim::mix::Mix;
 use consim::report::TextTable;
 use consim::runner::{ExperimentCell, RunOptions, VmAggregate};
 use consim_sched::SchedulingPolicy;
-use consim_types::config::{DynamicPolicy, LlcPartitioning, MachineConfig, SharingDegree};
+use consim_types::config::{
+    ChurnPolicy, DynamicPolicy, LlcPartitioning, MachineConfig, SharingDegree,
+};
 use consim_types::SimError;
 use consim_workload::WorkloadKind;
 
@@ -598,6 +600,115 @@ pub fn fig15_dynamic_partitioning(ctx: &FigureContext) -> Result<TextTable, SimE
     Ok(t)
 }
 
+/// Fig. 16 (extension): consolidation under VM lifecycle churn — the
+/// Fig. 14 mix, round robin on shared-4-way banks, with a static
+/// population against two birth–death regimes: arrivals and departures
+/// only, and the same regime with live migration enabled. Row groups:
+/// per-VM runtime normalized to the static column (a VM retired before
+/// meeting its quota completes at the retirement boundary, so churned
+/// runtimes can drop *below* 1.0 — that truncation is the lifecycle
+/// effect, not an artifact), per-VM mean miss latency relative to the
+/// static column (interference from re-warming after spawns and
+/// migrations), per-VM *tail* (worst single) miss latency in cycles, and
+/// a churn-activity footer (mean spawns / retires / migrations /
+/// scrubbed dirty writebacks per run). Churn rates are permille-per-epoch
+/// draws, so the activity rows also pin the deterministic decision
+/// sequence in the golden.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig16_lifecycle_churn(ctx: &FigureContext) -> Result<TextTable, SimError> {
+    let mix = Mix::all_heterogeneous()
+        .into_iter()
+        .next()
+        .expect("at least one heterogeneous mix");
+    let vms = mix.instances().len();
+    // Every VM starts active (so each has a real measured quota), epochs
+    // fire many times inside even the quick run, and departures leave at
+    // least half the population standing.
+    let birth_death = ChurnPolicy {
+        interval: 4_000,
+        arrival_permille: vec![500; vms],
+        departure_permille: vec![300; vms],
+        migration_permille: 0,
+        initial_active: vms,
+        min_active: (vms / 2).max(1),
+        migration_targets: None,
+    };
+    let with_migration = ChurnPolicy {
+        migration_permille: 400,
+        ..birth_death.clone()
+    };
+    let schemes: [(&str, Option<ChurnPolicy>); 3] = [
+        ("static", None),
+        ("birth-death", Some(birth_death)),
+        ("+migration", Some(with_migration)),
+    ];
+    // Same cell-cache caveat as Figs. 14/15: churn lives on the machine,
+    // which the context's cell cache does not key on, so the churned
+    // columns run on dedicated runners cloned from the context's.
+    let mut runs = Vec::new();
+    for (_, policy) in &schemes {
+        runs.push(match policy {
+            None => ctx.run(mix.instances(), RoundRobin, SharedBy(4))?,
+            Some(churn) => {
+                let machine = MachineConfig::paper_default().with_churn(churn.clone());
+                let runner = ctx.runner().clone().on_machine(machine);
+                let cell = ExperimentCell::of_kinds(mix.instances(), RoundRobin, SharedBy(4));
+                let run = runner
+                    .run_cells(std::slice::from_ref(&cell))?
+                    .pop()
+                    .expect("one cell in, one run out");
+                std::sync::Arc::new(run)
+            }
+        });
+    }
+    let cols: Vec<&str> = schemes.iter().map(|(l, _)| *l).collect();
+    let mut t = TextTable::new(
+        format!(
+            "Fig 16: VM lifecycle churn ({}, rr, shared-4-way)",
+            mix.id()
+        ),
+        &cols,
+    );
+    for (vm, kind) in mix.instances().iter().enumerate() {
+        let base = runs[0].vms[vm].runtime_cycles.mean.max(1e-9);
+        let row: Vec<f64> = runs
+            .iter()
+            .map(|r| r.vms[vm].runtime_cycles.mean / base)
+            .collect();
+        t.row(format!("runtime vm{vm} {}", kind.name()), &row);
+    }
+    for (vm, kind) in mix.instances().iter().enumerate() {
+        let base = runs[0].vms[vm].miss_latency.mean.max(1e-9);
+        let row: Vec<f64> = runs
+            .iter()
+            .map(|r| r.vms[vm].miss_latency.mean / base)
+            .collect();
+        t.row(format!("misslat vm{vm} {}", kind.name()), &row);
+    }
+    for (vm, kind) in mix.instances().iter().enumerate() {
+        let row: Vec<f64> = runs
+            .iter()
+            .map(|r| r.vms[vm].miss_latency_max.mean)
+            .collect();
+        t.row(format!("tail vm{vm} {}", kind.name()), &row);
+    }
+    type ActivityStat = fn(&consim::runner::MixRun) -> f64;
+    let activity: [(&str, ActivityStat); 4] = [
+        ("spawns", |r| r.churn.spawns.mean),
+        ("retires", |r| r.churn.retires.mean),
+        ("migrations", |r| r.churn.migrations.mean),
+        ("scrub wb", |r| r.churn.scrub_writebacks.mean),
+    ];
+    for (label, f) in activity {
+        let row: Vec<f64> = runs.iter().map(|r| f(r)).collect();
+        t.row(label, &row);
+    }
+    Ok(t)
+}
+
 /// Every experiment cell the figure regenerators will request, so
 /// [`run_all`] can prefetch them in one parallel batch. Duplicates are
 /// fine; [`FigureContext::prefetch`] collapses them.
@@ -654,6 +765,7 @@ pub fn run_all(ctx: &FigureContext) -> Result<(), SimError> {
     println!("{}", fig13_occupancy(ctx)?);
     println!("{}", fig14_partitioning(ctx)?);
     println!("{}", fig15_dynamic_partitioning(ctx)?);
+    println!("{}", fig16_lifecycle_churn(ctx)?);
     Ok(())
 }
 

@@ -4,6 +4,7 @@
 //! cargo run --release -p consim-check --bin fuzz -- --cases 500 --seed 7
 //! cargo run --release -p consim-check --bin fuzz -- --cases 200 --seed 11 --resume
 //! cargo run --release -p consim-check --bin fuzz -- --cases 200 --seed 19 --high-locality
+//! cargo run --release -p consim-check --bin fuzz -- --cases 200 --seed 23 --churn
 //! cargo run --release -p consim-check --bin fuzz -- --replay <case-seed>
 //! ```
 //!
@@ -23,6 +24,12 @@
 //! engine's private-hit fast path (bigger L0/L1, strong recent-block
 //! reuse, shared writes) so hit-heavy streams — where a fast-path
 //! misclassification would hide — get dedicated coverage.
+//!
+//! With `--churn`, every case carries a lifecycle-churn policy: cases
+//! that already drew one keep it, the rest get a seed-derived policy with
+//! arrival rates floored so the population actually moves. This is the CI
+//! smoke for the birth–death/migration oracle, which otherwise only sees
+//! churn on the ~30% of cases that draw it.
 
 use consim_bench::cli::BenchFlags;
 use consim_check::{run_case, run_case_resumed, shrink, CaseOutcome, FuzzCase, Mutation};
@@ -43,6 +50,7 @@ fn main() -> ExitCode {
     };
     let resume = take_switch("--resume");
     let high_locality = take_switch("--high-locality");
+    let churn = take_switch("--churn");
     let parsed = BenchFlags::parse(raw.into_iter()).and_then(|mut flags| {
         let cases = flags.take_u64("--cases")?.unwrap_or(500);
         let seed = flags.take_u64("--seed")?.unwrap_or(1);
@@ -58,7 +66,7 @@ fn main() -> ExitCode {
             eprintln!("fuzz: {msg}");
             eprintln!(
                 "usage: fuzz [--cases N] [--seed S] [--resume] [--high-locality] \
-                 [--replay CASE_SEED]"
+                 [--churn] [--replay CASE_SEED]"
             );
             return ExitCode::from(2);
         }
@@ -70,11 +78,21 @@ fn main() -> ExitCode {
         if high_locality {
             case.bias_high_locality();
         }
+        if churn {
+            case.bias_churn();
+        }
         case
     };
 
     if let Some(case_seed) = replay {
-        return run_one(&generate(case_seed), harness, resume, high_locality, true);
+        return run_one(
+            &generate(case_seed),
+            harness,
+            resume,
+            high_locality,
+            churn,
+            true,
+        );
     }
 
     let mut rng = SimRng::from_seed(seed).derive("check/cases");
@@ -84,16 +102,17 @@ fn main() -> ExitCode {
         let case = generate(case_seed);
         match harness(&case, None) {
             CaseOutcome::Pass { steps } => total_steps += steps,
-            failure => return report_failure(&case, &failure, resume, high_locality),
+            failure => return report_failure(&case, &failure, resume, high_locality, churn),
         }
         if (i + 1) % 100 == 0 {
             println!("fuzz: {}/{cases} cases passed", i + 1);
         }
     }
-    let mode = match (resume, high_locality) {
-        (true, _) => "checkpoint/resume seam, ",
-        (false, true) => "high-locality bias, ",
-        (false, false) => "",
+    let mode = match (resume, high_locality, churn) {
+        (true, _, _) => "checkpoint/resume seam, ",
+        (false, _, true) => "lifecycle churn, ",
+        (false, true, false) => "high-locality bias, ",
+        (false, false, false) => "",
     };
     println!(
         "fuzz: {cases} cases passed (seed {seed}, {mode}{total_steps} accesses compared, \
@@ -107,6 +126,7 @@ fn run_one(
     harness: fn(&FuzzCase, Option<Mutation>) -> CaseOutcome,
     resume: bool,
     high_locality: bool,
+    churn: bool,
     verbose: bool,
 ) -> ExitCode {
     let case_seed = case.case_seed;
@@ -119,7 +139,7 @@ fn run_one(
             println!("fuzz: case seed {case_seed} passes ({steps} accesses compared)");
             ExitCode::SUCCESS
         }
-        failure => report_failure(case, &failure, resume, high_locality),
+        failure => report_failure(case, &failure, resume, high_locality, churn),
     }
 }
 
@@ -128,6 +148,7 @@ fn report_failure(
     failure: &CaseOutcome,
     resume: bool,
     high_locality: bool,
+    churn: bool,
 ) -> ExitCode {
     let kind = match failure {
         CaseOutcome::Divergence(msg) => format!("divergence: {msg}"),
@@ -142,6 +163,9 @@ fn report_failure(
     }
     if high_locality {
         flags.push_str(" --high-locality");
+    }
+    if churn {
+        flags.push_str(" --churn");
     }
     eprintln!(
         "fuzz: replay with: cargo run -p consim-check --bin fuzz --{flags} --replay {}",

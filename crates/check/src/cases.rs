@@ -16,7 +16,7 @@ use consim::engine::SimulationConfig;
 use consim_cache::ReplacementPolicy;
 use consim_sched::SchedulingPolicy;
 use consim_types::config::{
-    CacheGeometry, DynamicPolicy, LlcPartitioning, MachineConfig, SharingDegree,
+    CacheGeometry, ChurnPolicy, DynamicPolicy, LlcPartitioning, MachineConfig, SharingDegree,
 };
 use consim_types::rng::SimRng;
 use consim_types::SimError;
@@ -68,6 +68,7 @@ pub struct FuzzCase {
     pub warmup_refs_per_vm: u64,
     pub prewarm_llc: bool,
     pub reschedule_every: Option<u64>,
+    pub churn: Option<ChurnPolicy>,
 }
 
 /// Power-of-two sizes weighted toward the degenerate low end.
@@ -148,6 +149,7 @@ impl FuzzCase {
             } else {
                 None
             },
+            churn: None,
         };
         // ~55% of cases exercise way partitioning: ~30% the dynamic
         // repartitioning controller (short epochs, so decisions fire and
@@ -178,6 +180,35 @@ impl FuzzCase {
                 LlcPartitioning::ExplicitWays(ways)
             };
         }
+        // ~30% of cases exercise VM lifecycle churn: short intervals so
+        // boundaries actually fire inside tiny runs, aggressive rates so
+        // spawns, retires, and migrations all occur. Churn replaces
+        // periodic rescheduling when drawn (the builder rejects the
+        // combination — both would rewrite the core bindings).
+        if rng.chance(0.3) {
+            case.reschedule_every = None;
+            let n = case.vms.len();
+            let interval = 50 + rng.below(5_000);
+            let arrival: Vec<u32> = (0..n).map(|_| rng.below(1001) as u32).collect();
+            let departure: Vec<u32> = (0..n).map(|_| rng.below(1001) as u32).collect();
+            let migration = rng.below(1001) as u32;
+            let initial_active = 1 + rng.index(n);
+            let subset: Vec<usize> = (0..case.num_cores).filter(|_| rng.chance(0.5)).collect();
+            let migration_targets = if !subset.is_empty() && rng.chance(0.25) {
+                Some(subset)
+            } else {
+                None
+            };
+            case.churn = Some(ChurnPolicy {
+                interval,
+                arrival_permille: arrival,
+                departure_permille: departure,
+                migration_permille: migration,
+                initial_active,
+                min_active: 1,
+                migration_targets,
+            });
+        }
         case.canonicalize();
         case
     }
@@ -201,6 +232,30 @@ impl FuzzCase {
             vm.footprint_blocks = vm.footprint_blocks.min(vm.threads as u64 + 32);
             vm.shared_access_prob = vm.shared_access_prob.max(0.3);
             vm.shared_write_prob = vm.shared_write_prob.max(0.2);
+        }
+        self.canonicalize();
+    }
+
+    /// Forces lifecycle churn onto an already-generated case — CI's
+    /// `--churn` smoke pass, where every case must exercise the birth–death
+    /// draws. Cases that already drew churn keep their policy; the rest get
+    /// one derived from the case seed, with arrival rates floored so the
+    /// population actually moves inside a tiny run. Periodic rescheduling
+    /// is dropped either way (the builder rejects the combination).
+    pub fn bias_churn(&mut self) {
+        self.reschedule_every = None;
+        if self.churn.is_none() {
+            let mut rng = SimRng::from_seed(self.case_seed).derive("check/churn-bias");
+            let n = self.vms.len();
+            self.churn = Some(ChurnPolicy {
+                interval: 50 + rng.below(2_000),
+                arrival_permille: (0..n).map(|_| 300 + rng.below(701) as u32).collect(),
+                departure_permille: (0..n).map(|_| rng.below(701) as u32).collect(),
+                migration_permille: rng.below(1001) as u32,
+                initial_active: 1 + rng.index(n),
+                min_active: 1,
+                migration_targets: None,
+            });
         }
         self.canonicalize();
     }
@@ -317,6 +372,42 @@ impl FuzzCase {
                 );
             }
         }
+        // Lifecycle churn must fit the final mix and machine: rate vectors
+        // track the (possibly shed) VM count, the population bounds stay
+        // feasible, migration targets stay on-machine, and a single-VM mix
+        // cannot schedule the departure of its last VM. Churn combined with
+        // periodic rescheduling (rejected by the builder) degrades to the
+        // static population — the shrinker drops churn first anyway.
+        if self.reschedule_every.is_some() {
+            self.churn = None;
+        }
+        if let Some(churn) = &mut self.churn {
+            let n = self.vms.len();
+            churn.interval = churn.interval.max(1);
+            churn.arrival_permille.resize(n, 0);
+            churn.departure_permille.resize(n, 0);
+            for rate in churn
+                .arrival_permille
+                .iter_mut()
+                .chain(churn.departure_permille.iter_mut())
+            {
+                *rate = (*rate).min(1000);
+            }
+            churn.migration_permille = churn.migration_permille.min(1000);
+            churn.initial_active = churn.initial_active.clamp(1, n);
+            churn.min_active = churn.min_active.clamp(1, churn.initial_active);
+            if n == 1 {
+                churn.departure_permille[0] = 0;
+            }
+            if let Some(targets) = &mut churn.migration_targets {
+                targets.retain(|&core| core < self.num_cores);
+                targets.sort_unstable();
+                targets.dedup();
+                if targets.is_empty() {
+                    churn.migration_targets = None;
+                }
+            }
+        }
     }
 
     /// The machine configuration this case describes.
@@ -359,7 +450,8 @@ impl FuzzCase {
             .num_memory_controllers(self.memory_controllers)
             .link_latency(self.link_latency)
             .directory_cache_entries(self.directory_cache_entries)
-            .instructions_per_memory_op(self.instructions_per_memory_op);
+            .instructions_per_memory_op(self.instructions_per_memory_op)
+            .churn(self.churn.clone());
         b.build()
     }
 
@@ -452,6 +544,9 @@ impl FuzzCase {
             + cache_lines * 5
             + u64::from(self.prewarm_llc) * 1_000
             + u64::from(self.reschedule_every.is_some()) * 1_000
+            // Churn costs the most of the feature knobs so the shrinker's
+            // drop-churn-first candidate is always a strict size decrease.
+            + u64::from(self.churn.is_some()) * 1_500
             + u64::from(self.llc_partitioning != LlcPartitioning::None) * 500
             // Dynamic costs extra so shrinking it to the static equal
             // split is a strict size decrease.
@@ -540,6 +635,58 @@ mod tests {
                 c.case_seed
             );
         }
+    }
+
+    #[test]
+    fn churned_cases_appear_and_stay_feasible() {
+        let cases: Vec<FuzzCase> = (0..300).map(FuzzCase::generate).collect();
+        let churned: Vec<&FuzzCase> = cases.iter().filter(|c| c.churn.is_some()).collect();
+        // The draw aims for ~30%; only the rescheduling conflict (resolved
+        // at generation time) can suppress it.
+        assert!(
+            churned.len() >= 60,
+            "only {} of 300 cases are churned",
+            churned.len()
+        );
+        for c in &churned {
+            let churn = c.churn.as_ref().unwrap();
+            assert!(churn.validate().is_ok(), "seed {}", c.case_seed);
+            assert_eq!(
+                churn.arrival_permille.len(),
+                c.vms.len(),
+                "seed {}",
+                c.case_seed
+            );
+            assert_eq!(
+                churn.departure_permille.len(),
+                c.vms.len(),
+                "seed {}",
+                c.case_seed
+            );
+            assert!(churn.initial_active <= c.vms.len(), "seed {}", c.case_seed);
+            assert!(
+                c.reschedule_every.is_none(),
+                "churn and rescheduling must not coexist, seed {}",
+                c.case_seed
+            );
+            if c.vms.len() == 1 {
+                assert_eq!(churn.departure_permille[0], 0, "seed {}", c.case_seed);
+            }
+            if let Some(targets) = &churn.migration_targets {
+                assert!(
+                    targets.iter().all(|&core| core < c.num_cores),
+                    "seed {}",
+                    c.case_seed
+                );
+            }
+        }
+        // Restricted-target migrations appear too.
+        assert!(
+            churned
+                .iter()
+                .any(|c| c.churn.as_ref().unwrap().migration_targets.is_some()),
+            "no churned case restricts migration targets"
+        );
     }
 
     #[test]

@@ -68,6 +68,37 @@ impl StepObserver for DiffObserver {
             self.failure = Some(format!("step {}: {msg}", self.steps));
         }
     }
+
+    fn on_churn(&mut self, decision: &consim::churn::ChurnDecision) {
+        if self.failure.is_some() {
+            return;
+        }
+        if let Err(msg) = self.model.churn(decision) {
+            self.failure = Some(format!("step {}: {msg}", self.steps));
+        }
+    }
+}
+
+/// Builds the reference model for a case: the lifecycle mirror is attached
+/// whenever the machine carries a churn policy, and the mutation (if any)
+/// installed last.
+fn model_for(
+    case: &FuzzCase,
+    machine: &consim_types::config::MachineConfig,
+    mutation: Option<Mutation>,
+) -> RefModel {
+    let mut model = RefModel::new(machine, case.vms.len());
+    if let Some(policy) = machine.churn.clone() {
+        model = model.with_churn(
+            policy,
+            case.sim_seed,
+            case.vms.iter().map(|v| v.threads).collect(),
+        );
+    }
+    if let Some(m) = mutation {
+        model = model.with_mutation(m);
+    }
+    model
 }
 
 /// Runs one case differentially. `mutation`, when set, installs a
@@ -85,12 +116,8 @@ pub fn run_case(case: &FuzzCase, mutation: Option<Mutation>) -> CaseOutcome {
         Ok(m) => m,
         Err(e) => return CaseOutcome::EngineError(format!("machine rejected: {e}")),
     };
-    let mut model = RefModel::new(&machine, case.vms.len());
-    if let Some(m) = mutation {
-        model = model.with_mutation(m);
-    }
     let mut observer = DiffObserver {
-        model,
+        model: model_for(case, &machine, mutation),
         steps: 0,
         failure: None,
     };
@@ -141,12 +168,8 @@ pub fn run_case_resumed(case: &FuzzCase, mutation: Option<Mutation>) -> CaseOutc
         Ok(m) => m,
         Err(e) => return CaseOutcome::EngineError(format!("machine rejected: {e}")),
     };
-    let mut model = RefModel::new(&machine, case.vms.len());
-    if let Some(m) = mutation {
-        model = model.with_mutation(m);
-    }
     let mut observer = DiffObserver {
-        model,
+        model: model_for(case, &machine, mutation),
         steps: 0,
         failure: None,
     };
@@ -522,6 +545,139 @@ mod tests {
                 case.case_seed
             );
         }
+    }
+
+    /// A pinned case where all three lifecycle action kinds fire within the
+    /// run: a 16-core machine, three 2-thread VMs of which two start, short
+    /// boundaries, and aggressive rates.
+    fn churny() -> FuzzCase {
+        use consim_types::config::ChurnPolicy;
+        let mut case = FuzzCase::generate(7);
+        case.num_cores = 16;
+        case.mesh_width = 4;
+        case.cores_per_bank = 4;
+        case.l1_sets = 8;
+        case.l1_ways = 4;
+        case.llc_bank_sets = 8;
+        case.llc_ways = 4;
+        while case.vms.len() < 3 {
+            case.vms.push(case.vms[0].clone());
+        }
+        case.vms.truncate(3);
+        for vm in &mut case.vms {
+            vm.threads = 2;
+            vm.footprint_blocks = vm.footprint_blocks.max(48);
+        }
+        case.refs_per_vm = 600;
+        case.warmup_refs_per_vm = 150;
+        case.reschedule_every = None;
+        case.llc_partitioning = consim_types::config::LlcPartitioning::None;
+        case.churn = Some(ChurnPolicy {
+            interval: 300,
+            arrival_permille: vec![850; 3],
+            departure_permille: vec![350; 3],
+            migration_permille: 500,
+            initial_active: 2,
+            min_active: 1,
+            migration_targets: None,
+        });
+        case.canonicalize();
+        assert!(case.churn.is_some(), "canonicalize must keep the policy");
+        case
+    }
+
+    #[test]
+    fn churned_cases_pass() {
+        // The pinned all-action-kinds case, then the generator's own
+        // churned stream, all end-to-end against the lifecycle mirror.
+        let pinned = churny();
+        let outcome = run_case(&pinned, None);
+        assert!(
+            matches!(outcome, CaseOutcome::Pass { .. }),
+            "pinned: {outcome:?}\ncase: {pinned:?}"
+        );
+        let churned: Vec<FuzzCase> = (0..200)
+            .map(FuzzCase::generate)
+            .filter(|c| c.churn.is_some())
+            .take(10)
+            .collect();
+        assert!(!churned.is_empty(), "generator produced no churned cases");
+        for case in churned {
+            let outcome = run_case(&case, None);
+            assert!(
+                matches!(outcome, CaseOutcome::Pass { .. }),
+                "seed {}: {outcome:?}\ncase: {case:?}",
+                case.case_seed
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_churned_cases_pass() {
+        // The seam must round-trip the lifecycle state too: checkpoint a
+        // churned case wherever the seeded cut lands (sometimes right on a
+        // boundary, sometimes mid-interval) and keep agreeing with both the
+        // mirror and the uninterrupted run.
+        let pinned = churny();
+        let outcome = run_case_resumed(&pinned, None);
+        assert!(
+            matches!(outcome, CaseOutcome::Pass { .. }),
+            "pinned: {outcome:?}\ncase: {pinned:?}"
+        );
+        let churned: Vec<FuzzCase> = (0..200)
+            .map(FuzzCase::generate)
+            .filter(|c| c.churn.is_some())
+            .take(6)
+            .collect();
+        assert!(!churned.is_empty(), "generator produced no churned cases");
+        for case in churned {
+            let outcome = run_case_resumed(&case, None);
+            assert!(
+                matches!(outcome, CaseOutcome::Pass { .. }),
+                "seed {}: {outcome:?}\ncase: {case:?}",
+                case.case_seed
+            );
+        }
+    }
+
+    #[test]
+    fn ignore_retire_mutation_is_detected() {
+        // A model whose mirror never processes departures must diverge the
+        // moment the engine retires a VM — symmetrically, an engine that
+        // silently dropped retirements would be caught the same way.
+        let caught = std::iter::once(churny())
+            .chain(
+                (0..400)
+                    .map(FuzzCase::generate)
+                    .filter(|c| {
+                        c.churn.as_ref().is_some_and(|ch| {
+                            c.vms.len() >= 2 && ch.departure_permille.iter().any(|&r| r >= 200)
+                        })
+                    })
+                    .take(20),
+            )
+            .any(|case| run_case(&case, Some(Mutation::IgnoreRetire)).is_failure());
+        assert!(caught, "IgnoreRetire was never detected");
+    }
+
+    #[test]
+    fn skip_migration_invalidation_mutation_is_detected() {
+        // A model that rebinds a migrating VM without scrubbing must
+        // diverge on the boundary's invalidation counts (or the stale
+        // directory entries its skipped evictions leave behind).
+        let caught = std::iter::once(churny())
+            .chain(
+                (0..400)
+                    .map(FuzzCase::generate)
+                    .filter(|c| {
+                        c.churn
+                            .as_ref()
+                            .is_some_and(|ch| ch.migration_permille >= 200)
+                    })
+                    .take(20),
+            )
+            .any(|case| run_case(&case, Some(Mutation::SkipMigrationInvalidation)).is_failure());
+        assert!(caught, "SkipMigrationInvalidation was never detected");
     }
 
     #[test]

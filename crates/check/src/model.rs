@@ -20,11 +20,13 @@
 //! are part of the simulated machine's definition (nearest clean supplier,
 //! nearest replica bank, first-minimal on equal distance). See DESIGN.md §8.
 
+use consim::churn::{ChurnAction, ChurnDecision};
 use consim::metrics::MissSource;
 use consim::observe::{AccessStep, StepOutcome};
 use consim::qos::{RepartitionDecision, VmClass};
 use consim_cache::LineState;
-use consim_types::config::{DynamicPolicy, LlcPartitioning, MachineConfig};
+use consim_types::config::{ChurnPolicy, DynamicPolicy, LlcPartitioning, MachineConfig};
+use consim_types::rng::SimRng;
 use consim_types::{BankId, BlockAddr, CoreId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -55,6 +57,18 @@ pub enum Mutation {
     /// what a broken engine that dropped the QoS feedback loop would look
     /// like from the other side (dynamic configurations only).
     IgnoreRepartition,
+    /// Never process the birth–death departure branch: the model's mirror
+    /// keeps every VM running forever. The engine's first `Retire` record
+    /// then has no model counterpart and the per-boundary action comparison
+    /// diverges — exactly what an engine that silently dropped retirements
+    /// would look like from the other side (churned configurations only).
+    IgnoreRetire,
+    /// Rebind a migrating VM without scrubbing its private caches: stale
+    /// L0/L1 lines and directory entries linger on the vacated cores. The
+    /// boundary's invalidation counts (or the migrated VM's next access to
+    /// a previously-cached block) must surface the divergence (churned
+    /// configurations only).
+    SkipMigrationInvalidation,
 }
 
 /// One cache line as the model sees it.
@@ -604,6 +618,74 @@ impl NaiveQos {
     }
 }
 
+/// Independent flat re-derivation of the engine's VM lifecycle machinery
+/// (`consim::churn::ChurnState` plus the engine's boundary handler). The
+/// mirror re-derives every churn boundary from scratch: the two permille
+/// draws per VM come from its own transcription of the draw protocol (a
+/// fresh stream from the root seed and the epoch ordinal), the action each
+/// VM takes is recomputed from the mirror's own core bindings and running
+/// population, and scrub invalidation counts and writeback lists come from
+/// the *model's* private caches. Nothing is adopted from the engine's
+/// record — it is only compared against, field for field.
+///
+/// The one quantity taken from outside is the initial placement: which
+/// cores the initially-active VMs start on is decided by the scheduling
+/// policy (upstream of churn, possibly seeded-random), so the mirror learns
+/// those bindings from the observed access stream before the first
+/// boundary — every bound core issues its first access at the phase-start
+/// cycle, strictly before any boundary can fire — and maintains them
+/// exclusively through its own decisions afterwards.
+#[derive(Debug, Clone)]
+struct NaiveChurn {
+    policy: ChurnPolicy,
+    /// The simulation seed the draw streams derive from.
+    seed: u64,
+    /// Per-VM thread counts (spawn/migration feasibility).
+    vm_threads: Vec<usize>,
+    /// Core → running VM. `None` is a free core.
+    core_vm: Vec<Option<usize>>,
+    /// Per-VM running flags.
+    active: Vec<bool>,
+    /// Churn boundaries verified so far.
+    epochs: u64,
+}
+
+impl NaiveChurn {
+    fn new(policy: ChurnPolicy, seed: u64, vm_threads: Vec<usize>, num_cores: usize) -> Self {
+        let active = (0..vm_threads.len())
+            .map(|vm| vm < policy.initial_active)
+            .collect();
+        Self {
+            policy,
+            seed,
+            vm_threads,
+            core_vm: vec![None; num_cores],
+            active,
+            epochs: 0,
+        }
+    }
+
+    fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Free cores ascending, optionally intersected with the migration
+    /// allowlist — the engine's `free_cores`, recomputed from the mirror.
+    fn free_cores(&self, targets: Option<&[usize]>) -> Vec<usize> {
+        (0..self.core_vm.len())
+            .filter(|&core| self.core_vm[core].is_none())
+            .filter(|&core| targets.is_none_or(|t| t.contains(&core)))
+            .collect()
+    }
+
+    /// Cores the mirror binds to `vm`, ascending.
+    fn cores_of(&self, vm: usize) -> Vec<usize> {
+        (0..self.core_vm.len())
+            .filter(|&core| self.core_vm[core] == Some(vm))
+            .collect()
+    }
+}
+
 /// The full naive machine: private L0/L1 per core, LLC banks, directory.
 #[derive(Debug, Clone)]
 pub struct RefModel {
@@ -622,6 +704,8 @@ pub struct RefModel {
     llc_masks: Option<Vec<u64>>,
     /// Independent controller mirror, dynamic partitioning only.
     qos: Option<NaiveQos>,
+    /// Independent lifecycle mirror, churned machines only.
+    churn: Option<NaiveChurn>,
     /// Global logical clock for LRU stamps.
     now: u64,
     /// Injected bug for mutation testing, if any.
@@ -677,9 +761,21 @@ impl RefModel {
             llc_quotas,
             llc_masks,
             qos,
+            churn: None,
             now: 0,
             mutation: None,
         }
+    }
+
+    /// Activates the lifecycle mirror for a churned machine. `seed` is the
+    /// simulation seed (the draw streams derive from it) and `vm_threads`
+    /// the per-VM thread counts. Must be called before the run when the
+    /// machine carries a [`ChurnPolicy`]; without it, the first
+    /// [`RefModel::churn`] call reports a divergence.
+    pub fn with_churn(mut self, policy: ChurnPolicy, seed: u64, vm_threads: Vec<usize>) -> Self {
+        let num_cores = self.l1.len();
+        self.churn = Some(NaiveChurn::new(policy, seed, vm_threads, num_cores));
+        self
     }
 
     /// Advances the logical clock: one tick per recency-touching cache
@@ -754,6 +850,24 @@ impl RefModel {
     ///
     /// The `Err` string names the first mismatching quantity.
     pub fn step(&mut self, step: &AccessStep) -> Result<(), String> {
+        if let Some(ch) = &mut self.churn {
+            // Before the first boundary the stream *teaches* the mirror the
+            // initial placement; from then on it *checks* it — an access
+            // from a core the mirror considers free or bound elsewhere is
+            // itself a lifecycle divergence.
+            let core = step.core.index();
+            let vm = step.vm.index();
+            match ch.core_vm[core] {
+                Some(bound) if bound == vm => {}
+                None if ch.epochs == 0 => ch.core_vm[core] = Some(vm),
+                bound => {
+                    return Err(format!(
+                        "churn binding mismatch: core {core} issued for vm {vm}, \
+                         model binds {bound:?}"
+                    ));
+                }
+            }
+        }
         let computed = self.apply(step);
         if computed != step.outcome {
             return Err(format!(
@@ -1162,6 +1276,179 @@ impl RefModel {
         }
         self.llc_masks = Some(new_masks);
         Ok(())
+    }
+
+    /// Verifies one engine churn boundary against the model and applies it.
+    /// Everything is re-derived from the model's own state: the draws come
+    /// from an independent transcription of the draw protocol, each VM's
+    /// action is recomputed from the mirror's bindings and population, and
+    /// scrub counts and writeback lists from the model's own private
+    /// caches. Only then is the engine's record compared field-for-field —
+    /// the model never adopts engine data.
+    ///
+    /// # Errors
+    ///
+    /// The `Err` string names the first mismatching quantity.
+    pub fn churn(&mut self, d: &ChurnDecision) -> Result<(), String> {
+        let Some(mut ch) = self.churn.take() else {
+            return Err("churn decision on a churn-free configuration".into());
+        };
+        let result = self.churn_boundary(&mut ch, d);
+        self.churn = Some(ch);
+        result
+    }
+
+    fn churn_boundary(&mut self, ch: &mut NaiveChurn, d: &ChurnDecision) -> Result<(), String> {
+        let n = self.counters.len();
+        if d.epoch != ch.epochs + 1 {
+            return Err(format!(
+                "churn epoch {}: model expected epoch {}",
+                d.epoch,
+                ch.epochs + 1
+            ));
+        }
+        ch.epochs += 1;
+        // Independent transcription of the draw protocol: a fresh stream
+        // from the root seed and the 1-based epoch ordinal, two permille
+        // draws per VM in id order, unconditionally.
+        let mut rng = SimRng::from_seed(ch.seed).derive_parts("churn/epoch", &[d.epoch]);
+        let draws: Vec<(u32, u32)> = (0..n)
+            .map(|_| (rng.below(1000) as u32, rng.below(1000) as u32))
+            .collect();
+        if draws != d.draws {
+            return Err(format!(
+                "churn epoch {}: engine draws {:?}, model draws {draws:?}",
+                d.epoch, d.draws
+            ));
+        }
+        // Decide and apply sequentially in VM id order, exactly as the
+        // engine does (earlier VMs' spawns and retires change the free-core
+        // set later VMs see).
+        let mut actions: Vec<ChurnAction> = Vec::new();
+        for (vm, &(d1, d2)) in draws.iter().enumerate() {
+            let threads = ch.vm_threads[vm];
+            if !ch.active[vm] {
+                if d1 < ch.policy.arrival_permille[vm] {
+                    let free = ch.free_cores(None);
+                    if free.len() >= threads {
+                        let cores = free[..threads].to_vec();
+                        for &core in &cores {
+                            ch.core_vm[core] = Some(vm);
+                        }
+                        ch.active[vm] = true;
+                        actions.push(ChurnAction::Spawn { vm, cores });
+                    }
+                }
+                continue;
+            }
+            if d1 < ch.policy.departure_permille[vm] && ch.active_count() > ch.policy.min_active {
+                if self.mutation == Some(Mutation::IgnoreRetire) {
+                    // The deliberately broken mirror never processes the
+                    // death branch; the engine's Retire record then has no
+                    // model counterpart and the comparison below diverges.
+                    continue;
+                }
+                let cores = ch.cores_of(vm);
+                let (invalidated_l0, invalidated_l1, writebacks) = self.scrub_private(&cores);
+                for &core in &cores {
+                    ch.core_vm[core] = None;
+                }
+                ch.active[vm] = false;
+                actions.push(ChurnAction::Retire {
+                    vm,
+                    cores,
+                    invalidated_l0,
+                    invalidated_l1,
+                    writebacks,
+                });
+                continue;
+            }
+            if d2 < ch.policy.migration_permille {
+                let free = ch.free_cores(ch.policy.migration_targets.as_deref());
+                if free.len() >= threads {
+                    let to = free[..threads].to_vec();
+                    let from = ch.cores_of(vm);
+                    let (invalidated_l0, invalidated_l1, writebacks) =
+                        if self.mutation == Some(Mutation::SkipMigrationInvalidation) {
+                            // Rebind without scrubbing: stale lines and
+                            // directory entries linger on the vacated cores,
+                            // and the reported zero counts disagree with any
+                            // engine scrub that touched a line.
+                            (0, 0, Vec::new())
+                        } else {
+                            self.scrub_private(&from)
+                        };
+                    for &core in &from {
+                        ch.core_vm[core] = None;
+                    }
+                    for &core in &to {
+                        ch.core_vm[core] = Some(vm);
+                    }
+                    actions.push(ChurnAction::Migrate {
+                        vm,
+                        from,
+                        to,
+                        invalidated_l0,
+                        invalidated_l1,
+                        writebacks,
+                    });
+                }
+            }
+        }
+        if actions != d.actions {
+            let at = actions
+                .iter()
+                .zip(&d.actions)
+                .position(|(model, engine)| model != engine)
+                .unwrap_or(actions.len().min(d.actions.len()));
+            return Err(format!(
+                "churn epoch {}: action {at} disagrees: engine {:?}, model {:?}",
+                d.epoch,
+                d.actions.get(at),
+                actions.get(at)
+            ));
+        }
+        if ch.active != d.active_after {
+            return Err(format!(
+                "churn epoch {}: engine active set {:?}, model {:?}",
+                d.epoch, d.active_after, ch.active
+            ));
+        }
+        Ok(())
+    }
+
+    /// The model's transcription of the engine's churn scrub (the PR-7
+    /// no-flush rule applied to private caches): per core ascending, L1
+    /// lines in ascending block order — dirty lines first written back
+    /// content-only into the core's local bank, every line evicted from the
+    /// directory and invalidated — then L0 blocks ascending, invalidated.
+    /// LLC lines are left to age out through natural replacement.
+    fn scrub_private(&mut self, cores: &[usize]) -> (u64, u64, Vec<(BankId, BlockAddr)>) {
+        let mut l0_count = 0u64;
+        let mut l1_count = 0u64;
+        let mut writebacks = Vec::new();
+        for &core in cores {
+            let mut l1_lines: Vec<(BlockAddr, LineState)> =
+                self.l1[core].lines().map(|s| (s.block, s.state)).collect();
+            l1_lines.sort_unstable_by_key(|&(block, _)| block.raw());
+            let bank = self.bank_of_core(core);
+            for (block, state) in l1_lines {
+                if state.is_dirty() {
+                    self.fill_llc(bank, block, LineState::Modified);
+                    writebacks.push((BankId::new(bank), block));
+                }
+                self.directory.evict(core, block);
+                self.l1[core].invalidate(block);
+                l1_count += 1;
+            }
+            let mut l0_blocks: Vec<BlockAddr> = self.l0[core].lines().map(|s| s.block).collect();
+            l0_blocks.sort_unstable_by_key(|block| block.raw());
+            for block in l0_blocks {
+                self.l0[core].invalidate(block);
+                l0_count += 1;
+            }
+        }
+        (l0_count, l1_count, writebacks)
     }
 
     fn invalidate_private(&mut self, core: usize, block: BlockAddr) {

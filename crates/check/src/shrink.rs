@@ -19,6 +19,14 @@ use consim_types::config::LlcPartitioning;
 /// canonicalized and size-checked by the caller.
 fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
     let mut out = Vec::new();
+    // Lifecycle churn goes first: a case that still fails with a static
+    // population rules the whole birth–death-and-migration machinery out
+    // of the repro before anything structural is touched.
+    if case.churn.is_some() {
+        let mut c = case.clone();
+        c.churn = None;
+        out.push(c);
+    }
     // Keep exactly one VM (each in turn): finds the VM whose sharing
     // pattern actually triggers the failure.
     if case.vms.len() > 1 {

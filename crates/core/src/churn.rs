@@ -1,0 +1,360 @@
+//! VM lifecycle churn — birth–death arrivals, departures, live migration.
+//!
+//! [`ChurnState`] implements [`ChurnPolicy`]: at every churn boundary of the
+//! measurement phase the engine draws, for **every** VM of the mix in id
+//! order, exactly two permille draws from a per-epoch derived stream
+//! (`"churn/epoch"` keyed on the 1-based epoch ordinal), then decides and
+//! applies one action per VM sequentially:
+//!
+//! * an **absent** VM spawns iff its first draw clears its arrival rate and
+//!   enough cores are free for its threads (lowest free cores, ascending);
+//! * an **active** VM retires iff its first draw clears its departure rate
+//!   and the running population stays above `min_active`; otherwise it
+//!   migrates iff its second draw clears the migration rate and enough free
+//!   cores (intersected with `migration_targets`, when set) exist for its
+//!   threads.
+//!
+//! Drawing unconditionally — two draws per VM per boundary, regardless of
+//! state — keeps the stream position independent of the decisions taken, so
+//! the differential oracle in `consim-check` can transcribe the draw
+//! protocol independently and verify every decision field-for-field.
+//!
+//! Retirement and migration scrub the VM's private caches under the PR-7
+//! no-flush rule: L0/L1 contents are invalidated (the directory's full map
+//! is kept exact via eviction hints), dirty L1 lines are written back into
+//! the core's local LLC bank *content-only* (untimed, uncounted — churn is
+//! a reconfiguration event, not a memory access), and the VM's LLC lines
+//! are left to age out through natural replacement. A migrated VM therefore
+//! pays its cache re-warming cost through ordinary demand misses, which is
+//! exactly the quantity the Fig. 16 experiments measure.
+
+use consim_snap::{SectionBuf, SectionReader};
+use consim_types::{BankId, BlockAddr, ChurnPolicy, SimError, SimRng, SnapshotErrorKind};
+
+fn corrupt(msg: impl Into<String>) -> SimError {
+    SimError::snapshot(SnapshotErrorKind::Corrupt, msg)
+}
+
+/// The two unconditional permille draws (`0..1000`) of one VM at one churn
+/// boundary: `(d1, d2)` where `d1` gates arrival/departure and `d2` gates
+/// migration.
+pub type ChurnDraws = (u32, u32);
+
+/// The per-epoch draw protocol: every boundary derives a fresh stream from
+/// the root seed and the 1-based epoch ordinal alone, then draws two values
+/// below 1000 per VM in id order. Exposed so tests can pin the transcription
+/// the differential oracle re-implements independently.
+pub fn epoch_draws(seed: u64, epoch: u64, num_vms: usize) -> Vec<ChurnDraws> {
+    let mut rng = SimRng::from_seed(seed).derive_parts("churn/epoch", &[epoch]);
+    (0..num_vms)
+        .map(|_| {
+            let d1 = rng.below(1000) as u32;
+            let d2 = rng.below(1000) as u32;
+            (d1, d2)
+        })
+        .collect()
+}
+
+/// One applied lifecycle action. Core lists are ascending; writeback lists
+/// are in canonical scrub order (cores ascending, block addresses ascending
+/// within each core).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// An absent VM arrived and was bound to `cores` (thread `t` on
+    /// `cores[t]`), restarting its generator on a fresh derived stream.
+    Spawn {
+        /// The arriving VM.
+        vm: usize,
+        /// Cores bound, ascending; `cores[t]` runs thread `t`.
+        cores: Vec<usize>,
+    },
+    /// An active VM departed: private caches scrubbed, cores released.
+    Retire {
+        /// The departing VM.
+        vm: usize,
+        /// Cores released, ascending.
+        cores: Vec<usize>,
+        /// L0 lines invalidated by the scrub.
+        invalidated_l0: u64,
+        /// L1 lines invalidated by the scrub.
+        invalidated_l1: u64,
+        /// Dirty L1 lines written back content-only into LLC banks, in
+        /// scrub order.
+        writebacks: Vec<(BankId, BlockAddr)>,
+    },
+    /// An active VM moved to a fresh core set: old cores scrubbed and
+    /// released, thread `t` rebound to `to[t]`, pending issue events
+    /// remapped (earliest times to lowest new cores).
+    Migrate {
+        /// The migrating VM.
+        vm: usize,
+        /// Cores vacated, ascending.
+        from: Vec<usize>,
+        /// Cores newly bound, ascending; `to[t]` runs thread `t`.
+        to: Vec<usize>,
+        /// L0 lines invalidated by the scrub.
+        invalidated_l0: u64,
+        /// L1 lines invalidated by the scrub.
+        invalidated_l1: u64,
+        /// Dirty L1 lines written back content-only into LLC banks, in
+        /// scrub order.
+        writebacks: Vec<(BankId, BlockAddr)>,
+    },
+}
+
+impl ChurnAction {
+    /// The VM the action concerns.
+    pub fn vm(&self) -> usize {
+        match self {
+            ChurnAction::Spawn { vm, .. }
+            | ChurnAction::Retire { vm, .. }
+            | ChurnAction::Migrate { vm, .. } => *vm,
+        }
+    }
+}
+
+/// Everything one churn boundary consumed and produced. Handed to
+/// [`StepObserver::on_churn`] for **every** boundary — actions or not — so
+/// an external model can verify the draw transcription in lockstep.
+///
+/// [`StepObserver::on_churn`]: crate::observe::StepObserver::on_churn
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnDecision {
+    /// 1-based index of this boundary within the measurement phase.
+    pub epoch: u64,
+    /// Cycle at which the boundary fired.
+    pub at: u64,
+    /// The two unconditional draws per VM, in id order.
+    pub draws: Vec<ChurnDraws>,
+    /// Actions applied, in VM id order (at most one per VM).
+    pub actions: Vec<ChurnAction>,
+    /// Per-VM active flags after the boundary.
+    pub active_after: Vec<bool>,
+}
+
+/// Cumulative lifecycle counters over one run's measurement phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// VMs spawned through the birth process (initial population excluded).
+    pub spawns: u64,
+    /// VMs retired through the death process.
+    pub retires: u64,
+    /// Live migrations performed.
+    pub migrations: u64,
+    /// L0 lines invalidated by retirement/migration scrubs.
+    pub l0_lines_invalidated: u64,
+    /// L1 lines invalidated by retirement/migration scrubs.
+    pub l1_lines_invalidated: u64,
+    /// Dirty L1 lines written back content-only into the LLC by scrubs.
+    pub writebacks: u64,
+}
+
+/// The churn state machine: which VMs are running, how often each has
+/// arrived (the respawn-stream ordinal), and the boundary/stat counters.
+/// Owned by the engine when the machine carries a [`ChurnPolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnState {
+    policy: ChurnPolicy,
+    /// Per-VM running flag.
+    active: Vec<bool>,
+    /// Per-VM arrival ordinal: 0 until the first respawn, then the count of
+    /// birth-process arrivals (seeds the generator's respawn stream).
+    arrivals: Vec<u64>,
+    /// Churn boundaries decided so far this measurement phase.
+    epochs: u64,
+    stats: ChurnStats,
+}
+
+impl ChurnState {
+    /// Initial state: VMs `0..initial_active` running, nobody arrived yet.
+    pub fn new(policy: ChurnPolicy, num_vms: usize) -> Self {
+        let active = (0..num_vms).map(|vm| vm < policy.initial_active).collect();
+        Self {
+            policy,
+            active,
+            arrivals: vec![0; num_vms],
+            epochs: 0,
+            stats: ChurnStats::default(),
+        }
+    }
+
+    /// Cycles between churn boundaries.
+    pub fn interval(&self) -> u64 {
+        self.policy.interval
+    }
+
+    /// The governing policy.
+    pub fn policy(&self) -> &ChurnPolicy {
+        &self.policy
+    }
+
+    /// Whether `vm` is currently running.
+    pub fn is_active(&self, vm: usize) -> bool {
+        self.active[vm]
+    }
+
+    /// Per-VM running flags.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Number of VMs currently running.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Flips a VM's running flag.
+    pub(crate) fn set_active(&mut self, vm: usize, on: bool) {
+        self.active[vm] = on;
+    }
+
+    /// Advances and returns the VM's arrival ordinal (1 for the first
+    /// birth-process arrival).
+    pub(crate) fn next_arrival(&mut self, vm: usize) -> u64 {
+        self.arrivals[vm] += 1;
+        self.arrivals[vm]
+    }
+
+    /// Advances and returns the 1-based boundary ordinal.
+    pub(crate) fn next_epoch(&mut self) -> u64 {
+        self.epochs += 1;
+        self.epochs
+    }
+
+    /// Cumulative lifecycle counters.
+    pub fn stats(&self) -> &ChurnStats {
+        &self.stats
+    }
+
+    /// Mutable access for the engine's boundary bookkeeping.
+    pub(crate) fn stats_mut(&mut self) -> &mut ChurnStats {
+        &mut self.stats
+    }
+
+    /// Appends the mutable churn state to a checkpoint section.
+    pub(crate) fn save(&self, w: &mut SectionBuf) {
+        w.put_usize(self.active.len());
+        for &a in &self.active {
+            w.put_bool(a);
+        }
+        w.put_u64_slice(&self.arrivals);
+        w.put_u64(self.epochs);
+        for v in [
+            self.stats.spawns,
+            self.stats.retires,
+            self.stats.migrations,
+            self.stats.l0_lines_invalidated,
+            self.stats.l1_lines_invalidated,
+            self.stats.writebacks,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores the mutable churn state from a checkpoint section,
+    /// re-validating the population invariants against the policy.
+    pub(crate) fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SimError> {
+        let n = self.active.len();
+        r.expect_len(n, "churn active flags")?;
+        let mut active = Vec::with_capacity(n);
+        for _ in 0..n {
+            active.push(r.get_bool()?);
+        }
+        if active.iter().filter(|&&a| a).count() < self.policy.min_active {
+            return Err(corrupt("churn population below the configured floor"));
+        }
+        let arrivals = r.get_u64_vec()?;
+        if arrivals.len() != n {
+            return Err(corrupt("churn arrival-ordinal length mismatch"));
+        }
+        self.active = active;
+        self.arrivals = arrivals;
+        self.epochs = r.get_u64()?;
+        self.stats = ChurnStats {
+            spawns: r.get_u64()?,
+            retires: r.get_u64()?,
+            migrations: r.get_u64()?,
+            l0_lines_invalidated: r.get_u64()?,
+            l1_lines_invalidated: r.get_u64()?,
+            writebacks: r.get_u64()?,
+        };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> ChurnPolicy {
+        ChurnPolicy {
+            interval: 20_000,
+            arrival_permille: vec![200, 200, 200],
+            departure_permille: vec![100, 100, 100],
+            migration_permille: 150,
+            initial_active: 2,
+            min_active: 1,
+            migration_targets: None,
+        }
+    }
+
+    #[test]
+    fn initial_population_matches_the_policy() {
+        let ch = ChurnState::new(policy(), 3);
+        assert_eq!(ch.active(), &[true, true, false]);
+        assert_eq!(ch.active_count(), 2);
+        assert_eq!(ch.interval(), 20_000);
+    }
+
+    #[test]
+    fn epoch_draws_are_deterministic_and_epoch_keyed() {
+        let a = epoch_draws(7, 1, 4);
+        let b = epoch_draws(7, 1, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|&(d1, d2)| d1 < 1000 && d2 < 1000));
+        // Different epochs and different seeds give independent streams.
+        assert_ne!(a, epoch_draws(7, 2, 4));
+        assert_ne!(a, epoch_draws(8, 1, 4));
+        // A shorter prefix is exactly the prefix of the longer draw list:
+        // the stream position depends only on the VM ordinal.
+        assert_eq!(epoch_draws(7, 1, 2), a[..2].to_vec());
+    }
+
+    #[test]
+    fn state_round_trips_through_a_section() {
+        let mut ch = ChurnState::new(policy(), 3);
+        ch.set_active(2, true);
+        ch.set_active(0, false);
+        ch.next_arrival(2);
+        ch.next_epoch();
+        ch.next_epoch();
+        ch.stats_mut().spawns = 1;
+        ch.stats_mut().retires = 1;
+        ch.stats_mut().l1_lines_invalidated = 42;
+
+        let mut buf = SectionBuf::new();
+        ch.save(&mut buf);
+        let mut restored = ChurnState::new(policy(), 3);
+        restored
+            .restore(&mut SectionReader::new("churn", buf.as_bytes()))
+            .unwrap();
+        assert_eq!(restored, ch);
+    }
+
+    #[test]
+    fn restore_rejects_a_population_below_the_floor() {
+        let mut ch = ChurnState::new(policy(), 3);
+        let mut buf = SectionBuf::new();
+        ch.save(&mut buf);
+        let mut bad = buf.as_bytes().to_vec();
+        // The three active flags follow the 8-byte count; clear them all.
+        bad[8] = 0;
+        bad[9] = 0;
+        bad[10] = 0;
+        let err = ch
+            .restore(&mut SectionReader::new("churn", &bad))
+            .expect_err("empty population must be rejected");
+        assert_eq!(err.snapshot_kind(), Some(SnapshotErrorKind::Corrupt));
+    }
+}

@@ -35,6 +35,7 @@
 //! 4. Fills may evict: dirty L1 victims write back into the local LLC bank;
 //!    dirty LLC victims write back to memory.
 
+use crate::churn::{epoch_draws, ChurnAction, ChurnDecision, ChurnState, ChurnStats};
 use crate::hierarchy::HierarchyCtx;
 use crate::machine::Layout;
 use crate::metrics::{OccupancySnapshot, ReplicationSnapshot, VmMetrics};
@@ -279,6 +280,51 @@ impl SimulationConfigBuilder {
                 "reschedule interval must be nonzero",
             ));
         }
+        if let Some(churn) = &self.machine.churn {
+            // `MachineConfig::with_churn` bypasses the machine builder, so
+            // the policy's machine-independent invariants are re-checked
+            // here along with everything that needs the VM count.
+            churn.validate()?;
+            let n = self.workloads.len();
+            if churn.arrival_permille.len() != n || churn.departure_permille.len() != n {
+                return Err(SimError::invalid_config(format!(
+                    "churn rate vectors cover {} arrival / {} departure VMs, the mix has {n}",
+                    churn.arrival_permille.len(),
+                    churn.departure_permille.len(),
+                )));
+            }
+            if churn.initial_active > n {
+                return Err(SimError::invalid_config(format!(
+                    "churn initial_active {} exceeds the {n}-VM mix",
+                    churn.initial_active
+                )));
+            }
+            if churn.min_active > n {
+                return Err(SimError::invalid_config(format!(
+                    "churn min_active {} exceeds the {n}-VM mix",
+                    churn.min_active
+                )));
+            }
+            if n == 1 && churn.departure_permille[0] > 0 {
+                return Err(SimError::invalid_config(
+                    "churn cannot schedule the departure of the last VM of a single-VM mix",
+                ));
+            }
+            if let Some(targets) = &churn.migration_targets {
+                if let Some(&bad) = targets.iter().find(|&&t| t >= self.machine.num_cores) {
+                    return Err(SimError::invalid_config(format!(
+                        "churn migration target core {bad} is outside the {}-core machine",
+                        self.machine.num_cores
+                    )));
+                }
+            }
+            if self.reschedule_every.is_some() {
+                return Err(SimError::invalid_config(
+                    "churn and periodic rescheduling cannot be combined: both \
+                     rebind threads to cores and their placements would race",
+                ));
+            }
+        }
         let threads: usize = self.workloads.iter().map(|w| w.threads).sum();
         if threads > self.machine.num_cores {
             return Err(SimError::invalid_config(format!(
@@ -339,6 +385,9 @@ pub struct SimulationOutcome {
     pub noc_mean_utilization: f64,
     /// Utilization of the busiest mesh link.
     pub noc_peak_utilization: f64,
+    /// Lifecycle counters over the measurement interval, present iff the
+    /// machine carries a [`consim_types::ChurnPolicy`].
+    pub churn: Option<ChurnStats>,
 }
 
 /// Whether [`Simulation::advance`] left the run mid-flight or finished it.
@@ -404,6 +453,9 @@ struct RunState {
     /// measurement phase or when the machine is not
     /// `LlcPartitioning::Dynamic`).
     next_repart: u64,
+    /// Next VM-churn boundary (`u64::MAX` outside the measurement phase or
+    /// when the machine carries no churn policy).
+    next_churn: u64,
     /// Measurement finished; only [`Simulation::finish`] remains.
     done: bool,
 }
@@ -446,6 +498,10 @@ pub struct Simulation {
     /// The dynamic repartitioning controller, present iff the machine is
     /// configured with `LlcPartitioning::Dynamic`.
     qos: Option<QosController>,
+    /// The VM lifecycle state machine, present iff the machine carries a
+    /// [`consim_types::ChurnPolicy`]. Under churn, `core_thread` and
+    /// `placement` are live state rewritten at churn boundaries.
+    churn: Option<ChurnState>,
     /// Epoch counter for dynamic rescheduling.
     resched_epoch: u64,
     /// In-flight event-loop state; `None` before the first
@@ -469,9 +525,22 @@ impl Simulation {
         let vm_threads: Vec<usize> = config.workloads.iter().map(|w| w.threads).collect();
         let placement = place(config.policy, machine, &vm_threads, &root)?;
 
+        // Under a churn policy the initial placement still covers every VM
+        // (spawn feasibility: Σ threads ≤ cores), but only the initial
+        // population is actually bound; the rest arrive through the birth
+        // process onto whatever cores are free then.
+        let churn = machine
+            .churn
+            .as_ref()
+            .map(|policy| ChurnState::new(policy.clone(), config.workloads.len()));
         let mut core_thread = vec![None; machine.num_cores];
         for (thread, core) in placement.iter() {
-            core_thread[core.index()] = Some(thread);
+            if churn
+                .as_ref()
+                .is_none_or(|ch| ch.is_active(thread.vm.index()))
+            {
+                core_thread[core.index()] = Some(thread);
+            }
         }
 
         let l0 = (0..machine.num_cores)
@@ -554,6 +623,7 @@ impl Simulation {
             metrics,
             llc_way_masks,
             qos,
+            churn,
             resched_epoch: 0,
             run_state: None,
             prewarmed: false,
@@ -638,8 +708,9 @@ impl Simulation {
             // no boundary code at all.
             let epoch_trace = self.epoch_trace_for(phase);
             let qos_active = phase == PhaseKind::Measure && self.qos.is_some();
+            let churn_active = phase == PhaseKind::Measure && self.churn.is_some();
             let mut st = self.run_state.take().expect("run started above");
-            let result = if epoch_trace.is_some() || qos_active {
+            let result = if epoch_trace.is_some() || qos_active || churn_active {
                 self.phase_loop::<true>(
                     &mut st,
                     quota,
@@ -731,6 +802,7 @@ impl Simulation {
             placement: self.placement,
             measured_cycles: end.saturating_since(measure_start),
             dircache_hit_rate,
+            churn: self.churn.as_ref().map(|c| *c.stats()),
         };
         if let Some(trace) = &trace {
             trace.sink.record(&TraceEvent::RunCompleted {
@@ -778,6 +850,15 @@ impl Simulation {
             qos.begin(clock.raw());
             self.llc_way_masks = Some(qos.masks());
         }
+        // Initially-absent VMs carry no measured quota; stamp their
+        // completion at the phase start (rebased to zero in `finish`).
+        if let Some(churn) = &self.churn {
+            for vm in 0..self.config.workloads.len() {
+                if !churn.is_active(vm) {
+                    self.metrics[vm].completion = Some(clock);
+                }
+            }
+        }
         if let Some(trace) = &self.config.trace {
             trace.sink.record(&TraceEvent::RunStarted {
                 seed: self.config.seed,
@@ -807,12 +888,26 @@ impl Simulation {
             (Some(qos), PhaseKind::Measure) => qos.interval(),
             _ => u64::MAX,
         };
+        let churn_interval = match (&self.churn, phase) {
+            (Some(churn), PhaseKind::Measure) => churn.interval(),
+            _ => u64::MAX,
+        };
+        // Initially-absent VMs (under churn) issue nothing until they
+        // arrive, so they carry no quota: they start the phase done. VMs
+        // that arrive later generate load but never join the quota race.
+        let mut vm_done = vec![false; num_vms];
+        if let Some(churn) = &self.churn {
+            for (vm, done) in vm_done.iter_mut().enumerate() {
+                *done = !churn.is_active(vm);
+            }
+        }
+        let remaining = vm_done.iter().filter(|&&d| !d).count();
         RunState {
             phase,
             start,
             vm_refs: vec![0; num_vms],
-            vm_done: vec![false; num_vms],
-            remaining: num_vms,
+            vm_done,
+            remaining,
             heap,
             last_completion: start,
             next_resched: self
@@ -821,6 +916,7 @@ impl Simulation {
                 .map(|interval| start.raw() + interval),
             next_epoch: start.raw().saturating_add(epoch_interval),
             next_repart: start.raw().saturating_add(repart_interval),
+            next_churn: start.raw().saturating_add(churn_interval),
             done: false,
         }
     }
@@ -898,6 +994,18 @@ impl Simulation {
             }
             if EPOCHS && now >= st.next_repart {
                 st.next_repart = self.repartition_boundary(now, st.next_repart, observer);
+            }
+            if EPOCHS && now >= st.next_churn {
+                // The boundary may retire this very core: push the popped
+                // event back so the churn handler sees (and can remap or
+                // drop) every pending event, then re-pop without consuming
+                // budget — no reference was issued.
+                st.heap.push(Reverse((now, core)));
+                self.churn_boundary(now, st, observer);
+                if st.remaining == 0 {
+                    break Ok(());
+                }
+                continue;
             }
             if let (Some(at), Some(interval)) = (st.next_resched, self.config.reschedule_every) {
                 if now >= at {
@@ -1052,6 +1160,293 @@ impl Simulation {
             obs.on_repartition(&decision);
         }
         next_repart
+    }
+
+    /// Handles one VM-churn boundary: advances `next_churn` past `now` (one
+    /// decision per crossing, even if the event gap spanned several
+    /// intervals), transcribes the epoch's unconditional draws, then decides
+    /// and applies at most one lifecycle action per VM in id order. Out of
+    /// line and cold for the same reason as [`Simulation::epoch_boundary`]:
+    /// a churn-free run must pay nothing but the `next_churn` comparison.
+    ///
+    /// The caller has pushed its popped event back into the heap, so every
+    /// pending issue event is visible here for retirement filtering and
+    /// migration remapping.
+    #[cold]
+    #[inline(never)]
+    fn churn_boundary(
+        &mut self,
+        now: u64,
+        st: &mut RunState,
+        observer: &mut Option<&mut dyn StepObserver>,
+    ) {
+        let mut churn = self
+            .churn
+            .take()
+            .expect("churn boundary without churn state");
+        let interval = churn.interval();
+        while now >= st.next_churn {
+            st.next_churn = st.next_churn.saturating_add(interval);
+        }
+        let num_vms = self.config.workloads.len();
+        let epoch = churn.next_epoch();
+        let draws = epoch_draws(self.config.seed, epoch, num_vms);
+        let mut actions = Vec::new();
+        for (vm, &(d1, d2)) in draws.iter().enumerate() {
+            let threads = self.config.workloads[vm].threads;
+            if !churn.is_active(vm) {
+                // Birth: arrive iff the draw clears the rate and the machine
+                // has room right now; otherwise the VM waits for the next
+                // boundary's draw.
+                if d1 < churn.policy().arrival_permille[vm] {
+                    let free = self.free_cores(None);
+                    if free.len() >= threads {
+                        let cores = free[..threads].to_vec();
+                        self.spawn_vm(vm, &cores, &mut churn, now, st);
+                        actions.push(ChurnAction::Spawn { vm, cores });
+                    }
+                }
+                continue;
+            }
+            // Death: departures below the population floor are skipped, not
+            // deferred — the draw is consumed either way.
+            if d1 < churn.policy().departure_permille[vm]
+                && churn.active_count() > churn.policy().min_active
+            {
+                let (cores, l0, l1, writebacks) = self.retire_vm(vm, now, st);
+                churn.set_active(vm, false);
+                let stats = churn.stats_mut();
+                stats.retires += 1;
+                stats.l0_lines_invalidated += l0;
+                stats.l1_lines_invalidated += l1;
+                stats.writebacks += writebacks.len() as u64;
+                actions.push(ChurnAction::Retire {
+                    vm,
+                    cores,
+                    invalidated_l0: l0,
+                    invalidated_l1: l1,
+                    writebacks,
+                });
+                continue;
+            }
+            // Live migration: needs a disjoint set of free (target) cores.
+            if d2 < churn.policy().migration_permille {
+                let free = self.free_cores(churn.policy().migration_targets.as_deref());
+                if free.len() >= threads {
+                    let to = free[..threads].to_vec();
+                    let (from, l0, l1, writebacks) = self.migrate_vm(vm, &to, st);
+                    let stats = churn.stats_mut();
+                    stats.migrations += 1;
+                    stats.l0_lines_invalidated += l0;
+                    stats.l1_lines_invalidated += l1;
+                    stats.writebacks += writebacks.len() as u64;
+                    actions.push(ChurnAction::Migrate {
+                        vm,
+                        from,
+                        to,
+                        invalidated_l0: l0,
+                        invalidated_l1: l1,
+                        writebacks,
+                    });
+                }
+            }
+        }
+        let decision = ChurnDecision {
+            epoch,
+            at: now,
+            draws,
+            actions,
+            active_after: churn.active().to_vec(),
+        };
+        if let Some(trace) = &self.config.trace {
+            if trace.sink.wants(EventClass::Lifecycle) {
+                for action in &decision.actions {
+                    trace.sink.record(&churn_trace_event(now, action));
+                }
+            }
+        }
+        // Every boundary — actions or not — reaches the observer so an
+        // external lifecycle mirror advances its draw stream in lockstep.
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.on_churn(&decision);
+        }
+        self.churn = Some(churn);
+    }
+
+    /// Free cores in ascending order, optionally intersected with a
+    /// migration-target allowlist.
+    fn free_cores(&self, targets: Option<&[usize]>) -> Vec<usize> {
+        (0..self.config.machine.num_cores)
+            .filter(|&core| self.core_thread[core].is_none())
+            .filter(|&core| targets.is_none_or(|t| t.contains(&core)))
+            .collect()
+    }
+
+    /// Binds an arriving VM to `cores` (thread `t` on `cores[t]`), restarts
+    /// its generator on the arrival's derived stream, and seeds its issue
+    /// events at `now`. The VM generates load from here on but never joins
+    /// the quota race (its `vm_done` flag stays wherever it is).
+    fn spawn_vm(
+        &mut self,
+        vm: usize,
+        cores: &[usize],
+        churn: &mut ChurnState,
+        now: u64,
+        st: &mut RunState,
+    ) {
+        churn.set_active(vm, true);
+        churn.stats_mut().spawns += 1;
+        let arrival = churn.next_arrival(vm);
+        let root = SimRng::from_seed(self.config.seed);
+        self.generators[vm].respawn(&root, arrival);
+        let base = self.thread_base[vm];
+        for t in 0..cores.len() {
+            let batch = &mut self.batches[base + t];
+            batch.refs.clear();
+            batch.cursor = 0;
+        }
+        for (t, &core) in cores.iter().enumerate() {
+            let thread = GlobalThreadId::new(VmId::new(vm), ThreadId::new(t));
+            self.core_thread[core] = Some(thread);
+            self.placement.rebind(thread, CoreId::new(core));
+            st.heap.push(Reverse((now, core)));
+        }
+    }
+
+    /// Retires an active VM: scrubs its private caches, releases its cores,
+    /// drops its pending issue events, and — if it had not met its quota —
+    /// completes it at the boundary (a departed VM has issued all the
+    /// references it ever will).
+    ///
+    /// Returns (released cores ascending, L0 invalidations, L1
+    /// invalidations, content-only writebacks in scrub order).
+    fn retire_vm(
+        &mut self,
+        vm: usize,
+        now: u64,
+        st: &mut RunState,
+    ) -> (Vec<usize>, u64, u64, Vec<(BankId, BlockAddr)>) {
+        let cores = self.cores_of_vm(vm);
+        let (l0, l1, writebacks) = self.scrub_private_caches(vm, &cores);
+        for &core in &cores {
+            self.core_thread[core] = None;
+        }
+        let kept: Vec<(u64, usize)> = st
+            .heap
+            .drain()
+            .map(|Reverse(event)| event)
+            .filter(|&(_, core)| !cores.contains(&core))
+            .collect();
+        st.heap.extend(kept.into_iter().map(Reverse));
+        if !st.vm_done[vm] {
+            st.vm_done[vm] = true;
+            st.remaining -= 1;
+            let at = Cycle::new(now);
+            st.last_completion = st.last_completion.max(at);
+            if st.phase == PhaseKind::Measure {
+                self.metrics[vm].completion = Some(at);
+            }
+        }
+        (cores, l0, l1, writebacks)
+    }
+
+    /// Live-migrates an active VM onto `to`: scrubs and releases the old
+    /// cores, rebinds thread `t` to `to[t]`, and remaps the VM's pending
+    /// issue events (earliest ready-times onto the lowest new cores, so
+    /// deterministic regardless of heap iteration order).
+    ///
+    /// Returns (vacated cores ascending, L0 invalidations, L1
+    /// invalidations, content-only writebacks in scrub order).
+    fn migrate_vm(
+        &mut self,
+        vm: usize,
+        to: &[usize],
+        st: &mut RunState,
+    ) -> (Vec<usize>, u64, u64, Vec<(BankId, BlockAddr)>) {
+        let from = self.cores_of_vm(vm);
+        let (l0, l1, writebacks) = self.scrub_private_caches(vm, &from);
+        for &core in &from {
+            self.core_thread[core] = None;
+        }
+        for (t, &core) in to.iter().enumerate() {
+            let thread = GlobalThreadId::new(VmId::new(vm), ThreadId::new(t));
+            self.core_thread[core] = Some(thread);
+            self.placement.rebind(thread, CoreId::new(core));
+        }
+        let mut kept: Vec<(u64, usize)> = Vec::with_capacity(st.heap.len());
+        let mut moved: Vec<u64> = Vec::with_capacity(from.len());
+        for Reverse((time, core)) in st.heap.drain() {
+            if from.contains(&core) {
+                moved.push(time);
+            } else {
+                kept.push((time, core));
+            }
+        }
+        moved.sort_unstable();
+        st.heap.extend(kept.into_iter().map(Reverse));
+        st.heap
+            .extend(moved.into_iter().zip(to.iter().copied()).map(Reverse));
+        (from, l0, l1, writebacks)
+    }
+
+    /// Cores currently bound to `vm`'s threads, ascending.
+    fn cores_of_vm(&self, vm: usize) -> Vec<usize> {
+        (0..self.config.machine.num_cores)
+            .filter(|&core| self.core_thread[core].is_some_and(|thread| thread.vm.index() == vm))
+            .collect()
+    }
+
+    /// The churn scrub (PR-7 no-flush rule applied to private caches): for
+    /// each core ascending, every L1 line — blocks ascending, the canonical
+    /// order the differential oracle reproduces — is invalidated with a
+    /// directory eviction hint; dirty lines are first written back
+    /// *content-only* into the core's local LLC bank (untimed and uncounted:
+    /// churn is a reconfiguration event, not a memory access; a displaced
+    /// LLC victim drops silently, its data conceptually reaching memory).
+    /// L0 follows, also blocks ascending. The VM's LLC lines stay and age
+    /// out through natural replacement.
+    ///
+    /// Returns (L0 invalidations, L1 invalidations, writebacks in order).
+    fn scrub_private_caches(
+        &mut self,
+        vm: usize,
+        cores: &[usize],
+    ) -> (u64, u64, Vec<(BankId, BlockAddr)>) {
+        let mut l0_count = 0u64;
+        let mut l1_count = 0u64;
+        let mut writebacks = Vec::new();
+        for &core in cores {
+            let mut l1_lines: Vec<(BlockAddr, LineState)> = self.l1[core]
+                .lines()
+                .map(|line| (line.block, line.state))
+                .collect();
+            l1_lines.sort_unstable_by_key(|&(block, _)| block.raw());
+            let bank = self.config.machine.bank_of_core(CoreId::new(core));
+            for (block, state) in l1_lines {
+                if state.is_dirty() {
+                    match self.llc_way_masks.as_ref().map(|masks| masks[vm]) {
+                        Some(mask) => {
+                            self.llc[bank.index()].insert_in_ways(block, LineState::Modified, mask);
+                        }
+                        None => {
+                            self.llc[bank.index()].insert(block, LineState::Modified);
+                        }
+                    }
+                    writebacks.push((bank, block));
+                }
+                self.directory.evict(CoreId::new(core), block);
+                self.l1[core].invalidate(block);
+                l1_count += 1;
+            }
+            let mut l0_blocks: Vec<BlockAddr> =
+                self.l0[core].lines().map(|line| line.block).collect();
+            l0_blocks.sort_unstable_by_key(|block| block.raw());
+            for block in l0_blocks {
+                self.l0[core].invalidate(block);
+                l0_count += 1;
+            }
+        }
+        (l0_count, l1_count, writebacks)
     }
 
     /// Emits the per-VM and machine-wide time-series snapshot for one epoch
@@ -1306,6 +1701,10 @@ impl Simulation {
         let machine = self.config.machine.clone();
         let per_bank_capacity = machine.llc_bank_geometry().num_lines();
         for vm in 0..self.config.workloads.len() {
+            // Initially-absent VMs arrive with cold caches; nothing to warm.
+            if self.churn.as_ref().is_some_and(|c| !c.is_active(vm)) {
+                continue;
+            }
             // Prewarm fills respect the VM's way mask, like demand fills.
             let mask = self.llc_way_masks.as_ref().map(|masks| masks[vm]);
             // Count this VM's threads per bank.
@@ -1575,6 +1974,7 @@ impl Simulation {
                 w.put_opt_u64(st.next_resched);
                 w.put_u64(st.next_epoch);
                 w.put_u64(st.next_repart);
+                w.put_u64(st.next_churn);
                 w.put_bool(st.done);
             }
         }
@@ -1585,6 +1985,35 @@ impl Simulation {
             Some(qos) => {
                 w.put_bool(true);
                 qos.save(w);
+            }
+        }
+        // Churn lifecycle state. Under churn the core bindings and the
+        // placement table are live state (rewritten at churn boundaries),
+        // not derivable from the configuration, so both travel with the
+        // checkpoint.
+        match &self.churn {
+            None => w.put_bool(false),
+            Some(ch) => {
+                w.put_bool(true);
+                ch.save(w);
+                w.put_usize(self.core_thread.len());
+                for bound in &self.core_thread {
+                    match bound {
+                        None => w.put_bool(false),
+                        Some(thread) => {
+                            w.put_bool(true);
+                            w.put_usize(thread.vm.index());
+                            w.put_usize(thread.thread.index());
+                        }
+                    }
+                }
+                for vm in 0..self.placement.num_vms() {
+                    let vm = VmId::new(vm);
+                    for t in 0..self.placement.threads_of_vm(vm) {
+                        let thread = GlobalThreadId::new(vm, ThreadId::new(t));
+                        w.put_usize(self.placement.core_of(thread).index());
+                    }
+                }
             }
         }
     }
@@ -1688,6 +2117,7 @@ impl Simulation {
                 next_resched: r.get_opt_u64()?,
                 next_epoch: r.get_u64()?,
                 next_repart: r.get_u64()?,
+                next_churn: r.get_u64()?,
                 done: r.get_bool()?,
             })
         } else {
@@ -1706,7 +2136,124 @@ impl Simulation {
             // resumes with the repartitioned split, not the initial one.
             self.llc_way_masks = Some(qos.masks());
         }
+        if r.get_bool()? != self.churn.is_some() {
+            return Err(SimError::snapshot(
+                SnapshotErrorKind::Corrupt,
+                "churn-state presence disagrees with the stored churn policy",
+            ));
+        }
+        if let Some(ch) = self.churn.as_mut() {
+            let num_cores = self.config.machine.num_cores;
+            let num_vms = self.config.workloads.len();
+            ch.restore(r)?;
+            r.expect_len(num_cores, "per-core thread bindings")?;
+            let mut core_thread: Vec<Option<GlobalThreadId>> = Vec::with_capacity(num_cores);
+            for _ in 0..num_cores {
+                if r.get_bool()? {
+                    let vm = r.get_usize()?;
+                    let thread = r.get_usize()?;
+                    if vm >= num_vms || thread >= self.config.workloads[vm].threads {
+                        return Err(SimError::snapshot(
+                            SnapshotErrorKind::Corrupt,
+                            format!(
+                                "core binding names thread {thread} of VM {vm}, outside the mix"
+                            ),
+                        ));
+                    }
+                    core_thread.push(Some(GlobalThreadId::new(
+                        VmId::new(vm),
+                        ThreadId::new(thread),
+                    )));
+                } else {
+                    core_thread.push(None);
+                }
+            }
+            let mut core_of: Vec<Vec<CoreId>> = Vec::with_capacity(num_vms);
+            for profile in &self.config.workloads {
+                let mut cores = Vec::with_capacity(profile.threads);
+                for _ in 0..profile.threads {
+                    let core = r.get_usize()?;
+                    if core >= num_cores {
+                        return Err(SimError::snapshot(
+                            SnapshotErrorKind::Corrupt,
+                            format!(
+                                "placement names core {core} outside the {num_cores}-core machine"
+                            ),
+                        ));
+                    }
+                    cores.push(CoreId::new(core));
+                }
+                core_of.push(cores);
+            }
+            let placement = Placement::from_parts(core_of, self.config.policy);
+            // Cross-check: every bound core must agree with the placement
+            // table, and a thread may be bound at most once. (The full
+            // no-core-reuse placement validation does not apply under churn:
+            // retired VMs keep their stale last placement by design.)
+            let mut bound = vec![false; num_vms * num_cores];
+            for (core, slot) in core_thread.iter().enumerate() {
+                if let Some(thread) = slot {
+                    if placement.core_of(*thread).index() != core {
+                        return Err(SimError::snapshot(
+                            SnapshotErrorKind::Corrupt,
+                            "core binding disagrees with the placement table",
+                        ));
+                    }
+                    let key = thread.vm.index() * num_cores + thread.thread.index();
+                    if std::mem::replace(&mut bound[key], true) {
+                        return Err(SimError::snapshot(
+                            SnapshotErrorKind::Corrupt,
+                            "a thread is bound to two cores",
+                        ));
+                    }
+                }
+            }
+            self.core_thread = core_thread;
+            self.placement = placement;
+        }
         Ok(())
+    }
+}
+
+/// Maps one applied churn action to its lifecycle trace event.
+fn churn_trace_event(cycle: u64, action: &ChurnAction) -> TraceEvent {
+    let as_u64 = |cores: &[usize]| cores.iter().map(|&c| c as u64).collect::<Vec<u64>>();
+    match action {
+        ChurnAction::Spawn { vm, cores } => TraceEvent::VmSpawned {
+            cycle,
+            vm: *vm as u32,
+            cores: as_u64(cores),
+        },
+        ChurnAction::Retire {
+            vm,
+            cores,
+            invalidated_l0,
+            invalidated_l1,
+            writebacks,
+        } => TraceEvent::VmRetired {
+            cycle,
+            vm: *vm as u32,
+            cores: as_u64(cores),
+            invalidated_l0: *invalidated_l0,
+            invalidated_l1: *invalidated_l1,
+            writebacks: writebacks.len() as u64,
+        },
+        ChurnAction::Migrate {
+            vm,
+            from,
+            to,
+            invalidated_l0,
+            invalidated_l1,
+            writebacks,
+        } => TraceEvent::VmMigrated {
+            cycle,
+            vm: *vm as u32,
+            from: as_u64(from),
+            to: as_u64(to),
+            invalidated_l0: *invalidated_l0,
+            invalidated_l1: *invalidated_l1,
+            writebacks: writebacks.len() as u64,
+        },
     }
 }
 

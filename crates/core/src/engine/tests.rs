@@ -513,7 +513,7 @@ mod snap {
 
     /// Every observable quantity of an outcome, bit-exact (floats compared
     /// by representation).
-    fn fingerprint(out: &SimulationOutcome) -> Vec<u64> {
+    pub(super) fn fingerprint(out: &SimulationOutcome) -> Vec<u64> {
         let mut v = Vec::new();
         for m in &out.vm_metrics {
             v.extend([
@@ -565,7 +565,7 @@ mod snap {
         v
     }
 
-    fn checkpoint_at(cfg: SimulationConfig, accesses: u64) -> Vec<u8> {
+    pub(super) fn checkpoint_at(cfg: SimulationConfig, accesses: u64) -> Vec<u8> {
         let mut sim = Simulation::new(cfg).unwrap();
         let status = sim.advance(accesses, None).unwrap();
         assert_eq!(status, RunStatus::Running, "cut point must be mid-run");
@@ -818,6 +818,308 @@ mod snap {
                 .unwrap();
             assert_eq!(fingerprint(&resumed), expected, "cut at {cut} accesses");
         }
+    }
+}
+
+mod churn {
+    //! VM lifecycle churn coverage: builder validation, end-to-end behavior
+    //! of the birth–death process, and the hard checkpoint seams (cut
+    //! exactly on a spawn, mid-migration, and retire-then-resume).
+
+    use super::snap::{checkpoint_at, fingerprint};
+    use super::*;
+    use crate::churn::ChurnAction;
+    use consim_types::config::{CacheGeometry, ChurnPolicy, MachineConfigBuilder, SharingDegree};
+    use consim_workload::WorkloadProfileBuilder;
+
+    /// Records every churn decision plus how many accesses had completed
+    /// when it fired (same cut-point convention as `RepartProbe`).
+    #[derive(Default)]
+    struct ChurnProbe {
+        steps: u64,
+        decisions: Vec<crate::churn::ChurnDecision>,
+        steps_at: Vec<u64>,
+    }
+
+    impl StepObserver for ChurnProbe {
+        fn on_step(&mut self, _: &AccessStep) {
+            self.steps += 1;
+        }
+
+        fn on_churn(&mut self, decision: &crate::churn::ChurnDecision) {
+            self.decisions.push(decision.clone());
+            self.steps_at.push(self.steps);
+        }
+    }
+
+    fn policy() -> ChurnPolicy {
+        ChurnPolicy {
+            interval: 1_000,
+            arrival_permille: vec![700; 4],
+            departure_permille: vec![120; 4],
+            migration_permille: 350,
+            initial_active: 2,
+            min_active: 1,
+            migration_targets: None,
+        }
+    }
+
+    /// Four 2-thread VMs on the 16-core machine: half the cores start
+    /// free, so arrivals and migrations always have somewhere to land.
+    fn config(seed: u64, churn: Option<ChurnPolicy>) -> SimulationConfig {
+        let mut machine = MachineConfigBuilder::new();
+        machine
+            .llc(CacheGeometry::new(256 * 1024, 16, 6).unwrap())
+            .sharing(SharingDegree::SharedBy(4));
+        machine.churn(churn);
+        let machine = machine.build().unwrap();
+        let mut b = SimulationConfig::builder();
+        b.machine(machine)
+            .policy(SchedulingPolicy::RoundRobin)
+            .refs_per_vm(4_000)
+            .warmup_refs_per_vm(800)
+            .seed(seed);
+        for i in 0..4 {
+            b.workload(
+                WorkloadProfileBuilder::new(format!("churny-{i}"))
+                    .threads(2)
+                    .footprint_blocks(6_000)
+                    .shared_fraction(0.4)
+                    .shared_access_prob(0.4)
+                    .shared_write_prob(0.1)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_churn_configs() {
+        // Rate vectors must cover the whole mix.
+        let mut bad = policy();
+        bad.arrival_permille.pop();
+        let err = match config_result(bad) {
+            Err(e) => e,
+            Ok(_) => panic!("short rate vector must be rejected"),
+        };
+        assert!(err.to_string().contains("rate vectors"), "{err}");
+
+        // Departure of the last VM of a single-VM mix.
+        let single = ChurnPolicy {
+            arrival_permille: vec![0],
+            departure_permille: vec![500],
+            initial_active: 1,
+            ..policy()
+        };
+        let machine = MachineConfigBuilder::new()
+            .churn(Some(single))
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.machine(machine).workload(
+            WorkloadProfileBuilder::new("solo")
+                .footprint_blocks(2_000)
+                .build()
+                .unwrap(),
+        );
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("last VM"), "{err}");
+
+        // Migration target outside the machine.
+        let mut bad = policy();
+        bad.migration_targets = Some(vec![0, 99]);
+        let err = config_result(bad).unwrap_err();
+        assert!(err.to_string().contains("outside the"), "{err}");
+
+        // More initially-active VMs than the mix has.
+        let mut bad = policy();
+        bad.initial_active = 9;
+        assert!(config_result(bad).is_err());
+
+        // Churn and periodic rescheduling cannot be combined.
+        let mut b = SimulationConfig::builder();
+        let machine = MachineConfigBuilder::new()
+            .churn(Some(policy()))
+            .build()
+            .unwrap();
+        b.machine(machine).reschedule_every(10_000);
+        for i in 0..4 {
+            b.workload(
+                WorkloadProfileBuilder::new(format!("w{i}"))
+                    .threads(2)
+                    .footprint_blocks(2_000)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("rescheduling"), "{err}");
+    }
+
+    fn config_result(churn: ChurnPolicy) -> Result<SimulationConfig, SimError> {
+        let machine = MachineConfigBuilder::new().churn(Some(churn)).build()?;
+        let mut b = SimulationConfig::builder();
+        b.machine(machine);
+        for i in 0..4 {
+            b.workload(
+                WorkloadProfileBuilder::new(format!("w{i}"))
+                    .threads(2)
+                    .footprint_blocks(2_000)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        b.build()
+    }
+
+    /// Runs with a probe and returns (outcome, probe).
+    fn run_probed(seed: u64) -> (SimulationOutcome, ChurnProbe) {
+        let mut probe = ChurnProbe::default();
+        let mut sim = Simulation::new(config(seed, Some(policy()))).unwrap();
+        sim.advance(u64::MAX, Some(&mut probe)).unwrap();
+        (sim.finish().unwrap(), probe)
+    }
+
+    #[test]
+    fn churned_run_completes_and_counts_every_action_kind() {
+        let (out, probe) = run_probed(42);
+        let stats = out.churn.expect("churned run must report churn stats");
+        assert!(!probe.decisions.is_empty(), "no churn boundary fired");
+        let mut spawns = 0u64;
+        let mut retires = 0u64;
+        let mut migrations = 0u64;
+        for d in &probe.decisions {
+            assert_eq!(d.draws.len(), 4, "two draws per VM per boundary");
+            assert!(d.active_after.iter().filter(|&&a| a).count() >= 1);
+            for a in &d.actions {
+                match a {
+                    ChurnAction::Spawn { .. } => spawns += 1,
+                    ChurnAction::Retire { .. } => retires += 1,
+                    ChurnAction::Migrate { .. } => migrations += 1,
+                }
+            }
+        }
+        assert_eq!(stats.spawns, spawns);
+        assert_eq!(stats.retires, retires);
+        assert_eq!(stats.migrations, migrations);
+        assert!(
+            spawns > 0 && retires > 0 && migrations > 0,
+            "seed 42 must exercise all three lifecycle actions \
+             (got {spawns} spawns, {retires} retires, {migrations} migrations)"
+        );
+        // Migrations and retires scrub private caches.
+        assert!(stats.l1_lines_invalidated > 0);
+    }
+
+    #[test]
+    fn churned_runs_are_deterministic() {
+        let a = Simulation::new(config(7, Some(policy())))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = Simulation::new(config(7, Some(policy())))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn churn_disabled_reports_no_stats() {
+        let out = Simulation::new(config(3, None)).unwrap().run().unwrap();
+        assert!(out.churn.is_none());
+    }
+
+    /// The access-count cut points bracketing the first decision whose
+    /// actions satisfy `pick`: cutting at `steps_at` checkpoints just
+    /// before the decision fires; one access later it is inside the
+    /// checkpoint.
+    fn cuts_around(
+        probe: &ChurnProbe,
+        pick: impl Fn(&ChurnAction) -> bool,
+        what: &str,
+    ) -> [u64; 2] {
+        let i = probe
+            .decisions
+            .iter()
+            .position(|d| d.actions.iter().any(&pick))
+            .unwrap_or_else(|| panic!("seed must produce a {what} decision"));
+        let at = probe.steps_at[i];
+        [at, at + 1]
+    }
+
+    #[test]
+    fn resume_seam_on_a_spawn_boundary_is_bit_identical() {
+        let (straight, probe) = run_probed(42);
+        let expected = fingerprint(&straight);
+        for cut in cuts_around(&probe, |a| matches!(a, ChurnAction::Spawn { .. }), "spawn") {
+            let bytes = checkpoint_at(config(42, Some(policy())), cut);
+            let resumed = Simulation::resume(&mut bytes.as_slice())
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(fingerprint(&resumed), expected, "cut at {cut} accesses");
+        }
+    }
+
+    #[test]
+    fn resume_seam_mid_migration_is_bit_identical() {
+        // "Mid-migration": the checkpoint lands between the migration
+        // decision and the migrated threads' first post-move access, so the
+        // remapped heap events and scrubbed caches travel in the snapshot.
+        let (straight, probe) = run_probed(42);
+        let expected = fingerprint(&straight);
+        for cut in cuts_around(
+            &probe,
+            |a| matches!(a, ChurnAction::Migrate { .. }),
+            "migration",
+        ) {
+            let bytes = checkpoint_at(config(42, Some(policy())), cut);
+            let resumed = Simulation::resume(&mut bytes.as_slice())
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(fingerprint(&resumed), expected, "cut at {cut} accesses");
+        }
+    }
+
+    #[test]
+    fn retire_then_resume_is_bit_identical() {
+        let (straight, probe) = run_probed(42);
+        let expected = fingerprint(&straight);
+        for cut in cuts_around(
+            &probe,
+            |a| matches!(a, ChurnAction::Retire { .. }),
+            "retire",
+        ) {
+            let bytes = checkpoint_at(config(42, Some(policy())), cut);
+            let resumed = Simulation::resume(&mut bytes.as_slice())
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(fingerprint(&resumed), expected, "cut at {cut} accesses");
+        }
+    }
+
+    #[test]
+    fn churn_state_survives_interleaved_checkpoint_chain() {
+        let straight = Simulation::new(config(9, Some(policy())))
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut sim = Simulation::new(config(9, Some(policy()))).unwrap();
+        loop {
+            let status = sim.advance(700, None).unwrap();
+            let mut bytes = Vec::new();
+            sim.checkpoint(&mut bytes).unwrap();
+            sim = Simulation::resume(&mut bytes.as_slice()).unwrap();
+            if status == RunStatus::Complete {
+                break;
+            }
+        }
+        let resumed = sim.finish().unwrap();
+        assert_eq!(fingerprint(&resumed), fingerprint(&straight));
     }
 }
 

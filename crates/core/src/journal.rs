@@ -131,6 +131,22 @@ fn save_outcome(out: &SimulationOutcome, w: &mut SectionBuf) {
     w.put_f64(out.dircache_hit_rate);
     w.put_f64(out.noc_mean_utilization);
     w.put_f64(out.noc_peak_utilization);
+    match &out.churn {
+        None => w.put_bool(false),
+        Some(s) => {
+            w.put_bool(true);
+            for v in [
+                s.spawns,
+                s.retires,
+                s.migrations,
+                s.l0_lines_invalidated,
+                s.l1_lines_invalidated,
+                s.writebacks,
+            ] {
+                w.put_u64(v);
+            }
+        }
+    }
 }
 
 fn restore_outcome(r: &mut SectionReader<'_>) -> Result<SimulationOutcome, SimError> {
@@ -172,6 +188,18 @@ fn restore_outcome(r: &mut SectionReader<'_>) -> Result<SimulationOutcome, SimEr
         dircache_hit_rate: r.get_f64()?,
         noc_mean_utilization: r.get_f64()?,
         noc_peak_utilization: r.get_f64()?,
+        churn: if r.get_bool()? {
+            Some(crate::churn::ChurnStats {
+                spawns: r.get_u64()?,
+                retires: r.get_u64()?,
+                migrations: r.get_u64()?,
+                l0_lines_invalidated: r.get_u64()?,
+                l1_lines_invalidated: r.get_u64()?,
+                writebacks: r.get_u64()?,
+            })
+        } else {
+            None
+        },
     })
 }
 

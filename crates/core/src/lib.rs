@@ -57,6 +57,7 @@
 //! ```
 
 pub mod audit;
+pub mod churn;
 pub mod engine;
 pub mod hierarchy;
 mod journal;
@@ -71,6 +72,7 @@ mod snapshot;
 pub mod stats;
 
 pub use audit::audit_outcome;
+pub use churn::{ChurnAction, ChurnDecision, ChurnStats};
 pub use engine::{
     RunStatus, Simulation, SimulationConfig, SimulationConfigBuilder, SimulationOutcome,
     TraceConfig,

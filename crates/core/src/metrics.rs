@@ -161,6 +161,12 @@ impl VmMetrics {
         self.miss_latency.mean()
     }
 
+    /// Largest single L1-miss latency in cycles — the worst tail event this
+    /// VM observed (0 when it never missed).
+    pub fn max_miss_latency(&self) -> f64 {
+        self.miss_latency.max() as f64
+    }
+
     /// Misses per thousand references (a second, quota-independent view of
     /// pressure).
     pub fn mpkr(&self) -> f64 {

@@ -15,6 +15,7 @@
 //!
 //! [`Simulation::run_with`]: crate::engine::Simulation::run_with
 
+use crate::churn::ChurnDecision;
 use crate::metrics::MissSource;
 use crate::qos::RepartitionDecision;
 use consim_coherence::CoreSet;
@@ -79,6 +80,15 @@ pub trait StepObserver {
     /// lockstep (EWMA state advances even when no way moves). Only fires
     /// when the machine uses `LlcPartitioning::Dynamic`. Default: ignored.
     fn on_repartition(&mut self, decision: &RepartitionDecision) {
+        let _ = decision;
+    }
+
+    /// Called at every VM-churn boundary with the full decision record —
+    /// *including* boundaries that took no action — so an external model can
+    /// transcribe the birth–death draws and lifecycle bookkeeping in exact
+    /// lockstep. Only fires when the machine carries a
+    /// [`ChurnPolicy`](consim_types::ChurnPolicy). Default: ignored.
+    fn on_churn(&mut self, decision: &ChurnDecision) {
         let _ = decision;
     }
 }

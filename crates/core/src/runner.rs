@@ -145,6 +145,9 @@ pub struct VmAggregate {
     pub llc_miss_rate: Summary,
     /// Mean L1-miss latency (cycles).
     pub miss_latency: Summary,
+    /// Worst single L1-miss latency (cycles) — the latency tail, which
+    /// lifecycle churn stresses through post-migration re-warming.
+    pub miss_latency_max: Summary,
     /// Fraction of L1 misses served cache-to-cache.
     pub c2c_fraction: Summary,
     /// Table II's c2c share: transfers over transfers-plus-memory-fetches.
@@ -157,11 +160,27 @@ pub struct VmAggregate {
     pub mpkr: Summary,
 }
 
+/// Aggregated lifecycle-churn activity of one cell (all-zero summaries
+/// when the machine carries no churn policy).
+#[derive(Debug, Clone)]
+pub struct ChurnAggregate {
+    /// VMs spawned through the birth process (initial population excluded).
+    pub spawns: Summary,
+    /// VMs retired through the death process.
+    pub retires: Summary,
+    /// Live migrations performed.
+    pub migrations: Summary,
+    /// Dirty private-cache lines written back by retirement/migration scrubs.
+    pub scrub_writebacks: Summary,
+}
+
 /// Aggregated results of one (mix, policy, sharing) experiment cell.
 #[derive(Debug, Clone)]
 pub struct MixRun {
     /// Per-VM aggregates, in VM order.
     pub vms: Vec<VmAggregate>,
+    /// Lifecycle-churn activity across the measurement phase.
+    pub churn: ChurnAggregate,
     /// LLC replication fraction.
     pub replication: Summary,
     /// Mean per-bank, per-VM occupancy share (seed-averaged).
@@ -701,6 +720,7 @@ impl ExperimentRunner {
                     runtime_cycles: collect(&|o| o.vm_metrics[vm].runtime_cycles() as f64),
                     llc_miss_rate: collect(&|o| o.vm_metrics[vm].llc_miss_rate()),
                     miss_latency: collect(&|o| o.vm_metrics[vm].mean_miss_latency()),
+                    miss_latency_max: collect(&|o| o.vm_metrics[vm].max_miss_latency()),
                     c2c_fraction: collect(&|o| o.vm_metrics[vm].c2c_fraction()),
                     c2c_of_hierarchy_misses: collect(&|o| {
                         o.vm_metrics[vm].c2c_fraction_of_hierarchy_misses()
@@ -729,6 +749,20 @@ impl ExperimentRunner {
                 .map(|o| o.measured_cycles as f64)
                 .collect::<Vec<_>>(),
         );
+        let churn_stat = |f: &dyn Fn(&crate::churn::ChurnStats) -> u64| {
+            Summary::of(
+                &outcomes
+                    .iter()
+                    .map(|o| o.churn.as_ref().map_or(0.0, |c| f(c) as f64))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let churn = ChurnAggregate {
+            spawns: churn_stat(&|c| c.spawns),
+            retires: churn_stat(&|c| c.retires),
+            migrations: churn_stat(&|c| c.migrations),
+            scrub_writebacks: churn_stat(&|c| c.writebacks),
+        };
         // Seed-averaged occupancy grid.
         let banks = outcomes
             .first()
@@ -749,6 +783,7 @@ impl ExperimentRunner {
             .collect();
         MixRun {
             vms,
+            churn,
             replication,
             occupancy,
             noc_latency,

@@ -13,11 +13,11 @@ use consim_cache::ReplacementPolicy;
 use consim_sched::SchedulingPolicy;
 use consim_snap::{fnv1a, SectionBuf, SectionReader};
 use consim_types::config::{
-    CacheGeometry, DynamicPolicy, LlcPartitioning, MachineConfigBuilder, SharingDegree,
+    CacheGeometry, ChurnPolicy, DynamicPolicy, LlcPartitioning, MachineConfigBuilder, SharingDegree,
 };
 use consim_types::{SimError, SnapshotErrorKind};
 use consim_workload::profile::PaperTargets;
-use consim_workload::{WorkloadKind, WorkloadProfile};
+use consim_workload::{LoadPhase, WorkloadKind, WorkloadProfile};
 
 fn corrupt(msg: impl Into<String>) -> SimError {
     SimError::snapshot(SnapshotErrorKind::Corrupt, msg)
@@ -73,6 +73,34 @@ pub(crate) fn save_config(config: &SimulationConfig, w: &mut SectionBuf) {
     w.put_u64(m.router_pipeline);
     w.put_usize(m.directory_cache_entries);
     w.put_u64(m.instructions_per_memory_op);
+    match &m.churn {
+        None => w.put_bool(false),
+        Some(c) => {
+            w.put_bool(true);
+            w.put_u64(c.interval);
+            w.put_usize(c.arrival_permille.len());
+            for &rate in &c.arrival_permille {
+                w.put_u32(rate);
+            }
+            w.put_usize(c.departure_permille.len());
+            for &rate in &c.departure_permille {
+                w.put_u32(rate);
+            }
+            w.put_u32(c.migration_permille);
+            w.put_usize(c.initial_active);
+            w.put_usize(c.min_active);
+            match &c.migration_targets {
+                None => w.put_bool(false),
+                Some(targets) => {
+                    w.put_bool(true);
+                    w.put_usize(targets.len());
+                    for &core in targets {
+                        w.put_usize(core);
+                    }
+                }
+            }
+        }
+    }
 
     save_policy(config.policy, w);
     w.put_usize(config.workloads.len());
@@ -135,6 +163,38 @@ pub(crate) fn restore_config(r: &mut SectionReader<'_>) -> Result<SimulationConf
     machine.router_pipeline(r.get_u64()?);
     machine.directory_cache_entries(r.get_usize()?);
     machine.instructions_per_memory_op(r.get_u64()?);
+    if r.get_bool()? {
+        let interval = r.get_u64()?;
+        let mut arrival_permille = Vec::new();
+        for _ in 0..r.get_usize()? {
+            arrival_permille.push(r.get_u32()?);
+        }
+        let mut departure_permille = Vec::new();
+        for _ in 0..r.get_usize()? {
+            departure_permille.push(r.get_u32()?);
+        }
+        let migration_permille = r.get_u32()?;
+        let initial_active = r.get_usize()?;
+        let min_active = r.get_usize()?;
+        let migration_targets = if r.get_bool()? {
+            let mut targets = Vec::new();
+            for _ in 0..r.get_usize()? {
+                targets.push(r.get_usize()?);
+            }
+            Some(targets)
+        } else {
+            None
+        };
+        machine.churn(Some(ChurnPolicy {
+            interval,
+            arrival_permille,
+            departure_permille,
+            migration_permille,
+            initial_active,
+            min_active,
+            migration_targets,
+        }));
+    }
     let machine = machine.build().map_err(as_corrupt)?;
 
     let policy = restore_policy(r)?;
@@ -235,6 +295,12 @@ fn save_profile(profile: &WorkloadProfile, w: &mut SectionBuf) {
             w.put_u64(t.footprint_blocks);
         }
     }
+    w.put_usize(profile.phases.len());
+    for phase in &profile.phases {
+        w.put_u64(phase.refs);
+        w.put_u32(phase.footprint_permille);
+        w.put_u32(phase.sharing_permille);
+    }
 }
 
 fn restore_profile(r: &mut SectionReader<'_>) -> Result<WorkloadProfile, SimError> {
@@ -276,6 +342,18 @@ fn restore_profile(r: &mut SectionReader<'_>) -> Result<WorkloadProfile, SimErro
             })
         } else {
             None
+        },
+        phases: {
+            let count = r.get_usize()?;
+            let mut phases = Vec::with_capacity(count.min(64));
+            for _ in 0..count {
+                phases.push(LoadPhase {
+                    refs: r.get_u64()?,
+                    footprint_permille: r.get_u32()?,
+                    sharing_permille: r.get_u32()?,
+                });
+            }
+            phases
         },
     };
     profile.validate().map_err(as_corrupt)?;

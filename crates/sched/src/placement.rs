@@ -39,6 +39,17 @@ impl Placement {
         self.core_of[thread.vm.index()][thread.thread.index()]
     }
 
+    /// Rebinds a thread to a new core (VM spawn or live migration under a
+    /// churn policy). The caller is responsible for keeping the overall
+    /// mapping injective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is outside the placed mix.
+    pub fn rebind(&mut self, thread: GlobalThreadId, core: CoreId) {
+        self.core_of[thread.vm.index()][thread.thread.index()] = core;
+    }
+
     /// Number of VMs placed.
     pub fn num_vms(&self) -> usize {
         self.core_of.len()

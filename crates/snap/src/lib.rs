@@ -67,7 +67,12 @@ pub const MAGIC: [u8; 4] = *b"CSNP";
 ///   repartition boundary and the controller's state (way quotas, EWMA
 ///   slowdowns, per-boundary counter baselines); older versions are
 ///   rejected as [`SnapshotErrorKind::BadVersion`].
-pub const VERSION: u32 = 3;
+/// * 4 — VM lifecycle churn: the config section gains the machine's churn
+///   policy and per-profile load-phase schedules, and the engine section
+///   gains the next churn boundary plus the churn runtime state (active
+///   flags, arrival ordinals, bindings, statistics); older versions are
+///   rejected as [`SnapshotErrorKind::BadVersion`].
+pub const VERSION: u32 = 4;
 
 /// FNV-1a hash of a byte slice — the section checksum function.
 ///

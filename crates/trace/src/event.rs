@@ -124,6 +124,47 @@ pub enum TraceEvent {
         /// Number of invariants checked.
         checks: u32,
     },
+    /// A VM arrived at a churn boundary and was bound to cores.
+    VmSpawned {
+        /// Simulation cycle of the churn boundary.
+        cycle: u64,
+        /// VM index.
+        vm: u32,
+        /// Cores bound, thread `t` on `cores[t]`.
+        cores: Vec<u64>,
+    },
+    /// A VM departed at a churn boundary; its private caches were scrubbed.
+    VmRetired {
+        /// Simulation cycle of the churn boundary.
+        cycle: u64,
+        /// VM index.
+        vm: u32,
+        /// Cores released, ascending.
+        cores: Vec<u64>,
+        /// L0 lines invalidated by the scrub.
+        invalidated_l0: u64,
+        /// L1 lines invalidated by the scrub.
+        invalidated_l1: u64,
+        /// Dirty L1 lines written back (content-only) into LLC banks.
+        writebacks: u64,
+    },
+    /// A VM live-migrated between core sets at a churn boundary.
+    VmMigrated {
+        /// Simulation cycle of the churn boundary.
+        cycle: u64,
+        /// VM index.
+        vm: u32,
+        /// Cores vacated, ascending.
+        from: Vec<u64>,
+        /// Cores newly bound, thread `t` on `to[t]`.
+        to: Vec<u64>,
+        /// L0 lines invalidated by the scrub.
+        invalidated_l0: u64,
+        /// L1 lines invalidated by the scrub.
+        invalidated_l1: u64,
+        /// Dirty L1 lines written back (content-only) into LLC banks.
+        writebacks: u64,
+    },
     /// Per-VM snapshot of the cumulative measurement counters at an epoch
     /// boundary.
     Epoch {
@@ -227,7 +268,10 @@ impl TraceEvent {
         match self {
             TraceEvent::RunStarted { .. }
             | TraceEvent::RunCompleted { .. }
-            | TraceEvent::AuditPassed { .. } => EventClass::Lifecycle,
+            | TraceEvent::AuditPassed { .. }
+            | TraceEvent::VmSpawned { .. }
+            | TraceEvent::VmRetired { .. }
+            | TraceEvent::VmMigrated { .. } => EventClass::Lifecycle,
             TraceEvent::Epoch { .. }
             | TraceEvent::EpochMachine { .. }
             | TraceEvent::Repartition { .. } => EventClass::Epoch,
@@ -277,6 +321,55 @@ impl TraceEvent {
                 f,
                 "{{\"event\":\"audit_passed\",\"seed\":{seed},\"checks\":{checks}}}"
             ),
+            TraceEvent::VmSpawned { cycle, vm, cores } => {
+                write!(
+                    f,
+                    "{{\"event\":\"vm_spawned\",\"cycle\":{cycle},\"vm\":{vm},\"cores\":"
+                )?;
+                json_u64_array(f, cores)?;
+                f.write_str("}")
+            }
+            TraceEvent::VmRetired {
+                cycle,
+                vm,
+                cores,
+                invalidated_l0,
+                invalidated_l1,
+                writebacks,
+            } => {
+                write!(
+                    f,
+                    "{{\"event\":\"vm_retired\",\"cycle\":{cycle},\"vm\":{vm},\"cores\":"
+                )?;
+                json_u64_array(f, cores)?;
+                write!(
+                    f,
+                    ",\"invalidated_l0\":{invalidated_l0},\"invalidated_l1\":{invalidated_l1},\
+                     \"writebacks\":{writebacks}}}"
+                )
+            }
+            TraceEvent::VmMigrated {
+                cycle,
+                vm,
+                from,
+                to,
+                invalidated_l0,
+                invalidated_l1,
+                writebacks,
+            } => {
+                write!(
+                    f,
+                    "{{\"event\":\"vm_migrated\",\"cycle\":{cycle},\"vm\":{vm},\"from\":"
+                )?;
+                json_u64_array(f, from)?;
+                f.write_str(",\"to\":")?;
+                json_u64_array(f, to)?;
+                write!(
+                    f,
+                    ",\"invalidated_l0\":{invalidated_l0},\"invalidated_l1\":{invalidated_l1},\
+                     \"writebacks\":{writebacks}}}"
+                )
+            }
             TraceEvent::Epoch {
                 cycle,
                 vm,
@@ -455,6 +548,37 @@ mod tests {
             (
                 TraceEvent::AuditPassed { seed: 1, checks: 9 },
                 "audit_passed",
+            ),
+            (
+                TraceEvent::VmSpawned {
+                    cycle: 5_000,
+                    vm: 2,
+                    cores: vec![4, 5],
+                },
+                "vm_spawned",
+            ),
+            (
+                TraceEvent::VmRetired {
+                    cycle: 10_000,
+                    vm: 1,
+                    cores: vec![2, 3],
+                    invalidated_l0: 12,
+                    invalidated_l1: 64,
+                    writebacks: 9,
+                },
+                "vm_retired",
+            ),
+            (
+                TraceEvent::VmMigrated {
+                    cycle: 15_000,
+                    vm: 0,
+                    from: vec![0, 1],
+                    to: vec![6, 7],
+                    invalidated_l0: 8,
+                    invalidated_l1: 32,
+                    writebacks: 4,
+                },
+                "vm_migrated",
             ),
             (
                 TraceEvent::Epoch {

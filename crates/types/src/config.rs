@@ -170,6 +170,113 @@ impl DynamicPolicy {
     }
 }
 
+/// Deterministic VM lifecycle churn: a seeded birth–death process with
+/// optional live migration, evaluated at fixed cycle boundaries of the
+/// measurement phase.
+///
+/// All VMs of the consolidation are declared up front; churn toggles which
+/// of them are *active* (bound to cores and issuing references). At every
+/// `interval`-cycle boundary the engine derives a fresh RNG stream from the
+/// run seed (`churn/epoch` + boundary index) and draws, for every VM in id
+/// order, one arrival and one migration chance:
+///
+/// * an **absent** VM spawns when its arrival draw lands below
+///   `arrival_permille[vm]` (its generator is re-seeded so a re-arrival
+///   replays a fresh, deterministic reference stream);
+/// * an **active** VM retires when the draw lands below
+///   `departure_permille[vm]` and more than `min_active` VMs are running —
+///   its private caches are invalidated (dirty lines written back to the
+///   LLC, directory entries cleaned up) and its cores freed;
+/// * otherwise an active VM live-migrates to a different free core set when
+///   the second draw lands below `migration_permille` — same private-cache
+///   scrub on the old cores, and the re-warming cost is *measured*, not
+///   hidden (LLC lines age out naturally under the no-flush rule).
+///
+/// Rates are per-boundary probabilities in permille; every draw comes from
+/// the run's labelled RNG-stream discipline, so churn schedules are
+/// bit-reproducible, checkpoint exactly, and are independently re-derived
+/// by the differential oracle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChurnPolicy {
+    /// Cycles between churn decisions. Must be nonzero — a zero interval
+    /// would make the boundary degenerate (re-fire before every access).
+    pub interval: u64,
+    /// Per-VM arrival probability per boundary, in permille (0..=1000).
+    /// Entry count must match the VM count (checked when a simulation is
+    /// built).
+    pub arrival_permille: Vec<u32>,
+    /// Per-VM departure probability per boundary, in permille (0..=1000).
+    pub departure_permille: Vec<u32>,
+    /// Probability per boundary that an active, non-departing VM migrates
+    /// to a fresh core set, in permille (0..=1000).
+    pub migration_permille: u32,
+    /// How many VMs (ids `0..initial_active`) start active; the rest arrive
+    /// through the birth process. Must be at least `min_active`.
+    pub initial_active: usize,
+    /// Floor on the running VM population; departures that would drop below
+    /// it are skipped. Must be nonzero (a zero floor would admit a zero-VM
+    /// steady state with no event sources left).
+    pub min_active: usize,
+    /// Optional restriction on the cores migrations may land on; `None`
+    /// allows any free core. Entries must be distinct cores of the machine.
+    pub migration_targets: Option<Vec<usize>>,
+}
+
+impl ChurnPolicy {
+    /// Validates the VM-count- and machine-independent invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `interval` is zero, if
+    /// `min_active` is zero (a zero-VM steady state), if `initial_active`
+    /// is below `min_active`, if any rate exceeds 1000 permille, or if
+    /// `migration_targets` is `Some` but empty.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.interval == 0 {
+            return Err(SimError::invalid_config(
+                "churn interval must be nonzero \
+                 (a zero interval degenerates the churn boundary)",
+            ));
+        }
+        if self.min_active == 0 {
+            return Err(SimError::invalid_config(
+                "churn min_active must be nonzero \
+                 (a zero floor admits a zero-VM steady state)",
+            ));
+        }
+        if self.initial_active < self.min_active {
+            return Err(SimError::invalid_config(format!(
+                "churn initial_active ({}) must be at least min_active ({})",
+                self.initial_active, self.min_active
+            )));
+        }
+        for (name, rates) in [
+            ("arrival_permille", &self.arrival_permille),
+            ("departure_permille", &self.departure_permille),
+        ] {
+            if let Some(&bad) = rates.iter().find(|&&r| r > 1000) {
+                return Err(SimError::invalid_config(format!(
+                    "churn {name} entries must be at most 1000, got {bad}"
+                )));
+            }
+        }
+        if self.migration_permille > 1000 {
+            return Err(SimError::invalid_config(format!(
+                "churn migration_permille must be at most 1000, got {}",
+                self.migration_permille
+            )));
+        }
+        if let Some(targets) = &self.migration_targets {
+            if targets.is_empty() {
+                return Err(SimError::invalid_config(
+                    "churn migration_targets must be non-empty when present",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Per-VM LLC way-partitioning (cache QoS).
 ///
 /// Server-consolidation QoS proposals isolate co-scheduled VMs by
@@ -443,6 +550,9 @@ pub struct MachineConfig {
     /// Average non-memory instructions executed between two memory
     /// references (in-order, 1 IPC).
     pub instructions_per_memory_op: u64,
+    /// Optional VM lifecycle churn (birth–death arrivals, departures and
+    /// live migration); `None` reproduces the paper's static population.
+    pub churn: Option<ChurnPolicy>,
 }
 
 impl MachineConfig {
@@ -476,6 +586,15 @@ impl MachineConfig {
     pub fn with_llc_partitioning(&self, partitioning: LlcPartitioning) -> Self {
         let mut copy = self.clone();
         copy.llc_partitioning = partitioning;
+        copy
+    }
+
+    /// Returns a copy with a VM lifecycle churn policy. The per-VM rate
+    /// vectors are re-validated against the VM count when a simulation is
+    /// built from the config.
+    pub fn with_churn(&self, churn: ChurnPolicy) -> Self {
+        let mut copy = self.clone();
+        copy.churn = Some(churn);
         copy
     }
 
@@ -556,6 +675,7 @@ pub struct MachineConfigBuilder {
     router_pipeline: u64,
     directory_cache_entries: usize,
     instructions_per_memory_op: u64,
+    churn: Option<ChurnPolicy>,
 }
 
 impl MachineConfigBuilder {
@@ -588,6 +708,7 @@ impl MachineConfigBuilder {
             router_pipeline: 3,
             directory_cache_entries: 8192,
             instructions_per_memory_op: 2,
+            churn: None,
         }
     }
 
@@ -675,6 +796,12 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Sets the VM lifecycle churn policy (`None` = static population).
+    pub fn churn(&mut self, churn: Option<ChurnPolicy>) -> &mut Self {
+        self.churn = churn;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -757,6 +884,29 @@ impl MachineConfigBuilder {
                 self.directory_cache_entries
             )));
         }
+        // Churn invariants that don't need the VM count; per-VM rate-vector
+        // lengths and active-population bounds re-run in
+        // `SimulationConfigBuilder::build`.
+        if let Some(churn) = &self.churn {
+            churn.validate()?;
+            if let Some(targets) = &churn.migration_targets {
+                if let Some(&bad) = targets.iter().find(|&&c| c >= self.num_cores) {
+                    return Err(SimError::invalid_config(format!(
+                        "churn migration target core {bad} is outside the \
+                         machine's {} cores",
+                        self.num_cores
+                    )));
+                }
+                let mut seen = targets.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                if seen.len() != targets.len() {
+                    return Err(SimError::invalid_config(
+                        "churn migration_targets must be distinct cores",
+                    ));
+                }
+            }
+        }
         Ok(MachineConfig {
             num_cores: self.num_cores,
             mesh_width: self.mesh_width,
@@ -772,6 +922,7 @@ impl MachineConfigBuilder {
             router_pipeline: self.router_pipeline,
             directory_cache_entries: self.directory_cache_entries,
             instructions_per_memory_op: self.instructions_per_memory_op,
+            churn: self.churn.clone(),
         })
     }
 }
@@ -1099,5 +1250,121 @@ mod tests {
         assert!(LlcPartitioning::Dynamic(DynamicPolicy::default())
             .way_masks(4, 5)
             .is_err());
+    }
+
+    fn churn_policy() -> ChurnPolicy {
+        ChurnPolicy {
+            interval: 20_000,
+            arrival_permille: vec![200, 200],
+            departure_permille: vec![100, 100],
+            migration_permille: 150,
+            initial_active: 2,
+            min_active: 1,
+            migration_targets: None,
+        }
+    }
+
+    #[test]
+    fn builder_accepts_valid_churn() {
+        let m = MachineConfigBuilder::new()
+            .churn(Some(churn_policy()))
+            .build()
+            .unwrap();
+        assert_eq!(m.churn, Some(churn_policy()));
+        // `with_churn` is the sweep-style helper, like `with_sharing`.
+        let m2 = MachineConfig::paper_default().with_churn(churn_policy());
+        assert_eq!(m2.churn, Some(churn_policy()));
+    }
+
+    #[test]
+    fn builder_rejects_zero_churn_interval() {
+        // Same degenerate-boundary rule as the Dynamic epoch_interval: a
+        // zero interval would re-fire the churn boundary before every
+        // access, so it is a typed config error at build time.
+        let p = ChurnPolicy {
+            interval: 0,
+            ..churn_policy()
+        };
+        assert!(p.validate().is_err());
+        let err = MachineConfigBuilder::new()
+            .churn(Some(p))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("interval"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_vm_steady_state() {
+        // min_active = 0 would let the birth–death process retire every VM
+        // and leave the event loop with no sources.
+        let p = ChurnPolicy {
+            min_active: 0,
+            ..churn_policy()
+        };
+        let err = MachineConfigBuilder::new()
+            .churn(Some(p))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("min_active"), "{err}");
+        // initial_active below the floor is equally degenerate.
+        let p = ChurnPolicy {
+            initial_active: 0,
+            ..churn_policy()
+        };
+        let err = MachineConfigBuilder::new()
+            .churn(Some(p))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("initial_active"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_migration_target_outside_machine() {
+        let p = ChurnPolicy {
+            migration_targets: Some(vec![0, 1, 16]),
+            ..churn_policy()
+        };
+        let err = MachineConfigBuilder::new()
+            .churn(Some(p))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
+        // Duplicate targets are rejected too.
+        let p = ChurnPolicy {
+            migration_targets: Some(vec![3, 3]),
+            ..churn_policy()
+        };
+        let err = MachineConfigBuilder::new()
+            .churn(Some(p))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("distinct"), "{err}");
+        // An empty restriction is a contradiction, not "no restriction".
+        let p = ChurnPolicy {
+            migration_targets: Some(vec![]),
+            ..churn_policy()
+        };
+        assert!(MachineConfigBuilder::new().churn(Some(p)).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_churn_rates_above_1000() {
+        for p in [
+            ChurnPolicy {
+                arrival_permille: vec![1001, 0],
+                ..churn_policy()
+            },
+            ChurnPolicy {
+                departure_permille: vec![0, 2000],
+                ..churn_policy()
+            },
+            ChurnPolicy {
+                migration_permille: 1001,
+                ..churn_policy()
+            },
+        ] {
+            assert!(p.validate().is_err(), "{p:?}");
+            assert!(MachineConfigBuilder::new().churn(Some(p)).build().is_err());
+        }
     }
 }

@@ -34,7 +34,9 @@ pub mod ids;
 pub mod rng;
 
 pub use addr::{Address, BlockAddr, CACHE_LINE_BYTES};
-pub use config::{CacheGeometry, DynamicPolicy, LlcPartitioning, MachineConfig, SharingDegree};
+pub use config::{
+    CacheGeometry, ChurnPolicy, DynamicPolicy, LlcPartitioning, MachineConfig, SharingDegree,
+};
 pub use cycles::Cycle;
 pub use error::{SimError, SnapshotErrorKind};
 pub use hash::{FastHashMap, FastHashSet};

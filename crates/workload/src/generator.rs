@@ -163,13 +163,49 @@ impl HandoffPool {
 pub struct WorkloadGenerator {
     vm: VmId,
     profile: WorkloadProfile,
+    /// Effective samplers for the current load phase: restricted to the
+    /// hottest `footprint_permille` fraction of each region's *unchanged*
+    /// block layout (Zipf rank 0 is the hottest block, so a narrower
+    /// sampler touches a prefix of the same addresses).
     shared_sampler: Option<ZipfSampler>,
     private_sampler: ZipfSampler,
+    /// Phase-scaled access probabilities (base × `sharing_permille`/1000).
+    eff_shared_access_prob: f64,
+    eff_handoff_access_prob: f64,
+    /// Current index into the profile's phase schedule (0 when empty).
+    phase: usize,
+    /// `refs_emitted` value at which the next phase begins; `u64::MAX`
+    /// when the schedule is empty, so the steady-load hot path costs one
+    /// never-taken branch. Derived state: recomputed on restore.
+    next_phase_at: u64,
     threads: Vec<ThreadState>,
     handoff: HandoffPool,
     /// First block index of the handoff region (within the shared region).
     handoff_base: u64,
     refs_emitted: u64,
+}
+
+/// The phase index in force after `refs` total references, and the
+/// absolute reference count at which the next phase starts. The schedule
+/// cycles; an empty schedule pins `(0, u64::MAX)`.
+fn phase_at(profile: &WorkloadProfile, refs: u64) -> (usize, u64) {
+    if profile.phases.is_empty() {
+        return (0, u64::MAX);
+    }
+    let total: u64 = profile
+        .phases
+        .iter()
+        .fold(0u64, |acc, p| acc.saturating_add(p.refs));
+    let offset = refs % total;
+    let cycle_start = refs - offset;
+    let mut acc = 0u64;
+    for (i, p) in profile.phases.iter().enumerate() {
+        acc = acc.saturating_add(p.refs);
+        if offset < acc {
+            return (i, cycle_start.saturating_add(acc));
+        }
+    }
+    unreachable!("offset < total by construction")
 }
 
 impl WorkloadGenerator {
@@ -209,11 +245,15 @@ impl WorkloadGenerator {
             })
             .collect();
         let handoff_span = profile.handoff_segments as u64 * profile.handoff_segment_blocks;
-        Self {
+        let mut gen = Self {
             vm,
             profile: profile.clone(),
             shared_sampler,
             private_sampler,
+            eff_shared_access_prob: profile.shared_access_prob,
+            eff_handoff_access_prob: profile.handoff_access_prob,
+            phase: 0,
+            next_phase_at: u64::MAX,
             threads,
             handoff: HandoffPool::new(
                 profile.handoff_segments,
@@ -222,7 +262,67 @@ impl WorkloadGenerator {
             ),
             handoff_base: shared_blocks.saturating_sub(handoff_span),
             refs_emitted: 0,
+        };
+        gen.sync_phase();
+        gen
+    }
+
+    /// Recomputes the phase index and effective parameters from
+    /// `refs_emitted`. Called at construction, after a restore, after a
+    /// respawn, and (via [`WorkloadGenerator::finish_ref`]) when the
+    /// reference count crosses a phase boundary.
+    fn sync_phase(&mut self) {
+        let (phase, next_at) = phase_at(&self.profile, self.refs_emitted);
+        self.phase = phase;
+        self.next_phase_at = next_at;
+        let p = &self.profile;
+        let (fp, sharing) = match p.phases.get(phase) {
+            Some(ph) => (
+                u64::from(ph.footprint_permille),
+                f64::from(ph.sharing_permille) / 1000.0,
+            ),
+            None => (1000, 1.0),
+        };
+        let shared_blocks = p.shared_blocks();
+        self.shared_sampler = if shared_blocks > 0 {
+            let active = (shared_blocks * fp / 1000).max(1);
+            Some(ZipfSampler::new(active, p.shared_zipf).expect("validated"))
+        } else {
+            None
+        };
+        let private_active = (p.private_blocks_per_thread().max(1) * fp / 1000).max(1);
+        self.private_sampler = ZipfSampler::new(private_active, p.private_zipf).expect("validated");
+        self.eff_shared_access_prob = p.shared_access_prob * sharing;
+        self.eff_handoff_access_prob = p.handoff_access_prob * sharing;
+    }
+
+    /// Resets the generator to a *fresh instance* of the same workload for
+    /// a re-arrival: all mutable state (thread RNG streams, recent windows,
+    /// segment ownership, handoff pool, reference counts) restarts from
+    /// zero, with per-thread streams derived from `rng` through a
+    /// `workload/respawn` label keyed by the VM and the arrival ordinal —
+    /// so the k-th incarnation's stream is deterministic but fresh.
+    ///
+    /// `rng` must be the same root RNG the generator was constructed with.
+    pub fn respawn(&mut self, rng: &SimRng, arrival: u64) {
+        let stream_base = rng
+            .derive(&self.profile.name)
+            .derive_parts("workload/respawn", &[self.vm.index() as u64, arrival]);
+        for (t, state) in self.threads.iter_mut().enumerate() {
+            state.rng =
+                stream_base.derive_parts("workload/vm/thread", &[self.vm.index() as u64, t as u64]);
+            state.recent.clear();
+            state.refs = 0;
+            state.segment = None;
+            state.pending_handoff = false;
         }
+        self.handoff = HandoffPool::new(
+            self.profile.handoff_segments,
+            self.profile.handoff_segment_blocks,
+            self.profile.threads,
+        );
+        self.refs_emitted = 0;
+        self.sync_phase();
     }
 
     /// The VM this generator feeds.
@@ -307,8 +407,8 @@ impl WorkloadGenerator {
             self.threads[t].pending_handoff = false;
             true
         } else {
-            self.profile.handoff_access_prob > 0.0
-                && self.threads[t].rng.chance(self.profile.handoff_access_prob)
+            self.eff_handoff_access_prob > 0.0
+                && self.threads[t].rng.chance(self.eff_handoff_access_prob)
         };
         if take_handoff {
             if let Some(r) = self.handoff_access(thread) {
@@ -336,11 +436,13 @@ impl WorkloadGenerator {
     /// Panics if `thread` is outside the profile's thread count.
     pub fn fill_batch(&mut self, thread: ThreadId, out: &mut Vec<MemRef>, max: usize) {
         let t = thread.index();
-        let handoff_prob = self.profile.handoff_access_prob;
         for _ in 0..max {
             if self.threads[t].pending_handoff {
                 break;
             }
+            // Re-read per iteration: a phase boundary crossed mid-batch
+            // rescales the handoff probability for the remaining draws.
+            let handoff_prob = self.eff_handoff_access_prob;
             if handoff_prob > 0.0 && self.threads[t].rng.chance(handoff_prob) {
                 // The draw is spent; next_ref must honor it, not repeat it.
                 self.threads[t].pending_handoff = true;
@@ -362,8 +464,7 @@ impl WorkloadGenerator {
         {
             let i = state.rng.index(state.recent.len());
             state.recent[i]
-        } else if self.shared_sampler.is_some() && state.rng.chance(self.profile.shared_access_prob)
-        {
+        } else if self.shared_sampler.is_some() && state.rng.chance(self.eff_shared_access_prob) {
             self.shared_sampler
                 .as_ref()
                 .expect("checked above")
@@ -432,6 +533,9 @@ impl WorkloadGenerator {
     ) -> MemRef {
         self.threads[thread.index()].refs += 1;
         self.refs_emitted += 1;
+        if self.refs_emitted >= self.next_phase_at {
+            self.sync_phase();
+        }
         MemRef {
             thread,
             address: BlockAddr::in_vm(self.vm, block_index).base_address(),
@@ -513,6 +617,8 @@ impl Snapshot for WorkloadGenerator {
         }
         self.handoff.free = free.into_iter().map(|id| id as usize).collect();
         self.handoff.next_window = r.get_u64()?;
+        // Phase state is derived from the restored reference count.
+        self.sync_phase();
         Ok(())
     }
 }
@@ -914,5 +1020,146 @@ mod tests {
     fn out_of_range_thread_panics() {
         let mut g = gen_for(WorkloadKind::TpcW, 1);
         let _ = g.next_ref(ThreadId::new(4));
+    }
+
+    use crate::profile::LoadPhase;
+
+    fn phased_profile() -> crate::profile::WorkloadProfile {
+        WorkloadProfileBuilder::new("phased")
+            .footprint_blocks(20_000)
+            .shared_access_prob(0.5)
+            .recent_reuse_prob(0.0)
+            .phases(vec![
+                LoadPhase {
+                    refs: 4_000,
+                    footprint_permille: 1000,
+                    sharing_permille: 1000,
+                },
+                LoadPhase {
+                    refs: 4_000,
+                    footprint_permille: 100,
+                    sharing_permille: 200,
+                },
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn phase_schedule_cycles_and_is_deterministic() {
+        let profile = phased_profile();
+        let mk = || WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(17));
+        let mut a = mk();
+        let mut b = mk();
+        for i in 0..20_000 {
+            let t = ThreadId::new(i % 4);
+            assert_eq!(a.next_ref(t), b.next_ref(t), "ref {i}");
+        }
+        // After a whole cycle (8k refs) the schedule is back in phase 0.
+        assert_eq!(phase_at(&profile, 0), (0, 4_000));
+        assert_eq!(phase_at(&profile, 3_999), (0, 4_000));
+        assert_eq!(phase_at(&profile, 4_000), (1, 8_000));
+        assert_eq!(phase_at(&profile, 8_000), (0, 12_000));
+        assert_eq!(phase_at(&profile, 12_345), (1, 16_000));
+    }
+
+    #[test]
+    fn narrow_phase_shrinks_the_touched_footprint() {
+        // Compare unique blocks touched during the full-footprint phase vs
+        // the 10%-footprint phase: the narrow phase must touch far fewer.
+        let profile = phased_profile();
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(18));
+        let mut wide = HashSet::new();
+        let mut narrow = HashSet::new();
+        for i in 0..8_000u64 {
+            let r = g.next_ref(ThreadId::new((i % 4) as usize));
+            let set = if i < 4_000 { &mut wide } else { &mut narrow };
+            set.insert(r.address.block());
+        }
+        assert!(
+            narrow.len() * 2 < wide.len(),
+            "narrow phase touched {} blocks vs {} in the wide phase",
+            narrow.len(),
+            wide.len()
+        );
+        // Narrow-phase blocks come from the *same layout*, restricted to
+        // the hottest 10% prefix of each region (phases never re-lay-out
+        // the address space).
+        let shared = profile.shared_blocks();
+        let per_thread = profile.private_blocks_per_thread();
+        for b in &narrow {
+            let idx = b.vm_block_index();
+            if idx < shared {
+                assert!(idx < shared / 10, "shared block {idx} outside hot prefix");
+            } else {
+                let rank = (idx - shared) % per_thread;
+                assert!(
+                    rank < per_thread / 10,
+                    "private block {idx} outside hot prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_phase_continues_exactly() {
+        let profile = phased_profile();
+        let mk = || WorkloadGenerator::new(VmId::new(0), &profile, &SimRng::from_seed(19));
+        let mut g = mk();
+        // Stop mid-phase-1 (narrow), with the schedule state implicit.
+        for i in 0..6_500 {
+            g.next_ref(ThreadId::new(i % 4));
+        }
+        let mut buf = SectionBuf::new();
+        g.save(&mut buf);
+        let mut back = mk();
+        back.restore(&mut SectionReader::new("wl", buf.as_bytes()))
+            .unwrap();
+        assert_eq!(back.phase, g.phase);
+        assert_eq!(back.next_phase_at, g.next_phase_at);
+        for i in 0..6_000 {
+            let t = ThreadId::new(i % 4);
+            assert_eq!(back.next_ref(t), g.next_ref(t), "ref {i}");
+        }
+    }
+
+    #[test]
+    fn respawn_restarts_a_fresh_deterministic_stream() {
+        let profile = WorkloadKind::TpcH.profile();
+        let root = SimRng::from_seed(23);
+        let mut g = WorkloadGenerator::new(VmId::new(1), &profile, &root);
+        let first: Vec<_> = (0..500).map(|i| g.next_ref(ThreadId::new(i % 4))).collect();
+
+        // First respawn: counts reset, stream differs from the original.
+        g.respawn(&root, 1);
+        assert_eq!(g.refs_emitted(), 0);
+        let second: Vec<_> = (0..500).map(|i| g.next_ref(ThreadId::new(i % 4))).collect();
+        assert_ne!(first, second, "respawned stream must be fresh");
+
+        // The same arrival ordinal replays the identical stream.
+        let mut h = WorkloadGenerator::new(VmId::new(1), &profile, &root);
+        h.respawn(&root, 1);
+        let replay: Vec<_> = (0..500).map(|i| h.next_ref(ThreadId::new(i % 4))).collect();
+        assert_eq!(second, replay);
+
+        // Different arrival ordinals diverge.
+        let mut k = WorkloadGenerator::new(VmId::new(1), &profile, &root);
+        k.respawn(&root, 2);
+        let third: Vec<_> = (0..500).map(|i| k.next_ref(ThreadId::new(i % 4))).collect();
+        assert_ne!(second, third);
+    }
+
+    #[test]
+    fn respawn_resets_phase_schedule() {
+        let profile = phased_profile();
+        let root = SimRng::from_seed(29);
+        let mut g = WorkloadGenerator::new(VmId::new(0), &profile, &root);
+        for i in 0..6_000 {
+            g.next_ref(ThreadId::new(i % 4));
+        }
+        assert_eq!(g.phase, 1);
+        g.respawn(&root, 1);
+        assert_eq!(g.phase, 0);
+        assert_eq!(g.next_phase_at, 4_000);
     }
 }

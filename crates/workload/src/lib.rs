@@ -39,6 +39,6 @@ pub mod reference;
 pub mod zipf;
 
 pub use generator::WorkloadGenerator;
-pub use profile::{WorkloadKind, WorkloadProfile, WorkloadProfileBuilder};
+pub use profile::{LoadPhase, WorkloadKind, WorkloadProfile, WorkloadProfileBuilder};
 pub use reference::MemRef;
 pub use zipf::ZipfSampler;

@@ -86,6 +86,62 @@ pub struct PaperTargets {
     pub footprint_blocks: u64,
 }
 
+/// One segment of a piecewise per-VM load schedule.
+///
+/// Phases model the burstiness of real consolidation guests: a VM's
+/// effective working set and sharing intensity vary over its run. Each
+/// phase lasts `refs` VM-wide references, and while it is in force the
+/// generator (a) restricts both Zipf samplers to the hottest
+/// `footprint_permille` fraction of their regions (the block *layout* never
+/// changes — a phase only narrows which blocks are touched, so shrinking
+/// and re-growing the active set exercises cache re-warming) and (b) scales
+/// the shared/handoff access probabilities by `sharing_permille`.
+///
+/// The schedule cycles: after the last phase the first starts again. An
+/// empty schedule means the profile's base parameters hold throughout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoadPhase {
+    /// References (summed across the VM's threads) this phase lasts.
+    /// Must be nonzero.
+    pub refs: u64,
+    /// Active-footprint scale in permille of each region's block count
+    /// (1..=1000); the sampler is clamped to at least one block.
+    pub footprint_permille: u32,
+    /// Scale applied to `shared_access_prob` and `handoff_access_prob`,
+    /// in permille (0..=1000).
+    pub sharing_permille: u32,
+}
+
+impl LoadPhase {
+    /// Validates the phase parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `refs` is zero, if
+    /// `footprint_permille` is outside `1..=1000`, or if
+    /// `sharing_permille` exceeds 1000.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.refs == 0 {
+            return Err(SimError::invalid_config(
+                "load phase must last at least one reference",
+            ));
+        }
+        if self.footprint_permille == 0 || self.footprint_permille > 1000 {
+            return Err(SimError::invalid_config(format!(
+                "load phase footprint_permille must be in 1..=1000, got {}",
+                self.footprint_permille
+            )));
+        }
+        if self.sharing_permille > 1000 {
+            return Err(SimError::invalid_config(format!(
+                "load phase sharing_permille must be at most 1000, got {}",
+                self.sharing_permille
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Everything the generator needs to emit one workload's reference stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
@@ -138,6 +194,8 @@ pub struct WorkloadProfile {
     pub default_transactions: u64,
     /// The paper's Table II numbers for this workload, if it has them.
     pub paper_targets: Option<PaperTargets>,
+    /// Piecewise load schedule (cycled); empty = steady base parameters.
+    pub phases: Vec<LoadPhase>,
 }
 
 impl WorkloadProfile {
@@ -170,6 +228,7 @@ impl WorkloadProfile {
                 dirty_fraction: 0.16,
                 footprint_blocks: 1_125_000,
             }),
+            phases: Vec::new(),
         }
     }
 
@@ -202,6 +261,7 @@ impl WorkloadProfile {
                 dirty_fraction: 0.06,
                 footprint_blocks: 606_000,
             }),
+            phases: Vec::new(),
         }
     }
 
@@ -234,6 +294,7 @@ impl WorkloadProfile {
                 dirty_fraction: 0.57,
                 footprint_blocks: 172_000,
             }),
+            phases: Vec::new(),
         }
     }
 
@@ -266,6 +327,7 @@ impl WorkloadProfile {
                 dirty_fraction: 0.07,
                 footprint_blocks: 986_000,
             }),
+            phases: Vec::new(),
         }
     }
 
@@ -346,6 +408,9 @@ impl WorkloadProfile {
                 "shared accesses requested but shared region is empty",
             ));
         }
+        for phase in &self.phases {
+            phase.validate()?;
+        }
         Ok(())
     }
 }
@@ -398,6 +463,7 @@ impl WorkloadProfileBuilder {
                 refs_per_transaction: 1_000,
                 default_transactions: 100,
                 paper_targets: None,
+                phases: Vec::new(),
             },
         }
     }
@@ -501,6 +567,12 @@ impl WorkloadProfileBuilder {
     /// Sets the default transaction quota.
     pub fn default_transactions(mut self, n: u64) -> Self {
         self.profile.default_transactions = n;
+        self
+    }
+
+    /// Sets the piecewise load schedule (cycled; empty = steady load).
+    pub fn phases(mut self, phases: Vec<LoadPhase>) -> Self {
+        self.profile.phases = phases;
         self
     }
 
@@ -609,5 +681,44 @@ mod tests {
     fn default_total_refs() {
         let p = WorkloadProfile::spec_jbb();
         assert_eq!(p.default_total_refs(), 16 * 6_400);
+    }
+
+    #[test]
+    fn phase_validation() {
+        let ok = LoadPhase {
+            refs: 5_000,
+            footprint_permille: 400,
+            sharing_permille: 800,
+        };
+        assert!(ok.validate().is_ok());
+        for bad in [
+            LoadPhase { refs: 0, ..ok },
+            LoadPhase {
+                footprint_permille: 0,
+                ..ok
+            },
+            LoadPhase {
+                footprint_permille: 1001,
+                ..ok
+            },
+            LoadPhase {
+                sharing_permille: 1001,
+                ..ok
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+            assert!(
+                WorkloadProfileBuilder::new("phased")
+                    .phases(vec![bad])
+                    .build()
+                    .is_err(),
+                "{bad:?}"
+            );
+        }
+        let p = WorkloadProfileBuilder::new("phased")
+            .phases(vec![ok])
+            .build()
+            .unwrap();
+        assert_eq!(p.phases, vec![ok]);
     }
 }

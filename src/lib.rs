@@ -42,7 +42,7 @@
 //! See `examples/` for richer scenarios and `crates/bench` for the
 //! figure-by-figure reproduction harness.
 
-pub use consim::{audit, engine, machine, metrics, mix, report, runner, stats};
+pub use consim::{audit, churn, engine, machine, metrics, mix, report, runner, stats};
 pub use consim_cache as cache;
 pub use consim_coherence as coherence;
 pub use consim_noc as noc;
@@ -59,7 +59,9 @@ pub mod prelude {
     pub use consim::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
     pub use consim::stats::Summary;
     pub use consim_sched::SchedulingPolicy;
-    pub use consim_types::config::{MachineConfig, MachineConfigBuilder, SharingDegree};
+    pub use consim_types::config::{
+        ChurnPolicy, MachineConfig, MachineConfigBuilder, SharingDegree,
+    };
     pub use consim_types::{SimError, VmId};
     pub use consim_workload::{WorkloadKind, WorkloadProfile, WorkloadProfileBuilder};
 }

@@ -302,6 +302,152 @@ fn faulted_sweep_resumes_to_byte_identical_figure_text() {
     }
 }
 
+/// A churn policy sized so every knob fires inside these short runs:
+/// boundaries every 2k cycles, high arrival/departure rates, migration on.
+fn churny_machine() -> MachineConfig {
+    MachineConfig::paper_default().with_churn(ChurnPolicy {
+        interval: 2_000,
+        arrival_permille: vec![600, 600],
+        departure_permille: vec![400, 400],
+        migration_permille: 500,
+        initial_active: 2,
+        min_active: 1,
+        migration_targets: None,
+    })
+}
+
+fn churned_config(seed: u64) -> SimulationConfig {
+    let mut b = SimulationConfig::builder();
+    b.machine(churny_machine().with_sharing(SharingDegree::SharedBy(4)))
+        .policy(SchedulingPolicy::RoundRobin)
+        .refs_per_vm(8_000)
+        .warmup_refs_per_vm(2_000)
+        .seed(seed);
+    for kind in [WorkloadKind::SpecJbb, WorkloadKind::TpcH] {
+        b.workload(kind.profile());
+    }
+    b.build().expect("valid churned config")
+}
+
+/// Lifecycle churn composes with both observability knobs: a churned,
+/// traced batch must report identical bits — including the churn activity
+/// counters and the tail-latency aggregate — on 1, 2, and 4 workers.
+#[test]
+fn churned_traced_runs_are_bit_identical_across_thread_counts() {
+    use server_consolidation_sim::trace::{RingBufferSink, TraceSink};
+    use std::sync::Arc;
+
+    let options = RunOptions {
+        refs_per_vm: 3_000,
+        warmup_refs_per_vm: 500,
+        seeds: vec![1, 2],
+        track_footprint: false,
+        prewarm_llc: false,
+    };
+    let cells = vec![
+        ExperimentCell::of_kinds(
+            &[WorkloadKind::SpecJbb, WorkloadKind::TpcH],
+            SchedulingPolicy::RoundRobin,
+            SharingDegree::SharedBy(4),
+        ),
+        ExperimentCell::of_kinds(
+            &[WorkloadKind::TpcW; 2],
+            SchedulingPolicy::Affinity,
+            SharingDegree::SharedBy(4),
+        ),
+    ];
+    let stats_bits = |threads: usize| -> (Vec<u64>, usize, f64) {
+        let sink = Arc::new(RingBufferSink::new(8_192));
+        let results = ExperimentRunner::with_machine(churny_machine(), options.clone())
+            .with_threads(threads)
+            .with_sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .run_cells(&cells)
+            .expect("churned traced batch");
+        let mut bits = Vec::new();
+        let mut activity = 0.0;
+        for agg in &results {
+            for vm in &agg.vms {
+                bits.push(vm.runtime_cycles.mean.to_bits());
+                bits.push(vm.miss_latency.mean.to_bits());
+                bits.push(vm.miss_latency_max.mean.to_bits());
+                bits.push(vm.llc_miss_rate.mean.to_bits());
+            }
+            bits.push(agg.churn.spawns.mean.to_bits());
+            bits.push(agg.churn.retires.mean.to_bits());
+            bits.push(agg.churn.migrations.mean.to_bits());
+            bits.push(agg.churn.scrub_writebacks.mean.to_bits());
+            activity += agg.churn.spawns.mean + agg.churn.retires.mean + agg.churn.migrations.mean;
+        }
+        (bits, sink.snapshot().len(), activity)
+    };
+    let (serial, serial_events, activity) = stats_bits(1);
+    for threads in [2, 4] {
+        let (parallel, parallel_events, _) = stats_bits(threads);
+        assert_eq!(
+            serial, parallel,
+            "{threads} workers changed a churned report"
+        );
+        assert_eq!(
+            serial_events, parallel_events,
+            "{threads} workers changed the churned event count"
+        );
+    }
+    assert!(
+        activity > 0.0,
+        "the churn policy never fired — the test is vacuous"
+    );
+}
+
+/// Churned manifest digests: the same churned run digests identically on
+/// every execution, a seed change moves the digest, and enabling churn
+/// moves it away from the static run's.
+#[test]
+fn churned_manifest_digests_are_stable() {
+    use server_consolidation_sim::trace::digest_of;
+
+    // The static fingerprint plus the lifecycle counters.
+    let churned_fingerprint = |outcome: &SimulationOutcome| -> Vec<u64> {
+        let mut f = fingerprint(outcome);
+        let stats = outcome.churn.as_ref().expect("churned run reports stats");
+        f.extend([
+            stats.spawns,
+            stats.retires,
+            stats.migrations,
+            stats.l0_lines_invalidated,
+            stats.l1_lines_invalidated,
+            stats.writebacks,
+        ]);
+        f
+    };
+    let run_digest = |seed: u64| -> String {
+        let outcome = Simulation::new(churned_config(seed))
+            .unwrap()
+            .run()
+            .unwrap();
+        digest_of(&churned_fingerprint(&outcome))
+    };
+    let a = run_digest(7);
+    assert_eq!(
+        a,
+        run_digest(7),
+        "identical churned runs must digest identically"
+    );
+    assert_ne!(
+        a,
+        run_digest(8),
+        "seed changes must move the churned digest"
+    );
+    let static_outcome = Simulation::new(config(7, SchedulingPolicy::RoundRobin))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_ne!(
+        a,
+        digest_of(&fingerprint(&static_outcome)),
+        "churn must change what the run digests to"
+    );
+}
+
 /// Manifest digests are the replayability anchor: the same logical run
 /// must digest to the same 16-hex string on every execution, and any
 /// seed change must move it.

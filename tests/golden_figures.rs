@@ -127,6 +127,10 @@ fn figures_match_golden_snapshots() {
                 .unwrap()
                 .to_string(),
         ),
+        (
+            "fig16_lifecycle_churn",
+            figures::fig16_lifecycle_churn(&ctx).unwrap().to_string(),
+        ),
     ];
 
     let dir = golden_dir();
