@@ -58,6 +58,32 @@ test -s "$smoke_dir/manifest.json"
 grep -q '"event":"audit_passed"' "$smoke_dir/events.jsonl"
 grep -q '"bin": "run_all"' "$smoke_dir/manifest.json"
 
+echo "== job-pool crash/resume smoke (CONSIM_FAULT, zero lost jobs) =="
+# Kill a run after 2 completed jobs, resume it, and demand the resumed
+# figure text is byte-identical to an uninterrupted run. The faulted
+# invocation must exit non-zero but journal every completed job.
+job_env=(CONSIM_REFS=2000 CONSIM_WARMUP=500 CONSIM_SEEDS=1)
+env "${job_env[@]}" \
+  cargo run --release -q -p consim-bench --bin run_all \
+  > "$smoke_dir/plain.txt"
+if env "${job_env[@]}" CONSIM_FAULT=cell:2 \
+  cargo run --release -q -p consim-bench --bin run_all -- \
+  --resume "$smoke_dir/journal" > /dev/null 2> "$smoke_dir/fault.log"; then
+  echo "fault-injected run_all unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q "fault injected" "$smoke_dir/fault.log"
+recs=$(ls "$smoke_dir/journal"/job-*.bin | wc -l)
+[ "$recs" -ge 2 ] || { echo "expected >=2 journaled jobs, got $recs" >&2; exit 1; }
+env "${job_env[@]}" \
+  cargo run --release -q -p consim-bench --bin run_all -- \
+  --resume "$smoke_dir/journal" > "$smoke_dir/resumed.txt"
+cmp "$smoke_dir/plain.txt" "$smoke_dir/resumed.txt"
+
+echo "== job layer demo (live queue, time slices, cancel, fault+resume) =="
+CONSIM_REFS=2000 CONSIM_WARMUP=500 CONSIM_SEEDS=2 \
+  cargo run --release -q -p consim-bench --bin jobs > /dev/null
+
 echo "== perf smoke (non-gating, short throughput probe) =="
 # A short serial probe compared against the committed BENCH_engine.json
 # baseline. Informational only: wall-clock noise (shared CI boxes, thermal

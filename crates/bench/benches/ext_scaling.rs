@@ -12,7 +12,7 @@
 //! 16-core, 4-instance numbers of the main figures.
 
 use consim::report::TextTable;
-use consim::runner::{ExperimentRunner, RunOptions};
+use consim_job::runner::{ExperimentRunner, RunOptions};
 use consim_sched::SchedulingPolicy;
 use consim_types::config::{CacheGeometry, MachineConfig, MachineConfigBuilder, SharingDegree};
 use consim_workload::WorkloadKind;

@@ -11,7 +11,7 @@
 //! round robin.
 
 use consim::report::TextTable;
-use consim::runner::{ExperimentRunner, RunOptions};
+use consim_job::runner::{ExperimentRunner, RunOptions};
 use consim_sched::SchedulingPolicy;
 use consim_types::config::SharingDegree;
 use consim_workload::{WorkloadKind, WorkloadProfile};

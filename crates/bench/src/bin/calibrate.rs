@@ -1,7 +1,7 @@
 //! Calibration scratch harness: Table II statistics per workload in the
 //! paper's private-cache configuration, plus run-speed measurement.
 
-use consim::runner::{ExperimentRunner, RunOptions};
+use consim_job::runner::{ExperimentRunner, RunOptions};
 use consim_sched::SchedulingPolicy;
 use consim_types::config::SharingDegree;
 use consim_workload::WorkloadKind;

@@ -19,8 +19,8 @@
 //! recovery tests). A `--trace`/`--resume` directory left by a run with a
 //! different configuration digest is refused rather than clobbered.
 
-use consim::runner::ExperimentRunner;
 use consim_bench::{cli, cli::BenchFlags, figures, FigureContext};
+use consim_job::runner::ExperimentRunner;
 use consim_trace::digest_of;
 use consim_types::config::LlcPartitioning;
 use std::time::Instant;
@@ -59,7 +59,13 @@ fn main() {
 
     let started = Instant::now();
     let ctx = FigureContext::with_runner(runner);
-    figures::run_all(&ctx).expect("figure regeneration failed");
+    if let Err(err) = figures::run_all(&ctx) {
+        // An injected fault (or a real failure) is an orderly exit, not a
+        // panic: completed cells are already journaled, so a later
+        // `--resume` invocation picks up exactly where this one stopped.
+        eprintln!("run_all: {err}");
+        std::process::exit(1);
+    }
     eprintln!(
         "run_all: {} cells in {:.1}s",
         ctx.cached_cells(),

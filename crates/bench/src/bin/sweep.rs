@@ -5,8 +5,8 @@
 //! audit on every candidate run; `--trace <dir>` records trace events and
 //! a run manifest (see `consim_bench::cli`).
 
-use consim::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
 use consim_bench::cli::BenchFlags;
+use consim_job::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
 use consim_sched::SchedulingPolicy;
 use consim_trace::digest_of;
 use consim_types::config::{LlcPartitioning, SharingDegree};

@@ -14,8 +14,8 @@
 //! `consim_bench::cli`) — note tracing adds work to the measured loop, so
 //! regression comparisons should run without `--trace`.
 
-use consim::runner::{ExperimentCell, ExperimentRunner, RunOptions};
 use consim_bench::cli::BenchFlags;
+use consim_job::runner::{ExperimentCell, ExperimentRunner, RunOptions};
 use consim_sched::SchedulingPolicy;
 use consim_trace::digest_of;
 use consim_types::config::{LlcPartitioning, SharingDegree};

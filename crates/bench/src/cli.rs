@@ -251,6 +251,7 @@ pub struct TraceSession {
     sink: Arc<JsonlSink>,
     started: Instant,
     resumed_from: Option<String>,
+    jobs: Vec<String>,
     checkpoints: Vec<String>,
 }
 
@@ -276,6 +277,7 @@ impl TraceSession {
             sink,
             started: Instant::now(),
             resumed_from: None,
+            jobs: Vec::new(),
             checkpoints: Vec::new(),
         })
     }
@@ -286,19 +288,19 @@ impl TraceSession {
     }
 
     /// Records journal provenance for the manifest: the `--resume`
-    /// directory, and a digest of every journal/checkpoint record under it
-    /// (sorted by path, so the manifest is deterministic). Call after the
-    /// run, when the journal holds its final records.
+    /// directory, the per-job configuration digests of its committed
+    /// `job-<digest>.bin` records, and a content digest of every
+    /// journal/checkpoint record (sorted by path, so the manifest is
+    /// deterministic). The journal namespace is flat; legacy per-batch
+    /// subdirectories from pre-job-layer runs are still digested. Call
+    /// after the run, when the journal holds its final records.
     pub fn note_journal(&mut self, dir: &Path) {
         self.resumed_from = Some(dir.display().to_string());
         let mut records: Vec<(PathBuf, String)> = Vec::new();
-        let batches = match std::fs::read_dir(dir) {
-            Ok(entries) => entries,
-            Err(_) => return,
-        };
-        for batch in batches.filter_map(Result::ok) {
-            let Ok(files) = std::fs::read_dir(batch.path()) else {
-                continue;
+        let mut jobs: Vec<String> = Vec::new();
+        let mut digest_records_in = |dir: &Path| {
+            let Ok(files) = std::fs::read_dir(dir) else {
+                return;
             };
             for file in files.filter_map(Result::ok) {
                 let path = file.path();
@@ -310,9 +312,29 @@ impl TraceSession {
                     records.push((path, digest_of(bytes.as_slice())));
                 }
             }
+        };
+        digest_records_in(dir);
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(_) => return,
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() {
+                digest_records_in(&path);
+            } else if let Some(digest) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("job-"))
+                .and_then(|n| n.strip_suffix(".bin"))
+            {
+                jobs.push(digest.to_string());
+            }
         }
         records.sort();
+        jobs.sort();
         self.checkpoints = records.into_iter().map(|(_, d)| d).collect();
+        self.jobs = jobs;
     }
 
     /// Flushes the trace and writes `manifest.json`; returns its path.
@@ -341,6 +363,7 @@ impl TraceSession {
             trace_lines: self.sink.lines(),
             trace_errors: self.sink.errors(),
             resumed_from: self.resumed_from,
+            jobs: self.jobs,
             checkpoints: self.checkpoints,
         };
         manifest.write_to(&self.dir)
@@ -503,20 +526,34 @@ mod tests {
     fn note_journal_digests_records_deterministically() {
         let dir = std::env::temp_dir().join(format!("consim-cli-journal-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Flat job-layer layout: records named by per-job config digest.
+        std::fs::write(dir.join("job-00000000000000bb.bin"), b"one").unwrap();
+        std::fs::write(dir.join("job-00000000000000aa.ckpt"), b"zero").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+        // Legacy per-batch subdirectory: still digested, but its records
+        // don't contribute per-job digests (different naming scheme).
         let batch = dir.join("batch-0123");
         std::fs::create_dir_all(&batch).unwrap();
-        std::fs::write(batch.join("job-0001.bin"), b"one").unwrap();
-        std::fs::write(batch.join("job-0000.ckpt"), b"zero").unwrap();
-        std::fs::write(batch.join("notes.txt"), b"ignored").unwrap();
+        std::fs::write(batch.join("job-0001.bin"), b"legacy").unwrap();
         let mut session = TraceSession::create(&dir.join("trace")).unwrap();
         session.note_journal(&dir);
         assert_eq!(
             session.checkpoints.len(),
-            2,
+            3,
             "only .bin/.ckpt records count"
         );
-        let expected = vec![digest_of(b"zero".as_slice()), digest_of(b"one".as_slice())];
+        let expected = vec![
+            digest_of(b"legacy".as_slice()),
+            digest_of(b"zero".as_slice()),
+            digest_of(b"one".as_slice()),
+        ];
         assert_eq!(session.checkpoints, expected, "sorted by path");
+        assert_eq!(
+            session.jobs,
+            vec!["00000000000000bb".to_string()],
+            "per-job digests come from committed .bin names at the top level"
+        );
         assert_eq!(
             session.resumed_from.as_deref(),
             Some(&*dir.display().to_string())

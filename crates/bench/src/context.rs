@@ -15,7 +15,7 @@
 //! Both are `Sync`: interior mutability is `Mutex`-based and results are
 //! handed out as `Arc`s, so regenerators may run from multiple threads.
 
-use consim::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
+use consim_job::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
 use consim_sched::SchedulingPolicy;
 use consim_types::config::SharingDegree;
 use consim_types::SimError;
@@ -37,7 +37,7 @@ type BaselineKey = (WorkloadKind, SchedulingPolicy, String, RunOptions);
 ///
 /// ```
 /// use consim_bench::BaselineCache;
-/// use consim::runner::{ExperimentRunner, RunOptions};
+/// use consim_job::runner::{ExperimentRunner, RunOptions};
 /// use consim_sched::SchedulingPolicy;
 /// use consim_types::config::SharingDegree;
 /// use consim_workload::WorkloadKind;
@@ -120,7 +120,7 @@ impl BaselineCache {
 ///
 /// ```
 /// use consim_bench::FigureContext;
-/// use consim::runner::RunOptions;
+/// use consim_job::runner::RunOptions;
 /// use consim_sched::SchedulingPolicy;
 /// use consim_types::config::SharingDegree;
 /// use consim_workload::WorkloadKind;

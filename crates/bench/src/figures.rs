@@ -18,7 +18,7 @@
 use crate::context::FigureContext;
 use consim::mix::Mix;
 use consim::report::TextTable;
-use consim::runner::{ExperimentCell, RunOptions, VmAggregate};
+use consim_job::runner::{ExperimentCell, RunOptions, VmAggregate};
 use consim_sched::SchedulingPolicy;
 use consim_types::config::{
     ChurnPolicy, DynamicPolicy, LlcPartitioning, MachineConfig, SharingDegree,
@@ -50,15 +50,15 @@ fn homogeneous_instances(kind: WorkloadKind) -> [WorkloadKind; 4] {
 }
 
 /// Mean runtime of `kind` instances in a run.
-fn runtime_of(run: &consim::runner::MixRun, kind: WorkloadKind) -> f64 {
+fn runtime_of(run: &consim_job::runner::MixRun, kind: WorkloadKind) -> f64 {
     run.mean_over_kind(kind, |v: &VmAggregate| v.runtime_cycles.mean)
 }
 
-fn missrate_of(run: &consim::runner::MixRun, kind: WorkloadKind) -> f64 {
+fn missrate_of(run: &consim_job::runner::MixRun, kind: WorkloadKind) -> f64 {
     run.mean_over_kind(kind, |v| v.llc_miss_rate.mean)
 }
 
-fn misslat_of(run: &consim::runner::MixRun, kind: WorkloadKind) -> f64 {
+fn misslat_of(run: &consim_job::runner::MixRun, kind: WorkloadKind) -> f64 {
     run.mean_over_kind(kind, |v| v.miss_latency.mean)
 }
 
@@ -695,7 +695,7 @@ pub fn fig16_lifecycle_churn(ctx: &FigureContext) -> Result<TextTable, SimError>
             .collect();
         t.row(format!("tail vm{vm} {}", kind.name()), &row);
     }
-    type ActivityStat = fn(&consim::runner::MixRun) -> f64;
+    type ActivityStat = fn(&consim_job::runner::MixRun) -> f64;
     let activity: [(&str, ActivityStat); 4] = [
         ("spawns", |r| r.churn.spawns.mean),
         ("retires", |r| r.churn.retires.mean),

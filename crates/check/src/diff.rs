@@ -178,8 +178,20 @@ pub fn run_case_resumed(case: &FuzzCase, mutation: Option<Mutation>) -> CaseOutc
         Ok(s) => s,
         Err(e) => return CaseOutcome::EngineError(format!("construction failed: {e}")),
     };
-    if let Err(e) = sim.advance(cut, Some(&mut observer)) {
-        return CaseOutcome::EngineError(format!("first half failed: {e}"));
+    // Drive the pre-cut portion in several unequal slices rather than one
+    // `advance(cut)` call: the worker pool executes jobs time-sliced, so
+    // the oracle must witness that chopping a run into arbitrary slice
+    // boundaries is invisible to the model and the final state alike.
+    let mut slicer = SimRng::from_seed(case.case_seed).derive("check/resume-slices");
+    let mut advanced = 0;
+    while advanced < cut {
+        let slice = (1 + slicer.below((cut - advanced).max(1))).min(cut - advanced);
+        if let Err(e) = sim.advance(slice, Some(&mut observer)) {
+            return CaseOutcome::EngineError(format!(
+                "first half failed at access {advanced}: {e}"
+            ));
+        }
+        advanced += slice;
     }
     let mut bytes = Vec::new();
     if let Err(e) = sim.checkpoint(&mut bytes) {

@@ -1792,9 +1792,15 @@ impl Simulation {
     /// Replaces the run parameters of a not-yet-started simulation with
     /// those of `config`, which must agree with the current configuration on
     /// every field that shaped construction and prewarming (machine, policy,
-    /// workloads, seed, LLC replacement). Used by the runner's prewarm cache
-    /// to specialize one canonical prewarmed checkpoint to each cell.
-    pub(crate) fn adopt_config(&mut self, config: SimulationConfig) -> Result<(), SimError> {
+    /// workloads, seed, LLC replacement). Used by the job layer's prewarm
+    /// cache (`consim-job`) to specialize one canonical prewarmed
+    /// checkpoint to each cell.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::Invariant`] when the simulation has already
+    /// started running.
+    pub fn adopt_config(&mut self, config: SimulationConfig) -> Result<(), SimError> {
         if self.run_state.is_some() {
             return Err(SimError::invariant(
                 "cannot adopt a new configuration mid-run",

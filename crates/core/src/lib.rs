@@ -24,9 +24,11 @@
 //!   routed (and contended) on the mesh;
 //! * [`metrics`] — per-VM counters and cache snapshots;
 //! * [`mix`] — the paper's Table IV workload mixes;
-//! * [`runner`] — experiment orchestration: isolation baselines,
+//! * [`persist`] — on-disk outcome/checkpoint codecs and configuration
+//!   content digests consumed by the job execution layer (`consim-job`,
+//!   which hosts the `ExperimentRunner` facade: isolation baselines,
 //!   homogeneous/heterogeneous mixes, sharing-degree sweeps, multi-seed
-//!   statistical runs (Alameldeen–Wood style);
+//!   statistical runs in the Alameldeen–Wood style);
 //! * [`report`] — plain-text tables matching the paper's figures;
 //! * [`stats`] — mean/std/confidence aggregation across seeds.
 //!
@@ -60,14 +62,13 @@ pub mod audit;
 pub mod churn;
 pub mod engine;
 pub mod hierarchy;
-mod journal;
 pub mod machine;
 pub mod metrics;
 pub mod mix;
 pub mod observe;
+pub mod persist;
 pub mod qos;
 pub mod report;
-pub mod runner;
 mod snapshot;
 pub mod stats;
 
@@ -81,5 +82,4 @@ pub use metrics::{MissSource, OccupancySnapshot, ReplicationSnapshot, VmMetrics}
 pub use mix::{Mix, MixId};
 pub use observe::{AccessStep, StepObserver, StepOutcome};
 pub use qos::{QosController, RepartitionDecision, VmClass};
-pub use runner::{ExperimentRunner, RunOptions};
 pub use stats::Summary;

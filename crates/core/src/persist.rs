@@ -1,21 +1,19 @@
-//! On-disk cell journal and mid-cell checkpoint files for crash-resumable
-//! experiment batches.
+//! Persistence codecs for the experiment layers: on-disk outcome records,
+//! mid-run checkpoint files, and configuration content digests.
 //!
-//! Layout under a journal root: one `batch-<digest>/` directory per
-//! distinct job list. The digest covers every job's full configuration
-//! (machine, workloads, seeds, run quotas), so a journal directory can
-//! never be resumed against a different experiment — a changed batch
-//! simply lands in a fresh subdirectory. Inside a batch directory:
+//! The job execution layer (`consim-job`) stores two kinds of record per
+//! job: the serialized [`SimulationOutcome`] of a completed job, and a
+//! transient mid-run [`Simulation::checkpoint`] rewritten every
+//! `checkpoint_every` accesses and deleted when the job completes. This
+//! module owns the byte formats and the atomic commit discipline; file
+//! naming and directory layout belong to the journal in `consim-job`.
 //!
-//! * `job-NNNN.bin` — the serialized [`SimulationOutcome`] of a completed
-//!   job; a resumed invocation loads it instead of re-simulating;
-//! * `job-NNNN.ckpt` — a transient mid-run [`Simulation::checkpoint`],
-//!   rewritten every `checkpoint_every` accesses and deleted when the job
-//!   completes.
-//!
-//! Every write goes to a temporary sibling and is committed with an atomic
-//! rename, so a crash can never leave a half-written record that a resume
-//! would trust (a torn temporary is simply ignored; a torn `.bin`/`.ckpt`
+//! Every write goes to a uniquely named temporary sibling
+//! (`<name>.tmp<N>`, preserving the record's own extension so concurrent
+//! `.bin` and `.ckpt` commits for the same job can never collide) and is
+//! committed with an atomic rename, so a crash can never leave a
+//! half-written record that a resume would trust (a torn temporary is
+//! simply ignored and swept by the journal; a torn committed record
 //! cannot exist). Records are checksummed by the `consim-snap` container,
 //! so bit rot is reported as [`SimError::Snapshot`] rather than read back
 //! as plausible numbers.
@@ -28,60 +26,100 @@ use consim_snap::{fnv1a, SectionBuf, SectionReader, SnapReader, SnapWriter, Snap
 use consim_types::{CoreId, GlobalThreadId, SimError, SnapshotErrorKind, ThreadId, VmId};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Wraps an I/O failure into the snapshot error taxonomy with the path
 /// that failed (bare `std::io::Error` messages omit it).
-pub(crate) fn io_error(action: &str, path: &Path, err: std::io::Error) -> SimError {
+pub fn io_error(action: &str, path: &Path, err: std::io::Error) -> SimError {
     SimError::snapshot(
         SnapshotErrorKind::Io,
         format!("{action} {}: {err}", path.display()),
     )
 }
 
-/// The batch directory under `root` for this exact job list: a digest over
-/// every job's cell index and full configuration.
-pub(crate) fn batch_dir(root: &Path, jobs: &[(usize, SimulationConfig)]) -> PathBuf {
+/// Content digest of one job's full configuration: machine, workloads,
+/// scheduling policy, seed, and run quotas — everything that shapes the
+/// outcome, and nothing process-local (the trace sink is excluded by the
+/// snapshot codec). Two configurations digest equal exactly when they
+/// would produce bit-identical outcomes, so the digest identifies a job's
+/// journal records across invocations and across differently composed
+/// batches.
+pub fn config_digest(config: &SimulationConfig) -> u64 {
     let mut buf = SectionBuf::new();
-    buf.put_usize(jobs.len());
-    for (cell, config) in jobs {
-        buf.put_usize(*cell);
-        snapshot::save_config(config, &mut buf);
-    }
-    root.join(format!("batch-{:016x}", fnv1a(buf.as_bytes())))
+    snapshot::save_config(config, &mut buf);
+    fnv1a(buf.as_bytes())
 }
 
-/// Completed-outcome record for job `ji`.
-pub(crate) fn outcome_path(dir: &Path, ji: usize) -> PathBuf {
-    dir.join(format!("job-{ji:04}.bin"))
+/// The prewarm-cache key of `config`: a digest over everything that
+/// shapes the prewarmed machine state, ignoring run quotas (see
+/// `consim-job`'s prewarm-checkpoint cache).
+pub fn prewarm_key(config: &SimulationConfig) -> u64 {
+    snapshot::prewarm_key(config)
 }
 
-/// Transient mid-run checkpoint for job `ji`.
-pub(crate) fn checkpoint_path(dir: &Path, ji: usize) -> PathBuf {
-    dir.join(format!("job-{ji:04}.ckpt"))
+/// The canonical configuration whose prewarmed checkpoint serves every
+/// job sharing a [`prewarm_key`]: run quotas zeroed, trace detached.
+pub fn prewarm_canonical_config(config: &SimulationConfig) -> SimulationConfig {
+    snapshot::prewarm_canonical_config(config)
 }
 
-/// Serializes via `fill`, then commits atomically (tmp + rename).
+/// Process-unique temporary-name counter: concurrent writers staging
+/// records next to each other (persistent workers journaling in parallel)
+/// can never interleave bytes in a shared temporary.
+static STAGE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The staged temporary sibling for `path` under `token`: the full file
+/// name plus a `.tmp<token>` suffix. Keeping the record's own extension
+/// in the name is load-bearing — `Path::with_extension("tmp")` would
+/// collapse `job-X.bin` and `job-X.ckpt` onto one temporary.
+fn stage_path(path: &Path, token: u64) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(std::ffi::OsStr::to_os_string)
+        .unwrap_or_default();
+    name.push(format!(".tmp{token}"));
+    path.with_file_name(name)
+}
+
+/// Serializes via `fill`, then commits atomically (unique tmp + rename).
 fn persist(
     path: &Path,
     fill: impl FnOnce(&mut Vec<u8>) -> Result<(), SimError>,
 ) -> Result<(), SimError> {
     let mut bytes = Vec::new();
     fill(&mut bytes)?;
-    let tmp = path.with_extension("tmp");
+    let tmp = stage_path(path, STAGE_COUNTER.fetch_add(1, Ordering::Relaxed));
     fs::write(&tmp, &bytes).map_err(|e| io_error("write", &tmp, e))?;
     fs::rename(&tmp, path).map_err(|e| io_error("commit", path, e))
 }
 
-pub(crate) fn write_checkpoint(path: &Path, sim: &Simulation) -> Result<(), SimError> {
+/// Writes a mid-run checkpoint of `sim` to `path` atomically.
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] on serialization or I/O failure.
+pub fn write_checkpoint(path: &Path, sim: &Simulation) -> Result<(), SimError> {
     persist(path, |bytes| sim.checkpoint(bytes))
 }
 
-pub(crate) fn read_checkpoint(path: &Path) -> Result<Simulation, SimError> {
+/// Resumes a simulation from the checkpoint file at `path`. The trace
+/// sink is process-local and excluded from checkpoints; reattach it with
+/// [`Simulation::set_trace`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] on I/O failure or a corrupt record.
+pub fn read_checkpoint(path: &Path) -> Result<Simulation, SimError> {
     let bytes = fs::read(path).map_err(|e| io_error("read", path, e))?;
     Simulation::resume(bytes.as_slice())
 }
 
-pub(crate) fn write_outcome(path: &Path, outcome: &SimulationOutcome) -> Result<(), SimError> {
+/// Writes a completed-outcome record to `path` atomically.
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] on serialization or I/O failure.
+pub fn write_outcome(path: &Path, outcome: &SimulationOutcome) -> Result<(), SimError> {
     persist(path, |bytes| {
         let mut writer = SnapWriter::new(bytes)?;
         let mut buf = SectionBuf::new();
@@ -92,7 +130,13 @@ pub(crate) fn write_outcome(path: &Path, outcome: &SimulationOutcome) -> Result<
     })
 }
 
-pub(crate) fn read_outcome(path: &Path) -> Result<SimulationOutcome, SimError> {
+/// Reads a completed-outcome record back.
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] on I/O failure or a corrupt/truncated
+/// record (the `consim-snap` checksum catches bit rot).
+pub fn read_outcome(path: &Path) -> Result<SimulationOutcome, SimError> {
     let bytes = fs::read(path).map_err(|e| io_error("read", path, e))?;
     let mut snap = SnapReader::from_bytes(bytes)?;
     let mut r = snap.section("outcome")?;
@@ -282,25 +326,32 @@ mod tests {
 
     #[test]
     fn outcome_record_round_trips_exactly() {
-        let dir = std::env::temp_dir().join(format!("consim-journal-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("consim-persist-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let out = outcome();
-        let path = outcome_path(&dir, 7);
+        let path = dir.join("job-0000000000000007.bin");
         write_outcome(&path, &out).unwrap();
         let back = read_outcome(&path).unwrap();
         assert_identical(&out, &back);
-        assert!(
-            !path.with_extension("tmp").exists(),
-            "commit must consume the temporary"
-        );
+        let leftovers = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains(".tmp")
+            })
+            .count();
+        assert_eq!(leftovers, 0, "commit must consume the temporary");
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn corrupt_record_is_a_typed_error() {
-        let dir = std::env::temp_dir().join(format!("consim-journal-bad-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("consim-persist-bad-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
-        let path = outcome_path(&dir, 0);
+        let path = dir.join("job-0000000000000000.bin");
         write_outcome(&path, &outcome()).unwrap();
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
@@ -308,13 +359,32 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         let err = read_outcome(&path).unwrap_err();
         assert!(err.snapshot_kind().is_some(), "{err}");
-        let missing = read_outcome(&outcome_path(&dir, 99)).unwrap_err();
+        let missing = read_outcome(&dir.join("job-0000000000000063.bin")).unwrap_err();
         assert_eq!(missing.snapshot_kind(), Some(SnapshotErrorKind::Io));
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn batch_digest_tracks_configuration_not_order_of_use() {
+    fn staged_temporaries_never_collide_across_record_kinds() {
+        // Regression: `Path::with_extension("tmp")` mapped `job-X.bin` and
+        // `job-X.ckpt` onto the *same* temporary, so a persistent worker
+        // committing an outcome while another invocation checkpointed the
+        // same job could rename each other's half-written bytes into place.
+        let bin = Path::new("/j/job-0007.bin");
+        let ckpt = Path::new("/j/job-0007.ckpt");
+        assert_eq!(
+            bin.with_extension("tmp"),
+            ckpt.with_extension("tmp"),
+            "the old scheme really did collide"
+        );
+        assert_ne!(stage_path(bin, 0), stage_path(ckpt, 0));
+        assert_eq!(stage_path(bin, 3), Path::new("/j/job-0007.bin.tmp3"));
+        // The counter makes concurrent same-record stages distinct too.
+        assert_ne!(stage_path(bin, 1), stage_path(bin, 2));
+    }
+
+    #[test]
+    fn config_digest_tracks_configuration_content() {
         let cfg = |seed: u64| {
             let profile = WorkloadProfileBuilder::new("d")
                 .footprint_blocks(2_000)
@@ -324,11 +394,15 @@ mod tests {
             b.workload(profile).refs_per_vm(100).seed(seed);
             b.build().unwrap()
         };
-        let root = Path::new("/tmp/j");
-        let a = batch_dir(root, &[(0, cfg(1)), (0, cfg(2))]);
-        let b = batch_dir(root, &[(0, cfg(1)), (0, cfg(2))]);
-        let c = batch_dir(root, &[(0, cfg(1)), (0, cfg(3))]);
-        assert_eq!(a, b, "identical batches share a directory");
-        assert_ne!(a, c, "a different batch must not reuse the directory");
+        assert_eq!(
+            config_digest(&cfg(1)),
+            config_digest(&cfg(1)),
+            "identical configurations share a digest"
+        );
+        assert_ne!(
+            config_digest(&cfg(1)),
+            config_digest(&cfg(2)),
+            "a different seed must not reuse the digest"
+        );
     }
 }

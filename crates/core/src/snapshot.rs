@@ -372,7 +372,7 @@ pub(crate) fn prewarm_key(config: &SimulationConfig) -> u64 {
 }
 
 /// The canonical configuration whose checkpoint is stored under
-/// [`prewarm_key`]; see [`crate::runner`]'s prewarm cache.
+/// [`prewarm_key`]; see `consim-job`'s prewarm cache.
 pub(crate) fn prewarm_canonical_config(config: &SimulationConfig) -> SimulationConfig {
     let mut canonical = config.clone();
     canonical.refs_per_vm = 1;

@@ -1,0 +1,174 @@
+//! Job-granular crash journal: per-job outcome records and transient
+//! mid-run checkpoints, named by configuration content digest.
+//!
+//! Layout under the journal directory — one flat namespace, no per-batch
+//! subdirectories:
+//!
+//! * `job-<digest>.bin` — the serialized outcome of a completed job; a
+//!   resumed invocation loads it instead of re-simulating;
+//! * `job-<digest>.ckpt` — a transient mid-run checkpoint, rewritten
+//!   every `checkpoint_every` accesses and deleted when the job
+//!   completes.
+//!
+//! `<digest>` is the job's [`JobSpec::digest_hex`]: a content digest of
+//! the full configuration. Because the name identifies *what ran* rather
+//! than *where in a batch it sat*, a grown or reordered queue keeps every
+//! record it already earned, and a record can never be served to a
+//! different experiment — a changed configuration simply gets a new name.
+//!
+//! Byte formats and the atomic tmp-plus-rename commit discipline live in
+//! [`consim::persist`]; torn `.tmp` temporaries left by a crashed writer
+//! are untrusted by construction and swept on [`JobJournal::open`].
+
+use crate::spec::JobSpec;
+use consim::engine::{Simulation, SimulationOutcome};
+use consim::persist;
+use consim_types::SimError;
+use std::path::{Path, PathBuf};
+
+/// A job-granular journal rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct JobJournal {
+    dir: PathBuf,
+}
+
+impl JobJournal {
+    /// Opens (creating if needed) the journal at `dir` and sweeps any
+    /// torn `.tmp` temporaries a crashed writer left behind: they were
+    /// never committed, so their contents are untrusted by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] when the directory cannot be
+    /// created or listed.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, SimError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| persist::io_error("create journal directory", &dir, e))?;
+        for entry in
+            std::fs::read_dir(&dir).map_err(|e| persist::io_error("list journal", &dir, e))?
+        {
+            let entry = entry.map_err(|e| persist::io_error("list journal", &dir, e))?;
+            if entry.file_name().to_string_lossy().contains(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        Ok(Self { dir })
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Completed-outcome record path for `job`.
+    pub fn outcome_path(&self, job: &JobSpec) -> PathBuf {
+        self.dir.join(format!("job-{}.bin", job.digest_hex()))
+    }
+
+    /// Transient mid-run checkpoint path for `job`.
+    pub fn checkpoint_path(&self, job: &JobSpec) -> PathBuf {
+        self.dir.join(format!("job-{}.ckpt", job.digest_hex()))
+    }
+
+    /// Loads the completed outcome of `job`, if one was journaled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] naming the record path when the
+    /// record exists but cannot be read or is corrupt/truncated — never a
+    /// panic; the caller decides whether to delete and re-run.
+    pub fn load_outcome(&self, job: &JobSpec) -> Result<Option<SimulationOutcome>, SimError> {
+        let path = self.outcome_path(job);
+        if !path.exists() {
+            return Ok(None);
+        }
+        persist::read_outcome(&path)
+            .map(Some)
+            .map_err(|e| name_record(&path, e))
+    }
+
+    /// Journals the completed outcome of `job` (atomic commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] on serialization or I/O failure.
+    pub fn store_outcome(
+        &self,
+        job: &JobSpec,
+        outcome: &SimulationOutcome,
+    ) -> Result<(), SimError> {
+        persist::write_outcome(&self.outcome_path(job), outcome)
+    }
+
+    /// Resumes the mid-run checkpoint of `job`, if one exists. The trace
+    /// sink is process-local and excluded from checkpoints; the caller
+    /// reattaches its own via [`Simulation::set_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] naming the checkpoint path when it
+    /// exists but cannot be read or is corrupt.
+    pub fn load_checkpoint(&self, job: &JobSpec) -> Result<Option<Simulation>, SimError> {
+        let path = self.checkpoint_path(job);
+        if !path.exists() {
+            return Ok(None);
+        }
+        persist::read_checkpoint(&path)
+            .map(Some)
+            .map_err(|e| name_record(&path, e))
+    }
+
+    /// Writes (atomically replacing) the mid-run checkpoint of `job`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] on serialization or I/O failure.
+    pub fn store_checkpoint(&self, job: &JobSpec, sim: &Simulation) -> Result<(), SimError> {
+        persist::write_checkpoint(&self.checkpoint_path(job), sim)
+    }
+
+    /// Removes the mid-run checkpoint of `job` (the committed outcome
+    /// record supersedes it). Missing files are fine.
+    pub fn discard_checkpoint(&self, job: &JobSpec) {
+        let _ = std::fs::remove_file(self.checkpoint_path(job));
+    }
+
+    /// Digest hex strings of every committed outcome record, sorted — the
+    /// provenance a trace manifest wants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] when the directory cannot be
+    /// listed.
+    pub fn completed(&self) -> Result<Vec<String>, SimError> {
+        let mut digests = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)
+            .map_err(|e| persist::io_error("list journal", &self.dir, e))?
+        {
+            let entry = entry.map_err(|e| persist::io_error("list journal", &self.dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(digest) = name
+                .strip_prefix("job-")
+                .and_then(|n| n.strip_suffix(".bin"))
+            {
+                digests.push(digest.to_string());
+            }
+        }
+        digests.sort();
+        Ok(digests)
+    }
+}
+
+/// Prefixes the record path onto a decode error so a truncated or
+/// bit-rotted record names the file to inspect or delete (plain I/O
+/// errors already carry the path from [`persist::io_error`]).
+fn name_record(path: &Path, err: SimError) -> SimError {
+    match err {
+        SimError::Snapshot(kind, msg) if !msg.contains(&path.display().to_string()) => {
+            SimError::Snapshot(kind, format!("{}: {msg}", path.display()))
+        }
+        other => other,
+    }
+}

@@ -1,0 +1,232 @@
+//! Job sources: the [`JobQueue`] trait plus the two built-in
+//! implementations — a fixed work-stealing batch and an open-ended live
+//! queue that producers feed while workers run.
+
+use crate::spec::JobSpec;
+use consim::engine::SimulationConfig;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Result of a non-blocking [`JobQueue::poll`].
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // transient per-dequeue value; boxing would allocate per poll
+pub enum QueuePoll {
+    /// A job was dequeued; the caller owns it.
+    Job(JobSpec),
+    /// Nothing ready right now, but the queue may still grow.
+    Pending,
+    /// The queue is closed and drained; no job will ever appear.
+    Closed,
+}
+
+/// Where workers pull jobs from.
+///
+/// A queue hands each job to exactly one caller. [`StaticQueue`] serves a
+/// fixed batch; [`LiveQueue`] is open-ended (a capacity-planning daemon
+/// can feed it from a socket, an autotuner from a search loop) — the
+/// worker pool is agnostic.
+pub trait JobQueue: Send + Sync + fmt::Debug {
+    /// Dequeues without blocking.
+    fn poll(&self) -> QueuePoll;
+
+    /// Dequeues, blocking while the queue is [`QueuePoll::Pending`];
+    /// `None` once it is closed and drained.
+    fn recv(&self) -> Option<JobSpec>;
+
+    /// Closes the queue: pending jobs still drain, but nothing new is
+    /// admitted and blocked [`JobQueue::recv`] callers wake up. Idempotent.
+    fn close(&self);
+}
+
+/// A fixed batch of jobs, served in submission order by an atomic cursor
+/// (work-stealing: cells vary widely in cost, so static chunking would
+/// leave workers idle).
+#[derive(Debug)]
+pub struct StaticQueue {
+    jobs: Vec<JobSpec>,
+    next: AtomicUsize,
+}
+
+impl StaticQueue {
+    /// A queue over `jobs`, served in order.
+    pub fn new(jobs: Vec<JobSpec>) -> Self {
+        Self {
+            jobs,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Jobs originally submitted (dequeued or not).
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch was empty to begin with.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+impl JobQueue for StaticQueue {
+    fn poll(&self) -> QueuePoll {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        match self.jobs.get(i) {
+            Some(job) => QueuePoll::Job(job.clone()),
+            None => QueuePoll::Closed,
+        }
+    }
+
+    fn recv(&self) -> Option<JobSpec> {
+        match self.poll() {
+            QueuePoll::Job(job) => Some(job),
+            _ => None,
+        }
+    }
+
+    fn close(&self) {
+        self.next.fetch_max(self.jobs.len(), Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug, Default)]
+struct LiveState {
+    ready: VecDeque<JobSpec>,
+    submitted: usize,
+    closed: bool,
+}
+
+/// An open-ended queue: producers push jobs while workers execute, and
+/// close it when no more work is coming. Submission indices are assigned
+/// by the queue, so results keyed by index reassemble in push order.
+#[derive(Debug, Default)]
+pub struct LiveQueue {
+    state: Mutex<LiveState>,
+    wake: Condvar,
+}
+
+impl LiveQueue {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a job for experiment cell `cell`, returning the submission
+    /// index assigned to it. Pushes onto a closed queue are refused
+    /// (`None`).
+    pub fn push(&self, cell: usize, config: SimulationConfig) -> Option<usize> {
+        let mut state = self.state.lock().expect("live queue poisoned");
+        if state.closed {
+            return None;
+        }
+        let index = state.submitted;
+        state.submitted += 1;
+        state.ready.push_back(JobSpec::new(index, cell, config));
+        self.wake.notify_one();
+        Some(index)
+    }
+
+    /// Jobs submitted so far (executed or not).
+    pub fn submitted(&self) -> usize {
+        self.state.lock().expect("live queue poisoned").submitted
+    }
+}
+
+impl JobQueue for LiveQueue {
+    fn poll(&self) -> QueuePoll {
+        let mut state = self.state.lock().expect("live queue poisoned");
+        match state.ready.pop_front() {
+            Some(job) => QueuePoll::Job(job),
+            None if state.closed => QueuePoll::Closed,
+            None => QueuePoll::Pending,
+        }
+    }
+
+    fn recv(&self) -> Option<JobSpec> {
+        let mut state = self.state.lock().expect("live queue poisoned");
+        loop {
+            if let Some(job) = state.ready.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.wake.wait(state).expect("live queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("live queue poisoned");
+        state.closed = true;
+        self.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(seed: u64) -> SimulationConfig {
+        let profile = consim_workload::WorkloadProfileBuilder::new("q")
+            .footprint_blocks(2_000)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile).refs_per_vm(100).seed(seed);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn static_queue_serves_each_job_once_in_order() {
+        let q = StaticQueue::new(
+            (0..3)
+                .map(|i| JobSpec::new(i, 0, config(i as u64)))
+                .collect(),
+        );
+        let mut seen = Vec::new();
+        while let QueuePoll::Job(j) = q.poll() {
+            seen.push(j.index());
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert!(matches!(q.poll(), QueuePoll::Closed));
+    }
+
+    #[test]
+    fn static_queue_close_drops_undequeued_jobs() {
+        let q = StaticQueue::new(
+            (0..3)
+                .map(|i| JobSpec::new(i, 0, config(i as u64)))
+                .collect(),
+        );
+        assert!(matches!(q.poll(), QueuePoll::Job(_)));
+        q.close();
+        assert!(matches!(q.poll(), QueuePoll::Closed));
+    }
+
+    #[test]
+    fn live_queue_assigns_indices_and_drains_after_close() {
+        let q = LiveQueue::new();
+        assert!(matches!(q.poll(), QueuePoll::Pending));
+        assert_eq!(q.push(0, config(1)), Some(0));
+        assert_eq!(q.push(1, config(2)), Some(1));
+        q.close();
+        assert_eq!(q.push(0, config(3)), None, "closed queues refuse pushes");
+        assert_eq!(q.recv().map(|j| j.index()), Some(0));
+        assert_eq!(q.recv().map(|j| j.index()), Some(1));
+        assert_eq!(q.recv().map(|j| j.index()), None);
+        assert!(matches!(q.poll(), QueuePoll::Closed));
+    }
+
+    #[test]
+    fn live_queue_recv_blocks_until_push() {
+        let q = std::sync::Arc::new(LiveQueue::new());
+        let consumer = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.recv().map(|j| j.index()))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(0, config(9));
+        assert_eq!(consumer.join().unwrap(), Some(0));
+    }
+}

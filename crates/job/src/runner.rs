@@ -4,32 +4,43 @@
 //! module: [`ExperimentRunner::run`] executes one (mix, policy, sharing)
 //! cell across the configured seeds and aggregates per-workload metrics;
 //! [`ExperimentRunner::isolated`] produces the isolation baselines every
-//! paper figure normalizes against; [`ExperimentRunner::run_cells`] executes
-//! a whole batch of cells across a pool of OS threads.
+//! paper figure normalizes against; [`ExperimentRunner::run_cells`]
+//! executes a whole batch of cells across the worker pool.
+//!
+//! The runner is a thin facade over the crate's layers: it expands cells
+//! into [`JobSpec`]s, serves them through a [`StaticQueue`] to a
+//! [`WorkerPool`], collects completions in a [`CollectingSink`], and
+//! aggregates per cell — everything open-ended consumers (a queue fed
+//! from a socket, a search loop cancelling dominated candidates) compose
+//! differently from the same parts.
 //!
 //! # Parallelism and determinism
 //!
 //! Parallelism lives *between* simulations, never inside one. Each
 //! `(cell, seed)` pair builds its own [`Simulation`], which derives every
 //! random stream from its own root seed — so a simulation's outcome is a
-//! pure function of its configuration, independent of which thread runs it
-//! or what else runs concurrently. [`ExperimentRunner::run_cells`] therefore
-//! returns results bit-identical to serial execution, in submission order.
-//! The worker count defaults to [`std::thread::available_parallelism`],
-//! clamped by the `CONSIM_THREADS` environment variable or
+//! pure function of its configuration, independent of which worker runs
+//! it or what else runs concurrently. [`ExperimentRunner::run_cells`]
+//! therefore returns results bit-identical to serial execution, in
+//! submission order. The worker count defaults to
+//! [`std::thread::available_parallelism`], clamped by the
+//! `CONSIM_THREADS` environment variable or
 //! [`ExperimentRunner::with_threads`].
 
-use crate::engine::{RunStatus, Simulation, SimulationConfig, SimulationOutcome, TraceConfig};
-use crate::stats::Summary;
-use crate::{journal, snapshot};
+use crate::journal::JobJournal;
+use crate::pool::{PoolConfig, PrewarmCache, WorkerPool};
+use crate::queue::StaticQueue;
+use crate::sink::{CollectingSink, JobOutput, ResultSink};
+use crate::spec::JobSpec;
+use consim::engine::{SimulationConfig, SimulationOutcome, TraceConfig};
+use consim::stats::Summary;
 use consim_sched::SchedulingPolicy;
 use consim_trace::{EventClass, TraceEvent, TraceSink};
 use consim_types::config::{MachineConfig, SharingDegree};
-use consim_types::{FastHashMap, SimError, VmId};
+use consim_types::{SimError, VmId};
 use consim_workload::{WorkloadKind, WorkloadProfile};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Run-length and replication options shared by every experiment.
@@ -48,7 +59,7 @@ pub struct RunOptions {
     pub track_footprint: bool,
     /// Pre-fill LLC banks with each workload's hot set before warmup
     /// (checkpoint-style warm start; see
-    /// [`crate::engine::SimulationConfig::prewarm_llc`]).
+    /// [`consim::engine::SimulationConfig::prewarm_llc`]).
     pub prewarm_llc: bool,
 }
 
@@ -119,6 +130,22 @@ fn parse_u64_or_warn(key: &str, raw: &str) -> Option<u64> {
             );
             None
         }
+    }
+}
+
+/// Clamps a worker-count request of zero to one worker, warning on
+/// stderr in the `parse_u64_or_warn` spirit: a silently honored request
+/// for zero workers would strand every job in the queue, and silently
+/// running serial instead would at least deserve a diagnostic.
+fn clamp_worker_request(origin: &str, requested: usize) -> usize {
+    if requested == 0 {
+        eprintln!(
+            "consim: warning: {origin} requested 0 workers; \
+             clamping to 1 (a batch cannot run with no workers)"
+        );
+        1
+    } else {
+        requested
     }
 }
 
@@ -250,20 +277,12 @@ impl ExperimentCell {
     }
 }
 
-/// Where a job's outcome came from: freshly simulated, or loaded from a
-/// journal record written by an earlier invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum JobSource {
-    Simulated,
-    Journal,
-}
-
 /// Runs experiment cells against a base machine.
 ///
 /// # Examples
 ///
 /// ```
-/// use consim::runner::{ExperimentRunner, RunOptions};
+/// use consim_job::runner::{ExperimentRunner, RunOptions};
 /// use consim_sched::SchedulingPolicy;
 /// use consim_types::config::SharingDegree;
 /// use consim_workload::WorkloadKind;
@@ -280,17 +299,16 @@ enum JobSource {
 #[derive(Debug, Clone)]
 pub struct ExperimentRunner {
     machine: MachineConfig,
-    options: RunOptions,
+    pub(crate) options: RunOptions,
     threads: Option<usize>,
     audit: bool,
     sink: Option<Arc<dyn TraceSink>>,
     journal: Option<PathBuf>,
     checkpoint_every: Option<u64>,
     fault_after: Option<u64>,
-    /// Prewarm-checkpoint cache: canonical-config digest → serialized
-    /// checkpoint of a prewarmed-but-not-started simulation. Shared across
-    /// clones so sweeps that retarget one configured runner still reuse it.
-    prewarm_cache: Arc<Mutex<FastHashMap<u64, Arc<Vec<u8>>>>>,
+    /// Prewarm-checkpoint cache, shared across clones so sweeps that
+    /// retarget one configured runner still reuse it.
+    pub(crate) prewarm_cache: PrewarmCache,
 }
 
 impl ExperimentRunner {
@@ -305,7 +323,7 @@ impl ExperimentRunner {
             journal: None,
             checkpoint_every: None,
             fault_after: None,
-            prewarm_cache: Arc::default(),
+            prewarm_cache: PrewarmCache::default(),
         }
     }
 
@@ -327,9 +345,10 @@ impl ExperimentRunner {
     }
 
     /// Pins the worker-thread count, overriding `CONSIM_THREADS` and the
-    /// hardware default. `with_threads(1)` forces serial execution.
+    /// hardware default. `with_threads(1)` forces serial execution;
+    /// `with_threads(0)` is clamped to one worker with a stderr warning.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads.max(1));
+        self.threads = Some(clamp_worker_request("with_threads", threads));
         self
     }
 
@@ -353,10 +372,11 @@ impl ExperimentRunner {
 
     /// Attaches a results journal rooted at `dir`: every completed
     /// `(cell, seed)` job is recorded on disk (atomically), and a later
-    /// invocation of the same batch loads the records instead of
-    /// re-simulating. Each distinct batch gets its own
-    /// `batch-<config-digest>/` subdirectory, so a journal can never serve
-    /// results for a different experiment (see [`crate::journal`]).
+    /// invocation covering the same jobs loads the records instead of
+    /// re-simulating. Records are named by each job's configuration
+    /// content digest (see [`JobJournal`]), so a journal can never serve
+    /// results for a different experiment, and a *grown* batch keeps
+    /// every record the jobs it shares already earned.
     pub fn with_journal(mut self, dir: impl Into<PathBuf>) -> Self {
         self.journal = Some(dir.into());
         self
@@ -396,11 +416,14 @@ impl ExperimentRunner {
     /// Worker threads for a batch of `jobs` simulations: the explicit
     /// [`ExperimentRunner::with_threads`] setting, else `CONSIM_THREADS`,
     /// else [`std::thread::available_parallelism`] — never more workers
-    /// than jobs.
+    /// than jobs, never zero.
     fn worker_count(&self, jobs: usize) -> usize {
         let configured = self
             .threads
-            .or_else(|| env_u64("CONSIM_THREADS").map(|v| v as usize))
+            .or_else(|| {
+                env_u64("CONSIM_THREADS")
+                    .map(|v| clamp_worker_request("CONSIM_THREADS", v as usize))
+            })
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(std::num::NonZeroUsize::get)
@@ -441,10 +464,10 @@ impl ExperimentRunner {
         Ok(runs.pop().expect("one cell in, one aggregate out"))
     }
 
-    /// Runs a batch of experiment cells, each across every configured seed,
-    /// on a pool of scoped OS threads. Results come back in submission
-    /// order and are bit-identical to serial execution (see the module docs
-    /// on determinism).
+    /// Runs a batch of experiment cells, each across every configured
+    /// seed, on the worker pool. Results come back in submission order
+    /// and are bit-identical to serial execution (see the module docs on
+    /// determinism).
     ///
     /// # Errors
     ///
@@ -453,120 +476,78 @@ impl ExperimentRunner {
     pub fn run_cells(&self, cells: &[ExperimentCell]) -> Result<Vec<MixRun>, SimError> {
         // One job per (cell, seed). Configs are built up front so invalid
         // cells fail deterministically regardless of the worker count.
-        let mut jobs: Vec<(usize, SimulationConfig)> = Vec::new();
+        let mut specs: Vec<JobSpec> = Vec::new();
         for (ci, cell) in cells.iter().enumerate() {
             for &seed in &self.options.seeds {
-                jobs.push((ci, self.cell_config(cell, seed)?));
+                specs.push(JobSpec::new(specs.len(), ci, self.cell_config(cell, seed)?));
             }
         }
-
-        let workers = self.worker_count(jobs.len());
-        // Journal: each distinct batch owns a digest-named subdirectory.
-        let batch_dir: Option<PathBuf> = match &self.journal {
-            Some(root) => {
-                let dir = journal::batch_dir(root, &jobs);
-                std::fs::create_dir_all(&dir)
-                    .map_err(|e| journal::io_error("create journal directory", &dir, e))?;
-                Some(dir)
-            }
+        let cell_of: Vec<usize> = specs.iter().map(JobSpec::cell).collect();
+        let jobs = specs.len();
+        let workers = self.worker_count(jobs);
+        let journal = match &self.journal {
+            Some(root) => Some(JobJournal::open(root)?),
             None => None,
         };
         // Runner-class telemetry: per-job wall time plus batch utilization.
-        let timing_sink = self
+        let timing = self
             .sink
             .as_ref()
             .filter(|s| s.wants(EventClass::Runner))
             .map(Arc::clone);
-        let busy_us = AtomicU64::new(0);
-        let completed = AtomicU64::new(0);
-        let faulted = AtomicBool::new(false);
+        let sink = Arc::new(CollectingSink::new());
         let batch_start = Instant::now();
-        let run_job = |ji: usize, ci: usize, cfg: &SimulationConfig| {
-            let job_start = Instant::now();
-            let result = self.execute_job(batch_dir.as_deref(), ji, cfg);
-            if let Ok((_, JobSource::Journal)) = &result {
-                // Loaded from a previous invocation: free, and already
-                // counted toward that invocation's fault threshold.
-                return result.map(|(o, _)| o);
-            }
-            let wall = job_start.elapsed();
-            busy_us.fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
-            if let Some(sink) = &timing_sink {
-                sink.record(&TraceEvent::CellCompleted {
-                    cell: ci as u32,
-                    seed: cfg.seed,
-                    wall_ms: wall.as_secs_f64() * 1e3,
-                });
-            }
-            if let Some(k) = self.fault_after {
-                if completed.fetch_add(1, Ordering::Relaxed) + 1 >= k {
-                    faulted.store(true, Ordering::Relaxed);
-                }
-            }
-            result.map(|(o, _)| o)
-        };
-        let slots: Vec<Mutex<Option<Result<SimulationOutcome, SimError>>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        if workers <= 1 {
-            for (ji, (ci, cfg)) in jobs.iter().enumerate() {
-                if faulted.load(Ordering::Relaxed) {
-                    break;
-                }
-                *slots[ji].lock().expect("result slot poisoned") = Some(run_job(ji, *ci, cfg));
-            }
-        } else {
-            // Work-stealing by atomic index: cells vary widely in cost, so
-            // static chunking would leave workers idle.
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        if faulted.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((ci, cfg)) = jobs.get(i) else { break };
-                        *slots[i].lock().expect("result slot poisoned") =
-                            Some(run_job(i, *ci, cfg));
-                    });
-                }
-            });
-        }
-        if faulted.load(Ordering::Relaxed) {
+        let pool = WorkerPool::start(
+            PoolConfig {
+                workers,
+                time_slice: None,
+                max_live: 1,
+                checkpoint_every: journal.as_ref().and(self.checkpoint_every),
+                fault_after: self.fault_after,
+            },
+            Arc::new(StaticQueue::new(specs)),
+            Arc::clone(&sink) as Arc<dyn ResultSink>,
+            journal,
+            Arc::clone(&self.prewarm_cache),
+            timing.clone(),
+        );
+        let report = pool.join();
+        if report.faulted {
             return Err(SimError::invariant(format!(
                 "fault injected after {} completed jobs; finished cells are journaled",
-                completed.load(Ordering::Relaxed)
+                report.simulated
             )));
         }
-        let outcomes: Vec<Result<SimulationOutcome, SimError>> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("worker pool drained every job")
-            })
-            .collect();
-        if let Some(sink) = &timing_sink {
+        if let Some(sink) = &timing {
             let wall_seconds = batch_start.elapsed().as_secs_f64();
-            let busy_seconds = busy_us.load(Ordering::Relaxed) as f64 / 1e6;
             let capacity = workers as f64 * wall_seconds;
             sink.record(&TraceEvent::BatchCompleted {
-                jobs: jobs.len() as u32,
+                jobs: jobs as u32,
                 workers: workers as u32,
                 wall_seconds,
-                busy_seconds,
+                busy_seconds: report.busy_seconds,
                 worker_utilization: if capacity > 0.0 {
-                    (busy_seconds / capacity).min(1.0)
+                    (report.busy_seconds / capacity).min(1.0)
                 } else {
                     0.0
                 },
             });
         }
 
-        // Group per cell, preserving submission order.
+        // Rebuild submission order from the (potentially out-of-order)
+        // completions, grouping per cell.
+        let mut results = sink.take();
         let mut per_cell: Vec<Vec<SimulationOutcome>> = cells.iter().map(|_| Vec::new()).collect();
-        for ((ci, _), outcome) in jobs.iter().zip(outcomes) {
-            per_cell[*ci].push(outcome?);
+        for (ji, &ci) in cell_of.iter().enumerate() {
+            match results.remove(&ji).expect("worker pool drained every job") {
+                Ok(JobOutput::Completed { outcome, .. }) => per_cell[ci].push(outcome),
+                Ok(JobOutput::Cancelled) => {
+                    return Err(SimError::invariant(
+                        "a batch job was cancelled mid-run; aggregates would be incomplete",
+                    ))
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(cells
             .iter()
@@ -576,7 +557,11 @@ impl ExperimentRunner {
     }
 
     /// Builds the simulation configuration for one (cell, seed) job.
-    fn cell_config(&self, cell: &ExperimentCell, seed: u64) -> Result<SimulationConfig, SimError> {
+    pub(crate) fn cell_config(
+        &self,
+        cell: &ExperimentCell,
+        seed: u64,
+    ) -> Result<SimulationConfig, SimError> {
         let mut b = SimulationConfig::builder();
         b.machine(self.machine.with_sharing(cell.sharing))
             .policy(cell.policy)
@@ -593,94 +578,6 @@ impl ExperimentRunner {
             b.workload(p.clone());
         }
         b.build()
-    }
-
-    /// Runs one `(cell, seed)` job, consulting the journal and checkpoint
-    /// files when a batch directory is attached.
-    ///
-    /// Resolution order: a journaled outcome wins (the job already ran to
-    /// completion in some invocation); otherwise a mid-run checkpoint is
-    /// resumed; otherwise the simulation is built fresh (through the
-    /// prewarm-checkpoint cache when the cell asks for a prewarmed LLC).
-    fn execute_job(
-        &self,
-        batch_dir: Option<&Path>,
-        ji: usize,
-        cfg: &SimulationConfig,
-    ) -> Result<(SimulationOutcome, JobSource), SimError> {
-        if let Some(dir) = batch_dir {
-            let record = journal::outcome_path(dir, ji);
-            if record.exists() {
-                return journal::read_outcome(&record).map(|o| (o, JobSource::Journal));
-            }
-        }
-        let ckpt = batch_dir.map(|dir| journal::checkpoint_path(dir, ji));
-        let mut sim = match ckpt.as_ref().filter(|p| p.exists()) {
-            Some(path) => {
-                let mut sim = journal::read_checkpoint(path)?;
-                // Trace sinks are process-local and deliberately excluded
-                // from checkpoints; reattach this runner's.
-                if let Some(trace) = &cfg.trace {
-                    sim.set_trace(trace.clone());
-                }
-                sim
-            }
-            None => self.build_sim(cfg)?,
-        };
-        let outcome = match (self.checkpoint_every, &ckpt) {
-            (Some(every), Some(path)) => {
-                loop {
-                    if sim.advance(every, None)? == RunStatus::Complete {
-                        break;
-                    }
-                    journal::write_checkpoint(path, &sim)?;
-                }
-                sim.finish()?
-            }
-            _ => sim.run()?,
-        };
-        if let Some(dir) = batch_dir {
-            journal::write_outcome(&journal::outcome_path(dir, ji), &outcome)?;
-            if let Some(path) = &ckpt {
-                // The record supersedes the mid-run checkpoint.
-                let _ = std::fs::remove_file(path);
-            }
-        }
-        Ok((outcome, JobSource::Simulated))
-    }
-
-    /// Builds the simulation for a job. Cells that prewarm the LLC go
-    /// through the prewarm-checkpoint cache: the (expensive) bank fill for
-    /// a given canonical configuration is simulated once, checkpointed to
-    /// memory, and every later job resumes that checkpoint and adopts its
-    /// own run quotas — bit-identical to prewarming from scratch (the fill
-    /// is deterministic in the canonical configuration).
-    fn build_sim(&self, cfg: &SimulationConfig) -> Result<Simulation, SimError> {
-        if !cfg.prewarm_llc {
-            return Simulation::new(cfg.clone());
-        }
-        let key = snapshot::prewarm_key(cfg);
-        let bytes = {
-            let mut cache = self.prewarm_cache.lock().expect("prewarm cache poisoned");
-            match cache.get(&key) {
-                Some(bytes) => Arc::clone(bytes),
-                None => {
-                    // Built under the lock: the first job pays once and
-                    // concurrent workers with the same key wait for it
-                    // rather than all paying.
-                    let mut sim = Simulation::new(snapshot::prewarm_canonical_config(cfg))?;
-                    sim.prewarm();
-                    let mut buf = Vec::new();
-                    sim.checkpoint(&mut buf)?;
-                    let bytes = Arc::new(buf);
-                    cache.insert(key, Arc::clone(&bytes));
-                    bytes
-                }
-            }
-        };
-        let mut sim = Simulation::resume(bytes.as_slice())?;
-        sim.adopt_config(cfg.clone())?;
-        Ok(sim)
     }
 
     /// Runs one workload in isolation: four active cores, the rest idle,
@@ -708,7 +605,11 @@ impl ExperimentRunner {
         self.isolated(kind, SchedulingPolicy::Affinity, SharingDegree::FullyShared)
     }
 
-    fn aggregate(&self, profiles: &[WorkloadProfile], outcomes: &[SimulationOutcome]) -> MixRun {
+    pub(crate) fn aggregate(
+        &self,
+        profiles: &[WorkloadProfile],
+        outcomes: &[SimulationOutcome],
+    ) -> MixRun {
         let num_vms = profiles.len();
         let vms = (0..num_vms)
             .map(|vm| {
@@ -749,7 +650,7 @@ impl ExperimentRunner {
                 .map(|o| o.measured_cycles as f64)
                 .collect::<Vec<_>>(),
         );
-        let churn_stat = |f: &dyn Fn(&crate::churn::ChurnStats) -> u64| {
+        let churn_stat = |f: &dyn Fn(&consim::churn::ChurnStats) -> u64| {
             Summary::of(
                 &outcomes
                     .iter()
@@ -795,6 +696,7 @@ impl ExperimentRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use consim::engine::{RunStatus, Simulation};
     use consim_workload::WorkloadProfileBuilder;
 
     fn tiny_runner() -> ExperimentRunner {
@@ -921,6 +823,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_workers_clamp_to_one_with_a_warning() {
+        // The clamp helper itself (the stderr warning can't be captured
+        // here, but the clamped value can).
+        assert_eq!(clamp_worker_request("with_threads", 0), 1);
+        assert_eq!(clamp_worker_request("with_threads", 3), 3);
+        // `with_threads(0)` must behave exactly like `with_threads(1)` —
+        // serial execution — rather than deadlocking an empty pool.
+        let cells = vec![cell("z", SchedulingPolicy::Affinity)];
+        let zero = tiny_runner().with_threads(0).run_cells(&cells).unwrap();
+        let one = tiny_runner().with_threads(1).run_cells(&cells).unwrap();
+        assert_eq!(fingerprint(&zero[0]), fingerprint(&one[0]));
+        // And the environment route hits the same clamp.
+        let r = tiny_runner().with_threads(0);
+        assert_eq!(r.worker_count(8), 1);
+    }
+
+    #[test]
     fn runner_sink_receives_lifecycle_and_timing_events() {
         use consim_trace::{RingBufferSink, TraceEvent};
 
@@ -1029,6 +948,135 @@ mod tests {
     }
 
     #[test]
+    fn time_sliced_execution_is_bit_identical() {
+        // Drive the same jobs through the pool directly with an
+        // aggressively small time slice and interleaving width: slicing
+        // is schedule, not semantics.
+        use crate::pool::{PoolConfig, WorkerPool};
+        use crate::queue::StaticQueue;
+        use crate::sink::CollectingSink;
+
+        let runner = tiny_runner();
+        let cells = vec![
+            cell("a", SchedulingPolicy::Affinity),
+            cell("b", SchedulingPolicy::RoundRobin),
+        ];
+        let reference = runner.clone().with_threads(1).run_cells(&cells).unwrap();
+        let mut specs = Vec::new();
+        for (ci, c) in cells.iter().enumerate() {
+            for &seed in &runner.options.seeds {
+                specs.push(JobSpec::new(
+                    specs.len(),
+                    ci,
+                    runner.cell_config(c, seed).unwrap(),
+                ));
+            }
+        }
+        let cell_of: Vec<usize> = specs.iter().map(JobSpec::cell).collect();
+        let sink = Arc::new(CollectingSink::new());
+        let pool = WorkerPool::start(
+            PoolConfig {
+                workers: 2,
+                time_slice: Some(700),
+                max_live: 2,
+                ..PoolConfig::default()
+            },
+            Arc::new(StaticQueue::new(specs)),
+            Arc::clone(&sink) as Arc<dyn ResultSink>,
+            None,
+            PrewarmCache::default(),
+            None,
+        );
+        let report = pool.join();
+        assert!(!report.faulted);
+        assert_eq!(report.simulated, 4);
+        let mut results = sink.take();
+        let mut per_cell: Vec<Vec<SimulationOutcome>> = vec![Vec::new(), Vec::new()];
+        for (ji, &ci) in cell_of.iter().enumerate() {
+            match results.remove(&ji).unwrap().unwrap() {
+                JobOutput::Completed { outcome, .. } => per_cell[ci].push(outcome),
+                JobOutput::Cancelled => panic!("nothing was cancelled"),
+            }
+        }
+        for (ci, c) in cells.iter().enumerate() {
+            let sliced = runner.aggregate(&c.profiles, &per_cell[ci]);
+            assert_eq!(
+                fingerprint(&reference[ci]),
+                fingerprint(&sliced),
+                "time-sliced interleaved execution must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_jobs_report_cancelled_without_disturbing_the_rest() {
+        use crate::pool::{PoolConfig, WorkerPool};
+        use crate::queue::{JobQueue, LiveQueue};
+        use crate::sink::CollectingSink;
+
+        let runner = tiny_runner();
+        let reference = runner
+            .clone()
+            .with_threads(1)
+            .run_cells(&[cell("a", SchedulingPolicy::Affinity)])
+            .unwrap();
+        let queue = Arc::new(LiveQueue::new());
+        let sink = Arc::new(CollectingSink::new());
+        let pool = WorkerPool::start(
+            PoolConfig {
+                workers: 1,
+                time_slice: Some(500),
+                max_live: 2,
+                ..PoolConfig::default()
+            },
+            Arc::clone(&queue) as Arc<dyn crate::queue::JobQueue>,
+            Arc::clone(&sink) as Arc<dyn ResultSink>,
+            None,
+            PrewarmCache::default(),
+            None,
+        );
+        // Victim first (cancelled before it can complete — its quota is
+        // far beyond what survivors need), then the two real jobs.
+        let mut big = runner.options.clone();
+        big.refs_per_vm = 1_000_000;
+        big.warmup_refs_per_vm = 1_000_000;
+        let victim_cfg = ExperimentRunner::new(big)
+            .cell_config(&cell("victim", SchedulingPolicy::Affinity), 1)
+            .unwrap();
+        let victim = queue.push(9, victim_cfg).unwrap();
+        for &seed in &runner.options.seeds {
+            queue.push(
+                0,
+                runner
+                    .cell_config(&cell("a", SchedulingPolicy::Affinity), seed)
+                    .unwrap(),
+            );
+        }
+        pool.cancel(victim);
+        queue.close();
+        let report = pool.join();
+        assert_eq!(report.simulated, 2, "only the surviving jobs simulate");
+        let mut results = sink.take();
+        assert!(matches!(
+            results.remove(&victim),
+            Some(Ok(JobOutput::Cancelled))
+        ));
+        let outcomes: Vec<SimulationOutcome> = (1..=2)
+            .map(|ji| match results.remove(&ji).unwrap().unwrap() {
+                JobOutput::Completed { outcome, .. } => outcome,
+                JobOutput::Cancelled => panic!("survivor cancelled"),
+            })
+            .collect();
+        let survivors =
+            runner.aggregate(&cell("a", SchedulingPolicy::Affinity).profiles, &outcomes);
+        assert_eq!(
+            fingerprint(&reference[0]),
+            fingerprint(&survivors),
+            "a cancelled job must not corrupt the survivors' aggregation"
+        );
+    }
+
+    #[test]
     fn run_profiles_delegates_to_batch_path() {
         // The single-cell path must produce the same aggregate as run_cells.
         let r = tiny_runner().with_threads(2);
@@ -1049,8 +1097,7 @@ mod tests {
     struct ScratchDir(std::path::PathBuf);
     impl ScratchDir {
         fn new(tag: &str) -> Self {
-            let dir =
-                std::env::temp_dir().join(format!("consim-runner-{tag}-{}", std::process::id()));
+            let dir = std::env::temp_dir().join(format!("consim-job-{tag}-{}", std::process::id()));
             std::fs::remove_dir_all(&dir).ok();
             std::fs::create_dir_all(&dir).unwrap();
             Self(dir)
@@ -1119,12 +1166,7 @@ mod tests {
             .run_cells(&cells)
             .unwrap_err();
         assert!(err.to_string().contains("fault injected"), "{err}");
-        let batch = std::fs::read_dir(scratch.path())
-            .unwrap()
-            .map(|e| e.unwrap().path())
-            .find(|p| p.is_dir())
-            .expect("fault must leave the batch directory behind");
-        let records = std::fs::read_dir(&batch)
+        let records = std::fs::read_dir(scratch.path())
             .unwrap()
             .filter(|e| {
                 e.as_ref()
@@ -1149,20 +1191,137 @@ mod tests {
     }
 
     #[test]
-    fn different_batches_use_disjoint_journal_directories() {
-        let scratch = ScratchDir::new("digest");
-        let runner = tiny_runner().with_threads(1).with_journal(scratch.path());
-        runner.run_cells(&batch_cells()).unwrap();
-        runner
-            .run_cells(&[cell("other", SchedulingPolicy::Affinity)])
+    fn grown_batch_reuses_per_job_records() {
+        // The per-job content digest replaces the old whole-batch digest:
+        // growing the batch must keep every record the shared jobs earned
+        // (the old scheme started a fresh directory and re-ran everything).
+        use consim_trace::{RingBufferSink, TraceEvent};
+
+        let scratch = ScratchDir::new("grow");
+        let cells = batch_cells();
+        tiny_runner()
+            .with_threads(1)
+            .with_journal(scratch.path())
+            .run_cells(&cells[..1])
             .unwrap();
-        let batches = std::fs::read_dir(scratch.path())
-            .unwrap()
-            .filter(|e| e.as_ref().unwrap().path().is_dir())
+        let sink = std::sync::Arc::new(RingBufferSink::new(4_096));
+        let grown = tiny_runner()
+            .with_threads(1)
+            .with_journal(scratch.path())
+            .with_sink(sink.clone())
+            .run_cells(&cells)
+            .unwrap();
+        // Only the 2 cells x 2 seeds that were never journaled simulate
+        // (journal loads emit no CellCompleted event).
+        let simulated = sink
+            .snapshot()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CellCompleted { .. }))
             .count();
-        assert_eq!(
-            batches, 2,
-            "a changed batch must not reuse the old directory"
+        assert_eq!(simulated, 4, "the grown batch re-runs only the new jobs");
+        let plain = tiny_runner().with_threads(1).run_cells(&cells).unwrap();
+        for (p, g) in plain.iter().zip(&grown) {
+            assert_eq!(fingerprint(p), fingerprint(g));
+        }
+    }
+
+    #[test]
+    fn resumed_queue_reruns_exactly_the_missing_jobs() {
+        use consim_trace::{RingBufferSink, TraceEvent};
+
+        let scratch = ScratchDir::new("missing");
+        let cells = batch_cells();
+        tiny_runner()
+            .with_threads(1)
+            .with_journal(scratch.path())
+            .run_cells(&cells)
+            .unwrap();
+        // Lose one record (pick deterministically: the lexicographically
+        // first), then resume: exactly that job re-simulates.
+        let mut records: Vec<std::path::PathBuf> = std::fs::read_dir(scratch.path())
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+            .collect();
+        records.sort();
+        assert_eq!(records.len(), 6, "3 cells x 2 seeds");
+        std::fs::remove_file(&records[0]).unwrap();
+        let sink = std::sync::Arc::new(RingBufferSink::new(4_096));
+        let plain = tiny_runner().with_threads(1).run_cells(&cells).unwrap();
+        let resumed = tiny_runner()
+            .with_threads(2)
+            .with_journal(scratch.path())
+            .with_sink(sink.clone())
+            .run_cells(&cells)
+            .unwrap();
+        let simulated = sink
+            .snapshot()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CellCompleted { .. }))
+            .count();
+        assert_eq!(simulated, 1, "exactly the missing job re-simulates");
+        for (p, r) in plain.iter().zip(&resumed) {
+            assert_eq!(fingerprint(p), fingerprint(r));
+        }
+    }
+
+    #[test]
+    fn torn_temporaries_are_swept_on_resume() {
+        let scratch = ScratchDir::new("torn");
+        let cells = batch_cells();
+        let plain = tiny_runner().with_threads(1).run_cells(&cells).unwrap();
+        // A crashed writer leaves half-written temporaries behind; they
+        // must be ignored (never parsed) and cleaned up on the next open.
+        let torn = [
+            scratch.path().join("job-00000000000000ab.bin.tmp3"),
+            scratch.path().join("job-00000000000000ab.ckpt.tmp4"),
+        ];
+        for t in &torn {
+            std::fs::write(t, b"\xde\xad half-written garbage").unwrap();
+        }
+        let resumed = tiny_runner()
+            .with_threads(1)
+            .with_journal(scratch.path())
+            .run_cells(&cells)
+            .unwrap();
+        for t in &torn {
+            assert!(!t.exists(), "torn temporary {t:?} must be swept");
+        }
+        for (p, r) in plain.iter().zip(&resumed) {
+            assert_eq!(fingerprint(p), fingerprint(r));
+        }
+    }
+
+    #[test]
+    fn truncated_record_is_a_typed_error_naming_the_path() {
+        let scratch = ScratchDir::new("trunc");
+        let cells = batch_cells();
+        tiny_runner()
+            .with_threads(1)
+            .with_journal(scratch.path())
+            .run_cells(&cells)
+            .unwrap();
+        let mut records: Vec<std::path::PathBuf> = std::fs::read_dir(scratch.path())
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+            .collect();
+        records.sort();
+        let victim = &records[2];
+        let bytes = std::fs::read(victim).unwrap();
+        std::fs::write(victim, &bytes[..bytes.len() / 2]).unwrap();
+        let err = tiny_runner()
+            .with_threads(1)
+            .with_journal(scratch.path())
+            .run_cells(&cells)
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::Snapshot(..)),
+            "truncation must surface as a typed snapshot error, got {err:?}"
+        );
+        assert!(
+            err.to_string().contains(&victim.display().to_string()),
+            "the error must name the record to delete: {err}"
         );
     }
 
@@ -1171,10 +1330,6 @@ mod tests {
         let scratch = ScratchDir::new("ckpt");
         let cells = vec![cell("k", SchedulingPolicy::Affinity)];
         let plain = tiny_runner().with_threads(1).run_cells(&cells).unwrap();
-        // Fault with zero completed jobs allowed: the worker still finishes
-        // its in-flight job, writing checkpoints along the way... instead,
-        // exercise the checkpoint path directly: run with frequent
-        // checkpointing, then corrupt nothing and verify identity.
         let checkpointed = tiny_runner()
             .with_threads(1)
             .with_journal(scratch.path())
@@ -1186,20 +1341,13 @@ mod tests {
         // state the crashed invocation leaves behind (a .ckpt, no .bin)
         // and let the runner resume it to completion.
         let runner = tiny_runner().with_threads(1);
-        let jobs: Vec<(usize, SimulationConfig)> = runner
-            .options
-            .seeds
-            .iter()
-            .map(|&s| (0usize, runner.cell_config(&cells[0], s).unwrap()))
-            .collect();
-        let batch = crate::journal::batch_dir(scratch.path(), &jobs);
-        std::fs::create_dir_all(&batch).unwrap();
-        for (ji, (_, cfg)) in jobs.iter().enumerate() {
-            std::fs::remove_file(crate::journal::outcome_path(&batch, ji)).ok();
-            let mut sim = Simulation::new(cfg.clone()).unwrap();
+        let journal = JobJournal::open(scratch.path()).unwrap();
+        for &seed in &runner.options.seeds {
+            let spec = JobSpec::new(0, 0, runner.cell_config(&cells[0], seed).unwrap());
+            std::fs::remove_file(journal.outcome_path(&spec)).ok();
+            let mut sim = Simulation::new(spec.config().clone()).unwrap();
             assert_eq!(sim.advance(1_500, None).unwrap(), RunStatus::Running);
-            crate::journal::write_checkpoint(&crate::journal::checkpoint_path(&batch, ji), &sim)
-                .unwrap();
+            journal.store_checkpoint(&spec, &sim).unwrap();
         }
         let resumed = runner
             .with_journal(scratch.path())
@@ -1230,8 +1378,7 @@ mod tests {
             .run_cells(&cells)
             .unwrap();
         // Reference: prewarm from scratch per job by bypassing the cache
-        // (a fresh runner whose cache we poison with nothing — build each
-        // simulation directly).
+        // (build each simulation directly).
         let reference: Vec<MixRun> = {
             let runner = ExperimentRunner::new(options.clone()).with_threads(1);
             cells

@@ -1,0 +1,87 @@
+//! Result delivery: the [`ResultSink`] trait workers report into, plus a
+//! [`CollectingSink`] that rebuilds deterministic submission-order
+//! results from out-of-order completions.
+
+use crate::spec::JobSpec;
+use consim::engine::SimulationOutcome;
+use consim_types::SimError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Where a job's outcome came from: freshly simulated, or loaded from a
+/// journal record written by an earlier invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSource {
+    /// The job ran in this invocation.
+    Simulated,
+    /// The outcome was loaded from a journal record (free: journal loads
+    /// do not count toward wall-time telemetry or the fault threshold).
+    Journal,
+}
+
+/// What became of one job.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one value per finished job; Cancelled is rare
+pub enum JobOutput {
+    /// The job ran (or was loaded) to completion.
+    Completed {
+        /// The simulation outcome.
+        outcome: SimulationOutcome,
+        /// Whether it was simulated now or loaded from the journal.
+        source: JobSource,
+    },
+    /// The job was cancelled before completing ([`crate::pool::WorkerPool::cancel`]);
+    /// no outcome exists and nothing was journaled.
+    Cancelled,
+}
+
+/// Receives finished jobs from the worker pool. Workers on different
+/// threads report concurrently and in completion order, which under
+/// time-slicing is *not* submission order — deterministic consumers key
+/// on [`JobSpec::index`] to reassemble (see [`CollectingSink`]).
+pub trait ResultSink: Send + Sync + fmt::Debug {
+    /// Called exactly once per dequeued job.
+    fn job_finished(&self, job: &JobSpec, result: Result<JobOutput, SimError>);
+}
+
+/// A sink that stores every result keyed by submission index. Because
+/// each job's result is a pure function of its configuration, reading
+/// the map back in index order yields the exact result vector serial
+/// execution would have produced, whatever order completions arrived in.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    results: Mutex<BTreeMap<usize, Result<JobOutput, SimError>>>,
+}
+
+impl CollectingSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Results collected so far.
+    pub fn len(&self) -> usize {
+        self.results.lock().expect("result sink poisoned").len()
+    }
+
+    /// Whether nothing has finished yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the collected results, keyed (and therefore iterated) by
+    /// submission index.
+    pub fn take(&self) -> BTreeMap<usize, Result<JobOutput, SimError>> {
+        std::mem::take(&mut *self.results.lock().expect("result sink poisoned"))
+    }
+}
+
+impl ResultSink for CollectingSink {
+    fn job_finished(&self, job: &JobSpec, result: Result<JobOutput, SimError>) {
+        self.results
+            .lock()
+            .expect("result sink poisoned")
+            .insert(job.index(), result);
+    }
+}

@@ -1,0 +1,92 @@
+//! Job definition: one `(cell, seed)` simulation plus the bookkeeping the
+//! result layer needs to rebuild deterministic ordering.
+
+use consim::engine::SimulationConfig;
+use consim::persist;
+
+/// One schedulable unit of work: a fully built [`SimulationConfig`] with
+/// its submission coordinates.
+///
+/// Jobs are identified on disk by a **content digest** of the
+/// configuration (machine, workloads, policy, seed, run quotas —
+/// everything that shapes the outcome; the process-local trace sink is
+/// excluded), not by their position in a batch. A live queue can
+/// therefore grow, shrink, or reorder without invalidating journal
+/// records written for jobs submitted earlier, and two batches sharing a
+/// job share its record.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    index: usize,
+    cell: usize,
+    config: SimulationConfig,
+    digest: u64,
+}
+
+impl JobSpec {
+    /// A job for `config`, submitted as overall job `index` on behalf of
+    /// experiment cell `cell`.
+    pub fn new(index: usize, cell: usize, config: SimulationConfig) -> Self {
+        let digest = persist::config_digest(&config);
+        Self {
+            index,
+            cell,
+            config,
+            digest,
+        }
+    }
+
+    /// Submission index: unique within one queue, orders results.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The experiment cell this job belongs to (aggregation key).
+    pub fn cell(&self) -> usize {
+        self.cell
+    }
+
+    /// The simulation configuration the job executes.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The configuration content digest identifying this job's journal
+    /// records across invocations.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The digest in the fixed-width hex form used in journal file names.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(seed: u64) -> SimulationConfig {
+        let profile = consim_workload::WorkloadProfileBuilder::new("s")
+            .footprint_blocks(2_000)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile).refs_per_vm(100).seed(seed);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn digest_depends_on_content_not_position() {
+        let a = JobSpec::new(0, 0, config(1));
+        let b = JobSpec::new(7, 3, config(1));
+        let c = JobSpec::new(0, 0, config(2));
+        assert_eq!(
+            a.digest(),
+            b.digest(),
+            "the same configuration keeps its identity wherever it sits in a queue"
+        );
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(a.digest_hex().len(), 16);
+    }
+}

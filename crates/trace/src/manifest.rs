@@ -59,6 +59,10 @@ pub struct Manifest {
     pub trace_errors: u64,
     /// Journal directory this run resumed from (`--resume`), if any.
     pub resumed_from: Option<String>,
+    /// Per-job configuration digests of the journal's committed outcome
+    /// records (the `job-<digest>.bin` names, sorted): exactly which jobs
+    /// the journal vouches for, independent of how they were batched.
+    pub jobs: Vec<String>,
     /// Digests of the journal/checkpoint records involved in the run
     /// (sorted by file name), tying the manifest to the exact on-disk
     /// records it trusted or produced.
@@ -101,6 +105,8 @@ impl Manifest {
                 None => "null".to_string(),
             }
         );
+        let jobs: Vec<String> = self.jobs.iter().map(|d| json_string(d)).collect();
+        let _ = writeln!(out, "  \"jobs\": [{}],", jobs.join(", "));
         let checkpoints: Vec<String> = self.checkpoints.iter().map(|d| json_string(d)).collect();
         let _ = writeln!(out, "  \"checkpoints\": [{}]", checkpoints.join(", "));
         out.push('}');
@@ -163,6 +169,7 @@ mod tests {
             trace_lines: 321,
             trace_errors: 0,
             resumed_from: None,
+            jobs: Vec::new(),
             checkpoints: Vec::new(),
         }
     }
@@ -190,6 +197,7 @@ mod tests {
             "\"trace_lines\": 321",
             "\"trace_errors\": 0",
             "\"resumed_from\": null",
+            "\"jobs\": []",
             "\"checkpoints\": []",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
@@ -226,9 +234,11 @@ mod tests {
     fn resume_provenance_serializes() {
         let mut m = sample();
         m.resumed_from = Some("out/journal".to_string());
+        m.jobs = vec!["0011223344556677".to_string()];
         m.checkpoints = vec!["aa".to_string(), "bb".to_string()];
         let json = m.to_json();
         assert!(json.contains("\"resumed_from\": \"out/journal\""));
+        assert!(json.contains("\"jobs\": [\"0011223344556677\"]"));
         assert!(json.contains("\"checkpoints\": [\"aa\", \"bb\"]"));
     }
 }

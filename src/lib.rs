@@ -11,7 +11,10 @@
 //! users can depend on a single crate:
 //!
 //! * [`engine`](mod@engine) and friends — the simulation engine, mixes,
-//!   metrics, and experiment runner (from the `consim` crate);
+//!   and metrics (from the `consim` crate);
+//! * [`job`] / [`runner`](mod@runner) — the job execution layer: worker
+//!   pool, job queues, crash journal, and the experiment runner facade
+//!   (from the `consim-job` crate);
 //! * [`workload`] — workload profiles and reference-stream generators;
 //! * [`sched`] — the scheduling policies;
 //! * [`cache`] / [`coherence`] / [`noc`] — the hardware substrates;
@@ -42,9 +45,11 @@
 //! See `examples/` for richer scenarios and `crates/bench` for the
 //! figure-by-figure reproduction harness.
 
-pub use consim::{audit, churn, engine, machine, metrics, mix, report, runner, stats};
+pub use consim::{audit, churn, engine, machine, metrics, mix, persist, report, stats};
 pub use consim_cache as cache;
 pub use consim_coherence as coherence;
+pub use consim_job as job;
+pub use consim_job::runner;
 pub use consim_noc as noc;
 pub use consim_sched as sched;
 pub use consim_trace as trace;
@@ -56,8 +61,8 @@ pub mod prelude {
     pub use consim::engine::{Simulation, SimulationConfig, SimulationOutcome};
     pub use consim::mix::{Mix, MixId};
     pub use consim::report::TextTable;
-    pub use consim::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
     pub use consim::stats::Summary;
+    pub use consim_job::runner::{ExperimentCell, ExperimentRunner, MixRun, RunOptions};
     pub use consim_sched::SchedulingPolicy;
     pub use consim_types::config::{
         ChurnPolicy, MachineConfig, MachineConfigBuilder, SharingDegree,

@@ -283,7 +283,7 @@ fn faulted_sweep_resumes_to_byte_identical_figure_text() {
         let journaled = std::fs::read_dir(&dir)
             .expect("journal directory exists after the crash")
             .count();
-        assert!(journaled > 0, "the crashed run must leave journal batches");
+        assert!(journaled > 0, "the crashed run must leave journal records");
 
         // Second invocation: resume from the journal and finish the sweep.
         let resumed = FigureContext::with_runner(

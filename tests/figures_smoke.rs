@@ -1,8 +1,8 @@
 //! Smoke tests for every figure/table regenerator at test scale: each
 //! exhibit must produce a table with the paper's rows and columns.
 
-use consim::runner::RunOptions;
 use consim_bench::{figures, FigureContext};
+use consim_job::runner::RunOptions;
 
 fn ctx() -> FigureContext {
     FigureContext::new(RunOptions {

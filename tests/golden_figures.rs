@@ -15,9 +15,9 @@
 //! git diff tests/golden/   # review every diff before committing
 //! ```
 
-use consim::runner::RunOptions;
 use consim_bench::figures;
 use consim_bench::FigureContext;
+use consim_job::runner::RunOptions;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -178,7 +178,7 @@ fn figures_match_golden_snapshots() {
 /// readable text diff against the blessed snapshot.
 #[test]
 fn resumed_render_matches_golden_snapshot() {
-    use consim::runner::ExperimentRunner;
+    use consim_job::runner::ExperimentRunner;
 
     if bless_requested() {
         // The snapshot is blessed by `figures_match_golden_snapshots`;

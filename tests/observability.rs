@@ -107,6 +107,7 @@ fn traced_batch_emits_parseable_jsonl_and_manifest() {
         trace_lines: sink.lines(),
         trace_errors: sink.errors(),
         resumed_from: None,
+        jobs: Vec::new(),
         checkpoints: Vec::new(),
     };
     let path = manifest.write_to(&dir).unwrap();
