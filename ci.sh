@@ -84,6 +84,31 @@ echo "== job layer demo (live queue, time slices, cancel, fault+resume) =="
 CONSIM_REFS=2000 CONSIM_WARMUP=500 CONSIM_SEEDS=2 \
   cargo run --release -q -p consim-bench --bin jobs > /dev/null
 
+echo "== daemon stress smoke (crash mid-run, restart, ledger match) =="
+# A fixed-seed 200-job stress against the consim-serve daemon. The
+# reference run is uninterrupted and verifies every completed outcome
+# byte-for-byte against a serial WorkerPool reference; the crash run
+# SIGKILLs the daemon after 60 acked submissions and additionally arms
+# CONSIM_FAULT=jobs:40 on the first daemon process, restarting over the
+# same journal each time. Zero lost jobs (stress exits non-zero
+# otherwise), at least one restart, and a byte-identical ledger are the
+# gates. consim-serve is not a root-package dependency, so build it
+# explicitly.
+cargo build --release -q -p consim-serve
+target/release/stress --seed 9 --jobs 200 --clients 4 --workers 2 \
+  --scratch "$smoke_dir/serve-ref" --ledger "$smoke_dir/ref.ledger" \
+  > "$smoke_dir/stress-ref.txt"
+target/release/stress --seed 9 --jobs 200 --clients 4 --workers 2 \
+  --kill-after 60 --fault-after 40 --no-verify \
+  --scratch "$smoke_dir/serve-crash" --ledger "$smoke_dir/crash.ledger" \
+  > "$smoke_dir/stress-crash.txt"
+if grep -q "restarts=0" "$smoke_dir/stress-crash.txt"; then
+  echo "crash run never restarted the daemon" >&2
+  cat "$smoke_dir/stress-crash.txt" >&2
+  exit 1
+fi
+cmp "$smoke_dir/ref.ledger" "$smoke_dir/crash.ledger"
+
 echo "== perf smoke (non-gating, short throughput probe) =="
 # A short serial probe compared against the committed BENCH_engine.json
 # baseline. Informational only: wall-clock noise (shared CI boxes, thermal

@@ -186,14 +186,23 @@ impl BenchFlags {
 /// malformed value is an error — a typo'd fault spec silently ignored
 /// would make a crash-recovery test pass vacuously.
 pub fn fault_from_env() -> Result<Option<u64>, String> {
+    fault_from_env_with("cell")
+}
+
+/// [`fault_from_env`] with a caller-chosen unit keyword: batch bins abort
+/// after `cell:K` completions, the serve daemon after `jobs:K`. Keeping
+/// the units distinct means a fault spec aimed at one kind of process
+/// is a loud error — not a silently different trip point — in the other.
+pub fn fault_from_env_with(kind: &str) -> Result<Option<u64>, String> {
     match std::env::var("CONSIM_FAULT") {
         Err(_) => Ok(None),
         Ok(raw) => raw
             .trim()
-            .strip_prefix("cell:")
+            .strip_prefix(kind)
+            .and_then(|rest| rest.trim_start().strip_prefix(':'))
             .and_then(|k| k.trim().parse().ok())
             .map(Some)
-            .ok_or_else(|| format!("CONSIM_FAULT={raw:?} is malformed; expected cell:<K>")),
+            .ok_or_else(|| format!("CONSIM_FAULT={raw:?} is malformed; expected {kind}:<K>")),
     }
 }
 

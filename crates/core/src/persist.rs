@@ -114,31 +114,32 @@ pub fn read_checkpoint(path: &Path) -> Result<Simulation, SimError> {
     Simulation::resume(bytes.as_slice())
 }
 
-/// Writes a completed-outcome record to `path` atomically.
+/// Serializes a completed outcome into a standalone checksummed record
+/// (the exact bytes [`write_outcome`] commits to disk) — the wire form a
+/// result-streaming daemon ships to clients.
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Snapshot`] on serialization or I/O failure.
-pub fn write_outcome(path: &Path, outcome: &SimulationOutcome) -> Result<(), SimError> {
-    persist(path, |bytes| {
-        let mut writer = SnapWriter::new(bytes)?;
-        let mut buf = SectionBuf::new();
-        save_outcome(outcome, &mut buf);
-        writer.section("outcome", &buf)?;
-        writer.finish()?;
-        Ok(())
-    })
+/// Returns [`SimError::Snapshot`] on serialization failure.
+pub fn outcome_to_bytes(outcome: &SimulationOutcome) -> Result<Vec<u8>, SimError> {
+    let mut bytes = Vec::new();
+    let mut writer = SnapWriter::new(&mut bytes)?;
+    let mut buf = SectionBuf::new();
+    save_outcome(outcome, &mut buf);
+    writer.section("outcome", &buf)?;
+    writer.finish()?;
+    Ok(bytes)
 }
 
-/// Reads a completed-outcome record back.
+/// Decodes an outcome record produced by [`outcome_to_bytes`] (or read
+/// from a journal file).
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Snapshot`] on I/O failure or a corrupt/truncated
-/// record (the `consim-snap` checksum catches bit rot).
-pub fn read_outcome(path: &Path) -> Result<SimulationOutcome, SimError> {
-    let bytes = fs::read(path).map_err(|e| io_error("read", path, e))?;
-    let mut snap = SnapReader::from_bytes(bytes)?;
+/// Returns [`SimError::Snapshot`] on a corrupt/truncated record (the
+/// `consim-snap` checksum catches bit rot).
+pub fn outcome_from_bytes(bytes: &[u8]) -> Result<SimulationOutcome, SimError> {
+    let mut snap = SnapReader::from_bytes(bytes.to_vec())?;
     let mut r = snap.section("outcome")?;
     let outcome = restore_outcome(&mut r)?;
     if r.remaining() != 0 {
@@ -152,6 +153,116 @@ pub fn read_outcome(path: &Path) -> Result<SimulationOutcome, SimError> {
     }
     snap.expect_end()?;
     Ok(outcome)
+}
+
+/// Serializes a full configuration into a standalone checksummed record:
+/// the wire form a daemon accepts in `Submit` requests and the payload of
+/// on-disk submission (`.spec`) records. The process-local trace sink is
+/// excluded by the snapshot codec, so these bytes digest identically to
+/// [`config_digest`] of the decoded configuration.
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] on serialization failure.
+pub fn config_to_bytes(config: &SimulationConfig) -> Result<Vec<u8>, SimError> {
+    let mut bytes = Vec::new();
+    let mut writer = SnapWriter::new(&mut bytes)?;
+    let mut buf = SectionBuf::new();
+    snapshot::save_config(config, &mut buf);
+    writer.section("config", &buf)?;
+    writer.finish()?;
+    Ok(bytes)
+}
+
+/// Decodes a configuration record produced by [`config_to_bytes`].
+/// Decoding goes through the validated builders, so a corrupt record
+/// yields [`SimError::Snapshot`] rather than an unchecked configuration.
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] on a corrupt/truncated record.
+pub fn config_from_bytes(bytes: &[u8]) -> Result<SimulationConfig, SimError> {
+    let mut snap = SnapReader::from_bytes(bytes.to_vec())?;
+    let mut r = snap.section("config")?;
+    let config = snapshot::restore_config(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(SimError::snapshot(
+            SnapshotErrorKind::Corrupt,
+            format!(
+                "{} unconsumed bytes at the end of a configuration record",
+                r.remaining()
+            ),
+        ));
+    }
+    snap.expect_end()?;
+    Ok(config)
+}
+
+/// Writes a submission (`.spec`) record to `path` atomically: the
+/// experiment-cell tag plus the full configuration. A daemon journals one
+/// of these *before* acknowledging a submission, so a crash between ack
+/// and completion can always re-enqueue the job on restart.
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] on serialization or I/O failure.
+pub fn write_spec(path: &Path, cell: usize, config: &SimulationConfig) -> Result<(), SimError> {
+    persist(path, |bytes| {
+        let mut writer = SnapWriter::new(bytes)?;
+        let mut buf = SectionBuf::new();
+        buf.put_usize(cell);
+        snapshot::save_config(config, &mut buf);
+        writer.section("spec", &buf)?;
+        writer.finish()?;
+        Ok(())
+    })
+}
+
+/// Reads a submission record back as `(cell, config)`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] on I/O failure or a corrupt record.
+pub fn read_spec(path: &Path) -> Result<(usize, SimulationConfig), SimError> {
+    let bytes = fs::read(path).map_err(|e| io_error("read", path, e))?;
+    let mut snap = SnapReader::from_bytes(bytes)?;
+    let mut r = snap.section("spec")?;
+    let cell = r.get_usize()?;
+    let config = snapshot::restore_config(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(SimError::snapshot(
+            SnapshotErrorKind::Corrupt,
+            format!(
+                "{} unconsumed bytes at the end of a submission record",
+                r.remaining()
+            ),
+        ));
+    }
+    snap.expect_end()?;
+    Ok((cell, config))
+}
+
+/// Writes a completed-outcome record to `path` atomically.
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] on serialization or I/O failure.
+pub fn write_outcome(path: &Path, outcome: &SimulationOutcome) -> Result<(), SimError> {
+    persist(path, |bytes| {
+        *bytes = outcome_to_bytes(outcome)?;
+        Ok(())
+    })
+}
+
+/// Reads a completed-outcome record back.
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] on I/O failure or a corrupt/truncated
+/// record (the `consim-snap` checksum catches bit rot).
+pub fn read_outcome(path: &Path) -> Result<SimulationOutcome, SimError> {
+    let bytes = fs::read(path).map_err(|e| io_error("read", path, e))?;
+    outcome_from_bytes(&bytes)
 }
 
 fn save_outcome(out: &SimulationOutcome, w: &mut SectionBuf) {
@@ -381,6 +492,74 @@ mod tests {
         assert_eq!(stage_path(bin, 3), Path::new("/j/job-0007.bin.tmp3"));
         // The counter makes concurrent same-record stages distinct too.
         assert_ne!(stage_path(bin, 1), stage_path(bin, 2));
+    }
+
+    #[test]
+    fn config_bytes_round_trip_preserves_digest() {
+        let profile = WorkloadProfileBuilder::new("w")
+            .footprint_blocks(2_500)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile)
+            .refs_per_vm(400)
+            .warmup_refs_per_vm(100)
+            .seed(99);
+        let cfg = b.build().unwrap();
+        let bytes = config_to_bytes(&cfg).unwrap();
+        let back = config_from_bytes(&bytes).unwrap();
+        assert_eq!(config_digest(&cfg), config_digest(&back));
+        assert_eq!(bytes, config_to_bytes(&back).unwrap());
+        // Corruption is a typed error, never a panic or silent decode.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(config_from_bytes(&bad)
+            .unwrap_err()
+            .snapshot_kind()
+            .is_some());
+        assert!(config_from_bytes(&bytes[..bytes.len() - 3])
+            .unwrap_err()
+            .snapshot_kind()
+            .is_some());
+    }
+
+    #[test]
+    fn spec_record_round_trips_cell_and_config() {
+        let dir = std::env::temp_dir().join(format!("consim-persist-spec-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let profile = WorkloadProfileBuilder::new("sp")
+            .footprint_blocks(2_000)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile).refs_per_vm(250).seed(5);
+        let cfg = b.build().unwrap();
+        let path = dir.join("job-00.spec");
+        write_spec(&path, 7, &cfg).unwrap();
+        let (cell, back) = read_spec(&path).unwrap();
+        assert_eq!(cell, 7);
+        assert_eq!(config_digest(&cfg), config_digest(&back));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn outcome_bytes_match_journal_record_bytes() {
+        let dir = std::env::temp_dir().join(format!("consim-persist-ob-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let out = outcome();
+        let path = dir.join("job-0.bin");
+        write_outcome(&path, &out).unwrap();
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            outcome_to_bytes(&out).unwrap(),
+            "wire bytes and journal bytes must be the same record format"
+        );
+        assert_identical(
+            &out,
+            &outcome_from_bytes(&outcome_to_bytes(&out).unwrap()).unwrap(),
+        );
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -134,6 +134,73 @@ impl JobJournal {
         let _ = std::fs::remove_file(self.checkpoint_path(job));
     }
 
+    /// Submission (`.spec`) record path for `job`.
+    pub fn spec_path(&self, job: &JobSpec) -> PathBuf {
+        self.dir.join(format!("job-{}.spec", job.digest_hex()))
+    }
+
+    /// Journals the *submission* of `job` (atomic commit): cell tag plus
+    /// full configuration. A daemon writes this before acknowledging a
+    /// submission, making the ack a durable promise — whatever crashes
+    /// afterwards, [`JobJournal::load_specs`] can re-enqueue the job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] on serialization or I/O failure.
+    pub fn store_spec(&self, job: &JobSpec) -> Result<(), SimError> {
+        persist::write_spec(&self.spec_path(job), job.cell(), job.config())
+    }
+
+    /// Removes the submission record of `job` (it was cancelled, or the
+    /// caller no longer wants it resurrected). Missing files are fine.
+    pub fn discard_spec(&self, job: &JobSpec) {
+        let _ = std::fs::remove_file(self.spec_path(job));
+    }
+
+    /// Loads every journaled submission as `(cell, config)`, ordered by
+    /// digest (stable across restarts, independent of directory
+    /// enumeration order). A record whose configuration no longer matches
+    /// the digest in its file name is corrupt and reported as a typed
+    /// error naming the file — never served under the wrong identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] when the directory cannot be listed
+    /// or a record is unreadable, corrupt, or misnamed.
+    pub fn load_specs(&self) -> Result<Vec<(usize, consim::engine::SimulationConfig)>, SimError> {
+        let mut paths = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)
+            .map_err(|e| persist::io_error("list journal", &self.dir, e))?
+        {
+            let entry = entry.map_err(|e| persist::io_error("list journal", &self.dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy().to_string();
+            if let Some(digest) = name
+                .strip_prefix("job-")
+                .and_then(|n| n.strip_suffix(".spec"))
+            {
+                paths.push((digest.to_string(), entry.path()));
+            }
+        }
+        paths.sort();
+        let mut specs = Vec::with_capacity(paths.len());
+        for (digest, path) in paths {
+            let (cell, config) = persist::read_spec(&path).map_err(|e| name_record(&path, e))?;
+            let actual = format!("{:016x}", persist::config_digest(&config));
+            if actual != digest {
+                return Err(SimError::snapshot(
+                    consim_types::SnapshotErrorKind::Corrupt,
+                    format!(
+                        "{}: submission record digests to {actual}, not the {digest} in its name",
+                        path.display()
+                    ),
+                ));
+            }
+            specs.push((cell, config));
+        }
+        Ok(specs)
+    }
+
     /// Digest hex strings of every committed outcome record, sorted — the
     /// provenance a trace manifest wants.
     ///
@@ -170,5 +237,68 @@ fn name_record(path: &Path, err: SimError) -> SimError {
             SimError::Snapshot(kind, format!("{}: {msg}", path.display()))
         }
         other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consim::engine::SimulationConfig;
+
+    fn config(seed: u64) -> SimulationConfig {
+        let profile = consim_workload::WorkloadProfileBuilder::new("jr")
+            .footprint_blocks(2_000)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile).refs_per_vm(300).seed(seed);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spec_records_round_trip_sorted_by_digest() {
+        let dir = std::env::temp_dir().join(format!("consim-journal-spec-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = JobJournal::open(&dir).unwrap();
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| JobSpec::new(i, i + 10, config(i as u64)))
+            .collect();
+        for job in &jobs {
+            journal.store_spec(job).unwrap();
+        }
+        let specs = journal.load_specs().unwrap();
+        assert_eq!(specs.len(), 3);
+        let mut expected: Vec<(String, usize)> =
+            jobs.iter().map(|j| (j.digest_hex(), j.cell())).collect();
+        expected.sort();
+        let loaded: Vec<(String, usize)> = specs
+            .iter()
+            .map(|(cell, cfg)| (format!("{:016x}", persist::config_digest(cfg)), *cell))
+            .collect();
+        assert_eq!(loaded, expected, "digest order, cells preserved");
+        journal.discard_spec(&jobs[0]);
+        journal.discard_spec(&jobs[0]); // idempotent
+        assert_eq!(journal.load_specs().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn misnamed_spec_record_is_a_typed_error() {
+        let dir =
+            std::env::temp_dir().join(format!("consim-journal-misname-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = JobJournal::open(&dir).unwrap();
+        let job = JobSpec::new(0, 0, config(1));
+        journal.store_spec(&job).unwrap();
+        // Rename the record to a different digest: it must be refused
+        // rather than resurrected under the wrong identity.
+        std::fs::rename(
+            journal.spec_path(&job),
+            dir.join(format!("job-{:016x}.spec", 0xdead_beefu64)),
+        )
+        .unwrap();
+        let err = journal.load_specs().unwrap_err();
+        assert!(err.snapshot_kind().is_some(), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -173,9 +173,24 @@ impl WorkerPool {
 
     /// Waits for every worker to exit (the queue must eventually close or
     /// drain) and reports what the pool did.
+    ///
+    /// A pool that wound down early — the fault injector tripped and
+    /// admission stopped — may leave dequeued-by-nobody jobs stranded in
+    /// the queue. Those are drained here and reported to the sink as
+    /// [`JobOutput::Abandoned`], so the sink hears about **every** job
+    /// that entered the queue, exactly once: nothing is silently dropped
+    /// between `close()` and `join()`.
     pub fn join(self) -> PoolReport {
         for handle in self.handles {
             handle.join().expect("worker thread panicked");
+        }
+        // Workers only exit on a closed queue, so this poll loop cannot
+        // race a producer; on the normal path the backlog is already
+        // empty and the loop is a single `Closed` poll.
+        while let QueuePoll::Job(job) = self.shared.queue.poll() {
+            self.shared
+                .sink
+                .job_finished(&job, Ok(JobOutput::Abandoned));
         }
         PoolReport {
             simulated: self.shared.simulated.load(Ordering::Relaxed),
@@ -427,4 +442,154 @@ fn build_sim(shared: &Shared, cfg: &SimulationConfig) -> Result<Simulation, SimE
     let mut sim = Simulation::resume(bytes.as_slice())?;
     sim.adopt_config(cfg.clone())?;
     Ok(sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::LiveQueue;
+    use crate::sink::CollectingSink;
+    use std::path::PathBuf;
+
+    /// Temp journal dir removed on drop (even on assertion failure).
+    struct ScratchDir(PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("consim-pool-{tag}-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn config(seed: u64) -> SimulationConfig {
+        let profile = consim_workload::WorkloadProfileBuilder::new("p")
+            .footprint_blocks(2_000)
+            .build()
+            .unwrap();
+        let mut b = SimulationConfig::builder();
+        b.workload(profile).refs_per_vm(600).seed(seed);
+        b.build().unwrap()
+    }
+
+    fn prewarm_cache() -> PrewarmCache {
+        Arc::new(Mutex::new(FastHashMap::default()))
+    }
+
+    /// Satellite regression: `close()` while a worker holds in-flight
+    /// slices is a *drain* — every queued job still finishes and
+    /// journals; nothing is dropped.
+    #[test]
+    fn close_with_in_flight_slices_drains_the_backlog() {
+        let scratch = ScratchDir::new("drain");
+        let journal = JobJournal::open(&scratch.0).unwrap();
+        let queue = Arc::new(LiveQueue::new());
+        let sink = Arc::new(CollectingSink::new());
+        let pool = WorkerPool::start(
+            PoolConfig {
+                workers: 1,
+                time_slice: Some(100),
+                max_live: 2,
+                checkpoint_every: Some(200),
+                fault_after: None,
+            },
+            Arc::clone(&queue) as Arc<dyn JobQueue>,
+            Arc::clone(&sink) as Arc<dyn ResultSink>,
+            Some(journal.clone()),
+            prewarm_cache(),
+            None,
+        );
+        for seed in 0..4 {
+            queue.push(0, config(seed)).unwrap();
+        }
+        // The worker is mid-slice on the early jobs; the rest are backlog.
+        queue.close();
+        let report = pool.join();
+        assert!(!report.faulted);
+        assert_eq!(report.simulated, 4, "close() drains, it does not drop");
+        let results = sink.take();
+        assert_eq!(results.len(), 4);
+        for (index, result) in results {
+            assert!(
+                matches!(result, Ok(JobOutput::Completed { .. })),
+                "job {index} must complete after close()"
+            );
+        }
+        assert_eq!(journal.completed().unwrap().len(), 4, "all journaled");
+    }
+
+    /// Satellite regression: a pool that winds down early (fault injector)
+    /// reports every stranded job as `Abandoned` — the sink hears about
+    /// all submissions exactly once, and the stranded jobs remain
+    /// re-runnable afterwards.
+    #[test]
+    fn fault_reports_stranded_jobs_as_abandoned() {
+        let scratch = ScratchDir::new("abandon");
+        let journal = JobJournal::open(&scratch.0).unwrap();
+        let queue = Arc::new(LiveQueue::new());
+        // Submit the whole batch before any worker exists so the order of
+        // admission (and therefore which job trips the fault) is fixed.
+        for seed in 0..3 {
+            queue.push(0, config(seed)).unwrap();
+        }
+        let sink = Arc::new(CollectingSink::new());
+        let pool = WorkerPool::start(
+            PoolConfig {
+                workers: 1,
+                fault_after: Some(1),
+                ..PoolConfig::default()
+            },
+            Arc::clone(&queue) as Arc<dyn JobQueue>,
+            Arc::clone(&sink) as Arc<dyn ResultSink>,
+            Some(journal.clone()),
+            prewarm_cache(),
+            None,
+        );
+        let report = pool.join();
+        assert!(report.faulted);
+        assert_eq!(report.simulated, 1);
+        let mut results = sink.take();
+        assert_eq!(results.len(), 3, "every submission is accounted for");
+        assert!(matches!(
+            results.remove(&0),
+            Some(Ok(JobOutput::Completed { .. }))
+        ));
+        for index in 1..3 {
+            assert!(
+                matches!(results.remove(&index), Some(Ok(JobOutput::Abandoned))),
+                "stranded job {index} must be reported, not silently dropped"
+            );
+        }
+        // Abandoned jobs lost nothing: re-enqueueing the same configs
+        // completes them (job 0 served from its journal record for free).
+        let queue = Arc::new(LiveQueue::new());
+        for seed in 0..3 {
+            queue.push(0, config(seed)).unwrap();
+        }
+        queue.close();
+        let sink = Arc::new(CollectingSink::new());
+        let pool = WorkerPool::start(
+            PoolConfig::default(),
+            Arc::clone(&queue) as Arc<dyn JobQueue>,
+            Arc::clone(&sink) as Arc<dyn ResultSink>,
+            Some(journal.clone()),
+            prewarm_cache(),
+            None,
+        );
+        let report = pool.join();
+        assert!(!report.faulted);
+        assert_eq!(report.simulated, 2, "only the stranded jobs re-simulate");
+        assert!(sink
+            .take()
+            .into_values()
+            .all(|r| matches!(r, Ok(JobOutput::Completed { .. }))));
+    }
 }

@@ -131,6 +131,25 @@ impl LiveQueue {
     pub fn submitted(&self) -> usize {
         self.state.lock().expect("live queue poisoned").submitted
     }
+
+    /// Closes the queue *and* strands whatever was still waiting,
+    /// returning the undequeued jobs so the caller can account for every
+    /// one of them (journal their submission records, report them
+    /// [`crate::sink::JobOutput::Abandoned`], …).
+    ///
+    /// This is the explicit opposite of [`JobQueue::close`]: `close`
+    /// drains — workers keep dequeueing until the backlog is empty —
+    /// while `abandon` is for shutdown paths that must stop *now* and
+    /// hand responsibility for the backlog back to the caller. Jobs a
+    /// worker already dequeued are unaffected either way: they finish
+    /// their in-flight slices and journal normally.
+    pub fn abandon(&self) -> Vec<JobSpec> {
+        let mut state = self.state.lock().expect("live queue poisoned");
+        state.closed = true;
+        let stranded = state.ready.drain(..).collect();
+        self.wake.notify_all();
+        stranded
+    }
 }
 
 impl JobQueue for LiveQueue {
@@ -216,6 +235,25 @@ mod tests {
         assert_eq!(q.recv().map(|j| j.index()), Some(1));
         assert_eq!(q.recv().map(|j| j.index()), None);
         assert!(matches!(q.poll(), QueuePoll::Closed));
+    }
+
+    #[test]
+    fn live_queue_abandon_strands_and_returns_the_backlog() {
+        let q = LiveQueue::new();
+        q.push(0, config(1));
+        q.push(1, config(2));
+        let stranded = q.abandon();
+        assert_eq!(
+            stranded.iter().map(JobSpec::index).collect::<Vec<_>>(),
+            vec![0, 1],
+            "abandon hands the whole backlog back in submission order"
+        );
+        assert!(matches!(q.poll(), QueuePoll::Closed), "nothing drains");
+        assert_eq!(q.push(2, config(3)), None, "abandoned queues are closed");
+        assert!(
+            q.abandon().is_empty(),
+            "idempotent: backlog handed out once"
+        );
     }
 
     #[test]

@@ -546,6 +546,11 @@ impl ExperimentRunner {
                         "a batch job was cancelled mid-run; aggregates would be incomplete",
                     ))
                 }
+                Ok(JobOutput::Abandoned) => {
+                    return Err(SimError::invariant(
+                        "a batch job was stranded by an early wind-down; aggregates would be incomplete",
+                    ))
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -995,7 +1000,7 @@ mod tests {
         for (ji, &ci) in cell_of.iter().enumerate() {
             match results.remove(&ji).unwrap().unwrap() {
                 JobOutput::Completed { outcome, .. } => per_cell[ci].push(outcome),
-                JobOutput::Cancelled => panic!("nothing was cancelled"),
+                other => panic!("nothing was cancelled or stranded: {other:?}"),
             }
         }
         for (ci, c) in cells.iter().enumerate() {
@@ -1064,7 +1069,7 @@ mod tests {
         let outcomes: Vec<SimulationOutcome> = (1..=2)
             .map(|ji| match results.remove(&ji).unwrap().unwrap() {
                 JobOutput::Completed { outcome, .. } => outcome,
-                JobOutput::Cancelled => panic!("survivor cancelled"),
+                other => panic!("survivor did not complete: {other:?}"),
             })
             .collect();
         let survivors =

@@ -34,6 +34,12 @@ pub enum JobOutput {
     /// The job was cancelled before completing ([`crate::pool::WorkerPool::cancel`]);
     /// no outcome exists and nothing was journaled.
     Cancelled,
+    /// The job was stranded in the queue when the pool wound down (a
+    /// tripped fault injector or an explicit abandon) and never ran. No
+    /// outcome exists, but the job itself is intact: re-submitting the
+    /// same configuration — e.g. a daemon re-enqueueing journaled
+    /// submission records on restart — runs it normally.
+    Abandoned,
 }
 
 /// Receives finished jobs from the worker pool. Workers on different

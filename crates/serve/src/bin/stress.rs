@@ -1,0 +1,105 @@
+//! `stress` — seeded crash-injecting stress driver for `consim-serve`.
+//!
+//! ```text
+//! stress [--seed N] [--jobs N] [--clients N] [--workers N]
+//!        [--kill-after N] [--fault-after N] [--scratch DIR]
+//!        [--daemon PATH] [--ledger PATH] [--no-verify]
+//! ```
+//!
+//! Drives a daemon subprocess through a deterministic submit / status /
+//! cancel / subscribe mix, optionally SIGKILLs it mid-run
+//! (`--kill-after`, counted in acked submissions) and/or arranges an
+//! injected fault exit (`--fault-after`, counted in completed jobs),
+//! asserts zero lost jobs and serial-reference-identical outcomes, and
+//! prints `ledger_digest=<hex>` — the number a CI run compares across
+//! crash schedules. With `--ledger PATH` the full ledger is written
+//! there for byte-level comparison.
+
+use consim_bench::cli;
+use consim_serve::stress::{self, StressConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut flags = cli::BenchFlags::from_env("stress");
+    let config = match parse(&mut flags) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("stress: {msg}");
+            eprintln!(
+                "usage: stress [--seed N] [--jobs N] [--clients N] [--workers N] \
+                 [--kill-after N] [--fault-after N] [--scratch DIR] [--daemon PATH] \
+                 [--ledger PATH] [--no-verify]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let (stress_config, ledger_path) = config;
+    let report = match stress::run(&stress_config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("stress: FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &ledger_path {
+        if let Err(e) = std::fs::write(path, &report.ledger) {
+            eprintln!("stress: write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "jobs={} completed={} cancelled={} restarts={} events_seen={} verified={}",
+        report.jobs,
+        report.completed,
+        report.cancelled,
+        report.restarts,
+        report.events_seen,
+        stress_config.verify,
+    );
+    println!("ledger_digest={:016x}", report.ledger_digest);
+}
+
+type Parsed = (StressConfig, Option<PathBuf>);
+
+fn parse(flags: &mut cli::BenchFlags) -> Result<Parsed, String> {
+    let daemon_bin = match flags.take_path("--daemon")? {
+        Some(path) => path,
+        // Default: the consim-serve binary built alongside this one.
+        None => std::env::current_exe()
+            .map_err(|e| format!("locate current executable: {e}"))?
+            .with_file_name("consim-serve"),
+    };
+    let scratch = match flags.take_path("--scratch")? {
+        Some(dir) => dir,
+        None => std::env::temp_dir().join(format!("consim-stress-{}", std::process::id())),
+    };
+    let mut config = StressConfig {
+        seed: flags.take_u64("--seed")?.unwrap_or(1),
+        jobs: usize::try_from(flags.take_u64("--jobs")?.unwrap_or(200))
+            .map_err(|_| "--jobs out of range")?,
+        clients: usize::try_from(flags.take_u64("--clients")?.unwrap_or(4))
+            .map_err(|_| "--clients out of range")?,
+        workers: usize::try_from(flags.take_u64("--workers")?.unwrap_or(2))
+            .map_err(|_| "--workers out of range")?,
+        kill_after: None,
+        fault_after: flags.take_u64("--fault-after")?,
+        scratch,
+        daemon_bin,
+        verify: true,
+    };
+    if let Some(kill) = flags.take_u64("--kill-after")? {
+        config.kill_after = Some(usize::try_from(kill).map_err(|_| "--kill-after out of range")?);
+    }
+    let ledger = flags.take_path("--ledger")?;
+    if let Some(pos) = flags.rest.iter().position(|a| a == "--no-verify") {
+        flags.rest.remove(pos);
+        config.verify = false;
+    }
+    if config.jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    if let Some(stray) = flags.rest.first() {
+        return Err(format!("unrecognized argument {stray:?}"));
+    }
+    Ok((config, ledger))
+}

@@ -1,0 +1,244 @@
+//! A small synchronous client for the serve protocol.
+//!
+//! One [`Client`] wraps one connection. Plain request/response methods
+//! (`submit`, `status`, `cancel`, …) block for exactly one reply frame;
+//! [`Client::subscribe`] switches the connection into streaming mode,
+//! after which [`Client::next_stream_frame`] yields interleaved
+//! [`Response::Event`] frames until the terminal [`Response::Done`].
+
+use crate::net::Endpoint;
+use crate::net::ServeStream;
+use crate::proto::{
+    read_frame, read_hello, write_frame, write_hello, JobState, Request, Response, ServeError,
+};
+use consim::engine::{SimulationConfig, SimulationOutcome};
+use consim::persist;
+use std::io::Write as _;
+use std::time::Duration;
+
+/// What `submit` acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Submitted {
+    /// Content digest identifying the job from now on.
+    pub digest: u64,
+    /// Queue index assigned by the daemon (diagnostic only).
+    pub index: u64,
+    /// Whether the daemon already knew this exact configuration.
+    pub duplicate: bool,
+}
+
+/// One `Status` reply, decoded.
+#[derive(Debug, Clone)]
+pub struct StatusReply {
+    /// Where the job stands.
+    pub state: JobState,
+    /// The decoded outcome, present iff `state == Completed`.
+    pub outcome: Option<SimulationOutcome>,
+    /// The raw outcome record bytes (for ledger digests, byte
+    /// comparisons) — same presence as `outcome`.
+    pub outcome_bytes: Option<Vec<u8>>,
+    /// Failure detail, present iff `state == Failed`.
+    pub message: Option<String>,
+}
+
+/// One frame from a subscribed stream.
+#[derive(Debug, Clone)]
+pub enum StreamFrame {
+    /// A live trace snapshot, as one JSON object.
+    Event(String),
+    /// The job reached a terminal state; the stream is over.
+    Done {
+        /// The terminal state.
+        state: JobState,
+        /// Raw outcome record bytes iff `state == Completed`.
+        outcome: Option<Vec<u8>>,
+    },
+}
+
+/// One protocol connection to a daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: ServeStream,
+}
+
+impl Client {
+    /// Dials `endpoint` and performs the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the daemon is unreachable or speaks a
+    /// different protocol version.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client, ServeError> {
+        let mut stream = endpoint.connect()?;
+        write_hello(&mut stream)?;
+        stream.flush().map_err(|e| ServeError::Io(e.to_string()))?;
+        read_hello(&mut stream)?;
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long any single reply may take (None = forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the option cannot be set.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    fn request(&mut self, request: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        self.stream
+            .flush()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let payload = read_frame(&mut self.stream)?;
+        let response = Response::decode(&payload)?;
+        if let Response::Error { message } = response {
+            return Err(ServeError::Remote(message));
+        }
+        Ok(response)
+    }
+
+    /// Submits a configuration; the daemon journals it before this
+    /// returns, so an acknowledged submission survives a daemon crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Remote`] when the daemon refuses (e.g.
+    /// draining), transport errors otherwise.
+    pub fn submit(
+        &mut self,
+        cell: usize,
+        config: &SimulationConfig,
+    ) -> Result<Submitted, ServeError> {
+        let bytes = persist::config_to_bytes(config)?;
+        match self.request(&Request::Submit {
+            cell: cell as u64,
+            config: bytes,
+        })? {
+            Response::Submitted {
+                digest,
+                index,
+                duplicate,
+            } => Ok(Submitted {
+                digest,
+                index,
+                duplicate,
+            }),
+            other => Err(unexpected("Submitted", &other)),
+        }
+    }
+
+    /// Asks where a job stands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on transport failure or a malformed
+    /// outcome record.
+    pub fn status(&mut self, digest: u64) -> Result<StatusReply, ServeError> {
+        match self.request(&Request::Status { digest })? {
+            Response::JobStatus {
+                state,
+                outcome,
+                message,
+            } => {
+                let decoded = outcome
+                    .as_deref()
+                    .map(persist::outcome_from_bytes)
+                    .transpose()?;
+                Ok(StatusReply {
+                    state,
+                    outcome: decoded,
+                    outcome_bytes: outcome,
+                    message,
+                })
+            }
+            other => Err(unexpected("JobStatus", &other)),
+        }
+    }
+
+    /// Requests early termination of a job. Acked even when the job is
+    /// already terminal (cancelling a finished job is a no-op).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Remote`] for an unknown digest.
+    pub fn cancel(&mut self, digest: u64) -> Result<(), ServeError> {
+        match self.request(&Request::Cancel { digest })? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Subscribes this connection to a job's live trace stream. After
+    /// the `Ok`, drain frames with [`Client::next_stream_frame`]; the
+    /// connection carries only stream frames from here on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Remote`] for an unknown digest.
+    pub fn subscribe(&mut self, digest: u64) -> Result<(), ServeError> {
+        match self.request(&Request::Subscribe { digest })? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// The next frame of a subscribed stream. Returns `Done` exactly
+    /// once, as the final frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the daemon dies mid-stream.
+    pub fn next_stream_frame(&mut self) -> Result<StreamFrame, ServeError> {
+        let payload = read_frame(&mut self.stream)?;
+        match Response::decode(&payload)? {
+            Response::Event { json } => Ok(StreamFrame::Event(json)),
+            Response::Done { state, outcome } => Ok(StreamFrame::Done { state, outcome }),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(unexpected("Event|Done", &other)),
+        }
+    }
+
+    /// Stops admission: queued and running jobs finish, new submissions
+    /// are refused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on transport failure.
+    pub fn drain(&mut self) -> Result<(), ServeError> {
+        match self.request(&Request::Drain)? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Asks the daemon to exit. In-flight jobs finish and journal; the
+    /// backlog is stranded but survives on disk as submission records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on transport failure.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on transport failure.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    ServeError::Malformed(format!("expected {wanted} reply, got {got:?}"))
+}

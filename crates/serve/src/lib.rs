@@ -1,0 +1,36 @@
+//! Consolidation-as-a-service: a long-running daemon over the
+//! `consim-job` execution layer.
+//!
+//! The batch bins (`run_all`, `sweep`) run one experiment and exit. This
+//! crate keeps the worker pool resident: clients connect over TCP or a
+//! Unix-domain socket, speak a length-prefixed versioned binary protocol
+//! ([`proto`]), and submit [`consim::engine::SimulationConfig`]s that
+//! execute in `advance()` time slices on the shared
+//! [`consim_job::WorkerPool`]. Jobs are identified by content digest;
+//! every acknowledged submission is journaled before the ack, so a
+//! killed daemon restarted over the same journal directory resumes (or
+//! serves) every job it ever accepted — and, because a job's outcome is
+//! a pure function of its configuration, produces bit-identical results
+//! either way.
+//!
+//! Module map:
+//!
+//! * [`proto`] — wire format: framing, message codecs, [`proto::ServeError`];
+//! * [`net`] — TCP/Unix transport behind one [`net::ServeStream`] type;
+//! * [`daemon`] — the server: registry, recovery, streaming sinks;
+//! * [`client`] — a synchronous client used by the bins and tests;
+//! * [`stress`] — the seeded crash-injecting stress driver
+//!   (`consim-serve --bin stress`).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod net;
+pub mod proto;
+pub mod stress;
+
+pub use client::{Client, StatusReply, StreamFrame, Submitted};
+pub use daemon::{Daemon, DaemonConfig, DaemonOutcome};
+pub use net::{Endpoint, EndpointSpec};
+pub use proto::{JobState, ServeError};

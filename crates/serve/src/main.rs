@@ -1,0 +1,108 @@
+//! `consim-serve` — the consolidation-as-a-service daemon.
+//!
+//! ```text
+//! consim-serve --journal <dir> [--listen tcp:HOST:PORT | --listen unix:PATH]
+//!              [--workers N] [--time-slice N] [--checkpoint-every N]
+//!              [--epoch-cycles N] [--port-file PATH]
+//! ```
+//!
+//! Prints `listening on <endpoint>` (and, with `--port-file`, atomically
+//! writes the endpoint string there) once ready. Runs until a client
+//! sends `Shutdown` (exit 0) or the `CONSIM_FAULT=jobs:K` injector trips
+//! (exit 17 — the simulated-crash exit, used by the stress driver and CI
+//! to distinguish an injected fault from a real failure).
+
+use consim_bench::cli;
+use consim_serve::daemon::{Daemon, DaemonConfig, DaemonOutcome};
+use consim_serve::net::EndpointSpec;
+use std::path::{Path, PathBuf};
+
+/// Exit status for a tripped fault injector: deliberately distinct from
+/// success and from panic-style failures so supervisors can tell a
+/// simulated crash from a real one.
+const FAULT_EXIT: i32 = 17;
+
+fn main() {
+    let mut flags = cli::BenchFlags::from_env("consim-serve");
+    let config = match parse(&mut flags) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("consim-serve: {msg}");
+            eprintln!(
+                "usage: consim-serve --journal <dir> [--listen tcp:HOST:PORT|unix:PATH] \
+                 [--workers N] [--time-slice N] [--checkpoint-every N] \
+                 [--epoch-cycles N] [--port-file PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let (daemon_config, port_file) = config;
+    let daemon = match Daemon::start(daemon_config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("consim-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let endpoint = daemon.endpoint().clone();
+    println!("listening on {endpoint}");
+    if let Some(path) = port_file {
+        if let Err(e) = write_port_file(&path, &endpoint.to_string()) {
+            eprintln!("consim-serve: write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    match daemon.wait() {
+        DaemonOutcome::Shutdown => {}
+        DaemonOutcome::Faulted => {
+            eprintln!("consim-serve: fault injector tripped; exiting as crashed");
+            std::process::exit(FAULT_EXIT);
+        }
+    }
+}
+
+type Parsed = (DaemonConfig, Option<PathBuf>);
+
+fn parse(flags: &mut cli::BenchFlags) -> Result<Parsed, String> {
+    let journal = flags
+        .take_path("--journal")?
+        .ok_or("--journal <dir> is required")?;
+    let mut config = DaemonConfig::new(journal);
+    if let Some(listen) = flags.take_path("--listen")? {
+        let listen = listen.to_string_lossy().into_owned();
+        config.endpoint = if let Some(path) = listen.strip_prefix("unix:") {
+            EndpointSpec::Unix(PathBuf::from(path))
+        } else if let Some(addr) = listen.strip_prefix("tcp:") {
+            EndpointSpec::Tcp(addr.to_string())
+        } else {
+            return Err(format!("--listen {listen:?} must start with tcp: or unix:"));
+        };
+    }
+    if let Some(workers) = flags.take_u64("--workers")? {
+        config.workers = usize::try_from(workers).map_err(|_| "--workers out of range")?;
+    }
+    if let Some(slice) = flags.take_u64("--time-slice")? {
+        config.time_slice = Some(slice);
+    }
+    if let Some(every) = flags.take_u64("--epoch-cycles")? {
+        config.epoch_cycles = every;
+    }
+    let port_file = flags.take_path("--port-file")?;
+    // --checkpoint-every rides in on the shared flag parser.
+    if let Some(every) = flags.checkpoint_every {
+        config.checkpoint_every = Some(every);
+    }
+    config.fault_after = cli::fault_from_env_with("jobs")?;
+    if let Some(stray) = flags.rest.first() {
+        return Err(format!("unrecognized argument {stray:?}"));
+    }
+    Ok((config, port_file))
+}
+
+/// Write-then-rename so a polling client never reads a half-written
+/// endpoint string.
+fn write_port_file(path: &Path, endpoint: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, endpoint)?;
+    std::fs::rename(&tmp, path)
+}

@@ -1,0 +1,229 @@
+//! Transport plumbing: the daemon listens on either a TCP socket or a
+//! Unix-domain socket; everything above this module is
+//! transport-agnostic.
+
+use crate::proto::ServeError;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// Where a daemon should listen (the TCP form may name port 0; the bound
+/// port is reported back as an [`Endpoint`]).
+#[derive(Debug, Clone)]
+pub enum EndpointSpec {
+    /// A TCP address, e.g. `127.0.0.1:0`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// A concrete, connectable endpoint. Its `Display` form (`tcp:ADDR` /
+/// `unix:PATH`) round-trips through [`FromStr`] — that string is what a
+/// daemon writes to its `--port-file` for clients to discover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A bound TCP address.
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+impl FromStr for Endpoint {
+    type Err = ServeError;
+
+    fn from_str(s: &str) -> Result<Self, ServeError> {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            return addr
+                .parse()
+                .map(Endpoint::Tcp)
+                .map_err(|e| ServeError::Malformed(format!("bad tcp endpoint {addr:?}: {e}")));
+        }
+        if let Some(path) = s.strip_prefix("unix:") {
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        Err(ServeError::Malformed(format!(
+            "endpoint {s:?} must start with tcp: or unix:"
+        )))
+    }
+}
+
+impl Endpoint {
+    /// Opens a connection (no handshake — see `Client::connect`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the daemon is not reachable.
+    pub fn connect(&self) -> Result<ServeStream, ServeError> {
+        match self {
+            Endpoint::Tcp(addr) => TcpStream::connect(addr)
+                .map(ServeStream::Tcp)
+                .map_err(|e| ServeError::Io(format!("connect {addr}: {e}"))),
+            Endpoint::Unix(path) => UnixStream::connect(path)
+                .map(ServeStream::Unix)
+                .map_err(|e| ServeError::Io(format!("connect {}: {e}", path.display()))),
+        }
+    }
+}
+
+/// One accepted or dialed connection.
+#[derive(Debug)]
+pub enum ServeStream {
+    /// TCP transport.
+    Tcp(TcpStream),
+    /// Unix-domain transport.
+    Unix(UnixStream),
+}
+
+impl ServeStream {
+    /// A second handle onto the same connection (reads and writes can
+    /// then live on different threads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] on descriptor duplication failure.
+    pub fn try_clone(&self) -> Result<ServeStream, ServeError> {
+        match self {
+            ServeStream::Tcp(s) => s
+                .try_clone()
+                .map(ServeStream::Tcp)
+                .map_err(|e| ServeError::Io(format!("clone stream: {e}"))),
+            ServeStream::Unix(s) => s
+                .try_clone()
+                .map(ServeStream::Unix)
+                .map_err(|e| ServeError::Io(format!("clone stream: {e}"))),
+        }
+    }
+
+    /// Bounds how long one blocking read may park (None = forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the option cannot be set.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        match self {
+            ServeStream::Tcp(s) => s.set_read_timeout(timeout),
+            ServeStream::Unix(s) => s.set_read_timeout(timeout),
+        }
+        .map_err(|e| ServeError::Io(format!("set read timeout: {e}")))
+    }
+
+    /// Bounds how long one blocking write may park (None = forever). A
+    /// daemon sets this on streaming connections so one stalled
+    /// subscriber cannot wedge a worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the option cannot be set.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        match self {
+            ServeStream::Tcp(s) => s.set_write_timeout(timeout),
+            ServeStream::Unix(s) => s.set_write_timeout(timeout),
+        }
+        .map_err(|e| ServeError::Io(format!("set write timeout: {e}")))
+    }
+}
+
+impl Read for ServeStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ServeStream::Tcp(s) => s.read(buf),
+            ServeStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ServeStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ServeStream::Tcp(s) => s.write(buf),
+            ServeStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ServeStream::Tcp(s) => s.flush(),
+            ServeStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The daemon's listening socket.
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP transport.
+    Tcp(TcpListener),
+    /// Unix-domain transport (unlinked when the daemon exits).
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds `spec`, reporting the concrete endpoint (TCP port 0 resolves
+    /// to the assigned port). A stale Unix socket file left by a killed
+    /// daemon is removed first — the journal, not the socket, is the
+    /// durable state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the address cannot be bound.
+    pub fn bind(spec: &EndpointSpec) -> Result<(Listener, Endpoint), ServeError> {
+        match spec {
+            EndpointSpec::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)
+                    .map_err(|e| ServeError::Io(format!("bind {addr}: {e}")))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| ServeError::Io(format!("local addr: {e}")))?;
+                Ok((Listener::Tcp(listener), Endpoint::Tcp(local)))
+            }
+            EndpointSpec::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| ServeError::Io(format!("bind {}: {e}", path.display())))?;
+                Ok((
+                    Listener::Unix(listener, path.clone()),
+                    Endpoint::Unix(path.clone()),
+                ))
+            }
+        }
+    }
+
+    /// Waits for the next connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] on accept failure.
+    pub fn accept(&self) -> Result<ServeStream, ServeError> {
+        match self {
+            Listener::Tcp(l) => l
+                .accept()
+                .map(|(s, _)| ServeStream::Tcp(s))
+                .map_err(|e| ServeError::Io(format!("accept: {e}"))),
+            Listener::Unix(l, _) => l
+                .accept()
+                .map(|(s, _)| ServeStream::Unix(s))
+                .map_err(|e| ServeError::Io(format!("accept: {e}"))),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

@@ -1,0 +1,793 @@
+//! The wire protocol: length-prefixed, versioned, hand-rolled binary
+//! frames in the same zero-dependency style as the `consim-snap`
+//! container format.
+//!
+//! A connection opens with a fixed 8-byte hello from each side (magic
+//! `CSRV` + little-endian protocol version); after that, every message in
+//! either direction is one *frame*: a `u32` little-endian payload length
+//! followed by that many payload bytes. The first payload byte is a
+//! message tag; the rest is the tag-specific body, encoded little-endian
+//! with explicit length prefixes on every variable-size field.
+//!
+//! Robustness contract (mirrored from the snap corruption battery): any
+//! malformed input — truncated frame, oversized length prefix, unknown
+//! tag, trailing bytes, mid-frame disconnect — decodes to a typed
+//! [`ServeError`], never a panic. The daemon answers a malformed request
+//! with [`Response::Error`] and closes that connection; other connections
+//! are unaffected.
+
+use consim_types::SimError;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Handshake magic: "CSRV".
+pub const MAGIC: [u8; 4] = *b"CSRV";
+
+/// Protocol version. Bump on any frame-layout change; mismatched peers
+/// are refused at handshake, before any frame is interpreted.
+pub const VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload. Large enough for any realistic
+/// configuration or outcome record, small enough that a corrupt or
+/// hostile length prefix cannot make the daemon allocate gigabytes.
+pub const MAX_FRAME: u32 = 8 * 1024 * 1024;
+
+/// Everything that can go wrong speaking the protocol. Typed, never a
+/// panic — the connection handler and the client both match on these.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The peer closed the connection cleanly between frames.
+    Disconnected,
+    /// The stream ended mid-frame (or mid-hello): bytes were promised by
+    /// a length prefix and never arrived.
+    Truncated(String),
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversized {
+        /// The length the prefix claimed.
+        len: u32,
+    },
+    /// The first payload byte named no known message.
+    UnknownTag(u8),
+    /// The payload was structurally invalid (field overrun, bad UTF-8,
+    /// trailing bytes, bad enum code).
+    Malformed(String),
+    /// The handshake did not start with [`MAGIC`] — not a consim-serve
+    /// peer at all.
+    BadMagic,
+    /// The peer speaks a different protocol version.
+    BadVersion {
+        /// The version the peer announced.
+        got: u32,
+    },
+    /// An I/O failure other than end-of-stream.
+    Io(String),
+    /// A simulation-layer error (config decode, journal, engine).
+    Sim(SimError),
+    /// The server answered with [`Response::Error`].
+    Remote(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Disconnected => write!(f, "peer disconnected"),
+            ServeError::Truncated(what) => write!(f, "stream truncated mid-{what}"),
+            ServeError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte bound")
+            }
+            ServeError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            ServeError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            ServeError::BadMagic => write!(f, "handshake magic mismatch (not consim-serve)"),
+            ServeError::BadVersion { got } => {
+                write!(
+                    f,
+                    "protocol version mismatch: peer speaks v{got}, this side v{VERSION}"
+                )
+            }
+            ServeError::Io(why) => write!(f, "i/o error: {why}"),
+            ServeError::Sim(e) => write!(f, "{e}"),
+            ServeError::Remote(why) => write!(f, "server error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+/// Maps a raw I/O failure while reading `what` into the taxonomy:
+/// end-of-stream inside a structure is [`ServeError::Truncated`],
+/// anything else is [`ServeError::Io`].
+fn read_err(what: &str, e: std::io::Error) -> ServeError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        ServeError::Truncated(what.to_string())
+    } else {
+        ServeError::Io(format!("reading {what}: {e}"))
+    }
+}
+
+/// Writes one side's hello (magic + version).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] on write failure.
+pub fn write_hello(w: &mut impl Write) -> Result<(), ServeError> {
+    let mut hello = [0u8; 8];
+    hello[..4].copy_from_slice(&MAGIC);
+    hello[4..].copy_from_slice(&VERSION.to_le_bytes());
+    w.write_all(&hello)
+        .map_err(|e| ServeError::Io(format!("writing hello: {e}")))
+}
+
+/// Reads and validates the peer's hello.
+///
+/// # Errors
+///
+/// [`ServeError::BadMagic`] / [`ServeError::BadVersion`] on a
+/// non-matching peer, [`ServeError::Disconnected`] if the peer closed
+/// before sending anything, [`ServeError::Truncated`] mid-hello.
+pub fn read_hello(r: &mut impl Read) -> Result<(), ServeError> {
+    let mut hello = [0u8; 8];
+    read_exact_or_disconnect(r, &mut hello, "hello")?;
+    if hello[..4] != MAGIC {
+        return Err(ServeError::BadMagic);
+    }
+    let got = u32::from_le_bytes(hello[4..].try_into().expect("4 bytes"));
+    if got != VERSION {
+        return Err(ServeError::BadVersion { got });
+    }
+    Ok(())
+}
+
+/// Like `read_exact`, but distinguishes "closed before the first byte"
+/// ([`ServeError::Disconnected`]) from "closed partway through"
+/// ([`ServeError::Truncated`]).
+fn read_exact_or_disconnect(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    what: &str,
+) -> Result<(), ServeError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Err(ServeError::Disconnected),
+            Ok(0) => return Err(ServeError::Truncated(what.to_string())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(read_err(what, e)),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`ServeError::Oversized`] if the payload exceeds [`MAX_FRAME`] (the
+/// sender's bug — refused before any bytes hit the wire),
+/// [`ServeError::Io`] on write failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(ServeError::Oversized {
+            len: payload.len() as u32,
+        });
+    }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)
+        .map_err(|e| ServeError::Io(format!("writing frame: {e}")))
+}
+
+/// Reads one frame's payload.
+///
+/// # Errors
+///
+/// [`ServeError::Disconnected`] on a clean close between frames,
+/// [`ServeError::Truncated`] on a mid-frame close,
+/// [`ServeError::Oversized`] on a length prefix beyond [`MAX_FRAME`],
+/// [`ServeError::Malformed`] on an empty frame (every message has at
+/// least a tag byte).
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
+    let mut len = [0u8; 4];
+    read_exact_or_disconnect(r, &mut len, "length prefix")?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(ServeError::Oversized { len });
+    }
+    if len == 0 {
+        return Err(ServeError::Malformed("empty frame".into()));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_or_disconnect(r, &mut payload, "frame payload") {
+        // A close at the payload boundary is still mid-frame: the length
+        // prefix promised bytes that never came.
+        Err(ServeError::Disconnected) => Err(ServeError::Truncated("frame payload".into())),
+        other => other,
+    }?;
+    Ok(payload)
+}
+
+/// Where a job stands, as reported over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Queued or executing (the protocol does not distinguish; both
+    /// resolve without client action).
+    Pending,
+    /// Finished; an outcome record exists.
+    Completed,
+    /// Cancelled before completion.
+    Cancelled,
+    /// Failed with a simulation-layer error.
+    Failed,
+    /// Stranded by an early wind-down; will re-run after a restart.
+    Abandoned,
+    /// No job with that digest is known to this daemon.
+    Unknown,
+}
+
+impl JobState {
+    fn code(self) -> u8 {
+        match self {
+            JobState::Pending => 0,
+            JobState::Completed => 1,
+            JobState::Cancelled => 2,
+            JobState::Failed => 3,
+            JobState::Abandoned => 4,
+            JobState::Unknown => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, ServeError> {
+        Ok(match code {
+            0 => JobState::Pending,
+            1 => JobState::Completed,
+            2 => JobState::Cancelled,
+            3 => JobState::Failed,
+            4 => JobState::Abandoned,
+            5 => JobState::Unknown,
+            other => return Err(ServeError::Malformed(format!("bad job state code {other}"))),
+        })
+    }
+}
+
+/// Client → daemon messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a job: experiment-cell tag plus a serialized configuration
+    /// ([`consim::persist::config_to_bytes`]). Identified — and
+    /// deduplicated — by the configuration's content digest.
+    Submit {
+        /// Experiment-cell tag (aggregation key, echoed in results).
+        cell: u64,
+        /// Serialized `SimulationConfig` record.
+        config: Vec<u8>,
+    },
+    /// Ask where the job with this digest stands.
+    Status {
+        /// The configuration content digest identifying the job.
+        digest: u64,
+    },
+    /// Cancel the job with this digest (no-op if already terminal).
+    Cancel {
+        /// The configuration content digest identifying the job.
+        digest: u64,
+    },
+    /// Stream the job's trace events ([`Response::Event`]) on this
+    /// connection until it finishes ([`Response::Done`]).
+    Subscribe {
+        /// The configuration content digest identifying the job.
+        digest: u64,
+    },
+    /// Stop admitting submissions; everything queued still runs.
+    Drain,
+    /// Stop now: strand the backlog (journaled submissions survive to the
+    /// next incarnation), finish in-flight slices, exit.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+const REQ_SUBMIT: u8 = 1;
+const REQ_STATUS: u8 = 2;
+const REQ_CANCEL: u8 = 3;
+const REQ_SUBSCRIBE: u8 = 4;
+const REQ_DRAIN: u8 = 5;
+const REQ_SHUTDOWN: u8 = 6;
+const REQ_PING: u8 = 7;
+
+/// Daemon → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A submission was durably accepted (its journal record is on disk)
+    /// or recognized as already known.
+    Submitted {
+        /// Content digest the daemon computed from the submitted config.
+        digest: u64,
+        /// Submission index in this daemon incarnation.
+        index: u64,
+        /// Whether a job with this digest was already registered.
+        duplicate: bool,
+    },
+    /// Answer to [`Request::Status`].
+    JobStatus {
+        /// Where the job stands.
+        state: JobState,
+        /// The serialized outcome record, when `state` is `Completed`.
+        outcome: Option<Vec<u8>>,
+        /// The failure message, when `state` is `Failed`.
+        message: Option<String>,
+    },
+    /// One streamed trace event (a `TraceEvent` JSON line).
+    Event {
+        /// The event as one line of JSON.
+        json: String,
+    },
+    /// Terminal frame of a subscription: the job reached `state`.
+    Done {
+        /// The terminal state.
+        state: JobState,
+        /// The serialized outcome record, when `state` is `Completed`.
+        outcome: Option<Vec<u8>>,
+    },
+    /// Generic acknowledgement.
+    Ack,
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// The request could not be served; the reason, human-readable.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+const RESP_SUBMITTED: u8 = 1;
+const RESP_JOB_STATUS: u8 = 2;
+const RESP_EVENT: u8 = 3;
+const RESP_DONE: u8 = 4;
+const RESP_ACK: u8 = 5;
+const RESP_PONG: u8 = 6;
+const RESP_ERROR: u8 = 7;
+
+/// Bounds-checked little-endian payload reader.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ServeError::Malformed(format!(
+                "{what}: wanted {n} bytes, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ServeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, ServeError> {
+        let len = self.u32(what)? as usize;
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, ServeError> {
+        String::from_utf8(self.bytes(what)?)
+            .map_err(|_| ServeError::Malformed(format!("{what}: invalid utf-8")))
+    }
+
+    fn opt_bytes(&mut self, what: &str) -> Result<Option<Vec<u8>>, ServeError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.bytes(what)?)),
+            other => Err(ServeError::Malformed(format!(
+                "{what}: bad option flag {other}"
+            ))),
+        }
+    }
+
+    fn opt_string(&mut self, what: &str) -> Result<Option<String>, ServeError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string(what)?)),
+            other => Err(ServeError::Malformed(format!(
+                "{what}: bad option flag {other}"
+            ))),
+        }
+    }
+
+    /// Trailing bytes after a complete message are corruption, not slack.
+    fn finish(self) -> Result<(), ServeError> {
+        if self.pos != self.buf.len() {
+            return Err(ServeError::Malformed(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_opt_bytes(out: &mut Vec<u8>, bytes: Option<&[u8]>) {
+    match bytes {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            put_bytes(out, b);
+        }
+    }
+}
+
+impl Request {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Submit { cell, config } => {
+                out.push(REQ_SUBMIT);
+                out.extend_from_slice(&cell.to_le_bytes());
+                put_bytes(&mut out, config);
+            }
+            Request::Status { digest } => {
+                out.push(REQ_STATUS);
+                out.extend_from_slice(&digest.to_le_bytes());
+            }
+            Request::Cancel { digest } => {
+                out.push(REQ_CANCEL);
+                out.extend_from_slice(&digest.to_le_bytes());
+            }
+            Request::Subscribe { digest } => {
+                out.push(REQ_SUBSCRIBE);
+                out.extend_from_slice(&digest.to_le_bytes());
+            }
+            Request::Drain => out.push(REQ_DRAIN),
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::Ping => out.push(REQ_PING),
+        }
+        out
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTag`] / [`ServeError::Malformed`] on anything
+    /// that is not exactly one well-formed request.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut cur = Cur::new(payload);
+        let tag = cur.u8("request tag")?;
+        let req = match tag {
+            REQ_SUBMIT => Request::Submit {
+                cell: cur.u64("submit cell")?,
+                config: cur.bytes("submit config")?,
+            },
+            REQ_STATUS => Request::Status {
+                digest: cur.u64("status digest")?,
+            },
+            REQ_CANCEL => Request::Cancel {
+                digest: cur.u64("cancel digest")?,
+            },
+            REQ_SUBSCRIBE => Request::Subscribe {
+                digest: cur.u64("subscribe digest")?,
+            },
+            REQ_DRAIN => Request::Drain,
+            REQ_SHUTDOWN => Request::Shutdown,
+            REQ_PING => Request::Ping,
+            other => return Err(ServeError::UnknownTag(other)),
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Submitted {
+                digest,
+                index,
+                duplicate,
+            } => {
+                out.push(RESP_SUBMITTED);
+                out.extend_from_slice(&digest.to_le_bytes());
+                out.extend_from_slice(&index.to_le_bytes());
+                out.push(u8::from(*duplicate));
+            }
+            Response::JobStatus {
+                state,
+                outcome,
+                message,
+            } => {
+                out.push(RESP_JOB_STATUS);
+                out.push(state.code());
+                put_opt_bytes(&mut out, outcome.as_deref());
+                match message {
+                    None => out.push(0),
+                    Some(m) => {
+                        out.push(1);
+                        put_bytes(&mut out, m.as_bytes());
+                    }
+                }
+            }
+            Response::Event { json } => {
+                out.push(RESP_EVENT);
+                put_bytes(&mut out, json.as_bytes());
+            }
+            Response::Done { state, outcome } => {
+                out.push(RESP_DONE);
+                out.push(state.code());
+                put_opt_bytes(&mut out, outcome.as_deref());
+            }
+            Response::Ack => out.push(RESP_ACK),
+            Response::Pong => out.push(RESP_PONG),
+            Response::Error { message } => {
+                out.push(RESP_ERROR);
+                put_bytes(&mut out, message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTag`] / [`ServeError::Malformed`] on anything
+    /// that is not exactly one well-formed response.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut cur = Cur::new(payload);
+        let tag = cur.u8("response tag")?;
+        let resp = match tag {
+            RESP_SUBMITTED => Response::Submitted {
+                digest: cur.u64("submitted digest")?,
+                index: cur.u64("submitted index")?,
+                duplicate: match cur.u8("submitted duplicate flag")? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(ServeError::Malformed(format!("bad duplicate flag {other}")))
+                    }
+                },
+            },
+            RESP_JOB_STATUS => Response::JobStatus {
+                state: JobState::from_code(cur.u8("status state")?)?,
+                outcome: cur.opt_bytes("status outcome")?,
+                message: cur.opt_string("status message")?,
+            },
+            RESP_EVENT => Response::Event {
+                json: cur.string("event json")?,
+            },
+            RESP_DONE => Response::Done {
+                state: JobState::from_code(cur.u8("done state")?)?,
+                outcome: cur.opt_bytes("done outcome")?,
+            },
+            RESP_ACK => Response::Ack,
+            RESP_PONG => Response::Pong,
+            RESP_ERROR => Response::Error {
+                message: cur.string("error message")?,
+            },
+            other => return Err(ServeError::UnknownTag(other)),
+        };
+        cur.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Submit {
+                cell: 42,
+                config: vec![1, 2, 3, 4, 5],
+            },
+            Request::Status { digest: u64::MAX },
+            Request::Cancel { digest: 7 },
+            Request::Subscribe { digest: 0 },
+            Request::Drain,
+            Request::Shutdown,
+            Request::Ping,
+        ]
+    }
+
+    fn responses() -> Vec<Response> {
+        vec![
+            Response::Submitted {
+                digest: 9,
+                index: 3,
+                duplicate: true,
+            },
+            Response::JobStatus {
+                state: JobState::Completed,
+                outcome: Some(vec![0xde, 0xad]),
+                message: None,
+            },
+            Response::JobStatus {
+                state: JobState::Failed,
+                outcome: None,
+                message: Some("boom".into()),
+            },
+            Response::Event {
+                json: "{\"event\":\"epoch\"}".into(),
+            },
+            Response::Done {
+                state: JobState::Cancelled,
+                outcome: None,
+            },
+            Response::Ack,
+            Response::Pong,
+            Response::Error {
+                message: "unknown job".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for req in requests() {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        for resp in responses() {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_cut_is_a_typed_error() {
+        // Mirrors the snap battery: chop each message at every possible
+        // length and demand a typed error, never a panic or a bogus decode.
+        for req in requests() {
+            let full = req.encode();
+            for cut in 0..full.len() {
+                match Request::decode(&full[..cut]) {
+                    Err(ServeError::Malformed(_)) | Err(ServeError::UnknownTag(_)) => {}
+                    Ok(other) => {
+                        // A prefix that happens to be a complete shorter
+                        // message is impossible: decode demands exact
+                        // consumption, so any Ok here is a bug.
+                        panic!("cut {cut} of {req:?} decoded as {other:?}")
+                    }
+                    Err(e) => panic!("cut {cut} of {req:?}: unexpected error class {e}"),
+                }
+            }
+        }
+        for resp in responses() {
+            let full = resp.encode();
+            for cut in 0..full.len() {
+                assert!(
+                    Response::decode(&full[..cut]).is_err(),
+                    "cut {cut} of {resp:?} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_refused() {
+        for req in requests() {
+            let mut bytes = req.encode();
+            bytes.push(0);
+            assert!(
+                matches!(Request::decode(&bytes), Err(ServeError::Malformed(_))),
+                "{req:?} with a trailing byte must be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_refused() {
+        assert!(matches!(
+            Request::decode(&[0xee]),
+            Err(ServeError::UnknownTag(0xee))
+        ));
+        assert!(matches!(
+            Response::decode(&[0x7f, 0, 0]),
+            Err(ServeError::UnknownTag(0x7f))
+        ));
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_bounds_lengths() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[1, 2, 3]).unwrap();
+        write_frame(&mut wire, &[9]).unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), vec![1, 2, 3]);
+        assert_eq!(read_frame(&mut r).unwrap(), vec![9]);
+        assert!(matches!(read_frame(&mut r), Err(ServeError::Disconnected)));
+
+        // Oversized prefix: refused before allocating.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut huge.as_slice()),
+            Err(ServeError::Oversized { .. })
+        ));
+
+        // Empty frame: every message has at least a tag.
+        let zero = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut zero.as_slice()),
+            Err(ServeError::Malformed(_))
+        ));
+
+        // Mid-frame disconnects: inside the prefix and inside the payload.
+        let mut partial = Vec::new();
+        write_frame(&mut partial, &[1, 2, 3, 4]).unwrap();
+        for cut in 1..partial.len() {
+            assert!(
+                matches!(
+                    read_frame(&mut &partial[..cut]),
+                    Err(ServeError::Truncated(_))
+                ),
+                "cut at {cut} must be a truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_rejects_wrong_magic_and_version() {
+        let mut good = Vec::new();
+        write_hello(&mut good).unwrap();
+        read_hello(&mut good.as_slice()).unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            read_hello(&mut bad_magic.as_slice()),
+            Err(ServeError::BadMagic)
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xff;
+        assert!(matches!(
+            read_hello(&mut bad_version.as_slice()),
+            Err(ServeError::BadVersion { .. })
+        ));
+
+        assert!(matches!(
+            read_hello(&mut &good[..5]),
+            Err(ServeError::Truncated(_))
+        ));
+        assert!(matches!(
+            read_hello(&mut &good[..0]),
+            Err(ServeError::Disconnected)
+        ));
+    }
+}

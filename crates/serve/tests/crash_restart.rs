@@ -1,0 +1,59 @@
+//! Crash/restart determinism: a stress run whose daemon is SIGKILLed at
+//! a seeded point and restarted over the same journal directory must
+//! finish with a ledger byte-identical to an uninterrupted run — at
+//! every worker count. The ledger is also invariant across worker
+//! counts, because each job's outcome is a pure function of its
+//! configuration.
+
+use consim_serve::stress::{self, StressConfig, StressReport};
+use std::path::PathBuf;
+
+const SEED: u64 = 5;
+const JOBS: usize = 18;
+
+fn stress_once(tag: &str, workers: usize, kill_after: Option<usize>, verify: bool) -> StressReport {
+    let scratch =
+        std::env::temp_dir().join(format!("consim-crash-restart-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let report = stress::run(&StressConfig {
+        seed: SEED,
+        jobs: JOBS,
+        clients: 3,
+        workers,
+        kill_after,
+        fault_after: None,
+        scratch: scratch.clone(),
+        daemon_bin: PathBuf::from(env!("CARGO_BIN_EXE_consim-serve")),
+        verify,
+    })
+    .expect("stress run failed");
+    std::fs::remove_dir_all(&scratch).ok();
+    report
+}
+
+#[test]
+fn killed_and_restarted_ledger_is_byte_identical_across_worker_counts() {
+    let mut ledgers = Vec::new();
+    for &workers in &[1usize, 2, 4] {
+        // Serial-reference verification once, at the cheapest width; the
+        // other widths are pinned to the same ledger bytes anyway.
+        let verify = workers == 1;
+        let baseline = stress_once(&format!("base-w{workers}"), workers, None, verify);
+        let killed = stress_once(&format!("kill-w{workers}"), workers, Some(JOBS / 3), false);
+        assert!(
+            killed.restarts >= 1,
+            "the kill run must actually crash the daemon (workers={workers})"
+        );
+        assert_eq!(baseline.jobs, JOBS);
+        assert_eq!(
+            baseline.ledger, killed.ledger,
+            "crash+restart changed the ledger at workers={workers}"
+        );
+        assert_eq!(baseline.ledger_digest, killed.ledger_digest);
+        ledgers.push(baseline.ledger);
+    }
+    assert!(
+        ledgers.windows(2).all(|w| w[0] == w[1]),
+        "ledger must not depend on worker count"
+    );
+}

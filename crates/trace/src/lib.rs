@@ -43,4 +43,4 @@ pub mod sink;
 
 pub use event::{ClassMask, EventClass, TraceEvent};
 pub use manifest::{digest_of, Manifest};
-pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};
+pub use sink::{BroadcastSink, JsonlSink, NullSink, RingBufferSink, TraceSink};

@@ -197,6 +197,92 @@ impl Drop for JsonlSink {
     }
 }
 
+/// A fan-out sink whose subscriber set changes at runtime.
+///
+/// A long-running producer (a daemon executing jobs on a worker pool) can
+/// attach one `BroadcastSink` per job up front and let observers come and
+/// go mid-run: [`BroadcastSink::subscribe`] registers a downstream sink,
+/// the returned token [`BroadcastSink::unsubscribe`]s it. With no
+/// subscribers [`TraceSink::wants`] reports `false` for every class, so
+/// producers that re-check `wants` at slice boundaries keep their
+/// non-instrumented fast path until someone is actually listening.
+#[derive(Debug, Default)]
+pub struct BroadcastSink {
+    inner: Mutex<Broadcast>,
+}
+
+#[derive(Debug, Default)]
+struct Broadcast {
+    subscribers: Vec<(u64, std::sync::Arc<dyn TraceSink>)>,
+    next_token: u64,
+}
+
+impl BroadcastSink {
+    /// An empty broadcast (wants nothing until someone subscribes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `sink` to receive every subsequently recorded event it
+    /// wants; returns a token for [`BroadcastSink::unsubscribe`].
+    pub fn subscribe(&self, sink: std::sync::Arc<dyn TraceSink>) -> u64 {
+        let mut inner = self.inner.lock().expect("broadcast sink poisoned");
+        let token = inner.next_token;
+        inner.next_token += 1;
+        inner.subscribers.push((token, sink));
+        token
+    }
+
+    /// Removes the subscriber registered under `token`; unknown tokens
+    /// are a no-op (a completion race may remove it first).
+    pub fn unsubscribe(&self, token: u64) {
+        self.inner
+            .lock()
+            .expect("broadcast sink poisoned")
+            .subscribers
+            .retain(|(t, _)| *t != token);
+    }
+
+    /// Subscribers currently attached.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("broadcast sink poisoned")
+            .subscribers
+            .len()
+    }
+}
+
+impl TraceSink for BroadcastSink {
+    fn record(&self, event: &TraceEvent) {
+        // Clone the subscriber list out of the lock so a slow downstream
+        // sink can't block subscribe/unsubscribe (or other recorders).
+        let subscribers: Vec<std::sync::Arc<dyn TraceSink>> = self
+            .inner
+            .lock()
+            .expect("broadcast sink poisoned")
+            .subscribers
+            .iter()
+            .map(|(_, s)| std::sync::Arc::clone(s))
+            .collect();
+        let class = event.class();
+        for sink in subscribers {
+            if sink.wants(class) {
+                sink.record(event);
+            }
+        }
+    }
+
+    fn wants(&self, class: EventClass) -> bool {
+        self.inner
+            .lock()
+            .expect("broadcast sink poisoned")
+            .subscribers
+            .iter()
+            .any(|(_, s)| s.wants(class))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +345,38 @@ mod tests {
         });
         assert_eq!(sink.len(), 200);
         assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn broadcast_sink_wants_nothing_until_subscribed() {
+        let b = BroadcastSink::new();
+        assert!(!b.wants(EventClass::Epoch));
+        b.record(&lifecycle(1)); // no subscribers: must not panic
+        let ring = Arc::new(RingBufferSink::new(8));
+        let token = b.subscribe(Arc::clone(&ring) as Arc<dyn TraceSink>);
+        assert!(b.wants(EventClass::Epoch));
+        assert_eq!(b.subscriber_count(), 1);
+        b.record(&lifecycle(2));
+        assert_eq!(ring.len(), 1);
+        b.unsubscribe(token);
+        assert!(!b.wants(EventClass::Epoch));
+        b.record(&lifecycle(3));
+        assert_eq!(ring.len(), 1, "unsubscribed sinks stop receiving");
+        b.unsubscribe(token); // idempotent
+    }
+
+    #[test]
+    fn broadcast_sink_filters_per_subscriber_class() {
+        let b = BroadcastSink::new();
+        b.subscribe(Arc::new(NullSink) as Arc<dyn TraceSink>);
+        assert!(
+            !b.wants(EventClass::Lifecycle),
+            "a subscriber that wants nothing must not force instrumentation on"
+        );
+        let ring = Arc::new(RingBufferSink::new(8));
+        b.subscribe(Arc::clone(&ring) as Arc<dyn TraceSink>);
+        b.record(&lifecycle(5));
+        assert_eq!(ring.len(), 1);
     }
 
     #[test]
